@@ -1,0 +1,61 @@
+//! Criterion bench for the classical baselines: Apriori over cluster items
+//! (the Dfn 4.4 GQAR path) and the SA96 QAR miner, against the DAR Phase II
+//! on the same workload — the cost comparison motivating the paper's
+//! summary-only Phase II.
+
+use classic::{apriori, mine_qar, AprioriConfig, QarConfig, TransactionSet};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::insurance::insurance_relation;
+use datagen::SeededRng;
+use std::hint::black_box;
+
+fn random_transactions(n: usize, items: u32, per_tx: usize, seed: u64) -> TransactionSet {
+    let mut rng = SeededRng::new(seed);
+    let mut tx = TransactionSet::new();
+    for _ in 0..n {
+        let t: Vec<classic::ItemId> = (0..per_tx)
+            .map(|_| classic::ItemId(rng.index(items as usize) as u32))
+            .collect();
+        tx.push(t);
+    }
+    tx
+}
+
+fn bench_apriori(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apriori");
+    for &n in &[1_000usize, 5_000] {
+        let tx = random_transactions(n, 40, 6, 3);
+        group.bench_with_input(BenchmarkId::new("random", n), &n, |b, _| {
+            b.iter(|| {
+                let freq = apriori(
+                    black_box(&tx),
+                    &AprioriConfig { min_support: (n / 20) as u64, max_len: 3 },
+                );
+                black_box(freq.total())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_qar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qar");
+    group.sample_size(10);
+    for &n in &[2_000usize, 10_000] {
+        let relation = insurance_relation(n, 42);
+        group.bench_with_input(BenchmarkId::new("insurance", n), &n, |b, _| {
+            b.iter(|| {
+                let rules = mine_qar(
+                    black_box(&relation),
+                    &[0, 1, 2],
+                    &QarConfig { min_support_frac: 0.1, ..QarConfig::default() },
+                );
+                black_box(rules.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apriori, bench_qar);
+criterion_main!(benches);

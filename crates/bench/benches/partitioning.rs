@@ -1,0 +1,41 @@
+//! Criterion bench backing Figure 1's comparison at scale: equi-depth vs
+//! tie-aware equi-depth vs gap (distance-based) partitioning of a large
+//! sorted column.
+
+use classic::{equi_depth, equi_depth_tie_aware, gap_partition};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::SeededRng;
+use std::hint::black_box;
+
+fn partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioning");
+    for &n in &[10_000usize, 100_000] {
+        let mut rng = SeededRng::new(99);
+        let mut values: Vec<f64> = (0..n)
+            .map(|_| {
+                // Three salary-like bands with gaps, plus ties.
+                match rng.index(3) {
+                    0 => rng.uniform_in(18_000.0, 32_000.0).round(),
+                    1 => rng.uniform_in(60_000.0, 90_000.0).round(),
+                    _ => rng.uniform_in(150_000.0, 160_000.0).round(),
+                }
+            })
+            .collect();
+        values.sort_by(f64::total_cmp);
+        let depth = n / 20;
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("equi_depth", n), &n, |b, _| {
+            b.iter(|| black_box(equi_depth(black_box(&values), depth).len()));
+        });
+        group.bench_with_input(BenchmarkId::new("equi_depth_tie_aware", n), &n, |b, _| {
+            b.iter(|| black_box(equi_depth_tie_aware(black_box(&values), depth).0.len()));
+        });
+        group.bench_with_input(BenchmarkId::new("gap_partition", n), &n, |b, _| {
+            b.iter(|| black_box(gap_partition(black_box(&values), 5_000.0).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, partitioning);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion counterpart of Figure 6: Phase I wall time vs. relation size
+//! (sizes reduced for bench-runner turnaround; the `figure6` binary runs
+//! the paper's full 100K–500K sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dar_bench::wbcd_config;
+use dar_core::{Metric, Partitioning};
+use datagen::wbcd::wbcd_relation;
+use mining::DarMiner;
+use std::hint::black_box;
+
+fn phase1_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase1_scaling");
+    group.sample_size(10);
+    for &n in &[5_000usize, 10_000, 20_000] {
+        let relation = wbcd_relation(n, 0.1, 20260707);
+        let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
+        let miner = DarMiner::new(wbcd_config(5 << 20));
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let result = miner.mine(black_box(&relation), &partitioning).expect("valid partitioning");
+                black_box(result.stats.clusters_total)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, phase1_scaling);
+criterion_main!(benches);

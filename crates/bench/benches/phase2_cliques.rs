@@ -1,0 +1,64 @@
+//! Criterion bench for the Phase II pipeline pieces on a fixed cluster
+//! structure: graph construction and maximal-clique enumeration (Section
+//! 7.2 reports clique time roughly constant in the data size, since Phase
+//! II runs on summaries only — node count, not tuple count, drives it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dar_bench::wbcd_config;
+use dar_core::{ClusterSummary, Metric, Partitioning};
+use datagen::wbcd::wbcd_relation;
+use mining::clique::maximal_cliques;
+use mining::graph::{ClusterDistance, ClusteringGraph, GraphConfig};
+use mining::pipeline::auto_density_thresholds;
+use mining::DarMiner;
+use std::hint::black_box;
+
+/// Runs Phase I once per size, then benches Phase II pieces on the
+/// resulting frequent clusters.
+fn phase2_cliques(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase2");
+    group.sample_size(20);
+    for &n in &[10_000usize, 20_000] {
+        let relation = wbcd_relation(n, 0.1, 20260707);
+        let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
+        let miner = DarMiner::new(wbcd_config(5 << 20));
+        let result = miner.mine(&relation, &partitioning).expect("valid partitioning");
+        let s0 = result.stats.s0;
+        let frequent: Vec<ClusterSummary> = result
+            .clusters
+            .iter()
+            .filter(|cl| cl.is_frequent(s0))
+            .cloned()
+            .collect();
+        let tree_thresholds: Vec<f64> =
+            result.stats.forest.trees.iter().map(|t| t.threshold).collect();
+        let density = auto_density_thresholds(
+            &result.clusters,
+            &tree_thresholds,
+            partitioning.num_sets(),
+            1.5,
+        );
+        let config = GraphConfig {
+            metric: ClusterDistance::D2,
+            density_thresholds: density,
+            prune_poor_density: true,
+        };
+        group.bench_with_input(BenchmarkId::new("graph_build", n), &n, |b, _| {
+            b.iter(|| {
+                let g = ClusteringGraph::build(black_box(frequent.clone()), &config);
+                black_box(g.edges)
+            });
+        });
+        let graph = ClusteringGraph::build(frequent.clone(), &config);
+        group.bench_with_input(BenchmarkId::new("maximal_cliques", n), &n, |b, _| {
+            b.iter(|| {
+                let (cliques, _) = maximal_cliques(black_box(graph.adjacency()), 0);
+                black_box(cliques.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, phase2_cliques);
+criterion_main!(benches);

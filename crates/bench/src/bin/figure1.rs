@@ -1,0 +1,53 @@
+//! FIG1 — Figure 1 of the paper: equi-depth vs distance-based partitioning
+//! of the Salary column {18K, 30K, 31K, 80K, 81K, 82K}.
+//!
+//! Regenerate with: `cargo run -p dar-bench --bin figure1`
+//!
+//! Expected shape (paper): equi-depth (depth 2) groups the distant values
+//! 31K and 80K together; distance-based partitioning instead yields
+//! [18K], [30K,31K], [80K,82K].
+
+use classic::{equi_depth, gap_partition};
+use dar_bench::print_table;
+use datagen::salary::figure1_salaries;
+
+fn main() {
+    let salaries = figure1_salaries();
+    let equi = equi_depth(&salaries, 2);
+    let dist = gap_partition(&salaries, 5_000.0);
+
+    let find = |v: f64, parts: &[dar_core::Interval]| {
+        parts
+            .iter()
+            .position(|iv| iv.contains(v))
+            .map(|i| (i + 1).to_string())
+            .unwrap_or_else(|| "-".into())
+    };
+    let rows: Vec<Vec<String>> = salaries
+        .iter()
+        .map(|&v| {
+            let e = equi.iter().find(|iv| iv.contains(v)).unwrap();
+            let d = dist.iter().find(|iv| iv.contains(v)).unwrap();
+            vec![
+                format!("{}K", v / 1000.0),
+                find(v, &equi),
+                format!("[{}K, {}K]", e.lo / 1000.0, e.hi / 1000.0),
+                find(v, &dist),
+                format!("[{}K, {}K]", d.lo / 1000.0, d.hi / 1000.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 1: Equi-depth vs. distance-based partitioning",
+        &["Salary", "ED no.", "ED interval", "DB no.", "DB interval"],
+        &rows,
+    );
+
+    // The paper's headline contrast: equi-depth groups 31K with 80K; the
+    // distance-based partition never does.
+    let ed_bad = equi.iter().any(|iv| iv.contains(31_000.0) && iv.contains(80_000.0));
+    let db_bad = dist.iter().any(|iv| iv.contains(31_000.0) && iv.contains(80_000.0));
+    println!("\n  equi-depth groups 31K with 80K: {ed_bad} (paper: true)");
+    println!("  distance-based groups 31K with 80K: {db_bad} (paper: false)");
+    assert!(ed_bad && !db_bad, "Figure 1 shape must hold");
+}

@@ -1,0 +1,48 @@
+//! FIG2 — Figure 2 / Goals 2–3: the rule `Job=DBA ∧ Age=30 ⇒ Salary=40,000`
+//! has identical classical support (50%) and confidence (60%) in relations
+//! R1 and R2, yet R2 intuitively fits the rule better (41K/42K are *near*
+//! 40K where R1's 90K/100K are not). The distance-based degree of
+//! association captures the difference.
+//!
+//! Regenerate with: `cargo run -p dar-bench --bin figure2`
+
+use dar_bench::print_table;
+use dar_core::Metric;
+use datagen::salary::{relation_r1, relation_r2, JOB_DBA};
+use mining::interest::{confidence, degree_exact, satisfying_rows, support, Predicate};
+
+fn main() {
+    let r1 = relation_r1();
+    let r2 = relation_r2();
+    let antecedent = [Predicate::Eq(0, JOB_DBA), Predicate::Eq(1, 30.0)];
+    let consequent = [Predicate::Eq(2, 40_000.0)];
+
+    let mut rows = Vec::new();
+    let mut degrees = Vec::new();
+    for (name, r) in [("R1", &r1), ("R2", &r2)] {
+        let s = support(r, &antecedent, &consequent);
+        let c = confidence(r, &antecedent, &consequent).expect("antecedent non-empty");
+        // Degree of association of C_X ⇒ C_Y with C_X = 30-year-old DBAs
+        // and C_Y = the 40K salary cluster, exact D2 on Salary.
+        let cx = satisfying_rows(r, &antecedent);
+        let cy = satisfying_rows(r, &consequent);
+        let degree = degree_exact(r, &cx, &cy, &[2], Metric::Euclidean)
+            .expect("both clusters non-empty");
+        degrees.push(degree);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.0}%", 100.0 * s),
+            format!("{:.0}%", 100.0 * c),
+            format!("{degree:.1}"),
+        ]);
+    }
+    print_table(
+        "Figure 2: Rule (1) under classical vs. distance-based interest",
+        &["Relation", "support", "confidence", "degree (D2 on Salary, $)"],
+        &rows,
+    );
+    println!("\n  paper: support and confidence identical (50%, 60%) in both relations,");
+    println!("  but the rule should rate higher in R2 → lower degree in R2.");
+    println!("  measured: degree(R1) = {:.1}, degree(R2) = {:.1}", degrees[0], degrees[1]);
+    assert!(degrees[1] < degrees[0], "R2 must score a stronger (lower) degree");
+}

@@ -1,0 +1,59 @@
+//! FIG6 — Figure 6 of the paper: Phase I running time vs. relation size on
+//! the WBCD-like workload (30 attributes, frequency threshold 3%, total
+//! memory cap 5 MB). The paper reports linear scaling up to 0.5M tuples.
+//!
+//! Regenerate with: `cargo run --release -p dar-bench --bin figure6`
+//! (pass sizes as arguments to override, e.g. `figure6 50000 100000`).
+
+use dar_bench::{print_table, secs, time, wbcd_config};
+use dar_core::{Metric, Partitioning};
+use datagen::wbcd::wbcd_relation;
+use mining::DarMiner;
+
+fn main() {
+    let sizes: Vec<usize> = {
+        let args: Vec<usize> =
+            std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+        if args.is_empty() {
+            vec![100_000, 200_000, 300_000, 400_000, 500_000]
+        } else {
+            args
+        }
+    };
+    // 10% outliers scale proportionally with the data, per the paper's
+    // methodology.
+    const OUTLIER_FRAC: f64 = 0.1;
+    let miner = DarMiner::new(wbcd_config(5 << 20));
+
+    let mut rows = Vec::new();
+    let mut per_tuple = Vec::new();
+    for &n in &sizes {
+        let (relation, gen_time) = time(|| wbcd_relation(n, OUTLIER_FRAC, 20260707));
+        let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
+        let result = miner.mine(&relation, &partitioning).expect("valid partitioning");
+        let p1 = result.stats.phase1;
+        per_tuple.push(p1.as_secs_f64() / n as f64);
+        rows.push(vec![
+            n.to_string(),
+            secs(p1),
+            format!("{:.2}", 1e6 * p1.as_secs_f64() / n as f64),
+            result.stats.clusters_total.to_string(),
+            result.stats.forest.total_rebuilds().to_string(),
+            format!("{:.2}", result.stats.forest.total_memory_bytes() as f64 / (1 << 20) as f64),
+            secs(gen_time),
+        ]);
+    }
+    print_table(
+        "Figure 6: Phase I running time vs. relation size (WBCD-like, 5 MB cap)",
+        &["tuples", "phase1 (s)", "µs/tuple", "clusters", "rebuilds", "tree MB", "gen (s)"],
+        &rows,
+    );
+
+    // Linearity check: per-tuple time at the largest size within 2x of the
+    // smallest (the paper's curve is visually linear).
+    if per_tuple.len() >= 2 {
+        let ratio = per_tuple.last().unwrap() / per_tuple.first().unwrap();
+        println!("\n  per-tuple time ratio (largest/smallest): {ratio:.2} (paper: ~1, linear)");
+        assert!(ratio < 2.0, "Phase I must scale (near-)linearly, got ratio {ratio:.2}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Tuning knobs of the clustering engine.
+
+/// Configuration for one [`AcfTree`](crate::AcfTree) (shared by every tree of
+/// an [`AcfForest`](crate::AcfForest)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BirchConfig {
+    /// Maximum `(CF, child)` entries in an internal node (the branching
+    /// factor `L` of the paper's complexity analysis, Section 7.1).
+    pub branching: usize,
+    /// Maximum ACF entries in a leaf node.
+    pub leaf_capacity: usize,
+    /// Initial diameter threshold `T` (the density threshold `d0^X` each
+    /// cluster must satisfy, Dfn 4.2). `0.0` starts fully precise: every
+    /// distinct value begins its own cluster until memory pressure raises
+    /// the threshold — the adaptive behaviour of Section 3.
+    pub initial_threshold: f64,
+    /// Heap budget in bytes for one tree. When the tree's estimated
+    /// footprint exceeds this, the threshold is raised and the tree rebuilt
+    /// from its leaf entries. The paper's experiments used 5 MB *total*
+    /// across all 30 attribute trees.
+    pub memory_budget: usize,
+    /// During a rebuild, leaf entries with fewer than this many tuples are
+    /// paged out as candidate outliers (the paper: clusters "significantly
+    /// smaller than the frequency threshold"). `0` disables outlier paging.
+    pub outlier_entry_limit: u64,
+    /// Multiplicative floor for threshold growth on rebuild: the new
+    /// threshold is at least `old * threshold_growth` even when the
+    /// closest-pair heuristic suggests less.
+    pub threshold_growth: f64,
+}
+
+impl Default for BirchConfig {
+    fn default() -> Self {
+        BirchConfig {
+            branching: 8,
+            leaf_capacity: 8,
+            initial_threshold: 0.0,
+            memory_budget: 1 << 20, // 1 MiB per tree
+            outlier_entry_limit: 0,
+            threshold_growth: 1.5,
+        }
+    }
+}
+
+impl BirchConfig {
+    /// The paper's evaluation setup scaled per tree: a total budget split
+    /// evenly over `num_sets` trees (they used 5 MB over 30 attributes).
+    pub fn with_total_budget(total_bytes: usize, num_sets: usize) -> Self {
+        BirchConfig {
+            memory_budget: total_bytes / num_sets.max(1),
+            ..BirchConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = BirchConfig::default();
+        assert!(c.branching >= 2);
+        assert!(c.leaf_capacity >= 2);
+        assert!(c.threshold_growth > 1.0);
+        assert_eq!(c.initial_threshold, 0.0);
+    }
+
+    #[test]
+    fn total_budget_split() {
+        let c = BirchConfig::with_total_budget(5 << 20, 30);
+        assert_eq!(c.memory_budget, (5 << 20) / 30);
+        // Degenerate zero sets doesn't divide by zero.
+        let c = BirchConfig::with_total_budget(100, 0);
+        assert_eq!(c.memory_budget, 100);
+    }
+}

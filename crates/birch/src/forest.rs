@@ -1,0 +1,234 @@
+//! One ACF-tree per attribute set: the full Phase I scan.
+
+use crate::config::BirchConfig;
+use crate::tree::{AcfTree, TreeStats};
+use dar_core::{Acf, AcfLayout, Partitioning, Relation};
+
+/// A forest of [`AcfTree`]s, one per attribute set of a [`Partitioning`]
+/// ("a separate tree is maintained for each attribute that can be grouped",
+/// Section 3). Feeding every tuple of a relation through the forest is the
+/// single data scan of Phase I.
+///
+/// ```
+/// use birch::{AcfForest, BirchConfig};
+/// use dar_core::{Metric, Partitioning, Schema};
+/// let schema = Schema::interval_attrs(2);
+/// let partitioning = Partitioning::per_attribute(&schema, Metric::Euclidean);
+/// let config = BirchConfig { initial_threshold: 1.0, ..BirchConfig::default() };
+/// let mut forest = AcfForest::new(partitioning, &config);
+/// for i in 0..100 {
+///     let block = if i % 2 == 0 { 0.0 } else { 50.0 };
+///     forest.insert_values(&[block, block + 10.0]);
+/// }
+/// let per_set = forest.finish();
+/// assert_eq!(per_set.len(), 2);          // one cluster list per attribute
+/// assert_eq!(per_set[0].len(), 2);       // the two value blocks
+/// assert_eq!(per_set[0][0].n() + per_set[0][1].n(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AcfForest {
+    trees: Vec<AcfTree>,
+    partitioning: Partitioning,
+    /// Reusable per-set projection buffers: one `Vec<f64>` per attribute set.
+    scratch: Vec<Vec<f64>>,
+}
+
+/// Aggregate diagnostics across all trees of a forest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForestStats {
+    /// Per-tree snapshots, indexed by set id.
+    pub trees: Vec<TreeStats>,
+}
+
+impl ForestStats {
+    /// Total clusters (leaf entries) across all trees.
+    pub fn total_clusters(&self) -> usize {
+        self.trees.iter().map(|t| t.leaf_entries).sum()
+    }
+
+    /// Total estimated memory across all trees.
+    pub fn total_memory_bytes(&self) -> usize {
+        self.trees.iter().map(|t| t.memory_bytes).sum()
+    }
+
+    /// Total rebuilds across all trees.
+    pub fn total_rebuilds(&self) -> usize {
+        self.trees.iter().map(|t| t.rebuilds).sum()
+    }
+}
+
+impl AcfForest {
+    /// Creates a forest for `partitioning`, one tree per attribute set,
+    /// sharing `config`.
+    pub fn new(partitioning: Partitioning, config: &BirchConfig) -> Self {
+        let thresholds = vec![config.initial_threshold; partitioning.num_sets()];
+        Self::with_initial_thresholds(partitioning, config, &thresholds)
+    }
+
+    /// Creates a forest with a *per-set* initial diameter threshold —
+    /// attribute sets on different scales (ages vs. dollar amounts) need
+    /// different density thresholds `d0^{X_i}` (Dfn 4.2); the paper selects
+    /// "an initial diameter threshold ... for each X_i" (Section 4.3.1).
+    ///
+    /// # Panics
+    /// Panics if `thresholds.len()` differs from the number of sets.
+    pub fn with_initial_thresholds(
+        partitioning: Partitioning,
+        config: &BirchConfig,
+        thresholds: &[f64],
+    ) -> Self {
+        assert_eq!(
+            thresholds.len(),
+            partitioning.num_sets(),
+            "one initial threshold per attribute set"
+        );
+        let layout = AcfLayout::from_partitioning(&partitioning);
+        let trees = thresholds
+            .iter()
+            .enumerate()
+            .map(|(set, &t)| {
+                let cfg = BirchConfig { initial_threshold: t, ..config.clone() };
+                AcfTree::new(layout.clone(), set, cfg)
+            })
+            .collect();
+        let scratch = partitioning
+            .sets()
+            .iter()
+            .map(|s| Vec::with_capacity(s.dims()))
+            .collect();
+        AcfForest { trees, partitioning, scratch }
+    }
+
+    /// The partitioning this forest clusters.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// The shared ACF layout.
+    pub fn layout(&self) -> AcfLayout {
+        AcfLayout::from_partitioning(&self.partitioning)
+    }
+
+    /// Inserts one tuple of `relation` (by row index) into every tree.
+    pub fn insert_row(&mut self, relation: &Relation, row: usize) {
+        for (set, buf) in self.scratch.iter_mut().enumerate() {
+            relation.project_into(row, &self.partitioning.set(set).attrs, buf);
+        }
+        for tree in &mut self.trees {
+            tree.insert_point(&self.scratch);
+        }
+    }
+
+    /// Inserts a full tuple given by value (streaming ingestion without a
+    /// materialized relation).
+    pub fn insert_values(&mut self, row: &[f64]) {
+        for (set, buf) in self.scratch.iter_mut().enumerate() {
+            buf.clear();
+            buf.extend(self.partitioning.set(set).attrs.iter().map(|&a| row[a]));
+        }
+        for tree in &mut self.trees {
+            tree.insert_point(&self.scratch);
+        }
+    }
+
+    /// Scans an entire relation — the Phase I pass.
+    pub fn scan(&mut self, relation: &Relation) {
+        for row in 0..relation.len() {
+            self.insert_row(relation, row);
+        }
+    }
+
+    /// Finishes every tree (re-inserting outliers) and returns the clusters
+    /// grouped by attribute set.
+    pub fn finish(self) -> Vec<Vec<Acf>> {
+        self.trees.into_iter().map(AcfTree::finish).collect()
+    }
+
+    /// Diagnostic snapshot of all trees.
+    pub fn stats(&self) -> ForestStats {
+        ForestStats { trees: self.trees.iter().map(AcfTree::stats).collect() }
+    }
+
+    /// Access a single tree (read-only), e.g. for nearest-centroid lookups.
+    pub fn tree(&self, set: usize) -> &AcfTree {
+        &self.trees[set]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dar_core::{Metric, RelationBuilder, Schema};
+
+    fn two_cluster_relation() -> Relation {
+        // Attribute 0 has clusters near 0 and near 100; attribute 1 has
+        // clusters near 5 and near 50.
+        let mut b = RelationBuilder::new(Schema::interval_attrs(2));
+        for i in 0..20 {
+            let jitter = (i % 5) as f64 * 0.01;
+            b.push_row(&[jitter, 5.0 + jitter]).unwrap();
+            b.push_row(&[100.0 + jitter, 50.0 + jitter]).unwrap();
+        }
+        b.finish()
+    }
+
+    fn forest_for(relation: &Relation, threshold: f64) -> AcfForest {
+        let p = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
+        let config = BirchConfig {
+            initial_threshold: threshold,
+            memory_budget: usize::MAX,
+            ..BirchConfig::default()
+        };
+        AcfForest::new(p, &config)
+    }
+
+    #[test]
+    fn scan_finds_the_planted_clusters() {
+        let r = two_cluster_relation();
+        let mut f = forest_for(&r, 1.0);
+        f.scan(&r);
+        let stats = f.stats();
+        assert_eq!(stats.trees.len(), 2);
+        assert_eq!(stats.total_clusters(), 4, "two clusters per attribute");
+        let per_set = f.finish();
+        assert_eq!(per_set.len(), 2);
+        for clusters in &per_set {
+            assert_eq!(clusters.len(), 2);
+            let total: u64 = clusters.iter().map(Acf::n).sum();
+            assert_eq!(total, 40);
+        }
+        // Images: the cluster near 0 on attr0 must have its attr1 image near 5.
+        let c0 = per_set[0]
+            .iter()
+            .find(|c| c.centroid_on(0).unwrap()[0] < 1.0)
+            .unwrap();
+        let img = c0.centroid_on(1).unwrap()[0];
+        assert!((img - 5.0).abs() < 0.1, "image centroid {img} should be ~5");
+    }
+
+    #[test]
+    fn insert_values_matches_insert_row() {
+        let r = two_cluster_relation();
+        let mut f1 = forest_for(&r, 1.0);
+        f1.scan(&r);
+        let mut f2 = forest_for(&r, 1.0);
+        for row in 0..r.len() {
+            let vals = r.row(row);
+            f2.insert_values(&vals);
+        }
+        let s1 = f1.stats();
+        let s2 = f2.stats();
+        assert_eq!(s1.total_clusters(), s2.total_clusters());
+    }
+
+    #[test]
+    fn stats_aggregates() {
+        let r = two_cluster_relation();
+        let mut f = forest_for(&r, 1.0);
+        f.scan(&r);
+        let s = f.stats();
+        assert!(s.total_memory_bytes() > 0);
+        assert_eq!(s.total_rebuilds(), 0);
+        assert_eq!(f.tree(0).points_inserted(), r.len() as u64);
+    }
+}

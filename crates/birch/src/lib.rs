@@ -1,0 +1,43 @@
+//! # birch
+//!
+//! An adaptive, BIRCH-style clustering engine over **Association Clustering
+//! Features** (ACFs), built as the Phase I substrate of Miller & Yang's
+//! distance-based association rule miner (SIGMOD 1997, Sections 3, 4.3.1 and
+//! 6.1).
+//!
+//! The engine maintains one height-balanced [`AcfTree`] per attribute set of
+//! a partitioning (see [`AcfForest`]). Each tree is a B⁺-tree-like structure:
+//! internal nodes hold `(CF, child)` entries summarizing their subtrees on
+//! the *home* attribute set; leaves hold full [`Acf`](dar_core::Acf) entries
+//! (CF on the home set plus moment vectors on every other set, Eq. 7 of the
+//! paper). Insertion descends to the closest entry at every level and merges
+//! a point into the closest leaf cluster if the merged diameter stays within
+//! the current threshold, otherwise starts a new cluster; full nodes split
+//! like B⁺-tree pages.
+//!
+//! Three adaptive behaviours from the paper are implemented:
+//!
+//! * **Memory budgeting** — each tree estimates its heap footprint; when the
+//!   estimate exceeds the budget, the diameter threshold is raised and the
+//!   tree is rebuilt *from its own leaf entries* (no data rescan; Section 3,
+//!   "as memory gets scarce, the height of the tree is reduced").
+//! * **Threshold heuristic** — the next threshold is chosen from the
+//!   distribution of closest-pair merged diameters inside the current
+//!   leaves, so that a rebuild actually merges clusters (Section 4.3.1).
+//! * **Outlier paging** — during a rebuild, leaf entries far smaller than
+//!   the frequency threshold are paged to an outlier store; they are
+//!   re-inserted at [`AcfTree::finish`] "to ensure that they are indeed
+//!   outliers" (Section 4.3.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod forest;
+pub mod refine;
+pub mod tree;
+
+pub use config::BirchConfig;
+pub use refine::{refine_clusters, refine_forest_output};
+pub use forest::{AcfForest, ForestStats};
+pub use tree::{AcfTree, TreeStats};

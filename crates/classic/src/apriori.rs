@@ -1,0 +1,329 @@
+//! The Apriori frequent-itemset miner (Agrawal & Srikant, VLDB 1994).
+//!
+//! The level-wise structure is exactly the paper's Section 3 outline:
+//! *Scan 1* counts 1-itemsets, then alternate *Prune i* (drop candidates
+//! below the support threshold `s0`) and *Scan i* (count candidates of size
+//! `i` whose `i−1`-subsets are all frequent).
+
+use crate::transactions::{ItemId, TransactionSet};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration for an Apriori run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AprioriConfig {
+    /// Absolute minimum support `s0` (tuple count).
+    pub min_support: u64,
+    /// Stop after itemsets of this size (0 = unbounded). Large transactions
+    /// make subset enumeration combinatorial; a cap keeps runs predictable.
+    pub max_len: usize,
+}
+
+impl Default for AprioriConfig {
+    fn default() -> Self {
+        AprioriConfig { min_support: 1, max_len: 0 }
+    }
+}
+
+/// Frequent itemsets grouped by size: `levels[k]` holds the frequent
+/// `(k+1)`-itemsets and their support counts.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FrequentItemsets {
+    levels: Vec<HashMap<Vec<ItemId>, u64>>,
+}
+
+impl FrequentItemsets {
+    /// Frequent itemsets of size `k` (1-based) with their counts.
+    pub fn level(&self, k: usize) -> Option<&HashMap<Vec<ItemId>, u64>> {
+        if k == 0 {
+            return None;
+        }
+        self.levels.get(k - 1)
+    }
+
+    /// Largest itemset size found.
+    pub fn max_size(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Support of a specific itemset (must be sorted).
+    pub fn support(&self, itemset: &[ItemId]) -> Option<u64> {
+        self.level(itemset.len())?.get(itemset).copied()
+    }
+
+    /// Iterate over every frequent itemset with its count.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<ItemId>, u64)> {
+        self.levels.iter().flat_map(|m| m.iter().map(|(k, &v)| (k, v)))
+    }
+
+    /// Total number of frequent itemsets across all sizes.
+    pub fn total(&self) -> usize {
+        self.levels.iter().map(HashMap::len).sum()
+    }
+
+    /// Appends the next level (used by the alternative miners — PCY,
+    /// partitioned — that share this result type).
+    pub(crate) fn push_level(&mut self, level: HashMap<Vec<ItemId>, u64>) {
+        self.levels.push(level);
+    }
+}
+
+/// Runs Apriori over `tx`, returning all frequent itemsets.
+///
+/// ```
+/// use classic::{apriori, AprioriConfig, ItemId, TransactionSet};
+/// let tx = TransactionSet::from_raw(&[&[1, 3], &[2, 3], &[1, 2, 3]]);
+/// let freq = apriori(&tx, &AprioriConfig { min_support: 2, max_len: 0 });
+/// assert_eq!(freq.support(&[ItemId(3)]), Some(3));
+/// assert_eq!(freq.support(&[ItemId(1), ItemId(3)]), Some(2));
+/// assert_eq!(freq.support(&[ItemId(1), ItemId(2)]), None); // support 1
+/// ```
+pub fn apriori(tx: &TransactionSet, config: &AprioriConfig) -> FrequentItemsets {
+    let mut result = FrequentItemsets::default();
+    if tx.is_empty() {
+        return result;
+    }
+
+    // Scan 1: count individual items with a dense array.
+    let mut counts = vec![0u64; tx.num_items() as usize];
+    for t in tx.transactions() {
+        for item in t {
+            counts[item.0 as usize] += 1;
+        }
+    }
+    let level: HashMap<Vec<ItemId>, u64> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c >= config.min_support)
+        .map(|(i, &c)| (vec![ItemId(i as u32)], c))
+        .collect();
+
+    if level.is_empty() {
+        return result;
+    }
+    result.levels.push(level);
+    for next in continue_from(tx, &result, config) {
+        result.levels.push(next);
+    }
+    result
+}
+
+/// Continues level-wise mining from the last level of `seed`, returning the
+/// further frequent levels (sizes `seed.max_size()+1`, `+2`, …). Shared by
+/// [`apriori`] and the alternative first-phase algorithms (PCY,
+/// partitioned), which compute the early levels differently.
+pub(crate) fn continue_from(
+    tx: &TransactionSet,
+    seed: &FrequentItemsets,
+    config: &AprioriConfig,
+) -> Vec<HashMap<Vec<ItemId>, u64>> {
+    let mut out = Vec::new();
+    let mut k = seed.max_size();
+    if k == 0 {
+        return out;
+    }
+    let mut current: &HashMap<Vec<ItemId>, u64> =
+        seed.level(k).expect("seed has its last level");
+    loop {
+        if config.max_len != 0 && k >= config.max_len {
+            break;
+        }
+        let candidates = generate_candidates(current, k);
+        if candidates.is_empty() {
+            break;
+        }
+        // Scan k+1: count candidates by enumerating (k+1)-subsets of each
+        // transaction and probing the candidate table.
+        let mut counted: HashMap<Vec<ItemId>, u64> =
+            candidates.iter().map(|c| (c.clone(), 0)).collect();
+        let mut subset = vec![ItemId(0); k + 1];
+        for t in tx.transactions() {
+            if t.len() < k + 1 {
+                continue;
+            }
+            count_subsets(t, 0, 0, &mut subset, &mut counted);
+        }
+        let level: HashMap<Vec<ItemId>, u64> =
+            counted.into_iter().filter(|&(_, c)| c >= config.min_support).collect();
+        if level.is_empty() {
+            break;
+        }
+        out.push(level);
+        current = out.last().expect("just pushed");
+        k += 1;
+    }
+    out
+}
+
+/// Apriori-gen: join frequent k-itemsets sharing a (k−1)-prefix, then prune
+/// candidates with an infrequent k-subset.
+fn generate_candidates(frequent: &HashMap<Vec<ItemId>, u64>, k: usize) -> Vec<Vec<ItemId>> {
+    let mut sorted: Vec<&Vec<ItemId>> = frequent.keys().collect();
+    sorted.sort();
+    let freq_set: HashSet<&Vec<ItemId>> = frequent.keys().collect();
+    let mut candidates = Vec::new();
+    for i in 0..sorted.len() {
+        for j in (i + 1)..sorted.len() {
+            let (a, b) = (sorted[i], sorted[j]);
+            if a[..k - 1] != b[..k - 1] {
+                // `sorted` is lexicographic; once prefixes diverge they stay
+                // diverged for this `i`.
+                break;
+            }
+            let mut cand = a.clone();
+            cand.push(b[k - 1]);
+            // Prune: every k-subset must be frequent.
+            let mut ok = true;
+            let mut sub = Vec::with_capacity(k);
+            for skip in 0..cand.len() {
+                // Subsets missing the last or second-to-last element are `a`
+                // and `b` themselves; still cheap to check uniformly.
+                sub.clear();
+                sub.extend(cand.iter().enumerate().filter(|&(x, _)| x != skip).map(|(_, &v)| v));
+                if !freq_set.contains(&sub) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                candidates.push(cand);
+            }
+        }
+    }
+    candidates
+}
+
+/// Recursively enumerates the `subset.len()`-subsets of sorted transaction
+/// `t`, incrementing each one present in `counted`.
+fn count_subsets(
+    t: &[ItemId],
+    start: usize,
+    depth: usize,
+    subset: &mut Vec<ItemId>,
+    counted: &mut HashMap<Vec<ItemId>, u64>,
+) {
+    let want = subset.len();
+    if depth == want {
+        if let Some(c) = counted.get_mut(subset.as_slice()) {
+            *c += 1;
+        }
+        return;
+    }
+    // Not enough items left to complete the subset?
+    let remaining = want - depth;
+    for i in start..=t.len().saturating_sub(remaining) {
+        subset[depth] = t[i];
+        count_subsets(t, i + 1, depth + 1, subset, counted);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(i: u32) -> ItemId {
+        ItemId(i)
+    }
+
+    /// The classic AIS'93 example-style dataset.
+    fn sample() -> TransactionSet {
+        TransactionSet::from_raw(&[
+            &[1, 3, 4],
+            &[2, 3, 5],
+            &[1, 2, 3, 5],
+            &[2, 5],
+        ])
+    }
+
+    #[test]
+    fn textbook_example() {
+        let freq = apriori(&sample(), &AprioriConfig { min_support: 2, max_len: 0 });
+        // L1 = {1},{2},{3},{5}
+        assert_eq!(freq.level(1).unwrap().len(), 4);
+        assert_eq!(freq.support(&[item(1)]), Some(2));
+        assert_eq!(freq.support(&[item(4)]), None);
+        // L2 = {1,3},{2,3},{2,5},{3,5}
+        assert_eq!(freq.level(2).unwrap().len(), 4);
+        assert_eq!(freq.support(&[item(2), item(5)]), Some(3));
+        // L3 = {2,3,5}
+        assert_eq!(freq.level(3).unwrap().len(), 1);
+        assert_eq!(freq.support(&[item(2), item(3), item(5)]), Some(2));
+        assert_eq!(freq.max_size(), 3);
+        assert_eq!(freq.total(), 9);
+    }
+
+    #[test]
+    fn max_len_caps_levels() {
+        let freq = apriori(&sample(), &AprioriConfig { min_support: 2, max_len: 1 });
+        assert_eq!(freq.max_size(), 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let freq = apriori(&TransactionSet::new(), &AprioriConfig::default());
+        assert_eq!(freq.total(), 0);
+        assert!(freq.level(1).is_none());
+        assert!(freq.level(0).is_none());
+    }
+
+    #[test]
+    fn high_support_prunes_everything() {
+        let freq = apriori(&sample(), &AprioriConfig { min_support: 5, max_len: 0 });
+        assert_eq!(freq.total(), 0);
+    }
+
+    #[test]
+    fn support_is_transaction_count_not_occurrences() {
+        // Duplicate items in one transaction count once.
+        let mut tx = TransactionSet::new();
+        tx.push(vec![item(0), item(0)]);
+        tx.push(vec![item(0)]);
+        let freq = apriori(&tx, &AprioriConfig { min_support: 2, max_len: 0 });
+        assert_eq!(freq.support(&[item(0)]), Some(2));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_data() {
+        // Cross-check against a brute-force counter on a small random set.
+        use std::collections::BTreeSet;
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut tx = TransactionSet::new();
+        for _ in 0..40 {
+            let items: Vec<ItemId> =
+                (0..6).filter(|_| next() % 2 == 0).map(|i| item(i as u32)).collect();
+            tx.push(items);
+        }
+        let min_support = 5;
+        let freq = apriori(&tx, &AprioriConfig { min_support, max_len: 0 });
+        // Brute force: count all subsets of {0..5} of size <= 3.
+        let universe: Vec<ItemId> = (0..6).map(item).collect();
+        let mut brute: HashMap<Vec<ItemId>, u64> = HashMap::new();
+        for mask in 1u32..(1 << 6) {
+            let set: Vec<ItemId> = universe
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &v)| v)
+                .collect();
+            let count = tx
+                .transactions()
+                .iter()
+                .filter(|t| {
+                    let ts: BTreeSet<_> = t.iter().collect();
+                    set.iter().all(|i| ts.contains(i))
+                })
+                .count() as u64;
+            if count >= min_support {
+                brute.insert(set, count);
+            }
+        }
+        let apriori_all: HashMap<Vec<ItemId>, u64> =
+            freq.iter().map(|(k, v)| (k.clone(), v)).collect();
+        assert_eq!(apriori_all, brute);
+    }
+}

@@ -1,0 +1,44 @@
+//! # classic
+//!
+//! Baseline miners the paper builds on and compares against:
+//!
+//! * **Classical association rules** (Agrawal–Imielinski–Swami / AIS'93,
+//!   Agrawal–Srikant / AS'94): the [`apriori`] frequent-itemset miner over
+//!   [`transactions`], and confidence-based rule derivation in [`rules`].
+//!   This is the "Phase II" engine of the paper's Section 4.3.2 and the
+//!   comparison point of Theorems 5.1/5.2.
+//! * **Generalized (multi-level) association rules** over is-a item
+//!   taxonomies ([`hierarchy`], Srikant–Agrawal / Han–Fu, VLDB 1995) —
+//!   the paper's Section 1 alternative for taming large domains.
+//! * **Alternative classical miners** the paper surveys: the hash-filter
+//!   algorithm of Park–Chen–Yu ([`pcy`], SIGMOD 1995) and the two-pass
+//!   partitioned algorithm of Savasere–Omiecinski–Navathe
+//!   ([`partitioned`], VLDB 1995), both provably output-equivalent to
+//!   Apriori.
+//! * **Quantitative association rules** (Srikant–Agrawal, SIGMOD 1996): the
+//!   equi-depth [`partition`]ing with K-partial completeness, and the
+//!   [`qar`] miner mapping interval items over a relation. This is the
+//!   approach the paper's Figure 1 and Goal 1 critique.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apriori;
+pub mod hierarchy;
+pub mod partition;
+pub mod partitioned;
+pub mod pcy;
+pub mod qar;
+pub mod rules;
+pub mod transactions;
+
+pub use apriori::{apriori, AprioriConfig, FrequentItemsets};
+pub use hierarchy::{mine_generalized, GeneralizedConfig, Taxonomy};
+pub use partitioned::{partitioned, PartitionedConfig, PartitionedStats};
+pub use pcy::{pcy, PcyConfig, PcyStats};
+pub use partition::{
+    equi_depth, equi_depth_tie_aware, gap_partition, partial_completeness_intervals,
+};
+pub use qar::{mine_qar, QarConfig, QarRule};
+pub use rules::{generate_rules, AssocRule};
+pub use transactions::{is_subset, ItemId, TransactionSet};

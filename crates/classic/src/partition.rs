@@ -1,0 +1,210 @@
+//! Interval partitioning strategies for quantitative attributes.
+//!
+//! [`equi_depth`] is the Srikant–Agrawal (SIGMOD 1996) base partitioning the
+//! paper's Figure 1 critiques: it considers only the *ordinal* properties of
+//! the data, so close values can land in different intervals and distant
+//! values in the same one. [`gap_partition`] is the distance-aware
+//! alternative shown in Figure 1's right column. The full distance-based
+//! machinery (clusters with diameter/frequency thresholds) lives in the
+//! `mining` crate; `gap_partition` is the 1-D special case that suffices for
+//! the figure.
+
+use dar_core::Interval;
+
+/// Equi-depth partitioning: in value order, the first `depth` values form
+/// one interval, the next `depth` the second, and so on (Section 2 of the
+/// paper describing [SA96]). The input must be sorted ascending; duplicates
+/// are kept with multiplicity, exactly as a depth-based split sees them.
+///
+/// Returns the closed interval of each group. The last group may be smaller.
+///
+/// # Panics
+/// Panics if `depth == 0`.
+pub fn equi_depth(sorted_values: &[f64], depth: usize) -> Vec<Interval> {
+    assert!(depth > 0, "depth must be positive");
+    sorted_values
+        .chunks(depth)
+        .map(|chunk| Interval::new(chunk[0], chunk[chunk.len() - 1]))
+        .collect()
+}
+
+/// Tie-aware equi-depth partitioning: like [`equi_depth`], but every cut is
+/// extended past duplicates of the boundary value, so equal values never
+/// straddle two intervals. Returns the intervals together with their exact
+/// tuple counts. This is the mapping-consistent variant the QAR miner needs:
+/// with it, an interval's extension (tuples whose value falls inside it)
+/// equals its count.
+///
+/// # Panics
+/// Panics if `depth == 0`.
+pub fn equi_depth_tie_aware(sorted_values: &[f64], depth: usize) -> (Vec<Interval>, Vec<u64>) {
+    assert!(depth > 0, "depth must be positive");
+    let mut intervals = Vec::new();
+    let mut counts = Vec::new();
+    let n = sorted_values.len();
+    let mut start = 0usize;
+    while start < n {
+        let mut end = (start + depth).min(n);
+        // Extend past duplicates of the boundary value.
+        while end < n && sorted_values[end] == sorted_values[end - 1] {
+            end += 1;
+        }
+        intervals.push(Interval::new(sorted_values[start], sorted_values[end - 1]));
+        counts.push((end - start) as u64);
+        start = end;
+    }
+    (intervals, counts)
+}
+
+/// Distance-based 1-D partitioning: a new interval starts whenever the gap
+/// to the next value exceeds `max_gap`. This reproduces the "Distance-based"
+/// column of the paper's Figure 1 and honours Goal 1 (interval quality that
+/// reflects the distance between data points).
+///
+/// The input must be sorted ascending.
+///
+/// ```
+/// use classic::gap_partition;
+/// // The paper's Figure 1 salaries, in thousands.
+/// let parts = gap_partition(&[18.0, 30.0, 31.0, 80.0, 81.0, 82.0], 5.0);
+/// assert_eq!(parts.len(), 3);
+/// assert_eq!((parts[1].lo, parts[1].hi), (30.0, 31.0));
+/// assert_eq!((parts[2].lo, parts[2].hi), (80.0, 82.0));
+/// ```
+pub fn gap_partition(sorted_values: &[f64], max_gap: f64) -> Vec<Interval> {
+    let mut out = Vec::new();
+    let mut iter = sorted_values.iter().copied();
+    let Some(first) = iter.next() else {
+        return out;
+    };
+    let mut current = Interval::point(first);
+    let mut last = first;
+    for v in iter {
+        if v - last > max_gap {
+            out.push(current);
+            current = Interval::point(v);
+        } else {
+            current.extend(v);
+        }
+        last = v;
+    }
+    out.push(current);
+    out
+}
+
+/// The number of base intervals required for K-partial completeness under
+/// equi-depth partitioning (Srikant & Agrawal, SIGMOD 1996):
+/// `⌈2·m / (minsup · (K − 1))⌉`, where `m` is the number of quantitative
+/// attributes, `minsup` the minimum support as a fraction, and `K > 1` the
+/// partial completeness level.
+///
+/// # Panics
+/// Panics if `k <= 1` or `minsup_frac <= 0`.
+pub fn partial_completeness_intervals(num_attrs: usize, minsup_frac: f64, k: f64) -> usize {
+    assert!(k > 1.0, "partial completeness level must exceed 1");
+    assert!(minsup_frac > 0.0, "minimum support fraction must be positive");
+    (2.0 * num_attrs as f64 / (minsup_frac * (k - 1.0))).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The salary column of the paper's Figure 1.
+    const FIG1: [f64; 6] = [18_000.0, 30_000.0, 31_000.0, 80_000.0, 81_000.0, 82_000.0];
+
+    #[test]
+    fn figure1_equi_depth() {
+        // Depth 2 reproduces the left column: [18K,30K], [31K,80K], [81K,82K].
+        let parts = equi_depth(&FIG1, 2);
+        assert_eq!(
+            parts,
+            vec![
+                Interval::new(18_000.0, 30_000.0),
+                Interval::new(31_000.0, 80_000.0),
+                Interval::new(81_000.0, 82_000.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn figure1_distance_based() {
+        // A gap threshold between 2K and 12K reproduces the right column:
+        // [18K,18K], [30K,31K], [80K,82K].
+        let parts = gap_partition(&FIG1, 5_000.0);
+        assert_eq!(
+            parts,
+            vec![
+                Interval::point(18_000.0),
+                Interval::new(30_000.0, 31_000.0),
+                Interval::new(80_000.0, 82_000.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn equi_depth_uneven_tail() {
+        let parts = equi_depth(&[1.0, 2.0, 3.0, 4.0, 5.0], 2);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[2], Interval::point(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn equi_depth_rejects_zero_depth() {
+        equi_depth(&[1.0], 0);
+    }
+
+    #[test]
+    fn tie_aware_never_splits_duplicates() {
+        // Ages with heavy ties: depth 3 would cut inside the run of 21s.
+        let vals = [20.0, 20.0, 21.0, 21.0, 21.0, 21.0, 25.0];
+        let (ivs, counts) = equi_depth_tie_aware(&vals, 3);
+        assert_eq!(counts.iter().sum::<u64>(), vals.len() as u64);
+        // No value appears in two intervals.
+        for w in ivs.windows(2) {
+            assert!(w[0].hi < w[1].lo, "{w:?}");
+        }
+        // Counts equal the interval extensions.
+        for (iv, &c) in ivs.iter().zip(&counts) {
+            let ext = vals.iter().filter(|v| iv.contains(**v)).count() as u64;
+            assert_eq!(ext, c);
+        }
+    }
+
+    #[test]
+    fn tie_aware_matches_plain_on_distinct_values() {
+        let (ivs, counts) = equi_depth_tie_aware(&FIG1, 2);
+        assert_eq!(ivs, equi_depth(&FIG1, 2));
+        assert_eq!(counts, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn gap_partition_edges() {
+        assert!(gap_partition(&[], 1.0).is_empty());
+        assert_eq!(gap_partition(&[3.0], 1.0), vec![Interval::point(3.0)]);
+        // All in one group with a huge gap allowance.
+        assert_eq!(gap_partition(&FIG1, 1e9).len(), 1);
+        // Every value separate with zero gap allowance (all gaps > 0).
+        assert_eq!(gap_partition(&FIG1, 0.0).len(), 6);
+        // Duplicates never split (gap 0 ≤ any non-negative max_gap).
+        assert_eq!(gap_partition(&[1.0, 1.0, 1.0], 0.0).len(), 1);
+    }
+
+    #[test]
+    fn partial_completeness_formula() {
+        // SA96 running example: m=2 attrs, minsup 40%, K=1.5 → 2*2/(0.4*0.5)=20.
+        assert_eq!(partial_completeness_intervals(2, 0.4, 1.5), 20);
+        // Finer completeness (smaller K) needs more intervals.
+        assert!(
+            partial_completeness_intervals(2, 0.4, 1.1)
+                > partial_completeness_intervals(2, 0.4, 2.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "partial completeness level")]
+    fn partial_completeness_rejects_k_of_one() {
+        partial_completeness_intervals(1, 0.1, 1.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! The two-pass partitioned miner of Savasere, Omiecinski & Navathe
+//! (VLDB 1995) — `[SON95]` in the paper's survey.
+//!
+//! Pass 1 splits the transactions into `k` chunks and mines each chunk
+//! locally at a proportionally scaled support threshold; the union of local
+//! frequent itemsets is the global candidate set (any globally frequent
+//! itemset must be locally frequent in at least one chunk, by pigeonhole).
+//! Pass 2 counts the candidates exactly. Results are identical to
+//! Apriori's; only the scan behaviour differs (two sequential passes,
+//! bounded memory per chunk).
+
+use crate::apriori::{apriori, AprioriConfig, FrequentItemsets};
+use crate::transactions::{is_subset, ItemId, TransactionSet};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration for the partitioned miner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionedConfig {
+    /// Absolute minimum support `s0` over the whole transaction set.
+    pub min_support: u64,
+    /// Stop after itemsets of this size (0 = unbounded).
+    pub max_len: usize,
+    /// Number of chunks for the first pass.
+    pub num_partitions: usize,
+}
+
+impl Default for PartitionedConfig {
+    fn default() -> Self {
+        PartitionedConfig { min_support: 1, max_len: 0, num_partitions: 4 }
+    }
+}
+
+/// Statistics of the first pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionedStats {
+    /// Distinct global candidates produced by the local passes.
+    pub candidates: usize,
+    /// Candidates that turned out globally frequent.
+    pub confirmed: usize,
+}
+
+/// Runs the partitioned algorithm. Returns the frequent itemsets
+/// (identical to Apriori's) plus pass-1 statistics.
+pub fn partitioned(
+    tx: &TransactionSet,
+    config: &PartitionedConfig,
+) -> (FrequentItemsets, PartitionedStats) {
+    let mut result = FrequentItemsets::default();
+    let mut stats = PartitionedStats { candidates: 0, confirmed: 0 };
+    let n = tx.len();
+    if n == 0 || config.num_partitions == 0 {
+        return (result, stats);
+    }
+    let k = config.num_partitions.min(n);
+    let chunk = n.div_ceil(k);
+    let support_frac = config.min_support as f64 / n as f64;
+
+    // Pass 1: local mining per chunk; union of local frequent itemsets.
+    let mut candidates: HashSet<Vec<ItemId>> = HashSet::new();
+    for part in tx.transactions().chunks(chunk) {
+        let mut local = TransactionSet::new();
+        for t in part {
+            local.push(t.clone());
+        }
+        // Local threshold: same support *fraction* over the chunk,
+        // rounded down so borderline itemsets are never missed.
+        let local_support = ((support_frac * part.len() as f64).floor() as u64).max(1);
+        let freq = apriori(
+            &local,
+            &AprioriConfig { min_support: local_support, max_len: config.max_len },
+        );
+        for (itemset, _) in freq.iter() {
+            candidates.insert(itemset.clone());
+        }
+    }
+    stats.candidates = candidates.len();
+
+    // Pass 2: exact global counting of all candidates.
+    let mut counts: HashMap<Vec<ItemId>, u64> =
+        candidates.into_iter().map(|c| (c, 0)).collect();
+    for t in tx.transactions() {
+        for (itemset, count) in counts.iter_mut() {
+            if is_subset(itemset, t) {
+                *count += 1;
+            }
+        }
+    }
+
+    // Assemble by level.
+    let max_size = counts.keys().map(Vec::len).max().unwrap_or(0);
+    for size in 1..=max_size {
+        let level: HashMap<Vec<ItemId>, u64> = counts
+            .iter()
+            .filter(|(k, &c)| k.len() == size && c >= config.min_support)
+            .map(|(k, &c)| (k.clone(), c))
+            .collect();
+        if level.is_empty() {
+            break;
+        }
+        stats.confirmed += level.len();
+        result.push_level(level);
+    }
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TransactionSet {
+        TransactionSet::from_raw(&[
+            &[1, 3, 4],
+            &[2, 3, 5],
+            &[1, 2, 3, 5],
+            &[2, 5],
+        ])
+    }
+
+    fn collect(f: &FrequentItemsets) -> Vec<(Vec<ItemId>, u64)> {
+        let mut v: Vec<(Vec<ItemId>, u64)> =
+            f.iter().map(|(k, c)| (k.clone(), c)).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn matches_apriori_on_the_textbook_example() {
+        for parts in [1, 2, 3, 4] {
+            let (freq, stats) = partitioned(
+                &sample(),
+                &PartitionedConfig { min_support: 2, max_len: 0, num_partitions: parts },
+            );
+            let reference =
+                apriori(&sample(), &AprioriConfig { min_support: 2, max_len: 0 });
+            assert_eq!(collect(&freq), collect(&reference), "parts {parts}");
+            assert!(stats.candidates >= stats.confirmed);
+        }
+    }
+
+    #[test]
+    fn matches_apriori_on_random_data() {
+        let mut seed = 0xFEEDu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..10 {
+            let mut tx = TransactionSet::new();
+            for _ in 0..80 {
+                let items: Vec<ItemId> =
+                    (0..9).filter(|_| next() % 3 == 0).map(ItemId).collect();
+                tx.push(items);
+            }
+            let min_support = 5 + trial % 6;
+            let (freq, _) = partitioned(
+                &tx,
+                &PartitionedConfig {
+                    min_support,
+                    max_len: 0,
+                    num_partitions: 1 + (trial % 5) as usize,
+                },
+            );
+            let reference =
+                apriori(&tx, &AprioriConfig { min_support, max_len: 0 });
+            assert_eq!(collect(&freq), collect(&reference), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let (freq, _) = partitioned(&TransactionSet::new(), &PartitionedConfig::default());
+        assert_eq!(freq.total(), 0);
+        let (freq, _) = partitioned(
+            &sample(),
+            &PartitionedConfig { num_partitions: 0, ..PartitionedConfig::default() },
+        );
+        assert_eq!(freq.total(), 0);
+        // More partitions than transactions degrades to per-transaction
+        // chunks but stays correct.
+        let (freq, _) = partitioned(
+            &sample(),
+            &PartitionedConfig { min_support: 2, max_len: 0, num_partitions: 99 },
+        );
+        let reference = apriori(&sample(), &AprioriConfig { min_support: 2, max_len: 0 });
+        assert_eq!(collect(&freq), collect(&reference));
+    }
+}

@@ -1,0 +1,234 @@
+//! The hash-based candidate-pruning algorithm of Park, Chen & Yu
+//! (SIGMOD 1995) — `[PCY95]` in the paper's survey of classical
+//! association-rule miners (Section 1).
+//!
+//! During the first scan, every item *pair* in every transaction is hashed
+//! into a bucket counter. A candidate 2-itemset can only be frequent if its
+//! bucket total reaches the support threshold, so the (usually enormous)
+//! candidate-pair set is pruned before the second scan. Levels ≥ 3 proceed
+//! exactly like Apriori. The output is identical to [`apriori`]'s — only
+//! the candidate space differs — which the tests verify.
+//!
+//! [`apriori`]: crate::apriori::apriori
+
+use crate::apriori::{AprioriConfig, FrequentItemsets};
+use crate::transactions::{ItemId, TransactionSet};
+use std::collections::HashMap;
+
+/// Configuration for a PCY run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcyConfig {
+    /// Absolute minimum support `s0`.
+    pub min_support: u64,
+    /// Stop after itemsets of this size (0 = unbounded).
+    pub max_len: usize,
+    /// Number of hash buckets for the pair-counting filter.
+    pub num_buckets: usize,
+}
+
+impl Default for PcyConfig {
+    fn default() -> Self {
+        PcyConfig { min_support: 1, max_len: 0, num_buckets: 1 << 16 }
+    }
+}
+
+/// Statistics of the hash filter — how much candidate-space the bitmap
+/// pruned (reported so benchmarks can show the PCY effect).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcyStats {
+    /// Candidate pairs that survived both the Apriori join and the bucket
+    /// filter.
+    pub candidates_kept: usize,
+    /// Candidate pairs rejected by the bucket filter alone.
+    pub candidates_pruned: usize,
+    /// Buckets whose total reached the support threshold.
+    pub frequent_buckets: usize,
+}
+
+/// Deterministic pair-to-bucket hash (a 64-bit mix of both item ids).
+fn bucket_of(a: ItemId, b: ItemId, num_buckets: usize) -> usize {
+    let mut x = ((a.0 as u64) << 32) | b.0 as u64;
+    // SplitMix64 finalizer: cheap, well-distributed, stable across runs.
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^= x >> 31;
+    (x % num_buckets as u64) as usize
+}
+
+/// Runs PCY over `tx`. Returns the frequent itemsets (identical to
+/// Apriori's) and the hash-filter statistics.
+pub fn pcy(tx: &TransactionSet, config: &PcyConfig) -> (FrequentItemsets, PcyStats) {
+    let mut result = FrequentItemsets::default();
+    let mut stats =
+        PcyStats { candidates_kept: 0, candidates_pruned: 0, frequent_buckets: 0 };
+    if tx.is_empty() || config.num_buckets == 0 {
+        return (result, stats);
+    }
+
+    // Scan 1: item counts + pair-bucket counts in the same pass.
+    let mut counts = vec![0u64; tx.num_items() as usize];
+    let mut buckets = vec![0u64; config.num_buckets];
+    for t in tx.transactions() {
+        for item in t {
+            counts[item.0 as usize] += 1;
+        }
+        for i in 0..t.len() {
+            for j in (i + 1)..t.len() {
+                buckets[bucket_of(t[i], t[j], config.num_buckets)] += 1;
+            }
+        }
+    }
+    stats.frequent_buckets =
+        buckets.iter().filter(|&&b| b >= config.min_support).count();
+
+    let l1: Vec<ItemId> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c >= config.min_support)
+        .map(|(i, _)| ItemId(i as u32))
+        .collect();
+    let level1: HashMap<Vec<ItemId>, u64> = l1
+        .iter()
+        .map(|&i| (vec![i], counts[i.0 as usize]))
+        .collect();
+    if level1.is_empty() {
+        return (result, stats);
+    }
+    result.push_level(level1);
+    if config.max_len == 1 {
+        return (result, stats);
+    }
+
+    // Level 2 with the bucket filter: join frequent items pairwise, keep
+    // only pairs in frequent buckets, then count exactly.
+    let mut candidates: HashMap<Vec<ItemId>, u64> = HashMap::new();
+    for i in 0..l1.len() {
+        for j in (i + 1)..l1.len() {
+            let (a, b) = (l1[i], l1[j]);
+            if buckets[bucket_of(a, b, config.num_buckets)] >= config.min_support {
+                candidates.insert(vec![a, b], 0);
+                stats.candidates_kept += 1;
+            } else {
+                stats.candidates_pruned += 1;
+            }
+        }
+    }
+    for t in tx.transactions() {
+        for i in 0..t.len() {
+            for j in (i + 1)..t.len() {
+                if let Some(c) = candidates.get_mut(&[t[i], t[j]] as &[ItemId]) {
+                    *c += 1;
+                }
+            }
+        }
+    }
+    let level2: HashMap<Vec<ItemId>, u64> = candidates
+        .into_iter()
+        .filter(|&(_, c)| c >= config.min_support)
+        .collect();
+    if level2.is_empty() {
+        return (result, stats);
+    }
+    result.push_level(level2);
+
+    // Levels ≥ 3: continue with the standard Apriori machinery, seeded
+    // from the PCY level-2 result.
+    let tail = crate::apriori::continue_from(
+        tx,
+        &result,
+        &AprioriConfig { min_support: config.min_support, max_len: config.max_len },
+    );
+    for level in tail {
+        result.push_level(level);
+    }
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::apriori;
+
+    fn sample() -> TransactionSet {
+        TransactionSet::from_raw(&[
+            &[1, 3, 4],
+            &[2, 3, 5],
+            &[1, 2, 3, 5],
+            &[2, 5],
+        ])
+    }
+
+    #[test]
+    fn matches_apriori_on_the_textbook_example() {
+        let cfg = PcyConfig { min_support: 2, max_len: 0, num_buckets: 64 };
+        let (freq, stats) = pcy(&sample(), &cfg);
+        let reference = apriori(
+            &sample(),
+            &AprioriConfig { min_support: 2, max_len: 0 },
+        );
+        assert_eq!(collect(&freq), collect(&reference));
+        assert!(stats.frequent_buckets > 0);
+        assert_eq!(
+            stats.candidates_kept + stats.candidates_pruned,
+            4 * 3 / 2, // C(|L1|, 2) with |L1| = 4
+        );
+    }
+
+    #[test]
+    fn tiny_bucket_count_still_correct_just_less_pruning() {
+        // One bucket: everything collides, nothing pruned, result identical.
+        let cfg = PcyConfig { min_support: 2, max_len: 0, num_buckets: 1 };
+        let (freq, stats) = pcy(&sample(), &cfg);
+        let reference = apriori(
+            &sample(),
+            &AprioriConfig { min_support: 2, max_len: 0 },
+        );
+        assert_eq!(collect(&freq), collect(&reference));
+        assert_eq!(stats.candidates_pruned, 0);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let (freq, _) = pcy(&TransactionSet::new(), &PcyConfig::default());
+        assert_eq!(freq.total(), 0);
+        let (freq, _) = pcy(&sample(), &PcyConfig { num_buckets: 0, ..PcyConfig::default() });
+        assert_eq!(freq.total(), 0);
+        let (freq, _) =
+            pcy(&sample(), &PcyConfig { min_support: 2, max_len: 1, num_buckets: 8 });
+        assert_eq!(freq.max_size(), 1);
+    }
+
+    #[test]
+    fn matches_apriori_on_random_data() {
+        let mut seed = 0xC0FFEEu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..10 {
+            let mut tx = TransactionSet::new();
+            for _ in 0..60 {
+                let items: Vec<ItemId> =
+                    (0..10).filter(|_| next() % 3 == 0).map(ItemId).collect();
+                tx.push(items);
+            }
+            let min_support = 4 + trial % 5;
+            let (freq, _) = pcy(
+                &tx,
+                &PcyConfig { min_support, max_len: 0, num_buckets: 32 },
+            );
+            let reference =
+                apriori(&tx, &AprioriConfig { min_support, max_len: 0 });
+            assert_eq!(collect(&freq), collect(&reference), "trial {trial}");
+        }
+    }
+
+    fn collect(f: &FrequentItemsets) -> Vec<(Vec<ItemId>, u64)> {
+        let mut v: Vec<(Vec<ItemId>, u64)> =
+            f.iter().map(|(k, c)| (k.clone(), c)).collect();
+        v.sort();
+        v
+    }
+}

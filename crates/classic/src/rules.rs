@@ -1,0 +1,136 @@
+//! Rule derivation from frequent itemsets: `X ⇒ Y` holds with confidence
+//! `supp(X ∪ Y)/supp(X)` (Section 1 of the paper).
+
+use crate::apriori::FrequentItemsets;
+use crate::transactions::ItemId;
+
+/// A classical association rule with its interest measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssocRule {
+    /// Sorted antecedent itemset (`C1`).
+    pub antecedent: Vec<ItemId>,
+    /// Sorted consequent itemset (`C2`).
+    pub consequent: Vec<ItemId>,
+    /// Absolute support count of `antecedent ∪ consequent`.
+    pub support: u64,
+    /// `supp(X ∪ Y) / supp(X)`.
+    pub confidence: f64,
+}
+
+/// Derives every rule with confidence at least `min_confidence` from the
+/// frequent itemsets: each frequent itemset of size ≥ 2 is split into every
+/// non-empty antecedent/consequent bipartition.
+pub fn generate_rules(freq: &FrequentItemsets, min_confidence: f64) -> Vec<AssocRule> {
+    let mut rules = Vec::new();
+    for (itemset, support) in freq.iter() {
+        let k = itemset.len();
+        if k < 2 {
+            continue;
+        }
+        // Enumerate non-empty proper subsets as antecedents via bitmask.
+        // Frequent itemsets are small (k ≤ ~10), so 2^k is fine.
+        for mask in 1u32..((1 << k) - 1) {
+            let mut antecedent = Vec::with_capacity(k);
+            let mut consequent = Vec::with_capacity(k);
+            for (i, &item) in itemset.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    antecedent.push(item);
+                } else {
+                    consequent.push(item);
+                }
+            }
+            let ant_support = freq
+                .support(&antecedent)
+                .expect("subsets of frequent itemsets are frequent");
+            let confidence = support as f64 / ant_support as f64;
+            if confidence >= min_confidence {
+                rules.push(AssocRule { antecedent, consequent, support, confidence });
+            }
+        }
+    }
+    // Deterministic output order regardless of hash-map iteration.
+    rules.sort_by(|a, b| {
+        a.antecedent
+            .cmp(&b.antecedent)
+            .then(a.consequent.cmp(&b.consequent))
+    });
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::{apriori, AprioriConfig};
+    use crate::transactions::TransactionSet;
+
+    fn item(i: u32) -> ItemId {
+        ItemId(i)
+    }
+
+    fn mined() -> FrequentItemsets {
+        let tx = TransactionSet::from_raw(&[
+            &[1, 3, 4],
+            &[2, 3, 5],
+            &[1, 2, 3, 5],
+            &[2, 5],
+        ]);
+        apriori(&tx, &AprioriConfig { min_support: 2, max_len: 0 })
+    }
+
+    #[test]
+    fn rule_confidences_match_hand_computation() {
+        let rules = generate_rules(&mined(), 0.0);
+        let find = |ant: &[u32], cons: &[u32]| {
+            let a: Vec<ItemId> = ant.iter().map(|&i| item(i)).collect();
+            let c: Vec<ItemId> = cons.iter().map(|&i| item(i)).collect();
+            rules
+                .iter()
+                .find(|r| r.antecedent == a && r.consequent == c)
+                .cloned()
+        };
+        // supp{2,5}=3, supp{2}=3 → conf(2⇒5)=1.0
+        let r = find(&[2], &[5]).unwrap();
+        assert!((r.confidence - 1.0).abs() < 1e-12);
+        assert_eq!(r.support, 3);
+        // supp{3,5}=2, supp{3}=3 → conf(3⇒5)=2/3
+        let r = find(&[3], &[5]).unwrap();
+        assert!((r.confidence - 2.0 / 3.0).abs() < 1e-12);
+        // 3-itemset rule: {3,5}⇒{2}: supp{2,3,5}=2, supp{3,5}=2 → 1.0
+        let r = find(&[3, 5], &[2]).unwrap();
+        assert!((r.confidence - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_confidence_filters() {
+        let all = generate_rules(&mined(), 0.0);
+        let strict = generate_rules(&mined(), 1.0);
+        assert!(strict.len() < all.len());
+        assert!(strict.iter().all(|r| r.confidence >= 1.0));
+    }
+
+    #[test]
+    fn no_rules_from_singletons() {
+        let tx = TransactionSet::from_raw(&[&[1], &[2]]);
+        let freq = apriori(&tx, &AprioriConfig { min_support: 1, max_len: 0 });
+        assert!(generate_rules(&freq, 0.0).is_empty());
+    }
+
+    #[test]
+    fn output_is_sorted_and_exhaustive() {
+        let rules = generate_rules(&mined(), 0.0);
+        // Every frequent k-itemset (k≥2) yields 2^k − 2 rules at conf ≥ 0.
+        let expected: usize = mined()
+            .iter()
+            .filter(|(s, _)| s.len() >= 2)
+            .map(|(s, _)| (1usize << s.len()) - 2)
+            .sum();
+        assert_eq!(rules.len(), expected);
+        let mut sorted = rules.clone();
+        sorted.sort_by(|a, b| {
+            a.antecedent
+                .cmp(&b.antecedent)
+                .then(a.consequent.cmp(&b.consequent))
+        });
+        assert_eq!(rules, sorted);
+    }
+}

@@ -1,0 +1,119 @@
+//! Items and transaction sets — the input format of the Apriori miner.
+
+use std::fmt;
+
+/// A dense item identifier. Items are whatever the caller encodes: boolean
+/// attributes, `(attribute, value)` pairs, interval items (QAR), or clusters
+/// (the paper's Dfn 4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ItemId(pub u32);
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// A set of transactions, each a sorted, deduplicated list of items.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TransactionSet {
+    transactions: Vec<Vec<ItemId>>,
+    num_items: u32,
+}
+
+impl TransactionSet {
+    /// Creates an empty transaction set.
+    pub fn new() -> Self {
+        TransactionSet::default()
+    }
+
+    /// Adds a transaction; the item list is sorted and deduplicated.
+    pub fn push(&mut self, mut items: Vec<ItemId>) {
+        items.sort_unstable();
+        items.dedup();
+        if let Some(max) = items.last() {
+            self.num_items = self.num_items.max(max.0 + 1);
+        }
+        self.transactions.push(items);
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether there are no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// One more than the largest item id seen (the item-id domain size).
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+
+    /// The transactions.
+    pub fn transactions(&self) -> &[Vec<ItemId>] {
+        &self.transactions
+    }
+
+    /// Builds a transaction set from raw `u32` item lists (test/demo sugar).
+    pub fn from_raw(raw: &[&[u32]]) -> Self {
+        let mut tx = TransactionSet::new();
+        for items in raw {
+            tx.push(items.iter().map(|&i| ItemId(i)).collect());
+        }
+        tx
+    }
+}
+
+/// Whether sorted `needle` is a subset of sorted `haystack` (merge scan).
+/// Useful for verifying rule extensions against transactions.
+pub fn is_subset(needle: &[ItemId], haystack: &[ItemId]) -> bool {
+    let mut h = haystack.iter();
+    'outer: for n in needle {
+        for x in h.by_ref() {
+            match x.cmp(n) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_sorts_and_dedups() {
+        let mut tx = TransactionSet::new();
+        tx.push(vec![ItemId(3), ItemId(1), ItemId(3)]);
+        assert_eq!(tx.transactions()[0], vec![ItemId(1), ItemId(3)]);
+        assert_eq!(tx.num_items(), 4);
+        assert_eq!(tx.len(), 1);
+        assert!(!tx.is_empty());
+    }
+
+    #[test]
+    fn from_raw_roundtrip() {
+        let tx = TransactionSet::from_raw(&[&[0, 1], &[2]]);
+        assert_eq!(tx.len(), 2);
+        assert_eq!(tx.num_items(), 3);
+    }
+
+    #[test]
+    fn subset_merge_scan() {
+        let hay: Vec<ItemId> = [1u32, 3, 5, 9].iter().map(|&i| ItemId(i)).collect();
+        let sub: Vec<ItemId> = [3u32, 9].iter().map(|&i| ItemId(i)).collect();
+        let not: Vec<ItemId> = [3u32, 4].iter().map(|&i| ItemId(i)).collect();
+        assert!(is_subset(&sub, &hay));
+        assert!(!is_subset(&not, &hay));
+        assert!(is_subset(&[], &hay));
+        assert!(!is_subset(&sub, &[]));
+        assert!(is_subset(&hay, &hay));
+    }
+}

@@ -1,0 +1,98 @@
+//! A tiny `--flag value` argument parser (no positional arguments, no
+//! dependencies).
+
+use crate::CliError;
+use std::collections::HashMap;
+
+/// Parsed flags: every argument must come as `--name value` except the
+/// boolean switches, which stand alone (`--rescan`).
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Flags that take no value.
+const SWITCHES: &[&str] = &["rescan", "refine"];
+
+/// Parses `--flag value` pairs.
+pub fn parse(argv: &[String]) -> Result<Args, CliError> {
+    let mut args = Args::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let token = &argv[i];
+        let Some(name) = token.strip_prefix("--") else {
+            return Err(CliError::new(format!("expected --flag, got {token:?}")));
+        };
+        if SWITCHES.contains(&name) {
+            args.switches.push(name.to_string());
+            i += 1;
+            continue;
+        }
+        let Some(value) = argv.get(i + 1) else {
+            return Err(CliError::new(format!("flag --{name} needs a value")));
+        };
+        args.values.insert(name.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(args)
+}
+
+impl Args {
+    /// A required string flag.
+    pub fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.values
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::new(format!("missing required flag --{name}")))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// An optional numeric flag with a default.
+    pub fn number<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::new(format!("--{name}: cannot parse {raw:?}"))),
+        }
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_numbers_and_switches() {
+        let a = parse(&argv(&["--rows", "100", "--out", "x.csv", "--rescan"])).unwrap();
+        assert_eq!(a.required("out").unwrap(), "x.csv");
+        assert_eq!(a.number::<usize>("rows", 0).unwrap(), 100);
+        assert_eq!(a.number::<f64>("support", 0.5).unwrap(), 0.5);
+        assert!(a.switch("rescan"));
+        assert!(!a.switch("refine"));
+        assert_eq!(a.optional("nope"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(&argv(&["rows", "100"])).is_err());
+        assert!(parse(&argv(&["--rows"])).is_err());
+        let a = parse(&argv(&["--rows", "abc"])).unwrap();
+        assert!(a.number::<usize>("rows", 0).is_err());
+        assert!(a.required("out").is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! `dar mine` — the full two-phase DAR pipeline over a CSV relation.
+
+use crate::args::Args;
+use crate::commands::{default_partitioning, load};
+use crate::CliError;
+use dar_core::suggest_initial_thresholds;
+use mining::describe::{describe_rule, rules_to_tsv};
+use mining::{ClusterDistance, DarConfig, DarMiner};
+use std::fmt::Write as _;
+
+/// Runs the command.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let relation = load(args.required("input")?)?;
+    let partitioning = default_partitioning(&relation);
+
+    let support: f64 = args.number("support", 0.05)?;
+    let threshold_frac: f64 = args.number("threshold-frac", 0.05)?;
+    let memory_kb: usize = args.number("memory-kb", 1024)?;
+    let density_factor: f64 = args.number("density-factor", 1.5)?;
+    let degree_factor: f64 = args.number("degree-factor", 2.0)?;
+    let top: usize = args.number("top", 20)?;
+    let metric = match args.optional("metric").unwrap_or("d2") {
+        "d0" => ClusterDistance::D0,
+        "d1" => ClusterDistance::D1,
+        "d2" => ClusterDistance::D2,
+        other => {
+            return Err(CliError::new(format!(
+                "unknown metric {other:?} (expected d0, d1, or d2)"
+            )))
+        }
+    };
+
+    let thresholds = suggest_initial_thresholds(&relation, &partitioning, threshold_frac)?;
+    let mut config = DarConfig {
+        initial_thresholds: Some(thresholds),
+        min_support_frac: support,
+        phase2_density_factor: density_factor,
+        degree_factor,
+        metric,
+        rescan_candidate_frequency: args.switch("rescan"),
+        refine_clusters: args.switch("refine"),
+        max_antecedent: args.number("max-antecedent", 2)?,
+        max_consequent: args.number("max-consequent", 1)?,
+        ..DarConfig::default()
+    };
+    config.birch.memory_budget = memory_kb << 10;
+
+    let result = DarMiner::new(config).mine(&relation, &partitioning).expect("valid partitioning");
+    let s = &result.stats;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "phase I  {:>8.3}s  {} clusters ({} frequent at s0={})",
+        s.phase1.as_secs_f64(),
+        s.clusters_total,
+        s.clusters_frequent,
+        s.s0,
+    );
+    let _ = writeln!(
+        out,
+        "phase II {:>8.3}s  {} edges, {} cliques ({} non-trivial), {} rules{}",
+        s.phase2.as_secs_f64(),
+        s.graph_edges,
+        s.cliques,
+        s.nontrivial_cliques,
+        s.rules,
+        if s.rules_truncated { " (truncated)" } else { "" },
+    );
+    let _ = writeln!(out);
+    for (i, rule) in result.rules.iter().take(top).enumerate() {
+        let freq = result
+            .rule_frequencies
+            .get(i)
+            .map(|f| format!("  [frequency {f}]"))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{}{freq}",
+            describe_rule(rule, result.graph.clusters(), relation.schema(), &partitioning)
+        );
+    }
+    if result.rules.len() > top {
+        let _ = writeln!(out, "… {} more rules", result.rules.len() - top);
+    }
+    if let Some(path) = args.optional("out") {
+        let tsv = rules_to_tsv(
+            &result.rules,
+            &result.rule_frequencies,
+            result.graph.clusters(),
+            relation.schema(),
+            &partitioning,
+        );
+        std::fs::write(path, tsv)?;
+        let _ = writeln!(out, "wrote {} rules to {path}", result.rules.len());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn with_csv(test: &str, f: impl FnOnce(&str)) {
+        let dir = std::env::temp_dir().join(format!("dar_cli_mine_{test}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("ins.csv");
+        let relation = datagen::insurance::insurance_relation(3_000, 3);
+        datagen::csv::write_csv(&relation, &csv).unwrap();
+        f(csv.to_str().unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mines_rules_with_rescan() {
+        with_csv("rescan", |csv| {
+            let a = parse(&argv(&[
+                "--input", csv, "--support", "0.1", "--threshold-frac", "0.1",
+                "--top", "3", "--rescan",
+            ]))
+            .unwrap();
+            let out = run(&a).unwrap();
+            assert!(out.contains("phase I"), "{out}");
+            assert!(out.contains('⇒'), "{out}");
+            assert!(out.contains("frequency"), "{out}");
+        });
+    }
+
+    #[test]
+    fn out_flag_writes_tsv() {
+        with_csv("out", |csv| {
+            let tsv_path = std::env::temp_dir().join("dar_cli_mine_out/rules.tsv");
+            let a = parse(&argv(&[
+                "--input", csv, "--support", "0.1", "--threshold-frac", "0.1",
+                "--out", tsv_path.to_str().unwrap(),
+            ]))
+            .unwrap();
+            let out = run(&a).unwrap();
+            assert!(out.contains("wrote"), "{out}");
+            let tsv = std::fs::read_to_string(&tsv_path).unwrap();
+            assert!(tsv.starts_with("antecedent\tconsequent"));
+            assert!(tsv.lines().count() >= 2);
+        });
+    }
+
+    #[test]
+    fn metric_flag_is_validated() {
+        with_csv("metric", |csv| {
+            let a = parse(&argv(&["--input", csv, "--metric", "d7"])).unwrap();
+            assert!(run(&a).is_err());
+            let a = parse(&argv(&[
+                "--input", csv, "--metric", "d1", "--threshold-frac", "0.1",
+            ]))
+            .unwrap();
+            assert!(run(&a).is_ok());
+        });
+    }
+}

@@ -1,0 +1,72 @@
+//! `dar stats` — per-column descriptive statistics of a CSV relation.
+
+use crate::args::Args;
+use crate::commands::load;
+use crate::CliError;
+use dar_core::ColumnStats;
+use std::fmt::Write as _;
+
+/// Runs the command.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let relation = load(args.required("input")?)?;
+    let mut out = format!(
+        "{} rows × {} attributes\n\n{:<24} {:>10} {:>12} {:>12} {:>12} {:>12} {:>9}\n",
+        relation.len(),
+        relation.schema().arity(),
+        "attribute",
+        "kind",
+        "min",
+        "max",
+        "mean",
+        "std dev",
+        "distinct",
+    );
+    for (id, attr) in relation.schema().iter() {
+        let s = ColumnStats::of_column(&relation, id)?;
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>9}",
+            attr.name,
+            format!("{:?}", attr.kind).to_lowercase(),
+            s.min,
+            s.max,
+            s.mean,
+            s.std_dev,
+            s.distinct,
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    #[test]
+    fn prints_every_attribute() {
+        let dir = std::env::temp_dir().join("dar_cli_stats_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("ins.csv");
+        let relation = datagen::insurance::insurance_relation(500, 3);
+        datagen::csv::write_csv(&relation, &csv).unwrap();
+        let a = parse(&[
+            "--input".to_string(),
+            csv.to_str().unwrap().to_string(),
+        ])
+        .unwrap();
+        let out = run(&a).unwrap();
+        assert!(out.contains("500 rows"));
+        for name in ["Age", "Dependents", "Claims"] {
+            assert!(out.contains(name), "{out}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let a = parse(&["--input".to_string(), "/nonexistent/x.csv".to_string()]).unwrap();
+        let err = run(&a).unwrap_err();
+        assert!(err.to_string().contains("x.csv"));
+    }
+}

@@ -1,0 +1,149 @@
+//! # dar-cli
+//!
+//! The `dar` command-line tool: generate workloads, inspect columns,
+//! cluster, and mine distance-based association rules over CSV files.
+//!
+//! ```text
+//! dar generate --workload insurance --rows 10000 --seed 7 --out data.csv
+//! dar stats    --input data.csv
+//! dar cluster  --input data.csv --threshold-frac 0.05
+//! dar mine     --input data.csv --support 0.08 --threshold-frac 0.05 --top 10
+//! ```
+//!
+//! All command logic lives in this library (returning the output as a
+//! `String`) so it is unit-testable; `main` only parses `std::env::args`
+//! and prints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use std::fmt;
+
+/// A CLI-level error: message plus the exit code `main` should use.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl CliError {
+    /// Creates an error from any displayable message.
+    pub fn new(message: impl Into<String>) -> Self {
+        CliError { message: message.into() }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::new(e.to_string())
+    }
+}
+
+impl From<dar_core::CoreError> for CliError {
+    fn from(e: dar_core::CoreError) -> Self {
+        CliError::new(e.to_string())
+    }
+}
+
+/// Dispatches a full argument vector (excluding the program name) to the
+/// matching command and returns its printable output.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = argv.split_first() else {
+        return Ok(usage());
+    };
+    match command.as_str() {
+        "generate" => commands::generate::run(&args::parse(rest)?),
+        "stats" => commands::stats::run(&args::parse(rest)?),
+        "cluster" => commands::cluster::run(&args::parse(rest)?),
+        "mine" => commands::mine::run(&args::parse(rest)?),
+        "rules" => commands::rules::run(&args::parse(rest)?),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError::new(format!(
+            "unknown command {other:?}; run `dar help` for usage"
+        ))),
+    }
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "dar — distance-based association rules over interval data\n\
+     \n\
+     USAGE: dar <command> [--flag value ...]\n\
+     \n\
+     COMMANDS\n\
+       generate  --workload wbcd|insurance|grid --rows N [--seed S]\n\
+                 [--outliers F] --out FILE.csv\n\
+       stats     --input FILE.csv\n\
+       cluster   --input FILE.csv [--threshold-frac F] [--memory-kb K]\n\
+       mine      --input FILE.csv [--support F] [--threshold-frac F]\n\
+                 [--memory-kb K] [--metric d0|d1|d2] [--density-factor F]\n\
+                 [--degree-factor F] [--top N] [--rescan] [--out RULES.tsv]\n\
+       help      this text\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_and_help_print_usage() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&argv(&["help"])).unwrap().contains("COMMANDS"));
+        assert!(run(&argv(&["--help"])).unwrap().contains("COMMANDS"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = run(&argv(&["frobnicate"])).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn full_generate_stats_mine_flow() {
+        let dir = std::env::temp_dir().join("dar_cli_flow_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("data.csv");
+        let csv_str = csv.to_str().unwrap();
+
+        let out = run(&argv(&[
+            "generate", "--workload", "insurance", "--rows", "3000", "--seed", "7",
+            "--out", csv_str,
+        ]))
+        .unwrap();
+        assert!(out.contains("3000"));
+
+        let out = run(&argv(&["stats", "--input", csv_str])).unwrap();
+        assert!(out.contains("Age"));
+        assert!(out.contains("Claims"));
+
+        let out = run(&argv(&[
+            "cluster", "--input", csv_str, "--threshold-frac", "0.1",
+        ]))
+        .unwrap();
+        assert!(out.contains("clusters"), "{out}");
+
+        let out = run(&argv(&[
+            "mine", "--input", csv_str, "--support", "0.1", "--threshold-frac", "0.1",
+            "--top", "5",
+        ]))
+        .unwrap();
+        assert!(out.contains('⇒'), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,17 @@
+//! The `dar` binary: thin wrapper around [`dar_cli::run`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match dar_cli::run(&argv) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dar: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

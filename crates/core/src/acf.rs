@@ -1,0 +1,325 @@
+//! Association Clustering Features (Section 6.1, Equation 7).
+//!
+//! An ACF extends the CF of a cluster `C_X` (kept on its *home* attribute set
+//! `X`) with the moment pair `(Σ t_i[Y], Σ t_i[Y]²)` for **every other
+//! attribute set** `Y` of the partitioning. With that, the *image* of the
+//! cluster on any set — its centroid, diameter, and the inter-cluster
+//! distances D1/D2 between images — can be computed from summaries alone.
+//! This is the paper's ACF Representativity Theorem (Thm 6.1): the clustering
+//! graph of Phase II never rescans the data.
+//!
+//! ACFs inherit CF additivity set-wise, so the BIRCH tree can merge and split
+//! them exactly like CFs.
+
+use crate::bbox::BoundingBox;
+use crate::cf::Cf;
+use crate::error::CoreError;
+use crate::schema::{Partitioning, SetId};
+
+/// The shape of the ACFs for one [`Partitioning`]: how many dimensions each
+/// attribute set has. All ACFs in one mining run share a layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcfLayout {
+    dims: Vec<usize>,
+}
+
+impl AcfLayout {
+    /// Derives the layout from a partitioning.
+    pub fn from_partitioning(p: &Partitioning) -> Self {
+        AcfLayout { dims: p.sets().iter().map(|s| s.dims()).collect() }
+    }
+
+    /// Builds a layout from explicit per-set dimensionalities.
+    pub fn new(dims: Vec<usize>) -> Self {
+        AcfLayout { dims }
+    }
+
+    /// Number of attribute sets.
+    pub fn num_sets(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Dimensionality of set `set`.
+    pub fn dims_of(&self, set: SetId) -> usize {
+        self.dims[set]
+    }
+
+    /// Total dimensions across all sets.
+    pub fn total_dims(&self) -> usize {
+        self.dims.iter().sum()
+    }
+
+    /// Approximate heap bytes one ACF of this layout occupies — used by the
+    /// clustering engine's memory accounting.
+    pub fn acf_heap_bytes(&self) -> usize {
+        // Per set: one Cf = two Vec<f64> (ls, ss) + Vec headers, plus the
+        // home bounding box. We charge 8 bytes per f64 plus 24 bytes per Vec
+        // header (len/cap/ptr on 64-bit).
+        let moment_bytes: usize = self.dims.iter().map(|d| 2 * 8 * d + 2 * 24).sum();
+        let bbox_bytes = self.dims.iter().copied().max().unwrap_or(0) * 16 + 24;
+        moment_bytes + bbox_bytes + std::mem::size_of::<Acf>()
+    }
+}
+
+/// An association clustering feature: per-set CFs sharing one tuple count,
+/// plus the smallest bounding box on the home set (used to describe clusters
+/// to users, Section 7.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Acf {
+    home: SetId,
+    images: Vec<Cf>,
+    bbox: BoundingBox,
+}
+
+impl Acf {
+    /// An empty ACF clustered on `home`.
+    pub fn empty(layout: &AcfLayout, home: SetId) -> Self {
+        Acf {
+            home,
+            images: (0..layout.num_sets()).map(|s| Cf::empty(layout.dims_of(s))).collect(),
+            bbox: BoundingBox::empty(layout.dims_of(home)),
+        }
+    }
+
+    /// The ACF of a single tuple given its per-set projections.
+    pub fn from_row(layout: &AcfLayout, home: SetId, projections: &[Vec<f64>]) -> Self {
+        let mut acf = Acf::empty(layout, home);
+        acf.add_row(projections);
+        acf
+    }
+
+    /// Reassembles an ACF from its parts (the deserialization path).
+    /// Every image must carry the same tuple count, and the bounding box
+    /// must have the home set's dimensionality.
+    pub fn from_parts(
+        home: SetId,
+        images: Vec<Cf>,
+        bbox: BoundingBox,
+    ) -> Result<Self, CoreError> {
+        let Some(home_cf) = images.get(home) else {
+            return Err(CoreError::LayoutMismatch(format!(
+                "home set {home} outside the {} supplied images",
+                images.len()
+            )));
+        };
+        let n = home_cf.n();
+        if let Some(bad) = images.iter().position(|cf| cf.n() != n) {
+            return Err(CoreError::LayoutMismatch(format!(
+                "image {bad} has n={} but home has n={n}",
+                images[bad].n()
+            )));
+        }
+        if bbox.dims() != home_cf.dims() {
+            return Err(CoreError::LayoutMismatch(format!(
+                "bbox has {} dims but the home set has {}",
+                bbox.dims(),
+                home_cf.dims()
+            )));
+        }
+        Ok(Acf { home, images, bbox })
+    }
+
+    /// The home attribute set (the one this cluster is "defined on").
+    pub fn home(&self) -> SetId {
+        self.home
+    }
+
+    /// Number of tuples summarized (`|C_X|`).
+    pub fn n(&self) -> u64 {
+        self.images[self.home].n()
+    }
+
+    /// Whether no tuples have been absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.n() == 0
+    }
+
+    /// The CF of the cluster's image on `set` (`C[Y]` in the paper; for
+    /// `set == home` this is the clustering CF itself).
+    pub fn image(&self, set: SetId) -> &Cf {
+        &self.images[set]
+    }
+
+    /// The clustering CF on the home set.
+    pub fn home_cf(&self) -> &Cf {
+        &self.images[self.home]
+    }
+
+    /// Smallest bounding box of the absorbed points on the home set.
+    pub fn bbox(&self) -> &BoundingBox {
+        &self.bbox
+    }
+
+    /// Number of attribute sets in the layout.
+    pub fn num_sets(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Absorbs one tuple, given its projection onto every set (indexed by
+    /// [`SetId`]).
+    pub fn add_row(&mut self, projections: &[Vec<f64>]) {
+        debug_assert_eq!(projections.len(), self.images.len());
+        for (cf, p) in self.images.iter_mut().zip(projections) {
+            cf.add_point(p);
+        }
+        self.bbox.extend(&projections[self.home]);
+    }
+
+    /// ACF additivity (extension of the BIRCH Additivity Theorem): merges a
+    /// disjoint cluster defined on the same home set.
+    pub fn merge(&mut self, other: &Acf) -> Result<(), CoreError> {
+        if self.home != other.home {
+            return Err(CoreError::LayoutMismatch(format!(
+                "cannot merge ACFs with different home sets ({} vs {})",
+                self.home, other.home
+            )));
+        }
+        if self.images.len() != other.images.len() {
+            return Err(CoreError::LayoutMismatch(format!(
+                "cannot merge ACFs over different partitionings ({} vs {} sets)",
+                self.images.len(),
+                other.images.len()
+            )));
+        }
+        for (a, b) in self.images.iter_mut().zip(&other.images) {
+            a.merge(b);
+        }
+        self.bbox.merge(&other.bbox);
+        Ok(())
+    }
+
+    /// Diameter (RMS average pairwise distance) of the home-set cluster —
+    /// the density criterion `d(C_X[X]) ≤ d0^X` of Definition 4.2.
+    pub fn diameter(&self) -> f64 {
+        self.images[self.home].diameter()
+    }
+
+    /// Diameter of the cluster's image on an arbitrary set — used by the
+    /// Phase II pruning heuristic ("image clusters with large diameters are
+    /// unlikely to contribute edges", Section 6.2).
+    pub fn diameter_on(&self, set: SetId) -> f64 {
+        self.images[set].diameter()
+    }
+
+    /// Centroid of the image on `set` (Eq. 4 applied to `C[Y]`).
+    pub fn centroid_on(&self, set: SetId) -> Result<Vec<f64>, CoreError> {
+        self.images[set].centroid()
+    }
+
+    /// D1 (Eq. 5) between this cluster's image and `other`'s image on `set`.
+    pub fn d1_on(&self, set: SetId, other: &Acf) -> Result<f64, CoreError> {
+        self.images[set].d1(other.image(set))
+    }
+
+    /// D2 (Eq. 6, RMS form) between the two clusters' images on `set`.
+    pub fn d2_on(&self, set: SetId, other: &Acf) -> Result<f64, CoreError> {
+        self.images[set].d2(other.image(set))
+    }
+
+    /// D0 (centroid Euclidean) between the two clusters' images on `set`.
+    pub fn d0_on(&self, set: SetId, other: &Acf) -> Result<f64, CoreError> {
+        self.images[set].d0(other.image(set))
+    }
+
+    /// The home-set diameter the merged cluster would have — the threshold
+    /// test used by the tree before absorbing a point or entry.
+    pub fn merged_home_diameter_sq(&self, other: &Acf) -> f64 {
+        self.images[self.home].merged_diameter_sq(other.home_cf())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Metric;
+    use crate::schema::{AttrSet, Schema};
+
+    fn layout2() -> AcfLayout {
+        // Two sets: set 0 = {attr0} (1-D), set 1 = {attr1, attr2} (2-D).
+        let schema = Schema::interval_attrs(3);
+        let p = Partitioning::new(
+            &schema,
+            vec![
+                AttrSet { attrs: vec![0], metric: Metric::Euclidean },
+                AttrSet { attrs: vec![1, 2], metric: Metric::Euclidean },
+            ],
+        )
+        .unwrap();
+        AcfLayout::from_partitioning(&p)
+    }
+
+    fn proj(a: f64, b: f64, c: f64) -> Vec<Vec<f64>> {
+        vec![vec![a], vec![b, c]]
+    }
+
+    #[test]
+    fn layout_shape() {
+        let l = layout2();
+        assert_eq!(l.num_sets(), 2);
+        assert_eq!(l.dims_of(0), 1);
+        assert_eq!(l.dims_of(1), 2);
+        assert_eq!(l.total_dims(), 3);
+        assert!(l.acf_heap_bytes() > 0);
+    }
+
+    #[test]
+    fn add_row_updates_all_images_and_bbox() {
+        let l = layout2();
+        let mut acf = Acf::empty(&l, 0);
+        acf.add_row(&proj(1.0, 10.0, 100.0));
+        acf.add_row(&proj(3.0, 20.0, 200.0));
+        assert_eq!(acf.n(), 2);
+        assert_eq!(acf.home(), 0);
+        assert_eq!(acf.centroid_on(0).unwrap(), vec![2.0]);
+        assert_eq!(acf.centroid_on(1).unwrap(), vec![15.0, 150.0]);
+        assert_eq!(acf.bbox().interval(0).lo, 1.0);
+        assert_eq!(acf.bbox().interval(0).hi, 3.0);
+        // Home diameter of two points 1 and 3 is 2.
+        assert!((acf.diameter() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_requires_same_home_and_layout() {
+        let l = layout2();
+        let a = Acf::from_row(&l, 0, &proj(1.0, 2.0, 3.0));
+        let mut b = Acf::from_row(&l, 1, &proj(1.0, 2.0, 3.0));
+        assert!(b.merge(&a).is_err());
+        let other_layout = AcfLayout::new(vec![1]);
+        let mut c = Acf::empty(&other_layout, 0);
+        assert!(c.merge(&a).is_err());
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let l = layout2();
+        let mut a = Acf::from_row(&l, 1, &proj(1.0, 0.0, 0.0));
+        let b = Acf::from_row(&l, 1, &proj(3.0, 2.0, 2.0));
+        a.merge(&b).unwrap();
+        assert_eq!(a.n(), 2);
+        assert_eq!(a.centroid_on(0).unwrap(), vec![2.0]);
+        assert_eq!(a.centroid_on(1).unwrap(), vec![1.0, 1.0]);
+        // Home bbox covers both points on set 1.
+        assert_eq!(a.bbox().interval(0).hi, 2.0);
+        assert_eq!(a.bbox().interval(1).hi, 2.0);
+    }
+
+    #[test]
+    fn image_distances_match_cf_distances() {
+        let l = layout2();
+        let a = Acf::from_row(&l, 0, &proj(0.0, 0.0, 0.0));
+        let b = Acf::from_row(&l, 0, &proj(5.0, 3.0, 4.0));
+        assert!((a.d0_on(1, &b).unwrap() - 5.0).abs() < 1e-12);
+        assert!((a.d1_on(1, &b).unwrap() - 7.0).abs() < 1e-12);
+        assert!((a.d2_on(0, &b).unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_home_diameter_predicts_merge() {
+        let l = layout2();
+        let mut a = Acf::from_row(&l, 0, &proj(0.0, 0.0, 0.0));
+        let b = Acf::from_row(&l, 0, &proj(4.0, 0.0, 0.0));
+        let predicted = a.merged_home_diameter_sq(&b);
+        a.merge(&b).unwrap();
+        assert!((predicted - a.home_cf().diameter_sq()).abs() < 1e-12);
+    }
+}

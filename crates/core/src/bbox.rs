@@ -1,0 +1,150 @@
+//! Axis-aligned bounding boxes used to *describe* clusters.
+//!
+//! Section 7.2: "we have chosen to describe a cluster by its smallest
+//! bounding box" — centroids alone were found less meaningful to users.
+
+use crate::interval::Interval;
+use std::fmt;
+
+/// The smallest axis-aligned box containing a set of points, one
+/// [`Interval`] per dimension of the owning attribute set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundingBox {
+    intervals: Vec<Interval>,
+}
+
+impl BoundingBox {
+    /// An "empty" box of the given dimensionality, ready to absorb points.
+    /// Until the first [`extend`](Self::extend) it contains nothing.
+    pub fn empty(dims: usize) -> Self {
+        BoundingBox {
+            intervals: vec![Interval { lo: f64::INFINITY, hi: f64::NEG_INFINITY }; dims],
+        }
+    }
+
+    /// A box built from explicit per-dimension intervals.
+    pub fn from_intervals(intervals: Vec<Interval>) -> Self {
+        BoundingBox { intervals }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether any point has been absorbed yet.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.first().is_none_or(|i| i.lo > i.hi)
+    }
+
+    /// Grows the box to include `point`.
+    pub fn extend(&mut self, point: &[f64]) {
+        debug_assert_eq!(point.len(), self.intervals.len());
+        for (iv, &v) in self.intervals.iter_mut().zip(point) {
+            iv.extend(v);
+        }
+    }
+
+    /// Grows the box to include all of `other`.
+    pub fn merge(&mut self, other: &BoundingBox) {
+        debug_assert_eq!(self.dims(), other.dims());
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            self.intervals.clone_from(&other.intervals);
+            return;
+        }
+        for (a, b) in self.intervals.iter_mut().zip(&other.intervals) {
+            *a = a.hull(b);
+        }
+    }
+
+    /// Whether `point` lies inside the box (closed on all sides).
+    pub fn contains(&self, point: &[f64]) -> bool {
+        !self.is_empty()
+            && self.intervals.iter().zip(point).all(|(iv, &v)| iv.contains(v))
+    }
+
+    /// Per-dimension intervals.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// The interval on dimension `d`.
+    pub fn interval(&self, d: usize) -> Interval {
+        self.intervals[d]
+    }
+}
+
+impl fmt::Display for BoundingBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "∅");
+        }
+        for (i, iv) in self.intervals.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{iv}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_contains_nothing() {
+        let b = BoundingBox::empty(2);
+        assert!(b.is_empty());
+        assert!(!b.contains(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn extend_and_contains() {
+        let mut b = BoundingBox::empty(2);
+        b.extend(&[1.0, 5.0]);
+        b.extend(&[3.0, 2.0]);
+        assert!(!b.is_empty());
+        assert!(b.contains(&[2.0, 3.0]));
+        assert!(b.contains(&[1.0, 2.0]));
+        assert!(!b.contains(&[0.0, 3.0]));
+        assert_eq!(b.interval(0), Interval::new(1.0, 3.0));
+        assert_eq!(b.interval(1), Interval::new(2.0, 5.0));
+    }
+
+    #[test]
+    fn merge_handles_empties() {
+        let mut a = BoundingBox::empty(1);
+        let mut b = BoundingBox::empty(1);
+        b.extend(&[2.0]);
+        a.merge(&b);
+        assert_eq!(a.interval(0), Interval::point(2.0));
+        let c = BoundingBox::empty(1);
+        a.merge(&c); // merging an empty box is a no-op
+        assert_eq!(a.interval(0), Interval::point(2.0));
+    }
+
+    #[test]
+    fn merge_takes_hull() {
+        let mut a = BoundingBox::empty(2);
+        a.extend(&[0.0, 0.0]);
+        let mut b = BoundingBox::empty(2);
+        b.extend(&[2.0, -1.0]);
+        a.merge(&b);
+        assert_eq!(a.interval(0), Interval::new(0.0, 2.0));
+        assert_eq!(a.interval(1), Interval::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn display() {
+        let mut b = BoundingBox::empty(2);
+        b.extend(&[1.0, 2.0]);
+        b.extend(&[3.0, 2.0]);
+        assert_eq!(b.to_string(), "[1, 3]×[2]");
+        assert_eq!(BoundingBox::empty(1).to_string(), "∅");
+    }
+}

@@ -1,0 +1,120 @@
+//! Point-to-point distance metrics `δ_X` (Section 4.1 of the paper).
+//!
+//! The paper assumes each attribute set `X` comes with a meaningful metric
+//! `δ_X` such as the Euclidean or Manhattan distance; nominal attributes use
+//! the discrete 0/1 metric (Section 5.1), under which distance-based rules
+//! collapse to classical association rules (Theorems 5.1 and 5.2).
+
+/// A distance metric over value vectors of equal dimensionality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Metric {
+    /// `sqrt(Σ (a_i - b_i)^2)` — the default for interval data.
+    #[default]
+    Euclidean,
+    /// `Σ |a_i - b_i|` — city-block distance.
+    Manhattan,
+    /// `max_i |a_i - b_i|` — L∞ distance.
+    Chebyshev,
+    /// `0` if the vectors are identical, `1` otherwise — the metric under
+    /// which DARs specialize to classical association rules (Section 5.1).
+    Discrete,
+}
+
+impl Metric {
+    /// Distance between two equal-length vectors.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the lengths differ.
+    pub fn distance(self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "metric operands must have equal dims");
+        match self {
+            Metric::Euclidean => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| {
+                    let d = x - y;
+                    d * d
+                })
+                .sum::<f64>()
+                .sqrt(),
+            Metric::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
+            Metric::Chebyshev => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max),
+            Metric::Discrete => {
+                if a.iter().zip(b).all(|(x, y)| x == y) {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// Squared distance; avoids the square root for Euclidean comparisons.
+    pub fn distance_sq(self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            Metric::Euclidean => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| {
+                    let d = x - y;
+                    d * d
+                })
+                .sum::<f64>(),
+            _ => {
+                let d = self.distance(a, b);
+                d * d
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f64; 3] = [0.0, 3.0, -1.0];
+    const B: [f64; 3] = [4.0, 0.0, -1.0];
+
+    #[test]
+    fn euclidean() {
+        assert!((Metric::Euclidean.distance(&A, &B) - 5.0).abs() < 1e-12);
+        assert!((Metric::Euclidean.distance_sq(&A, &B) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan() {
+        assert!((Metric::Manhattan.distance(&A, &B) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chebyshev() {
+        assert!((Metric::Chebyshev.distance(&A, &B) - 4.0).abs() < 1e-12);
+        assert_eq!(Metric::Chebyshev.distance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn discrete() {
+        assert_eq!(Metric::Discrete.distance(&A, &A), 0.0);
+        assert_eq!(Metric::Discrete.distance(&A, &B), 1.0);
+        // Discrete metric looks at the whole vector, not per-component.
+        assert_eq!(Metric::Discrete.distance(&[1.0, 2.0], &[1.0, 3.0]), 1.0);
+    }
+
+    #[test]
+    fn identity_of_indiscernibles() {
+        for m in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev, Metric::Discrete] {
+            assert_eq!(m.distance(&A, &A), 0.0, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        for m in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev, Metric::Discrete] {
+            assert_eq!(m.distance(&A, &B), m.distance(&B, &A), "{m:?}");
+        }
+    }
+}

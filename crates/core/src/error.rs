@@ -1,0 +1,72 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced by the core data model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A row had a different number of values than the schema has attributes.
+    ArityMismatch {
+        /// Number of attributes the schema declares.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// An attribute id was out of range for the schema.
+    UnknownAttribute(usize),
+    /// A partitioning referenced the same attribute in two sets, or skipped
+    /// validation in some other way.
+    InvalidPartitioning(String),
+    /// Two summaries with incompatible layouts (different partitionings or
+    /// dimensionalities) were combined.
+    LayoutMismatch(String),
+    /// An operation required a non-empty cluster but got an empty one.
+    EmptyCluster,
+    /// A value failed domain validation (NaN or infinite).
+    NonFiniteValue {
+        /// Attribute the offending value belongs to.
+        attr: usize,
+        /// Row index of the offending value.
+        row: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: schema has {expected} attributes, row has {got}")
+            }
+            CoreError::UnknownAttribute(a) => write!(f, "unknown attribute id {a}"),
+            CoreError::InvalidPartitioning(msg) => write!(f, "invalid partitioning: {msg}"),
+            CoreError::LayoutMismatch(msg) => write!(f, "summary layout mismatch: {msg}"),
+            CoreError::EmptyCluster => write!(f, "operation requires a non-empty cluster"),
+            CoreError::NonFiniteValue { attr, row } => {
+                write!(f, "non-finite value at row {row}, attribute {attr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = CoreError::ArityMismatch { expected: 3, got: 2 };
+        assert_eq!(e.to_string(), "row arity mismatch: schema has 3 attributes, row has 2");
+        let e = CoreError::UnknownAttribute(7);
+        assert!(e.to_string().contains('7'));
+        let e = CoreError::NonFiniteValue { attr: 1, row: 9 };
+        assert!(e.to_string().contains("row 9"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(CoreError::EmptyCluster);
+        assert!(e.to_string().contains("non-empty"));
+    }
+}

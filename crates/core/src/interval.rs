@@ -1,0 +1,127 @@
+//! Closed intervals `(A, l, u)` on a single attribute (Section 4.2).
+
+use std::fmt;
+
+/// A closed interval `[lo, hi]` over one attribute's domain.
+///
+/// The paper writes an interval as `(A, l, u)` with `l ≤ u`; the attribute
+/// association is carried externally (by position in a bounding box, or by an
+/// `AttrId` at the call site).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Creates an interval, normalizing bound order.
+    pub fn new(a: f64, b: f64) -> Self {
+        if a <= b {
+            Interval { lo: a, hi: b }
+        } else {
+            Interval { lo: b, hi: a }
+        }
+    }
+
+    /// The degenerate interval containing a single point.
+    pub fn point(v: f64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// `hi - lo`; the "range" quality measure mentioned in Section 4.1.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether `v` falls inside the closed interval.
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Whether the two intervals share at least one point.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Smallest interval covering both operands.
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Extends the interval to cover `v`.
+    pub fn extend(&mut self, v: f64) {
+        if v < self.lo {
+            self.lo = v;
+        }
+        if v > self.hi {
+            self.hi = v;
+        }
+    }
+
+    /// Midpoint of the interval.
+    pub fn mid(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lo == self.hi {
+            write!(f, "[{}]", self.lo)
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_order() {
+        let i = Interval::new(5.0, 2.0);
+        assert_eq!(i.lo, 2.0);
+        assert_eq!(i.hi, 5.0);
+        assert_eq!(i.width(), 3.0);
+        assert_eq!(i.mid(), 3.5);
+    }
+
+    #[test]
+    fn contains_is_closed() {
+        let i = Interval::new(1.0, 3.0);
+        assert!(i.contains(1.0));
+        assert!(i.contains(3.0));
+        assert!(i.contains(2.0));
+        assert!(!i.contains(0.999));
+        assert!(!i.contains(3.001));
+    }
+
+    #[test]
+    fn overlap_and_hull() {
+        let a = Interval::new(0.0, 2.0);
+        let b = Interval::new(2.0, 4.0);
+        let c = Interval::new(5.0, 6.0);
+        assert!(a.overlaps(&b)); // touching endpoints overlap (closed)
+        assert!(!a.overlaps(&c));
+        let h = a.hull(&c);
+        assert_eq!(h, Interval::new(0.0, 6.0));
+    }
+
+    #[test]
+    fn extend_grows_both_ways() {
+        let mut i = Interval::point(1.0);
+        i.extend(4.0);
+        i.extend(-1.0);
+        i.extend(2.0); // interior: no change
+        assert_eq!(i, Interval::new(-1.0, 4.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Interval::point(2.0).to_string(), "[2]");
+        assert_eq!(Interval::new(1.0, 2.5).to_string(), "[1, 2.5]");
+    }
+}

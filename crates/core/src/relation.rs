@@ -1,0 +1,224 @@
+//! Column-major relations.
+//!
+//! Phase I of the mining algorithm streams every tuple once per attribute
+//! set; columnar storage makes projecting onto a set a handful of contiguous
+//! reads and mirrors how an analytic store would feed the miner.
+
+use crate::error::CoreError;
+use crate::schema::{AttrId, Schema};
+
+/// An immutable relation: a [`Schema`] plus one `Vec<f64>` column per
+/// attribute. Nominal attributes store category codes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    schema: Schema,
+    columns: Vec<Vec<f64>>,
+    rows: usize,
+}
+
+impl Relation {
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples `|r|`.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The value of attribute `attr` in tuple `row`.
+    pub fn value(&self, row: usize, attr: AttrId) -> f64 {
+        self.columns[attr][row]
+    }
+
+    /// The full column for `attr`.
+    pub fn column(&self, attr: AttrId) -> &[f64] {
+        &self.columns[attr]
+    }
+
+    /// Writes the projection of tuple `row` onto `attrs` into `buf`
+    /// (cleared first). Avoids a fresh allocation per tuple in hot loops.
+    pub fn project_into(&self, row: usize, attrs: &[AttrId], buf: &mut Vec<f64>) {
+        buf.clear();
+        buf.extend(attrs.iter().map(|&a| self.columns[a][row]));
+    }
+
+    /// The projection of tuple `row` onto `attrs` as a fresh vector.
+    pub fn project(&self, row: usize, attrs: &[AttrId]) -> Vec<f64> {
+        attrs.iter().map(|&a| self.columns[a][row]).collect()
+    }
+
+    /// The full tuple at `row`.
+    pub fn row(&self, row: usize) -> Vec<f64> {
+        (0..self.columns.len()).map(|a| self.columns[a][row]).collect()
+    }
+
+    /// Builds a relation directly from columns.
+    pub fn from_columns(schema: Schema, columns: Vec<Vec<f64>>) -> Result<Self, CoreError> {
+        if columns.len() != schema.arity() {
+            return Err(CoreError::ArityMismatch { expected: schema.arity(), got: columns.len() });
+        }
+        let rows = columns.first().map_or(0, Vec::len);
+        for col in &columns {
+            if col.len() != rows {
+                return Err(CoreError::ArityMismatch { expected: rows, got: col.len() });
+            }
+        }
+        for (a, col) in columns.iter().enumerate() {
+            if let Some(row) = col.iter().position(|v| !v.is_finite()) {
+                return Err(CoreError::NonFiniteValue { attr: a, row });
+            }
+        }
+        Ok(Relation { schema, columns, rows })
+    }
+}
+
+/// Row-at-a-time builder for [`Relation`].
+///
+/// ```
+/// use dar_core::{RelationBuilder, Schema};
+/// let mut b = RelationBuilder::new(Schema::interval_attrs(2));
+/// b.push_row(&[1.0, 10.0]).unwrap();
+/// b.push_row(&[2.0, 20.0]).unwrap();
+/// let relation = b.finish();
+/// assert_eq!(relation.len(), 2);
+/// assert_eq!(relation.column(1), &[10.0, 20.0]);
+/// // NaN and wrong arity are rejected up front.
+/// let mut bad = RelationBuilder::new(Schema::interval_attrs(2));
+/// assert!(bad.push_row(&[f64::NAN, 0.0]).is_err());
+/// assert!(bad.push_row(&[1.0]).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RelationBuilder {
+    schema: Schema,
+    columns: Vec<Vec<f64>>,
+    rows: usize,
+}
+
+impl RelationBuilder {
+    /// Starts building a relation with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let arity = schema.arity();
+        RelationBuilder { schema, columns: vec![Vec::new(); arity], rows: 0 }
+    }
+
+    /// Starts building with per-column capacity reserved for `rows` tuples.
+    pub fn with_capacity(schema: Schema, rows: usize) -> Self {
+        let arity = schema.arity();
+        RelationBuilder {
+            schema,
+            columns: (0..arity).map(|_| Vec::with_capacity(rows)).collect(),
+            rows: 0,
+        }
+    }
+
+    /// Appends one tuple.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<(), CoreError> {
+        if row.len() != self.columns.len() {
+            return Err(CoreError::ArityMismatch { expected: self.columns.len(), got: row.len() });
+        }
+        if let Some(attr) = row.iter().position(|v| !v.is_finite()) {
+            return Err(CoreError::NonFiniteValue { attr, row: self.rows });
+        }
+        for (col, &v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Number of rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether no rows have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Finishes the build.
+    pub fn finish(self) -> Relation {
+        Relation { schema: self.schema, columns: self.columns, rows: self.rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn build() -> Relation {
+        let schema = Schema::new(vec![Attribute::interval("x"), Attribute::interval("y")]);
+        let mut b = RelationBuilder::with_capacity(schema, 3);
+        b.push_row(&[1.0, 10.0]).unwrap();
+        b.push_row(&[2.0, 20.0]).unwrap();
+        b.push_row(&[3.0, 30.0]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let r = build();
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.value(1, 0), 2.0);
+        assert_eq!(r.value(2, 1), 30.0);
+        assert_eq!(r.column(1), &[10.0, 20.0, 30.0]);
+        assert_eq!(r.row(0), vec![1.0, 10.0]);
+    }
+
+    #[test]
+    fn projection() {
+        let r = build();
+        assert_eq!(r.project(1, &[1]), vec![20.0]);
+        let mut buf = vec![99.0];
+        r.project_into(2, &[1, 0], &mut buf);
+        assert_eq!(buf, vec![30.0, 3.0]);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let schema = Schema::interval_attrs(2);
+        let mut b = RelationBuilder::new(schema);
+        assert_eq!(
+            b.push_row(&[1.0]),
+            Err(CoreError::ArityMismatch { expected: 2, got: 1 })
+        );
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let schema = Schema::interval_attrs(2);
+        let mut b = RelationBuilder::new(schema.clone());
+        assert_eq!(
+            b.push_row(&[1.0, f64::NAN]),
+            Err(CoreError::NonFiniteValue { attr: 1, row: 0 })
+        );
+        let err = Relation::from_columns(schema, vec![vec![1.0], vec![f64::INFINITY]]);
+        assert_eq!(err.unwrap_err(), CoreError::NonFiniteValue { attr: 1, row: 0 });
+    }
+
+    #[test]
+    fn from_columns_checks_shape() {
+        let schema = Schema::interval_attrs(2);
+        let err = Relation::from_columns(schema.clone(), vec![vec![1.0]]);
+        assert!(matches!(err, Err(CoreError::ArityMismatch { .. })));
+        let err = Relation::from_columns(schema, vec![vec![1.0], vec![1.0, 2.0]]);
+        assert!(matches!(err, Err(CoreError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_relation() {
+        let schema = Schema::interval_attrs(1);
+        let r = RelationBuilder::new(schema).finish();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+    }
+}

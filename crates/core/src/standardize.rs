@@ -1,0 +1,201 @@
+//! Attribute standardization for multi-attribute distance metrics.
+//!
+//! Section 5.2 of the paper: "To cluster over multiple attributes, the
+//! scales must be standardized so that distances in the different
+//! dimensions are comparable. ... The use of inappropriate standardization
+//! techniques may completely distort or destroy the clustering properties
+//! of the data." The paper therefore clusters multi-attribute sets only
+//! when the user asserts a meaningful joint metric; this module provides
+//! the standard transformations for exactly those cases (e.g. two Salary
+//! attributes from different years, or latitude/longitude in comparable
+//! units), each documented with its failure modes.
+
+use crate::error::CoreError;
+use crate::relation::Relation;
+use crate::schema::AttrId;
+use crate::stats::ColumnStats;
+
+/// A standardization method for one attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Standardization {
+    /// `(v − mean) / std_dev`. Preserves shape; sensitive to outliers
+    /// through both moments.
+    ZScore,
+    /// `(v − min) / (max − min)` onto `[0, 1]`. A single extreme value
+    /// compresses the rest of the range.
+    MinMax,
+    /// Replace each value by its average rank in `[0, 1]`. Destroys the
+    /// interval property (distances become rank gaps) — appropriate only
+    /// for ordinal data, and listed here with that caveat.
+    Rank,
+}
+
+/// The fitted parameters of a standardization, so the same transform can be
+/// applied to new data or inverted for presentation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FittedStandardization {
+    method: Standardization,
+    /// For ZScore: (mean, sd). For MinMax: (min, range). Unused for Rank.
+    params: (f64, f64),
+    /// For Rank: the sorted reference values.
+    reference: Vec<f64>,
+}
+
+impl FittedStandardization {
+    /// Fits the transform to one column of a relation.
+    pub fn fit(
+        relation: &Relation,
+        attr: AttrId,
+        method: Standardization,
+    ) -> Result<Self, CoreError> {
+        let values = relation.column(attr);
+        let stats = ColumnStats::of(values)?;
+        let params = match method {
+            Standardization::ZScore => {
+                // A constant column standardizes to 0 (sd floor of 1).
+                (stats.mean, if stats.std_dev > 0.0 { stats.std_dev } else { 1.0 })
+            }
+            Standardization::MinMax => {
+                (stats.min, if stats.range() > 0.0 { stats.range() } else { 1.0 })
+            }
+            Standardization::Rank => (0.0, 1.0),
+        };
+        let reference = if method == Standardization::Rank {
+            let mut sorted = values.to_vec();
+            sorted.sort_by(f64::total_cmp);
+            sorted
+        } else {
+            Vec::new()
+        };
+        Ok(FittedStandardization { method, params, reference })
+    }
+
+    /// Applies the fitted transform to a single value.
+    pub fn apply(&self, v: f64) -> f64 {
+        match self.method {
+            Standardization::ZScore => (v - self.params.0) / self.params.1,
+            Standardization::MinMax => (v - self.params.0) / self.params.1,
+            Standardization::Rank => {
+                if self.reference.is_empty() {
+                    return 0.0;
+                }
+                // Average rank of v among the reference values, in [0, 1].
+                let below = self.reference.partition_point(|&x| x < v);
+                let not_above = self.reference.partition_point(|&x| x <= v);
+                let avg_rank = (below + not_above) as f64 / 2.0;
+                avg_rank / self.reference.len() as f64
+            }
+        }
+    }
+
+    /// Inverts the transform (ZScore/MinMax only; Rank is not invertible).
+    pub fn invert(&self, v: f64) -> Option<f64> {
+        match self.method {
+            Standardization::ZScore | Standardization::MinMax => {
+                Some(v * self.params.1 + self.params.0)
+            }
+            Standardization::Rank => None,
+        }
+    }
+}
+
+/// Standardizes the given attributes of a relation in place of a copy:
+/// returns a new relation where each listed attribute has been transformed
+/// with its own fitted parameters; other attributes pass through.
+pub fn standardize_columns(
+    relation: &Relation,
+    attrs: &[(AttrId, Standardization)],
+) -> Result<Relation, CoreError> {
+    let mut columns: Vec<Vec<f64>> = (0..relation.schema().arity())
+        .map(|a| relation.column(a).to_vec())
+        .collect();
+    for &(attr, method) in attrs {
+        if attr >= columns.len() {
+            return Err(CoreError::UnknownAttribute(attr));
+        }
+        let fitted = FittedStandardization::fit(relation, attr, method)?;
+        for v in &mut columns[attr] {
+            *v = fitted.apply(*v);
+        }
+    }
+    Relation::from_columns(relation.schema().clone(), columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use crate::schema::Schema;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    fn rel(values: &[f64]) -> Relation {
+        let mut b = RelationBuilder::new(Schema::interval_attrs(1));
+        for &v in values {
+            b.push_row(&[v]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn zscore_has_zero_mean_unit_sd() {
+        let r = rel(&[2.0, 4.0, 6.0, 8.0]);
+        let f = FittedStandardization::fit(&r, 0, Standardization::ZScore).unwrap();
+        let z: Vec<f64> = r.column(0).iter().map(|&v| f.apply(v)).collect();
+        let mean = z.iter().sum::<f64>() / z.len() as f64;
+        let var = z.iter().map(|v| v * v).sum::<f64>() / z.len() as f64;
+        assert!(close(mean, 0.0));
+        assert!(close(var, 1.0));
+        // Round trip.
+        assert!(close(f.invert(f.apply(6.0)).unwrap(), 6.0));
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let r = rel(&[10.0, 20.0, 30.0]);
+        let f = FittedStandardization::fit(&r, 0, Standardization::MinMax).unwrap();
+        assert!(close(f.apply(10.0), 0.0));
+        assert!(close(f.apply(30.0), 1.0));
+        assert!(close(f.apply(20.0), 0.5));
+        assert!(close(f.invert(0.5).unwrap(), 20.0));
+    }
+
+    #[test]
+    fn constant_column_does_not_divide_by_zero() {
+        let r = rel(&[5.0, 5.0]);
+        let z = FittedStandardization::fit(&r, 0, Standardization::ZScore).unwrap();
+        assert!(close(z.apply(5.0), 0.0));
+        let m = FittedStandardization::fit(&r, 0, Standardization::MinMax).unwrap();
+        assert!(close(m.apply(5.0), 0.0));
+    }
+
+    #[test]
+    fn rank_is_order_preserving_and_tie_averaged() {
+        let r = rel(&[10.0, 20.0, 20.0, 40.0]);
+        let f = FittedStandardization::fit(&r, 0, Standardization::Rank).unwrap();
+        let r10 = f.apply(10.0);
+        let r20 = f.apply(20.0);
+        let r40 = f.apply(40.0);
+        assert!(r10 < r20 && r20 < r40);
+        // Ties share the average of ranks 1 and 2 (0-indexed 1..3): (1+3)/2/4.
+        assert!(close(r20, 0.5));
+        assert!(f.invert(r20).is_none());
+        // Rank destroys interval semantics: gap 10→20 equals gap 20→40.
+        assert!(close(r20 - r10, r40 - r20));
+    }
+
+    #[test]
+    fn standardize_columns_transforms_only_listed_attrs() {
+        let mut b = RelationBuilder::new(Schema::interval_attrs(2));
+        b.push_row(&[1.0, 100.0]).unwrap();
+        b.push_row(&[3.0, 300.0]).unwrap();
+        let r = b.finish();
+        let out =
+            standardize_columns(&r, &[(1, Standardization::MinMax)]).unwrap();
+        assert_eq!(out.column(0), &[1.0, 3.0]);
+        assert_eq!(out.column(1), &[0.0, 1.0]);
+        assert!(standardize_columns(&r, &[(9, Standardization::MinMax)]).is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! Column statistics over relations — the small descriptive-statistics
+//! toolkit the miner's threshold heuristics and the CLI build on.
+
+use crate::error::CoreError;
+use crate::relation::Relation;
+use crate::schema::{AttrId, Partitioning, SetId};
+
+/// Summary statistics of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of values.
+    pub count: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Number of distinct values.
+    pub distinct: usize,
+}
+
+impl ColumnStats {
+    /// Computes statistics over a column.
+    pub fn of(values: &[f64]) -> Result<Self, CoreError> {
+        if values.is_empty() {
+            return Err(CoreError::EmptyCluster);
+        }
+        let count = values.len();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        let mean = sum / count as f64;
+        let var =
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let mut distinct = 1;
+        for w in sorted.windows(2) {
+            if w[0] != w[1] {
+                distinct += 1;
+            }
+        }
+        Ok(ColumnStats { count, min, max, mean, std_dev: var.sqrt(), distinct })
+    }
+
+    /// Statistics of one attribute of a relation.
+    pub fn of_column(relation: &Relation, attr: AttrId) -> Result<Self, CoreError> {
+        Self::of(relation.column(attr))
+    }
+
+    /// The value range (`max − min`).
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// The `q`-quantile (`0 ≤ q ≤ 1`) of a column, by linear interpolation over
+/// the sorted values.
+pub fn quantile(values: &[f64], q: f64) -> Result<f64, CoreError> {
+    if values.is_empty() {
+        return Err(CoreError::EmptyCluster);
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Suggests per-set initial diameter thresholds for the Phase I trees:
+/// `frac ×` the RMS spread of each set's columns (a scale-aware default for
+/// the per-`X_i` threshold selection of Section 4.3.1). `frac` around
+/// 0.02–0.1 works well; 0 reproduces the fully precise setting.
+pub fn suggest_initial_thresholds(
+    relation: &Relation,
+    partitioning: &Partitioning,
+    frac: f64,
+) -> Result<Vec<f64>, CoreError> {
+    (0..partitioning.num_sets())
+        .map(|set: SetId| {
+            let spread_sq: f64 = partitioning
+                .set(set)
+                .attrs
+                .iter()
+                .map(|&a| ColumnStats::of_column(relation, a).map(|s| s.std_dev * s.std_dev))
+                .sum::<Result<f64, CoreError>>()?;
+            Ok(frac * spread_sq.sqrt())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Metric;
+    use crate::relation::RelationBuilder;
+    use crate::schema::Schema;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn basic_stats() {
+        let s = ColumnStats::of(&[1.0, 2.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!(close(s.mean, 2.0));
+        assert!(close(s.std_dev, (0.5f64).sqrt()));
+        assert_eq!(s.distinct, 3);
+        assert!(close(s.range(), 2.0));
+        assert!(ColumnStats::of(&[]).is_err());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert!(close(quantile(&v, 0.0).unwrap(), 10.0));
+        assert!(close(quantile(&v, 1.0).unwrap(), 40.0));
+        assert!(close(quantile(&v, 0.5).unwrap(), 25.0));
+        // Out-of-range q clamps.
+        assert!(close(quantile(&v, 2.0).unwrap(), 40.0));
+        assert!(quantile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn threshold_suggestion_is_scale_aware() {
+        let mut b = RelationBuilder::new(Schema::interval_attrs(2));
+        for i in 0..100 {
+            // attr0 spans ~1 unit, attr1 spans ~1000 units.
+            b.push_row(&[(i % 10) as f64 * 0.1, (i % 10) as f64 * 100.0]).unwrap();
+        }
+        let r = b.finish();
+        let p = Partitioning::per_attribute(r.schema(), Metric::Euclidean);
+        let t = suggest_initial_thresholds(&r, &p, 0.1).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t[1] / t[0] > 900.0, "thresholds must track scale: {t:?}");
+        let zero = suggest_initial_thresholds(&r, &p, 0.0).unwrap();
+        assert!(zero.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,150 @@
+//! Minimal CSV persistence for relations — hand-rolled so the workspace
+//! stays within its sanctioned dependency set.
+//!
+//! Format: a header row of `name:kind` cells (`kind` ∈ `interval`,
+//! `ordinal`, `nominal`), then one row of decimal values per tuple. No
+//! quoting — attribute names must not contain commas, colons or newlines.
+
+use dar_core::{Attribute, AttributeKind, Relation, RelationBuilder, Schema};
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Serializes a relation to CSV text.
+pub fn to_csv_string(relation: &Relation) -> String {
+    let mut out = String::new();
+    let schema = relation.schema();
+    for (i, (_, attr)) in schema.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let kind = match attr.kind {
+            AttributeKind::Interval => "interval",
+            AttributeKind::Ordinal => "ordinal",
+            AttributeKind::Nominal => "nominal",
+        };
+        let _ = write!(out, "{}:{}", attr.name, kind);
+    }
+    out.push('\n');
+    for row in 0..relation.len() {
+        for attr in 0..schema.arity() {
+            if attr > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}", relation.value(row, attr));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a relation to a CSV file (buffered).
+pub fn write_csv(relation: &Relation, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(to_csv_string(relation).as_bytes())?;
+    w.flush()
+}
+
+/// Parses a relation from CSV text.
+pub fn from_csv_str(text: &str) -> io::Result<Relation> {
+    read_csv_impl(text.as_bytes())
+}
+
+/// Reads a relation from a CSV file (buffered).
+pub fn read_csv(path: &Path) -> io::Result<Relation> {
+    read_csv_impl(std::fs::File::open(path)?)
+}
+
+fn read_csv_impl<R: Read>(reader: R) -> io::Result<Relation> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty CSV"))??;
+    let attributes: Vec<Attribute> = header
+        .split(',')
+        .map(|cell| {
+            let (name, kind) = cell.rsplit_once(':').ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad header cell {cell:?}"))
+            })?;
+            let kind = match kind {
+                "interval" => AttributeKind::Interval,
+                "ordinal" => AttributeKind::Ordinal,
+                "nominal" => AttributeKind::Nominal,
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unknown attribute kind {other:?}"),
+                    ))
+                }
+            };
+            Ok(Attribute { name: name.to_string(), kind })
+        })
+        .collect::<io::Result<_>>()?;
+    let schema = Schema::new(attributes);
+    let arity = schema.arity();
+    let mut builder = RelationBuilder::new(schema);
+    let mut row = Vec::with_capacity(arity);
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        row.clear();
+        for cell in line.split(',') {
+            let v: f64 = cell.trim().parse().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad number {cell:?}: {e}", lineno + 2),
+                )
+            })?;
+            row.push(v);
+        }
+        builder.push_row(&row).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 2))
+        })?;
+    }
+    Ok(builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::salary::relation_r1;
+
+    #[test]
+    fn roundtrip_through_string() {
+        let r = relation_r1();
+        let text = to_csv_string(&r);
+        let back = from_csv_str(&text).unwrap();
+        assert_eq!(r, back);
+        assert!(text.starts_with("Job:nominal,Age:interval,Salary:interval\n"));
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let r = relation_r1();
+        let dir = std::env::temp_dir();
+        let path = dir.join("interval_rules_csv_roundtrip_test.csv");
+        write_csv(&r, &path).unwrap();
+        let back = read_csv(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(from_csv_str("").is_err());
+        assert!(from_csv_str("noheaderkind\n1\n").is_err());
+        assert!(from_csv_str("a:interval\nnot_a_number\n").is_err());
+        assert!(from_csv_str("a:mystery\n1\n").is_err());
+        // Wrong arity row.
+        assert!(from_csv_str("a:interval,b:interval\n1.0\n").is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let r = from_csv_str("a:interval\n1\n\n2\n").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.column(0), &[1.0, 2.0]);
+    }
+}

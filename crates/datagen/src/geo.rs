@@ -1,0 +1,90 @@
+//! A geospatial workload exercising *multi-attribute* sets: the paper's
+//! Section 5.2 example of a meaningful joint metric ("it may be reasonable
+//! to use the Euclidean distance to measure distance across the two
+//! attributes Latitude and Longitude").
+//!
+//! Listings carry `(lat, lon, price)`: three urban hotspots, each with its
+//! own price level, plus scattered rural listings.
+
+use crate::rng::SeededRng;
+use dar_core::{Attribute, Relation, RelationBuilder, Schema};
+
+/// Attribute index of latitude.
+pub const LAT: usize = 0;
+/// Attribute index of longitude.
+pub const LON: usize = 1;
+/// Attribute index of the listing price.
+pub const PRICE: usize = 2;
+
+/// The three hotspots: `(lat, lon, price mean)`, spreads ~0.05° and $30K.
+pub const HOTSPOTS: [(f64, f64, f64); 3] = [
+    (47.60, -122.33, 850_000.0), // dense urban core, expensive
+    (47.45, -122.10, 520_000.0), // suburb
+    (47.75, -122.50, 330_000.0), // exurb
+];
+
+/// Schema: `(lat, lon, price)`.
+pub fn geo_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::interval("lat"),
+        Attribute::interval("lon"),
+        Attribute::interval("price"),
+    ])
+}
+
+/// Generates `n` listings: 85% from the hotspots (equal weights), 15%
+/// scattered uniformly over the bounding region with uniform prices.
+pub fn geo_relation(n: usize, seed: u64) -> Relation {
+    let mut rng = SeededRng::new(seed);
+    let mut b = RelationBuilder::with_capacity(geo_schema(), n);
+    for _ in 0..n {
+        let row = if rng.uniform() < 0.15 {
+            [
+                rng.uniform_in(47.3, 47.9),
+                rng.uniform_in(-122.7, -121.9),
+                rng.uniform_in(150_000.0, 1_200_000.0),
+            ]
+        } else {
+            let (lat, lon, price) = HOTSPOTS[rng.index(HOTSPOTS.len())];
+            [
+                rng.normal(lat, 0.015),
+                rng.normal(lon, 0.015),
+                rng.normal(price, 30_000.0),
+            ]
+        };
+        b.push_row(&row).expect("generated rows match the schema");
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotspots_are_present_and_priced() {
+        let r = geo_relation(6_000, 5);
+        for &(lat, lon, price) in &HOTSPOTS {
+            let members: Vec<usize> = (0..r.len())
+                .filter(|&i| {
+                    (r.value(i, LAT) - lat).abs() < 0.05
+                        && (r.value(i, LON) - lon).abs() < 0.05
+                })
+                .collect();
+            let frac = members.len() as f64 / r.len() as f64;
+            assert!(frac > 0.2, "hotspot ({lat},{lon}) only has {frac}");
+            let mean_price: f64 =
+                members.iter().map(|&i| r.value(i, PRICE)).sum::<f64>()
+                    / members.len() as f64;
+            assert!(
+                (mean_price - price).abs() < 20_000.0,
+                "hotspot price {mean_price} vs {price}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(geo_relation(100, 9), geo_relation(100, 9));
+    }
+}

@@ -1,0 +1,105 @@
+//! The insurance workload of the paper's Section 5.2 / Figure 5: drivers
+//! with `Age`, `Dependents` and annual `Claims`, containing the planted N:1
+//! rule *"people between 41 and 47 with 2–5 dependents are likely to have
+//! close to $10K–$14K of annual claims"*.
+
+use crate::rng::SeededRng;
+use dar_core::{Attribute, Relation, RelationBuilder, Schema};
+
+/// Attribute index of `Age`.
+pub const AGE: usize = 0;
+/// Attribute index of `Dependents`.
+pub const DEPENDENTS: usize = 1;
+/// Attribute index of `Claims`.
+pub const CLAIMS: usize = 2;
+
+/// Schema: `(Age, Dependents, Claims)`, all interval-scaled.
+pub fn insurance_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::interval("Age"),
+        Attribute::interval("Dependents"),
+        Attribute::interval("Claims"),
+    ])
+}
+
+/// Generates `n` drivers. Roughly 40% belong to the planted segment
+/// (ages 41–47, 2–5 dependents, claims near $12K); 40% are young drivers
+/// with few dependents and low claims; 20% are older drivers with moderate
+/// dependents and high claims. Small measurement noise everywhere.
+pub fn insurance_relation(n: usize, seed: u64) -> Relation {
+    let mut rng = SeededRng::new(seed);
+    let mut b = RelationBuilder::with_capacity(insurance_schema(), n);
+    for _ in 0..n {
+        let segment = rng.weighted_index(&[0.4, 0.4, 0.2]);
+        let row = match segment {
+            0 => {
+                // The Figure 5 segment.
+                let age = rng.uniform_in(41.0, 47.0).round();
+                let dep = rng.uniform_in(2.0, 5.0).round();
+                let claims = rng.normal(12_000.0, 900.0);
+                [age, dep, claims]
+            }
+            1 => {
+                // Young, few dependents, low claims.
+                let age = rng.uniform_in(22.0, 32.0).round();
+                let dep = rng.uniform_in(0.0, 1.0).round();
+                let claims = rng.normal(4_000.0, 1_200.0);
+                [age, dep, claims]
+            }
+            _ => {
+                // Older, moderate dependents, high claims.
+                let age = rng.uniform_in(58.0, 70.0).round();
+                let dep = rng.uniform_in(0.0, 2.0).round();
+                let claims = rng.normal(22_000.0, 2_000.0);
+                [age, dep, claims]
+            }
+        };
+        b.push_row(&row).expect("generated rows match the schema");
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_segment_exists_and_correlates() {
+        let r = insurance_relation(5_000, 77);
+        let segment: Vec<usize> = (0..r.len())
+            .filter(|&i| {
+                (41.0..=47.0).contains(&r.value(i, AGE))
+                    && (2.0..=5.0).contains(&r.value(i, DEPENDENTS))
+            })
+            .collect();
+        let frac = segment.len() as f64 / r.len() as f64;
+        assert!((0.3..0.5).contains(&frac), "segment fraction {frac}");
+        // Within the segment, claims concentrate near 12K.
+        let mean: f64 =
+            segment.iter().map(|&i| r.value(i, CLAIMS)).sum::<f64>() / segment.len() as f64;
+        assert!((mean - 12_000.0).abs() < 300.0, "segment claim mean {mean}");
+    }
+
+    #[test]
+    fn segments_are_separated_on_claims() {
+        let r = insurance_relation(5_000, 78);
+        let young_claims: Vec<f64> = (0..r.len())
+            .filter(|&i| r.value(i, AGE) < 35.0)
+            .map(|i| r.value(i, CLAIMS))
+            .collect();
+        let old_claims: Vec<f64> = (0..r.len())
+            .filter(|&i| r.value(i, AGE) > 55.0)
+            .map(|i| r.value(i, CLAIMS))
+            .collect();
+        assert!(!young_claims.is_empty() && !old_claims.is_empty());
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&young_claims) < 6_000.0);
+        assert!(mean(&old_claims) > 18_000.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(insurance_relation(100, 1), insurance_relation(100, 1));
+        assert_ne!(insurance_relation(100, 1), insurance_relation(100, 2));
+    }
+}

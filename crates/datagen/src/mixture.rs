@@ -1,0 +1,181 @@
+//! Gaussian-mixture relation generator with proportional outlier injection.
+//!
+//! This is the engine behind the scalability workloads: the paper's Section
+//! 7.2 methodology holds the data *complexity* (number and shape of clusters
+//! and rules) constant while growing "the number of points per cluster and
+//! proportionally the number of irrelevant (or outliers) points". A
+//! [`MixtureSpec`] is exactly that fixed structure; `generate(n)` scales the
+//! population without moving the components.
+
+use crate::rng::SeededRng;
+use dar_core::{Relation, RelationBuilder, Schema};
+
+/// One mixture component: a multivariate Gaussian with optional
+/// equicorrelation through a single latent factor.
+///
+/// With `latent_rho = ρ`, each tuple draws one latent `z ~ N(0,1)` and each
+/// attribute is `mean + sd·(ρ·z + √(1−ρ²)·ε)` — marginals stay
+/// `N(mean, sd²)` while any two attributes correlate with coefficient
+/// `ρ²`. Real datasets like the WDBC have strongly correlated features
+/// (radius/perimeter/area are nearly collinear); without this, clusters on
+/// one attribute have maximally wide images on every other attribute,
+/// which is both unrealistic and degenerate for the clustering graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Relative sampling weight.
+    pub weight: f64,
+    /// Per-attribute mean.
+    pub means: Vec<f64>,
+    /// Per-attribute standard deviation.
+    pub sds: Vec<f64>,
+    /// Shared-factor loading in `[0, 1]`; `0.0` = independent attributes.
+    pub latent_rho: f64,
+}
+
+/// A mixture of Gaussian components plus a uniform outlier background.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixtureSpec {
+    /// The schema of generated relations.
+    pub schema: Schema,
+    /// The components; all must agree with the schema arity.
+    pub components: Vec<Component>,
+    /// Fraction of tuples drawn uniformly from `outlier_range` instead of a
+    /// component (the "irrelevant points" of the paper's experiment).
+    pub outlier_frac: f64,
+    /// Per-attribute `(lo, hi)` range outliers are drawn from.
+    pub outlier_range: Vec<(f64, f64)>,
+}
+
+impl MixtureSpec {
+    /// Validates internal consistency (arity agreement, sane fractions).
+    pub fn validate(&self) -> Result<(), String> {
+        let m = self.schema.arity();
+        if self.components.is_empty() {
+            return Err("mixture needs at least one component".into());
+        }
+        for (i, c) in self.components.iter().enumerate() {
+            if c.means.len() != m || c.sds.len() != m {
+                return Err(format!("component {i} arity mismatch (schema has {m} attrs)"));
+            }
+            if c.weight < 0.0 {
+                return Err(format!("component {i} has negative weight"));
+            }
+            if !(0.0..=1.0).contains(&c.latent_rho) {
+                return Err(format!("component {i} latent_rho outside [0, 1]"));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.outlier_frac) {
+            return Err("outlier_frac must be within [0, 1]".into());
+        }
+        if self.outlier_range.len() != m {
+            return Err("outlier_range arity mismatch".into());
+        }
+        Ok(())
+    }
+
+    /// Generates `n` tuples with the given seed. Cluster membership is drawn
+    /// by weight, so expected cluster populations scale linearly in `n`
+    /// while the cluster geometry stays fixed.
+    pub fn generate(&self, n: usize, seed: u64) -> Relation {
+        debug_assert!(self.validate().is_ok());
+        let mut rng = SeededRng::new(seed);
+        let weights: Vec<f64> = self.components.iter().map(|c| c.weight).collect();
+        let m = self.schema.arity();
+        let mut b = RelationBuilder::with_capacity(self.schema.clone(), n);
+        let mut row = vec![0.0; m];
+        for _ in 0..n {
+            if rng.uniform() < self.outlier_frac {
+                for (j, v) in row.iter_mut().enumerate() {
+                    let (lo, hi) = self.outlier_range[j];
+                    *v = rng.uniform_in(lo, hi);
+                }
+            } else {
+                let c = &self.components[rng.weighted_index(&weights)];
+                let z = if c.latent_rho > 0.0 { rng.standard_normal() } else { 0.0 };
+                let indep = (1.0 - c.latent_rho * c.latent_rho).sqrt();
+                for (j, v) in row.iter_mut().enumerate() {
+                    let e = rng.standard_normal();
+                    *v = c.means[j] + c.sds[j] * (c.latent_rho * z + indep * e);
+                }
+            }
+            b.push_row(&row).expect("generated rows match the schema");
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec2() -> MixtureSpec {
+        MixtureSpec {
+            schema: Schema::interval_attrs(2),
+            components: vec![
+                Component { weight: 1.0, means: vec![0.0, 100.0], sds: vec![1.0, 2.0], latent_rho: 0.0 },
+                Component { weight: 3.0, means: vec![50.0, 200.0], sds: vec![1.0, 2.0], latent_rho: 0.0 },
+            ],
+            outlier_frac: 0.1,
+            outlier_range: vec![(-100.0, 300.0), (-100.0, 400.0)],
+        }
+    }
+
+    #[test]
+    fn validate_catches_mismatches() {
+        assert!(spec2().validate().is_ok());
+        let mut bad = spec2();
+        bad.components[0].means.pop();
+        assert!(bad.validate().is_err());
+        let mut bad = spec2();
+        bad.outlier_frac = 1.5;
+        assert!(bad.validate().is_err());
+        let mut bad = spec2();
+        bad.components.clear();
+        assert!(bad.validate().is_err());
+        let mut bad = spec2();
+        bad.outlier_range.pop();
+        assert!(bad.validate().is_err());
+        let mut bad = spec2();
+        bad.components[1].weight = -1.0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = spec2();
+        let a = s.generate(500, 9);
+        let b = s.generate(500, 9);
+        assert_eq!(a, b);
+        let c = s.generate(500, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn component_weights_shape_the_population() {
+        let s = spec2();
+        let r = s.generate(8_000, 3);
+        // Attribute 0: near 0 → comp 0; near 50 → comp 1.
+        let near0 = r.column(0).iter().filter(|v| v.abs() < 10.0).count();
+        let near50 = r.column(0).iter().filter(|v| (**v - 50.0).abs() < 10.0).count();
+        let ratio = near50 as f64 / near0 as f64;
+        assert!((ratio - 3.0).abs() < 0.5, "ratio {ratio}");
+        // ~10% of tuples are outliers (outside both cluster bands).
+        let outliers = r.len() - near0 - near50;
+        let frac = outliers as f64 / r.len() as f64;
+        assert!((frac - 0.1).abs() < 0.05, "outlier fraction {frac}");
+    }
+
+    #[test]
+    fn scaling_preserves_structure() {
+        // Cluster centroids should not move as n grows — the paper's
+        // constant-complexity scaling methodology.
+        let s = spec2();
+        for n in [1_000, 4_000] {
+            let r = s.generate(n, 7);
+            let near0: Vec<f64> =
+                r.column(0).iter().copied().filter(|v| v.abs() < 10.0).collect();
+            let mean = near0.iter().sum::<f64>() / near0.len() as f64;
+            assert!(mean.abs() < 0.5, "centroid drift at n={n}: {mean}");
+        }
+    }
+}

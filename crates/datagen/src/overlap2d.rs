@@ -1,0 +1,118 @@
+//! The 2-D configuration of the paper's Figure 4.
+//!
+//! Two clusters: `C_X` is dense when projected on the X axis (12 tuples),
+//! `C_Y` dense when projected on the Y axis (13 tuples); 10 tuples lie in
+//! both. Classical confidence ranks `C_X ⇒ C_Y` (10/12) above
+//! `C_Y ⇒ C_X` (10/13), but the three tuples of `C_Y − C_X` sit *close* to
+//! the intersection while the two tuples of `C_X − C_Y` are far from it —
+//! so a distance-based measure must rank `C_Y ⇒ C_X` as the stronger
+//! implication. This module builds exactly that geometry.
+
+use dar_core::{Interval, Relation, RelationBuilder, Schema};
+
+/// X-extent of cluster `C_X`.
+pub fn cx_range() -> Interval {
+    Interval::new(0.0, 1.0)
+}
+
+/// Y-extent of cluster `C_Y`.
+pub fn cy_range() -> Interval {
+    Interval::new(0.0, 1.0)
+}
+
+/// The 15 points of the figure: 10 in the intersection, 2 in `C_X − C_Y`
+/// (X inside, Y far), 3 in `C_Y − C_X` (Y inside, X *moderately* outside —
+/// closer to the intersection than the far-out Y values).
+pub fn figure4_points() -> Vec<(f64, f64)> {
+    let mut pts = Vec::with_capacity(15);
+    // Intersection: a 5×2 lattice filling [0,1]×[0,1].
+    for i in 0..5 {
+        for j in 0..2 {
+            pts.push((0.25 * i as f64, 0.2 + 0.6 * j as f64));
+        }
+    }
+    // C_X − C_Y: X dense, Y distant.
+    pts.push((0.3, 8.0));
+    pts.push((0.7, 9.0));
+    // C_Y − C_X: Y dense, X moderately outside.
+    pts.push((2.5, 0.3));
+    pts.push((2.7, 0.5));
+    pts.push((2.9, 0.7));
+    pts
+}
+
+/// The points as a relation over attributes `(x, y)`.
+pub fn figure4_relation() -> Relation {
+    let mut b = RelationBuilder::with_capacity(Schema::interval_attrs(2), 15);
+    for (x, y) in figure4_points() {
+        b.push_row(&[x, y]).expect("static points match the schema");
+    }
+    b.finish()
+}
+
+/// Row indices of `C_X` (tuples whose X value lies in [`cx_range`]).
+pub fn cx_rows() -> Vec<usize> {
+    figure4_points()
+        .iter()
+        .enumerate()
+        .filter(|(_, (x, _))| cx_range().contains(*x))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Row indices of `C_Y` (tuples whose Y value lies in [`cy_range`]).
+pub fn cy_rows() -> Vec<usize> {
+    figure4_points()
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, y))| cy_range().contains(*y))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_match_figure4() {
+        let cx = cx_rows();
+        let cy = cy_rows();
+        assert_eq!(cx.len(), 12, "|C_X|");
+        assert_eq!(cy.len(), 13, "|C_Y|");
+        let both: Vec<usize> = cx.iter().filter(|i| cy.contains(i)).copied().collect();
+        assert_eq!(both.len(), 10, "|C_X ∩ C_Y|");
+    }
+
+    #[test]
+    fn classical_confidences_are_10_12_and_10_13() {
+        let cx = cx_rows().len() as f64;
+        let cy = cy_rows().len() as f64;
+        assert!((10.0 / cx - 10.0 / 12.0).abs() < 1e-12);
+        assert!((10.0 / cy - 10.0 / 13.0).abs() < 1e-12);
+        assert!(10.0 / cx > 10.0 / cy, "classical ranks C_X ⇒ C_Y higher");
+    }
+
+    #[test]
+    fn difference_sets_have_the_intended_asymmetry() {
+        // C_Y − C_X x-values are closer to C_X's range than
+        // C_X − C_Y y-values are to C_Y's range.
+        let pts = figure4_points();
+        let cx = cx_rows();
+        let cy = cy_rows();
+        let max_x_excursion = cy
+            .iter()
+            .filter(|i| !cx.contains(i))
+            .map(|&i| pts[i].0 - cx_range().hi)
+            .fold(0.0f64, f64::max);
+        let min_y_excursion = cx
+            .iter()
+            .filter(|i| !cy.contains(i))
+            .map(|&i| pts[i].1 - cy_range().hi)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            max_x_excursion < min_y_excursion,
+            "C_Y − C_X ({max_x_excursion}) must sit closer than C_X − C_Y ({min_y_excursion})"
+        );
+    }
+}

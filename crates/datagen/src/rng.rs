@@ -1,0 +1,132 @@
+//! Seeded randomness helpers shared by all generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random source with the handful of distributions the
+/// generators need. Wraps [`StdRng`] so generator code never depends on the
+/// `rand` API surface directly.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: StdRng,
+    /// Cached second value of the last Box–Muller draw.
+    spare_normal: Option<f64>,
+}
+
+impl SeededRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRng { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.inner.random_range(0..n)
+    }
+
+    /// Standard normal via Box–Muller (no `rand_distr` dependency).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Avoid ln(0).
+        let u1 = loop {
+            let u = self.uniform();
+            if u > 1e-300 {
+                break u;
+            }
+        };
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.standard_normal()
+    }
+
+    /// Samples an index according to (unnormalized) non-negative weights.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        debug_assert!(total > 0.0, "weights must not all be zero");
+        let mut x = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SeededRng::new(42);
+        let mut b = SeededRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+            assert_eq!(a.standard_normal(), b.standard_normal());
+        }
+        let mut c = SeededRng::new(43);
+        assert_ne!(a.uniform(), c.uniform());
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = SeededRng::new(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn uniform_in_respects_bounds() {
+        let mut rng = SeededRng::new(1);
+        for _ in 0..1000 {
+            let v = rng.uniform_in(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn weighted_index_obeys_weights() {
+        let mut rng = SeededRng::new(11);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[rng.weighted_index(&[1.0, 0.0, 3.0])] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn index_in_range() {
+        let mut rng = SeededRng::new(5);
+        for _ in 0..100 {
+            assert!(rng.index(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! The paper's running examples: the Figure 1 salary column and the
+//! Figure 2 relations R1/R2.
+
+use dar_core::{Attribute, AttributeKind, Relation, RelationBuilder, Schema};
+
+/// Category code for `Job = Mgr`.
+pub const JOB_MGR: f64 = 0.0;
+/// Category code for `Job = DBA`.
+pub const JOB_DBA: f64 = 1.0;
+
+/// The six salary values of Figure 1, ascending.
+pub fn figure1_salaries() -> Vec<f64> {
+    vec![18_000.0, 30_000.0, 31_000.0, 80_000.0, 81_000.0, 82_000.0]
+}
+
+/// Schema shared by R1 and R2: `(Job nominal, Age interval, Salary interval)`.
+pub fn figure2_schema() -> Schema {
+    Schema::new(vec![
+        Attribute { name: "Job".into(), kind: AttributeKind::Nominal },
+        Attribute::interval("Age"),
+        Attribute::interval("Salary"),
+    ])
+}
+
+fn build(rows: &[[f64; 3]]) -> Relation {
+    let mut b = RelationBuilder::with_capacity(figure2_schema(), rows.len());
+    for row in rows {
+        b.push_row(row).expect("static rows match the schema");
+    }
+    b.finish()
+}
+
+/// Relation R1 of Figure 2: three 30-year-old DBAs at 40K, plus DBAs at
+/// 100K and 90K and a manager at 40K.
+pub fn relation_r1() -> Relation {
+    build(&[
+        [JOB_MGR, 30.0, 40_000.0],
+        [JOB_DBA, 30.0, 40_000.0],
+        [JOB_DBA, 30.0, 40_000.0],
+        [JOB_DBA, 30.0, 40_000.0],
+        [JOB_DBA, 30.0, 100_000.0],
+        [JOB_DBA, 30.0, 90_000.0],
+    ])
+}
+
+/// Relation R2 of Figure 2: identical except the last two DBAs earn 41K and
+/// 42K — *near* 40K, which classical support/confidence cannot see but a
+/// distance-based measure must (Goals 2 and 3).
+pub fn relation_r2() -> Relation {
+    build(&[
+        [JOB_MGR, 30.0, 40_000.0],
+        [JOB_DBA, 30.0, 40_000.0],
+        [JOB_DBA, 30.0, 40_000.0],
+        [JOB_DBA, 30.0, 40_000.0],
+        [JOB_DBA, 30.0, 41_000.0],
+        [JOB_DBA, 30.0, 42_000.0],
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_relations_match_the_paper() {
+        let r1 = relation_r1();
+        let r2 = relation_r2();
+        assert_eq!(r1.len(), 6);
+        assert_eq!(r2.len(), 6);
+        // Rule (1): Job=DBA ∧ Age=30 ⇒ Salary=40,000.
+        // Support 3/6 = 50% in both relations.
+        let matches = |r: &Relation| {
+            (0..r.len())
+                .filter(|&i| {
+                    r.value(i, 0) == JOB_DBA
+                        && r.value(i, 1) == 30.0
+                        && r.value(i, 2) == 40_000.0
+                })
+                .count()
+        };
+        assert_eq!(matches(&r1), 3);
+        assert_eq!(matches(&r2), 3);
+        // Five 30-year-old DBAs in both → confidence 3/5 = 60%.
+        let dbas = |r: &Relation| {
+            (0..r.len())
+                .filter(|&i| r.value(i, 0) == JOB_DBA && r.value(i, 1) == 30.0)
+                .count()
+        };
+        assert_eq!(dbas(&r1), 5);
+        assert_eq!(dbas(&r2), 5);
+    }
+
+    #[test]
+    fn figure1_values_ascending() {
+        let v = figure1_salaries();
+        assert_eq!(v.len(), 6);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,155 @@
+//! A WBCD-like workload: the stand-in for the Wisconsin Breast Cancer Data
+//! used in the paper's Section 7.2 experiments.
+//!
+//! The real WDBC has 569 tuples × 30 numeric attributes (10 cell-nucleus
+//! features, each as mean / standard error / worst) in two diagnostic
+//! classes; the paper used a 500-tuple subset with the 30 numeric
+//! attributes. We cannot fetch UCI data here, so this module generates a
+//! two-component Gaussian mixture whose per-attribute, per-class locations
+//! and spreads are modeled on the published WDBC summary statistics (in the
+//! features' real units). The scalability experiment only depends on the
+//! dataset having a *fixed per-attribute cluster structure* that replicates
+//! as the data grows — which the mixture preserves exactly (see
+//! `DESIGN.md`, substitutions table).
+
+use crate::mixture::{Component, MixtureSpec};
+use dar_core::{Attribute, Relation, Schema};
+
+/// Tuple count of the paper's base dataset.
+pub const WBCD_BASE_TUPLES: usize = 500;
+
+/// `(name, benign mean, benign sd, malignant mean, malignant sd)` for the 30
+/// numeric WDBC attributes, approximated from the published per-class
+/// summary statistics.
+#[rustfmt::skip]
+const FEATURES: [(&str, f64, f64, f64, f64); 30] = [
+    ("radius_mean",             12.15,  1.78,   17.46,  3.20),
+    ("texture_mean",            17.91,  4.00,   21.60,  3.80),
+    ("perimeter_mean",          78.08, 11.80,  115.40, 21.90),
+    ("area_mean",              462.80, 134.0,  978.40, 368.0),
+    ("smoothness_mean",         0.0925, 0.013,   0.1029, 0.013),
+    ("compactness_mean",        0.080,  0.034,   0.145,  0.054),
+    ("concavity_mean",          0.046,  0.043,   0.161,  0.075),
+    ("concave_points_mean",     0.0257, 0.016,   0.088,  0.034),
+    ("symmetry_mean",           0.174,  0.025,   0.193,  0.028),
+    ("fractal_dimension_mean",  0.0629, 0.007,   0.0627, 0.0075),
+    ("radius_se",               0.284,  0.11,    0.609,  0.35),
+    ("texture_se",              1.22,   0.59,    1.21,   0.48),
+    ("perimeter_se",            2.00,   0.77,    4.32,   2.57),
+    ("area_se",                21.10,   8.80,   72.70,  61.30),
+    ("smoothness_se",           0.0072, 0.003,   0.0068, 0.003),
+    ("compactness_se",          0.0214, 0.016,   0.0323, 0.018),
+    ("concavity_se",            0.026,  0.033,   0.0418, 0.021),
+    ("concave_points_se",       0.0099, 0.0057,  0.0151, 0.0055),
+    ("symmetry_se",             0.0206, 0.007,   0.0205, 0.010),
+    ("fractal_dimension_se",    0.0036, 0.0029,  0.0041, 0.0020),
+    ("radius_worst",           13.38,   1.98,   21.13,   4.28),
+    ("texture_worst",          23.50,   5.50,   29.30,   5.40),
+    ("perimeter_worst",        87.00,  13.50,  141.40,  29.50),
+    ("area_worst",            558.90, 163.0,  1422.00, 597.0),
+    ("smoothness_worst",        0.125,  0.020,   0.145,  0.022),
+    ("compactness_worst",       0.183,  0.092,   0.375,  0.170),
+    ("concavity_worst",         0.166,  0.140,   0.451,  0.182),
+    ("concave_points_worst",    0.0744, 0.036,   0.182,  0.046),
+    ("symmetry_worst",          0.270,  0.042,   0.323,  0.074),
+    ("fractal_dimension_worst", 0.0794, 0.014,   0.0915, 0.022),
+];
+
+/// Benign : malignant mixing proportions of the real dataset (357 : 212).
+const BENIGN_WEIGHT: f64 = 357.0;
+const MALIGNANT_WEIGHT: f64 = 212.0;
+
+/// Within-class shared-factor loading. The real WDBC features are strongly
+/// correlated (size features are nearly collinear; pairwise |r| commonly
+/// 0.5–0.99): a cluster on one attribute projects to a *narrow* image on
+/// the others. ρ = 0.9 gives pairwise within-class correlation ρ² ≈ 0.8.
+pub const WBCD_LATENT_RHO: f64 = 0.9;
+
+/// The schema of the WBCD-like relation: 30 interval attributes.
+pub fn wbcd_schema() -> Schema {
+    Schema::new(FEATURES.iter().map(|f| Attribute::interval(f.0)).collect())
+}
+
+/// The two-component mixture spec (no outliers; add them per experiment via
+/// [`wbcd_relation`]).
+pub fn wbcd_spec() -> MixtureSpec {
+    let benign = Component {
+        weight: BENIGN_WEIGHT,
+        means: FEATURES.iter().map(|f| f.1).collect(),
+        sds: FEATURES.iter().map(|f| f.2).collect(),
+        latent_rho: WBCD_LATENT_RHO,
+    };
+    let malignant = Component {
+        weight: MALIGNANT_WEIGHT,
+        means: FEATURES.iter().map(|f| f.3).collect(),
+        sds: FEATURES.iter().map(|f| f.4).collect(),
+        latent_rho: WBCD_LATENT_RHO,
+    };
+    // Outliers span roughly ±4σ beyond both components.
+    let outlier_range = FEATURES
+        .iter()
+        .map(|f| {
+            let lo = (f.1 - 4.0 * f.2).min(f.3 - 4.0 * f.4);
+            let hi = (f.1 + 4.0 * f.2).max(f.3 + 4.0 * f.4);
+            (lo, hi)
+        })
+        .collect();
+    MixtureSpec {
+        schema: wbcd_schema(),
+        components: vec![benign, malignant],
+        outlier_frac: 0.0,
+        outlier_range,
+    }
+}
+
+/// Generates a WBCD-like relation of `n` tuples with the given outlier
+/// fraction — the paper's scaled experiment ("increasing the number of
+/// points per cluster and proportionally the number of irrelevant points").
+pub fn wbcd_relation(n: usize, outlier_frac: f64, seed: u64) -> Relation {
+    let mut spec = wbcd_spec();
+    spec.outlier_frac = outlier_frac;
+    spec.generate(n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_is_valid() {
+        wbcd_spec().validate().unwrap();
+        assert_eq!(wbcd_schema().arity(), 30);
+        assert_eq!(wbcd_schema().attr_by_name("area_worst"), Some(23));
+    }
+
+    #[test]
+    fn class_proportions_hold() {
+        let r = wbcd_relation(WBCD_BASE_TUPLES * 10, 0.0, 17);
+        // area_mean separates the classes reasonably well at ~650.
+        let malignant = r.column(3).iter().filter(|&&v| v > 650.0).count();
+        let frac = malignant as f64 / r.len() as f64;
+        let expected = MALIGNANT_WEIGHT / (MALIGNANT_WEIGHT + BENIGN_WEIGHT);
+        assert!((frac - expected).abs() < 0.08, "malignant frac {frac} vs {expected}");
+    }
+
+    #[test]
+    fn attribute_scales_are_realistic() {
+        let r = wbcd_relation(2_000, 0.0, 23);
+        let mean = |a: usize| r.column(a).iter().sum::<f64>() / r.len() as f64;
+        // Pooled means near the weighted average of class means.
+        assert!((12.0..16.0).contains(&mean(0)), "radius_mean {}", mean(0));
+        assert!((500.0..900.0).contains(&mean(3)), "area_mean {}", mean(3));
+        assert!((0.05..0.15).contains(&mean(4)), "smoothness {}", mean(4));
+    }
+
+    #[test]
+    fn outlier_injection_widens_the_spread() {
+        let clean = wbcd_relation(5_000, 0.0, 5);
+        let noisy = wbcd_relation(5_000, 0.2, 5);
+        let spread = |r: &Relation, a: usize| {
+            let m = r.column(a).iter().sum::<f64>() / r.len() as f64;
+            r.column(a).iter().map(|v| (v - m).powi(2)).sum::<f64>() / r.len() as f64
+        };
+        assert!(spread(&noisy, 0) > spread(&clean, 0));
+    }
+}

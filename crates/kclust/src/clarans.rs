@@ -1,0 +1,194 @@
+//! CLARANS — Clustering Large Applications based on RANdomized Search
+//! (Ng & Han, VLDB 1994), the `[NH94]` k-medoids baseline.
+//!
+//! The search graph's nodes are sets of `k` medoids; neighbors differ in
+//! one medoid. Starting from a random node, CLARANS examines up to
+//! `max_neighbors` random neighbors, moving whenever one improves the
+//! total point-to-nearest-medoid cost; a node none of whose sampled
+//! neighbors improve is a local minimum. The best of `num_local` local
+//! minima wins.
+
+use crate::quality::Clustering;
+use dar_core::Metric;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a CLARANS run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClaransConfig {
+    /// Number of medoids.
+    pub k: usize,
+    /// Local minima to collect (`numlocal` in the paper).
+    pub num_local: usize,
+    /// Random neighbors to examine before declaring a local minimum
+    /// (`maxneighbor`).
+    pub max_neighbors: usize,
+    /// RNG seed (deterministic).
+    pub seed: u64,
+}
+
+impl Default for ClaransConfig {
+    fn default() -> Self {
+        ClaransConfig { k: 8, num_local: 2, max_neighbors: 100, seed: 42 }
+    }
+}
+
+/// Runs CLARANS over `points`. `k` is clamped to the point count.
+pub fn clarans(points: &[Vec<f64>], config: &ClaransConfig) -> Clustering {
+    if points.is_empty() || config.k == 0 {
+        return Clustering { assignments: Vec::new(), centers: Vec::new(), cost: 0.0, work: 0 };
+    }
+    let k = config.k.min(points.len());
+    let n = points.len();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    let mut total_work = 0usize;
+
+    for _ in 0..config.num_local.max(1) {
+        // Random initial medoid set.
+        let mut medoids = sample_distinct(n, k, &mut rng);
+        let mut cost = medoid_cost(points, &medoids);
+        let mut examined = 0usize;
+        while examined < config.max_neighbors.max(1) {
+            total_work += 1;
+            // Random neighbor: swap one medoid for a random non-medoid.
+            let swap_out = rng.random_range(0..k);
+            let swap_in = loop {
+                let c = rng.random_range(0..n);
+                if !medoids.contains(&c) {
+                    break c;
+                }
+                // If every point is a medoid, no neighbor exists.
+                if k == n {
+                    break medoids[swap_out];
+                }
+            };
+            if swap_in == medoids[swap_out] {
+                break; // k == n: nothing to search
+            }
+            let old = medoids[swap_out];
+            medoids[swap_out] = swap_in;
+            let new_cost = medoid_cost(points, &medoids);
+            if new_cost < cost {
+                cost = new_cost;
+                examined = 0; // moved: restart the neighbor counter
+            } else {
+                medoids[swap_out] = old;
+                examined += 1;
+            }
+        }
+        if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+            best = Some((medoids, cost));
+        }
+    }
+
+    let (medoids, cost) = best.expect("at least one local search ran");
+    let centers: Vec<Vec<f64>> = medoids.iter().map(|&m| points[m].clone()).collect();
+    let assignments = points
+        .iter()
+        .map(|p| {
+            let mut bi = 0;
+            let mut bd = f64::INFINITY;
+            for (i, c) in centers.iter().enumerate() {
+                let d = Metric::Euclidean.distance(p, c);
+                if d < bd {
+                    bd = d;
+                    bi = i;
+                }
+            }
+            bi
+        })
+        .collect();
+    Clustering { assignments, centers, cost, work: total_work }
+}
+
+/// Total distance from every point to its nearest medoid.
+fn medoid_cost(points: &[Vec<f64>], medoids: &[usize]) -> f64 {
+    points
+        .iter()
+        .map(|p| {
+            medoids
+                .iter()
+                .map(|&m| Metric::Euclidean.distance(p, &points[m]))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum()
+}
+
+/// Samples `k` distinct indices from `0..n`.
+fn sample_distinct(n: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    debug_assert!(k <= n);
+    let mut chosen = Vec::with_capacity(k);
+    while chosen.len() < k {
+        let c = rng.random_range(0..n);
+        if !chosen.contains(&c) {
+            chosen.push(c);
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            let j = (i % 5) as f64 * 0.1;
+            pts.push(vec![0.0 + j]);
+            pts.push(vec![50.0 + j]);
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_two_blobs() {
+        let pts = blobs();
+        let c = clarans(&pts, &ClaransConfig { k: 2, ..ClaransConfig::default() });
+        assert_eq!(c.k(), 2);
+        let sizes = c.sizes();
+        assert_eq!(sizes, vec![20, 20]);
+        // Medoids are actual data points, one per blob.
+        let mut medoid_blobs: Vec<bool> =
+            c.centers.iter().map(|m| m[0] > 25.0).collect();
+        medoid_blobs.sort_unstable();
+        assert_eq!(medoid_blobs, vec![false, true]);
+        // Cost near within-blob spread only.
+        assert!(c.cost < 20.0, "cost {}", c.cost);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = blobs();
+        let cfg = ClaransConfig { k: 2, seed: 11, ..ClaransConfig::default() };
+        assert_eq!(clarans(&pts, &cfg), clarans(&pts, &cfg));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(clarans(&[], &ClaransConfig::default()).k(), 0);
+        let one = vec![vec![1.0]];
+        let c = clarans(&one, &ClaransConfig { k: 3, ..ClaransConfig::default() });
+        assert_eq!(c.k(), 1);
+        assert_eq!(c.cost, 0.0);
+        // k == n: every point its own medoid, cost 0.
+        let pts = vec![vec![1.0], vec![5.0]];
+        let c = clarans(&pts, &ClaransConfig { k: 2, ..ClaransConfig::default() });
+        assert_eq!(c.cost, 0.0);
+    }
+
+    #[test]
+    fn more_search_never_hurts() {
+        let pts = blobs();
+        let quick = clarans(
+            &pts,
+            &ClaransConfig { k: 2, num_local: 1, max_neighbors: 2, seed: 3 },
+        );
+        let thorough = clarans(
+            &pts,
+            &ClaransConfig { k: 2, num_local: 4, max_neighbors: 200, seed: 3 },
+        );
+        assert!(thorough.cost <= quick.cost);
+    }
+}

@@ -1,0 +1,227 @@
+//! Lloyd's k-means with k-means++ seeding and restarts.
+
+use crate::quality::Clustering;
+use dar_core::Metric;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations per restart.
+    pub max_iters: usize,
+    /// Independent restarts; the lowest-SSE result wins.
+    pub restarts: usize,
+    /// RNG seed (deterministic).
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig { k: 8, max_iters: 50, restarts: 4, seed: 42 }
+    }
+}
+
+/// Runs k-means over `points`. `k` is clamped to the point count; an empty
+/// input yields an empty clustering.
+///
+/// ```
+/// use kclust::{kmeans, KMeansConfig};
+/// let points: Vec<Vec<f64>> =
+///     (0..20).map(|i| vec![if i % 2 == 0 { 0.0 } else { 9.0 } + (i % 3) as f64 * 0.1]).collect();
+/// let c = kmeans(&points, &KMeansConfig { k: 2, ..KMeansConfig::default() });
+/// assert_eq!(c.k(), 2);
+/// assert_eq!(c.sizes(), vec![10, 10]);
+/// ```
+pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Clustering {
+    if points.is_empty() || config.k == 0 {
+        return Clustering { assignments: Vec::new(), centers: Vec::new(), cost: 0.0, work: 0 };
+    }
+    let k = config.k.min(points.len());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut best: Option<Clustering> = None;
+    for _ in 0..config.restarts.max(1) {
+        let candidate = run_once(points, k, config.max_iters, &mut rng);
+        if best.as_ref().is_none_or(|b| candidate.cost < b.cost) {
+            best = Some(candidate);
+        }
+    }
+    best.expect("at least one restart ran")
+}
+
+fn run_once(points: &[Vec<f64>], k: usize, max_iters: usize, rng: &mut StdRng) -> Clustering {
+    let mut centers = plus_plus_seeds(points, k, rng);
+    let mut assignments = vec![0usize; points.len()];
+    let mut work = 0usize;
+    for _ in 0..max_iters.max(1) {
+        work += 1;
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let nearest = nearest_center(p, &centers);
+            if assignments[i] != nearest {
+                assignments[i] = nearest;
+                changed = true;
+            }
+        }
+        // Update.
+        let dims = points[0].len();
+        let mut sums = vec![vec![0.0; dims]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, &v) in sums[a].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for (c, (sum, &count)) in centers.iter_mut().zip(sums.iter().zip(&counts)) {
+            if count > 0 {
+                for (cv, &sv) in c.iter_mut().zip(sum) {
+                    *cv = sv / count as f64;
+                }
+            } else {
+                // Re-seed an emptied cluster at the point farthest from its
+                // center (standard empty-cluster repair).
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        let da = Metric::Euclidean.distance_sq(a, &centers_snapshot(c));
+                        let db = Metric::Euclidean.distance_sq(b, &centers_snapshot(c));
+                        da.total_cmp(&db)
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                c.clone_from(&points[far]);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let cost = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| Metric::Euclidean.distance_sq(p, &centers[a]))
+        .sum();
+    Clustering { assignments, centers, cost, work }
+}
+
+fn centers_snapshot(c: &[f64]) -> Vec<f64> {
+    c.to_vec()
+}
+
+fn nearest_center(p: &[f64], centers: &[Vec<f64>]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centers.iter().enumerate() {
+        let d = Metric::Euclidean.distance_sq(p, c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// k-means++: first seed uniform, each next seed with probability
+/// proportional to its squared distance from the nearest existing seed.
+fn plus_plus_seeds(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centers.push(points[rng.random_range(0..points.len())].clone());
+    let mut dist_sq: Vec<f64> = points
+        .iter()
+        .map(|p| Metric::Euclidean.distance_sq(p, &centers[0]))
+        .collect();
+    while centers.len() < k {
+        let total: f64 = dist_sq.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with a seed; pick uniformly.
+            rng.random_range(0..points.len())
+        } else {
+            let mut x = rng.random::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &d) in dist_sq.iter().enumerate() {
+                x -= d;
+                if x <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centers.push(points[next].clone());
+        for (d, p) in dist_sq.iter_mut().zip(points) {
+            let nd = Metric::Euclidean.distance_sq(p, centers.last().expect("just pushed"));
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    centers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::sse;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..30 {
+            let j = (i % 5) as f64 * 0.1;
+            pts.push(vec![0.0 + j, 0.0]);
+            pts.push(vec![100.0 + j, 0.0]);
+            pts.push(vec![0.0 + j, 100.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_three_blobs() {
+        let pts = blobs();
+        let c = kmeans(&pts, &KMeansConfig { k: 3, ..KMeansConfig::default() });
+        assert_eq!(c.k(), 3);
+        let sizes = c.sizes();
+        assert!(sizes.iter().all(|&s| s == 30), "balanced blobs: {sizes:?}");
+        // SSE near the within-blob jitter only.
+        assert!(c.cost < 30.0, "cost {}", c.cost);
+        assert!((sse(&pts, &c.assignments, 3) - c.cost).abs() < 1e-9);
+        // Each blob center recovered within jitter.
+        for target in [[0.2, 0.0], [100.2, 0.0], [0.2, 100.0]] {
+            assert!(
+                c.centers
+                    .iter()
+                    .any(|ctr| Metric::Euclidean.distance(ctr, &target) < 1.0),
+                "no center near {target:?}: {:?}",
+                c.centers
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = blobs();
+        let cfg = KMeansConfig { k: 3, seed: 7, ..KMeansConfig::default() };
+        assert_eq!(kmeans(&pts, &cfg), kmeans(&pts, &cfg));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = kmeans(&[], &KMeansConfig::default());
+        assert_eq!(empty.k(), 0);
+        let zero_k = kmeans(&blobs(), &KMeansConfig { k: 0, ..KMeansConfig::default() });
+        assert_eq!(zero_k.k(), 0);
+        // k larger than the point count clamps.
+        let pts = vec![vec![1.0], vec![2.0]];
+        let c = kmeans(&pts, &KMeansConfig { k: 10, ..KMeansConfig::default() });
+        assert_eq!(c.k(), 2);
+        assert!(c.cost < 1e-12);
+        // Identical points don't break seeding.
+        let same = vec![vec![3.0]; 5];
+        let c = kmeans(&same, &KMeansConfig { k: 2, ..KMeansConfig::default() });
+        assert_eq!(c.assignments.len(), 5);
+    }
+}

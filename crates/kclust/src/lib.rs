@@ -1,0 +1,34 @@
+//! # kclust
+//!
+//! Global clustering baselines for comparison against the adaptive,
+//! incremental BIRCH Phase I of the `birch` crate:
+//!
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding and restarts,
+//!   the textbook "find K clusters minimizing a distance metric"
+//!   formulation the paper states in Section 4.1 (`[KR90]`, `[ZRL96]`);
+//! * [`clarans`] — the randomized k-medoids search of Ng & Han
+//!   (VLDB 1994), `[NH94]` in the paper's citations;
+//! * [`quality`] — SSE, mean cluster diameter, and centroid-recovery
+//!   metrics shared by the Phase I ablation;
+//! * [`adapter`] — converting any hard assignment into the
+//!   [`ClusterSummary`](dar_core::ClusterSummary) / ACF representation the
+//!   Phase II machinery consumes, so alternative clusterers can drive the
+//!   full rule pipeline.
+//!
+//! Both algorithms are *global* (they need all points in memory and
+//! multiple passes) — exactly the cost profile the paper's adaptive
+//! single-scan approach is designed to avoid; the ablation quantifies what
+//! that convenience trades away.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod clarans;
+pub mod kmeans;
+pub mod quality;
+
+pub use adapter::assignments_to_summaries;
+pub use clarans::{clarans, ClaransConfig};
+pub use kmeans::{kmeans, KMeansConfig};
+pub use quality::{mean_diameter, sse, Clustering};

@@ -1,0 +1,196 @@
+//! Interest measures: the degree of association and its relationship to
+//! classical support/confidence (Section 5, Theorems 5.1 and 5.2).
+
+use dar_core::exact::PointSet;
+use dar_core::{AttrId, CoreError, Interval, Metric, Relation};
+
+/// A simple tuple predicate for classical support/confidence accounting on
+/// relations (used to reproduce Figure 2's numbers).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `attr = value`.
+    Eq(AttrId, f64),
+    /// `lo ≤ attr ≤ hi`.
+    In(AttrId, Interval),
+}
+
+impl Predicate {
+    /// Whether tuple `row` of `relation` satisfies the predicate.
+    pub fn matches(&self, relation: &Relation, row: usize) -> bool {
+        match self {
+            Predicate::Eq(a, v) => relation.value(row, *a) == *v,
+            Predicate::In(a, iv) => iv.contains(relation.value(row, *a)),
+        }
+    }
+}
+
+/// Tuples satisfying every predicate (the extension `|C1 ∧ C2|`).
+pub fn satisfying_rows(relation: &Relation, predicates: &[Predicate]) -> Vec<usize> {
+    (0..relation.len())
+        .filter(|&row| predicates.iter().all(|p| p.matches(relation, row)))
+        .collect()
+}
+
+/// Classical support: `|C1 ∧ C2| / |r|`.
+pub fn support(relation: &Relation, antecedent: &[Predicate], consequent: &[Predicate]) -> f64 {
+    if relation.is_empty() {
+        return 0.0;
+    }
+    let both: Vec<Predicate> = antecedent.iter().chain(consequent).cloned().collect();
+    satisfying_rows(relation, &both).len() as f64 / relation.len() as f64
+}
+
+/// Classical confidence: `|C1 ∧ C2| / |C1|`; `None` when the antecedent is
+/// never satisfied.
+pub fn confidence(
+    relation: &Relation,
+    antecedent: &[Predicate],
+    consequent: &[Predicate],
+) -> Option<f64> {
+    let ant = satisfying_rows(relation, antecedent).len();
+    if ant == 0 {
+        return None;
+    }
+    let both: Vec<Predicate> = antecedent.iter().chain(consequent).cloned().collect();
+    Some(satisfying_rows(relation, &both).len() as f64 / ant as f64)
+}
+
+/// The **degree of association** of the 1:1 DAR `C_X ⇒ C_Y` in its exact
+/// tuple-level form (Dfn 5.1 with the exact D2 of Eq. 6): the average
+/// distance, under `metric`, from the Y-projections of `C_X`'s tuples to the
+/// Y-projections of `C_Y`'s tuples. Lower is stronger.
+pub fn degree_exact(
+    relation: &Relation,
+    cx_rows: &[usize],
+    cy_rows: &[usize],
+    y_attrs: &[AttrId],
+    metric: Metric,
+) -> Result<f64, CoreError> {
+    let cx_on_y = PointSet::new(cx_rows.iter().map(|&r| relation.project(r, y_attrs)).collect())?;
+    let cy = PointSet::new(cy_rows.iter().map(|&r| relation.project(r, y_attrs)).collect())?;
+    cy.d2(&cx_on_y, metric)
+}
+
+/// Theorem 5.2 (forward direction), computable: for nominal clusters
+/// `C_A = σ_{A=a}(r)` and `C_B = σ_{B=b}(r)` under the discrete metric,
+/// `D2(C_B[B], C_A[B]) = 1 − confidence(A=a ⇒ B=b)`.
+///
+/// Returns `(degree, confidence)` so callers can check the identity.
+pub fn theorem_5_2_pair(
+    relation: &Relation,
+    a: AttrId,
+    a_val: f64,
+    b: AttrId,
+    b_val: f64,
+) -> Result<(f64, f64), CoreError> {
+    let ca = satisfying_rows(relation, &[Predicate::Eq(a, a_val)]);
+    let cb = satisfying_rows(relation, &[Predicate::Eq(b, b_val)]);
+    if ca.is_empty() || cb.is_empty() {
+        return Err(CoreError::EmptyCluster);
+    }
+    let degree = degree_exact(relation, &ca, &cb, &[b], Metric::Discrete)?;
+    let conf = confidence(
+        relation,
+        &[Predicate::Eq(a, a_val)],
+        &[Predicate::Eq(b, b_val)],
+    )
+    .expect("C_A is non-empty");
+    Ok((degree, conf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dar_core::{RelationBuilder, Schema};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    /// A small nominal relation: A ∈ {0,1}, B ∈ {10,20}.
+    fn nominal() -> Relation {
+        let mut b = RelationBuilder::new(Schema::interval_attrs(2));
+        // A=0 → B=10 three times, B=20 once; A=1 → B=20 twice.
+        for row in [
+            [0.0, 10.0],
+            [0.0, 10.0],
+            [0.0, 10.0],
+            [0.0, 20.0],
+            [1.0, 20.0],
+            [1.0, 20.0],
+        ] {
+            b.push_row(&row).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn support_and_confidence_basics() {
+        let r = nominal();
+        let ant = [Predicate::Eq(0, 0.0)];
+        let cons = [Predicate::Eq(1, 10.0)];
+        assert!(close(support(&r, &ant, &cons), 3.0 / 6.0));
+        assert!(close(confidence(&r, &ant, &cons).unwrap(), 3.0 / 4.0));
+        // Unsatisfiable antecedent → None.
+        assert_eq!(confidence(&r, &[Predicate::Eq(0, 99.0)], &cons), None);
+        // Interval predicate.
+        let iv = [Predicate::In(1, Interval::new(15.0, 25.0))];
+        assert!(close(support(&r, &[], &iv), 3.0 / 6.0));
+    }
+
+    #[test]
+    fn theorem_5_2_identity_holds() {
+        let r = nominal();
+        // A=0 ⇒ B=10: confidence 3/4, so degree must be 1/4.
+        let (degree, conf) = theorem_5_2_pair(&r, 0, 0.0, 1, 10.0).unwrap();
+        assert!(close(conf, 0.75));
+        assert!(close(degree, 1.0 - conf), "degree {degree} vs 1-conf {}", 1.0 - conf);
+        // A=1 ⇒ B=20: confidence 1, degree 0.
+        let (degree, conf) = theorem_5_2_pair(&r, 0, 1.0, 1, 20.0).unwrap();
+        assert!(close(conf, 1.0));
+        assert!(close(degree, 0.0));
+    }
+
+    #[test]
+    fn theorem_5_2_empty_cluster_is_an_error() {
+        let r = nominal();
+        assert!(theorem_5_2_pair(&r, 0, 42.0, 1, 10.0).is_err());
+    }
+
+    #[test]
+    fn degree_exact_figure2_r2_beats_r1() {
+        // The motivating example: Rule (1) should score better (lower
+        // degree) in R2 than in R1 because 41K/42K are near 40K.
+        let r1 = datagen_r(true);
+        let r2 = datagen_r(false);
+        let deg = |r: &Relation| {
+            // C_X = 30-year-old DBAs; C_Y = the 40K salary cluster.
+            let cx = satisfying_rows(r, &[Predicate::Eq(0, 1.0), Predicate::Eq(1, 30.0)]);
+            let cy = satisfying_rows(r, &[Predicate::Eq(2, 40_000.0)]);
+            degree_exact(r, &cx, &cy, &[2], Metric::Euclidean).unwrap()
+        };
+        assert!(deg(&r2) < deg(&r1), "R2 degree {} !< R1 degree {}", deg(&r2), deg(&r1));
+    }
+
+    /// Local copies of Figure 2's R1/R2 (datagen depends on dar-core, not on
+    /// this crate, so tests rebuild the six rows directly).
+    fn datagen_r(r1: bool) -> Relation {
+        let mut b = RelationBuilder::new(Schema::interval_attrs(3));
+        let tail: [[f64; 3]; 2] = if r1 {
+            [[1.0, 30.0, 100_000.0], [1.0, 30.0, 90_000.0]]
+        } else {
+            [[1.0, 30.0, 41_000.0], [1.0, 30.0, 42_000.0]]
+        };
+        for row in [
+            [0.0, 30.0, 40_000.0],
+            [1.0, 30.0, 40_000.0],
+            [1.0, 30.0, 40_000.0],
+            [1.0, 30.0, 40_000.0],
+            tail[0],
+            tail[1],
+        ] {
+            b.push_row(&row).unwrap();
+        }
+        b.finish()
+    }
+}

@@ -1,0 +1,230 @@
+//! Cluster-summary persistence: save Phase I output, re-run Phase II later.
+//!
+//! The whole point of ACFs is that Phase II needs *only* the summaries
+//! (Theorem 6.1). Persisting them separates the expensive single data scan
+//! from the cheap, re-tunable rule search — mine once, then sweep density
+//! and degree thresholds offline without touching the data again.
+//!
+//! The format is a line-oriented text file; floats are written with Rust's
+//! shortest-roundtrip formatting, so a save/load cycle is lossless.
+//!
+//! ```text
+//! acf-clusters v1 sets=<k> dims=<d0,d1,…>
+//! cluster id=<u32> set=<usize> n=<u64>
+//! bbox <lo> <hi> [<lo> <hi> …]
+//! image <set> ls=<v,…> ss=<v,…>
+//! (one image line per set, then the next cluster)
+//! ```
+
+use dar_core::{Acf, BoundingBox, Cf, ClusterId, ClusterSummary, CoreError, Interval};
+use std::fmt::Write as _;
+
+/// Serializes cluster summaries (all sharing one layout) to the text
+/// format. Returns an error if the clusters disagree on the number of
+/// sets.
+pub fn write_clusters(clusters: &[ClusterSummary]) -> Result<String, CoreError> {
+    let Some(first) = clusters.first() else {
+        return Ok("acf-clusters v1 sets=0 dims=\n".to_string());
+    };
+    let num_sets = first.acf.num_sets();
+    let dims: Vec<String> = (0..num_sets)
+        .map(|s| first.acf.image(s).dims().to_string())
+        .collect();
+    let mut out = format!("acf-clusters v1 sets={num_sets} dims={}\n", dims.join(","));
+    for c in clusters {
+        if c.acf.num_sets() != num_sets {
+            return Err(CoreError::LayoutMismatch(format!(
+                "cluster {} has {} sets, expected {num_sets}",
+                c.id,
+                c.acf.num_sets()
+            )));
+        }
+        let _ = writeln!(out, "cluster id={} set={} n={}", c.id.0, c.set, c.support());
+        let _ = write!(out, "bbox");
+        for iv in c.bbox().intervals() {
+            let _ = write!(out, " {:?} {:?}", iv.lo, iv.hi);
+        }
+        out.push('\n');
+        for s in 0..num_sets {
+            let cf = c.acf.image(s);
+            let ls: Vec<String> = cf.linear_sum().iter().map(|v| format!("{v:?}")).collect();
+            let ss: Vec<String> = cf.square_sum().iter().map(|v| format!("{v:?}")).collect();
+            let _ = writeln!(out, "image {s} ls={} ss={}", ls.join(","), ss.join(","));
+        }
+    }
+    Ok(out)
+}
+
+/// Parses the text format back into cluster summaries.
+pub fn read_clusters(text: &str) -> Result<Vec<ClusterSummary>, CoreError> {
+    let mut lines = text.lines().peekable();
+    let header = lines
+        .next()
+        .ok_or_else(|| CoreError::LayoutMismatch("empty cluster file".into()))?;
+    let num_sets: usize = field(header, "sets=")?
+        .parse()
+        .map_err(|_| CoreError::LayoutMismatch("bad sets= field".into()))?;
+
+    let mut out = Vec::new();
+    while let Some(line) = lines.next() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if !line.starts_with("cluster ") {
+            return Err(CoreError::LayoutMismatch(format!("expected cluster line, got {line:?}")));
+        }
+        let id: u32 = parse_field(line, "id=")?;
+        let set: usize = parse_field(line, "set=")?;
+        let n: u64 = parse_field(line, "n=")?;
+
+        let bbox_line = lines
+            .next()
+            .ok_or_else(|| CoreError::LayoutMismatch("missing bbox line".into()))?;
+        let nums: Vec<f64> = bbox_line
+            .strip_prefix("bbox")
+            .ok_or_else(|| CoreError::LayoutMismatch(format!("expected bbox, got {bbox_line:?}")))?
+            .split_whitespace()
+            .map(|t| {
+                t.parse::<f64>()
+                    .map_err(|_| CoreError::LayoutMismatch(format!("bad bbox number {t:?}")))
+            })
+            .collect::<Result<_, _>>()?;
+        let intervals: Vec<Interval> =
+            nums.chunks(2).map(|c| Interval { lo: c[0], hi: c[1] }).collect();
+        let bbox = BoundingBox::from_intervals(intervals);
+
+        let mut images = Vec::with_capacity(num_sets);
+        for expect in 0..num_sets {
+            let img = lines
+                .next()
+                .ok_or_else(|| CoreError::LayoutMismatch("missing image line".into()))?;
+            let rest = img.strip_prefix("image ").ok_or_else(|| {
+                CoreError::LayoutMismatch(format!("expected image line, got {img:?}"))
+            })?;
+            let s: usize = rest
+                .split_whitespace()
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| CoreError::LayoutMismatch("bad image set index".into()))?;
+            if s != expect {
+                return Err(CoreError::LayoutMismatch(format!(
+                    "image set {s} out of order (expected {expect})"
+                )));
+            }
+            let ls = parse_floats(field(rest, "ls=")?)?;
+            let ss = parse_floats(field(rest, "ss=")?)?;
+            images.push(Cf::from_moments(n, ls, ss)?);
+        }
+        let acf = Acf::from_parts(set, images, bbox)?;
+        out.push(ClusterSummary { id: ClusterId(id), set, acf });
+    }
+    Ok(out)
+}
+
+/// Extracts the whitespace-terminated value of `key` inside `line`.
+fn field<'a>(line: &'a str, key: &str) -> Result<&'a str, CoreError> {
+    let start = line
+        .find(key)
+        .ok_or_else(|| CoreError::LayoutMismatch(format!("missing {key} in {line:?}")))?
+        + key.len();
+    let rest = &line[start..];
+    Ok(rest.split_whitespace().next().unwrap_or(rest))
+}
+
+fn parse_field<T: std::str::FromStr>(line: &str, key: &str) -> Result<T, CoreError> {
+    field(line, key)?
+        .parse()
+        .map_err(|_| CoreError::LayoutMismatch(format!("bad {key} field in {line:?}")))
+}
+
+fn parse_floats(csv: &str) -> Result<Vec<f64>, CoreError> {
+    if csv.is_empty() {
+        return Ok(Vec::new());
+    }
+    csv.split(',')
+        .map(|t| {
+            t.parse::<f64>()
+                .map_err(|_| CoreError::LayoutMismatch(format!("bad float {t:?}")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dar_core::AcfLayout;
+
+    fn sample_clusters() -> Vec<ClusterSummary> {
+        let layout = AcfLayout::new(vec![1, 2]);
+        let mut a = Acf::empty(&layout, 0);
+        a.add_row(&[vec![1.5], vec![10.0, 0.25]]);
+        a.add_row(&[vec![2.5], vec![11.0, 0.5]]);
+        let mut b = Acf::empty(&layout, 1);
+        b.add_row(&[vec![-3.125], vec![0.1, 0.2]]);
+        vec![
+            ClusterSummary { id: ClusterId(3), set: 0, acf: a },
+            ClusterSummary { id: ClusterId(9), set: 1, acf: b },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let clusters = sample_clusters();
+        let text = write_clusters(&clusters).unwrap();
+        let back = read_clusters(&text).unwrap();
+        assert_eq!(clusters, back);
+    }
+
+    #[test]
+    fn roundtrip_survives_awkward_floats() {
+        let layout = AcfLayout::new(vec![1]);
+        let mut a = Acf::empty(&layout, 0);
+        a.add_row(&[vec![0.1 + 0.2]]); // classic non-representable sum
+        a.add_row(&[vec![1e-300]]);
+        a.add_row(&[vec![-123456.789012345]]);
+        let clusters = vec![ClusterSummary { id: ClusterId(0), set: 0, acf: a }];
+        let text = write_clusters(&clusters).unwrap();
+        assert_eq!(read_clusters(&text).unwrap(), clusters);
+    }
+
+    #[test]
+    fn empty_set_roundtrips() {
+        let text = write_clusters(&[]).unwrap();
+        assert!(read_clusters(&text).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_inputs_error_cleanly() {
+        assert!(read_clusters("").is_err());
+        assert!(read_clusters("acf-clusters v1 sets=x dims=").is_err());
+        let good = write_clusters(&sample_clusters()).unwrap();
+        // Truncate mid-cluster.
+        let truncated: String =
+            good.lines().take(2).collect::<Vec<_>>().join("\n");
+        assert!(read_clusters(&truncated).is_err());
+        // Corrupt a float.
+        let corrupt = good.replace("ls=", "ls=oops,");
+        assert!(read_clusters(&corrupt).is_err());
+    }
+
+    #[test]
+    fn phase2_from_persisted_clusters_matches() {
+        use crate::clique::maximal_cliques;
+        use crate::graph::{ClusterDistance, ClusteringGraph, GraphConfig};
+        let clusters = sample_clusters();
+        let text = write_clusters(&clusters).unwrap();
+        let reloaded = read_clusters(&text).unwrap();
+        let cfg = GraphConfig {
+            metric: ClusterDistance::D2,
+            density_thresholds: vec![100.0, 100.0],
+            prune_poor_density: false,
+        };
+        let g1 = ClusteringGraph::build(clusters, &cfg);
+        let g2 = ClusteringGraph::build(reloaded, &cfg);
+        assert_eq!(g1.edges, g2.edges);
+        assert_eq!(
+            maximal_cliques(g1.adjacency(), 0),
+            maximal_cliques(g2.adjacency(), 0)
+        );
+    }
+}

@@ -1,0 +1,365 @@
+//! DAR generation from cliques (Section 6.2, Definitions 5.1–5.3).
+//!
+//! For a pair of cliques `Q1`, `Q2`, each consequent cluster `C_Yj ∈ Q2`
+//! gets an association set
+//! `assoc(C_Yj) = { C_Xi ∈ Q1 : D(C_Yj[Yj], C_Xi[Yj]) ≤ D0_Yj }`; every
+//! non-empty `C_X' ⊆ ∩_j assoc(C_Yj)` with attribute sets disjoint from the
+//! consequent's yields the DAR `C_X' ⇒ C_Y'`. Clique membership supplies
+//! the mutual-closeness conditions among antecedent clusters and among
+//! consequent clusters (the 2nd and 3rd conditions of Dfn 5.3), since all
+//! clique members are pairwise adjacent in the clustering graph.
+
+use crate::graph::{ClusterDistance, ClusteringGraph};
+use std::collections::BTreeSet;
+
+/// Configuration of rule generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleConfig {
+    /// The inter-cluster distance `D` (should match the graph's).
+    pub metric: ClusterDistance,
+    /// Per-set degree-of-association thresholds `D0` — the strength the
+    /// consequent's projections must be matched with (Dfn 5.1), on the
+    /// consequent set's own scale.
+    pub degree_thresholds: Vec<f64>,
+    /// Maximum clusters in an antecedent.
+    pub max_antecedent: usize,
+    /// Maximum clusters in a consequent.
+    pub max_consequent: usize,
+    /// Stop after this many distinct rules (0 = unbounded).
+    pub max_rules: usize,
+    /// Hard budget on clique-pair × consequent-subset combinations
+    /// examined (0 = unbounded). "This process is repeated for all pairs
+    /// of cliques" is quadratic in the clique count; on degenerate graphs
+    /// with very many cliques this cap keeps Phase II bounded.
+    pub max_pair_work: u64,
+}
+
+impl Default for RuleConfig {
+    fn default() -> Self {
+        RuleConfig {
+            metric: ClusterDistance::D2,
+            degree_thresholds: Vec::new(),
+            max_antecedent: 3,
+            max_consequent: 2,
+            max_rules: 100_000,
+            max_pair_work: 10_000_000,
+        }
+    }
+}
+
+/// A distance-based association rule over graph nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dar {
+    /// Antecedent cluster indices (into the graph's cluster slice), sorted.
+    pub antecedent: Vec<usize>,
+    /// Consequent cluster indices, sorted.
+    pub consequent: Vec<usize>,
+    /// Normalized degree of association: the worst (largest)
+    /// `D(C_Yj[Yj], C_Xi[Yj]) / D0_Yj` over all antecedent–consequent
+    /// pairs. Always ≤ 1 for emitted rules; lower is stronger.
+    pub degree: f64,
+    /// Smallest member-cluster support — a lower-bound proxy for how much
+    /// data backs the rule (exact rule frequency needs the optional rescan,
+    /// Section 6.2).
+    pub min_cluster_support: u64,
+}
+
+/// Generates all DARs from the cliques of a clustering graph.
+///
+/// `cliques` is the output of
+/// [`maximal_cliques`](crate::clique::maximal_cliques) over the same graph.
+/// Returns rules sorted by (degree, antecedent, consequent); duplicates
+/// arising from overlapping cliques are emitted once.
+pub fn generate_dars(
+    graph: &ClusteringGraph,
+    cliques: &[Vec<usize>],
+    config: &RuleConfig,
+) -> Vec<Dar> {
+    generate_dars_capped(graph, cliques, config).0
+}
+
+/// Like [`generate_dars`], additionally reporting whether the
+/// `max_rules` / `max_pair_work` budgets truncated the enumeration.
+pub fn generate_dars_capped(
+    graph: &ClusteringGraph,
+    cliques: &[Vec<usize>],
+    config: &RuleConfig,
+) -> (Vec<Dar>, bool) {
+    let clusters = graph.clusters();
+    let mut seen: BTreeSet<(Vec<usize>, Vec<usize>)> = BTreeSet::new();
+    let mut out: Vec<Dar> = Vec::new();
+    let mut work: u64 = 0;
+    let mut truncated = false;
+
+    'pairs: for q2 in cliques {
+        // Enumerate consequent subsets of Q2 once per Q2; antecedents come
+        // from every clique Q1 (including Q2 itself).
+        let consequents = subsets_up_to(q2, config.max_consequent);
+        for q1 in cliques {
+            for cons in &consequents {
+                work += 1;
+                if config.max_pair_work != 0 && work > config.max_pair_work {
+                    truncated = true;
+                    break 'pairs;
+                }
+                // assoc(C_Yj) for each consequent member, intersected.
+                let mut candidates: Vec<usize> = q1
+                    .iter()
+                    .copied()
+                    .filter(|&x| {
+                        cons.iter().all(|&y| {
+                            if clusters[x].set == clusters[y].set {
+                                return false;
+                            }
+                            let yset = clusters[y].set;
+                            let d = config
+                                .metric
+                                .between(&clusters[y].acf, &clusters[x].acf, yset)
+                                .expect("graph clusters are non-empty");
+                            d <= config.degree_thresholds[yset]
+                        })
+                    })
+                    .filter(|x| !cons.contains(x))
+                    .collect();
+                candidates.sort_unstable();
+                candidates.dedup();
+                if candidates.is_empty() {
+                    continue;
+                }
+                for ant in subsets_up_to(&candidates, config.max_antecedent) {
+                    // Antecedent sets must also be pairwise disjoint with
+                    // each other; clique membership of Q1 guarantees
+                    // distinct sets, but `candidates` may be a subset of a
+                    // clique — still pairwise adjacent, hence distinct.
+                    let key = (ant.clone(), cons.clone());
+                    if seen.contains(&key) {
+                        continue;
+                    }
+                    let degree = rule_degree(graph, &ant, cons, config);
+                    let min_cluster_support = ant
+                        .iter()
+                        .chain(cons.iter())
+                        .map(|&i| clusters[i].support())
+                        .min()
+                        .unwrap_or(0);
+                    seen.insert(key);
+                    out.push(Dar {
+                        antecedent: ant,
+                        consequent: cons.clone(),
+                        degree,
+                        min_cluster_support,
+                    });
+                    if config.max_rules != 0 && out.len() >= config.max_rules {
+                        truncated = true;
+                        break 'pairs;
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        a.degree
+            .total_cmp(&b.degree)
+            .then_with(|| a.antecedent.cmp(&b.antecedent))
+            .then_with(|| a.consequent.cmp(&b.consequent))
+    });
+    (out, truncated)
+}
+
+/// Normalized degree of a candidate rule: the worst pairwise
+/// antecedent→consequent association relative to the per-set thresholds.
+fn rule_degree(
+    graph: &ClusteringGraph,
+    ant: &[usize],
+    cons: &[usize],
+    config: &RuleConfig,
+) -> f64 {
+    let clusters = graph.clusters();
+    let mut worst = 0.0f64;
+    for &y in cons {
+        let yset = clusters[y].set;
+        let d0 = config.degree_thresholds[yset];
+        for &x in ant {
+            let d = config
+                .metric
+                .between(&clusters[y].acf, &clusters[x].acf, yset)
+                .expect("graph clusters are non-empty");
+            worst = worst.max(if d0 > 0.0 { d / d0 } else { f64::INFINITY });
+        }
+    }
+    worst
+}
+
+/// All non-empty subsets of `items` with at most `max_len` elements, each
+/// sorted ascending. Enumerates combinations directly (`Σ_k C(n,k)`), so
+/// large cliques with small arity caps stay cheap.
+fn subsets_up_to(items: &[usize], max_len: usize) -> Vec<Vec<usize>> {
+    let mut sorted: Vec<usize> = items.to_vec();
+    sorted.sort_unstable();
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(max_len);
+    fn recurse(
+        sorted: &[usize],
+        start: usize,
+        max_len: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        for i in start..sorted.len() {
+            current.push(sorted[i]);
+            out.push(current.clone());
+            if current.len() < max_len {
+                recurse(sorted, i + 1, max_len, current, out);
+            }
+            current.pop();
+        }
+    }
+    if max_len > 0 {
+        recurse(&sorted, 0, max_len, &mut current, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clique::maximal_cliques;
+    use crate::graph::GraphConfig;
+    use dar_core::{Acf, AcfLayout, ClusterId, ClusterSummary};
+
+    /// Three attribute sets; clusters built from the *same* underlying
+    /// tuples so that co-located clusters have coincident images.
+    /// Tuples: 10 rows at (age≈44, dep≈3, claims≈12k).
+    fn co_located_clusters() -> Vec<ClusterSummary> {
+        let layout = AcfLayout::new(vec![1, 1, 1]);
+        let mut acfs: Vec<Acf> =
+            (0..3).map(|set| Acf::empty(&layout, set)).collect();
+        for k in 0..10 {
+            let jitter = 0.05 * k as f64;
+            let projections = vec![
+                vec![44.0 + jitter],
+                vec![3.0 + jitter * 0.1],
+                vec![12_000.0 + jitter * 10.0],
+            ];
+            for acf in &mut acfs {
+                acf.add_row(&projections);
+            }
+        }
+        acfs.into_iter()
+            .enumerate()
+            .map(|(i, acf)| ClusterSummary { id: ClusterId(i as u32), set: i, acf })
+            .collect()
+    }
+
+    fn mine(clusters: Vec<ClusterSummary>, d0: f64, degree: f64) -> (ClusteringGraph, Vec<Dar>) {
+        let num_sets = 3;
+        let gcfg = GraphConfig {
+            metric: ClusterDistance::D2,
+            density_thresholds: vec![d0; num_sets],
+            prune_poor_density: false,
+        };
+        let graph = ClusteringGraph::build(clusters, &gcfg);
+        let (cliques, _) = maximal_cliques(graph.adjacency(), 0);
+        let rcfg = RuleConfig {
+            metric: ClusterDistance::D2,
+            degree_thresholds: vec![degree; num_sets],
+            max_antecedent: 2,
+            max_consequent: 2,
+            max_rules: 0,
+            max_pair_work: 0,
+        };
+        let rules = generate_dars(&graph, &cliques, &rcfg);
+        (graph, rules)
+    }
+
+    #[test]
+    fn co_located_clusters_yield_rules_of_all_arities() {
+        let (graph, rules) = mine(co_located_clusters(), 5.0, 5.0);
+        assert_eq!(graph.edges, 3, "triangle over the three sets");
+        assert!(!rules.is_empty());
+        // 1:1 rules both directions.
+        assert!(rules.iter().any(|r| r.antecedent == vec![0] && r.consequent == vec![2]));
+        assert!(rules.iter().any(|r| r.antecedent == vec![2] && r.consequent == vec![0]));
+        // N:1 rule {age, dep} ⇒ claims.
+        assert!(rules.iter().any(|r| r.antecedent == vec![0, 1] && r.consequent == vec![2]));
+        // 1:N rule age ⇒ {dep, claims}.
+        assert!(rules.iter().any(|r| r.antecedent == vec![0] && r.consequent == vec![1, 2]));
+        // All degrees are within threshold and normalized.
+        for r in &rules {
+            assert!(r.degree <= 1.0 + 1e-9, "{r:?}");
+            assert_eq!(r.min_cluster_support, 10);
+        }
+        // No duplicates.
+        let mut keys: Vec<_> =
+            rules.iter().map(|r| (r.antecedent.clone(), r.consequent.clone())).collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), before);
+    }
+
+    #[test]
+    fn degree_threshold_gates_rules() {
+        // With a tiny degree threshold nothing associates.
+        let (_, rules) = mine(co_located_clusters(), 5.0, 1e-6);
+        assert!(rules.is_empty());
+    }
+
+    #[test]
+    fn arity_caps_are_respected() {
+        let layoutless = co_located_clusters();
+        let gcfg = GraphConfig {
+            metric: ClusterDistance::D2,
+            density_thresholds: vec![5.0; 3],
+            prune_poor_density: false,
+        };
+        let graph = ClusteringGraph::build(layoutless, &gcfg);
+        let (cliques, _) = maximal_cliques(graph.adjacency(), 0);
+        let rcfg = RuleConfig {
+            metric: ClusterDistance::D2,
+            degree_thresholds: vec![5.0; 3],
+            max_antecedent: 1,
+            max_consequent: 1,
+            max_rules: 0,
+            max_pair_work: 0,
+        };
+        let rules = generate_dars(&graph, &cliques, &rcfg);
+        assert!(rules.iter().all(|r| r.antecedent.len() == 1 && r.consequent.len() == 1));
+        // 3 clusters × 2 directed pairs each = 6 1:1 rules.
+        assert_eq!(rules.len(), 6);
+    }
+
+    #[test]
+    fn max_rules_truncates() {
+        let (graph, _) = mine(co_located_clusters(), 5.0, 5.0);
+        let (cliques, _) = maximal_cliques(graph.adjacency(), 0);
+        let rcfg = RuleConfig {
+            metric: ClusterDistance::D2,
+            degree_thresholds: vec![5.0; 3],
+            max_antecedent: 2,
+            max_consequent: 2,
+            max_rules: 3,
+            max_pair_work: 0,
+        };
+        let (rules, truncated) = generate_dars_capped(&graph, &cliques, &rcfg);
+        assert_eq!(rules.len(), 3);
+        assert!(truncated);
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        let s = subsets_up_to(&[4, 7, 9], 2);
+        assert_eq!(s.len(), 6); // 3 singletons + 3 pairs
+        assert!(s.contains(&vec![4, 9]));
+        assert!(subsets_up_to(&[], 2).is_empty());
+        assert!(subsets_up_to(&[1], 0).is_empty());
+    }
+
+    #[test]
+    fn output_sorted_by_degree() {
+        let (_, rules) = mine(co_located_clusters(), 5.0, 5.0);
+        for w in rules.windows(2) {
+            assert!(w[0].degree <= w[1].degree);
+        }
+    }
+}

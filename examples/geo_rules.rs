@@ -1,0 +1,76 @@
+//! Multi-attribute sets: clustering latitude and longitude **jointly**.
+//!
+//! Section 5.2 of the paper: a multi-attribute set is only meaningful when
+//! a joint distance metric exists — latitude/longitude with Euclidean
+//! distance being its example. This example partitions a listings relation
+//! into the 2-D set {lat, lon} and the 1-D set {price}, mines DARs, and
+//! shows location-box ⇒ price-band rules.
+//!
+//! Run with: `cargo run --release --example geo_rules`
+
+use interval_rules::core::AttrSet;
+use interval_rules::datagen::geo::{geo_relation, HOTSPOTS, LAT, LON, PRICE};
+use interval_rules::mining::describe::describe_rule;
+use interval_rules::prelude::*;
+
+fn main() {
+    let relation = geo_relation(20_000, 11);
+
+    // One 2-D spatial set, one 1-D price set — the user-supplied
+    // partitioning of Section 4.3 footnote 2.
+    let partitioning = Partitioning::new(
+        relation.schema(),
+        vec![
+            AttrSet { attrs: vec![LAT, LON], metric: Metric::Euclidean },
+            AttrSet { attrs: vec![PRICE], metric: Metric::Euclidean },
+        ],
+    )
+    .expect("disjoint sets");
+
+    let config = DarConfig {
+        // Degrees of lat/lon vs dollars: per-set thresholds.
+        initial_thresholds: Some(vec![0.06, 60_000.0]),
+        min_support_frac: 0.1,
+        max_antecedent: 1,
+        max_consequent: 1,
+        rescan_candidate_frequency: true,
+        ..DarConfig::default()
+    };
+    let result = DarMiner::new(config)
+        .mine(&relation, &partitioning)
+        .expect("valid partitioning");
+
+    println!(
+        "{} clusters ({} frequent), {} edges, {} rules\n",
+        result.stats.clusters_total,
+        result.stats.clusters_frequent,
+        result.stats.graph_edges,
+        result.stats.rules
+    );
+    let clusters = result.graph.clusters();
+    println!("Location ⇒ price rules:");
+    for (i, rule) in result.rules.iter().enumerate() {
+        if clusters[rule.antecedent[0]].set == 0 && clusters[rule.consequent[0]].set == 1 {
+            println!(
+                "  {}  [frequency {}]",
+                describe_rule(rule, clusters, relation.schema(), &partitioning),
+                result.rule_frequencies[i]
+            );
+        }
+    }
+
+    // Each hotspot must be recovered as a spatial cluster implying a price
+    // band containing its true price level.
+    for &(lat, lon, price) in &HOTSPOTS {
+        let found = result.rules.iter().any(|rule| {
+            let ant = &clusters[rule.antecedent[0]];
+            let cons = &clusters[rule.consequent[0]];
+            ant.set == 0
+                && cons.set == 1
+                && ant.bbox().contains(&[lat, lon])
+                && cons.bbox().contains(&[price])
+        });
+        println!("hotspot ({lat:.2}, {lon:.2}) ⇒ ~${price}: {found}");
+        assert!(found, "hotspot rule must be mined");
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: mine distance-based association rules from a small relation.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use interval_rules::mining::describe::describe_rule;
+use interval_rules::prelude::*;
+
+fn main() {
+    // A tiny employees relation: two salary bands that co-occur with two
+    // age bands.
+    let schema = Schema::new(vec![
+        Attribute::interval("Age"),
+        Attribute::interval("Salary"),
+    ]);
+    let mut builder = RelationBuilder::new(schema);
+    for i in 0..200 {
+        let jitter = (i % 10) as f64 * 0.1;
+        if i % 2 == 0 {
+            // Junior cohort: ~28 years, ~$45K.
+            builder.push_row(&[28.0 + jitter, 45_000.0 + 300.0 * jitter]).unwrap();
+        } else {
+            // Senior cohort: ~52 years, ~$110K.
+            builder.push_row(&[52.0 + jitter, 110_000.0 + 300.0 * jitter]).unwrap();
+        }
+    }
+    let relation = builder.finish();
+
+    // One attribute set per attribute; Euclidean distance within each.
+    let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
+
+    // Ages move in years, salaries in dollars: give each its own initial
+    // diameter threshold.
+    let config = DarConfig {
+        initial_thresholds: Some(vec![3.0, 3_000.0]),
+        min_support_frac: 0.2,
+        ..DarConfig::default()
+    };
+    let result = DarMiner::new(config).mine(&relation, &partitioning).expect("valid partitioning");
+
+    println!(
+        "Phase I found {} clusters ({} frequent at s0 = {}); \
+         Phase II built a graph with {} edges and mined {} rules:\n",
+        result.stats.clusters_total,
+        result.stats.clusters_frequent,
+        result.stats.s0,
+        result.stats.graph_edges,
+        result.stats.rules,
+    );
+    for rule in &result.rules {
+        println!(
+            "  {}",
+            describe_rule(rule, result.graph.clusters(), relation.schema(), &partitioning)
+        );
+    }
+    assert!(result.stats.rules >= 2, "both cohorts should yield rules");
+}

@@ -1,0 +1,47 @@
+//! The paper's motivating examples, end to end:
+//!
+//! 1. Figure 1 — equi-depth partitioning (the SA96 quantitative-rule
+//!    baseline) groups distant salaries together; distance-based
+//!    partitioning does not.
+//! 2. Figure 2 — classical support/confidence cannot distinguish relations
+//!    R1 and R2 for the rule `Job=DBA ∧ Age=30 ⇒ Salary=40,000`, but the
+//!    distance-based degree of association can.
+//!
+//! Run with: `cargo run --example salary_partitioning`
+
+use interval_rules::classic::{equi_depth, gap_partition};
+use interval_rules::core::Metric;
+use interval_rules::datagen::salary::{
+    figure1_salaries, relation_r1, relation_r2, JOB_DBA,
+};
+use interval_rules::mining::interest::{
+    confidence, degree_exact, satisfying_rows, support, Predicate,
+};
+
+fn main() {
+    // ---- Figure 1 ----------------------------------------------------
+    let salaries = figure1_salaries();
+    println!("Salary values: {salaries:?}\n");
+    println!("Equi-depth (depth 2):      {:?}", equi_depth(&salaries, 2));
+    println!("Distance-based (gap 5K):   {:?}\n", gap_partition(&salaries, 5_000.0));
+
+    // ---- Figure 2 ----------------------------------------------------
+    let antecedent = [Predicate::Eq(0, JOB_DBA), Predicate::Eq(1, 30.0)];
+    let consequent = [Predicate::Eq(2, 40_000.0)];
+    for (name, relation) in [("R1", relation_r1()), ("R2", relation_r2())] {
+        let s = support(&relation, &antecedent, &consequent);
+        let c = confidence(&relation, &antecedent, &consequent).unwrap();
+        let cx = satisfying_rows(&relation, &antecedent);
+        let cy = satisfying_rows(&relation, &consequent);
+        let degree = degree_exact(&relation, &cx, &cy, &[2], Metric::Euclidean).unwrap();
+        println!(
+            "{name}: support {:.0}%, confidence {:.0}%, degree of association ${degree:.0}",
+            100.0 * s,
+            100.0 * c
+        );
+    }
+    println!(
+        "\nClassical measures are identical; the degree of association is ~37x\n\
+         smaller in R2, capturing that 41K/42K are *near* 40,000 (Goals 2–3)."
+    );
+}

@@ -1,0 +1,75 @@
+//! # interval-rules
+//!
+//! A from-scratch Rust implementation of **distance-based association rules
+//! over interval data** (R. J. Miller & Y. Yang, SIGMOD 1997), including
+//! every substrate the paper depends on:
+//!
+//! * [`core`] *(re-exported from `dar-core`)* — relations, schemas,
+//!   attribute partitionings, distance metrics, and the CF/ACF summary
+//!   algebra (Equations 2–7 of the paper);
+//! * [`birch`] — the adaptive BIRCH-style ACF-tree clustering engine of
+//!   Phase I, with memory budgeting, threshold-raising rebuilds and outlier
+//!   paging (Sections 3, 4.3.1, 6.1);
+//! * [`classic`] — the classical Apriori baseline and the Srikant–Agrawal
+//!   quantitative-association-rule baseline (equi-depth partitioning with
+//!   K-partial completeness) that the paper critiques;
+//! * [`mining`] — Phase II: the clustering graph (Dfn 6.1), maximal-clique
+//!   enumeration, DAR generation of arbitrary arity (Dfns 5.1–5.3), the
+//!   degree-of-association interest measure with the Theorem 5.1/5.2
+//!   correspondence, and the full pipeline;
+//! * [`datagen`] — seeded synthetic workloads reproducing every figure of
+//!   the paper's evaluation (see `DESIGN.md` for the WBCD substitution).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use interval_rules::prelude::*;
+//!
+//! // Two co-occurring value blocks over three interval attributes.
+//! let mut builder = RelationBuilder::new(Schema::interval_attrs(3));
+//! for i in 0..60 {
+//!     let jitter = (i % 6) as f64 * 0.01;
+//!     if i % 2 == 0 {
+//!         builder.push_row(&[jitter, 100.0 + jitter, 5.0 + jitter]).unwrap();
+//!     } else {
+//!         builder.push_row(&[50.0 + jitter, 200.0 + jitter, 9.0 + jitter]).unwrap();
+//!     }
+//! }
+//! let relation = builder.finish();
+//!
+//! // One attribute set per attribute, Euclidean distances.
+//! let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
+//!
+//! let mut config = DarConfig::default();
+//! config.birch.initial_threshold = 1.0;
+//! config.min_support_frac = 0.1;
+//! let result = DarMiner::new(config).mine(&relation, &partitioning).expect("valid partitioning");
+//!
+//! assert!(result.stats.rules > 0);
+//! for rule in result.rules.iter().take(3) {
+//!     println!(
+//!         "{}",
+//!         interval_rules::mining::describe::describe_rule(
+//!             rule, result.graph.clusters(), relation.schema(), &partitioning)
+//!     );
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use birch;
+pub use classic;
+pub use dar_core as core;
+pub use datagen;
+pub use mining;
+
+/// The common imports for working with the miner.
+pub mod prelude {
+    pub use birch::BirchConfig;
+    pub use dar_core::{
+        Attribute, AttributeKind, Interval, Metric, Partitioning, Relation, RelationBuilder,
+        Schema,
+    };
+    pub use mining::{ClusterDistance, DarConfig, DarMiner, MineResult};
+}

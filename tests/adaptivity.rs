@@ -1,0 +1,105 @@
+//! Integration tests of the adaptive behaviour (Section 3's operating
+//! constraint): precision under memory budgets, outlier handling, and the
+//! quality/memory trade-off.
+
+use interval_rules::birch::{AcfForest, BirchConfig};
+use interval_rules::datagen::grid::grid_spec;
+use interval_rules::datagen::wbcd::wbcd_relation;
+use interval_rules::prelude::*;
+
+fn cluster_count(relation: &Relation, budget: usize) -> (usize, usize, f64) {
+    let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
+    let config = BirchConfig {
+        initial_threshold: 0.0,
+        memory_budget: budget,
+        ..BirchConfig::default()
+    };
+    let mut forest = AcfForest::new(partitioning, &config);
+    forest.scan(relation);
+    let stats = forest.stats();
+    let rebuilds = stats.total_rebuilds();
+    let max_threshold = stats
+        .trees
+        .iter()
+        .map(|t| t.threshold)
+        .fold(0.0f64, f64::max);
+    (forest.finish().iter().map(Vec::len).sum(), rebuilds, max_threshold)
+}
+
+#[test]
+fn more_memory_means_finer_clusters() {
+    let relation = wbcd_relation(8_000, 0.1, 31);
+    let budgets = [16 << 10, 64 << 10, 512 << 10];
+    let results: Vec<(usize, usize, f64)> =
+        budgets.iter().map(|&b| cluster_count(&relation, b)).collect();
+    // Cluster counts must be non-decreasing in the budget...
+    assert!(results[0].0 <= results[1].0, "{results:?}");
+    assert!(results[1].0 <= results[2].0, "{results:?}");
+    // ...and final thresholds non-increasing (coarser under pressure).
+    // (Rebuild *counts* are not monotone: a tight budget raises the
+    // threshold in larger jumps and may converge in fewer rebuilds.)
+    assert!(results[0].2 >= results[2].2, "{results:?}");
+    assert!(results[0].1 > 0, "tight budget must have adapted at all");
+}
+
+#[test]
+fn adaptation_never_loses_tuples() {
+    let relation = wbcd_relation(5_000, 0.2, 7);
+    let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
+    for budget in [8 << 10, 32 << 10, 1 << 20] {
+        let config = BirchConfig {
+            initial_threshold: 0.0,
+            memory_budget: budget,
+            outlier_entry_limit: 10,
+            ..BirchConfig::default()
+        };
+        let mut forest = AcfForest::new(partitioning.clone(), &config);
+        forest.scan(&relation);
+        for clusters in forest.finish() {
+            let total: u64 = clusters.iter().map(|c| c.n()).sum();
+            assert_eq!(total, relation.len() as u64, "budget {budget}");
+        }
+    }
+}
+
+#[test]
+fn outlier_paging_does_not_break_cluster_recovery() {
+    // Heavy planted structure + scattered noise, tight budget, aggressive
+    // outlier paging: the planted clusters must still dominate the output.
+    let spec = grid_spec(2, 3, 100.0, 1.0, 0.15);
+    let relation = spec.generate(9_000, 13);
+    let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
+    let config = BirchConfig {
+        initial_threshold: 0.0,
+        memory_budget: 16 << 10,
+        outlier_entry_limit: 50,
+        ..BirchConfig::default()
+    };
+    let mut forest = AcfForest::new(partitioning, &config);
+    forest.scan(&relation);
+    let per_set = forest.finish();
+    for (set, clusters) in per_set.iter().enumerate() {
+        // The three planted centers must each be represented by a cluster
+        // holding a large population.
+        for comp in 0..3 {
+            let center = 100.0 * ((comp + set) % 3) as f64;
+            let found = clusters.iter().any(|c| {
+                c.n() > 1_500 && (c.centroid_on(set).unwrap()[0] - center).abs() < 20.0
+            });
+            assert!(found, "set {set}: no heavy cluster near {center}");
+        }
+    }
+}
+
+#[test]
+fn quality_degrades_gracefully_not_catastrophically() {
+    // Even at a punishing budget, the recovered cluster count stays within
+    // sane bounds (neither 1 nor unbounded) and the planted structure at a
+    // generous budget is exact.
+    let spec = grid_spec(2, 4, 100.0, 1.0, 0.0);
+    let relation = spec.generate(6_000, 41);
+    let (tight, _, _) = cluster_count(&relation, 4 << 10);
+    let (roomy, _, _) = cluster_count(&relation, 4 << 20);
+    assert!(tight >= 2, "tight budget collapsed to {tight} clusters");
+    assert!(roomy >= tight);
+}

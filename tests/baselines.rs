@@ -1,0 +1,160 @@
+//! Cross-checks between the three rule formulations on shared workloads:
+//! classical Apriori, quantitative association rules (SA96), generalized
+//! quantitative association rules (Dfn 4.4), and distance-based rules.
+
+use interval_rules::birch::BirchConfig;
+use interval_rules::classic::{
+    apriori, generate_rules, mine_qar, AprioriConfig, ItemId, QarConfig, TransactionSet,
+};
+use interval_rules::mining::gqar::{mine_gqar, GqarConfig};
+use interval_rules::prelude::*;
+use proptest::prelude::*;
+
+/// Support is anti-monotone: every subset of a frequent itemset is frequent
+/// with at least the same support (the property Apriori exploits).
+#[test]
+fn apriori_support_is_anti_monotone() {
+    proptest!(|(raw in prop::collection::vec(
+        prop::collection::vec(0u32..8, 0..6), 1..50))| {
+        let mut tx = TransactionSet::new();
+        for items in &raw {
+            tx.push(items.iter().map(|&i| ItemId(i)).collect());
+        }
+        let freq = apriori(&tx, &AprioriConfig { min_support: 2, max_len: 0 });
+        for (itemset, support) in freq.iter() {
+            if itemset.len() < 2 {
+                continue;
+            }
+            for skip in 0..itemset.len() {
+                let sub: Vec<ItemId> = itemset
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != skip)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let sub_support = freq.support(&sub);
+                prop_assert!(sub_support.is_some(), "subset of frequent must be frequent");
+                prop_assert!(sub_support.unwrap() >= support);
+            }
+        }
+    });
+}
+
+/// Rule confidence from `generate_rules` always equals
+/// `supp(union)/supp(antecedent)` recomputed from the itemsets.
+#[test]
+fn rule_confidence_consistency() {
+    proptest!(|(raw in prop::collection::vec(
+        prop::collection::vec(0u32..6, 1..5), 5..40))| {
+        let mut tx = TransactionSet::new();
+        for items in &raw {
+            tx.push(items.iter().map(|&i| ItemId(i)).collect());
+        }
+        let freq = apriori(&tx, &AprioriConfig { min_support: 2, max_len: 0 });
+        for rule in generate_rules(&freq, 0.0) {
+            let mut union = rule.antecedent.clone();
+            union.extend(&rule.consequent);
+            union.sort_unstable();
+            let u = freq.support(&union).unwrap();
+            let a = freq.support(&rule.antecedent).unwrap();
+            prop_assert_eq!(u, rule.support);
+            prop_assert!((rule.confidence - u as f64 / a as f64).abs() < 1e-12);
+        }
+    });
+}
+
+/// A two-block relation where all three quantitative formulations must
+/// discover the cross-attribute association.
+fn two_block_relation() -> Relation {
+    let mut builder = RelationBuilder::new(Schema::interval_attrs(2));
+    for i in 0..100 {
+        let jitter = (i % 10) as f64 * 0.05;
+        if i % 2 == 0 {
+            builder.push_row(&[10.0 + jitter, 500.0 + jitter]).unwrap();
+        } else {
+            builder.push_row(&[90.0 + jitter, 900.0 + jitter]).unwrap();
+        }
+    }
+    builder.finish()
+}
+
+#[test]
+fn qar_gqar_and_dar_agree_on_block_structure() {
+    let relation = two_block_relation();
+    let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
+
+    // --- SA96 QAR ---
+    let qar_rules = mine_qar(
+        &relation,
+        &[0, 1],
+        &QarConfig { min_support_frac: 0.3, min_confidence: 0.9, ..QarConfig::default() },
+    );
+    let qar_found = qar_rules.iter().any(|r| {
+        r.antecedent.iter().any(|(a, iv)| *a == 0 && iv.contains(10.0))
+            && r.consequent.iter().any(|(a, iv)| *a == 1 && iv.contains(500.0))
+    });
+    assert!(qar_found, "QAR misses the block: {qar_rules:?}");
+
+    // --- DAR ---
+    let config = DarConfig {
+        birch: BirchConfig { memory_budget: usize::MAX, ..BirchConfig::default() },
+        initial_thresholds: Some(vec![2.0, 2.0]),
+        min_support_frac: 0.3,
+        max_antecedent: 1,
+        max_consequent: 1,
+        ..DarConfig::default()
+    };
+    let result = DarMiner::new(config).mine(&relation, &partitioning).expect("valid partitioning");
+    let clusters = result.graph.clusters();
+    let dar_found = result.rules.iter().any(|r| {
+        let ant = &clusters[r.antecedent[0]];
+        let cons = &clusters[r.consequent[0]];
+        ant.set == 0
+            && cons.set == 1
+            && ant.bbox().contains(&[10.0])
+            && cons.bbox().contains(&[500.0])
+    });
+    assert!(dar_found, "DAR misses the block");
+
+    // --- GQAR over the DAR clusters ---
+    let gqar = mine_gqar(
+        &relation,
+        &partitioning,
+        clusters,
+        &GqarConfig { min_support: 30, min_confidence: 0.9, max_len: 2 },
+    );
+    assert!(!gqar.is_empty(), "GQAR over the same clusters must find rules");
+    // GQAR confidences on this clean block structure are 1.0.
+    assert!(gqar.iter().any(|r| r.confidence > 0.99));
+}
+
+/// On clean block data, the DAR degree and the GQAR confidence must agree
+/// directionally: the strongest DAR connects the same clusters as a
+/// confidence-1.0 GQAR.
+#[test]
+fn dar_and_gqar_rank_the_same_association_first() {
+    let relation = two_block_relation();
+    let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
+    let config = DarConfig {
+        birch: BirchConfig { memory_budget: usize::MAX, ..BirchConfig::default() },
+        initial_thresholds: Some(vec![2.0, 2.0]),
+        min_support_frac: 0.3,
+        max_antecedent: 1,
+        max_consequent: 1,
+        ..DarConfig::default()
+    };
+    let result = DarMiner::new(config).mine(&relation, &partitioning).expect("valid partitioning");
+    assert!(!result.rules.is_empty());
+    let best = &result.rules[0];
+    let gqar = mine_gqar(
+        &relation,
+        &partitioning,
+        result.graph.clusters(),
+        &GqarConfig { min_support: 30, min_confidence: 0.0, max_len: 2 },
+    );
+    let matching = gqar.iter().find(|g| {
+        g.antecedent == best.antecedent && g.consequent == best.consequent
+    });
+    let m = matching.expect("the strongest DAR must exist as a GQAR too");
+    assert!(m.confidence > 0.99, "clean blocks: confidence {}", m.confidence);
+}

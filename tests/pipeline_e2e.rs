@@ -1,0 +1,245 @@
+//! Cross-crate integration tests: the full two-phase miner end to end.
+
+use interval_rules::birch::BirchConfig;
+use interval_rules::datagen::csv::{from_csv_str, to_csv_string};
+use interval_rules::datagen::grid::grid_spec;
+use interval_rules::datagen::insurance::insurance_relation;
+use interval_rules::prelude::*;
+
+fn planted_miner() -> DarMiner {
+    DarMiner::new(DarConfig {
+        birch: BirchConfig { memory_budget: 1 << 20, ..BirchConfig::default() },
+        initial_thresholds: Some(vec![2.0, 1.5, 2_000.0]),
+        min_support_frac: 0.1,
+        max_antecedent: 2,
+        max_consequent: 1,
+        rescan_candidate_frequency: true,
+        ..DarConfig::default()
+    })
+}
+
+#[test]
+fn mining_is_deterministic() {
+    let relation = insurance_relation(5_000, 11);
+    let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
+    let a = planted_miner().mine(&relation, &partitioning).expect("valid partitioning");
+    let b = planted_miner().mine(&relation, &partitioning).expect("valid partitioning");
+    assert_eq!(a.rules, b.rules);
+    assert_eq!(a.rule_frequencies, b.rule_frequencies);
+    assert_eq!(a.stats.clusters_total, b.stats.clusters_total);
+    assert_eq!(a.stats.graph_edges, b.stats.graph_edges);
+}
+
+#[test]
+fn csv_roundtrip_preserves_mining_results() {
+    let relation = insurance_relation(3_000, 5);
+    let roundtripped = from_csv_str(&to_csv_string(&relation)).unwrap();
+    // CSV uses exact decimal formatting of f64, so the relation survives
+    // bit-for-bit and mining results must be identical.
+    assert_eq!(relation, roundtripped);
+    let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
+    let a = planted_miner().mine(&relation, &partitioning).expect("valid partitioning");
+    let b = planted_miner().mine(&roundtripped, &partitioning).expect("valid partitioning");
+    assert_eq!(a.rules, b.rules);
+}
+
+#[test]
+fn grid_structure_is_fully_recovered() {
+    // 4 clusters on 3 attributes, Latin-square layout, no outliers: Phase I
+    // must find exactly 4 clusters per attribute, and Phase II must connect
+    // co-occurring ones.
+    let spec = grid_spec(3, 4, 100.0, 1.0, 0.0);
+    let relation = spec.generate(4_000, 99);
+    let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
+    let config = DarConfig {
+        birch: BirchConfig {
+            initial_threshold: 8.0,
+            memory_budget: usize::MAX,
+            ..BirchConfig::default()
+        },
+        min_support_frac: 0.1,
+        max_antecedent: 2,
+        max_consequent: 1,
+        ..DarConfig::default()
+    };
+    let result = DarMiner::new(config).mine(&relation, &partitioning).expect("valid partitioning");
+    assert_eq!(result.stats.clusters_total, 12, "4 clusters × 3 attributes");
+    assert_eq!(result.stats.clusters_frequent, 12);
+    // Each latent component joins its three per-attribute clusters into a
+    // triangle: 4 components × 3 edges.
+    assert_eq!(result.stats.graph_edges, 12);
+    assert_eq!(result.stats.nontrivial_cliques, 4);
+    assert!(result.stats.rules > 0);
+    // Every rule's member clusters must belong to one latent component:
+    // centroids on each attribute must be consistent with the Latin square.
+    let clusters = result.graph.clusters();
+    for rule in &result.rules {
+        let members: Vec<usize> =
+            rule.antecedent.iter().chain(&rule.consequent).copied().collect();
+        // Recover each member's component index from its centroid.
+        let comps: Vec<i64> = members
+            .iter()
+            .map(|&m| {
+                let c = &clusters[m];
+                let centroid = c.acf.centroid_on(c.set).unwrap()[0];
+                let grid_pos = (centroid / 100.0).round() as i64;
+                // Latin square: mean(attr j, comp c) = 100·((c + j) mod 4).
+                (grid_pos - c.set as i64).rem_euclid(4)
+            })
+            .collect();
+        assert!(
+            comps.windows(2).all(|w| w[0] == w[1]),
+            "rule mixes components: {comps:?}"
+        );
+    }
+}
+
+#[test]
+fn outliers_do_not_invent_rules() {
+    // Same grid plus 20% uniform noise: structure recovery must survive,
+    // and noise clusters must not pass the frequency threshold.
+    let spec = grid_spec(3, 4, 100.0, 1.0, 0.2);
+    let relation = spec.generate(6_000, 3);
+    let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
+    let config = DarConfig {
+        birch: BirchConfig {
+            initial_threshold: 8.0,
+            memory_budget: 32 << 10,
+            ..BirchConfig::default()
+        },
+        min_support_frac: 0.08,
+        max_antecedent: 2,
+        max_consequent: 1,
+        // Noise members inflate image radii (uniform background mixed into
+        // every cluster's projections); pin the Phase II thresholds between
+        // the inflated same-component D2 (~45-65) and the cross-component
+        // D2 (>= the 100-unit grid spacing).
+        density_thresholds: Some(vec![75.0, 75.0, 75.0]),
+        ..DarConfig::default()
+    };
+    let result = DarMiner::new(config).mine(&relation, &partitioning).expect("valid partitioning");
+    assert_eq!(
+        result.stats.clusters_frequent, 12,
+        "only the 12 planted clusters are frequent: {:?}",
+        result.stats
+    );
+    // Noise can contribute a couple of weak extra edges, but each of the 4
+    // planted components must surface as a full 3-clique, and the graph
+    // must stay in that vicinity rather than densifying.
+    let clusters = result.graph.clusters();
+    let component_of = |m: usize| -> i64 {
+        let c = &clusters[m];
+        let centroid = c.acf.centroid_on(c.set).unwrap()[0];
+        ((centroid / 100.0).round() as i64 - c.set as i64).rem_euclid(4)
+    };
+    let full_component_cliques = result
+        .cliques
+        .iter()
+        .filter(|q| {
+            q.len() == 3 && q.iter().all(|&m| component_of(m) == component_of(q[0]))
+        })
+        .count();
+    assert_eq!(full_component_cliques, 4, "cliques: {:?}", result.cliques);
+    assert!(
+        (4..=8).contains(&result.stats.nontrivial_cliques),
+        "graph densified unexpectedly: {:?}",
+        result.stats
+    );
+}
+
+#[test]
+fn memory_budget_bounds_the_trees_during_the_scan() {
+    use interval_rules::birch::AcfForest;
+    let spec = grid_spec(5, 8, 50.0, 2.0, 0.1);
+    let relation = spec.generate(20_000, 17);
+    let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
+    let budget = 8 << 10; // deliberately tiny: forces constant adaptation
+    let config = BirchConfig {
+        initial_threshold: 0.0,
+        memory_budget: budget,
+        ..BirchConfig::default()
+    };
+    let mut forest = AcfForest::new(partitioning, &config);
+    for row in 0..relation.len() {
+        forest.insert_row(&relation, row);
+        if row % 1_000 == 999 {
+            for tree in forest.stats().trees {
+                assert!(
+                    tree.memory_bytes <= budget,
+                    "tree {} exceeded its budget at row {row}: {} > {budget}",
+                    tree.set,
+                    tree.memory_bytes
+                );
+            }
+        }
+    }
+    // No tuples were lost to the adaptation.
+    let per_set = forest.finish();
+    for clusters in per_set {
+        let total: u64 = clusters.iter().map(|c| c.n()).sum();
+        assert_eq!(total, relation.len() as u64);
+    }
+}
+
+#[test]
+fn rescan_frequencies_are_bounded_by_assignment_counts() {
+    use interval_rules::mining::assign::CentroidIndex;
+    let relation = insurance_relation(4_000, 23);
+    let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
+    let result = planted_miner().mine(&relation, &partitioning).expect("valid partitioning");
+    assert_eq!(result.rule_frequencies.len(), result.rules.len());
+
+    // The rescan assigns every tuple to its nearest *frequent* cluster per
+    // set (Section 4.3.2 — this may differ from insertion-time membership),
+    // so a rule's frequency is bounded by the assignment count of each of
+    // its member clusters, not by their Phase I supports.
+    let clusters = result.graph.clusters();
+    let mut assigned = vec![0u64; clusters.len()];
+    for set in 0..partitioning.num_sets() {
+        let index = CentroidIndex::new(clusters, set, partitioning.set(set).metric);
+        for row in 0..relation.len() {
+            let point = relation.project(row, &partitioning.set(set).attrs);
+            if let Some((pos, _)) = index.nearest(&point) {
+                assigned[pos] += 1;
+            }
+        }
+    }
+    for (rule, &freq) in result.rules.iter().zip(&result.rule_frequencies) {
+        let bound = rule
+            .antecedent
+            .iter()
+            .chain(&rule.consequent)
+            .map(|&pos| assigned[pos])
+            .min()
+            .unwrap();
+        assert!(freq <= bound, "rule frequency {freq} exceeds assignment bound {bound}");
+    }
+    // Every tuple lands somewhere: per set, assignments sum to |r|.
+    let per_set_total: u64 = assigned.iter().sum();
+    assert_eq!(per_set_total, (relation.len() * partitioning.num_sets()) as u64);
+}
+
+#[test]
+fn stats_are_internally_consistent() {
+    let relation = insurance_relation(4_000, 29);
+    let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
+    let result = planted_miner().mine(&relation, &partitioning).expect("valid partitioning");
+    let s = &result.stats;
+    assert_eq!(s.tuples, relation.len());
+    assert_eq!(s.rules, result.rules.len());
+    assert_eq!(s.cliques, result.cliques.len());
+    assert_eq!(s.clusters_total, result.clusters.len());
+    assert_eq!(s.clusters_frequent, result.graph.clusters().len());
+    assert!(s.clusters_frequent <= s.clusters_total);
+    assert_eq!(s.density_thresholds.len(), partitioning.num_sets());
+    // Total tuples across Phase I clusters equals the relation size, per set.
+    for set in 0..partitioning.num_sets() {
+        let total: u64 = result
+            .clusters
+            .iter()
+            .filter(|c| c.set == set)
+            .map(|c| c.support())
+            .sum();
+        assert_eq!(total, relation.len() as u64);
+    }
+}
