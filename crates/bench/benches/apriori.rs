@@ -13,9 +13,8 @@ fn random_transactions(n: usize, items: u32, per_tx: usize, seed: u64) -> Transa
     let mut rng = SeededRng::new(seed);
     let mut tx = TransactionSet::new();
     for _ in 0..n {
-        let t: Vec<classic::ItemId> = (0..per_tx)
-            .map(|_| classic::ItemId(rng.index(items as usize) as u32))
-            .collect();
+        let t: Vec<classic::ItemId> =
+            (0..per_tx).map(|_| classic::ItemId(rng.index(items as usize) as u32)).collect();
         tx.push(t);
     }
     tx

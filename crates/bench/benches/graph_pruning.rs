@@ -49,16 +49,12 @@ fn graph_pruning(c: &mut Criterion) {
                 density_thresholds: vec![2.0; 4],
                 prune_poor_density: prune,
             };
-            group.bench_with_input(
-                BenchmarkId::new(format!("prune_{label}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let g = ClusteringGraph::build(black_box(clusters.clone()), &config);
-                        black_box((g.edges, g.comparisons))
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("prune_{label}"), n), &n, |b, _| {
+                b.iter(|| {
+                    let g = ClusteringGraph::build(black_box(clusters.clone()), &config);
+                    black_box((g.edges, g.comparisons))
+                });
+            });
         }
     }
     group.finish();

@@ -19,7 +19,8 @@ fn phase1_scaling(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let result = miner.mine(black_box(&relation), &partitioning).expect("valid partitioning");
+                let result =
+                    miner.mine(black_box(&relation), &partitioning).expect("valid partitioning");
                 black_box(result.stats.clusters_total)
             });
         });

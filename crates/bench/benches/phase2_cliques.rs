@@ -24,12 +24,8 @@ fn phase2_cliques(c: &mut Criterion) {
         let miner = DarMiner::new(wbcd_config(5 << 20));
         let result = miner.mine(&relation, &partitioning).expect("valid partitioning");
         let s0 = result.stats.s0;
-        let frequent: Vec<ClusterSummary> = result
-            .clusters
-            .iter()
-            .filter(|cl| cl.is_frequent(s0))
-            .cloned()
-            .collect();
+        let frequent: Vec<ClusterSummary> =
+            result.clusters.iter().filter(|cl| cl.is_frequent(s0)).cloned().collect();
         let tree_thresholds: Vec<f64> =
             result.stats.forest.trees.iter().map(|t| t.threshold).collect();
         let density = auto_density_thresholds(

@@ -12,10 +12,7 @@ use datagen::wbcd::wbcd_relation;
 use mining::DarMiner;
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(100_000);
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100_000);
     let budgets: [(usize, &str); 5] = [
         (256 << 10, "256KB"),
         (1 << 20, "1MB"),
@@ -35,8 +32,7 @@ fn main() {
         let mean_diameter = if result.clusters.is_empty() {
             0.0
         } else {
-            result.clusters.iter().map(|c| c.diameter()).sum::<f64>()
-                / result.clusters.len() as f64
+            result.clusters.iter().map(|c| c.diameter()).sum::<f64>() / result.clusters.len() as f64
         };
         cluster_counts.push(s.clusters_total);
         rows.push(vec![

@@ -11,7 +11,7 @@ use dar_bench::print_table;
 use dar_core::{Metric, Partitioning, Relation};
 use datagen::insurance::insurance_relation;
 use datagen::wbcd::wbcd_relation;
-use mining::{ClusterDistance, DarConfig, DarMiner};
+use mining::{ClusterDistance, DarConfig, DarMiner, RuleQuery};
 use std::collections::BTreeSet;
 
 type RuleKey = (Vec<u32>, Vec<u32>);
@@ -26,8 +26,7 @@ fn rule_keys(relation: &Relation, metric: ClusterDistance) -> BTreeSet<RuleKey> 
         },
         min_support_frac: 0.05,
         metric,
-        max_antecedent: 2,
-        max_consequent: 1,
+        query: RuleQuery { max_antecedent: 2, max_consequent: 1, ..RuleQuery::default() },
         ..DarConfig::default()
     };
     let result = DarMiner::new(config).mine(relation, &partitioning).expect("valid partitioning");

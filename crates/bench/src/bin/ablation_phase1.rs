@@ -34,11 +34,8 @@ struct Phase1Run {
 }
 
 fn birch_run(relation: &Relation, partitioning: &Partitioning) -> Phase1Run {
-    let config = BirchConfig {
-        initial_threshold: 8.0,
-        memory_budget: usize::MAX,
-        ..BirchConfig::default()
-    };
+    let config =
+        BirchConfig { initial_threshold: 8.0, memory_budget: usize::MAX, ..BirchConfig::default() };
     let (per_set, elapsed) = time(|| {
         let mut forest = AcfForest::new(partitioning.clone(), &config);
         forest.scan(relation);
@@ -132,10 +129,7 @@ fn phase2_components(summaries: Vec<ClusterSummary>, s0: u64) -> (usize, usize) 
 }
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(30_000);
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(30_000);
     let spec = grid_spec(ATTRS, CLUSTERS, 100.0, 1.0, 0.02);
     let relation = spec.generate(n, 77);
     let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);

@@ -14,8 +14,7 @@ use mining::DarMiner;
 
 fn main() {
     let sizes: Vec<usize> = {
-        let args: Vec<usize> =
-            std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+        let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
         if args.is_empty() {
             vec![50_000, 100_000, 200_000]
         } else {
@@ -33,7 +32,8 @@ fn main() {
         off_cfg.prune_poor_density = false;
 
         let on = DarMiner::new(on_cfg).mine(&relation, &partitioning).expect("valid partitioning");
-        let off = DarMiner::new(off_cfg).mine(&relation, &partitioning).expect("valid partitioning");
+        let off =
+            DarMiner::new(off_cfg).mine(&relation, &partitioning).expect("valid partitioning");
 
         assert_eq!(
             on.stats.graph_edges, off.stats.graph_edges,
@@ -41,8 +41,8 @@ fn main() {
         );
         assert_eq!(on.stats.rules, off.stats.rules, "rule sets must agree");
 
-        let saved = 1.0
-            - on.stats.graph_comparisons as f64 / off.stats.graph_comparisons.max(1) as f64;
+        let saved =
+            1.0 - on.stats.graph_comparisons as f64 / off.stats.graph_comparisons.max(1) as f64;
         rows.push(vec![
             n.to_string(),
             off.stats.graph_comparisons.to_string(),

@@ -1,0 +1,102 @@
+//! ENGINE — ingest throughput and cold-vs-cached query latency of the
+//! long-lived `dar-engine`, demonstrating the Section 6.2 payoff: once
+//! Phase I summaries exist, re-tuned Phase II queries should be answered
+//! from cached cliques at a small fraction of the cold cost.
+//!
+//! Emits `BENCH_engine.json` in the current directory.
+//!
+//! Regenerate with: `cargo run --release -p dar-bench --bin engine`
+
+use dar_bench::{print_table, secs, time};
+use dar_core::{Metric, Partitioning};
+use dar_engine::{DarEngine, EngineConfig};
+use datagen::insurance::insurance_relation;
+use mining::{DensitySpec, RuleQuery};
+use std::fmt::Write as _;
+
+const TUPLES: usize = 100_000;
+const BATCHES: usize = 10;
+const QUERY_REPS: u32 = 25;
+
+fn main() {
+    let relation = insurance_relation(TUPLES, 42);
+    let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
+    let mut config = EngineConfig::default();
+    config.birch.memory_budget = 1 << 20;
+    config.initial_thresholds = Some(vec![2.0, 1.5, 2_000.0]);
+    config.min_support_frac = 0.05;
+    let mut engine = DarEngine::new(partitioning, config).unwrap();
+
+    // --- ingest throughput, in batches ----------------------------------
+    let rows: Vec<Vec<f64>> = (0..relation.len()).map(|r| relation.row(r)).collect();
+    let batch_size = rows.len() / BATCHES;
+    let (_, ingest_wall) = time(|| {
+        for batch in rows.chunks(batch_size) {
+            engine.ingest(batch);
+        }
+    });
+    let tuples_per_sec = TUPLES as f64 / ingest_wall.as_secs_f64();
+
+    // --- query latency: cold (epoch close + graph + cliques) vs cached --
+    let q_base = RuleQuery { max_antecedent: 2, max_consequent: 1, ..RuleQuery::default() };
+    let (outcome, cold_wall) = time(|| engine.query(&q_base).unwrap());
+    assert!(!outcome.cached);
+    let rules_cold = outcome.rules.len();
+
+    // Re-tuned D0 sweep over the same density: every rep hits the cache.
+    let sweep: Vec<RuleQuery> = (0..QUERY_REPS)
+        .map(|i| RuleQuery { degree_factor: 1.0 + 0.1 * i as f64, ..q_base.clone() })
+        .collect();
+    let (_, cached_wall) = time(|| {
+        for q in &sweep {
+            let o = engine.query(q).unwrap();
+            assert!(o.cached, "D0 sweep must reuse cached cliques");
+        }
+    });
+    let cached_each = cached_wall / QUERY_REPS;
+
+    // A different density setting misses once, then hits again.
+    let q_density = RuleQuery { density: DensitySpec::Auto { factor: 2.5 }, ..q_base.clone() };
+    let (o, second_cold) = time(|| engine.query(&q_density).unwrap());
+    assert!(!o.cached);
+    assert!(engine.query(&q_density).unwrap().cached);
+
+    let stats = engine.stats();
+    let speedup = cold_wall.as_secs_f64() / cached_each.as_secs_f64().max(1e-12);
+
+    print_table(
+        "Engine: ingest throughput and query latency",
+        &["quantity", "value"],
+        &[
+            vec!["tuples ingested".into(), format!("{TUPLES}")],
+            vec!["batches".into(), format!("{BATCHES}")],
+            vec!["ingest wall (s)".into(), secs(ingest_wall)],
+            vec!["ingest tuples/s".into(), format!("{tuples_per_sec:.0}")],
+            vec!["cold query (s)".into(), secs(cold_wall)],
+            vec!["cached query (s)".into(), secs(cached_each)],
+            vec!["cold/cached speedup".into(), format!("{speedup:.1}×")],
+            vec!["2nd density cold (s)".into(), secs(second_cold)],
+            vec!["rules (cold query)".into(), rules_cold.to_string()],
+            vec!["cache hits".into(), stats.cache_hits.to_string()],
+            vec!["cache misses".into(), stats.cache_misses.to_string()],
+            vec!["forest rebuilds".into(), stats.forest_rebuilds.to_string()],
+        ],
+    );
+
+    // --- BENCH_engine.json ----------------------------------------------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"tuples\": {TUPLES},");
+    let _ = writeln!(json, "  \"batches\": {BATCHES},");
+    let _ = writeln!(json, "  \"ingest_seconds\": {:.6},", ingest_wall.as_secs_f64());
+    let _ = writeln!(json, "  \"ingest_tuples_per_sec\": {tuples_per_sec:.1},");
+    let _ = writeln!(json, "  \"cold_query_ms\": {:.3},", cold_wall.as_secs_f64() * 1e3);
+    let _ = writeln!(json, "  \"cached_query_ms\": {:.3},", cached_each.as_secs_f64() * 1e3);
+    let _ = writeln!(json, "  \"cold_over_cached_speedup\": {speedup:.1},");
+    let _ = writeln!(json, "  \"rules_cold\": {rules_cold},");
+    let _ = writeln!(json, "  \"cache_hits\": {},", stats.cache_hits);
+    let _ = writeln!(json, "  \"cache_misses\": {},", stats.cache_misses);
+    let _ = writeln!(json, "  \"forest_rebuilds\": {}", stats.forest_rebuilds);
+    json.push_str("}\n");
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("\n  wrote BENCH_engine.json");
+}

@@ -26,8 +26,8 @@ fn main() {
         // and C_Y = the 40K salary cluster, exact D2 on Salary.
         let cx = satisfying_rows(r, &antecedent);
         let cy = satisfying_rows(r, &consequent);
-        let degree = degree_exact(r, &cx, &cy, &[2], Metric::Euclidean)
-            .expect("both clusters non-empty");
+        let degree =
+            degree_exact(r, &cx, &cy, &[2], Metric::Euclidean).expect("both clusters non-empty");
         degrees.push(degree);
         rows.push(vec![
             name.to_string(),

@@ -10,7 +10,7 @@ use dar_bench::print_table;
 use dar_core::{Metric, Partitioning};
 use datagen::insurance::{insurance_relation, AGE, CLAIMS, DEPENDENTS};
 use mining::describe::describe_rule;
-use mining::{DarConfig, DarMiner};
+use mining::{DarConfig, DarMiner, RuleQuery};
 
 fn main() {
     let relation = insurance_relation(20_000, 42);
@@ -22,8 +22,7 @@ fn main() {
         // threshold selection, Section 4.3.1).
         initial_thresholds: Some(vec![2.0, 1.5, 2_000.0]),
         min_support_frac: 0.1,
-        max_antecedent: 2,
-        max_consequent: 1,
+        query: RuleQuery { max_antecedent: 2, max_consequent: 1, ..RuleQuery::default() },
         rescan_candidate_frequency: true,
         ..DarConfig::default()
     };
@@ -44,16 +43,11 @@ fn main() {
         .rules
         .iter()
         .enumerate()
-        .filter(|(_, r)| {
-            r.consequent.len() == 1 && clusters[r.consequent[0]].set == CLAIMS
-        })
+        .filter(|(_, r)| r.consequent.len() == 1 && clusters[r.consequent[0]].set == CLAIMS)
         .take(10)
         .map(|(i, r)| {
             let freq = result.rule_frequencies.get(i).copied().unwrap_or(0);
-            vec![
-                describe_rule(r, clusters, relation.schema(), &partitioning),
-                freq.to_string(),
-            ]
+            vec![describe_rule(r, clusters, relation.schema(), &partitioning), freq.to_string()]
         })
         .collect();
     print_table("Figure 5: N:1 rules targeting Claims", &["rule", "frequency"], &rows);

@@ -12,8 +12,7 @@ use mining::DarMiner;
 
 fn main() {
     let sizes: Vec<usize> = {
-        let args: Vec<usize> =
-            std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+        let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
         if args.is_empty() {
             vec![100_000, 200_000, 300_000, 400_000, 500_000]
         } else {

@@ -12,8 +12,7 @@ use mining::DarMiner;
 
 fn main() {
     let sizes: Vec<usize> = {
-        let args: Vec<usize> =
-            std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+        let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
         if args.is_empty() {
             vec![100_000, 200_000, 300_000, 400_000, 500_000]
         } else {
@@ -47,7 +46,16 @@ fn main() {
     }
     print_table(
         "Section 7.2: Phase II (graph, cliques, rules) across data sizes",
-        &["tuples", "nodes", "edges", "edges/node", "cliques", "non-trivial", "rules", "phase2 (s)"],
+        &[
+            "tuples",
+            "nodes",
+            "edges",
+            "edges/node",
+            "cliques",
+            "non-trivial",
+            "rules",
+            "phase2 (s)",
+        ],
         &rows,
     );
     let max_t = phase2_times.iter().cloned().fold(0.0f64, f64::max);

@@ -11,7 +11,7 @@ use birch::BirchConfig;
 use dar_bench::print_table;
 use dar_core::{Metric, Partitioning};
 use datagen::insurance::{insurance_relation, AGE, CLAIMS, DEPENDENTS};
-use mining::{DarConfig, DarMiner, MineResult};
+use mining::{DarConfig, DarMiner, DensitySpec, MineResult, RuleQuery};
 
 /// Whether the planted `C_Age C_Dep ⇒ C_Claims` rule is present.
 fn planted_found(result: &MineResult) -> bool {
@@ -47,10 +47,13 @@ fn mine(support: f64, density_factor: f64, degree_factor: f64) -> MineResult {
         birch: BirchConfig { memory_budget: 1 << 20, ..BirchConfig::default() },
         initial_thresholds: Some(vec![2.0, 1.5, 2_000.0]),
         min_support_frac: support,
-        phase2_density_factor: density_factor,
-        degree_factor,
-        max_antecedent: 2,
-        max_consequent: 1,
+        query: RuleQuery {
+            density: DensitySpec::Auto { factor: density_factor },
+            degree_factor,
+            max_antecedent: 2,
+            max_consequent: 1,
+            ..RuleQuery::default()
+        },
         ..DarConfig::default()
     };
     DarMiner::new(config).mine(&relation, &partitioning).expect("valid partitioning")

@@ -16,9 +16,7 @@ use std::collections::HashMap;
 fn centroids(result: &MineResult) -> HashMap<SetId, Vec<f64>> {
     let mut map: HashMap<SetId, Vec<f64>> = HashMap::new();
     for c in &result.clusters {
-        map.entry(c.set)
-            .or_default()
-            .push(c.acf.centroid_on(c.set).expect("non-empty")[0]);
+        map.entry(c.set).or_default().push(c.acf.centroid_on(c.set).expect("non-empty")[0]);
     }
     for v in map.values_mut() {
         v.sort_by(f64::total_cmp);
@@ -55,8 +53,7 @@ fn drift(a: &HashMap<SetId, Vec<f64>>, b: &HashMap<SetId, Vec<f64>>) -> f64 {
 
 fn main() {
     let sizes: Vec<usize> = {
-        let args: Vec<usize> =
-            std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+        let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
         if args.is_empty() {
             vec![100_000, 200_000, 300_000, 400_000, 500_000]
         } else {

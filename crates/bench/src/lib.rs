@@ -9,7 +9,7 @@
 #![warn(missing_docs)]
 
 use birch::BirchConfig;
-use mining::DarConfig;
+use mining::{DarConfig, DensitySpec, RuleQuery};
 use std::time::{Duration, Instant};
 
 /// Runs `f` once and returns its result with the elapsed wall-clock time.
@@ -29,11 +29,8 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         }
     }
     let line = |cells: Vec<String>| {
-        let body: Vec<String> = cells
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}", w = w))
-            .collect();
+        let body: Vec<String> =
+            cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
         println!("  {}", body.join("  "));
     };
     line(headers.iter().map(|s| s.to_string()).collect());
@@ -58,11 +55,14 @@ pub fn wbcd_config(total_memory_bytes: usize) -> DarConfig {
             ..BirchConfig::with_total_budget(total_memory_bytes, 30)
         },
         min_support_frac: 0.03,
-        phase2_density_factor: 4.0,
-        max_antecedent: 2,
-        max_consequent: 1,
         max_cliques: 10_000,
-        max_pair_work: 1_000_000,
+        query: RuleQuery {
+            density: DensitySpec::Auto { factor: 4.0 },
+            max_antecedent: 2,
+            max_consequent: 1,
+            max_pair_work: 1_000_000,
+            ..RuleQuery::default()
+        },
         ..DarConfig::default()
     }
 }

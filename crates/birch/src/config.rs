@@ -46,10 +46,7 @@ impl BirchConfig {
     /// The paper's evaluation setup scaled per tree: a total budget split
     /// evenly over `num_sets` trees (they used 5 MB over 30 attributes).
     pub fn with_total_budget(total_bytes: usize, num_sets: usize) -> Self {
-        BirchConfig {
-            memory_budget: total_bytes / num_sets.max(1),
-            ..BirchConfig::default()
-        }
+        BirchConfig { memory_budget: total_bytes / num_sets.max(1), ..BirchConfig::default() }
     }
 }
 

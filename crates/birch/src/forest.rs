@@ -91,11 +91,7 @@ impl AcfForest {
                 AcfTree::new(layout.clone(), set, cfg)
             })
             .collect();
-        let scratch = partitioning
-            .sets()
-            .iter()
-            .map(|s| Vec::with_capacity(s.dims()))
-            .collect();
+        let scratch = partitioning.sets().iter().map(|s| Vec::with_capacity(s.dims())).collect();
         AcfForest { trees, partitioning, scratch }
     }
 
@@ -142,6 +138,31 @@ impl AcfForest {
     /// grouped by attribute set.
     pub fn finish(self) -> Vec<Vec<Acf>> {
         self.trees.into_iter().map(AcfTree::finish).collect()
+    }
+
+    /// Extracts the current clusters *without consuming the forest*: each
+    /// tree is cloned and finished (outliers re-inserted into the copy), so
+    /// the live trees keep accepting insertions. This is what lets a
+    /// long-lived engine close an epoch — snapshot the clustering as of now
+    /// — and continue ingesting into the same Phase I state. By
+    /// construction the result is identical to what [`AcfForest::finish`]
+    /// would have returned at this point.
+    pub fn extract_clusters(&self) -> Vec<Vec<Acf>> {
+        self.trees.iter().map(|tree| tree.clone().finish()).collect()
+    }
+
+    /// Inserts a pre-aggregated ACF entry into one set's tree — the restore
+    /// path: a snapshot's cluster summaries are replayed into a fresh forest
+    /// (ACF additivity, Equation 7, makes the merge exact). Empty entries
+    /// are ignored.
+    pub fn insert_entry(&mut self, set: usize, acf: Acf) {
+        self.trees[set].insert_entry(acf);
+    }
+
+    /// The current per-set diameter thresholds (these rise over the scan as
+    /// trees rebuild to stay within their memory budgets).
+    pub fn thresholds(&self) -> Vec<f64> {
+        self.trees.iter().map(AcfTree::threshold).collect()
     }
 
     /// Diagnostic snapshot of all trees.
@@ -198,10 +219,7 @@ mod tests {
             assert_eq!(total, 40);
         }
         // Images: the cluster near 0 on attr0 must have its attr1 image near 5.
-        let c0 = per_set[0]
-            .iter()
-            .find(|c| c.centroid_on(0).unwrap()[0] < 1.0)
-            .unwrap();
+        let c0 = per_set[0].iter().find(|c| c.centroid_on(0).unwrap()[0] < 1.0).unwrap();
         let img = c0.centroid_on(1).unwrap()[0];
         assert!((img - 5.0).abs() < 0.1, "image centroid {img} should be ~5");
     }
@@ -219,6 +237,45 @@ mod tests {
         let s1 = f1.stats();
         let s2 = f2.stats();
         assert_eq!(s1.total_clusters(), s2.total_clusters());
+    }
+
+    #[test]
+    fn extract_clusters_matches_finish_and_preserves_the_forest() {
+        let r = two_cluster_relation();
+        let mut f = forest_for(&r, 1.0);
+        f.scan(&r);
+        let extracted = f.extract_clusters();
+        // The forest is still usable: more insertions and a final finish.
+        f.insert_values(&[0.01, 5.01]);
+        let finished = f.finish();
+        assert_eq!(extracted.len(), finished.len());
+        let n = |per_set: &[Vec<Acf>]| -> u64 { per_set[0].iter().map(Acf::n).sum() };
+        assert_eq!(n(&extracted), 40);
+        assert_eq!(n(&finished), 41);
+    }
+
+    #[test]
+    fn insert_entry_replays_extracted_clusters() {
+        let r = two_cluster_relation();
+        let mut f = forest_for(&r, 1.0);
+        f.scan(&r);
+        let thresholds = f.thresholds();
+        let extracted = f.extract_clusters();
+
+        let p = Partitioning::per_attribute(r.schema(), Metric::Euclidean);
+        let config = BirchConfig { memory_budget: usize::MAX, ..BirchConfig::default() };
+        let mut replayed = AcfForest::with_initial_thresholds(p, &config, &thresholds);
+        for (set, acfs) in extracted.iter().enumerate() {
+            for acf in acfs {
+                replayed.insert_entry(set, acf.clone());
+            }
+        }
+        let out = replayed.finish();
+        for (set, acfs) in extracted.iter().enumerate() {
+            let total: u64 = acfs.iter().map(Acf::n).sum();
+            let replayed_total: u64 = out[set].iter().map(Acf::n).sum();
+            assert_eq!(total, replayed_total, "set {set} lost tuples in replay");
+        }
     }
 
     #[test]

@@ -38,6 +38,6 @@ pub mod refine;
 pub mod tree;
 
 pub use config::BirchConfig;
-pub use refine::{refine_clusters, refine_forest_output};
 pub use forest::{AcfForest, ForestStats};
+pub use refine::{refine_clusters, refine_forest_output};
 pub use tree::{AcfTree, TreeStats};

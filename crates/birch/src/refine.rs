@@ -37,18 +37,13 @@ pub fn refine_clusters(mut clusters: Vec<Acf>, threshold: f64) -> Vec<Acf> {
             return clusters;
         }
         let absorbed = clusters.swap_remove(j); // j > i, so i stays valid
-        clusters[i]
-            .merge(&absorbed)
-            .expect("clusters of one tree share home set and layout");
+        clusters[i].merge(&absorbed).expect("clusters of one tree share home set and layout");
     }
 }
 
 /// Convenience: refine every per-set cluster list of a forest output with
 /// per-set thresholds.
-pub fn refine_forest_output(
-    per_set: Vec<Vec<Acf>>,
-    thresholds: &[f64],
-) -> Vec<Vec<Acf>> {
+pub fn refine_forest_output(per_set: Vec<Vec<Acf>>, thresholds: &[f64]) -> Vec<Vec<Acf>> {
     per_set
         .into_iter()
         .enumerate()
@@ -76,12 +71,8 @@ mod tests {
     #[test]
     fn close_fragments_merge_distant_ones_do_not() {
         // Three fragments of one cluster around 10, one far cluster at 100.
-        let clusters = vec![
-            acf(&[9.8, 10.0]),
-            acf(&[10.1, 10.2]),
-            acf(&[10.4]),
-            acf(&[100.0, 100.1]),
-        ];
+        let clusters =
+            vec![acf(&[9.8, 10.0]), acf(&[10.1, 10.2]), acf(&[10.4]), acf(&[100.0, 100.1])];
         let refined = refine_clusters(clusters, 2.0);
         assert_eq!(refined.len(), 2);
         let mut counts: Vec<u64> = refined.iter().map(Acf::n).collect();
@@ -105,8 +96,7 @@ mod tests {
 
     #[test]
     fn preserves_total_population() {
-        let clusters: Vec<Acf> =
-            (0..20).map(|i| acf(&[i as f64 * 0.1])).collect();
+        let clusters: Vec<Acf> = (0..20).map(|i| acf(&[i as f64 * 0.1])).collect();
         let refined = refine_clusters(clusters, 5.0);
         let total: u64 = refined.iter().map(Acf::n).sum();
         assert_eq!(total, 20);
@@ -123,8 +113,8 @@ mod tests {
     #[test]
     fn forest_output_uses_per_set_thresholds() {
         let per_set = vec![
-            vec![acf(&[0.0]), acf(&[0.5])],   // set 0: merges at t=1
-            vec![acf(&[0.0]), acf(&[0.5])],   // set 1: stays at t=0.1
+            vec![acf(&[0.0]), acf(&[0.5])], // set 0: merges at t=1
+            vec![acf(&[0.0]), acf(&[0.5])], // set 1: stays at t=0.1
         ];
         let refined = refine_forest_output(per_set, &[1.0, 0.1]);
         assert_eq!(refined[0].len(), 1);

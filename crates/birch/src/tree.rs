@@ -151,11 +151,13 @@ impl AcfTree {
 
     /// Iterates over the current leaf entries (clusters).
     pub fn leaf_entries(&self) -> impl Iterator<Item = &Acf> {
-        self.nodes.iter().filter_map(|n| match n {
-            Node::Leaf { entries } => Some(entries.iter()),
-            Node::Internal { .. } => None,
-        })
-        .flatten()
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Leaf { entries } => Some(entries.iter()),
+                Node::Internal { .. } => None,
+            })
+            .flatten()
     }
 
     /// Re-inserts paged-out outliers ("to ensure that they are indeed
@@ -208,10 +210,7 @@ impl AcfTree {
             match &self.nodes[node_id] {
                 Node::Leaf { entries } => {
                     if entries.len() > self.config.leaf_capacity {
-                        return Err(format!(
-                            "leaf {node_id} over capacity: {}",
-                            entries.len()
-                        ));
+                        return Err(format!("leaf {node_id} over capacity: {}", entries.len()));
                     }
                     leaf_entries += entries.len();
                     leaf_depths.push(depth);
@@ -264,14 +263,9 @@ impl AcfTree {
             }
         }
         if leaf_entries != self.leaf_entry_count {
-            return Err(format!(
-                "leaf counter {} vs actual {leaf_entries}",
-                self.leaf_entry_count
-            ));
+            return Err(format!("leaf counter {} vs actual {leaf_entries}", self.leaf_entry_count));
         }
-        if let (Some(min), Some(max)) =
-            (leaf_depths.iter().min(), leaf_depths.iter().max())
-        {
+        if let (Some(min), Some(max)) = (leaf_depths.iter().min(), leaf_depths.iter().max()) {
             if min != max {
                 return Err(format!("unbalanced leaves: depths {min}..{max}"));
             }
@@ -431,10 +425,8 @@ impl AcfTree {
         let mut best_d = f64::INFINITY;
         for (i, e) in entries.iter().enumerate() {
             // Entries on the descent path are never empty.
-            let d = e
-                .cf
-                .centroid_distance_sq_to_point(point)
-                .expect("internal entries are non-empty");
+            let d =
+                e.cf.centroid_distance_sq_to_point(point).expect("internal entries are non-empty");
             if d < best_d {
                 best_d = d;
                 best = i;
@@ -745,11 +737,7 @@ mod tests {
         }
         assert!(t.rebuilds() > 0, "budget must have forced rebuilds");
         assert!(t.threshold() > 0.0);
-        assert!(
-            t.memory_estimate() <= 6_000,
-            "estimate {} exceeds budget",
-            t.memory_estimate()
-        );
+        assert!(t.memory_estimate() <= 6_000, "estimate {} exceeds budget", t.memory_estimate());
         // No points lost across rebuilds.
         let total: u64 = t.leaf_entries().map(Acf::n).sum();
         assert_eq!(total, 500);
@@ -765,7 +753,6 @@ mod tests {
             memory_budget: 4_000,
             outlier_entry_limit: 5,
             threshold_growth: 2.0,
-            ..BirchConfig::default()
         };
         let mut t = AcfTree::new(layout1(), 0, config);
         // A heavy cluster at 0 and many scattered singletons.
@@ -824,7 +811,6 @@ mod tests {
             memory_budget: 5_000,
             outlier_entry_limit: 3,
             threshold_growth: 2.0,
-            ..BirchConfig::default()
         };
         let mut t = AcfTree::new(layout1(), 0, config);
         // A deterministic pseudo-random stream covering merges, splits,
@@ -841,11 +827,7 @@ mod tests {
             }
         }
         t.check_invariants().unwrap();
-        let total: u64 =
-            t.leaf_entries().map(Acf::n).sum::<u64>() + t.stats().outliers as u64 * 0;
         // Outliers live outside the tree; finish() folds them back.
-        let paged: u64 = t.stats().outliers as u64;
-        let _ = (total, paged);
         let all = t.finish();
         assert_eq!(all.iter().map(Acf::n).sum::<u64>(), 800);
     }

@@ -121,8 +121,7 @@ pub(crate) fn continue_from(
     if k == 0 {
         return out;
     }
-    let mut current: &HashMap<Vec<ItemId>, u64> =
-        seed.level(k).expect("seed has its last level");
+    let mut current: &HashMap<Vec<ItemId>, u64> = seed.level(k).expect("seed has its last level");
     loop {
         if config.max_len != 0 && k >= config.max_len {
             break;
@@ -226,12 +225,7 @@ mod tests {
 
     /// The classic AIS'93 example-style dataset.
     fn sample() -> TransactionSet {
-        TransactionSet::from_raw(&[
-            &[1, 3, 4],
-            &[2, 3, 5],
-            &[1, 2, 3, 5],
-            &[2, 5],
-        ])
+        TransactionSet::from_raw(&[&[1, 3, 4], &[2, 3, 5], &[1, 2, 3, 5], &[2, 5]])
     }
 
     #[test]

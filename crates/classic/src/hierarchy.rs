@@ -45,10 +45,7 @@ impl Taxonomy {
         let mut cur = Some(parent);
         while let Some(p) = cur {
             seen += 1;
-            assert!(
-                seen <= self.parent.len(),
-                "taxonomy cycle introduced at {child} → {parent}"
-            );
+            assert!(seen <= self.parent.len(), "taxonomy cycle introduced at {child} → {parent}");
             cur = self.parent.get(p.0 as usize).copied().flatten();
         }
     }
@@ -127,8 +124,7 @@ pub fn mine_generalized(
 /// Whether any item on one side of the rule is an ancestor of an item on
 /// the other side (or within the same side) — such rules are redundant.
 fn relates_item_to_own_ancestor(rule: &AssocRule, taxonomy: &Taxonomy) -> bool {
-    let all: Vec<ItemId> =
-        rule.antecedent.iter().chain(&rule.consequent).copied().collect();
+    let all: Vec<ItemId> = rule.antecedent.iter().chain(&rule.consequent).copied().collect();
     for &a in &all {
         for &b in &all {
             if a != b && taxonomy.is_ancestor(a, b) {

@@ -34,11 +34,11 @@ pub mod transactions;
 
 pub use apriori::{apriori, AprioriConfig, FrequentItemsets};
 pub use hierarchy::{mine_generalized, GeneralizedConfig, Taxonomy};
-pub use partitioned::{partitioned, PartitionedConfig, PartitionedStats};
-pub use pcy::{pcy, PcyConfig, PcyStats};
 pub use partition::{
     equi_depth, equi_depth_tie_aware, gap_partition, partial_completeness_intervals,
 };
+pub use partitioned::{partitioned, PartitionedConfig, PartitionedStats};
+pub use pcy::{pcy, PcyConfig, PcyStats};
 pub use qar::{mine_qar, QarConfig, QarRule};
 pub use rules::{generate_rules, AssocRule};
 pub use transactions::{is_subset, ItemId, TransactionSet};

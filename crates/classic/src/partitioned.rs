@@ -65,10 +65,8 @@ pub fn partitioned(
         // Local threshold: same support *fraction* over the chunk,
         // rounded down so borderline itemsets are never missed.
         let local_support = ((support_frac * part.len() as f64).floor() as u64).max(1);
-        let freq = apriori(
-            &local,
-            &AprioriConfig { min_support: local_support, max_len: config.max_len },
-        );
+        let freq =
+            apriori(&local, &AprioriConfig { min_support: local_support, max_len: config.max_len });
         for (itemset, _) in freq.iter() {
             candidates.insert(itemset.clone());
         }
@@ -76,8 +74,7 @@ pub fn partitioned(
     stats.candidates = candidates.len();
 
     // Pass 2: exact global counting of all candidates.
-    let mut counts: HashMap<Vec<ItemId>, u64> =
-        candidates.into_iter().map(|c| (c, 0)).collect();
+    let mut counts: HashMap<Vec<ItemId>, u64> = candidates.into_iter().map(|c| (c, 0)).collect();
     for t in tx.transactions() {
         for (itemset, count) in counts.iter_mut() {
             if is_subset(itemset, t) {
@@ -108,17 +105,11 @@ mod tests {
     use super::*;
 
     fn sample() -> TransactionSet {
-        TransactionSet::from_raw(&[
-            &[1, 3, 4],
-            &[2, 3, 5],
-            &[1, 2, 3, 5],
-            &[2, 5],
-        ])
+        TransactionSet::from_raw(&[&[1, 3, 4], &[2, 3, 5], &[1, 2, 3, 5], &[2, 5]])
     }
 
     fn collect(f: &FrequentItemsets) -> Vec<(Vec<ItemId>, u64)> {
-        let mut v: Vec<(Vec<ItemId>, u64)> =
-            f.iter().map(|(k, c)| (k.clone(), c)).collect();
+        let mut v: Vec<(Vec<ItemId>, u64)> = f.iter().map(|(k, c)| (k.clone(), c)).collect();
         v.sort();
         v
     }
@@ -130,8 +121,7 @@ mod tests {
                 &sample(),
                 &PartitionedConfig { min_support: 2, max_len: 0, num_partitions: parts },
             );
-            let reference =
-                apriori(&sample(), &AprioriConfig { min_support: 2, max_len: 0 });
+            let reference = apriori(&sample(), &AprioriConfig { min_support: 2, max_len: 0 });
             assert_eq!(collect(&freq), collect(&reference), "parts {parts}");
             assert!(stats.candidates >= stats.confirmed);
         }
@@ -149,8 +139,7 @@ mod tests {
         for trial in 0..10 {
             let mut tx = TransactionSet::new();
             for _ in 0..80 {
-                let items: Vec<ItemId> =
-                    (0..9).filter(|_| next() % 3 == 0).map(ItemId).collect();
+                let items: Vec<ItemId> = (0..9).filter(|_| next() % 3 == 0).map(ItemId).collect();
                 tx.push(items);
             }
             let min_support = 5 + trial % 6;
@@ -162,8 +151,7 @@ mod tests {
                     num_partitions: 1 + (trial % 5) as usize,
                 },
             );
-            let reference =
-                apriori(&tx, &AprioriConfig { min_support, max_len: 0 });
+            let reference = apriori(&tx, &AprioriConfig { min_support, max_len: 0 });
             assert_eq!(collect(&freq), collect(&reference), "trial {trial}");
         }
     }

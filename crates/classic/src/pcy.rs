@@ -59,8 +59,7 @@ fn bucket_of(a: ItemId, b: ItemId, num_buckets: usize) -> usize {
 /// Apriori's) and the hash-filter statistics.
 pub fn pcy(tx: &TransactionSet, config: &PcyConfig) -> (FrequentItemsets, PcyStats) {
     let mut result = FrequentItemsets::default();
-    let mut stats =
-        PcyStats { candidates_kept: 0, candidates_pruned: 0, frequent_buckets: 0 };
+    let mut stats = PcyStats { candidates_kept: 0, candidates_pruned: 0, frequent_buckets: 0 };
     if tx.is_empty() || config.num_buckets == 0 {
         return (result, stats);
     }
@@ -78,8 +77,7 @@ pub fn pcy(tx: &TransactionSet, config: &PcyConfig) -> (FrequentItemsets, PcySta
             }
         }
     }
-    stats.frequent_buckets =
-        buckets.iter().filter(|&&b| b >= config.min_support).count();
+    stats.frequent_buckets = buckets.iter().filter(|&&b| b >= config.min_support).count();
 
     let l1: Vec<ItemId> = counts
         .iter()
@@ -87,10 +85,8 @@ pub fn pcy(tx: &TransactionSet, config: &PcyConfig) -> (FrequentItemsets, PcySta
         .filter(|&(_, &c)| c >= config.min_support)
         .map(|(i, _)| ItemId(i as u32))
         .collect();
-    let level1: HashMap<Vec<ItemId>, u64> = l1
-        .iter()
-        .map(|&i| (vec![i], counts[i.0 as usize]))
-        .collect();
+    let level1: HashMap<Vec<ItemId>, u64> =
+        l1.iter().map(|&i| (vec![i], counts[i.0 as usize])).collect();
     if level1.is_empty() {
         return (result, stats);
     }
@@ -122,10 +118,8 @@ pub fn pcy(tx: &TransactionSet, config: &PcyConfig) -> (FrequentItemsets, PcySta
             }
         }
     }
-    let level2: HashMap<Vec<ItemId>, u64> = candidates
-        .into_iter()
-        .filter(|&(_, c)| c >= config.min_support)
-        .collect();
+    let level2: HashMap<Vec<ItemId>, u64> =
+        candidates.into_iter().filter(|&(_, c)| c >= config.min_support).collect();
     if level2.is_empty() {
         return (result, stats);
     }
@@ -150,22 +144,14 @@ mod tests {
     use crate::apriori::apriori;
 
     fn sample() -> TransactionSet {
-        TransactionSet::from_raw(&[
-            &[1, 3, 4],
-            &[2, 3, 5],
-            &[1, 2, 3, 5],
-            &[2, 5],
-        ])
+        TransactionSet::from_raw(&[&[1, 3, 4], &[2, 3, 5], &[1, 2, 3, 5], &[2, 5]])
     }
 
     #[test]
     fn matches_apriori_on_the_textbook_example() {
         let cfg = PcyConfig { min_support: 2, max_len: 0, num_buckets: 64 };
         let (freq, stats) = pcy(&sample(), &cfg);
-        let reference = apriori(
-            &sample(),
-            &AprioriConfig { min_support: 2, max_len: 0 },
-        );
+        let reference = apriori(&sample(), &AprioriConfig { min_support: 2, max_len: 0 });
         assert_eq!(collect(&freq), collect(&reference));
         assert!(stats.frequent_buckets > 0);
         assert_eq!(
@@ -179,10 +165,7 @@ mod tests {
         // One bucket: everything collides, nothing pruned, result identical.
         let cfg = PcyConfig { min_support: 2, max_len: 0, num_buckets: 1 };
         let (freq, stats) = pcy(&sample(), &cfg);
-        let reference = apriori(
-            &sample(),
-            &AprioriConfig { min_support: 2, max_len: 0 },
-        );
+        let reference = apriori(&sample(), &AprioriConfig { min_support: 2, max_len: 0 });
         assert_eq!(collect(&freq), collect(&reference));
         assert_eq!(stats.candidates_pruned, 0);
     }
@@ -193,8 +176,7 @@ mod tests {
         assert_eq!(freq.total(), 0);
         let (freq, _) = pcy(&sample(), &PcyConfig { num_buckets: 0, ..PcyConfig::default() });
         assert_eq!(freq.total(), 0);
-        let (freq, _) =
-            pcy(&sample(), &PcyConfig { min_support: 2, max_len: 1, num_buckets: 8 });
+        let (freq, _) = pcy(&sample(), &PcyConfig { min_support: 2, max_len: 1, num_buckets: 8 });
         assert_eq!(freq.max_size(), 1);
     }
 
@@ -210,24 +192,18 @@ mod tests {
         for trial in 0..10 {
             let mut tx = TransactionSet::new();
             for _ in 0..60 {
-                let items: Vec<ItemId> =
-                    (0..10).filter(|_| next() % 3 == 0).map(ItemId).collect();
+                let items: Vec<ItemId> = (0..10).filter(|_| next() % 3 == 0).map(ItemId).collect();
                 tx.push(items);
             }
             let min_support = 4 + trial % 5;
-            let (freq, _) = pcy(
-                &tx,
-                &PcyConfig { min_support, max_len: 0, num_buckets: 32 },
-            );
-            let reference =
-                apriori(&tx, &AprioriConfig { min_support, max_len: 0 });
+            let (freq, _) = pcy(&tx, &PcyConfig { min_support, max_len: 0, num_buckets: 32 });
+            let reference = apriori(&tx, &AprioriConfig { min_support, max_len: 0 });
             assert_eq!(collect(&freq), collect(&reference), "trial {trial}");
         }
     }
 
     fn collect(f: &FrequentItemsets) -> Vec<(Vec<ItemId>, u64)> {
-        let mut v: Vec<(Vec<ItemId>, u64)> =
-            f.iter().map(|(k, c)| (k.clone(), c)).collect();
+        let mut v: Vec<(Vec<ItemId>, u64)> = f.iter().map(|(k, c)| (k.clone(), c)).collect();
         v.sort();
         v
     }

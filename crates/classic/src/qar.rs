@@ -154,26 +154,20 @@ pub fn mine_qar(relation: &Relation, attrs: &[AttrId], config: &QarConfig) -> Ve
     }
 
     // --- 3. Apriori + rule generation --------------------------------------
-    let freq = apriori(
-        &tx,
-        &AprioriConfig { min_support, max_len: config.max_itemset_len },
-    );
+    let freq = apriori(&tx, &AprioriConfig { min_support, max_len: config.max_itemset_len });
     let raw_rules = generate_rules(&freq, config.min_confidence);
 
     // --- 4. Prune and translate -------------------------------------------
     let mut out = Vec::new();
     for rule in raw_rules {
-        let all: Vec<ItemId> =
-            rule.antecedent.iter().chain(&rule.consequent).copied().collect();
+        let all: Vec<ItemId> = rule.antecedent.iter().chain(&rule.consequent).copied().collect();
         if has_duplicate_attr(&all, &catalog) {
             continue;
         }
         if config.min_interest > 0.0 {
             let expected: f64 = all
                 .iter()
-                .map(|i| {
-                    freq.support(&[*i]).unwrap_or(0) as f64 / n as f64
-                })
+                .map(|i| freq.support(&[*i]).unwrap_or(0) as f64 / n as f64)
                 .product::<f64>()
                 * n as f64;
             if (rule.support as f64) < config.min_interest * expected {
@@ -201,9 +195,7 @@ pub fn mine_qar(relation: &Relation, attrs: &[AttrId], config: &QarConfig) -> Ve
 /// Index of the base interval a value falls into (values above the last
 /// boundary clamp to the last interval — equi-depth covers the data range).
 fn base_index(upper_bounds: &[f64], v: f64) -> usize {
-    upper_bounds
-        .partition_point(|&hi| hi < v)
-        .min(upper_bounds.len() - 1)
+    upper_bounds.partition_point(|&hi| hi < v).min(upper_bounds.len() - 1)
 }
 
 fn has_duplicate_attr(items: &[ItemId], catalog: &[CatalogItem]) -> bool {
@@ -253,12 +245,8 @@ mod tests {
         assert!(young_low, "expected a young⇒low-salary rule, got {rules:?}");
         // No rule may predicate twice on one attribute.
         for rule in &rules {
-            let mut attrs: Vec<AttrId> = rule
-                .antecedent
-                .iter()
-                .chain(&rule.consequent)
-                .map(|(a, _)| *a)
-                .collect();
+            let mut attrs: Vec<AttrId> =
+                rule.antecedent.iter().chain(&rule.consequent).map(|(a, _)| *a).collect();
             attrs.sort_unstable();
             attrs.dedup();
             assert_eq!(attrs.len(), rule.antecedent.len() + rule.consequent.len());

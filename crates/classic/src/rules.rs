@@ -39,9 +39,8 @@ pub fn generate_rules(freq: &FrequentItemsets, min_confidence: f64) -> Vec<Assoc
                     consequent.push(item);
                 }
             }
-            let ant_support = freq
-                .support(&antecedent)
-                .expect("subsets of frequent itemsets are frequent");
+            let ant_support =
+                freq.support(&antecedent).expect("subsets of frequent itemsets are frequent");
             let confidence = support as f64 / ant_support as f64;
             if confidence >= min_confidence {
                 rules.push(AssocRule { antecedent, consequent, support, confidence });
@@ -49,11 +48,7 @@ pub fn generate_rules(freq: &FrequentItemsets, min_confidence: f64) -> Vec<Assoc
         }
     }
     // Deterministic output order regardless of hash-map iteration.
-    rules.sort_by(|a, b| {
-        a.antecedent
-            .cmp(&b.antecedent)
-            .then(a.consequent.cmp(&b.consequent))
-    });
+    rules.sort_by(|a, b| a.antecedent.cmp(&b.antecedent).then(a.consequent.cmp(&b.consequent)));
     rules
 }
 
@@ -68,12 +63,7 @@ mod tests {
     }
 
     fn mined() -> FrequentItemsets {
-        let tx = TransactionSet::from_raw(&[
-            &[1, 3, 4],
-            &[2, 3, 5],
-            &[1, 2, 3, 5],
-            &[2, 5],
-        ]);
+        let tx = TransactionSet::from_raw(&[&[1, 3, 4], &[2, 3, 5], &[1, 2, 3, 5], &[2, 5]]);
         apriori(&tx, &AprioriConfig { min_support: 2, max_len: 0 })
     }
 
@@ -83,10 +73,7 @@ mod tests {
         let find = |ant: &[u32], cons: &[u32]| {
             let a: Vec<ItemId> = ant.iter().map(|&i| item(i)).collect();
             let c: Vec<ItemId> = cons.iter().map(|&i| item(i)).collect();
-            rules
-                .iter()
-                .find(|r| r.antecedent == a && r.consequent == c)
-                .cloned()
+            rules.iter().find(|r| r.antecedent == a && r.consequent == c).cloned()
         };
         // supp{2,5}=3, supp{2}=3 → conf(2⇒5)=1.0
         let r = find(&[2], &[5]).unwrap();
@@ -126,11 +113,8 @@ mod tests {
             .sum();
         assert_eq!(rules.len(), expected);
         let mut sorted = rules.clone();
-        sorted.sort_by(|a, b| {
-            a.antecedent
-                .cmp(&b.antecedent)
-                .then(a.consequent.cmp(&b.consequent))
-        });
+        sorted
+            .sort_by(|a, b| a.antecedent.cmp(&b.antecedent).then(a.consequent.cmp(&b.consequent)));
         assert_eq!(rules, sorted);
     }
 }

@@ -56,9 +56,9 @@ impl Args {
     pub fn number<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.values.get(name) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| CliError::new(format!("--{name}: cannot parse {raw:?}"))),
+            Some(raw) => {
+                raw.parse().map_err(|_| CliError::new(format!("--{name}: cannot parse {raw:?}")))
+            }
         }
     }
 

@@ -15,12 +15,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let memory_kb: usize = args.number("memory-kb", 1024)?;
 
     let thresholds = suggest_initial_thresholds(&relation, &partitioning, threshold_frac)?;
-    let config = BirchConfig {
-        memory_budget: memory_kb << 10,
-        ..BirchConfig::default()
-    };
-    let mut forest =
-        AcfForest::with_initial_thresholds(partitioning.clone(), &config, &thresholds);
+    let config = BirchConfig { memory_budget: memory_kb << 10, ..BirchConfig::default() };
+    let mut forest = AcfForest::with_initial_thresholds(partitioning.clone(), &config, &thresholds);
     forest.scan(&relation);
     let stats = forest.stats();
     let per_set = forest.finish();
@@ -40,7 +36,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         let name = &relation.schema().attribute(name)?.name;
         let _ = writeln!(out, "{name} ({} clusters):", clusters.len());
         let mut sorted: Vec<_> = clusters.iter().collect();
-        sorted.sort_by(|a, b| b.n().cmp(&a.n()));
+        sorted.sort_by_key(|a| std::cmp::Reverse(a.n()));
         for acf in sorted.iter().take(8) {
             let _ = writeln!(
                 out,

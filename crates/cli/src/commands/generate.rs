@@ -18,8 +18,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "grid" => {
             let attrs: usize = args.number("attrs", 3)?;
             let clusters: usize = args.number("clusters", 4)?;
-            datagen::grid::grid_spec(attrs, clusters, 100.0, 1.0, outliers)
-                .generate(rows, seed)
+            datagen::grid::grid_spec(attrs, clusters, 100.0, 1.0, outliers).generate(rows, seed)
         }
         other => {
             return Err(CliError::new(format!(
@@ -51,7 +50,12 @@ mod tests {
         for workload in ["wbcd", "insurance", "grid"] {
             let out = dir.join(format!("{workload}.csv"));
             let a = parse(&argv(&[
-                "--workload", workload, "--rows", "50", "--out", out.to_str().unwrap(),
+                "--workload",
+                workload,
+                "--rows",
+                "50",
+                "--out",
+                out.to_str().unwrap(),
             ]))
             .unwrap();
             let msg = run(&a).unwrap();

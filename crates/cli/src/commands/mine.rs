@@ -5,7 +5,7 @@ use crate::commands::{default_partitioning, load};
 use crate::CliError;
 use dar_core::suggest_initial_thresholds;
 use mining::describe::{describe_rule, rules_to_tsv};
-use mining::{ClusterDistance, DarConfig, DarMiner};
+use mining::{DarConfig, DarMiner, DensitySpec, RuleQuery};
 use std::fmt::Write as _;
 
 /// Runs the command.
@@ -19,28 +19,22 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let density_factor: f64 = args.number("density-factor", 1.5)?;
     let degree_factor: f64 = args.number("degree-factor", 2.0)?;
     let top: usize = args.number("top", 20)?;
-    let metric = match args.optional("metric").unwrap_or("d2") {
-        "d0" => ClusterDistance::D0,
-        "d1" => ClusterDistance::D1,
-        "d2" => ClusterDistance::D2,
-        other => {
-            return Err(CliError::new(format!(
-                "unknown metric {other:?} (expected d0, d1, or d2)"
-            )))
-        }
-    };
+    let metric = crate::data::parse_cluster_metric(args.optional("metric").unwrap_or("d2"))?;
 
     let thresholds = suggest_initial_thresholds(&relation, &partitioning, threshold_frac)?;
     let mut config = DarConfig {
         initial_thresholds: Some(thresholds),
         min_support_frac: support,
-        phase2_density_factor: density_factor,
-        degree_factor,
         metric,
         rescan_candidate_frequency: args.switch("rescan"),
         refine_clusters: args.switch("refine"),
-        max_antecedent: args.number("max-antecedent", 2)?,
-        max_consequent: args.number("max-consequent", 1)?,
+        query: RuleQuery {
+            density: DensitySpec::Auto { factor: density_factor },
+            degree_factor,
+            max_antecedent: args.number("max-antecedent", 2)?,
+            max_consequent: args.number("max-consequent", 1)?,
+            ..RuleQuery::default()
+        },
         ..DarConfig::default()
     };
     config.birch.memory_budget = memory_kb << 10;
@@ -119,8 +113,15 @@ mod tests {
     fn mines_rules_with_rescan() {
         with_csv("rescan", |csv| {
             let a = parse(&argv(&[
-                "--input", csv, "--support", "0.1", "--threshold-frac", "0.1",
-                "--top", "3", "--rescan",
+                "--input",
+                csv,
+                "--support",
+                "0.1",
+                "--threshold-frac",
+                "0.1",
+                "--top",
+                "3",
+                "--rescan",
             ]))
             .unwrap();
             let out = run(&a).unwrap();
@@ -135,8 +136,14 @@ mod tests {
         with_csv("out", |csv| {
             let tsv_path = std::env::temp_dir().join("dar_cli_mine_out/rules.tsv");
             let a = parse(&argv(&[
-                "--input", csv, "--support", "0.1", "--threshold-frac", "0.1",
-                "--out", tsv_path.to_str().unwrap(),
+                "--input",
+                csv,
+                "--support",
+                "0.1",
+                "--threshold-frac",
+                "0.1",
+                "--out",
+                tsv_path.to_str().unwrap(),
             ]))
             .unwrap();
             let out = run(&a).unwrap();
@@ -152,10 +159,8 @@ mod tests {
         with_csv("metric", |csv| {
             let a = parse(&argv(&["--input", csv, "--metric", "d7"])).unwrap();
             assert!(run(&a).is_err());
-            let a = parse(&argv(&[
-                "--input", csv, "--metric", "d1", "--threshold-frac", "0.1",
-            ]))
-            .unwrap();
+            let a = parse(&argv(&["--input", csv, "--metric", "d1", "--threshold-frac", "0.1"]))
+                .unwrap();
             assert!(run(&a).is_ok());
         });
     }

@@ -4,20 +4,7 @@ pub mod cluster;
 pub mod generate;
 pub mod mine;
 pub mod rules;
+pub mod session;
 pub mod stats;
 
-use crate::CliError;
-use dar_core::{Metric, Partitioning, Relation};
-use std::path::Path;
-
-/// Loads a CSV relation.
-pub(crate) fn load(path: &str) -> Result<Relation, CliError> {
-    datagen::csv::read_csv(Path::new(path))
-        .map_err(|e| CliError::new(format!("{path}: {e}")))
-}
-
-/// The per-attribute partitioning every command uses (Euclidean for
-/// interval/ordinal attributes, discrete for nominal ones).
-pub(crate) fn default_partitioning(relation: &Relation) -> Partitioning {
-    Partitioning::per_attribute(relation.schema(), Metric::Euclidean)
-}
+pub(crate) use crate::data::{default_partitioning, load};

@@ -15,8 +15,7 @@ use std::fmt::Write as _;
 /// Runs the command.
 pub fn run(args: &Args) -> Result<String, CliError> {
     let path = args.required("clusters")?;
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::new(format!("{path}: {e}")))?;
     let clusters = mining::persist::read_clusters(&text)?;
     if clusters.is_empty() {
         return Ok("no clusters in the file; nothing to mine\n".to_string());
@@ -73,11 +72,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let schema = dar_core::Schema::interval_attrs(max_attr);
     let partitioning = synth_partitioning(&schema, &clusters, num_sets);
     for rule in rules.iter().take(top) {
-        let _ = writeln!(
-            out,
-            "{}",
-            describe_rule(rule, graph.clusters(), &schema, &partitioning)
-        );
+        let _ = writeln!(out, "{}", describe_rule(rule, graph.clusters(), &schema, &partitioning));
     }
     Ok(out)
 }
@@ -122,19 +117,19 @@ mod tests {
         datagen::csv::write_csv(&relation, &csv).unwrap();
 
         let a = parse(&argv(&[
-            "--input", csv.to_str().unwrap(),
-            "--threshold-frac", "0.1",
-            "--save", acf.to_str().unwrap(),
+            "--input",
+            csv.to_str().unwrap(),
+            "--threshold-frac",
+            "0.1",
+            "--save",
+            acf.to_str().unwrap(),
         ]))
         .unwrap();
         crate::commands::cluster::run(&a).unwrap();
 
-        let a = parse(&argv(&[
-            "--clusters", acf.to_str().unwrap(),
-            "--support", "0.1",
-            "--top", "5",
-        ]))
-        .unwrap();
+        let a =
+            parse(&argv(&["--clusters", acf.to_str().unwrap(), "--support", "0.1", "--top", "5"]))
+                .unwrap();
         let out = run(&a).unwrap();
         assert!(out.contains("clusters loaded"), "{out}");
         assert!(out.contains("inferred |r|=3000"), "{out}");

@@ -1,0 +1,335 @@
+//! `dar session` — drive a long-lived [`dar_engine::DarEngine`] from a
+//! script of engine commands (a file via `--script`, or stdin).
+//!
+//! Script syntax, one command per line (`#` starts a comment):
+//!
+//! ```text
+//! ingest <file.csv>              # feed a CSV batch into the live forest
+//! snapshot <file.snap>           # close the epoch and persist it
+//! restore <file.snap>            # resume an engine from a snapshot
+//! query [key=value ...]          # mine rules from the (cached) epoch
+//! stats                          # print engine counters
+//! ```
+//!
+//! `query` keys: `density-factor`, `density` (explicit comma list),
+//! `degree-factor`, `max-antecedent`, `max-consequent`, `top`.
+//!
+//! Engine-level flags (fixed for the session): `--support`,
+//! `--threshold-frac`, `--memory-kb`, `--metric d0|d1|d2`.
+
+use crate::args::Args;
+use crate::data::{default_partitioning, load, parse_cluster_metric};
+use crate::CliError;
+use dar_core::{suggest_initial_thresholds, Schema};
+use dar_engine::{DarEngine, EngineConfig};
+use mining::describe::describe_rule;
+use mining::{DensitySpec, RuleQuery};
+use std::fmt::Write as _;
+use std::io::Read as _;
+
+/// Runs the command.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let script = match args.optional("script") {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| CliError::new(format!("{path}: {e}")))?
+        }
+        None => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf)?;
+            buf
+        }
+    };
+    run_script(&script, args)
+}
+
+/// Session state: the engine appears on the first `ingest` (which fixes the
+/// partitioning from the CSV's schema) or on `restore`.
+struct Session {
+    engine: Option<DarEngine>,
+    /// Attribute names for rule rendering; synthetic after a bare restore.
+    schema: Option<Schema>,
+    support: f64,
+    threshold_frac: f64,
+    config: EngineConfig,
+}
+
+impl Session {
+    fn engine(&mut self) -> Result<&mut DarEngine, CliError> {
+        self.engine
+            .as_mut()
+            .ok_or_else(|| CliError::new("no engine yet: `ingest` or `restore` first"))
+    }
+}
+
+/// Interprets a full script, returning the accumulated output.
+pub fn run_script(script: &str, args: &Args) -> Result<String, CliError> {
+    let mut config = EngineConfig::default();
+    config.birch.memory_budget = args.number::<usize>("memory-kb", 1024)? << 10;
+    config.metric = parse_cluster_metric(args.optional("metric").unwrap_or("d2"))?;
+    let mut session = Session {
+        engine: None,
+        schema: None,
+        support: args.number("support", 0.05)?,
+        threshold_frac: args.number("threshold-frac", 0.05)?,
+        config,
+    };
+
+    let mut out = String::new();
+    for (lineno, raw) in script.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let verb = parts.next().expect("non-empty line");
+        let rest: Vec<&str> = parts.collect();
+        step(&mut session, verb, &rest, &mut out)
+            .map_err(|e| CliError::new(format!("line {}: {e}", lineno + 1)))?;
+    }
+    Ok(out)
+}
+
+fn step(
+    session: &mut Session,
+    verb: &str,
+    rest: &[&str],
+    out: &mut String,
+) -> Result<(), CliError> {
+    match verb {
+        "ingest" => {
+            let [path] = rest else {
+                return Err(CliError::new("usage: ingest <file.csv>"));
+            };
+            let relation = load(path)?;
+            if session.engine.is_none() {
+                let partitioning = default_partitioning(&relation);
+                let mut config = session.config.clone();
+                config.min_support_frac = session.support;
+                config.initial_thresholds = Some(suggest_initial_thresholds(
+                    &relation,
+                    &partitioning,
+                    session.threshold_frac,
+                )?);
+                session.engine = Some(DarEngine::new(partitioning, config)?);
+            }
+            let engine = session.engine.as_mut().expect("just created");
+            let rows: Vec<Vec<f64>> = (0..relation.len()).map(|r| relation.row(r)).collect();
+            engine.ingest(&rows);
+            session.schema = Some(relation.schema().clone());
+            let _ =
+                writeln!(out, "ingest {path}: {} tuples (total {})", rows.len(), engine.tuples());
+        }
+        "snapshot" => {
+            let [path] = rest else {
+                return Err(CliError::new("usage: snapshot <file.snap>"));
+            };
+            let text = session.engine()?.snapshot()?;
+            std::fs::write(path, &text)?;
+            let engine = session.engine()?;
+            let _ = writeln!(
+                out,
+                "snapshot {path}: epoch {} ({} tuples)",
+                engine.epoch(),
+                engine.tuples()
+            );
+        }
+        "restore" => {
+            let [path] = rest else {
+                return Err(CliError::new("usage: restore <file.snap>"));
+            };
+            let text =
+                std::fs::read_to_string(path).map_err(|e| CliError::new(format!("{path}: {e}")))?;
+            let mut config = session.config.clone();
+            config.min_support_frac = session.support;
+            let engine = DarEngine::restore(&text, config)?;
+            let _ = writeln!(
+                out,
+                "restore {path}: epoch {} ({} tuples)",
+                engine.epoch(),
+                engine.tuples()
+            );
+            session.schema = None;
+            session.engine = Some(engine);
+        }
+        "query" => {
+            let query = parse_query(rest)?;
+            let top: usize = kv(rest, "top=").map_or(Ok(10), |v| {
+                v.parse().map_err(|_| CliError::new(format!("bad top= value {v:?}")))
+            })?;
+            let (outcome, partitioning) = {
+                let engine = session.engine()?;
+                let outcome = engine.query(&query)?;
+                (outcome, engine.partitioning().clone())
+            };
+            let _ = writeln!(
+                out,
+                "query epoch {}: {} rules (s0={}, {}){}",
+                outcome.epoch,
+                outcome.rules.len(),
+                outcome.s0,
+                if outcome.cached { "cached cliques" } else { "cold" },
+                if outcome.truncated { " [truncated]" } else { "" },
+            );
+            let schema = session
+                .schema
+                .clone()
+                .unwrap_or_else(|| Schema::interval_attrs(arity(&partitioning)));
+            for rule in outcome.rules.iter().take(top) {
+                let _ = writeln!(
+                    out,
+                    "  {}",
+                    describe_rule(rule, outcome.artifacts.graph.clusters(), &schema, &partitioning)
+                );
+            }
+            if outcome.rules.len() > top {
+                let _ = writeln!(out, "  … {} more rules", outcome.rules.len() - top);
+            }
+        }
+        "stats" => {
+            let engine = session.engine()?;
+            let s = engine.stats();
+            let _ = writeln!(
+                out,
+                "stats: {} tuples in {} batches, {} epochs, {} rebuilds; \
+                 {} queries ({} hit / {} miss); \
+                 ingest {:.3}s, epoch {:.3}s, phase2 {:.3}s, rules {:.3}s",
+                s.tuples_ingested,
+                s.batches,
+                s.epochs,
+                s.forest_rebuilds,
+                s.queries,
+                s.cache_hits,
+                s.cache_misses,
+                s.ingest_time.as_secs_f64(),
+                s.epoch_time.as_secs_f64(),
+                s.phase2_build_time.as_secs_f64(),
+                s.rule_time.as_secs_f64(),
+            );
+        }
+        other => {
+            return Err(CliError::new(format!(
+                "unknown session command {other:?} (expected ingest, snapshot, restore, query, stats)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn arity(partitioning: &dar_core::Partitioning) -> usize {
+    partitioning.sets().iter().flat_map(|s| s.attrs.iter()).copied().max().map_or(0, |m| m + 1)
+}
+
+/// Finds `key=`-prefixed token and returns its value.
+fn kv<'a>(tokens: &[&'a str], key: &str) -> Option<&'a str> {
+    tokens.iter().find_map(|t| t.strip_prefix(key))
+}
+
+fn parse_query(tokens: &[&str]) -> Result<RuleQuery, CliError> {
+    let mut query = RuleQuery::default();
+    for token in tokens {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| CliError::new(format!("expected key=value, got {token:?}")))?;
+        let bad = || CliError::new(format!("bad {key}= value {value:?}"));
+        match key {
+            "density-factor" => {
+                query.density = DensitySpec::Auto { factor: value.parse().map_err(|_| bad())? };
+            }
+            "density" => {
+                let thresholds: Result<Vec<f64>, _> = value.split(',').map(str::parse).collect();
+                query.density = DensitySpec::Explicit(thresholds.map_err(|_| bad())?);
+            }
+            "degree-factor" => query.degree_factor = value.parse().map_err(|_| bad())?,
+            "max-antecedent" => query.max_antecedent = value.parse().map_err(|_| bad())?,
+            "max-consequent" => query.max_consequent = value.parse().map_err(|_| bad())?,
+            "top" => {
+                value.parse::<usize>().map_err(|_| bad())?;
+            }
+            other => {
+                return Err(CliError::new(format!("unknown query key {other:?}")));
+            }
+        }
+    }
+    Ok(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn session_dir(test: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dar_cli_session_{test}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_batches(dir: &std::path::Path, n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| {
+                let path = dir.join(format!("batch{i}.csv"));
+                let relation = datagen::insurance::insurance_relation(2_000, 10 + i as u64);
+                datagen::csv::write_csv(&relation, &path).unwrap();
+                path.to_str().unwrap().to_string()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scripted_lifecycle_ingests_snapshots_and_queries() {
+        let dir = session_dir("lifecycle");
+        let batches = write_batches(&dir, 3);
+        let snap = dir.join("epoch.snap");
+        let script = format!(
+            "# full lifecycle\n\
+             ingest {}\n\
+             ingest {}\n\
+             ingest {}\n\
+             query degree-factor=2.0 top=3\n\
+             query degree-factor=3.0 top=3\n\
+             snapshot {}\n\
+             stats\n",
+            batches[0],
+            batches[1],
+            batches[2],
+            snap.display(),
+        );
+        let args = parse(&argv(&["--support", "0.1", "--threshold-frac", "0.1"])).unwrap();
+        let out = run_script(&script, &args).unwrap();
+        assert!(out.contains("total 6000"), "{out}");
+        assert!(out.contains("cold"), "{out}");
+        assert!(out.contains("cached cliques"), "re-tuned D0 must hit: {out}");
+        assert!(out.contains("1 hit / 1 miss"), "{out}");
+        assert!(out.contains('⇒'), "{out}");
+        assert!(snap.exists());
+
+        // A second session resumes from the snapshot and queries cold.
+        let script = format!("restore {}\nquery top=2\nstats\n", snap.display());
+        let out = run_script(&script, &args).unwrap();
+        assert!(out.contains("restore"), "{out}");
+        assert!(out.contains("6000 tuples"), "{out}");
+        assert!(out.contains('⇒'), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let args = parse(&[]).unwrap();
+        let err = run_script("\n\nfrobnicate\n", &args).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+        let err = run_script("query top=1\n", &args).unwrap_err();
+        assert!(err.to_string().contains("no engine"), "{err}");
+        let err = run_script("query degree-factor=oops\n", &args).unwrap_err();
+        assert!(err.to_string().contains("degree-factor"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(run_script("# nothing\n\n   # indented\n", &args).unwrap(), "");
+    }
+}

@@ -50,11 +50,7 @@ mod tests {
         let csv = dir.join("ins.csv");
         let relation = datagen::insurance::insurance_relation(500, 3);
         datagen::csv::write_csv(&relation, &csv).unwrap();
-        let a = parse(&[
-            "--input".to_string(),
-            csv.to_str().unwrap().to_string(),
-        ])
-        .unwrap();
+        let a = parse(&["--input".to_string(), csv.to_str().unwrap().to_string()]).unwrap();
         let out = run(&a).unwrap();
         assert!(out.contains("500 rows"));
         for name in ["Age", "Dependents", "Claims"] {

@@ -1,0 +1,47 @@
+//! Shared data-loading helpers used by every subcommand (and available to
+//! library consumers embedding the CLI's behaviour).
+
+use crate::CliError;
+use dar_core::{Metric, Partitioning, Relation};
+use mining::ClusterDistance;
+use std::path::Path;
+
+/// Loads a CSV relation, tagging errors with the path.
+pub fn load(path: &str) -> Result<Relation, CliError> {
+    datagen::csv::read_csv(Path::new(path)).map_err(|e| CliError::new(format!("{path}: {e}")))
+}
+
+/// The per-attribute partitioning every command uses (Euclidean for
+/// interval/ordinal attributes, discrete for nominal ones).
+pub fn default_partitioning(relation: &Relation) -> Partitioning {
+    Partitioning::per_attribute(relation.schema(), Metric::Euclidean)
+}
+
+/// Parses a `--metric` value (`d0`/`d1`/`d2`) into a [`ClusterDistance`].
+pub fn parse_cluster_metric(name: &str) -> Result<ClusterDistance, CliError> {
+    match name {
+        "d0" => Ok(ClusterDistance::D0),
+        "d1" => Ok(ClusterDistance::D1),
+        "d2" => Ok(ClusterDistance::D2),
+        other => Err(CliError::new(format!("unknown metric {other:?} (expected d0, d1, or d2)"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_names_parse() {
+        assert_eq!(parse_cluster_metric("d0").unwrap(), ClusterDistance::D0);
+        assert_eq!(parse_cluster_metric("d1").unwrap(), ClusterDistance::D1);
+        assert_eq!(parse_cluster_metric("d2").unwrap(), ClusterDistance::D2);
+        assert!(parse_cluster_metric("d7").is_err());
+    }
+
+    #[test]
+    fn load_reports_the_path() {
+        let err = load("/nonexistent/definitely-missing.csv").unwrap_err();
+        assert!(err.to_string().contains("definitely-missing.csv"));
+    }
+}

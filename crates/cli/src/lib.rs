@@ -8,6 +8,7 @@
 //! dar stats    --input data.csv
 //! dar cluster  --input data.csv --threshold-frac 0.05
 //! dar mine     --input data.csv --support 0.08 --threshold-frac 0.05 --top 10
+//! dar session  --script session.txt --support 0.08
 //! ```
 //!
 //! All command logic lives in this library (returning the output as a
@@ -19,6 +20,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod data;
 
 use std::fmt;
 
@@ -68,10 +70,9 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "cluster" => commands::cluster::run(&args::parse(rest)?),
         "mine" => commands::mine::run(&args::parse(rest)?),
         "rules" => commands::rules::run(&args::parse(rest)?),
+        "session" => commands::session::run(&args::parse(rest)?),
         "help" | "--help" | "-h" => Ok(usage()),
-        other => Err(CliError::new(format!(
-            "unknown command {other:?}; run `dar help` for usage"
-        ))),
+        other => Err(CliError::new(format!("unknown command {other:?}; run `dar help` for usage"))),
     }
 }
 
@@ -89,6 +90,10 @@ pub fn usage() -> String {
        mine      --input FILE.csv [--support F] [--threshold-frac F]\n\
                  [--memory-kb K] [--metric d0|d1|d2] [--density-factor F]\n\
                  [--degree-factor F] [--top N] [--rescan] [--out RULES.tsv]\n\
+       session   [--script FILE] [--support F] [--threshold-frac F]\n\
+                 [--memory-kb K] [--metric d0|d1|d2]\n\
+                 scripted engine: ingest/snapshot/restore/query/stats lines\n\
+                 from FILE (or stdin); see `dar-cli`'s session module docs\n\
        help      this text\n"
         .to_string()
 }
@@ -122,8 +127,15 @@ mod tests {
         let csv_str = csv.to_str().unwrap();
 
         let out = run(&argv(&[
-            "generate", "--workload", "insurance", "--rows", "3000", "--seed", "7",
-            "--out", csv_str,
+            "generate",
+            "--workload",
+            "insurance",
+            "--rows",
+            "3000",
+            "--seed",
+            "7",
+            "--out",
+            csv_str,
         ]))
         .unwrap();
         assert!(out.contains("3000"));
@@ -132,15 +144,19 @@ mod tests {
         assert!(out.contains("Age"));
         assert!(out.contains("Claims"));
 
-        let out = run(&argv(&[
-            "cluster", "--input", csv_str, "--threshold-frac", "0.1",
-        ]))
-        .unwrap();
+        let out = run(&argv(&["cluster", "--input", csv_str, "--threshold-frac", "0.1"])).unwrap();
         assert!(out.contains("clusters"), "{out}");
 
         let out = run(&argv(&[
-            "mine", "--input", csv_str, "--support", "0.1", "--threshold-frac", "0.1",
-            "--top", "5",
+            "mine",
+            "--input",
+            csv_str,
+            "--support",
+            "0.1",
+            "--threshold-frac",
+            "0.1",
+            "--top",
+            "5",
         ]))
         .unwrap();
         assert!(out.contains('⇒'), "{out}");

@@ -91,11 +91,7 @@ impl Acf {
     /// Reassembles an ACF from its parts (the deserialization path).
     /// Every image must carry the same tuple count, and the bounding box
     /// must have the home set's dimensionality.
-    pub fn from_parts(
-        home: SetId,
-        images: Vec<Cf>,
-        bbox: BoundingBox,
-    ) -> Result<Self, CoreError> {
+    pub fn from_parts(home: SetId, images: Vec<Cf>, bbox: BoundingBox) -> Result<Self, CoreError> {
         let Some(home_cf) = images.get(home) else {
             return Err(CoreError::LayoutMismatch(format!(
                 "home set {home} outside the {} supplied images",

@@ -17,9 +17,7 @@ impl BoundingBox {
     /// An "empty" box of the given dimensionality, ready to absorb points.
     /// Until the first [`extend`](Self::extend) it contains nothing.
     pub fn empty(dims: usize) -> Self {
-        BoundingBox {
-            intervals: vec![Interval { lo: f64::INFINITY, hi: f64::NEG_INFINITY }; dims],
-        }
+        BoundingBox { intervals: vec![Interval { lo: f64::INFINITY, hi: f64::NEG_INFINITY }; dims] }
     }
 
     /// A box built from explicit per-dimension intervals.
@@ -62,8 +60,7 @@ impl BoundingBox {
 
     /// Whether `point` lies inside the box (closed on all sides).
     pub fn contains(&self, point: &[f64]) -> bool {
-        !self.is_empty()
-            && self.intervals.iter().zip(point).all(|(iv, &v)| iv.contains(v))
+        !self.is_empty() && self.intervals.iter().zip(point).all(|(iv, &v)| iv.contains(v))
     }
 
     /// Per-dimension intervals.

@@ -61,11 +61,7 @@ impl Cf {
 
     /// The CF of a single point.
     pub fn from_point(p: &[f64]) -> Self {
-        Cf {
-            n: 1,
-            ls: p.to_vec(),
-            ss: p.iter().map(|v| v * v).collect(),
-        }
+        Cf { n: 1, ls: p.to_vec(), ss: p.iter().map(|v| v * v).collect() }
     }
 
     /// Builds a CF from raw moments. `ls` and `ss` must have equal lengths.
@@ -289,12 +285,7 @@ impl Cf {
             return Err(CoreError::EmptyCluster);
         }
         let (na, nb) = (self.n as f64, other.n as f64);
-        Ok(self
-            .ls
-            .iter()
-            .zip(&other.ls)
-            .map(|(a, b)| (a / na - b / nb).abs())
-            .sum())
+        Ok(self.ls.iter().zip(&other.ls).map(|(a, b)| (a / na - b / nb).abs()).sum())
     }
 
     /// Squared D2 (paper Eq. 6, RMS form): average inter-cluster squared
@@ -306,8 +297,7 @@ impl Cf {
         }
         let (na, nb) = (self.n as f64, other.n as f64);
         let dot: f64 = self.ls.iter().zip(&other.ls).map(|(a, b)| a * b).sum();
-        Ok(((nb * self.square_sum_total() + na * other.square_sum_total() - 2.0 * dot)
-            / (na * nb))
+        Ok(((nb * self.square_sum_total() + na * other.square_sum_total() - 2.0 * dot) / (na * nb))
             .max(0.0))
     }
 
@@ -402,24 +392,12 @@ mod tests {
         let mut merged = a.clone();
         merged.merge(&b);
         assert_eq!(merged.n(), all.n());
-        assert!(merged
-            .linear_sum()
-            .iter()
-            .zip(all.linear_sum())
-            .all(|(x, y)| close(*x, *y)));
-        assert!(merged
-            .square_sum()
-            .iter()
-            .zip(all.square_sum())
-            .all(|(x, y)| close(*x, *y)));
+        assert!(merged.linear_sum().iter().zip(all.linear_sum()).all(|(x, y)| close(*x, *y)));
+        assert!(merged.square_sum().iter().zip(all.square_sum()).all(|(x, y)| close(*x, *y)));
         // unmerge restores the original.
         merged.unmerge(&b);
         assert_eq!(merged.n(), a.n());
-        assert!(merged
-            .linear_sum()
-            .iter()
-            .zip(a.linear_sum())
-            .all(|(x, y)| close(*x, *y)));
+        assert!(merged.linear_sum().iter().zip(a.linear_sum()).all(|(x, y)| close(*x, *y)));
     }
 
     #[test]
@@ -485,14 +463,8 @@ mod tests {
         a.add_point(&[3.0, 0.0]);
         let p = [10.0, -4.0];
         let as_cf = Cf::from_point(&p);
-        assert!(close(
-            a.merged_diameter_sq_with_point(&p),
-            a.merged_diameter_sq(&as_cf)
-        ));
-        assert!(close(
-            a.centroid_distance_sq_to_point(&p).unwrap(),
-            a.d0(&as_cf).unwrap().powi(2)
-        ));
+        assert!(close(a.merged_diameter_sq_with_point(&p), a.merged_diameter_sq(&as_cf)));
+        assert!(close(a.centroid_distance_sq_to_point(&p).unwrap(), a.d0(&as_cf).unwrap().powi(2)));
         assert!(Cf::empty(2).centroid_distance_sq_to_point(&p).is_err());
     }
 

@@ -38,11 +38,7 @@ impl Metric {
                 .sum::<f64>()
                 .sqrt(),
             Metric::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
-            Metric::Chebyshev => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| (x - y).abs())
-                .fold(0.0, f64::max),
+            Metric::Chebyshev => a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max),
             Metric::Discrete => {
                 if a.iter().zip(b).all(|(x, y)| x == y) {
                     0.0

@@ -187,10 +187,7 @@ mod tests {
     fn arity_mismatch_rejected() {
         let schema = Schema::interval_attrs(2);
         let mut b = RelationBuilder::new(schema);
-        assert_eq!(
-            b.push_row(&[1.0]),
-            Err(CoreError::ArityMismatch { expected: 2, got: 1 })
-        );
+        assert_eq!(b.push_row(&[1.0]), Err(CoreError::ArityMismatch { expected: 2, got: 1 }));
     }
 
     #[test]

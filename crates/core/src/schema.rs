@@ -237,10 +237,7 @@ mod tests {
             AttrSet { attrs: vec![0, 1], metric: Metric::Euclidean },
             AttrSet { attrs: vec![1, 2], metric: Metric::Euclidean },
         ];
-        assert!(matches!(
-            Partitioning::new(&s, sets),
-            Err(CoreError::InvalidPartitioning(_))
-        ));
+        assert!(matches!(Partitioning::new(&s, sets), Err(CoreError::InvalidPartitioning(_))));
     }
 
     #[test]
@@ -249,10 +246,7 @@ mod tests {
         let sets = vec![AttrSet { attrs: vec![5], metric: Metric::Euclidean }];
         assert_eq!(Partitioning::new(&s, sets).unwrap_err(), CoreError::UnknownAttribute(5));
         let sets = vec![AttrSet { attrs: vec![], metric: Metric::Euclidean }];
-        assert!(matches!(
-            Partitioning::new(&s, sets),
-            Err(CoreError::InvalidPartitioning(_))
-        ));
+        assert!(matches!(Partitioning::new(&s, sets), Err(CoreError::InvalidPartitioning(_))));
     }
 
     #[test]

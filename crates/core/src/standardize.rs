@@ -106,9 +106,8 @@ pub fn standardize_columns(
     relation: &Relation,
     attrs: &[(AttrId, Standardization)],
 ) -> Result<Relation, CoreError> {
-    let mut columns: Vec<Vec<f64>> = (0..relation.schema().arity())
-        .map(|a| relation.column(a).to_vec())
-        .collect();
+    let mut columns: Vec<Vec<f64>> =
+        (0..relation.schema().arity()).map(|a| relation.column(a).to_vec()).collect();
     for &(attr, method) in attrs {
         if attr >= columns.len() {
             return Err(CoreError::UnknownAttribute(attr));
@@ -192,8 +191,7 @@ mod tests {
         b.push_row(&[1.0, 100.0]).unwrap();
         b.push_row(&[3.0, 300.0]).unwrap();
         let r = b.finish();
-        let out =
-            standardize_columns(&r, &[(1, Standardization::MinMax)]).unwrap();
+        let out = standardize_columns(&r, &[(1, Standardization::MinMax)]).unwrap();
         assert_eq!(out.column(0), &[1.0, 3.0]);
         assert_eq!(out.column(1), &[0.0, 1.0]);
         assert!(standardize_columns(&r, &[(9, Standardization::MinMax)]).is_err());

@@ -38,8 +38,7 @@ impl ColumnStats {
             sum += v;
         }
         let mean = sum / count as f64;
-        let var =
-            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
         let mut sorted: Vec<f64> = values.to_vec();
         sorted.sort_by(f64::total_cmp);
         let mut distinct = 1;

@@ -1,0 +1,210 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion) crate.
+//!
+//! The build environment has no network access and no crates.io cache, so
+//! the real `criterion` cannot be fetched. This workspace-local shim keeps
+//! the `crates/bench` Criterion benches compiling and running: it measures
+//! mean wall-clock time per iteration (warm-up pass, then an adaptive
+//! number of timed iterations) and prints one line per benchmark, with
+//! throughput when configured. No statistics, plots, or HTML reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock budget for one benchmark's measurement loop.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts (and ignores) command-line configuration, for API parity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(name, None, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepts (and ignores) the requested sample count, for API parity.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.0);
+        run_benchmark(&label, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f`, labelled by `name` within the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_benchmark(&label, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark label, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A label of the form `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// A label that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Per-iteration throughput units, mirroring `criterion::Throughput`.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The measurement handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u32,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`, recording the mean.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up (and single-shot duration estimate).
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        let iters = (MEASURE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 1000) as u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.total += start.elapsed();
+        self.iterations += iters;
+    }
+}
+
+fn run_benchmark(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("bench {label:<40} (no iterations)");
+        return;
+    }
+    let mean = bencher.total / bencher.iterations;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench {label:<40} {:>12.3} µs/iter  ({} iters){rate}",
+        mean.as_secs_f64() * 1e6,
+        bencher.iterations,
+    );
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.bench_function("trivial", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_measures() {
+        benches();
+        let mut c = Criterion::default().configure_from_args();
+        c.bench_function("standalone", |b| b.iter(|| black_box(2 * 2)));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 7).0, "f/7");
+        assert_eq!(BenchmarkId::from_parameter(7).0, "7");
+    }
+}

@@ -57,9 +57,8 @@ pub fn read_csv(path: &Path) -> io::Result<Relation> {
 
 fn read_csv_impl<R: Read>(reader: R) -> io::Result<Relation> {
     let mut lines = BufReader::new(reader).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty CSV"))??;
+    let header =
+        lines.next().ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty CSV"))??;
     let attributes: Vec<Attribute> = header
         .split(',')
         .map(|cell| {

@@ -46,11 +46,7 @@ pub fn geo_relation(n: usize, seed: u64) -> Relation {
             ]
         } else {
             let (lat, lon, price) = HOTSPOTS[rng.index(HOTSPOTS.len())];
-            [
-                rng.normal(lat, 0.015),
-                rng.normal(lon, 0.015),
-                rng.normal(price, 30_000.0),
-            ]
+            [rng.normal(lat, 0.015), rng.normal(lon, 0.015), rng.normal(price, 30_000.0)]
         };
         b.push_row(&row).expect("generated rows match the schema");
     }
@@ -67,19 +63,14 @@ mod tests {
         for &(lat, lon, price) in &HOTSPOTS {
             let members: Vec<usize> = (0..r.len())
                 .filter(|&i| {
-                    (r.value(i, LAT) - lat).abs() < 0.05
-                        && (r.value(i, LON) - lon).abs() < 0.05
+                    (r.value(i, LAT) - lat).abs() < 0.05 && (r.value(i, LON) - lon).abs() < 0.05
                 })
                 .collect();
             let frac = members.len() as f64 / r.len() as f64;
             assert!(frac > 0.2, "hotspot ({lat},{lon}) only has {frac}");
             let mean_price: f64 =
-                members.iter().map(|&i| r.value(i, PRICE)).sum::<f64>()
-                    / members.len() as f64;
-            assert!(
-                (mean_price - price).abs() < 20_000.0,
-                "hotspot price {mean_price} vs {price}"
-            );
+                members.iter().map(|&i| r.value(i, PRICE)).sum::<f64>() / members.len() as f64;
+            assert!((mean_price - price).abs() < 20_000.0, "hotspot price {mean_price} vs {price}");
         }
     }
 

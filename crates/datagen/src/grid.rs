@@ -23,9 +23,7 @@ pub fn grid_spec(
     let components = (0..clusters)
         .map(|c| Component {
             weight: 1.0,
-            means: (0..attrs)
-                .map(|j| center_step * ((c + j) % clusters) as f64)
-                .collect(),
+            means: (0..attrs).map(|j| center_step * ((c + j) % clusters) as f64).collect(),
             sds: vec![spread; attrs],
             latent_rho: 0.0,
         })

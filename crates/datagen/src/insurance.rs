@@ -83,14 +83,10 @@ mod tests {
     #[test]
     fn segments_are_separated_on_claims() {
         let r = insurance_relation(5_000, 78);
-        let young_claims: Vec<f64> = (0..r.len())
-            .filter(|&i| r.value(i, AGE) < 35.0)
-            .map(|i| r.value(i, CLAIMS))
-            .collect();
-        let old_claims: Vec<f64> = (0..r.len())
-            .filter(|&i| r.value(i, AGE) > 55.0)
-            .map(|i| r.value(i, CLAIMS))
-            .collect();
+        let young_claims: Vec<f64> =
+            (0..r.len()).filter(|&i| r.value(i, AGE) < 35.0).map(|i| r.value(i, CLAIMS)).collect();
+        let old_claims: Vec<f64> =
+            (0..r.len()).filter(|&i| r.value(i, AGE) > 55.0).map(|i| r.value(i, CLAIMS)).collect();
         assert!(!young_claims.is_empty() && !old_claims.is_empty());
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(mean(&young_claims) < 6_000.0);

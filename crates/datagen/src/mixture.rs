@@ -112,8 +112,18 @@ mod tests {
         MixtureSpec {
             schema: Schema::interval_attrs(2),
             components: vec![
-                Component { weight: 1.0, means: vec![0.0, 100.0], sds: vec![1.0, 2.0], latent_rho: 0.0 },
-                Component { weight: 3.0, means: vec![50.0, 200.0], sds: vec![1.0, 2.0], latent_rho: 0.0 },
+                Component {
+                    weight: 1.0,
+                    means: vec![0.0, 100.0],
+                    sds: vec![1.0, 2.0],
+                    latent_rho: 0.0,
+                },
+                Component {
+                    weight: 3.0,
+                    means: vec![50.0, 200.0],
+                    sds: vec![1.0, 2.0],
+                    latent_rho: 0.0,
+                },
             ],
             outlier_frac: 0.1,
             outlier_range: vec![(-100.0, 300.0), (-100.0, 400.0)],
@@ -172,8 +182,7 @@ mod tests {
         let s = spec2();
         for n in [1_000, 4_000] {
             let r = s.generate(n, 7);
-            let near0: Vec<f64> =
-                r.column(0).iter().copied().filter(|v| v.abs() < 10.0).collect();
+            let near0: Vec<f64> = r.column(0).iter().copied().filter(|v| v.abs() < 10.0).collect();
             let mean = near0.iter().sum::<f64>() / near0.len() as f64;
             assert!(mean.abs() < 0.5, "centroid drift at n={n}: {mean}");
         }

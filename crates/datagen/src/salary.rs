@@ -72,9 +72,7 @@ mod tests {
         let matches = |r: &Relation| {
             (0..r.len())
                 .filter(|&i| {
-                    r.value(i, 0) == JOB_DBA
-                        && r.value(i, 1) == 30.0
-                        && r.value(i, 2) == 40_000.0
+                    r.value(i, 0) == JOB_DBA && r.value(i, 1) == 30.0 && r.value(i, 2) == 40_000.0
                 })
                 .count()
         };
@@ -82,9 +80,7 @@ mod tests {
         assert_eq!(matches(&r2), 3);
         // Five 30-year-old DBAs in both → confidence 3/5 = 60%.
         let dbas = |r: &Relation| {
-            (0..r.len())
-                .filter(|&i| r.value(i, 0) == JOB_DBA && r.value(i, 1) == 30.0)
-                .count()
+            (0..r.len()).filter(|&i| r.value(i, 0) == JOB_DBA && r.value(i, 1) == 30.0).count()
         };
         assert_eq!(dbas(&r1), 5);
         assert_eq!(dbas(&r2), 5);

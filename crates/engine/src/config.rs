@@ -1,0 +1,79 @@
+//! Engine configuration: the scan-side parameters fixed for the lifetime
+//! of the engine.
+
+use birch::BirchConfig;
+use mining::{ClusterDistance, DarConfig, RuleQuery};
+
+/// Long-lived engine configuration — exactly the *non*-re-tunable half of
+/// [`mining::DarConfig`]: everything here shapes Phase I or the graph
+/// construction and is fixed when the engine is created, while the
+/// re-tunable Phase II parameters arrive per query as a
+/// [`mining::RuleQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Phase I clustering engine configuration (per-tree).
+    pub birch: BirchConfig,
+    /// Per-set initial diameter thresholds, overriding
+    /// `birch.initial_threshold` (the paper's per-`X_i` threshold
+    /// selection, Section 4.3.1).
+    pub initial_thresholds: Option<Vec<f64>>,
+    /// Frequency threshold `s0` as a fraction of the tuples ingested so
+    /// far.
+    pub min_support_frac: f64,
+    /// Inter-cluster distance used for the graph and rules.
+    pub metric: ClusterDistance,
+    /// Enable the Section 6.2 poor-density pruning heuristic.
+    pub prune_poor_density: bool,
+    /// Clique-count cap (0 = unbounded).
+    pub max_cliques: usize,
+    /// Run the BIRCH "Phase 3" global refinement pass when closing an
+    /// epoch.
+    pub refine_clusters: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let d = DarConfig::default();
+        EngineConfig {
+            birch: d.birch,
+            initial_thresholds: d.initial_thresholds,
+            min_support_frac: d.min_support_frac,
+            metric: d.metric,
+            prune_poor_density: d.prune_poor_density,
+            max_cliques: d.max_cliques,
+            refine_clusters: d.refine_clusters,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The equivalent one-shot [`DarConfig`] for a given query — the
+    /// configuration under which `DarMiner::mine` over all ingested tuples
+    /// must produce the same rules the engine does (the correctness
+    /// contract the engine's tests assert).
+    pub fn dar_config(&self, query: &RuleQuery) -> DarConfig {
+        DarConfig {
+            birch: self.birch.clone(),
+            initial_thresholds: self.initial_thresholds.clone(),
+            min_support_frac: self.min_support_frac,
+            metric: self.metric,
+            prune_poor_density: self.prune_poor_density,
+            max_cliques: self.max_cliques,
+            query: query.clone(),
+            rescan_candidate_frequency: false,
+            refine_clusters: self.refine_clusters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mirrors_the_one_shot_config() {
+        let e = EngineConfig::default();
+        let d = DarConfig::default();
+        assert_eq!(e.dar_config(&d.query), d);
+    }
+}

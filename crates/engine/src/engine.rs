@@ -1,0 +1,381 @@
+//! The long-lived engine: live Phase I forest + lazily-closed epochs with
+//! memoized Phase II artifacts.
+
+use crate::config::EngineConfig;
+use crate::snapshot;
+use crate::stats::EngineStats;
+use birch::{refine_forest_output, AcfForest};
+use dar_core::{ClusterId, ClusterSummary, CoreError, Partitioning};
+use mining::rules::Dar;
+use mining::{Phase2Artifacts, RuleQuery};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One closed epoch: the cluster summaries extracted from the live forest,
+/// the Phase I state they were extracted under, and the memoized Phase II
+/// artifacts keyed by resolved density thresholds.
+pub(crate) struct EpochState {
+    pub(crate) clusters: Vec<ClusterSummary>,
+    pub(crate) tree_thresholds: Vec<f64>,
+    pub(crate) s0: u64,
+    /// Memoized graph + cliques, keyed by the bit patterns of the resolved
+    /// per-set density thresholds (metric, pruning, and the clique cap are
+    /// fixed per engine, so density is the only Phase II input that shapes
+    /// the graph).
+    pub(crate) cache: HashMap<Vec<u64>, Arc<Phase2Artifacts>>,
+}
+
+/// The result of one [`DarEngine::query`].
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The mined rules.
+    pub rules: Vec<Dar>,
+    /// Whether rule generation hit a budget.
+    pub truncated: bool,
+    /// Whether the graph and cliques came from the epoch cache.
+    pub cached: bool,
+    /// The (shared) Phase II artifacts the rules were mined from — rule
+    /// indices in [`QueryOutcome::rules`] point into
+    /// `artifacts.graph.clusters()`.
+    pub artifacts: Arc<Phase2Artifacts>,
+    /// The absolute frequency threshold in force.
+    pub s0: u64,
+    /// The epoch this answer reflects.
+    pub epoch: u64,
+}
+
+/// A long-lived incremental DAR mining engine. See the crate docs for the
+/// lifecycle; see `DarEngine::restore` for resuming from a snapshot.
+pub struct DarEngine {
+    partitioning: Partitioning,
+    config: EngineConfig,
+    forest: AcfForest,
+    epoch: u64,
+    tuples: u64,
+    epoch_state: Option<EpochState>,
+    stats: EngineStats,
+}
+
+impl DarEngine {
+    /// Creates an empty engine for `partitioning`.
+    ///
+    /// # Errors
+    /// Rejects `initial_thresholds` whose arity differs from the
+    /// partitioning's set count.
+    pub fn new(partitioning: Partitioning, config: EngineConfig) -> Result<Self, CoreError> {
+        let forest = match &config.initial_thresholds {
+            Some(t) => {
+                if t.len() != partitioning.num_sets() {
+                    return Err(CoreError::InvalidPartitioning(format!(
+                        "initial_thresholds has {} entries but the partitioning has {} sets",
+                        t.len(),
+                        partitioning.num_sets()
+                    )));
+                }
+                AcfForest::with_initial_thresholds(partitioning.clone(), &config.birch, t)
+            }
+            None => AcfForest::new(partitioning.clone(), &config.birch),
+        };
+        Ok(DarEngine {
+            partitioning,
+            config,
+            forest,
+            epoch: 0,
+            tuples: 0,
+            epoch_state: None,
+            stats: EngineStats::default(),
+        })
+    }
+
+    /// Feeds a batch of full tuples (indexed by attribute, matching the
+    /// partitioning's id space) into the live forest. Invalidates the
+    /// current epoch and its Phase II cache: the next query or snapshot
+    /// closes a fresh epoch reflecting all tuples ingested so far.
+    ///
+    /// Because forest insertion is purely sequential, ingesting in batches
+    /// leaves the engine in exactly the state one concatenated scan would
+    /// have produced.
+    pub fn ingest(&mut self, rows: &[Vec<f64>]) {
+        let t = Instant::now();
+        for row in rows {
+            self.forest.insert_values(row);
+        }
+        self.tuples += rows.len() as u64;
+        self.stats.tuples_ingested += rows.len() as u64;
+        self.stats.batches += 1;
+        self.stats.ingest_time += t.elapsed();
+        self.epoch_state = None;
+    }
+
+    /// Closes the current epoch if ingest invalidated it (or none was ever
+    /// closed): extracts cluster summaries from the live forest — without
+    /// consuming it — and resets the Phase II cache.
+    fn ensure_epoch(&mut self) {
+        if self.epoch_state.is_some() {
+            return;
+        }
+        let t = Instant::now();
+        // Thresholds as of extraction: the same values `DarMiner::mine_rows`
+        // reads from the forest stats before finishing.
+        let tree_thresholds = self.forest.thresholds();
+        let mut per_set = self.forest.extract_clusters();
+        if self.config.refine_clusters {
+            per_set = refine_forest_output(per_set, &tree_thresholds);
+        }
+        // Sequential ids in per-set order — identical to the one-shot
+        // pipeline, so persisted ids and rule keys are comparable.
+        let mut clusters = Vec::new();
+        let mut next_id = 0u32;
+        for (set, acfs) in per_set.into_iter().enumerate() {
+            for acf in acfs {
+                clusters.push(ClusterSummary { id: ClusterId(next_id), set, acf });
+                next_id += 1;
+            }
+        }
+        let s0 = ((self.config.min_support_frac * self.tuples as f64).ceil() as u64).max(1);
+        self.epoch_state =
+            Some(EpochState { clusters, tree_thresholds, s0, cache: HashMap::new() });
+        self.epoch += 1;
+        self.stats.epochs += 1;
+        self.stats.epoch_time += t.elapsed();
+    }
+
+    /// Answers one rule-mining query against the current epoch, closing it
+    /// first if needed. The clustering graph and maximal cliques are taken
+    /// from the epoch cache when this density setting has been queried
+    /// before; only rule generation (cheap, Dfn 5.1 `assoc` checks) runs
+    /// per query.
+    ///
+    /// # Errors
+    /// Propagates arity errors from explicit density thresholds.
+    pub fn query(&mut self, query: &RuleQuery) -> Result<QueryOutcome, CoreError> {
+        self.ensure_epoch();
+        let num_sets = self.partitioning.num_sets();
+        let state = self.epoch_state.as_ref().expect("epoch just ensured");
+        let density = query.density.resolve(&state.clusters, &state.tree_thresholds, num_sets)?;
+        let s0 = state.s0;
+        let key: Vec<u64> = density.iter().map(|d| d.to_bits()).collect();
+
+        let hit = state.cache.get(&key).cloned();
+        let (artifacts, cached) = match hit {
+            Some(artifacts) => {
+                self.stats.cache_hits += 1;
+                (artifacts, true)
+            }
+            None => {
+                self.stats.cache_misses += 1;
+                let t = Instant::now();
+                let state = self.epoch_state.as_ref().expect("epoch just ensured");
+                let frequent: Vec<ClusterSummary> =
+                    state.clusters.iter().filter(|c| c.is_frequent(s0)).cloned().collect();
+                let artifacts = Arc::new(Phase2Artifacts::build(
+                    frequent,
+                    density,
+                    self.config.metric,
+                    self.config.prune_poor_density,
+                    self.config.max_cliques,
+                ));
+                self.stats.phase2_build_time += t.elapsed();
+                self.epoch_state
+                    .as_mut()
+                    .expect("epoch just ensured")
+                    .cache
+                    .insert(key, Arc::clone(&artifacts));
+                (artifacts, false)
+            }
+        };
+
+        let t = Instant::now();
+        let (rules, truncated) = artifacts.mine(self.config.metric, query);
+        self.stats.rule_time += t.elapsed();
+        self.stats.queries += 1;
+        Ok(QueryOutcome { rules, truncated, cached, artifacts, s0, epoch: self.epoch })
+    }
+
+    /// Serializes the current epoch — closing it first if needed — to the
+    /// snapshot text format (engine header + `mining::persist` v1 body).
+    pub fn snapshot(&mut self) -> Result<String, CoreError> {
+        self.ensure_epoch();
+        let state = self.epoch_state.as_ref().expect("epoch just ensured");
+        snapshot::write_snapshot(
+            self.epoch,
+            self.tuples,
+            &self.partitioning,
+            &state.tree_thresholds,
+            &state.clusters,
+        )
+    }
+
+    /// Resumes an engine from a snapshot produced by [`DarEngine::snapshot`].
+    ///
+    /// The snapshot's cluster summaries are installed as the current epoch
+    /// (so queries before any further ingest answer exactly as the
+    /// snapshotting engine would have) *and* replayed into a fresh forest
+    /// via ACF-entry insertion, so subsequent [`DarEngine::ingest`] calls
+    /// continue clustering from the summarized state. As in any BIRCH-style
+    /// restart from summaries, post-restore epochs see history at summary
+    /// granularity rather than tuple granularity.
+    ///
+    /// # Errors
+    /// Rejects malformed snapshots and thresholds/partitioning arity
+    /// mismatches.
+    pub fn restore(text: &str, config: EngineConfig) -> Result<Self, CoreError> {
+        let snap = snapshot::parse_snapshot(text)?;
+        let mut forest = AcfForest::with_initial_thresholds(
+            snap.partitioning.clone(),
+            &config.birch,
+            &snap.thresholds,
+        );
+        for c in &snap.clusters {
+            forest.insert_entry(c.set, c.acf.clone());
+        }
+        let s0 = ((config.min_support_frac * snap.tuples as f64).ceil() as u64).max(1);
+        let stats =
+            EngineStats { tuples_ingested: snap.tuples, epochs: 1, ..EngineStats::default() };
+        Ok(DarEngine {
+            partitioning: snap.partitioning,
+            config,
+            forest,
+            epoch: snap.epoch,
+            tuples: snap.tuples,
+            epoch_state: Some(EpochState {
+                clusters: snap.clusters,
+                tree_thresholds: snap.thresholds,
+                s0,
+                cache: HashMap::new(),
+            }),
+            stats,
+        })
+    }
+
+    /// Cumulative engine statistics (forest rebuild count sampled live).
+    pub fn stats(&self) -> EngineStats {
+        EngineStats { forest_rebuilds: self.forest.stats().total_rebuilds(), ..self.stats.clone() }
+    }
+
+    /// Tuples ingested over the engine's lifetime (including snapshot
+    /// replays).
+    pub fn tuples(&self) -> u64 {
+        self.tuples
+    }
+
+    /// The current epoch number (0 until the first epoch closes).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The partitioning this engine mines under.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The cluster summaries of the current epoch, closing it if needed.
+    pub fn clusters(&mut self) -> &[ClusterSummary] {
+        self.ensure_epoch();
+        &self.epoch_state.as_ref().expect("epoch just ensured").clusters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dar_core::{Metric, Schema};
+    use mining::DensitySpec;
+
+    fn block_rows(n: usize, offset: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let jitter = ((i + offset) % 7) as f64 * 0.01;
+                if (i + offset).is_multiple_of(2) {
+                    vec![jitter, 100.0 + jitter]
+                } else {
+                    vec![50.0 + jitter, 200.0 + jitter]
+                }
+            })
+            .collect()
+    }
+
+    fn engine() -> DarEngine {
+        let schema = Schema::interval_attrs(2);
+        let partitioning = Partitioning::per_attribute(&schema, Metric::Euclidean);
+        let mut config = EngineConfig::default();
+        config.birch.initial_threshold = 1.0;
+        config.birch.memory_budget = usize::MAX;
+        config.min_support_frac = 0.2;
+        DarEngine::new(partitioning, config).unwrap()
+    }
+
+    #[test]
+    fn ingest_accumulates_and_invalidates() {
+        let mut e = engine();
+        e.ingest(&block_rows(40, 0));
+        assert_eq!(e.tuples(), 40);
+        let q = RuleQuery::default();
+        let first = e.query(&q).unwrap();
+        assert_eq!(first.epoch, 1);
+        assert!(!first.cached);
+        // Same density → cached.
+        assert!(e.query(&q).unwrap().cached);
+        // Ingest closes the next epoch; the cache is gone.
+        e.ingest(&block_rows(40, 1));
+        let after = e.query(&q).unwrap();
+        assert_eq!(after.epoch, 2);
+        assert!(!after.cached);
+        let stats = e.stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.epochs, 2);
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 2);
+    }
+
+    #[test]
+    fn distinct_density_settings_get_distinct_cache_entries() {
+        let mut e = engine();
+        e.ingest(&block_rows(60, 0));
+        let a = e.query(&RuleQuery::default()).unwrap();
+        assert!(!a.cached);
+        let b = e
+            .query(&RuleQuery {
+                density: DensitySpec::Auto { factor: 3.0 },
+                ..RuleQuery::default()
+            })
+            .unwrap();
+        assert!(!b.cached, "different density factor → different graph");
+        // Re-tuning only D0 at either density setting hits the cache.
+        let c = e.query(&RuleQuery { degree_factor: 0.5, ..RuleQuery::default() }).unwrap();
+        assert!(c.cached);
+        assert!(c.rules.len() <= a.rules.len(), "tighter D0 cannot add rules");
+    }
+
+    #[test]
+    fn explicit_density_arity_is_rejected() {
+        let mut e = engine();
+        e.ingest(&block_rows(10, 0));
+        let bad = RuleQuery { density: DensitySpec::Explicit(vec![1.0]), ..RuleQuery::default() };
+        assert!(e.query(&bad).is_err());
+    }
+
+    #[test]
+    fn new_rejects_wrong_threshold_arity() {
+        let schema = Schema::interval_attrs(2);
+        let partitioning = Partitioning::per_attribute(&schema, Metric::Euclidean);
+        let config =
+            EngineConfig { initial_thresholds: Some(vec![1.0]), ..EngineConfig::default() };
+        assert!(DarEngine::new(partitioning, config).is_err());
+    }
+
+    #[test]
+    fn query_before_any_ingest_is_empty_not_a_crash() {
+        let mut e = engine();
+        let out = e.query(&RuleQuery::default()).unwrap();
+        assert!(out.rules.is_empty());
+        assert_eq!(out.s0, 1);
+    }
+}

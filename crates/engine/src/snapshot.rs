@@ -1,0 +1,203 @@
+//! Epoch snapshot serialization: an engine header wrapped around the
+//! `mining::persist` v1 cluster body.
+//!
+//! ```text
+//! dar-engine v1 epoch=<u64> tuples=<u64> sets=<k>
+//! set <metric> <attr,attr,…>     (one line per attribute set, in order)
+//! thresholds <t,…>               (per-set tree thresholds at extraction)
+//! acf-clusters v1 …              (the persist v1 body, verbatim)
+//! ```
+//!
+//! Floats use shortest-roundtrip formatting throughout, so restore is
+//! bit-exact.
+
+use dar_core::{AttrSet, ClusterSummary, CoreError, Metric, Partitioning, Schema};
+use mining::persist::{read_clusters, write_clusters};
+use std::fmt::Write as _;
+
+/// A parsed snapshot, ready to install into an engine.
+pub(crate) struct Snapshot {
+    pub(crate) epoch: u64,
+    pub(crate) tuples: u64,
+    pub(crate) partitioning: Partitioning,
+    pub(crate) thresholds: Vec<f64>,
+    pub(crate) clusters: Vec<ClusterSummary>,
+}
+
+fn metric_name(metric: Metric) -> &'static str {
+    match metric {
+        Metric::Euclidean => "euclidean",
+        Metric::Manhattan => "manhattan",
+        Metric::Chebyshev => "chebyshev",
+        Metric::Discrete => "discrete",
+    }
+}
+
+fn parse_metric(name: &str) -> Result<Metric, CoreError> {
+    match name {
+        "euclidean" => Ok(Metric::Euclidean),
+        "manhattan" => Ok(Metric::Manhattan),
+        "chebyshev" => Ok(Metric::Chebyshev),
+        "discrete" => Ok(Metric::Discrete),
+        other => Err(CoreError::LayoutMismatch(format!("unknown metric {other:?}"))),
+    }
+}
+
+/// Serializes one epoch.
+pub(crate) fn write_snapshot(
+    epoch: u64,
+    tuples: u64,
+    partitioning: &Partitioning,
+    thresholds: &[f64],
+    clusters: &[ClusterSummary],
+) -> Result<String, CoreError> {
+    let mut out =
+        format!("dar-engine v1 epoch={epoch} tuples={tuples} sets={}\n", partitioning.num_sets());
+    for set in partitioning.sets() {
+        let attrs: Vec<String> = set.attrs.iter().map(|a| a.to_string()).collect();
+        let _ = writeln!(out, "set {} {}", metric_name(set.metric), attrs.join(","));
+    }
+    let t: Vec<String> = thresholds.iter().map(|v| format!("{v:?}")).collect();
+    let _ = writeln!(out, "thresholds {}", t.join(","));
+    out.push_str(&write_clusters(clusters)?);
+    Ok(out)
+}
+
+/// Parses a snapshot back. The schema is synthesized from the highest
+/// attribute id the partitioning mentions (the snapshot stores no attribute
+/// names; the engine only needs the id space).
+pub(crate) fn parse_snapshot(text: &str) -> Result<Snapshot, CoreError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| CoreError::LayoutMismatch("empty snapshot".into()))?;
+    if !header.starts_with("dar-engine v1 ") {
+        return Err(CoreError::LayoutMismatch(format!("not a dar-engine v1 snapshot: {header:?}")));
+    }
+    let epoch: u64 = header_field(header, "epoch=")?;
+    let tuples: u64 = header_field(header, "tuples=")?;
+    let num_sets: usize = header_field(header, "sets=")?;
+
+    let mut sets = Vec::with_capacity(num_sets);
+    for _ in 0..num_sets {
+        let line =
+            lines.next().ok_or_else(|| CoreError::LayoutMismatch("missing set line".into()))?;
+        let rest = line
+            .strip_prefix("set ")
+            .ok_or_else(|| CoreError::LayoutMismatch(format!("expected set line, got {line:?}")))?;
+        let mut parts = rest.split_whitespace();
+        let metric = parse_metric(parts.next().unwrap_or(""))?;
+        let attrs_csv = parts.next().ok_or_else(|| {
+            CoreError::LayoutMismatch(format!("set line missing attrs: {line:?}"))
+        })?;
+        let attrs: Vec<usize> = attrs_csv
+            .split(',')
+            .map(|t| {
+                t.parse().map_err(|_| CoreError::LayoutMismatch(format!("bad attribute id {t:?}")))
+            })
+            .collect::<Result<_, _>>()?;
+        sets.push(AttrSet { attrs, metric });
+    }
+    let max_attr = sets.iter().flat_map(|s| s.attrs.iter()).copied().max().map_or(0, |m| m + 1);
+    let schema = Schema::interval_attrs(max_attr);
+    let partitioning = Partitioning::new(&schema, sets)?;
+
+    let t_line =
+        lines.next().ok_or_else(|| CoreError::LayoutMismatch("missing thresholds line".into()))?;
+    let t_csv = t_line.strip_prefix("thresholds ").ok_or_else(|| {
+        CoreError::LayoutMismatch(format!("expected thresholds line, got {t_line:?}"))
+    })?;
+    let thresholds: Vec<f64> = t_csv
+        .split(',')
+        .map(|t| t.parse().map_err(|_| CoreError::LayoutMismatch(format!("bad threshold {t:?}"))))
+        .collect::<Result<_, _>>()?;
+    if thresholds.len() != num_sets {
+        return Err(CoreError::LayoutMismatch(format!(
+            "snapshot has {} thresholds for {num_sets} sets",
+            thresholds.len()
+        )));
+    }
+
+    let body_start = text
+        .find("acf-clusters v1")
+        .ok_or_else(|| CoreError::LayoutMismatch("snapshot missing cluster body".into()))?;
+    let clusters = read_clusters(&text[body_start..])?;
+    Ok(Snapshot { epoch, tuples, partitioning, thresholds, clusters })
+}
+
+fn header_field<T: std::str::FromStr>(line: &str, key: &str) -> Result<T, CoreError> {
+    let start = line
+        .find(key)
+        .ok_or_else(|| CoreError::LayoutMismatch(format!("missing {key} in {line:?}")))?
+        + key.len();
+    line[start..]
+        .split_whitespace()
+        .next()
+        .unwrap_or("")
+        .parse()
+        .map_err(|_| CoreError::LayoutMismatch(format!("bad {key} field in {line:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dar_core::{Acf, AcfLayout, ClusterId};
+
+    fn sample() -> (Partitioning, Vec<ClusterSummary>) {
+        let schema = Schema::interval_attrs(3);
+        let partitioning = Partitioning::new(
+            &schema,
+            vec![
+                AttrSet { attrs: vec![0, 1], metric: Metric::Euclidean },
+                AttrSet { attrs: vec![2], metric: Metric::Discrete },
+            ],
+        )
+        .unwrap();
+        let layout = AcfLayout::new(vec![2, 1]);
+        let mut a = Acf::empty(&layout, 0);
+        a.add_row(&[vec![1.0, 2.0], vec![0.5]]);
+        a.add_row(&[vec![1.1, 2.2], vec![0.25]]);
+        let mut b = Acf::empty(&layout, 1);
+        b.add_row(&[vec![-1.0, 3.0], vec![7.0]]);
+        let clusters = vec![
+            ClusterSummary { id: ClusterId(0), set: 0, acf: a },
+            ClusterSummary { id: ClusterId(1), set: 1, acf: b },
+        ];
+        (partitioning, clusters)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let (partitioning, clusters) = sample();
+        let text = write_snapshot(7, 1234, &partitioning, &[0.125, 3.5], &clusters).unwrap();
+        let snap = parse_snapshot(&text).unwrap();
+        assert_eq!(snap.epoch, 7);
+        assert_eq!(snap.tuples, 1234);
+        assert_eq!(snap.thresholds, vec![0.125, 3.5]);
+        assert_eq!(snap.partitioning.num_sets(), 2);
+        assert_eq!(snap.partitioning.set(0).attrs, vec![0, 1]);
+        assert_eq!(snap.partitioning.set(0).metric, Metric::Euclidean);
+        assert_eq!(snap.partitioning.set(1).metric, Metric::Discrete);
+        assert_eq!(snap.clusters, clusters);
+    }
+
+    #[test]
+    fn empty_epoch_roundtrips() {
+        let (partitioning, _) = sample();
+        let text = write_snapshot(1, 0, &partitioning, &[1.0, 1.0], &[]).unwrap();
+        let snap = parse_snapshot(&text).unwrap();
+        assert!(snap.clusters.is_empty());
+        assert_eq!(snap.tuples, 0);
+    }
+
+    #[test]
+    fn malformed_snapshots_error_cleanly() {
+        assert!(parse_snapshot("").is_err());
+        assert!(parse_snapshot("acf-clusters v1 sets=0 dims=\n").is_err());
+        let (partitioning, clusters) = sample();
+        let good = write_snapshot(1, 10, &partitioning, &[1.0, 1.0], &clusters).unwrap();
+        assert!(parse_snapshot(&good.replace("thresholds", "thersholds")).is_err());
+        assert!(parse_snapshot(&good.replace("euclidean", "euclidian")).is_err());
+        // Drop the cluster body.
+        let headless = good[..good.find("acf-clusters").unwrap()].to_string();
+        assert!(parse_snapshot(&headless).is_err());
+    }
+}

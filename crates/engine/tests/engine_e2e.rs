@@ -1,0 +1,125 @@
+//! The engine's correctness contract, end to end: batched ingest + epoch
+//! snapshots + cached Phase II must be *observationally identical* to a
+//! fresh one-shot `DarMiner::mine_rows` over the concatenated data — while
+//! demonstrably skipping the clique re-enumeration on re-tuned queries.
+
+use dar_core::{Metric, Partitioning, Schema};
+use dar_engine::{DarEngine, EngineConfig};
+use mining::{DarMiner, DensitySpec, RuleQuery};
+
+/// Three attributes, two co-occurring value blocks plus a sprinkle of
+/// drifting values so batches are not identical.
+fn rows(n: usize, offset: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            let k = i + offset;
+            let jitter = (k % 9) as f64 * 0.01;
+            match k % 2 {
+                0 => vec![jitter, 100.0 + jitter, 5.0 + jitter * 0.1],
+                _ => vec![50.0 + jitter, 200.0 + jitter, 9.0 + jitter * 0.1],
+            }
+        })
+        .collect()
+}
+
+fn setup() -> (Partitioning, EngineConfig) {
+    let schema = Schema::interval_attrs(3);
+    let partitioning = Partitioning::per_attribute(&schema, Metric::Euclidean);
+    let mut config = EngineConfig::default();
+    config.birch.initial_threshold = 1.0;
+    config.birch.memory_budget = usize::MAX;
+    config.min_support_frac = 0.1;
+    (partitioning, config)
+}
+
+#[test]
+fn batched_ingest_snapshot_restore_matches_one_shot_mining() {
+    let (partitioning, config) = setup();
+
+    // --- live engine: three ingest batches ------------------------------
+    let batches = [rows(40, 0), rows(30, 40), rows(50, 70)];
+    let mut engine = DarEngine::new(partitioning.clone(), config.clone()).unwrap();
+    for batch in &batches {
+        engine.ingest(batch);
+    }
+    assert_eq!(engine.tuples(), 120);
+    assert_eq!(engine.stats().batches, 3);
+
+    // --- snapshot, then restore into a second engine --------------------
+    let text = engine.snapshot().unwrap();
+    let mut restored = DarEngine::restore(&text, config.clone()).unwrap();
+    assert_eq!(restored.tuples(), 120);
+    assert_eq!(restored.partitioning().num_sets(), 3);
+
+    // --- queries: cold, then re-tuned D0 (must hit the clique cache) ----
+    let q_cold = RuleQuery::default();
+    let q_retuned = RuleQuery { degree_factor: 3.0, ..RuleQuery::default() };
+
+    let cold = restored.query(&q_cold).unwrap();
+    assert!(!cold.cached, "first query on a restored epoch builds the graph");
+    let retuned = restored.query(&q_retuned).unwrap();
+    assert!(retuned.cached, "changed D0 must not re-enumerate cliques");
+    let stats = restored.stats();
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cache_hits, 1);
+
+    // --- ground truth: fresh one-shot mining over the concatenation -----
+    let all: Vec<Vec<f64>> = batches.iter().flatten().cloned().collect();
+    for (query, outcome) in [(&q_cold, &cold), (&q_retuned, &retuned)] {
+        let miner = DarMiner::new(config.dar_config(query));
+        let fresh = miner.mine_rows(all.iter().cloned(), &partitioning).unwrap();
+        assert_eq!(
+            outcome.rules, fresh.rules,
+            "engine answer diverged from one-shot mining (degree_factor {})",
+            query.degree_factor
+        );
+        assert_eq!(outcome.s0, fresh.stats.s0);
+        assert_eq!(outcome.artifacts.cliques, fresh.cliques);
+        assert!(!outcome.rules.is_empty(), "the planted blocks must yield rules");
+    }
+
+    // The re-tuned query is strictly more lenient, so it found at least as
+    // many rules from the same cached cliques.
+    assert!(retuned.rules.len() >= cold.rules.len());
+
+    // --- the live (never-snapshotted) engine agrees too ------------------
+    let live = engine.query(&q_cold).unwrap();
+    assert_eq!(live.rules, cold.rules);
+}
+
+#[test]
+fn ingest_after_restore_keeps_mining() {
+    let (partitioning, config) = setup();
+    let mut engine = DarEngine::new(partitioning, config.clone()).unwrap();
+    engine.ingest(&rows(60, 0));
+    let text = engine.snapshot().unwrap();
+
+    let mut restored = DarEngine::restore(&text, config).unwrap();
+    let before = restored.query(&RuleQuery::default()).unwrap();
+    restored.ingest(&rows(60, 60));
+    let after = restored.query(&RuleQuery::default()).unwrap();
+    assert_eq!(restored.tuples(), 120);
+    assert!(after.epoch > before.epoch, "ingest must advance the epoch");
+    assert!(!after.cached, "new epoch starts with a cold cache");
+    assert!(!after.rules.is_empty());
+    assert!(after.s0 > before.s0, "s0 scales with the ingested total");
+}
+
+#[test]
+fn explicit_density_is_cached_by_resolved_thresholds() {
+    let (partitioning, config) = setup();
+    let mut engine = DarEngine::new(partitioning, config).unwrap();
+    engine.ingest(&rows(80, 0));
+
+    // Resolve the auto density, then ask for the same thresholds
+    // explicitly: the cache key is the resolved values, so this must hit.
+    let auto = engine.query(&RuleQuery::default()).unwrap();
+    let explicit = engine
+        .query(&RuleQuery {
+            density: DensitySpec::Explicit(auto.artifacts.density_thresholds.clone()),
+            ..RuleQuery::default()
+        })
+        .unwrap();
+    assert!(explicit.cached);
+    assert_eq!(explicit.rules, auto.rules);
+}

@@ -19,11 +19,8 @@ pub fn assignments_to_summaries(
 ) -> Vec<ClusterSummary> {
     let layout = AcfLayout::from_partitioning(partitioning);
     let mut acfs: Vec<Acf> = (0..k).map(|_| Acf::empty(&layout, set)).collect();
-    let mut projections: Vec<Vec<f64>> = partitioning
-        .sets()
-        .iter()
-        .map(|s| Vec::with_capacity(s.dims()))
-        .collect();
+    let mut projections: Vec<Vec<f64>> =
+        partitioning.sets().iter().map(|s| Vec::with_capacity(s.dims())).collect();
     for (row, &a) in assignments.iter().enumerate() {
         for (s, buf) in projections.iter_mut().enumerate() {
             relation.project_into(row, &partitioning.set(s).attrs, buf);
@@ -56,8 +53,7 @@ mod tests {
         let mut next_id = 5;
         // Cluster on set 0: rows {0,1} together, row 2 alone; cluster id 1
         // of the assignment is empty and must be dropped.
-        let summaries =
-            assignments_to_summaries(&r, &p, 0, &[0, 0, 2], 3, &mut next_id);
+        let summaries = assignments_to_summaries(&r, &p, 0, &[0, 0, 2], 3, &mut next_id);
         assert_eq!(summaries.len(), 2);
         assert_eq!(next_id, 7);
         let big = &summaries[0];

@@ -150,8 +150,7 @@ mod tests {
         let sizes = c.sizes();
         assert_eq!(sizes, vec![20, 20]);
         // Medoids are actual data points, one per blob.
-        let mut medoid_blobs: Vec<bool> =
-            c.centers.iter().map(|m| m[0] > 25.0).collect();
+        let mut medoid_blobs: Vec<bool> = c.centers.iter().map(|m| m[0] > 25.0).collect();
         medoid_blobs.sort_unstable();
         assert_eq!(medoid_blobs, vec![false, true]);
         // Cost near within-blob spread only.
@@ -181,14 +180,9 @@ mod tests {
     #[test]
     fn more_search_never_hurts() {
         let pts = blobs();
-        let quick = clarans(
-            &pts,
-            &ClaransConfig { k: 2, num_local: 1, max_neighbors: 2, seed: 3 },
-        );
-        let thorough = clarans(
-            &pts,
-            &ClaransConfig { k: 2, num_local: 4, max_neighbors: 200, seed: 3 },
-        );
+        let quick = clarans(&pts, &ClaransConfig { k: 2, num_local: 1, max_neighbors: 2, seed: 3 });
+        let thorough =
+            clarans(&pts, &ClaransConfig { k: 2, num_local: 4, max_neighbors: 200, seed: 3 });
         assert!(thorough.cost <= quick.cost);
     }
 }

@@ -131,10 +131,8 @@ fn nearest_center(p: &[f64], centers: &[Vec<f64>]) -> usize {
 fn plus_plus_seeds(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
     let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
     centers.push(points[rng.random_range(0..points.len())].clone());
-    let mut dist_sq: Vec<f64> = points
-        .iter()
-        .map(|p| Metric::Euclidean.distance_sq(p, &centers[0]))
-        .collect();
+    let mut dist_sq: Vec<f64> =
+        points.iter().map(|p| Metric::Euclidean.distance_sq(p, &centers[0])).collect();
     while centers.len() < k {
         let total: f64 = dist_sq.iter().sum();
         let next = if total <= 0.0 {
@@ -192,9 +190,7 @@ mod tests {
         // Each blob center recovered within jitter.
         for target in [[0.2, 0.0], [100.2, 0.0], [0.2, 100.0]] {
             assert!(
-                c.centers
-                    .iter()
-                    .any(|ctr| Metric::Euclidean.distance(ctr, &target) < 1.0),
+                c.centers.iter().any(|ctr| Metric::Euclidean.distance(ctr, &target) < 1.0),
                 "no center near {target:?}: {:?}",
                 c.centers
             );

@@ -51,13 +51,7 @@ pub fn sse(points: &[Vec<f64>], assignments: &[usize], k: usize) -> f64 {
     let centroids: Vec<Vec<f64>> = sums
         .into_iter()
         .zip(&counts)
-        .map(|(s, &c)| {
-            if c == 0 {
-                s
-            } else {
-                s.into_iter().map(|v| v / c as f64).collect()
-            }
-        })
+        .map(|(s, &c)| if c == 0 { s } else { s.into_iter().map(|v| v / c as f64).collect() })
         .collect();
     points
         .iter()
@@ -78,8 +72,7 @@ pub fn mean_diameter(points: &[Vec<f64>], assignments: &[usize], k: usize) -> f6
     for (p, &a) in points.iter().zip(assignments) {
         cfs[a].add_point(p);
     }
-    let diameters: Vec<f64> =
-        cfs.iter().filter(|c| c.n() >= 2).map(Cf::diameter).collect();
+    let diameters: Vec<f64> = cfs.iter().filter(|c| c.n() >= 2).map(Cf::diameter).collect();
     if diameters.is_empty() {
         0.0
     } else {

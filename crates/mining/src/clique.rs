@@ -97,9 +97,8 @@ fn bron_kerbosch(
         .max_by_key(|&u| bits_count_and(&adj[u], &p))
         .expect("P ∪ X is non-empty here");
     // Candidates: P \ N(pivot).
-    let candidates: Vec<usize> = bits_iter(&p)
-        .filter(|&v| adj[pivot][v / 64] & (1 << (v % 64)) == 0)
-        .collect();
+    let candidates: Vec<usize> =
+        bits_iter(&p).filter(|&v| adj[pivot][v / 64] & (1 << (v % 64)) == 0).collect();
     let mut p = p;
     let mut x = x;
     for v in candidates {
@@ -216,11 +215,9 @@ mod tests {
     fn brute_force(n: usize, adj: &[Bits]) -> Vec<Vec<usize>> {
         let is_clique = |set: u32| -> bool {
             let members: Vec<usize> = (0..n).filter(|&i| set & (1 << i) != 0).collect();
-            members.iter().all(|&a| {
-                members
-                    .iter()
-                    .all(|&b| a == b || adj[a][b / 64] & (1 << (b % 64)) != 0)
-            })
+            members
+                .iter()
+                .all(|&a| members.iter().all(|&b| a == b || adj[a][b / 64] & (1 << (b % 64)) != 0))
         };
         let mut cliques = Vec::new();
         for set in 1u32..(1 << n) {
@@ -228,9 +225,7 @@ mod tests {
                 continue;
             }
             // Maximal: no superset is a clique.
-            let maximal = (0..n).all(|v| {
-                set & (1 << v) != 0 || !is_clique(set | (1 << v))
-            });
+            let maximal = (0..n).all(|v| set & (1 << v) != 0 || !is_clique(set | (1 << v)));
             if maximal {
                 cliques.push((0..n).filter(|&i| set & (1 << i) != 0).collect());
             }

@@ -22,10 +22,7 @@ pub fn describe_cluster(
         if d > 0 {
             out.push_str(" ∧ ");
         }
-        let name = schema
-            .attribute(attr)
-            .map(|a| a.name.as_str())
-            .unwrap_or("?");
+        let name = schema.attribute(attr).map(|a| a.name.as_str()).unwrap_or("?");
         let iv = bbox.interval(d);
         if iv.lo == iv.hi {
             let _ = write!(out, "{name}={}", round3(iv.lo));
@@ -100,10 +97,7 @@ mod tests {
     use dar_core::{Acf, AcfLayout, Attribute, ClusterId, Metric, Schema};
 
     fn setup() -> (Schema, Partitioning, Vec<ClusterSummary>) {
-        let schema = Schema::new(vec![
-            Attribute::interval("Age"),
-            Attribute::interval("Claims"),
-        ]);
+        let schema = Schema::new(vec![Attribute::interval("Age"), Attribute::interval("Claims")]);
         let p = Partitioning::per_attribute(&schema, Metric::Euclidean);
         let layout = AcfLayout::from_partitioning(&p);
         let mut age = Acf::empty(&layout, 0);
@@ -128,12 +122,8 @@ mod tests {
     #[test]
     fn rule_description_joins_sides() {
         let (schema, p, clusters) = setup();
-        let rule = Dar {
-            antecedent: vec![0],
-            consequent: vec![1],
-            degree: 0.25,
-            min_cluster_support: 1,
-        };
+        let rule =
+            Dar { antecedent: vec![0], consequent: vec![1], degree: 0.25, min_cluster_support: 1 };
         let s = describe_rule(&rule, &clusters, &schema, &p);
         assert_eq!(s, "Age∈[41, 47] ⇒ Claims=12000 (degree 0.250, support ≥ 1)");
     }
@@ -149,10 +139,7 @@ mod tests {
         }];
         let tsv = rules_to_tsv(&rules, &[42], &clusters, &schema, &p);
         let mut lines = tsv.lines();
-        assert_eq!(
-            lines.next().unwrap(),
-            "antecedent\tconsequent\tdegree\tmin_support\tfrequency"
-        );
+        assert_eq!(lines.next().unwrap(), "antecedent\tconsequent\tdegree\tmin_support\tfrequency");
         let row = lines.next().unwrap();
         assert_eq!(row, "Age∈[41, 47]\tClaims=12000\t0.250000\t2\t42");
         // Without frequencies the last column is empty.

@@ -71,10 +71,8 @@ pub fn mine_gqar(
         tx.push(items.clone());
     }
 
-    let freq = apriori(
-        &tx,
-        &AprioriConfig { min_support: config.min_support, max_len: config.max_len },
-    );
+    let freq =
+        apriori(&tx, &AprioriConfig { min_support: config.min_support, max_len: config.max_len });
     generate_rules(&freq, config.min_confidence)
         .into_iter()
         .map(|r| GqarRule {

@@ -178,7 +178,14 @@ mod tests {
 
     /// Builds a 2-set cluster: `n_points` points at `(x, y)` with ±spread
     /// jitter on both sets.
-    fn cluster(id: u32, set: SetId, x: f64, y: f64, n_points: usize, spread: f64) -> ClusterSummary {
+    fn cluster(
+        id: u32,
+        set: SetId,
+        x: f64,
+        y: f64,
+        n_points: usize,
+        spread: f64,
+    ) -> ClusterSummary {
         let layout = AcfLayout::new(vec![1, 1]);
         let mut acf = Acf::empty(&layout, set);
         for k in 0..n_points {
@@ -200,10 +207,7 @@ mod tests {
     fn mutually_close_clusters_get_an_edge() {
         // c0 on set 0 at (0, 5); c1 on set 1 at (0, 5): same tuples, so
         // their images coincide → distance ~0 on both sets.
-        let clusters = vec![
-            cluster(0, 0, 0.0, 5.0, 10, 0.1),
-            cluster(1, 1, 0.0, 5.0, 10, 0.1),
-        ];
+        let clusters = vec![cluster(0, 0, 0.0, 5.0, 10, 0.1), cluster(1, 1, 0.0, 5.0, 10, 0.1)];
         let g = ClusteringGraph::build(clusters, &config(1.0));
         assert!(g.adjacent(0, 1));
         assert!(g.adjacent(1, 0));
@@ -215,10 +219,7 @@ mod tests {
     #[test]
     fn distant_images_get_no_edge() {
         // Same x location, but the set-1 images are far apart.
-        let clusters = vec![
-            cluster(0, 0, 0.0, 5.0, 10, 0.1),
-            cluster(1, 1, 0.0, 500.0, 10, 0.1),
-        ];
+        let clusters = vec![cluster(0, 0, 0.0, 5.0, 10, 0.1), cluster(1, 1, 0.0, 500.0, 10, 0.1)];
         let g = ClusteringGraph::build(clusters, &config(1.0));
         assert!(!g.adjacent(0, 1));
         assert_eq!(g.edges, 0);
@@ -226,10 +227,7 @@ mod tests {
 
     #[test]
     fn same_set_clusters_never_join() {
-        let clusters = vec![
-            cluster(0, 0, 0.0, 5.0, 10, 0.1),
-            cluster(1, 0, 0.0, 5.0, 10, 0.1),
-        ];
+        let clusters = vec![cluster(0, 0, 0.0, 5.0, 10, 0.1), cluster(1, 0, 0.0, 5.0, 10, 0.1)];
         let g = ClusteringGraph::build(clusters, &config(1e9));
         assert_eq!(g.edges, 0);
         assert_eq!(g.comparisons, 0);
@@ -238,10 +236,7 @@ mod tests {
     #[test]
     fn pruning_skips_poor_density_images_without_changing_the_graph() {
         // c_bad has a huge image spread on set 1, so no edge can use it.
-        let mut clusters = vec![
-            cluster(0, 0, 0.0, 5.0, 10, 0.1),
-            cluster(1, 1, 0.0, 5.0, 10, 0.1),
-        ];
+        let mut clusters = vec![cluster(0, 0, 0.0, 5.0, 10, 0.1), cluster(1, 1, 0.0, 5.0, 10, 0.1)];
         // A set-0 cluster whose set-1 image is scattered over ±500.
         let layout = AcfLayout::new(vec![1, 1]);
         let mut acf = Acf::empty(&layout, 0);
@@ -268,10 +263,7 @@ mod tests {
 
     #[test]
     fn d1_metric_uses_centroids() {
-        let clusters = vec![
-            cluster(0, 0, 0.0, 5.0, 4, 0.0),
-            cluster(1, 1, 3.0, 5.0, 4, 0.0),
-        ];
+        let clusters = vec![cluster(0, 0, 0.0, 5.0, 4, 0.0), cluster(1, 1, 3.0, 5.0, 4, 0.0)];
         let cfg = GraphConfig {
             metric: ClusterDistance::D1,
             density_thresholds: vec![2.0, 2.0],

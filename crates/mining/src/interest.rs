@@ -26,9 +26,7 @@ impl Predicate {
 
 /// Tuples satisfying every predicate (the extension `|C1 ∧ C2|`).
 pub fn satisfying_rows(relation: &Relation, predicates: &[Predicate]) -> Vec<usize> {
-    (0..relation.len())
-        .filter(|&row| predicates.iter().all(|p| p.matches(relation, row)))
-        .collect()
+    (0..relation.len()).filter(|&row| predicates.iter().all(|p| p.matches(relation, row))).collect()
 }
 
 /// Classical support: `|C1 ∧ C2| / |r|`.
@@ -89,12 +87,8 @@ pub fn theorem_5_2_pair(
         return Err(CoreError::EmptyCluster);
     }
     let degree = degree_exact(relation, &ca, &cb, &[b], Metric::Discrete)?;
-    let conf = confidence(
-        relation,
-        &[Predicate::Eq(a, a_val)],
-        &[Predicate::Eq(b, b_val)],
-    )
-    .expect("C_A is non-empty");
+    let conf = confidence(relation, &[Predicate::Eq(a, a_val)], &[Predicate::Eq(b, b_val)])
+        .expect("C_A is non-empty");
     Ok((degree, conf))
 }
 
@@ -111,14 +105,7 @@ mod tests {
     fn nominal() -> Relation {
         let mut b = RelationBuilder::new(Schema::interval_attrs(2));
         // A=0 → B=10 three times, B=20 once; A=1 → B=20 twice.
-        for row in [
-            [0.0, 10.0],
-            [0.0, 10.0],
-            [0.0, 10.0],
-            [0.0, 20.0],
-            [1.0, 20.0],
-            [1.0, 20.0],
-        ] {
+        for row in [[0.0, 10.0], [0.0, 10.0], [0.0, 10.0], [0.0, 20.0], [1.0, 20.0], [1.0, 20.0]] {
             b.push_row(&row).unwrap();
         }
         b.finish()

@@ -37,8 +37,10 @@ pub mod graph;
 pub mod interest;
 pub mod persist;
 pub mod pipeline;
+pub mod query;
 pub mod rules;
 
 pub use graph::{ClusterDistance, ClusteringGraph, GraphConfig};
 pub use pipeline::{DarConfig, DarMiner, MineResult, MineStats};
+pub use query::{DensitySpec, Phase2Artifacts, RuleQuery};
 pub use rules::{Dar, RuleConfig};

@@ -27,9 +27,7 @@ pub fn write_clusters(clusters: &[ClusterSummary]) -> Result<String, CoreError> 
         return Ok("acf-clusters v1 sets=0 dims=\n".to_string());
     };
     let num_sets = first.acf.num_sets();
-    let dims: Vec<String> = (0..num_sets)
-        .map(|s| first.acf.image(s).dims().to_string())
-        .collect();
+    let dims: Vec<String> = (0..num_sets).map(|s| first.acf.image(s).dims().to_string()).collect();
     let mut out = format!("acf-clusters v1 sets={num_sets} dims={}\n", dims.join(","));
     for c in clusters {
         if c.acf.num_sets() != num_sets {
@@ -58,9 +56,8 @@ pub fn write_clusters(clusters: &[ClusterSummary]) -> Result<String, CoreError> 
 /// Parses the text format back into cluster summaries.
 pub fn read_clusters(text: &str) -> Result<Vec<ClusterSummary>, CoreError> {
     let mut lines = text.lines().peekable();
-    let header = lines
-        .next()
-        .ok_or_else(|| CoreError::LayoutMismatch("empty cluster file".into()))?;
+    let header =
+        lines.next().ok_or_else(|| CoreError::LayoutMismatch("empty cluster file".into()))?;
     let num_sets: usize = field(header, "sets=")?
         .parse()
         .map_err(|_| CoreError::LayoutMismatch("bad sets= field".into()))?;
@@ -77,9 +74,8 @@ pub fn read_clusters(text: &str) -> Result<Vec<ClusterSummary>, CoreError> {
         let set: usize = parse_field(line, "set=")?;
         let n: u64 = parse_field(line, "n=")?;
 
-        let bbox_line = lines
-            .next()
-            .ok_or_else(|| CoreError::LayoutMismatch("missing bbox line".into()))?;
+        let bbox_line =
+            lines.next().ok_or_else(|| CoreError::LayoutMismatch("missing bbox line".into()))?;
         let nums: Vec<f64> = bbox_line
             .strip_prefix("bbox")
             .ok_or_else(|| CoreError::LayoutMismatch(format!("expected bbox, got {bbox_line:?}")))?
@@ -143,8 +139,7 @@ fn parse_floats(csv: &str) -> Result<Vec<f64>, CoreError> {
     }
     csv.split(',')
         .map(|t| {
-            t.parse::<f64>()
-                .map_err(|_| CoreError::LayoutMismatch(format!("bad float {t:?}")))
+            t.parse::<f64>().map_err(|_| CoreError::LayoutMismatch(format!("bad float {t:?}")))
         })
         .collect()
 }
@@ -199,12 +194,50 @@ mod tests {
         assert!(read_clusters("acf-clusters v1 sets=x dims=").is_err());
         let good = write_clusters(&sample_clusters()).unwrap();
         // Truncate mid-cluster.
-        let truncated: String =
-            good.lines().take(2).collect::<Vec<_>>().join("\n");
+        let truncated: String = good.lines().take(2).collect::<Vec<_>>().join("\n");
         assert!(read_clusters(&truncated).is_err());
         // Corrupt a float.
         let corrupt = good.replace("ls=", "ls=oops,");
         assert!(read_clusters(&corrupt).is_err());
+    }
+
+    #[test]
+    fn roundtrip_is_lossless_for_arbitrary_clusters() {
+        use proptest::prelude::*;
+        // Arbitrary multi-set layouts (1–3 sets, fixed dims per slot) and
+        // arbitrary cluster multisets — including the empty file and the
+        // single-cluster file — must survive write → read exactly.
+        let dims_pool = [2usize, 1, 3];
+        proptest!(|(
+            sets in 1usize..4,
+            cluster_rows in prop::collection::vec(
+                prop::collection::vec((-1.0e6f64..1.0e6, 1.0e-3f64..1.0e3, -50.0f64..50.0), 1..5),
+                0..5,
+            ),
+        )| {
+            let dims: Vec<usize> = dims_pool[..sets].to_vec();
+            let layout = AcfLayout::new(dims.clone());
+            let clusters: Vec<ClusterSummary> = cluster_rows
+                .iter()
+                .enumerate()
+                .map(|(i, rows)| {
+                    let set = i % sets;
+                    let mut acf = Acf::empty(&layout, set);
+                    for &(a, b, c) in rows {
+                        let vals = [a, b, c];
+                        let row: Vec<Vec<f64>> = dims
+                            .iter()
+                            .enumerate()
+                            .map(|(s, &d)| (0..d).map(|j| vals[(s + j) % 3]).collect())
+                            .collect();
+                        acf.add_row(&row);
+                    }
+                    ClusterSummary { id: ClusterId(i as u32 * 7 + 1), set, acf }
+                })
+                .collect();
+            let text = write_clusters(&clusters).unwrap();
+            prop_assert_eq!(read_clusters(&text).unwrap(), clusters);
+        });
     }
 
     #[test]
@@ -222,9 +255,6 @@ mod tests {
         let g1 = ClusteringGraph::build(clusters, &cfg);
         let g2 = ClusteringGraph::build(reloaded, &cfg);
         assert_eq!(g1.edges, g2.edges);
-        assert_eq!(
-            maximal_cliques(g1.adjacency(), 0),
-            maximal_cliques(g2.adjacency(), 0)
-        );
+        assert_eq!(maximal_cliques(g1.adjacency(), 0), maximal_cliques(g2.adjacency(), 0));
     }
 }

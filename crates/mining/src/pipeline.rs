@@ -3,14 +3,15 @@
 //! number reported in the paper's Section 7.
 
 use crate::assign::CentroidIndex;
-use crate::clique::{maximal_cliques, non_trivial};
-use crate::graph::{ClusterDistance, ClusteringGraph, GraphConfig};
-use crate::rules::{generate_dars_capped, Dar, RuleConfig};
+use crate::graph::{ClusterDistance, ClusteringGraph};
+use crate::query::{DensitySpec, Phase2Artifacts, RuleQuery};
+use crate::rules::Dar;
 use birch::{refine_forest_output, AcfForest, BirchConfig, ForestStats};
 use dar_core::{Cf, ClusterId, ClusterSummary, CoreError, Partitioning, Relation, SetId};
 use std::time::{Duration, Instant};
 
-/// Configuration of a full mining run.
+/// Configuration of a full mining run: the Phase I scan parameters plus one
+/// embedded [`RuleQuery`] holding the re-tunable Phase II parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DarConfig {
     /// Phase I clustering engine configuration (per-tree).
@@ -23,31 +24,15 @@ pub struct DarConfig {
     /// Frequency threshold `s0` as a fraction of the relation size
     /// (the paper's experiments used 3%).
     pub min_support_frac: f64,
-    /// Phase II density leniency: the clustering-graph thresholds are this
-    /// factor times the Phase I per-set base scale ("we have found that
-    /// using a more lenient (higher) threshold in Phase II produces a
-    /// better set of rules", Section 6.2).
-    pub phase2_density_factor: f64,
-    /// Degree-of-association leniency: `D0` per set is this factor times
-    /// the Phase II density threshold.
-    pub degree_factor: f64,
     /// Inter-cluster distance used for the graph and rules.
     pub metric: ClusterDistance,
     /// Enable the Section 6.2 poor-density pruning heuristic.
     pub prune_poor_density: bool,
-    /// Explicit per-set density thresholds; `None` auto-derives them from
-    /// the Phase I output (see [`auto_density_thresholds`]).
-    pub density_thresholds: Option<Vec<f64>>,
-    /// Maximum antecedent arity.
-    pub max_antecedent: usize,
-    /// Maximum consequent arity.
-    pub max_consequent: usize,
-    /// Rule-count cap (0 = unbounded).
-    pub max_rules: usize,
-    /// Budget on clique-pair work during rule generation (0 = unbounded).
-    pub max_pair_work: u64,
     /// Clique-count cap (0 = unbounded).
     pub max_cliques: usize,
+    /// The re-tunable Phase II parameters: density spec, degree factor,
+    /// rule arity and budgets (see [`RuleQuery`]).
+    pub query: RuleQuery,
     /// Rescan the data once to count exact candidate-rule frequencies
     /// (Section 6.2's optional post-processing step).
     pub rescan_candidate_frequency: bool,
@@ -65,16 +50,10 @@ impl Default for DarConfig {
             birch: BirchConfig::default(),
             initial_thresholds: None,
             min_support_frac: 0.03,
-            phase2_density_factor: 1.5,
-            degree_factor: 2.0,
             metric: ClusterDistance::D2,
             prune_poor_density: true,
-            density_thresholds: None,
-            max_antecedent: 3,
-            max_consequent: 2,
-            max_rules: 100_000,
-            max_pair_work: 10_000_000,
             max_cliques: 100_000,
+            query: RuleQuery::default(),
             rescan_candidate_frequency: false,
             refine_clusters: false,
         }
@@ -171,10 +150,8 @@ impl DarMiner {
         partitioning: &Partitioning,
     ) -> Result<MineResult, CoreError> {
         self.validate(relation, partitioning)?;
-        let mut result = self.mine_rows(
-            (0..relation.len()).map(|row| relation.row(row)),
-            partitioning,
-        )?;
+        let mut result =
+            self.mine_rows((0..relation.len()).map(|row| relation.row(row)), partitioning)?;
         if self.config.rescan_candidate_frequency {
             result.rule_frequencies =
                 rescan_frequencies(relation, partitioning, &result.graph, &result.rules);
@@ -200,11 +177,9 @@ impl DarMiner {
         // ---------------- Phase I ----------------
         let t0 = Instant::now();
         let mut forest = match &self.config.initial_thresholds {
-            Some(t) => AcfForest::with_initial_thresholds(
-                partitioning.clone(),
-                &self.config.birch,
-                t,
-            ),
+            Some(t) => {
+                AcfForest::with_initial_thresholds(partitioning.clone(), &self.config.birch, t)
+            }
             None => AcfForest::new(partitioning.clone(), &self.config.birch),
         };
         let mut tuples = 0usize;
@@ -213,8 +188,7 @@ impl DarMiner {
             tuples += 1;
         }
         let forest_stats = forest.stats();
-        let tree_thresholds: Vec<f64> =
-            forest_stats.trees.iter().map(|t| t.threshold).collect();
+        let tree_thresholds: Vec<f64> = forest_stats.trees.iter().map(|t| t.threshold).collect();
         let mut per_set = forest.finish();
         if self.config.refine_clusters {
             per_set = refine_forest_output(per_set, &tree_thresholds);
@@ -237,41 +211,22 @@ impl DarMiner {
         let frequent: Vec<ClusterSummary> =
             clusters.iter().filter(|c| c.is_frequent(s0)).cloned().collect();
 
-        let density = match &self.config.density_thresholds {
-            Some(d) => d.clone(),
-            None => auto_density_thresholds(
-                &clusters,
-                &tree_thresholds,
-                partitioning.num_sets(),
-                self.config.phase2_density_factor,
-            ),
-        };
-        let graph = ClusteringGraph::build(
+        let density = self.config.query.density.resolve(
+            &clusters,
+            &tree_thresholds,
+            partitioning.num_sets(),
+        )?;
+        let artifacts = Phase2Artifacts::build(
             frequent,
-            &GraphConfig {
-                metric: self.config.metric,
-                density_thresholds: density.clone(),
-                prune_poor_density: self.config.prune_poor_density,
-            },
+            density,
+            self.config.metric,
+            self.config.prune_poor_density,
+            self.config.max_cliques,
         );
-        let (cliques, cliques_truncated) =
-            maximal_cliques(graph.adjacency(), self.config.max_cliques);
-        let degree_thresholds: Vec<f64> =
-            density.iter().map(|d| d * self.config.degree_factor).collect();
-        let (rules, rules_truncated) = generate_dars_capped(
-            &graph,
-            &cliques,
-            &RuleConfig {
-                metric: self.config.metric,
-                degree_thresholds,
-                max_antecedent: self.config.max_antecedent,
-                max_consequent: self.config.max_consequent,
-                max_rules: self.config.max_rules,
-                max_pair_work: self.config.max_pair_work,
-            },
-        );
+        let (rules, rules_truncated) = artifacts.mine(self.config.metric, &self.config.query);
         let phase2 = t1.elapsed();
 
+        let Phase2Artifacts { density_thresholds, graph, cliques, cliques_truncated } = artifacts;
         let stats = MineStats {
             phase1,
             phase2,
@@ -283,28 +238,17 @@ impl DarMiner {
             graph_comparisons: graph.comparisons,
             graph_pruned_images: graph.pruned_images,
             cliques: cliques.len(),
-            nontrivial_cliques: non_trivial(&cliques),
+            nontrivial_cliques: crate::clique::non_trivial(&cliques),
             cliques_truncated,
             rules: rules.len(),
             rules_truncated,
-            density_thresholds: density,
+            density_thresholds,
             forest: forest_stats,
         };
-        Ok(MineResult {
-            clusters,
-            graph,
-            cliques,
-            rules,
-            rule_frequencies: Vec::new(),
-            stats,
-        })
+        Ok(MineResult { clusters, graph, cliques, rules, rule_frequencies: Vec::new(), stats })
     }
 
-    fn validate(
-        &self,
-        relation: &Relation,
-        partitioning: &Partitioning,
-    ) -> Result<(), CoreError> {
+    fn validate(&self, relation: &Relation, partitioning: &Partitioning) -> Result<(), CoreError> {
         let arity = relation.schema().arity();
         for set in partitioning.sets() {
             if let Some(&bad) = set.attrs.iter().find(|&&a| a >= arity) {
@@ -316,17 +260,20 @@ impl DarMiner {
 
     fn validate_thresholds(&self, partitioning: &Partitioning) -> Result<(), CoreError> {
         let num_sets = partitioning.num_sets();
-        for (name, thresholds) in [
-            ("initial_thresholds", &self.config.initial_thresholds),
-            ("density_thresholds", &self.config.density_thresholds),
-        ] {
-            if let Some(t) = thresholds {
-                if t.len() != num_sets {
-                    return Err(CoreError::InvalidPartitioning(format!(
-                        "{name} has {} entries but the partitioning has {num_sets} sets",
-                        t.len()
-                    )));
-                }
+        if let Some(t) = &self.config.initial_thresholds {
+            if t.len() != num_sets {
+                return Err(CoreError::InvalidPartitioning(format!(
+                    "initial_thresholds has {} entries but the partitioning has {num_sets} sets",
+                    t.len()
+                )));
+            }
+        }
+        if let DensitySpec::Explicit(t) = &self.config.query.density {
+            if t.len() != num_sets {
+                return Err(CoreError::InvalidPartitioning(format!(
+                    "density thresholds have {} entries but the partitioning has {num_sets} sets",
+                    t.len()
+                )));
             }
         }
         Ok(())
@@ -349,11 +296,8 @@ pub fn auto_density_thresholds(
 ) -> Vec<f64> {
     (0..num_sets)
         .map(|set| {
-            let mut diameters: Vec<f64> = frequent
-                .iter()
-                .filter(|c| c.set == set)
-                .map(ClusterSummary::diameter)
-                .collect();
+            let mut diameters: Vec<f64> =
+                frequent.iter().filter(|c| c.set == set).map(ClusterSummary::diameter).collect();
             diameters.sort_by(f64::total_cmp);
             let median = diameters.get(diameters.len() / 2).copied().unwrap_or(0.0);
             // Column RMS radius from the union of the set's clusters.
@@ -448,6 +392,31 @@ mod tests {
     }
 
     #[test]
+    fn embedded_query_matches_standalone_artifacts() {
+        // The pipeline's Phase II must be exactly "build artifacts, mine
+        // query" — the contract the caching engine relies on.
+        let r = blocks(50);
+        let p = Partitioning::per_attribute(r.schema(), Metric::Euclidean);
+        let mut config = miner().config().clone();
+        config.rescan_candidate_frequency = false;
+        let m = DarMiner::new(config.clone());
+        let result = m.mine(&r, &p).expect("valid partitioning");
+        let frequent: Vec<ClusterSummary> =
+            result.clusters.iter().filter(|c| c.is_frequent(result.stats.s0)).cloned().collect();
+        let artifacts = Phase2Artifacts::build(
+            frequent,
+            result.stats.density_thresholds.clone(),
+            config.metric,
+            config.prune_poor_density,
+            config.max_cliques,
+        );
+        let (rules, truncated) = artifacts.mine(config.metric, &config.query);
+        assert_eq!(rules, result.rules);
+        assert_eq!(truncated, result.stats.rules_truncated);
+        assert_eq!(artifacts.cliques, result.cliques);
+    }
+
+    #[test]
     fn end_to_end_finds_block_rules() {
         let r = blocks(50);
         let p = Partitioning::per_attribute(r.schema(), Metric::Euclidean);
@@ -463,10 +432,7 @@ mod tests {
         assert!(!result.stats.cliques_truncated);
         // Rules exist, and some N:1 rule spans a whole block.
         assert!(result.stats.rules > 0);
-        assert!(result
-            .rules
-            .iter()
-            .any(|r| r.antecedent.len() == 2 && r.consequent.len() == 1));
+        assert!(result.rules.iter().any(|r| r.antecedent.len() == 2 && r.consequent.len() == 1));
         // The rescan says every block rule is backed by ~half the tuples.
         assert_eq!(result.rule_frequencies.len(), result.rules.len());
         let max_freq = result.rule_frequencies.iter().copied().max().unwrap();
@@ -498,7 +464,7 @@ mod tests {
         let r = blocks(50);
         let p = Partitioning::per_attribute(r.schema(), Metric::Euclidean);
         let mut config = miner().config().clone();
-        config.density_thresholds = Some(vec![1e-9, 1e-9, 1e-9]);
+        config.query.density = DensitySpec::Explicit(vec![1e-9, 1e-9, 1e-9]);
         let result = DarMiner::new(config).mine(&r, &p).expect("valid partitioning");
         assert_eq!(result.stats.graph_edges, 0, "tiny thresholds forbid edges");
         assert_eq!(result.stats.rules, 0);
@@ -534,9 +500,7 @@ mod tests {
         config.rescan_candidate_frequency = false;
         let m = DarMiner::new(config);
         let batch = m.mine(&r, &p).expect("valid partitioning");
-        let streamed = m
-            .mine_rows((0..r.len()).map(|i| r.row(i)), &p)
-            .expect("valid thresholds");
+        let streamed = m.mine_rows((0..r.len()).map(|i| r.row(i)), &p).expect("valid thresholds");
         assert_eq!(batch.rules, streamed.rules);
         assert_eq!(batch.stats.clusters_total, streamed.stats.clusters_total);
         assert_eq!(batch.stats.graph_edges, streamed.stats.graph_edges);
@@ -551,11 +515,9 @@ mod tests {
         let r = blocks(10);
         // Partitioning built against a *wider* schema references attr 5.
         let wide = Schema::interval_attrs(6);
-        let p = Partitioning::new(
-            &wide,
-            vec![AttrSet { attrs: vec![5], metric: Metric::Euclidean }],
-        )
-        .unwrap();
+        let p =
+            Partitioning::new(&wide, vec![AttrSet { attrs: vec![5], metric: Metric::Euclidean }])
+                .unwrap();
         let err = miner().mine(&r, &p).unwrap_err();
         assert_eq!(err, dar_core::CoreError::UnknownAttribute(5));
 
@@ -565,7 +527,7 @@ mod tests {
         config.initial_thresholds = Some(vec![1.0]); // needs 3
         assert!(DarMiner::new(config).mine(&r, &p).is_err());
         let mut config = miner().config().clone();
-        config.density_thresholds = Some(vec![1.0, 1.0]); // needs 3
+        config.query.density = DensitySpec::Explicit(vec![1.0, 1.0]); // needs 3
         assert!(DarMiner::new(config).mine(&r, &p).is_err());
     }
 }

@@ -1,0 +1,248 @@
+//! The re-tunable half of Phase II, split out of the one-shot pipeline
+//! configuration.
+//!
+//! Theorem 6.1 means everything after the data scan is a function of the
+//! ACF summaries alone, and Section 6.2 observes that the interesting knobs
+//! — density leniency, the degree-of-association threshold `D0`, rule arity
+//! — are exactly the ones an analyst wants to sweep *without* re-scanning.
+//! This module makes that split explicit:
+//!
+//! * [`RuleQuery`] holds the re-tunable parameters of one rule-mining
+//!   request (what used to be loose fields on `DarConfig`);
+//! * [`Phase2Artifacts`] is the expensive intermediate — clustering graph +
+//!   maximal cliques at one density setting — that a long-lived engine can
+//!   cache and answer many [`RuleQuery`]s from (see the `dar-engine`
+//!   crate).
+
+use crate::clique::{maximal_cliques, non_trivial};
+use crate::graph::{ClusterDistance, ClusteringGraph, GraphConfig};
+use crate::pipeline::auto_density_thresholds;
+use crate::rules::{generate_dars_capped, Dar, RuleConfig};
+use dar_core::{ClusterSummary, CoreError};
+
+/// How Phase II derives its per-set density thresholds `d0^X` (Dfn 4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DensitySpec {
+    /// Auto-derive from the Phase I output, scaled by a leniency factor
+    /// ("using a more lenient (higher) threshold in Phase II produces a
+    /// better set of rules", Section 6.2).
+    Auto {
+        /// Multiplier on the per-set Phase I base scale.
+        factor: f64,
+    },
+    /// Explicit per-set thresholds.
+    Explicit(Vec<f64>),
+}
+
+impl Default for DensitySpec {
+    fn default() -> Self {
+        DensitySpec::Auto { factor: 1.5 }
+    }
+}
+
+impl DensitySpec {
+    /// Resolves to concrete per-set thresholds given the Phase I output.
+    ///
+    /// # Errors
+    /// Explicit thresholds with the wrong arity are rejected.
+    pub fn resolve(
+        &self,
+        clusters: &[ClusterSummary],
+        tree_thresholds: &[f64],
+        num_sets: usize,
+    ) -> Result<Vec<f64>, CoreError> {
+        match self {
+            DensitySpec::Auto { factor } => {
+                Ok(auto_density_thresholds(clusters, tree_thresholds, num_sets, *factor))
+            }
+            DensitySpec::Explicit(thresholds) => {
+                if thresholds.len() != num_sets {
+                    return Err(CoreError::InvalidPartitioning(format!(
+                        "explicit density thresholds have {} entries but the partitioning has \
+                         {num_sets} sets",
+                        thresholds.len()
+                    )));
+                }
+                Ok(thresholds.clone())
+            }
+        }
+    }
+}
+
+/// One rule-mining request: the parameters an analyst re-tunes between
+/// queries over the same clustered data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleQuery {
+    /// Density thresholds for the clustering graph.
+    pub density: DensitySpec,
+    /// Degree-of-association leniency: `D0` per set is this factor times
+    /// the set's density threshold.
+    pub degree_factor: f64,
+    /// Maximum antecedent arity.
+    pub max_antecedent: usize,
+    /// Maximum consequent arity.
+    pub max_consequent: usize,
+    /// Rule-count cap (0 = unbounded).
+    pub max_rules: usize,
+    /// Budget on clique-pair work during rule generation (0 = unbounded).
+    pub max_pair_work: u64,
+}
+
+impl Default for RuleQuery {
+    fn default() -> Self {
+        RuleQuery {
+            density: DensitySpec::default(),
+            degree_factor: 2.0,
+            max_antecedent: 3,
+            max_consequent: 2,
+            max_rules: 100_000,
+            max_pair_work: 10_000_000,
+        }
+    }
+}
+
+impl RuleQuery {
+    /// The per-set `D0` thresholds implied by this query at the given
+    /// density thresholds.
+    pub fn degree_thresholds(&self, density: &[f64]) -> Vec<f64> {
+        density.iter().map(|d| d * self.degree_factor).collect()
+    }
+
+    /// The [`RuleConfig`] this query induces.
+    pub fn rule_config(&self, metric: ClusterDistance, density: &[f64]) -> RuleConfig {
+        RuleConfig {
+            metric,
+            degree_thresholds: self.degree_thresholds(density),
+            max_antecedent: self.max_antecedent,
+            max_consequent: self.max_consequent,
+            max_rules: self.max_rules,
+            max_pair_work: self.max_pair_work,
+        }
+    }
+}
+
+/// The cacheable intermediate of Phase II: the clustering graph over the
+/// frequent clusters and its maximal cliques, at one density setting.
+///
+/// Building this is the expensive part of Phase II (all-pairs distances +
+/// Bron–Kerbosch); mining rules from it with different `D0`/arity settings
+/// is cheap. A long-lived engine memoizes one of these per density setting
+/// per epoch.
+#[derive(Debug, Clone)]
+pub struct Phase2Artifacts {
+    /// The density thresholds the graph was built at.
+    pub density_thresholds: Vec<f64>,
+    /// The clustering graph over the frequent clusters.
+    pub graph: ClusteringGraph,
+    /// Maximal cliques (indices into `graph.clusters()`).
+    pub cliques: Vec<Vec<usize>>,
+    /// Whether clique enumeration hit its cap.
+    pub cliques_truncated: bool,
+}
+
+impl Phase2Artifacts {
+    /// Builds the graph and enumerates its maximal cliques.
+    pub fn build(
+        frequent: Vec<ClusterSummary>,
+        density_thresholds: Vec<f64>,
+        metric: ClusterDistance,
+        prune_poor_density: bool,
+        max_cliques: usize,
+    ) -> Self {
+        let graph = ClusteringGraph::build(
+            frequent,
+            &GraphConfig {
+                metric,
+                density_thresholds: density_thresholds.clone(),
+                prune_poor_density,
+            },
+        );
+        let (cliques, cliques_truncated) = maximal_cliques(graph.adjacency(), max_cliques);
+        Phase2Artifacts { density_thresholds, graph, cliques, cliques_truncated }
+    }
+
+    /// Number of cliques of size ≥ 2.
+    pub fn nontrivial_cliques(&self) -> usize {
+        non_trivial(&self.cliques)
+    }
+
+    /// Mines the rules a query asks for from the cached graph and cliques —
+    /// no distance recomputation beyond the `assoc`-set checks of Dfn 5.1.
+    ///
+    /// Returns the rules and whether generation hit a budget.
+    pub fn mine(&self, metric: ClusterDistance, query: &RuleQuery) -> (Vec<Dar>, bool) {
+        generate_dars_capped(
+            &self.graph,
+            &self.cliques,
+            &query.rule_config(metric, &self.density_thresholds),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dar_core::{Acf, AcfLayout, ClusterId};
+
+    fn cluster(id: u32, set: usize, x: f64, y: f64, n: usize) -> ClusterSummary {
+        let layout = AcfLayout::new(vec![1, 1]);
+        let mut acf = Acf::empty(&layout, set);
+        for k in 0..n {
+            let jitter = 0.05 * (k as f64 / n.max(1) as f64 - 0.5);
+            acf.add_row(&[vec![x + jitter], vec![y + jitter]]);
+        }
+        ClusterSummary { id: ClusterId(id), set, acf }
+    }
+
+    fn two_block_clusters() -> Vec<ClusterSummary> {
+        vec![
+            cluster(0, 0, 0.0, 5.0, 10),
+            cluster(1, 1, 0.0, 5.0, 10),
+            cluster(2, 0, 50.0, 9.0, 10),
+            cluster(3, 1, 50.0, 9.0, 10),
+        ]
+    }
+
+    #[test]
+    fn explicit_density_resolves_and_validates() {
+        let spec = DensitySpec::Explicit(vec![1.0, 2.0]);
+        assert_eq!(spec.resolve(&[], &[], 2).unwrap(), vec![1.0, 2.0]);
+        assert!(spec.resolve(&[], &[], 3).is_err());
+    }
+
+    #[test]
+    fn auto_density_matches_pipeline_helper() {
+        let clusters = two_block_clusters();
+        let spec = DensitySpec::Auto { factor: 1.5 };
+        let resolved = spec.resolve(&clusters, &[1.0, 1.0], 2).unwrap();
+        assert_eq!(resolved, auto_density_thresholds(&clusters, &[1.0, 1.0], 2, 1.5));
+    }
+
+    #[test]
+    fn artifacts_mine_same_rules_for_same_query() {
+        let artifacts = Phase2Artifacts::build(
+            two_block_clusters(),
+            vec![1.0, 1.0],
+            ClusterDistance::D2,
+            true,
+            0,
+        );
+        assert_eq!(artifacts.graph.edges, 2, "one edge per block");
+        assert_eq!(artifacts.nontrivial_cliques(), 2);
+        let query = RuleQuery { degree_factor: 2.0, ..RuleQuery::default() };
+        let (rules_a, truncated) = artifacts.mine(ClusterDistance::D2, &query);
+        assert!(!truncated);
+        assert!(!rules_a.is_empty());
+        let (rules_b, _) = artifacts.mine(ClusterDistance::D2, &query);
+        assert_eq!(rules_a, rules_b, "mining from cached artifacts is pure");
+    }
+
+    #[test]
+    fn degree_thresholds_scale_density() {
+        let query = RuleQuery { degree_factor: 3.0, ..RuleQuery::default() };
+        assert_eq!(query.degree_thresholds(&[1.0, 2.0]), vec![3.0, 6.0]);
+        let rc = query.rule_config(ClusterDistance::D1, &[1.0, 2.0]);
+        assert_eq!(rc.metric, ClusterDistance::D1);
+        assert_eq!(rc.degree_thresholds, vec![3.0, 6.0]);
+    }
+}

@@ -168,12 +168,7 @@ pub fn generate_dars_capped(
 
 /// Normalized degree of a candidate rule: the worst pairwise
 /// antecedent→consequent association relative to the per-set thresholds.
-fn rule_degree(
-    graph: &ClusteringGraph,
-    ant: &[usize],
-    cons: &[usize],
-    config: &RuleConfig,
-) -> f64 {
+fn rule_degree(graph: &ClusteringGraph, ant: &[usize], cons: &[usize], config: &RuleConfig) -> f64 {
     let clusters = graph.clusters();
     let mut worst = 0.0f64;
     for &y in cons {
@@ -232,15 +227,11 @@ mod tests {
     /// Tuples: 10 rows at (age≈44, dep≈3, claims≈12k).
     fn co_located_clusters() -> Vec<ClusterSummary> {
         let layout = AcfLayout::new(vec![1, 1, 1]);
-        let mut acfs: Vec<Acf> =
-            (0..3).map(|set| Acf::empty(&layout, set)).collect();
+        let mut acfs: Vec<Acf> = (0..3).map(|set| Acf::empty(&layout, set)).collect();
         for k in 0..10 {
             let jitter = 0.05 * k as f64;
-            let projections = vec![
-                vec![44.0 + jitter],
-                vec![3.0 + jitter * 0.1],
-                vec![12_000.0 + jitter * 10.0],
-            ];
+            let projections =
+                vec![vec![44.0 + jitter], vec![3.0 + jitter * 0.1], vec![12_000.0 + jitter * 10.0]];
             for acf in &mut acfs {
                 acf.add_row(&projections);
             }

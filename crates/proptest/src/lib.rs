@@ -1,0 +1,329 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! The build environment has no network access and no crates.io cache, so
+//! the real `proptest` cannot be fetched. This workspace-local shim keeps
+//! the repository's property tests running by implementing the subset of
+//! the proptest 1.x API they use:
+//!
+//! * the [`proptest!`] macro in its closure form
+//!   `proptest!(|(x in strat, y in strat)| { ... })`;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`];
+//! * range strategies (`0u8..5`, `-50.0f64..50.0`), tuple strategies of
+//!   arity 2–4, and `prop::collection::vec(strategy, size_range)`.
+//!
+//! Differences from real proptest: the case count is fixed (no
+//! `ProptestConfig`), generation is deterministic from a fixed seed (fully
+//! reproducible runs), and there is **no shrinking** — a failing case
+//! reports its generated inputs via the assertion message instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Number of cases each `proptest!` invocation runs.
+pub const CASES: u32 = 128;
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed: the property does not hold.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+}
+
+/// The per-case result type the `proptest!` body closure returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The deterministic generator driving strategy sampling (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+impl TestRng {
+    /// The fixed-seed generator every `proptest!` invocation starts from.
+    pub fn deterministic() -> Self {
+        Self::with_seed(0x0BAD_5EED_CAFE_F00D)
+    }
+
+    /// A generator seeded from `seed` via SplitMix64.
+    pub fn with_seed(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        TestRng { state: [next(), next(), next(), next()] }
+    }
+
+    /// The next 64 uniform bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `[0, n)`; `n` must be positive.
+    #[inline]
+    pub fn index(&mut self, n: u128) -> u128 {
+        debug_assert!(n > 0);
+        self.next_u64() as u128 % n
+    }
+}
+
+/// A source of random values of one type (the shim's `Strategy`).
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draws one value.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.index(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn pick(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * rng.unit()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn pick(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * rng.unit() as f32
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.pick(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// A strategy producing `Vec`s of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn pick(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.clone().pick(rng);
+        (0..len).map(|_| self.element.pick(rng)).collect()
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// The `prop::` module path used inside test bodies
+/// (`prop::collection::vec(...)`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Runs a property over deterministically generated cases.
+///
+/// Supports the closure form
+/// `proptest!(|(x in strategy, y in strategy)| { body })`. The body runs
+/// inside a closure returning [`TestCaseResult`], which is what the
+/// `prop_assert*` and `prop_assume!` macros expand into early returns of.
+#[macro_export]
+macro_rules! proptest {
+    (|($($pat:pat in $strat:expr),+ $(,)?)| $body:block) => {{
+        let mut rng = $crate::TestRng::deterministic();
+        for case in 0..$crate::CASES {
+            let outcome: $crate::TestCaseResult = (|rng: &mut $crate::TestRng| {
+                $(let $pat = $crate::Strategy::pick(&($strat), rng);)+
+                $body
+                Ok(())
+            })(&mut rng);
+            match outcome {
+                Ok(()) => {}
+                Err($crate::TestCaseError::Reject) => {}
+                Err($crate::TestCaseError::Fail(message)) => {
+                    panic!("property failed at case {case}/{}: {message}", $crate::CASES)
+                }
+            }
+        }
+    }};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), left, right
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_vecs_generate_in_bounds() {
+        proptest!(|(x in 0u8..5, (a, b) in (0u32..3, -2.0f64..2.0),
+                    v in prop::collection::vec(0usize..7, 0..10))| {
+            prop_assert!(x < 5);
+            prop_assert!(a < 3);
+            prop_assert!((-2.0..2.0).contains(&b), "b = {}", b);
+            prop_assert!(v.len() < 10);
+            for e in &v {
+                prop_assert!(*e < 7);
+            }
+        });
+    }
+
+    #[test]
+    fn assume_rejects_without_failing() {
+        let mut ran = 0u32;
+        proptest!(|(x in 0u32..100)| {
+            prop_assume!(x % 2 == 0);
+            ran += 1;
+            prop_assert_eq!(x % 2, 0);
+        });
+        assert!(ran > 0 && ran < crate::CASES, "some cases rejected, some ran");
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics() {
+        proptest!(|(x in 0u32..100)| {
+            prop_assert!(x < 50, "x = {} is too big", x);
+        });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut first: Vec<u64> = Vec::new();
+        let mut rng = crate::TestRng::deterministic();
+        for _ in 0..10 {
+            first.push(rng.next_u64());
+        }
+        let mut rng = crate::TestRng::deterministic();
+        let second: Vec<u64> = (0..10).map(|_| rng.next_u64()).collect();
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,224 @@
+//! Offline stand-in for the [`rand`](https://docs.rs/rand) crate.
+//!
+//! The build environment has no network access and no crates.io cache, so
+//! the real `rand` cannot be fetched. This workspace-local shim implements
+//! the (small) subset of the rand 0.9 API the repository actually uses:
+//!
+//! * [`rngs::StdRng`] — here a **xoshiro256\*\*** generator seeded through
+//!   SplitMix64 (not the real `StdRng`'s ChaCha12; streams differ, but every
+//!   consumer in this workspace treats the generator as an opaque seeded
+//!   source of uniform bits);
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`Rng::random`] for `f64`/`f32`/`u32`/`u64`/`bool`;
+//! * [`Rng::random_range`] over half-open integer and float ranges.
+//!
+//! Determinism is preserved: the same seed always yields the same stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// A seeded xoshiro256\*\* pseudo-random generator (the shim's stand-in for
+/// rand's `StdRng`).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: [u64; 4],
+}
+
+impl StdRng {
+    /// The next 64 uniform bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the full 256-bit state, the
+        // initialization recommended by the xoshiro authors.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let state = [next(), next(), next(), next()];
+        StdRng { state }
+    }
+}
+
+/// Types that can be drawn uniformly from a generator ([`Rng::random`]).
+pub trait Standard: Sized {
+    /// Draws one uniform value.
+    fn draw(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn draw(rng: &mut StdRng) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn draw(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn draw(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn draw(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn draw(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::random_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Modulo reduction: the bias is negligible for the spans
+                // used in this workspace (far below 2^64).
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * f64::draw(rng)
+    }
+}
+
+/// Uniform sampling methods, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Draws one uniform value of type `T`.
+    fn random<T: Standard>(&mut self) -> T;
+    /// Draws one value uniformly from `range`.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output;
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    #[inline]
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn unit_floats_are_in_range_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn range_sampling_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let i = rng.random_range(0usize..10);
+            seen[i] = true;
+            let f = rng.random_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let s = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&s));
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit");
+    }
+}

@@ -31,14 +31,11 @@ fn main() {
         // Degrees of lat/lon vs dollars: per-set thresholds.
         initial_thresholds: Some(vec![0.06, 60_000.0]),
         min_support_frac: 0.1,
-        max_antecedent: 1,
-        max_consequent: 1,
+        query: RuleQuery { max_antecedent: 1, max_consequent: 1, ..RuleQuery::default() },
         rescan_candidate_frequency: true,
         ..DarConfig::default()
     };
-    let result = DarMiner::new(config)
-        .mine(&relation, &partitioning)
-        .expect("valid partitioning");
+    let result = DarMiner::new(config).mine(&relation, &partitioning).expect("valid partitioning");
 
     println!(
         "{} clusters ({} frequent), {} edges, {} rules\n",

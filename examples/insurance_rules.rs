@@ -17,8 +17,7 @@ fn main() {
     let config = DarConfig {
         initial_thresholds: Some(vec![2.0, 1.5, 2_000.0]),
         min_support_frac: 0.08,
-        max_antecedent: 2,
-        max_consequent: 1,
+        query: RuleQuery { max_antecedent: 2, max_consequent: 1, ..RuleQuery::default() },
         rescan_candidate_frequency: true,
         ..DarConfig::default()
     };

@@ -32,9 +32,7 @@ fn main() {
             1 => (1.0, 48.0, 140_000.0),
             _ => (2.0, 27.0, 60_000.0),
         };
-        builder
-            .push_row(&[job, rng.normal(age_mu, 2.0), rng.normal(sal_mu, 4_000.0)])
-            .unwrap();
+        builder.push_row(&[job, rng.normal(age_mu, 2.0), rng.normal(sal_mu, 4_000.0)]).unwrap();
     }
     let relation = builder.finish();
 
@@ -48,8 +46,7 @@ fn main() {
         // Age in years; Salary in dollars.
         initial_thresholds: Some(vec![0.0, 3.0, 6_000.0]),
         min_support_frac: 0.15,
-        max_antecedent: 2,
-        max_consequent: 1,
+        query: RuleQuery { max_antecedent: 2, max_consequent: 1, ..RuleQuery::default() },
         ..DarConfig::default()
     };
     let result = DarMiner::new(config).mine(&relation, &partitioning).expect("valid partitioning");
@@ -66,16 +63,10 @@ fn main() {
 
     println!("Rules involving Job:");
     for rule in result.rules.iter().take(40) {
-        let involves_job = rule
-            .antecedent
-            .iter()
-            .chain(&rule.consequent)
-            .any(|&i| clusters[i].set == 0);
+        let involves_job =
+            rule.antecedent.iter().chain(&rule.consequent).any(|&i| clusters[i].set == 0);
         if involves_job {
-            println!(
-                "  {}",
-                describe_rule(rule, clusters, relation.schema(), &partitioning)
-            );
+            println!("  {}", describe_rule(rule, clusters, relation.schema(), &partitioning));
         }
     }
     assert!(result.stats.rules > 0);

@@ -8,10 +8,7 @@ use interval_rules::prelude::*;
 fn main() {
     // A tiny employees relation: two salary bands that co-occur with two
     // age bands.
-    let schema = Schema::new(vec![
-        Attribute::interval("Age"),
-        Attribute::interval("Salary"),
-    ]);
+    let schema = Schema::new(vec![Attribute::interval("Age"), Attribute::interval("Salary")]);
     let mut builder = RelationBuilder::new(schema);
     for i in 0..200 {
         let jitter = (i % 10) as f64 * 0.1;

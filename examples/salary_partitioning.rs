@@ -11,9 +11,7 @@
 
 use interval_rules::classic::{equi_depth, gap_partition};
 use interval_rules::core::Metric;
-use interval_rules::datagen::salary::{
-    figure1_salaries, relation_r1, relation_r2, JOB_DBA,
-};
+use interval_rules::datagen::salary::{figure1_salaries, relation_r1, relation_r2, JOB_DBA};
 use interval_rules::mining::interest::{
     confidence, degree_exact, satisfying_rows, support, Predicate,
 };

@@ -23,13 +23,16 @@ fn main() {
             ..BirchConfig::with_total_budget(5 << 20, 30)
         },
         min_support_frac: 0.03,
+        max_cliques: 10_000,
         // Calibrated Phase II leniency for this workload (see the
         // dar-bench crate and EXPERIMENTS.md).
-        phase2_density_factor: 4.0,
-        max_antecedent: 2,
-        max_consequent: 1,
-        max_cliques: 10_000,
-        max_pair_work: 1_000_000,
+        query: RuleQuery {
+            density: DensitySpec::Auto { factor: 4.0 },
+            max_antecedent: 2,
+            max_consequent: 1,
+            max_pair_work: 1_000_000,
+            ..RuleQuery::default()
+        },
         ..DarConfig::default()
     };
     let result = DarMiner::new(config).mine(&relation, &partitioning).expect("valid partitioning");
@@ -60,15 +63,8 @@ fn main() {
         &relation,
         &partitioning,
         result.graph.clusters(),
-        &GqarConfig {
-            min_support: s.s0,
-            min_confidence: 0.7,
-            max_len: 3,
-        },
+        &GqarConfig { min_support: s.s0, min_confidence: 0.7, max_len: 3 },
     );
-    println!(
-        "\nGQAR baseline over the same clusters: {} rules at confidence ≥ 0.7",
-        gqar.len()
-    );
+    println!("\nGQAR baseline over the same clusters: {} rules at confidence ≥ 0.7", gqar.len());
     assert!(s.rules > 0, "the correlated WBCD structure must yield DARs");
 }

@@ -18,7 +18,11 @@
 //!   degree-of-association interest measure with the Theorem 5.1/5.2
 //!   correspondence, and the full pipeline;
 //! * [`datagen`] — seeded synthetic workloads reproducing every figure of
-//!   the paper's evaluation (see `DESIGN.md` for the WBCD substitution).
+//!   the paper's evaluation (see `DESIGN.md` for the WBCD substitution);
+//! * [`engine`] *(re-exported from `dar-engine`)* — a long-lived
+//!   incremental mining engine: batch ingest without Phase I restarts,
+//!   epoch snapshots, and cached Phase II artifacts for cheap re-tuned
+//!   rule queries.
 //!
 //! ## Quickstart
 //!
@@ -61,6 +65,7 @@
 pub use birch;
 pub use classic;
 pub use dar_core as core;
+pub use dar_engine as engine;
 pub use datagen;
 pub use mining;
 
@@ -68,8 +73,8 @@ pub use mining;
 pub mod prelude {
     pub use birch::BirchConfig;
     pub use dar_core::{
-        Attribute, AttributeKind, Interval, Metric, Partitioning, Relation, RelationBuilder,
-        Schema,
+        Attribute, AttributeKind, Interval, Metric, Partitioning, Relation, RelationBuilder, Schema,
     };
-    pub use mining::{ClusterDistance, DarConfig, DarMiner, MineResult};
+    pub use dar_engine::{DarEngine, EngineConfig, EngineStats};
+    pub use mining::{ClusterDistance, DarConfig, DarMiner, DensitySpec, MineResult, RuleQuery};
 }

@@ -9,20 +9,13 @@ use interval_rules::prelude::*;
 
 fn cluster_count(relation: &Relation, budget: usize) -> (usize, usize, f64) {
     let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
-    let config = BirchConfig {
-        initial_threshold: 0.0,
-        memory_budget: budget,
-        ..BirchConfig::default()
-    };
+    let config =
+        BirchConfig { initial_threshold: 0.0, memory_budget: budget, ..BirchConfig::default() };
     let mut forest = AcfForest::new(partitioning, &config);
     forest.scan(relation);
     let stats = forest.stats();
     let rebuilds = stats.total_rebuilds();
-    let max_threshold = stats
-        .trees
-        .iter()
-        .map(|t| t.threshold)
-        .fold(0.0f64, f64::max);
+    let max_threshold = stats.trees.iter().map(|t| t.threshold).fold(0.0f64, f64::max);
     (forest.finish().iter().map(Vec::len).sum(), rebuilds, max_threshold)
 }
 
@@ -83,9 +76,9 @@ fn outlier_paging_does_not_break_cluster_recovery() {
         // holding a large population.
         for comp in 0..3 {
             let center = 100.0 * ((comp + set) % 3) as f64;
-            let found = clusters.iter().any(|c| {
-                c.n() > 1_500 && (c.centroid_on(set).unwrap()[0] - center).abs() < 20.0
-            });
+            let found = clusters
+                .iter()
+                .any(|c| c.n() > 1_500 && (c.centroid_on(set).unwrap()[0] - center).abs() < 20.0);
             assert!(found, "set {set}: no heavy cluster near {center}");
         }
     }

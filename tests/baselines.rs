@@ -100,8 +100,7 @@ fn qar_gqar_and_dar_agree_on_block_structure() {
         birch: BirchConfig { memory_budget: usize::MAX, ..BirchConfig::default() },
         initial_thresholds: Some(vec![2.0, 2.0]),
         min_support_frac: 0.3,
-        max_antecedent: 1,
-        max_consequent: 1,
+        query: RuleQuery { max_antecedent: 1, max_consequent: 1, ..RuleQuery::default() },
         ..DarConfig::default()
     };
     let result = DarMiner::new(config).mine(&relation, &partitioning).expect("valid partitioning");
@@ -139,8 +138,7 @@ fn dar_and_gqar_rank_the_same_association_first() {
         birch: BirchConfig { memory_budget: usize::MAX, ..BirchConfig::default() },
         initial_thresholds: Some(vec![2.0, 2.0]),
         min_support_frac: 0.3,
-        max_antecedent: 1,
-        max_consequent: 1,
+        query: RuleQuery { max_antecedent: 1, max_consequent: 1, ..RuleQuery::default() },
         ..DarConfig::default()
     };
     let result = DarMiner::new(config).mine(&relation, &partitioning).expect("valid partitioning");
@@ -152,9 +150,8 @@ fn dar_and_gqar_rank_the_same_association_first() {
         result.graph.clusters(),
         &GqarConfig { min_support: 30, min_confidence: 0.0, max_len: 2 },
     );
-    let matching = gqar.iter().find(|g| {
-        g.antecedent == best.antecedent && g.consequent == best.consequent
-    });
+    let matching =
+        gqar.iter().find(|g| g.antecedent == best.antecedent && g.consequent == best.consequent);
     let m = matching.expect("the strongest DAR must exist as a GQAR too");
     assert!(m.confidence > 0.99, "clean blocks: confidence {}", m.confidence);
 }

@@ -29,11 +29,8 @@ fn random_clusters(seed: u64, num_sets: usize, per_set: usize) -> Vec<ClusterSum
             for _ in 0..20 {
                 let projections: Vec<Vec<f64>> = (0..num_sets)
                     .map(|_| {
-                        let base = if noise {
-                            rng.uniform_in(-50.0, 50.0)
-                        } else {
-                            10.0 * component
-                        };
+                        let base =
+                            if noise { rng.uniform_in(-50.0, 50.0) } else { 10.0 * component };
                         let sd = 0.4 + 2.0 * rng.uniform();
                         vec![base + rng.normal(0.0, sd)]
                     })
@@ -163,9 +160,7 @@ fn degree_ranking_is_consistent_with_raw_distances() {
     for rule in &rules {
         let (x, y) = (rule.antecedent[0], rule.consequent[0]);
         let yset = nodes[y].set;
-        let raw = ClusterDistance::D2
-            .between(&nodes[y].acf, &nodes[x].acf, yset)
-            .unwrap();
+        let raw = ClusterDistance::D2.between(&nodes[y].acf, &nodes[x].acf, yset).unwrap();
         let expected = raw / (density[yset] * 2.0);
         assert!((rule.degree - expected).abs() < 1e-9);
     }

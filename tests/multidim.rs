@@ -19,8 +19,7 @@ fn geo_setup() -> (Relation, Partitioning, DarConfig) {
     let config = DarConfig {
         initial_thresholds: Some(vec![0.06, 60_000.0]),
         min_support_frac: 0.1,
-        max_antecedent: 1,
-        max_consequent: 1,
+        query: RuleQuery { max_antecedent: 1, max_consequent: 1, ..RuleQuery::default() },
         ..DarConfig::default()
     };
     (relation, partitioning, config)
@@ -54,7 +53,7 @@ fn two_dimensional_sets_mine_hotspot_rules() {
 fn persisted_summaries_reproduce_phase_two() {
     use interval_rules::mining::clique::maximal_cliques;
     use interval_rules::mining::graph::{ClusteringGraph, GraphConfig};
-    use interval_rules::mining::rules::{generate_dars, RuleConfig};
+    use interval_rules::mining::rules::generate_dars;
 
     let (relation, partitioning, config) = geo_setup();
     let result = DarMiner::new(config.clone()).mine(&relation, &partitioning).unwrap();
@@ -67,8 +66,7 @@ fn persisted_summaries_reproduce_phase_two() {
     // Re-run Phase II from the reloaded summaries with the same thresholds;
     // the rules must be identical.
     let s0 = result.stats.s0;
-    let frequent: Vec<_> =
-        reloaded.into_iter().filter(|c| c.is_frequent(s0)).collect();
+    let frequent: Vec<_> = reloaded.into_iter().filter(|c| c.is_frequent(s0)).collect();
     let graph = ClusteringGraph::build(
         frequent,
         &GraphConfig {
@@ -82,19 +80,7 @@ fn persisted_summaries_reproduce_phase_two() {
     let rules = generate_dars(
         &graph,
         &cliques,
-        &RuleConfig {
-            metric: config.metric,
-            degree_thresholds: result
-                .stats
-                .density_thresholds
-                .iter()
-                .map(|d| d * config.degree_factor)
-                .collect(),
-            max_antecedent: config.max_antecedent,
-            max_consequent: config.max_consequent,
-            max_rules: config.max_rules,
-            max_pair_work: config.max_pair_work,
-        },
+        &config.query.rule_config(config.metric, &result.stats.density_thresholds),
     );
     // Graph positions may be permuted relative to the original run, so
     // compare by cluster ids.
@@ -112,10 +98,7 @@ fn persisted_summaries_reproduce_phase_two() {
         keys.sort();
         keys
     };
-    assert_eq!(
-        keyed(&rules, graph.clusters()),
-        keyed(&result.rules, result.graph.clusters())
-    );
+    assert_eq!(keyed(&rules, graph.clusters()), keyed(&result.rules, result.graph.clusters()));
 }
 
 #[test]
@@ -123,10 +106,8 @@ fn joint_metric_beats_separate_axes_on_diagonal_structure() {
     // A diagonal ridge: lat and lon individually span the whole range (no
     // 1-D structure), but jointly form two tight 2-D clusters. This is why
     // the paper supports clustering multi-attribute sets directly.
-    let mut b = RelationBuilder::new(Schema::new(vec![
-        Attribute::interval("x"),
-        Attribute::interval("y"),
-    ]));
+    let mut b =
+        RelationBuilder::new(Schema::new(vec![Attribute::interval("x"), Attribute::interval("y")]));
     for i in 0..400 {
         let t = (i % 100) as f64 / 100.0;
         if i % 2 == 0 {
@@ -158,9 +139,6 @@ fn joint_metric_beats_separate_axes_on_diagonal_structure() {
             - (bbox.interval(1).lo - bbox.interval(0).hi);
         // Any cluster containing points of both ridges would have a y−x
         // range of ≥ 5; within one ridge it stays below ~3.
-        assert!(
-            spread_y_minus_x.abs() < 4.0,
-            "cluster mixes ridges: bbox {bbox}"
-        );
+        assert!(spread_y_minus_x.abs() < 4.0, "cluster mixes ridges: bbox {bbox}");
     }
 }

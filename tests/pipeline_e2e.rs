@@ -11,8 +11,7 @@ fn planted_miner() -> DarMiner {
         birch: BirchConfig { memory_budget: 1 << 20, ..BirchConfig::default() },
         initial_thresholds: Some(vec![2.0, 1.5, 2_000.0]),
         min_support_frac: 0.1,
-        max_antecedent: 2,
-        max_consequent: 1,
+        query: RuleQuery { max_antecedent: 2, max_consequent: 1, ..RuleQuery::default() },
         rescan_candidate_frequency: true,
         ..DarConfig::default()
     })
@@ -58,8 +57,7 @@ fn grid_structure_is_fully_recovered() {
             ..BirchConfig::default()
         },
         min_support_frac: 0.1,
-        max_antecedent: 2,
-        max_consequent: 1,
+        query: RuleQuery { max_antecedent: 2, max_consequent: 1, ..RuleQuery::default() },
         ..DarConfig::default()
     };
     let result = DarMiner::new(config).mine(&relation, &partitioning).expect("valid partitioning");
@@ -74,8 +72,7 @@ fn grid_structure_is_fully_recovered() {
     // centroids on each attribute must be consistent with the Latin square.
     let clusters = result.graph.clusters();
     for rule in &result.rules {
-        let members: Vec<usize> =
-            rule.antecedent.iter().chain(&rule.consequent).copied().collect();
+        let members: Vec<usize> = rule.antecedent.iter().chain(&rule.consequent).copied().collect();
         // Recover each member's component index from its centroid.
         let comps: Vec<i64> = members
             .iter()
@@ -87,10 +84,7 @@ fn grid_structure_is_fully_recovered() {
                 (grid_pos - c.set as i64).rem_euclid(4)
             })
             .collect();
-        assert!(
-            comps.windows(2).all(|w| w[0] == w[1]),
-            "rule mixes components: {comps:?}"
-        );
+        assert!(comps.windows(2).all(|w| w[0] == w[1]), "rule mixes components: {comps:?}");
     }
 }
 
@@ -108,13 +102,16 @@ fn outliers_do_not_invent_rules() {
             ..BirchConfig::default()
         },
         min_support_frac: 0.08,
-        max_antecedent: 2,
-        max_consequent: 1,
-        // Noise members inflate image radii (uniform background mixed into
-        // every cluster's projections); pin the Phase II thresholds between
-        // the inflated same-component D2 (~45-65) and the cross-component
-        // D2 (>= the 100-unit grid spacing).
-        density_thresholds: Some(vec![75.0, 75.0, 75.0]),
+        query: RuleQuery {
+            max_antecedent: 2,
+            max_consequent: 1,
+            // Noise members inflate image radii (uniform background mixed
+            // into every cluster's projections); pin the Phase II thresholds
+            // between the inflated same-component D2 (~45-65) and the
+            // cross-component D2 (>= the 100-unit grid spacing).
+            density: DensitySpec::Explicit(vec![75.0, 75.0, 75.0]),
+            ..RuleQuery::default()
+        },
         ..DarConfig::default()
     };
     let result = DarMiner::new(config).mine(&relation, &partitioning).expect("valid partitioning");
@@ -135,9 +132,7 @@ fn outliers_do_not_invent_rules() {
     let full_component_cliques = result
         .cliques
         .iter()
-        .filter(|q| {
-            q.len() == 3 && q.iter().all(|&m| component_of(m) == component_of(q[0]))
-        })
+        .filter(|q| q.len() == 3 && q.iter().all(|&m| component_of(m) == component_of(q[0])))
         .count();
     assert_eq!(full_component_cliques, 4, "cliques: {:?}", result.cliques);
     assert!(
@@ -154,11 +149,8 @@ fn memory_budget_bounds_the_trees_during_the_scan() {
     let relation = spec.generate(20_000, 17);
     let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
     let budget = 8 << 10; // deliberately tiny: forces constant adaptation
-    let config = BirchConfig {
-        initial_threshold: 0.0,
-        memory_budget: budget,
-        ..BirchConfig::default()
-    };
+    let config =
+        BirchConfig { initial_threshold: 0.0, memory_budget: budget, ..BirchConfig::default() };
     let mut forest = AcfForest::new(partitioning, &config);
     for row in 0..relation.len() {
         forest.insert_row(&relation, row);
@@ -205,13 +197,8 @@ fn rescan_frequencies_are_bounded_by_assignment_counts() {
         }
     }
     for (rule, &freq) in result.rules.iter().zip(&result.rule_frequencies) {
-        let bound = rule
-            .antecedent
-            .iter()
-            .chain(&rule.consequent)
-            .map(|&pos| assigned[pos])
-            .min()
-            .unwrap();
+        let bound =
+            rule.antecedent.iter().chain(&rule.consequent).map(|&pos| assigned[pos]).min().unwrap();
         assert!(freq <= bound, "rule frequency {freq} exceeds assignment bound {bound}");
     }
     // Every tuple lands somewhere: per set, assignments sum to |r|.
@@ -234,12 +221,7 @@ fn stats_are_internally_consistent() {
     assert_eq!(s.density_thresholds.len(), partitioning.num_sets());
     // Total tuples across Phase I clusters equals the relation size, per set.
     for set in 0..partitioning.num_sets() {
-        let total: u64 = result
-            .clusters
-            .iter()
-            .filter(|c| c.set == set)
-            .map(|c| c.support())
-            .sum();
+        let total: u64 = result.clusters.iter().filter(|c| c.set == set).map(|c| c.support()).sum();
         assert_eq!(total, relation.len() as u64);
     }
 }
