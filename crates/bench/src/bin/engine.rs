@@ -32,7 +32,7 @@ fn main() {
     let batch_size = rows.len() / BATCHES;
     let (_, ingest_wall) = time(|| {
         for batch in rows.chunks(batch_size) {
-            engine.ingest(batch);
+            engine.ingest(batch).unwrap();
         }
     });
     let tuples_per_sec = TUPLES as f64 / ingest_wall.as_secs_f64();

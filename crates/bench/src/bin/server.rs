@@ -1,0 +1,255 @@
+//! SERVER — load generator for the `dar-serve` network layer: N client
+//! threads drive a mixed ingest/query workload over real TCP, measuring
+//! end-to-end throughput and the cold-vs-cached query latency gap that
+//! Theorem 6.1's read-concurrency buys (queries from a closed epoch are
+//! answered from one shared `Phase2Artifacts`, in parallel).
+//!
+//! Emits `BENCH_server.json` in the current directory.
+//!
+//! Two modes:
+//!
+//! * self-contained (default): spawns an in-process server on an
+//!   ephemeral loopback port, runs the workload, shuts it down;
+//! * `--addr HOST:PORT`: drives an already-running `dar serve` instance
+//!   (the CI smoke test starts the real binary and points this at it);
+//!   add `--shutdown` to send the wire `shutdown` verb when done.
+//!
+//! Regenerate with: `cargo run --release -p dar-bench --bin server`
+
+use dar_bench::{print_table, secs, time};
+use dar_core::{Metric, Partitioning, Schema};
+use dar_engine::{DarEngine, EngineConfig};
+use dar_serve::{json::Json, Client, ServeConfig, Server, ServerHandle};
+use mining::RuleQuery;
+use std::time::Duration;
+
+/// Workload knobs, overridable from the command line.
+struct Opts {
+    addr: Option<String>,
+    clients: usize,
+    batches: usize,
+    batch_size: usize,
+    queries: usize,
+    shutdown: bool,
+    out: String,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            addr: None,
+            clients: 4,
+            batches: 4,
+            batch_size: 500,
+            queries: 25,
+            shutdown: false,
+            out: "BENCH_server.json".into(),
+        }
+    }
+}
+
+fn parse_opts() -> Opts {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| {
+            argv.get(i + 1).unwrap_or_else(|| panic!("flag {} needs a value", argv[i])).clone()
+        };
+        match argv[i].as_str() {
+            "--addr" => {
+                opts.addr = Some(value(i));
+                i += 2;
+            }
+            "--clients" => {
+                opts.clients = value(i).parse().expect("--clients");
+                i += 2;
+            }
+            "--batches" => {
+                opts.batches = value(i).parse().expect("--batches");
+                i += 2;
+            }
+            "--batch-size" => {
+                opts.batch_size = value(i).parse().expect("--batch-size");
+                i += 2;
+            }
+            "--queries" => {
+                opts.queries = value(i).parse().expect("--queries");
+                i += 2;
+            }
+            "--shutdown" => {
+                opts.shutdown = true;
+                i += 1;
+            }
+            "--out" => {
+                opts.out = value(i);
+                i += 2;
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    opts
+}
+
+/// Three-attribute rows with two planted blocks — the workload every
+/// `dar-serve` test uses, matching `dar serve --attrs 3`.
+fn rows(n: usize, offset: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            let k = i + offset;
+            let jitter = (k % 9) as f64 * 0.01;
+            match k % 2 {
+                0 => vec![jitter, 100.0 + jitter, 5.0 + jitter * 0.1],
+                _ => vec![50.0 + jitter, 200.0 + jitter, 9.0 + jitter * 0.1],
+            }
+        })
+        .collect()
+}
+
+fn in_process_server() -> ServerHandle {
+    let schema = Schema::interval_attrs(3);
+    let partitioning = Partitioning::per_attribute(&schema, Metric::Euclidean);
+    let mut config = EngineConfig::default();
+    config.birch.initial_threshold = 1.0;
+    config.birch.memory_budget = usize::MAX;
+    config.min_support_frac = 0.1;
+    let engine = DarEngine::new(partitioning, config).unwrap();
+    Server::start(engine, "127.0.0.1:0", ServeConfig::default()).expect("bind loopback")
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect(addr, Duration::from_secs(30)).unwrap_or_else(|e| panic!("connect {addr}: {e}"))
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let opts = parse_opts();
+    let handle = if opts.addr.is_none() { Some(in_process_server()) } else { None };
+    let addr = match &opts.addr {
+        Some(addr) => addr.clone(),
+        None => handle.as_ref().expect("in-process").addr().to_string(),
+    };
+    // The in-process server is ours to stop; an external one only if asked.
+    let send_shutdown = opts.shutdown || handle.is_some();
+
+    // --- phase A: seed ingest, then cold vs cached query latency ---------
+    let mut writer = connect(&addr);
+    let total_rows = opts.batches * opts.batch_size;
+    let (_, ingest_wall) = time(|| {
+        for b in 0..opts.batches {
+            writer.ingest(rows(opts.batch_size, b * opts.batch_size)).expect("seed ingest");
+        }
+    });
+    let query = RuleQuery { degree_factor: 2.5, ..RuleQuery::default() };
+    let (cold, cold_wall) = time(|| writer.query(query.clone()).expect("cold query"));
+    assert_eq!(cold.get("cached").and_then(Json::as_bool), Some(false), "first query is cold");
+
+    let mut cached_ms: Vec<f64> = (0..opts.queries)
+        .map(|i| {
+            let retuned =
+                RuleQuery { degree_factor: 1.5 + 0.1 * (i % 10) as f64, ..RuleQuery::default() };
+            let (response, wall) = time(|| writer.query(retuned).expect("cached query"));
+            assert_eq!(response.get("cached").and_then(Json::as_bool), Some(true));
+            wall.as_secs_f64() * 1e3
+        })
+        .collect();
+    cached_ms.sort_by(f64::total_cmp);
+    let cached_mean = cached_ms.iter().sum::<f64>() / cached_ms.len().max(1) as f64;
+    let cold_ms = cold_wall.as_secs_f64() * 1e3;
+    let speedup = cold_ms / cached_mean.max(1e-9);
+
+    // --- phase B: N concurrent clients, mixed ingest/query ---------------
+    let per_client = opts.queries;
+    let (served, mixed_wall) = time(|| {
+        let threads: Vec<_> = (0..opts.clients)
+            .map(|c| {
+                let addr = addr.clone();
+                let batch_size = opts.batch_size / 4;
+                std::thread::spawn(move || {
+                    let mut client = connect(&addr);
+                    let mut served = 0u64;
+                    for i in 0..per_client {
+                        // One request in eight is an ingest (client 0 only:
+                        // the single-writer path), the rest are re-tuned
+                        // queries racing on the shared epoch.
+                        if c == 0 && i % 8 == 3 {
+                            client.ingest(rows(batch_size, 1_000_000 + i * batch_size)).unwrap();
+                        } else {
+                            let q = RuleQuery {
+                                degree_factor: 1.5 + 0.1 * ((c + i) % 10) as f64,
+                                ..RuleQuery::default()
+                            };
+                            client.query(q).unwrap();
+                        }
+                        served += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
+        threads.into_iter().map(|t| t.join().unwrap()).sum::<u64>()
+    });
+    let throughput = served as f64 / mixed_wall.as_secs_f64();
+
+    // --- server-side counters --------------------------------------------
+    let stats = writer.stats().expect("stats");
+    let engine = stats.get("engine").cloned().unwrap_or(Json::Obj(Vec::new()));
+    let server = stats.get("server").cloned().unwrap_or(Json::Obj(Vec::new()));
+    let counter = |block: &Json, name: &str| block.get(name).and_then(Json::as_u64).unwrap_or(0);
+    let shared_read_hits = counter(&engine, "shared_read_hits");
+    let cache_hits = counter(&engine, "cache_hits");
+    let rejected = counter(&server, "rejected_connections");
+
+    if send_shutdown {
+        writer.shutdown().expect("shutdown");
+    }
+    drop(writer);
+    if let Some(handle) = handle {
+        handle.join().expect("join in-process server");
+    }
+
+    print_table(
+        "Server: mixed-load throughput and query latency over TCP",
+        &["quantity", "value"],
+        &[
+            vec!["clients".into(), opts.clients.to_string()],
+            vec!["seed tuples".into(), total_rows.to_string()],
+            vec!["seed ingest wall (s)".into(), secs(ingest_wall)],
+            vec!["cold query (ms)".into(), format!("{cold_ms:.3}")],
+            vec!["cached query mean (ms)".into(), format!("{cached_mean:.3}")],
+            vec!["cached query p99 (ms)".into(), format!("{:.3}", percentile(&cached_ms, 99.0))],
+            vec!["cold/cached speedup".into(), format!("{speedup:.1}×")],
+            vec!["mixed requests served".into(), served.to_string()],
+            vec!["mixed throughput (req/s)".into(), format!("{throughput:.0}")],
+            vec!["shared read hits".into(), shared_read_hits.to_string()],
+            vec!["engine cache hits".into(), cache_hits.to_string()],
+            vec!["rejected connections".into(), rejected.to_string()],
+        ],
+    );
+
+    let report = Json::obj(vec![
+        ("clients", Json::Num(opts.clients as f64)),
+        ("seed_tuples", Json::Num(total_rows as f64)),
+        ("seed_ingest_seconds", Json::Num(ingest_wall.as_secs_f64())),
+        ("cold_query_ms", Json::Num(cold_ms)),
+        ("cached_query_ms_mean", Json::Num(cached_mean)),
+        ("cached_query_ms_p50", Json::Num(percentile(&cached_ms, 50.0))),
+        ("cached_query_ms_p99", Json::Num(percentile(&cached_ms, 99.0))),
+        ("cold_over_cached_speedup", Json::Num(speedup)),
+        ("mixed_requests", Json::Num(served as f64)),
+        ("mixed_seconds", Json::Num(mixed_wall.as_secs_f64())),
+        ("throughput_req_per_sec", Json::Num(throughput)),
+        ("shared_read_hits", Json::Num(shared_read_hits as f64)),
+        ("engine_cache_hits", Json::Num(cache_hits as f64)),
+        ("rejected_connections", Json::Num(rejected as f64)),
+    ]);
+    std::fs::write(&opts.out, format!("{}\n", report.encode())).expect("write report");
+    println!("\n  wrote {}", opts.out);
+}

@@ -4,6 +4,7 @@ pub mod cluster;
 pub mod generate;
 pub mod mine;
 pub mod rules;
+pub mod serve;
 pub mod session;
 pub mod stats;
 

@@ -1,0 +1,181 @@
+//! `dar serve` — run the network serving layer over a long-lived
+//! [`dar_engine::DarEngine`]: a std-only threaded TCP server speaking
+//! the newline-delimited JSON protocol (`ingest`, `query`, `clusters`,
+//! `stats`, `snapshot`, `shutdown`).
+//!
+//! The command binds `--addr`, announces the bound address on stderr
+//! (so scripts using port 0 can discover it), then blocks until a wire
+//! `shutdown` request arrives; the final counters are printed on exit.
+//!
+//! ```text
+//! dar serve --addr 127.0.0.1:7878 --attrs 3 --threads 4 \
+//!     --snapshot-path epoch.snap --snapshot-secs 30
+//! ```
+
+use crate::args::Args;
+use crate::data::parse_cluster_metric;
+use crate::CliError;
+use dar_core::{Metric, Partitioning, Schema};
+use dar_engine::{DarEngine, EngineConfig};
+use dar_serve::{ServeConfig, ServeSummary, Server};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Runs the command: serve until a wire `shutdown`, then report.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let addr = args.required("addr")?.to_string();
+    let (engine, serve_config) = build(args)?;
+    let handle = Server::start(engine, &addr, serve_config)
+        .map_err(|e| CliError::new(format!("bind {addr}: {e}")))?;
+    // Announce on stderr immediately — stdout is the post-shutdown report.
+    eprintln!("dar serve: listening on {}", handle.addr());
+    let summary = handle.join()?;
+    Ok(report(&summary))
+}
+
+/// Builds the engine and server configuration from the flags. The engine
+/// is created empty: unlike the one-shot commands there is no input CSV —
+/// clients `ingest` over the wire — so the schema is fixed up front by
+/// `--attrs` (interval attributes, per-attribute partitioning).
+pub fn build(args: &Args) -> Result<(DarEngine, ServeConfig), CliError> {
+    let attrs = args.number::<usize>("attrs", 3)?;
+    if attrs == 0 {
+        return Err(CliError::new("--attrs must be at least 1"));
+    }
+    let schema = Schema::interval_attrs(attrs);
+    let partitioning = Partitioning::per_attribute(&schema, Metric::Euclidean);
+
+    let mut config = EngineConfig {
+        min_support_frac: args.number("support", 0.05)?,
+        metric: parse_cluster_metric(args.optional("metric").unwrap_or("d2"))?,
+        ..EngineConfig::default()
+    };
+    config.birch.memory_budget = args.number::<usize>("memory-kb", 1024)? << 10;
+    if let Some(raw) = args.optional("initial-threshold") {
+        let threshold: f64 = raw
+            .parse()
+            .map_err(|_| CliError::new(format!("--initial-threshold: cannot parse {raw:?}")))?;
+        config.birch.initial_threshold = threshold;
+    }
+    let engine = DarEngine::new(partitioning, config)?;
+
+    let timeout = Duration::from_millis(args.number::<u64>("timeout-ms", 30_000)?);
+    let serve_config = ServeConfig {
+        threads: args.number::<usize>("threads", 4)?.max(1),
+        queue_depth: args.number::<usize>("queue", 64)?.max(1),
+        read_timeout: timeout,
+        write_timeout: timeout,
+        snapshot_path: args.optional("snapshot-path").map(std::path::PathBuf::from),
+        snapshot_interval: match args.number::<u64>("snapshot-secs", 0)? {
+            0 => None,
+            secs => Some(Duration::from_secs(secs)),
+        },
+        allow_remote_shutdown: true,
+    };
+    if serve_config.snapshot_interval.is_some() && serve_config.snapshot_path.is_none() {
+        return Err(CliError::new("--snapshot-secs requires --snapshot-path"));
+    }
+    Ok((engine, serve_config))
+}
+
+/// Formats the post-shutdown report.
+fn report(summary: &ServeSummary) -> String {
+    let s = &summary.stats;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve: {} connections ({} refused), {} requests \
+         ({} ingest / {} query / {} clusters / {} stats / {} snapshot / {} shutdown), \
+         {} errors, latency p50 {}µs p99 {}µs",
+        s.connections,
+        s.rejected_connections,
+        s.total_requests(),
+        s.ingest_requests,
+        s.query_requests,
+        s.clusters_requests,
+        s.stats_requests,
+        s.snapshot_requests,
+        s.shutdown_requests,
+        s.error_responses,
+        s.p50_us,
+        s.p99_us,
+    );
+    if let Some(path) = &summary.snapshot_path {
+        let _ = writeln!(out, "serve: final snapshot written to {}", path.display());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+    use dar_serve::{Client, Request};
+    use mining::RuleQuery;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn build_applies_every_flag() {
+        let args = parse(&argv(&[
+            "--attrs",
+            "4",
+            "--support",
+            "0.2",
+            "--metric",
+            "d0",
+            "--threads",
+            "2",
+            "--queue",
+            "8",
+            "--timeout-ms",
+            "500",
+            "--initial-threshold",
+            "1.5",
+        ]))
+        .unwrap();
+        let (engine, config) = build(&args).unwrap();
+        assert_eq!(engine.required_row_width(), 4);
+        assert_eq!(config.threads, 2);
+        assert_eq!(config.queue_depth, 8);
+        assert_eq!(config.read_timeout, Duration::from_millis(500));
+        assert!(config.snapshot_path.is_none());
+    }
+
+    #[test]
+    fn build_rejects_inconsistent_flags() {
+        let args = parse(&argv(&["--attrs", "0"])).unwrap();
+        assert!(build(&args).is_err());
+        let args = parse(&argv(&["--snapshot-secs", "5"])).unwrap();
+        let err = build(&args).err().expect("snapshot interval without a path must fail");
+        assert!(err.to_string().contains("snapshot-path"));
+        let args = parse(&argv(&["--metric", "d7"])).unwrap();
+        assert!(build(&args).is_err());
+    }
+
+    #[test]
+    fn serve_round_trips_one_client_and_reports() {
+        let args =
+            parse(&argv(&["--addr", "127.0.0.1:0", "--attrs", "2", "--support", "0.1"])).unwrap();
+        let (engine, config) = build(&args).unwrap();
+        let handle = Server::start(engine, "127.0.0.1:0", config).unwrap();
+        let addr = handle.addr();
+
+        let client = std::thread::spawn(move || {
+            let mut client = Client::connect(addr, Duration::from_secs(10)).unwrap();
+            let rows: Vec<Vec<f64>> =
+                (0..40).map(|i| vec![(i % 2) as f64 * 50.0, (i % 2) as f64 * 100.0]).collect();
+            assert_eq!(client.ingest(rows).unwrap(), 40);
+            let outcome = client.query(RuleQuery::default()).unwrap();
+            assert_eq!(outcome.get("ok").and_then(dar_serve::Json::as_bool), Some(true));
+            client.request(&Request::Shutdown).unwrap();
+        });
+        let summary = handle.join().unwrap();
+        client.join().unwrap();
+        let out = report(&summary);
+        assert!(out.contains("1 ingest / 1 query"), "{out}");
+        assert!(out.contains("1 shutdown"), "{out}");
+    }
+}

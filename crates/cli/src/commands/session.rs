@@ -114,7 +114,7 @@ fn step(
             }
             let engine = session.engine.as_mut().expect("just created");
             let rows: Vec<Vec<f64>> = (0..relation.len()).map(|r| relation.row(r)).collect();
-            engine.ingest(&rows);
+            engine.ingest(&rows)?;
             session.schema = Some(relation.schema().clone());
             let _ =
                 writeln!(out, "ingest {path}: {} tuples (total {})", rows.len(), engine.tuples());

@@ -9,6 +9,7 @@
 //! dar cluster  --input data.csv --threshold-frac 0.05
 //! dar mine     --input data.csv --support 0.08 --threshold-frac 0.05 --top 10
 //! dar session  --script session.txt --support 0.08
+//! dar serve    --addr 127.0.0.1:7878 --attrs 3 --snapshot-path epoch.snap
 //! ```
 //!
 //! All command logic lives in this library (returning the output as a
@@ -71,6 +72,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "mine" => commands::mine::run(&args::parse(rest)?),
         "rules" => commands::rules::run(&args::parse(rest)?),
         "session" => commands::session::run(&args::parse(rest)?),
+        "serve" => commands::serve::run(&args::parse(rest)?),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::new(format!("unknown command {other:?}; run `dar help` for usage"))),
     }
@@ -94,6 +96,12 @@ pub fn usage() -> String {
                  [--memory-kb K] [--metric d0|d1|d2]\n\
                  scripted engine: ingest/snapshot/restore/query/stats lines\n\
                  from FILE (or stdin); see `dar-cli`'s session module docs\n\
+       serve     --addr HOST:PORT [--attrs N] [--threads T] [--queue Q]\n\
+                 [--support F] [--memory-kb K] [--metric d0|d1|d2]\n\
+                 [--initial-threshold F] [--timeout-ms MS]\n\
+                 [--snapshot-path FILE.snap] [--snapshot-secs S]\n\
+                 TCP server speaking newline-delimited JSON; blocks until\n\
+                 a wire `shutdown` request, then prints final counters\n\
        help      this text\n"
         .to_string()
 }

@@ -88,6 +88,19 @@ impl DarEngine {
         })
     }
 
+    /// The row width [`DarEngine::ingest`] requires: one value per
+    /// attribute of the partitioning's id space (the highest attribute id
+    /// any set references, plus one).
+    pub fn required_row_width(&self) -> usize {
+        self.partitioning
+            .sets()
+            .iter()
+            .flat_map(|s| s.attrs.iter())
+            .copied()
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+
     /// Feeds a batch of full tuples (indexed by attribute, matching the
     /// partitioning's id space) into the live forest. Invalidates the
     /// current epoch and its Phase II cache: the next query or snapshot
@@ -96,7 +109,26 @@ impl DarEngine {
     /// Because forest insertion is purely sequential, ingesting in batches
     /// leaves the engine in exactly the state one concatenated scan would
     /// have produced.
-    pub fn ingest(&mut self, rows: &[Vec<f64>]) {
+    ///
+    /// # Errors
+    /// The whole batch is validated before any row is inserted, so a
+    /// rejected batch leaves the engine (and the current epoch) untouched.
+    /// Rows whose width differs from [`DarEngine::required_row_width`] are
+    /// rejected with [`CoreError::ArityMismatch`]; NaN or infinite values
+    /// are rejected with [`CoreError::NonFiniteValue`]. Either way the
+    /// reject is counted in [`EngineStats::rejected_batches`].
+    pub fn ingest(&mut self, rows: &[Vec<f64>]) -> Result<(), CoreError> {
+        let width = self.required_row_width();
+        for (r, row) in rows.iter().enumerate() {
+            if row.len() != width {
+                self.stats.rejected_batches += 1;
+                return Err(CoreError::ArityMismatch { expected: width, got: row.len() });
+            }
+            if let Some(attr) = row.iter().position(|v| !v.is_finite()) {
+                self.stats.rejected_batches += 1;
+                return Err(CoreError::NonFiniteValue { attr, row: r });
+            }
+        }
         let t = Instant::now();
         for row in rows {
             self.forest.insert_values(row);
@@ -106,6 +138,7 @@ impl DarEngine {
         self.stats.batches += 1;
         self.stats.ingest_time += t.elapsed();
         self.epoch_state = None;
+        Ok(())
     }
 
     /// Closes the current epoch if ingest invalidated it (or none was ever
@@ -191,6 +224,43 @@ impl DarEngine {
         self.stats.rule_time += t.elapsed();
         self.stats.queries += 1;
         Ok(QueryOutcome { rules, truncated, cached, artifacts, s0, epoch: self.epoch })
+    }
+
+    /// The read-only fast path for concurrent serving: answers a query
+    /// through `&self` when — and only when — the current epoch is closed
+    /// and this density setting's Phase II artifacts are already cached.
+    ///
+    /// Returns `Ok(None)` when the epoch is open (ingest since the last
+    /// close) or the density setting has never been built, in which case
+    /// the caller must fall back to the `&mut self` [`DarEngine::query`]
+    /// path. Rule generation from cached artifacts is pure (Theorem 6.1:
+    /// a function of the ACF summaries alone), so any number of threads
+    /// holding shared references — e.g. through an `RwLock` read guard —
+    /// can run this concurrently. Engine counters are *not* touched (they
+    /// need `&mut`); callers that care keep their own hit counter, as
+    /// `dar-serve`'s `SharedEngine` does.
+    ///
+    /// # Errors
+    /// Propagates arity errors from explicit density thresholds.
+    pub fn query_cached(&self, query: &RuleQuery) -> Result<Option<QueryOutcome>, CoreError> {
+        let Some(state) = self.epoch_state.as_ref() else {
+            return Ok(None);
+        };
+        let num_sets = self.partitioning.num_sets();
+        let density = query.density.resolve(&state.clusters, &state.tree_thresholds, num_sets)?;
+        let key: Vec<u64> = density.iter().map(|d| d.to_bits()).collect();
+        let Some(artifacts) = state.cache.get(&key) else {
+            return Ok(None);
+        };
+        let (rules, truncated) = artifacts.mine(self.config.metric, query);
+        Ok(Some(QueryOutcome {
+            rules,
+            truncated,
+            cached: true,
+            artifacts: Arc::clone(artifacts),
+            s0: state.s0,
+            epoch: self.epoch,
+        }))
     }
 
     /// Serializes the current epoch — closing it first if needed — to the
@@ -314,7 +384,7 @@ mod tests {
     #[test]
     fn ingest_accumulates_and_invalidates() {
         let mut e = engine();
-        e.ingest(&block_rows(40, 0));
+        e.ingest(&block_rows(40, 0)).unwrap();
         assert_eq!(e.tuples(), 40);
         let q = RuleQuery::default();
         let first = e.query(&q).unwrap();
@@ -323,7 +393,7 @@ mod tests {
         // Same density → cached.
         assert!(e.query(&q).unwrap().cached);
         // Ingest closes the next epoch; the cache is gone.
-        e.ingest(&block_rows(40, 1));
+        e.ingest(&block_rows(40, 1)).unwrap();
         let after = e.query(&q).unwrap();
         assert_eq!(after.epoch, 2);
         assert!(!after.cached);
@@ -338,7 +408,7 @@ mod tests {
     #[test]
     fn distinct_density_settings_get_distinct_cache_entries() {
         let mut e = engine();
-        e.ingest(&block_rows(60, 0));
+        e.ingest(&block_rows(60, 0)).unwrap();
         let a = e.query(&RuleQuery::default()).unwrap();
         assert!(!a.cached);
         let b = e
@@ -357,7 +427,7 @@ mod tests {
     #[test]
     fn explicit_density_arity_is_rejected() {
         let mut e = engine();
-        e.ingest(&block_rows(10, 0));
+        e.ingest(&block_rows(10, 0)).unwrap();
         let bad = RuleQuery { density: DensitySpec::Explicit(vec![1.0]), ..RuleQuery::default() };
         assert!(e.query(&bad).is_err());
     }

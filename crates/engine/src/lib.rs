@@ -47,7 +47,7 @@
 //!             vec![block, block + 10.0]
 //!         })
 //!         .collect();
-//!     engine.ingest(&rows);
+//!     engine.ingest(&rows).unwrap();
 //! }
 //!
 //! let outcome = engine.query(&RuleQuery::default()).unwrap();

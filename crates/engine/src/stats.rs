@@ -9,6 +9,9 @@ pub struct EngineStats {
     pub tuples_ingested: u64,
     /// Ingest batches accepted.
     pub batches: u64,
+    /// Ingest batches rejected by validation (ragged row width or
+    /// non-finite values) before touching the forest.
+    pub rejected_batches: u64,
     /// Epochs closed (cluster extractions from the live forest).
     pub epochs: u64,
     /// Phase I tree rebuilds across all sets so far (threshold raises under

@@ -40,7 +40,7 @@ fn batched_ingest_snapshot_restore_matches_one_shot_mining() {
     let batches = [rows(40, 0), rows(30, 40), rows(50, 70)];
     let mut engine = DarEngine::new(partitioning.clone(), config.clone()).unwrap();
     for batch in &batches {
-        engine.ingest(batch);
+        engine.ingest(batch).unwrap();
     }
     assert_eq!(engine.tuples(), 120);
     assert_eq!(engine.stats().batches, 3);
@@ -91,12 +91,12 @@ fn batched_ingest_snapshot_restore_matches_one_shot_mining() {
 fn ingest_after_restore_keeps_mining() {
     let (partitioning, config) = setup();
     let mut engine = DarEngine::new(partitioning, config.clone()).unwrap();
-    engine.ingest(&rows(60, 0));
+    engine.ingest(&rows(60, 0)).unwrap();
     let text = engine.snapshot().unwrap();
 
     let mut restored = DarEngine::restore(&text, config).unwrap();
     let before = restored.query(&RuleQuery::default()).unwrap();
-    restored.ingest(&rows(60, 60));
+    restored.ingest(&rows(60, 60)).unwrap();
     let after = restored.query(&RuleQuery::default()).unwrap();
     assert_eq!(restored.tuples(), 120);
     assert!(after.epoch > before.epoch, "ingest must advance the epoch");
@@ -109,7 +109,7 @@ fn ingest_after_restore_keeps_mining() {
 fn explicit_density_is_cached_by_resolved_thresholds() {
     let (partitioning, config) = setup();
     let mut engine = DarEngine::new(partitioning, config).unwrap();
-    engine.ingest(&rows(80, 0));
+    engine.ingest(&rows(80, 0)).unwrap();
 
     // Resolve the auto density, then ask for the same thresholds
     // explicitly: the cache key is the resolved values, so this must hit.
@@ -122,4 +122,67 @@ fn explicit_density_is_cached_by_resolved_thresholds() {
         .unwrap();
     assert!(explicit.cached);
     assert_eq!(explicit.rules, auto.rules);
+}
+
+#[test]
+fn ragged_and_non_finite_batches_are_rejected_atomically() {
+    let (partitioning, config) = setup();
+    let mut engine = DarEngine::new(partitioning, config).unwrap();
+    assert_eq!(engine.required_row_width(), 3);
+    engine.ingest(&rows(40, 0)).unwrap();
+    let baseline = engine.query(&RuleQuery::default()).unwrap();
+
+    // A batch with one short row is rejected whole: no tuple of it lands.
+    let mut ragged = rows(10, 40);
+    ragged[7] = vec![1.0, 2.0];
+    let err = engine.ingest(&ragged).unwrap_err();
+    assert!(err.to_string().contains('2'), "{err}");
+
+    // Same for a NaN hiding mid-batch.
+    let mut poisoned = rows(10, 40);
+    poisoned[3][1] = f64::NAN;
+    assert!(engine.ingest(&poisoned).is_err());
+
+    let stats = engine.stats();
+    assert_eq!(stats.rejected_batches, 2);
+    assert_eq!(stats.tuples_ingested, 40, "rejected batches must not count");
+    assert_eq!(engine.tuples(), 40);
+
+    // The epoch survived the rejects: the same query still answers from
+    // cache, identically.
+    let after = engine.query(&RuleQuery::default()).unwrap();
+    assert!(after.cached, "rejected ingest must not invalidate the epoch");
+    assert_eq!(after.rules, baseline.rules);
+}
+
+#[test]
+fn query_cached_answers_readers_only_after_a_mut_query_built_the_graph() {
+    let (partitioning, config) = setup();
+    let mut engine = DarEngine::new(partitioning, config).unwrap();
+    engine.ingest(&rows(60, 0)).unwrap();
+
+    // Open epoch: the read path cannot close it and must decline.
+    let q = RuleQuery::default();
+    assert!(engine.query_cached(&q).unwrap().is_none());
+
+    // A &mut query closes the epoch and caches this density setting …
+    let built = engine.query(&q).unwrap();
+
+    // … after which the &self path answers identically, as would any
+    // number of concurrent readers.
+    let cached = engine.query_cached(&q).unwrap().expect("artifacts are cached now");
+    assert!(cached.cached);
+    assert_eq!(cached.rules, built.rules);
+    assert_eq!(cached.epoch, built.epoch);
+
+    // A re-tuned D0 at the same density is also a read-path hit; an unseen
+    // density setting is not.
+    let retuned = RuleQuery { degree_factor: 3.0, ..RuleQuery::default() };
+    assert!(engine.query_cached(&retuned).unwrap().is_some());
+    let new_density =
+        RuleQuery { density: DensitySpec::Auto { factor: 9.0 }, ..RuleQuery::default() };
+    assert!(engine.query_cached(&new_density).unwrap().is_none());
+
+    // The read path never bumps engine counters.
+    assert_eq!(engine.stats().queries, 1);
 }

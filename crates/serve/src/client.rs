@@ -1,0 +1,108 @@
+//! A small blocking client for the newline-delimited JSON protocol —
+//! used by the bench load generator, the CI smoke test, and anyone
+//! scripting a `dar serve` instance from Rust.
+
+use crate::json::{self, Json};
+use crate::protocol::Request;
+use mining::RuleQuery;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One connection to a `dar serve` instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects with the given I/O timeouts.
+    ///
+    /// # Errors
+    /// Connection/setup failures.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { reader, writer: BufWriter::new(stream) })
+    }
+
+    /// Sends one raw line and returns the raw response line — the
+    /// byte-exact surface, for tests asserting byte-identical answers.
+    ///
+    /// # Errors
+    /// I/O failures, or a server that hung up without responding.
+    pub fn round_trip_line(&mut self, line: &str) -> io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection"));
+        }
+        Ok(response.trim_end_matches('\n').to_string())
+    }
+
+    /// Sends a [`Request`] and returns the decoded response.
+    ///
+    /// # Errors
+    /// I/O failures or an undecodable response.
+    pub fn request(&mut self, request: &Request) -> io::Result<Json> {
+        let line = self.round_trip_line(&request.to_json().encode())?;
+        json::parse(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}: {line}")))
+    }
+
+    /// `ingest` a batch; returns the server's total tuple count.
+    ///
+    /// # Errors
+    /// I/O failures or a structured server error.
+    pub fn ingest(&mut self, rows: Vec<Vec<f64>>) -> io::Result<u64> {
+        let response = self.expect_ok(&Request::Ingest { rows })?;
+        Ok(response.get("total").and_then(Json::as_u64).unwrap_or(0))
+    }
+
+    /// `query`; returns the decoded response object.
+    ///
+    /// # Errors
+    /// I/O failures or a structured server error.
+    pub fn query(&mut self, query: RuleQuery) -> io::Result<Json> {
+        self.expect_ok(&Request::Query { query })
+    }
+
+    /// `stats`; returns the decoded response object.
+    ///
+    /// # Errors
+    /// I/O failures or a structured server error.
+    pub fn stats(&mut self) -> io::Result<Json> {
+        self.expect_ok(&Request::Stats)
+    }
+
+    /// `snapshot`; returns the decoded response object.
+    ///
+    /// # Errors
+    /// I/O failures or a structured server error.
+    pub fn snapshot(&mut self) -> io::Result<Json> {
+        self.expect_ok(&Request::Snapshot)
+    }
+
+    /// `shutdown`; returns once the server has acknowledged.
+    ///
+    /// # Errors
+    /// I/O failures or a structured server error.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.expect_ok(&Request::Shutdown).map(|_| ())
+    }
+
+    fn expect_ok(&mut self, request: &Request) -> io::Result<Json> {
+        let response = self.request(request)?;
+        if response.get("ok").and_then(Json::as_bool) == Some(true) {
+            Ok(response)
+        } else {
+            let code = response.get("error").and_then(Json::as_str).unwrap_or("unknown");
+            let message = response.get("message").and_then(Json::as_str).unwrap_or("");
+            Err(io::Error::other(format!("server error {code}: {message}")))
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # dar-serve
+//!
+//! A **concurrent network serving layer** over the long-lived
+//! [`dar_engine::DarEngine`] — the step from "an engine one thread can
+//! drive in-process" to "a server many clients mine against at once".
+//!
+//! The concurrency story is the paper's: Theorem 6.1 makes every query a
+//! pure function of the ACF summaries (and the Phase II artifacts derived
+//! from them), so once an epoch is closed, any number of clients can be
+//! answered from one epoch's cached cliques *in parallel* while ingest
+//! proceeds on the single writer path. Concretely:
+//!
+//! * [`SharedEngine`] — the epoch-aware `RwLock` wrapper: re-tuned
+//!   [`mining::RuleQuery`]s are answered under the *read* lock via
+//!   [`dar_engine::DarEngine::query_cached`]; ingest/snapshot (and cold
+//!   graph builds) take the write lock.
+//! * [`json`] — the hand-rolled wire codec (encoder + recursive-descent
+//!   parser) for the newline-delimited JSON protocol; deterministic
+//!   encoding makes equal rule sets byte-identical on the wire.
+//! * [`protocol`] — the verb vocabulary: `ingest`, `query`, `clusters`,
+//!   `stats`, `snapshot`, `shutdown`, with structured errors.
+//! * [`Server`] / [`ServerHandle`] — a std-only threaded TCP server:
+//!   fixed worker pool, bounded accept queue with refuse-not-queue
+//!   backpressure, per-connection timeouts, periodic snapshot-to-disk,
+//!   and graceful shutdown that drains, closes the epoch, and persists a
+//!   final snapshot.
+//! * [`ServerStats`] — connections, per-verb request counters, rejects,
+//!   p50/p99 latency; served over the wire by the `stats` verb.
+//! * [`Client`] — a small blocking client for scripting and load
+//!   generation.
+//!
+//! The CLI front-end is `dar serve --addr … --threads … --snapshot-path …`;
+//! the load generator lives in `dar-bench` (`--bin server`). See
+//! `DESIGN.md`, "Serving layer".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+mod server;
+mod shared;
+mod stats;
+
+pub use client::Client;
+pub use json::{Json, JsonError};
+pub use protocol::Request;
+pub use server::{ServeConfig, ServeSummary, Server, ServerHandle};
+pub use shared::SharedEngine;
+pub use stats::{ServerStats, StatsSnapshot};

@@ -1,0 +1,331 @@
+//! The request/response vocabulary of the newline-delimited JSON protocol.
+//!
+//! Every request is one JSON object on one line with a `"verb"` key;
+//! every response is one JSON object on one line with an `"ok"` key.
+//! Verbs:
+//!
+//! ```text
+//! {"verb":"ingest","rows":[[…],…]}          → {"ok":true,"verb":"ingest","tuples":…,"total":…}
+//! {"verb":"query", …RuleQuery knobs…}       → {"ok":true,"verb":"query","epoch":…,"rules":[…]}
+//! {"verb":"clusters"}                       → {"ok":true,"verb":"clusters","clusters":[…]}
+//! {"verb":"stats"}                          → {"ok":true,"verb":"stats","server":{…},"engine":{…}}
+//! {"verb":"snapshot"}                       → {"ok":true,"verb":"snapshot","epoch":…,"path":…}
+//! {"verb":"shutdown"}                       → {"ok":true,"verb":"shutdown"}
+//! ```
+//!
+//! Errors are structured, never a dropped connection:
+//! `{"ok":false,"error":"<code>","message":"<detail>"}`.
+//!
+//! `query` accepts the re-tunable [`RuleQuery`] knobs by name —
+//! `density_factor` *or* `density` (explicit per-set array),
+//! `degree_factor`, `max_antecedent`, `max_consequent`, `max_rules`,
+//! `max_pair_work` — all optional, defaulting to [`RuleQuery::default`].
+//! Rule encoding is deterministic (insertion-ordered keys, shortest
+//! round-trip floats), so equal rule sets encode to equal bytes.
+
+use crate::json::Json;
+use dar_core::ClusterSummary;
+use dar_engine::{EngineStats, QueryOutcome};
+use mining::{DensitySpec, RuleQuery};
+
+/// One decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Feed a batch of full tuples into the engine (writer path).
+    Ingest {
+        /// The tuples, one `Vec<f64>` per row, indexed by attribute.
+        rows: Vec<Vec<f64>>,
+    },
+    /// Mine rules from the current epoch (concurrent reader path).
+    Query {
+        /// The re-tunable Phase II parameters.
+        query: RuleQuery,
+    },
+    /// The current epoch's cluster summaries (reader path).
+    Clusters,
+    /// Server + engine counters (reader path).
+    Stats,
+    /// Close the epoch and persist it to the server's snapshot path.
+    Snapshot,
+    /// Gracefully stop the server (responds first, then shuts down).
+    Shutdown,
+}
+
+impl Request {
+    /// Decodes a request from its wire value.
+    ///
+    /// # Errors
+    /// A human-readable message naming the malformed part.
+    pub fn from_json(value: &Json) -> Result<Request, String> {
+        let verb = value
+            .get("verb")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "request must be an object with a string \"verb\"".to_string())?;
+        match verb {
+            "ingest" => {
+                let rows = value
+                    .get("rows")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| "ingest needs a \"rows\" array".to_string())?;
+                let rows: Result<Vec<Vec<f64>>, String> = rows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, row)| {
+                        row.as_array()
+                            .ok_or_else(|| format!("row {i} is not an array"))?
+                            .iter()
+                            .map(|v| v.as_f64().ok_or_else(|| format!("row {i} has a non-number")))
+                            .collect()
+                    })
+                    .collect();
+                Ok(Request::Ingest { rows: rows? })
+            }
+            "query" => Ok(Request::Query { query: parse_query(value)? }),
+            "clusters" => Ok(Request::Clusters),
+            "stats" => Ok(Request::Stats),
+            "snapshot" => Ok(Request::Snapshot),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown verb {other:?}")),
+        }
+    }
+
+    /// Encodes this request as its wire value (the client side of the
+    /// codec).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Ingest { rows } => Json::obj(vec![
+                ("verb", Json::Str("ingest".into())),
+                (
+                    "rows",
+                    Json::Arr(
+                        rows.iter()
+                            .map(|r| Json::Arr(r.iter().map(|v| Json::Num(*v)).collect()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Request::Query { query } => {
+                let mut pairs = vec![("verb", Json::Str("query".into()))];
+                match &query.density {
+                    DensitySpec::Auto { factor } => {
+                        pairs.push(("density_factor", Json::Num(*factor)));
+                    }
+                    DensitySpec::Explicit(thresholds) => {
+                        pairs.push((
+                            "density",
+                            Json::Arr(thresholds.iter().map(|v| Json::Num(*v)).collect()),
+                        ));
+                    }
+                }
+                pairs.push(("degree_factor", Json::Num(query.degree_factor)));
+                pairs.push(("max_antecedent", Json::Num(query.max_antecedent as f64)));
+                pairs.push(("max_consequent", Json::Num(query.max_consequent as f64)));
+                pairs.push(("max_rules", Json::Num(query.max_rules as f64)));
+                pairs.push(("max_pair_work", Json::Num(query.max_pair_work as f64)));
+                Json::obj(pairs)
+            }
+            Request::Clusters => verb_only("clusters"),
+            Request::Stats => verb_only("stats"),
+            Request::Snapshot => verb_only("snapshot"),
+            Request::Shutdown => verb_only("shutdown"),
+        }
+    }
+}
+
+fn verb_only(verb: &str) -> Json {
+    Json::obj(vec![("verb", Json::Str(verb.into()))])
+}
+
+fn parse_query(value: &Json) -> Result<RuleQuery, String> {
+    let mut query = RuleQuery::default();
+    if let Some(v) = value.get("density_factor") {
+        let factor = v.as_f64().ok_or("density_factor must be a number")?;
+        query.density = DensitySpec::Auto { factor };
+    }
+    if let Some(v) = value.get("density") {
+        let items = v.as_array().ok_or("density must be an array")?;
+        let thresholds: Result<Vec<f64>, &str> =
+            items.iter().map(|t| t.as_f64().ok_or("density entries must be numbers")).collect();
+        query.density = DensitySpec::Explicit(thresholds?);
+    }
+    if let Some(v) = value.get("degree_factor") {
+        query.degree_factor = v.as_f64().ok_or("degree_factor must be a number")?;
+    }
+    for (key, slot) in [
+        ("max_antecedent", &mut query.max_antecedent),
+        ("max_consequent", &mut query.max_consequent),
+        ("max_rules", &mut query.max_rules),
+    ] {
+        if let Some(v) = value.get(key) {
+            *slot =
+                v.as_u64().ok_or_else(|| format!("{key} must be a non-negative integer"))? as usize;
+        }
+    }
+    if let Some(v) = value.get("max_pair_work") {
+        query.max_pair_work = v.as_u64().ok_or("max_pair_work must be a non-negative integer")?;
+    }
+    Ok(query)
+}
+
+/// A structured error response: `{"ok":false,"error":…,"message":…}`.
+pub fn error_response(code: &str, message: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(code.into())),
+        ("message", Json::Str(message.into())),
+    ])
+}
+
+/// The `ingest` success response.
+pub fn ingest_response(tuples: u64, total: u64) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("verb", Json::Str("ingest".into())),
+        ("tuples", Json::Num(tuples as f64)),
+        ("total", Json::Num(total as f64)),
+    ])
+}
+
+/// The `query` success response, including the full rule set.
+///
+/// Rules are encoded in the engine's deterministic order (sorted by
+/// degree, then antecedent, then consequent), so two equal rule sets
+/// produce byte-identical lines.
+pub fn query_response(outcome: &QueryOutcome) -> Json {
+    let rules: Vec<Json> = outcome
+        .rules
+        .iter()
+        .map(|rule| {
+            Json::obj(vec![
+                (
+                    "antecedent",
+                    Json::Arr(rule.antecedent.iter().map(|&i| Json::Num(i as f64)).collect()),
+                ),
+                (
+                    "consequent",
+                    Json::Arr(rule.consequent.iter().map(|&i| Json::Num(i as f64)).collect()),
+                ),
+                ("degree", Json::Num(rule.degree)),
+                ("min_support", Json::Num(rule.min_cluster_support as f64)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("verb", Json::Str("query".into())),
+        ("epoch", Json::Num(outcome.epoch as f64)),
+        ("s0", Json::Num(outcome.s0 as f64)),
+        ("cached", Json::Bool(outcome.cached)),
+        ("truncated", Json::Bool(outcome.truncated)),
+        ("rules", Json::Arr(rules)),
+    ])
+}
+
+/// The `clusters` success response: the epoch's cluster summaries.
+pub fn clusters_response(epoch: u64, clusters: &[ClusterSummary]) -> Json {
+    let items: Vec<Json> = clusters
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("id", Json::Num(c.id.0 as f64)),
+                ("set", Json::Num(c.set as f64)),
+                ("support", Json::Num(c.support() as f64)),
+                ("diameter", Json::Num(c.diameter())),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("verb", Json::Str("clusters".into())),
+        ("epoch", Json::Num(epoch as f64)),
+        ("clusters", Json::Arr(items)),
+    ])
+}
+
+/// The `snapshot` success response.
+pub fn snapshot_response(epoch: u64, tuples: u64, path: Option<&str>) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("verb", Json::Str("snapshot".into())),
+        ("epoch", Json::Num(epoch as f64)),
+        ("tuples", Json::Num(tuples as f64)),
+        ("path", path.map_or(Json::Null, |p| Json::Str(p.into()))),
+    ])
+}
+
+/// The `shutdown` acknowledgement.
+pub fn shutdown_response() -> Json {
+    Json::obj(vec![("ok", Json::Bool(true)), ("verb", Json::Str("shutdown".into()))])
+}
+
+/// The engine half of the `stats` response.
+pub fn engine_stats_json(stats: &EngineStats, shared_read_hits: u64) -> Json {
+    Json::obj(vec![
+        ("tuples_ingested", Json::Num(stats.tuples_ingested as f64)),
+        ("batches", Json::Num(stats.batches as f64)),
+        ("rejected_batches", Json::Num(stats.rejected_batches as f64)),
+        ("epochs", Json::Num(stats.epochs as f64)),
+        ("forest_rebuilds", Json::Num(stats.forest_rebuilds as f64)),
+        ("queries", Json::Num(stats.queries as f64)),
+        ("cache_hits", Json::Num(stats.cache_hits as f64)),
+        ("cache_misses", Json::Num(stats.cache_misses as f64)),
+        // Cache hits served lock-free through the read path, on top of the
+        // engine's own (write-path) counters.
+        ("shared_read_hits", Json::Num(shared_read_hits as f64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn requests_round_trip_through_the_codec() {
+        let requests = vec![
+            Request::Ingest { rows: vec![vec![1.0, 2.5], vec![-3.0, 0.0]] },
+            Request::Query {
+                query: RuleQuery {
+                    density: DensitySpec::Explicit(vec![1.25, 2.5]),
+                    degree_factor: 3.0,
+                    max_antecedent: 2,
+                    max_consequent: 1,
+                    max_rules: 500,
+                    max_pair_work: 1_000,
+                },
+            },
+            Request::Query { query: RuleQuery::default() },
+            Request::Clusters,
+            Request::Stats,
+            Request::Snapshot,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = request.to_json().encode();
+            let back = Request::from_json(&parse(&line).unwrap()).unwrap();
+            assert_eq!(back, request, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_named() {
+        for (line, needle) in [
+            ("{}", "verb"),
+            (r#"{"verb":"frobnicate"}"#, "frobnicate"),
+            (r#"{"verb":"ingest"}"#, "rows"),
+            (r#"{"verb":"ingest","rows":[[1],"x"]}"#, "row 1"),
+            (r#"{"verb":"query","degree_factor":"big"}"#, "degree_factor"),
+            (r#"{"verb":"query","max_rules":-1}"#, "max_rules"),
+        ] {
+            let err = Request::from_json(&parse(line).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{line} → {err}");
+        }
+    }
+
+    #[test]
+    fn error_responses_are_structured() {
+        let e = error_response("overloaded", "accept queue is full");
+        assert!(!e.get("ok").unwrap().as_bool().unwrap());
+        assert_eq!(e.get("error").unwrap().as_str().unwrap(), "overloaded");
+    }
+}

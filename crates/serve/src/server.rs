@@ -1,0 +1,428 @@
+//! The multi-threaded TCP server: a fixed worker pool behind a bounded
+//! accept queue, serving the newline-delimited JSON protocol over a
+//! [`SharedEngine`].
+//!
+//! Concurrency model (`std::net` + `std::thread` only):
+//!
+//! * one **acceptor** thread pushes accepted sockets into a bounded
+//!   `sync_channel`; when the queue is full the connection is *refused
+//!   with a structured error* rather than queued unboundedly
+//!   (backpressure, counted in
+//!   [`ServerStats::rejected_connections`](crate::ServerStats));
+//! * `threads` **workers** pop connections and serve requests line by
+//!   line under per-connection read/write timeouts — `query`/`stats`
+//!   answer under the engine's read lock (cached Phase II), `ingest`/
+//!   `snapshot` take the write lock;
+//! * an optional **snapshotter** thread persists the epoch to disk every
+//!   `snapshot_interval`;
+//! * **graceful shutdown** via a shutdown pipe (an atomic flag plus a
+//!   self-connection to unblock `accept`): triggered by
+//!   [`ServerHandle::shutdown`] or the wire verb `shutdown`, it stops
+//!   accepting, drains queued connections, joins every thread, closes the
+//!   epoch, and writes a final snapshot.
+
+use crate::json::{self, Json};
+use crate::protocol::{self, Request};
+use crate::shared::SharedEngine;
+use crate::stats::{ServerStats, StatsSnapshot};
+use dar_engine::DarEngine;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker pool size.
+    pub threads: usize,
+    /// Bounded accept queue depth; a full queue refuses new connections
+    /// with a structured `overloaded` error.
+    pub queue_depth: usize,
+    /// Per-connection read timeout (an idle client is disconnected).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Where `snapshot` requests, the periodic snapshotter, and the final
+    /// shutdown snapshot write the epoch.
+    pub snapshot_path: Option<PathBuf>,
+    /// Periodic snapshot-to-disk interval (requires `snapshot_path`).
+    pub snapshot_interval: Option<Duration>,
+    /// Whether the wire verb `shutdown` may stop the server (on by
+    /// default; operators driving the server from scripts need it).
+    pub allow_remote_shutdown: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 4,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            snapshot_path: None,
+            snapshot_interval: None,
+            allow_remote_shutdown: true,
+        }
+    }
+}
+
+/// The shutdown pipe: an atomic flag plus the listener's own address, so
+/// `trigger` can unblock the acceptor's blocking `accept` with a
+/// self-connection (the SIGINT-equivalent in a std-only server).
+struct ShutdownSignal {
+    flag: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl ShutdownSignal {
+    fn is_set(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    fn trigger(&self) {
+        if self.flag.swap(true, Ordering::SeqCst) {
+            return; // already shutting down
+        }
+        // Wake the acceptor out of accept(2).
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+    }
+}
+
+/// Everything a worker needs to serve one connection.
+struct WorkerCtx {
+    shared: Arc<SharedEngine>,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<ShutdownSignal>,
+    config: ServeConfig,
+}
+
+/// The running server's entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:7878"`, port 0 for ephemeral) and
+    /// starts the acceptor, the worker pool, and (if configured) the
+    /// snapshotter. Returns immediately with a handle; the server runs on
+    /// background threads until [`ServerHandle::shutdown`] or a wire
+    /// `shutdown` request.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn start(engine: DarEngine, addr: &str, config: ServeConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(SharedEngine::new(engine));
+        let stats = Arc::new(ServerStats::default());
+        let shutdown = Arc::new(ShutdownSignal { flag: AtomicBool::new(false), addr: local_addr });
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::with_capacity(config.threads.max(1));
+        for worker_id in 0..config.threads.max(1) {
+            let rx = Arc::clone(&rx);
+            let ctx = WorkerCtx {
+                shared: Arc::clone(&shared),
+                stats: Arc::clone(&stats),
+                shutdown: Arc::clone(&shutdown),
+                config: config.clone(),
+            };
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("dar-serve-worker-{worker_id}"))
+                    .spawn(move || worker_loop(&rx, &ctx))?,
+            );
+        }
+
+        let acceptor = {
+            let stats = Arc::clone(&stats);
+            let shutdown = Arc::clone(&shutdown);
+            let write_timeout = config.write_timeout;
+            std::thread::Builder::new().name("dar-serve-acceptor".into()).spawn(move || {
+                accept_loop(&listener, &tx, &stats, &shutdown, write_timeout);
+                // Dropping `tx` here lets workers drain the queue and exit.
+            })?
+        };
+
+        let snapshotter = match (&config.snapshot_path, config.snapshot_interval) {
+            (Some(path), Some(interval)) => {
+                let shared = Arc::clone(&shared);
+                let stats = Arc::clone(&stats);
+                let shutdown = Arc::clone(&shutdown);
+                let path = path.clone();
+                Some(std::thread::Builder::new().name("dar-serve-snapshotter".into()).spawn(
+                    move || {
+                        let mut last = Instant::now();
+                        while !shutdown.is_set() {
+                            std::thread::sleep(Duration::from_millis(25));
+                            if last.elapsed() >= interval {
+                                let _ = write_snapshot_file(&shared, &path, &stats);
+                                last = Instant::now();
+                            }
+                        }
+                    },
+                )?)
+            }
+            _ => None,
+        };
+
+        Ok(ServerHandle {
+            addr: local_addr,
+            shared,
+            stats,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+            snapshotter,
+            snapshot_path: config.snapshot_path,
+        })
+    }
+}
+
+/// A handle to a running server: its address, shared state for
+/// inspection, and the shutdown/join lifecycle.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<SharedEngine>,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<ShutdownSignal>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    snapshotter: Option<JoinHandle<()>>,
+    snapshot_path: Option<PathBuf>,
+}
+
+/// What a graceful shutdown left behind.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Final server counters.
+    pub stats: StatsSnapshot,
+    /// Where the final epoch snapshot was written, if a path was
+    /// configured.
+    pub snapshot_path: Option<PathBuf>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared engine, for in-process inspection alongside the server.
+    pub fn shared(&self) -> &Arc<SharedEngine> {
+        &self.shared
+    }
+
+    /// A point-in-time copy of the server counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Triggers graceful shutdown (idempotent): stop accepting, drain the
+    /// queue, let in-flight connections finish.
+    pub fn shutdown(&self) {
+        self.shutdown.trigger();
+    }
+
+    /// Waits for every thread to exit, closes the epoch, writes the final
+    /// snapshot (if a path is configured), and returns the final
+    /// counters. Call [`ServerHandle::shutdown`] first — or let a wire
+    /// `shutdown` request arrive — or this blocks until one happens.
+    ///
+    /// # Errors
+    /// Propagates final-snapshot I/O failures (the threads are already
+    /// down by then).
+    pub fn join(mut self) -> io::Result<ServeSummary> {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(snapshotter) = self.snapshotter.take() {
+            let _ = snapshotter.join();
+        }
+        if let Some(path) = &self.snapshot_path {
+            write_snapshot_file(&self.shared, path, &self.stats)?;
+        }
+        Ok(ServeSummary { stats: self.stats.snapshot(), snapshot_path: self.snapshot_path })
+    }
+}
+
+fn write_snapshot_file(
+    shared: &SharedEngine,
+    path: &std::path::Path,
+    stats: &ServerStats,
+) -> io::Result<()> {
+    let (text, _, _) =
+        shared.snapshot().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, text)?;
+    stats.snapshots_written.fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &std::sync::mpsc::SyncSender<TcpStream>,
+    stats: &ServerStats,
+    shutdown: &ShutdownSignal,
+    write_timeout: Duration,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shutdown.is_set() {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shutdown.is_set() {
+            break; // the wake-up self-connection (or a late client)
+        }
+        match tx.try_send(stream) {
+            Ok(()) => {
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(stream)) => {
+                stats.rejected_connections.fetch_add(1, Ordering::Relaxed);
+                refuse(stream, write_timeout);
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+}
+
+/// Backpressure: tell the refused client why, then hang up.
+fn refuse(stream: TcpStream, write_timeout: Duration) {
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    let mut writer = BufWriter::new(stream);
+    let line = protocol::error_response("overloaded", "accept queue is full, retry later").encode();
+    let _ = writeln!(writer, "{line}");
+    let _ = writer.flush();
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &WorkerCtx) {
+    loop {
+        // Hold the lock only for the pop, never while serving.
+        let stream = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(poisoned) => poisoned.into_inner().recv(),
+        };
+        match stream {
+            Ok(stream) => {
+                let _ = serve_connection(stream, ctx);
+            }
+            Err(_) => break, // acceptor gone and queue drained
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, ctx: &WorkerCtx) -> io::Result<()> {
+    stream.set_read_timeout(Some(ctx.config.read_timeout))?;
+    stream.set_write_timeout(Some(ctx.config.write_timeout))?;
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break, // timeout, reset, or EOF mid-line
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        let (response, shutdown_after) = handle_line(&line, ctx);
+        writeln!(writer, "{}", response.encode())?;
+        writer.flush()?;
+        ctx.stats.record_latency(started.elapsed());
+        if shutdown_after {
+            ctx.shutdown.trigger();
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Dispatches one request line; returns the response and whether the
+/// server should shut down after it is written.
+fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, bool) {
+    let request = match json::parse(line) {
+        Ok(value) => match Request::from_json(&value) {
+            Ok(request) => request,
+            Err(message) => return (error(ctx, "bad-request", &message), false),
+        },
+        Err(e) => return (error(ctx, "bad-json", &e.to_string()), false),
+    };
+    let count = |counter: &std::sync::atomic::AtomicU64| {
+        counter.fetch_add(1, Ordering::Relaxed);
+    };
+    match request {
+        Request::Ingest { rows } => match ctx.shared.ingest(&rows) {
+            Ok(total) => {
+                count(&ctx.stats.ingest_requests);
+                (protocol::ingest_response(rows.len() as u64, total), false)
+            }
+            Err(e) => (error(ctx, "rejected", &e.to_string()), false),
+        },
+        Request::Query { query } => match ctx.shared.query(&query) {
+            Ok(outcome) => {
+                count(&ctx.stats.query_requests);
+                (protocol::query_response(&outcome), false)
+            }
+            Err(e) => (error(ctx, "bad-query", &e.to_string()), false),
+        },
+        Request::Clusters => {
+            count(&ctx.stats.clusters_requests);
+            let (epoch, clusters) = ctx.shared.clusters();
+            (protocol::clusters_response(epoch, &clusters), false)
+        }
+        Request::Stats => {
+            count(&ctx.stats.stats_requests);
+            let (engine_stats, read_hits) = ctx.shared.stats();
+            let response = Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("verb", Json::Str("stats".into())),
+                ("server", ctx.stats.snapshot().to_json()),
+                ("engine", protocol::engine_stats_json(&engine_stats, read_hits)),
+            ]);
+            (response, false)
+        }
+        Request::Snapshot => match ctx.shared.snapshot() {
+            Ok((text, epoch, tuples)) => {
+                count(&ctx.stats.snapshot_requests);
+                let path = match &ctx.config.snapshot_path {
+                    Some(path) => {
+                        if let Err(e) = std::fs::write(path, &text) {
+                            return (error(ctx, "io", &e.to_string()), false);
+                        }
+                        ctx.stats.snapshots_written.fetch_add(1, Ordering::Relaxed);
+                        Some(path.display().to_string())
+                    }
+                    None => None,
+                };
+                (protocol::snapshot_response(epoch, tuples, path.as_deref()), false)
+            }
+            Err(e) => (error(ctx, "snapshot", &e.to_string()), false),
+        },
+        Request::Shutdown => {
+            if ctx.config.allow_remote_shutdown {
+                count(&ctx.stats.shutdown_requests);
+                (protocol::shutdown_response(), true)
+            } else {
+                (error(ctx, "forbidden", "remote shutdown is disabled"), false)
+            }
+        }
+    }
+}
+
+fn error(ctx: &WorkerCtx, code: &str, message: &str) -> Json {
+    ctx.stats.error_responses.fetch_add(1, Ordering::Relaxed);
+    protocol::error_response(code, message)
+}

@@ -1,0 +1,157 @@
+//! The epoch-aware concurrency wrapper around [`DarEngine`].
+//!
+//! Theorem 6.1 makes the engine naturally read-concurrent: once an epoch
+//! is closed, a query is a pure function of the cached ACF summaries and
+//! Phase II artifacts. [`SharedEngine`] turns that into an `RwLock`
+//! discipline — many readers answer re-tuned queries from the cached
+//! cliques in parallel through [`DarEngine::query_cached`]; the write lock
+//! is taken only to ingest, close an epoch, build a missing density
+//! setting, or snapshot.
+
+use dar_core::{ClusterSummary, CoreError};
+use dar_engine::{DarEngine, EngineStats, QueryOutcome};
+use mining::RuleQuery;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A [`DarEngine`] shared between one writer path and many reader
+/// threads.
+pub struct SharedEngine {
+    engine: RwLock<DarEngine>,
+    /// Queries answered entirely under the read lock (the engine's own
+    /// counters need `&mut`, so the read path keeps its tally here).
+    read_hits: AtomicU64,
+}
+
+impl SharedEngine {
+    /// Wraps an engine for shared use.
+    pub fn new(engine: DarEngine) -> Self {
+        SharedEngine { engine: RwLock::new(engine), read_hits: AtomicU64::new(0) }
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, DarEngine> {
+        self.engine.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, DarEngine> {
+        self.engine.write().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Answers a rule query, preferring the concurrent read path: when the
+    /// epoch is closed and this density setting is cached, any number of
+    /// threads answer in parallel without blocking each other (or the
+    /// writer's next batch). Only an open epoch or an unseen density
+    /// setting takes the write lock to build — after which every later
+    /// query at that setting is a shared read again.
+    ///
+    /// # Errors
+    /// Propagates arity errors from explicit density thresholds.
+    pub fn query(&self, query: &RuleQuery) -> Result<QueryOutcome, CoreError> {
+        {
+            let engine = self.read();
+            if let Some(outcome) = engine.query_cached(query)? {
+                self.read_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(outcome);
+            }
+        }
+        // Between dropping the read lock and acquiring the write lock the
+        // world may change (another builder, another ingest) — the full
+        // query path handles every interleaving and re-checks its cache.
+        self.write().query(query)
+    }
+
+    /// Ingests a batch (single-writer path), returning the engine's total
+    /// tuple count after the batch.
+    ///
+    /// # Errors
+    /// Validation errors from [`DarEngine::ingest`]; the batch is rejected
+    /// whole and the engine is untouched.
+    pub fn ingest(&self, rows: &[Vec<f64>]) -> Result<u64, CoreError> {
+        let mut engine = self.write();
+        engine.ingest(rows)?;
+        Ok(engine.tuples())
+    }
+
+    /// Closes the current epoch (if open) and serializes it, returning
+    /// `(text, epoch, tuples)`.
+    ///
+    /// # Errors
+    /// Serialization errors from [`DarEngine::snapshot`].
+    pub fn snapshot(&self) -> Result<(String, u64, u64), CoreError> {
+        let mut engine = self.write();
+        let text = engine.snapshot()?;
+        Ok((text, engine.epoch(), engine.tuples()))
+    }
+
+    /// The current epoch's cluster summaries (closing the epoch if
+    /// needed), with the epoch number they belong to.
+    pub fn clusters(&self) -> (u64, Vec<ClusterSummary>) {
+        let mut engine = self.write();
+        let clusters = engine.clusters().to_vec();
+        (engine.epoch(), clusters)
+    }
+
+    /// Engine counters plus the read-path hit tally.
+    pub fn stats(&self) -> (EngineStats, u64) {
+        (self.read().stats(), self.read_hits.load(Ordering::Relaxed))
+    }
+
+    /// Cache hits served entirely under the read lock.
+    pub fn read_hits(&self) -> u64 {
+        self.read_hits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dar_core::{Metric, Partitioning, Schema};
+    use dar_engine::EngineConfig;
+
+    fn shared() -> SharedEngine {
+        let schema = Schema::interval_attrs(2);
+        let partitioning = Partitioning::per_attribute(&schema, Metric::Euclidean);
+        let mut config = EngineConfig::default();
+        config.birch.initial_threshold = 1.0;
+        config.min_support_frac = 0.2;
+        SharedEngine::new(DarEngine::new(partitioning, config).unwrap())
+    }
+
+    fn rows(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let block = if i % 2 == 0 { 0.0 } else { 50.0 };
+                vec![block, block + 10.0]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_query_builds_then_readers_hit() {
+        let shared = shared();
+        assert_eq!(shared.ingest(&rows(40)).unwrap(), 40);
+        let q = RuleQuery::default();
+        let first = shared.query(&q).unwrap();
+        assert!(!first.cached);
+        assert_eq!(shared.read_hits(), 0);
+        let again = shared.query(&q).unwrap();
+        assert!(again.cached);
+        assert_eq!(again.rules, first.rules);
+        assert_eq!(shared.read_hits(), 1);
+        let (stats, read_hits) = shared.stats();
+        assert_eq!(stats.queries, 1, "the read path bypasses engine counters");
+        assert_eq!(read_hits, 1);
+    }
+
+    #[test]
+    fn ingest_reopens_the_epoch_for_everyone() {
+        let shared = shared();
+        shared.ingest(&rows(40)).unwrap();
+        let q = RuleQuery::default();
+        let before = shared.query(&q).unwrap();
+        shared.ingest(&rows(40)).unwrap();
+        let after = shared.query(&q).unwrap();
+        assert!(after.epoch > before.epoch);
+        assert!(!after.cached);
+    }
+}

@@ -1,0 +1,202 @@
+//! Server observability: lock-free counters plus a bounded latency
+//! reservoir, exposed over the wire via the `stats` verb.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How many request latencies the reservoir keeps. Once full, new samples
+/// overwrite old ones round-robin, so the percentiles track recent load.
+const LATENCY_CAPACITY: usize = 8192;
+
+/// Shared, thread-safe server counters. Every field is updated lock-free
+/// except the latency reservoir (a short critical section per request).
+#[derive(Default)]
+pub struct ServerStats {
+    /// Connections accepted and handed to the worker pool.
+    pub connections: AtomicU64,
+    /// Connections refused because the bounded accept queue was full
+    /// (each received a structured `overloaded` error before close).
+    pub rejected_connections: AtomicU64,
+    /// `ingest` requests served.
+    pub ingest_requests: AtomicU64,
+    /// `query` requests served.
+    pub query_requests: AtomicU64,
+    /// `clusters` requests served.
+    pub clusters_requests: AtomicU64,
+    /// `stats` requests served.
+    pub stats_requests: AtomicU64,
+    /// `snapshot` requests served.
+    pub snapshot_requests: AtomicU64,
+    /// `shutdown` requests served.
+    pub shutdown_requests: AtomicU64,
+    /// Requests that produced a structured error response (parse errors,
+    /// unknown verbs, engine rejections).
+    pub error_responses: AtomicU64,
+    /// Snapshots written to disk (periodic + final).
+    pub snapshots_written: AtomicU64,
+    latencies: Mutex<LatencyReservoir>,
+}
+
+#[derive(Default)]
+struct LatencyReservoir {
+    samples_us: Vec<u64>,
+    next: usize,
+    total: u64,
+}
+
+impl ServerStats {
+    /// Records one request's wall-clock latency.
+    pub fn record_latency(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let mut r = self.latencies.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        r.total += 1;
+        if r.samples_us.len() < LATENCY_CAPACITY {
+            r.samples_us.push(us);
+        } else {
+            let slot = r.next;
+            r.samples_us[slot] = us;
+            r.next = (slot + 1) % LATENCY_CAPACITY;
+        }
+    }
+
+    /// A consistent point-in-time copy of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let (p50_us, p99_us, requests_sampled) = {
+            let r = self.latencies.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            let mut sorted = r.samples_us.clone();
+            sorted.sort_unstable();
+            (percentile(&sorted, 0.50), percentile(&sorted, 0.99), r.total)
+        };
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            connections: get(&self.connections),
+            rejected_connections: get(&self.rejected_connections),
+            ingest_requests: get(&self.ingest_requests),
+            query_requests: get(&self.query_requests),
+            clusters_requests: get(&self.clusters_requests),
+            stats_requests: get(&self.stats_requests),
+            snapshot_requests: get(&self.snapshot_requests),
+            shutdown_requests: get(&self.shutdown_requests),
+            error_responses: get(&self.error_responses),
+            snapshots_written: get(&self.snapshots_written),
+            requests_sampled,
+            p50_us,
+            p99_us,
+        }
+    }
+}
+
+fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+/// A plain-value copy of [`ServerStats`], ready to assert on or encode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Connections accepted and handed to the worker pool.
+    pub connections: u64,
+    /// Connections refused by the bounded accept queue.
+    pub rejected_connections: u64,
+    /// `ingest` requests served.
+    pub ingest_requests: u64,
+    /// `query` requests served.
+    pub query_requests: u64,
+    /// `clusters` requests served.
+    pub clusters_requests: u64,
+    /// `stats` requests served.
+    pub stats_requests: u64,
+    /// `snapshot` requests served.
+    pub snapshot_requests: u64,
+    /// `shutdown` requests served.
+    pub shutdown_requests: u64,
+    /// Structured error responses sent.
+    pub error_responses: u64,
+    /// Snapshots written to disk.
+    pub snapshots_written: u64,
+    /// Requests whose latency was recorded (lifetime, not just the
+    /// reservoir window).
+    pub requests_sampled: u64,
+    /// Median request latency over the reservoir window, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency over the reservoir window,
+    /// microseconds.
+    pub p99_us: u64,
+}
+
+impl StatsSnapshot {
+    /// Total requests served across all verbs (excluding refused
+    /// connections, which never reach a worker).
+    pub fn total_requests(&self) -> u64 {
+        self.ingest_requests
+            + self.query_requests
+            + self.clusters_requests
+            + self.stats_requests
+            + self.snapshot_requests
+            + self.shutdown_requests
+    }
+
+    /// The server half of the `stats` response.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("connections", Json::Num(self.connections as f64)),
+            ("rejected_connections", Json::Num(self.rejected_connections as f64)),
+            ("ingest_requests", Json::Num(self.ingest_requests as f64)),
+            ("query_requests", Json::Num(self.query_requests as f64)),
+            ("clusters_requests", Json::Num(self.clusters_requests as f64)),
+            ("stats_requests", Json::Num(self.stats_requests as f64)),
+            ("snapshot_requests", Json::Num(self.snapshot_requests as f64)),
+            ("shutdown_requests", Json::Num(self.shutdown_requests as f64)),
+            ("error_responses", Json::Num(self.error_responses as f64)),
+            ("snapshots_written", Json::Num(self.snapshots_written as f64)),
+            ("p50_us", Json::Num(self.p50_us as f64)),
+            ("p99_us", Json::Num(self.p99_us as f64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_percentiles_track_samples() {
+        let stats = ServerStats::default();
+        assert_eq!(stats.snapshot().p99_us, 0, "empty reservoir reports zeros");
+        for ms in 1..=100u64 {
+            stats.record_latency(Duration::from_millis(ms));
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.requests_sampled, 100);
+        assert!((49_000..=52_000).contains(&snap.p50_us), "p50 = {}", snap.p50_us);
+        assert!((98_000..=100_000).contains(&snap.p99_us), "p99 = {}", snap.p99_us);
+        assert!(snap.p50_us <= snap.p99_us);
+    }
+
+    #[test]
+    fn reservoir_overwrites_round_robin_past_capacity() {
+        let stats = ServerStats::default();
+        for _ in 0..(LATENCY_CAPACITY + 500) {
+            stats.record_latency(Duration::from_micros(7));
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.requests_sampled, (LATENCY_CAPACITY + 500) as u64);
+        assert_eq!(snap.p50_us, 7);
+    }
+
+    #[test]
+    fn snapshot_encodes_and_totals() {
+        let stats = ServerStats::default();
+        stats.query_requests.fetch_add(3, Ordering::Relaxed);
+        stats.ingest_requests.fetch_add(1, Ordering::Relaxed);
+        let snap = stats.snapshot();
+        assert_eq!(snap.total_requests(), 4);
+        let json = snap.to_json();
+        assert_eq!(json.get("query_requests").unwrap().as_u64(), Some(3));
+    }
+}
