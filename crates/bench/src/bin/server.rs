@@ -19,7 +19,7 @@
 use dar_bench::{print_table, secs, time};
 use dar_core::{Metric, Partitioning, Schema};
 use dar_engine::{DarEngine, EngineConfig};
-use dar_serve::{json::Json, Client, ServeConfig, Server, ServerHandle};
+use dar_serve::{json::Json, Backoff, Client, ServeConfig, Server, ServerHandle};
 use mining::RuleQuery;
 use std::time::Duration;
 
@@ -174,19 +174,29 @@ fn main() {
                 let batch_size = opts.batch_size / 4;
                 std::thread::spawn(move || {
                     let mut client = connect(&addr);
+                    // Distinct seeds decorrelate the clients' retry jitter,
+                    // so a refused burst doesn't re-arrive in lockstep.
+                    let backoff = Backoff { seed: c as u64, ..Backoff::default() };
                     let mut served = 0u64;
                     for i in 0..per_client {
                         // One request in eight is an ingest (client 0 only:
                         // the single-writer path), the rest are re-tuned
-                        // queries racing on the shared epoch.
+                        // queries racing on the shared epoch. Transient
+                        // `overloaded`/`degraded` refusals back off and
+                        // retry instead of failing the run.
                         if c == 0 && i % 8 == 3 {
-                            client.ingest(rows(batch_size, 1_000_000 + i * batch_size)).unwrap();
+                            client
+                                .ingest_with_retry(
+                                    rows(batch_size, 1_000_000 + i * batch_size),
+                                    &backoff,
+                                )
+                                .unwrap();
                         } else {
                             let q = RuleQuery {
                                 degree_factor: 1.5 + 0.1 * ((c + i) % 10) as f64,
                                 ..RuleQuery::default()
                             };
-                            client.query(q).unwrap();
+                            client.query_with_retry(q, &backoff).unwrap();
                         }
                         served += 1;
                     }

@@ -60,7 +60,15 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             }
         }
         let text = mining::persist::write_clusters(&summaries)?;
-        std::fs::write(path, text)?;
+        // Sealed + atomic: the file carries a checksum footer that
+        // `read_clusters` verifies, and a crash never leaves a torn file.
+        dar_durable::snapshot::install(
+            &dar_durable::DiskStorage,
+            std::path::Path::new(path),
+            &text,
+            0,
+        )
+        .map_err(|e| CliError::new(e.to_string()))?;
         let _ = writeln!(out, "saved {} cluster summaries to {path}", summaries.len());
     }
     Ok(out)

@@ -84,7 +84,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             relation.schema(),
             &partitioning,
         );
-        std::fs::write(path, tsv)?;
+        crate::commands::atomic_write(path, &tsv)?;
         let _ = writeln!(out, "wrote {} rules to {path}", result.rules.len());
     }
     Ok(out)

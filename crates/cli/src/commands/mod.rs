@@ -9,3 +9,25 @@ pub mod session;
 pub mod stats;
 
 pub(crate) use crate::data::{default_partitioning, load};
+
+use crate::CliError;
+use dar_durable::{DiskStorage, Storage};
+use std::path::{Path, PathBuf};
+
+/// Writes `text` to `path` atomically: tmp file, fsync, rename over the
+/// target, directory fsync. A crash mid-write leaves either the old file
+/// or the new one, never a torn mix.
+pub(crate) fn atomic_write(path: impl AsRef<Path>, text: &str) -> Result<(), CliError> {
+    let path = path.as_ref();
+    let storage = DiskStorage;
+    let mut tmp = PathBuf::from(path.as_os_str().to_os_string());
+    tmp.as_mut_os_string().push(".tmp");
+    let step = |op: &str, e: std::io::Error| CliError::new(format!("{op} {}: {e}", path.display()));
+    storage.write(&tmp, text.as_bytes()).map_err(|e| step("write", e))?;
+    storage.sync_file(&tmp).map_err(|e| step("sync", e))?;
+    storage.rename(&tmp, path).map_err(|e| step("rename", e))?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        storage.sync_dir(dir).map_err(|e| step("sync dir", e))?;
+    }
+    Ok(())
+}

@@ -9,22 +9,52 @@
 //!
 //! ```text
 //! dar serve --addr 127.0.0.1:7878 --attrs 3 --threads 4 \
-//!     --snapshot-path epoch.snap --snapshot-secs 30
+//!     --snapshot-path epoch.snap --snapshot-secs 30 --wal-path ingest.wal
 //! ```
+//!
+//! With `--wal-path` and/or `--snapshot-path`, boot first *recovers*:
+//! the newest verifiable snapshot is restored (corrupt slots are skipped
+//! for the previous good one) and the WAL suffix is replayed, so a
+//! killed server restarts with every acknowledged batch intact.
 
 use crate::args::Args;
 use crate::data::parse_cluster_metric;
 use crate::CliError;
 use dar_core::{Metric, Partitioning, Schema};
 use dar_engine::{DarEngine, EngineConfig};
-use dar_serve::{ServeConfig, ServeSummary, Server};
+use dar_serve::{recover_engine, ServeConfig, ServeSummary, Server};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Runs the command: serve until a wire `shutdown`, then report.
+/// Runs the command: recover, serve until a wire `shutdown`, then report.
 pub fn run(args: &Args) -> Result<String, CliError> {
     let addr = args.required("addr")?.to_string();
-    let (engine, serve_config) = build(args)?;
+    let (mut engine, serve_config) = build(args)?;
+    if serve_config.snapshot_path.is_some() || serve_config.wal_path.is_some() {
+        let (recovered, report) = recover_engine(
+            engine,
+            Arc::clone(&serve_config.storage),
+            serve_config.snapshot_path.as_deref(),
+            serve_config.wal_path.as_deref(),
+        )
+        .map_err(|e| CliError::new(format!("recovery: {e}")))?;
+        engine = recovered;
+        eprintln!(
+            "dar serve: recovered {} tuples (snapshot: {}, wal batches replayed: {}{})",
+            engine.tuples(),
+            report.snapshot_source.map_or_else(|| "none".into(), |s| format!("{s:?}")),
+            report.wal_batches_replayed,
+            if report.degraded_artifacts() {
+                format!(
+                    ", routed around damage: {} corrupt snapshot(s), {} torn tail byte(s)",
+                    report.corrupt_snapshots_skipped, report.wal_tail_dropped_bytes
+                )
+            } else {
+                String::new()
+            },
+        );
+    }
     let handle = Server::start(engine, &addr, serve_config)
         .map_err(|e| CliError::new(format!("bind {addr}: {e}")))?;
     // Announce on stderr immediately — stdout is the post-shutdown report.
@@ -70,7 +100,8 @@ pub fn build(args: &Args) -> Result<(DarEngine, ServeConfig), CliError> {
             0 => None,
             secs => Some(Duration::from_secs(secs)),
         },
-        allow_remote_shutdown: true,
+        wal_path: args.optional("wal-path").map(std::path::PathBuf::from),
+        ..ServeConfig::default()
     };
     if serve_config.snapshot_interval.is_some() && serve_config.snapshot_path.is_none() {
         return Err(CliError::new("--snapshot-secs requires --snapshot-path"));
@@ -134,6 +165,8 @@ mod tests {
             "500",
             "--initial-threshold",
             "1.5",
+            "--wal-path",
+            "ingest.wal",
         ]))
         .unwrap();
         let (engine, config) = build(&args).unwrap();
@@ -142,6 +175,7 @@ mod tests {
         assert_eq!(config.queue_depth, 8);
         assert_eq!(config.read_timeout, Duration::from_millis(500));
         assert!(config.snapshot_path.is_none());
+        assert_eq!(config.wal_path.as_deref(), Some(std::path::Path::new("ingest.wal")));
     }
 
     #[test]

@@ -16,16 +16,26 @@
 //!
 //! Engine-level flags (fixed for the session): `--support`,
 //! `--threshold-frac`, `--memory-kb`, `--metric d0|d1|d2`.
+//!
+//! With `--wal-path <file>`, every `ingest` batch is committed to a
+//! checksummed write-ahead log before the command reports success, and
+//! snapshots are sealed with the WAL sequence they cover. A later
+//! session with the same `--wal-path` recovers: `ingest` into a fresh
+//! engine first replays every committed batch, and `restore` replays
+//! only the records newer than the snapshot's sealed sequence.
 
 use crate::args::Args;
 use crate::data::{default_partitioning, load, parse_cluster_metric};
 use crate::CliError;
 use dar_core::{suggest_initial_thresholds, Schema};
+use dar_durable::{decode_batch, DiskStorage, DurableStore};
 use dar_engine::{DarEngine, EngineConfig};
 use mining::describe::describe_rule;
 use mining::{DensitySpec, RuleQuery};
 use std::fmt::Write as _;
 use std::io::Read as _;
+use std::path::Path;
+use std::sync::Arc;
 
 /// Runs the command.
 pub fn run(args: &Args) -> Result<String, CliError> {
@@ -51,7 +61,15 @@ struct Session {
     support: f64,
     threshold_frac: f64,
     config: EngineConfig,
+    /// The write-ahead log (`--wal-path`), if configured.
+    store: Option<DurableStore>,
+    /// Every committed WAL record with its sequence — recovered ones plus
+    /// those logged this session — so `restore` can seq-filter its replay.
+    wal_records: Vec<WalBatch>,
 }
+
+/// A committed ingest batch paired with its WAL sequence number.
+type WalBatch = (u64, Vec<Vec<f64>>);
 
 impl Session {
     fn engine(&mut self) -> Result<&mut DarEngine, CliError> {
@@ -59,6 +77,36 @@ impl Session {
             .as_mut()
             .ok_or_else(|| CliError::new("no engine yet: `ingest` or `restore` first"))
     }
+
+    /// Replays WAL records with sequence strictly above `after_seq` into
+    /// `engine`, returning how many batches were applied.
+    fn replay_into(&self, engine: &mut DarEngine, after_seq: u64) -> Result<u64, CliError> {
+        let batches: Vec<Vec<Vec<f64>>> = self
+            .wal_records
+            .iter()
+            .filter(|(seq, _)| *seq > after_seq)
+            .map(|(_, rows)| rows.clone())
+            .collect();
+        Ok(engine.replay_wal(&batches)?)
+    }
+}
+
+/// Opens the WAL and decodes every committed record with its sequence.
+fn open_wal(path: &str) -> Result<(DurableStore, Vec<WalBatch>), CliError> {
+    let storage = Arc::new(DiskStorage);
+    let (store, _) = DurableStore::open(storage, None, Some(path.into()))
+        .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+    // Re-read for the per-record sequences (open has already healed any
+    // torn tail, so every surviving record decodes).
+    let (records, _) = dar_durable::wal::read_records(&DiskStorage, Path::new(path))
+        .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+    let mut decoded = Vec::with_capacity(records.len());
+    for record in records {
+        let rows = decode_batch(&record.body)
+            .map_err(|e| CliError::new(format!("{path}: record seq {}: {e}", record.seq)))?;
+        decoded.push((record.seq, rows));
+    }
+    Ok((store, decoded))
 }
 
 /// Interprets a full script, returning the accumulated output.
@@ -66,12 +114,21 @@ pub fn run_script(script: &str, args: &Args) -> Result<String, CliError> {
     let mut config = EngineConfig::default();
     config.birch.memory_budget = args.number::<usize>("memory-kb", 1024)? << 10;
     config.metric = parse_cluster_metric(args.optional("metric").unwrap_or("d2"))?;
+    let (store, wal_records) = match args.optional("wal-path") {
+        Some(path) => {
+            let (store, records) = open_wal(path)?;
+            (Some(store), records)
+        }
+        None => (None, Vec::new()),
+    };
     let mut session = Session {
         engine: None,
         schema: None,
         support: args.number("support", 0.05)?,
         threshold_frac: args.number("threshold-frac", 0.05)?,
         config,
+        store,
+        wal_records,
     };
 
     let mut out = String::new();
@@ -110,25 +167,56 @@ fn step(
                     &partitioning,
                     session.threshold_frac,
                 )?);
-                session.engine = Some(DarEngine::new(partitioning, config)?);
+                let mut engine = DarEngine::new(partitioning, config)?;
+                // Crash recovery: a fresh engine first replays every batch
+                // a previous session committed to this WAL.
+                let replayed = session.replay_into(&mut engine, 0)?;
+                if replayed > 0 {
+                    let _ = writeln!(
+                        out,
+                        "wal: replayed {replayed} committed batches ({} tuples)",
+                        engine.tuples()
+                    );
+                }
+                session.engine = Some(engine);
             }
             let engine = session.engine.as_mut().expect("just created");
             let rows: Vec<Vec<f64>> = (0..relation.len()).map(|r| relation.row(r)).collect();
             engine.ingest(&rows)?;
             session.schema = Some(relation.schema().clone());
-            let _ =
-                writeln!(out, "ingest {path}: {} tuples (total {})", rows.len(), engine.tuples());
+            let logged = match session.store.as_mut() {
+                // Apply-then-log: the command reports success only once the
+                // batch is both in memory and on the log.
+                Some(store) => {
+                    let seq = store.log_batch(&rows).map_err(|e| CliError::new(e.to_string()))?;
+                    session.wal_records.push((seq, rows.clone()));
+                    format!(", wal seq {seq}")
+                }
+                None => String::new(),
+            };
+            let engine = session.engine.as_ref().expect("just created");
+            let _ = writeln!(
+                out,
+                "ingest {path}: {} tuples (total {}{logged})",
+                rows.len(),
+                engine.tuples()
+            );
         }
         "snapshot" => {
             let [path] = rest else {
                 return Err(CliError::new("usage: snapshot <file.snap>"));
             };
             let text = session.engine()?.snapshot()?;
-            std::fs::write(path, &text)?;
+            // Seal with the last committed WAL sequence (0 without a WAL)
+            // and install atomically — a crash never leaves a torn file,
+            // and a later `restore` replays only newer WAL records.
+            let seq = session.store.as_ref().map_or(0, DurableStore::last_seq);
+            dar_durable::snapshot::install(&DiskStorage, Path::new(path), &text, seq)
+                .map_err(|e| CliError::new(format!("{path}: {e}")))?;
             let engine = session.engine()?;
             let _ = writeln!(
                 out,
-                "snapshot {path}: epoch {} ({} tuples)",
+                "snapshot {path}: epoch {} ({} tuples, sealed at wal seq {seq})",
                 engine.epoch(),
                 engine.tuples()
             );
@@ -139,14 +227,26 @@ fn step(
             };
             let text =
                 std::fs::read_to_string(path).map_err(|e| CliError::new(format!("{path}: {e}")))?;
+            // Lenient unseal: sealed snapshots verify their checksum,
+            // legacy unsealed ones pass through with seq 0.
+            let snapshot_seq = dar_durable::unseal(&text)
+                .map_err(|e| CliError::new(format!("{path}: {e}")))?
+                .1
+                .unwrap_or(0);
             let mut config = session.config.clone();
             config.min_support_frac = session.support;
-            let engine = DarEngine::restore(&text, config)?;
+            let mut engine = DarEngine::restore(&text, config)?;
+            let replayed = session.replay_into(&mut engine, snapshot_seq)?;
             let _ = writeln!(
                 out,
-                "restore {path}: epoch {} ({} tuples)",
+                "restore {path}: epoch {} ({} tuples{})",
                 engine.epoch(),
-                engine.tuples()
+                engine.tuples(),
+                if replayed > 0 {
+                    format!(", {replayed} wal batches replayed")
+                } else {
+                    String::new()
+                },
             );
             session.schema = None;
             session.engine = Some(engine);
@@ -313,6 +413,49 @@ mod tests {
         assert!(out.contains("restore"), "{out}");
         assert!(out.contains("6000 tuples"), "{out}");
         assert!(out.contains('⇒'), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_sessions_recover_committed_batches() {
+        let dir = session_dir("wal_recovery");
+        let batches = write_batches(&dir, 4);
+        let wal = dir.join("ingest.wal");
+        let snap = dir.join("epoch.snap");
+        let args = parse(&argv(&[
+            "--support",
+            "0.1",
+            "--threshold-frac",
+            "0.1",
+            "--wal-path",
+            wal.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // Session 1 commits two batches, then "crashes" (no snapshot).
+        let script = format!("ingest {}\ningest {}\n", batches[0], batches[1]);
+        let out = run_script(&script, &args).unwrap();
+        assert!(out.contains("wal seq 1"), "{out}");
+        assert!(out.contains("wal seq 2"), "{out}");
+
+        // Session 2 replays both before its own ingest, then snapshots.
+        let script = format!("ingest {}\nsnapshot {}\n", batches[2], snap.display());
+        let out = run_script(&script, &args).unwrap();
+        assert!(out.contains("wal: replayed 2 committed batches"), "{out}");
+        assert!(out.contains("total 6000"), "{out}");
+        assert!(out.contains("sealed at wal seq 3"), "{out}");
+
+        // Session 3: the snapshot covers seq 3, so restore replays nothing;
+        // one more committed batch lands at seq 4.
+        let script = format!("restore {}\ningest {}\n", snap.display(), batches[3]);
+        let out = run_script(&script, &args).unwrap();
+        assert!(!out.contains("wal batches replayed"), "{out}");
+        assert!(out.contains("total 8000, wal seq 4"), "{out}");
+
+        // Session 4: restore now replays exactly the post-snapshot suffix.
+        let script = format!("restore {}\nquery top=1\n", snap.display());
+        let out = run_script(&script, &args).unwrap();
+        assert!(out.contains("8000 tuples, 1 wal batches replayed"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,110 @@
+//! The WAL payload codec for ingest batches: rows of `f64` values,
+//! encoded little-endian with explicit row lengths, so a decode can never
+//! read past what the length prefix promised. Bit-exact: `f64::to_bits`
+//! round-trips every value, including negative zero and subnormals
+//! (non-finite values never reach the WAL — the engine validates batches
+//! before they are logged).
+
+/// Encodes a batch as `u32 rows, then per row: u32 len, len × f64-LE`.
+pub fn encode_batch(rows: &[Vec<f64>]) -> Vec<u8> {
+    let payload_len = 4 + rows.iter().map(|r| 4 + 8 * r.len()).sum::<usize>();
+    let mut out = Vec::with_capacity(payload_len);
+    out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    for row in rows {
+        out.extend_from_slice(&(row.len() as u32).to_le_bytes());
+        for v in row {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a batch, rejecting any framing inconsistency.
+pub fn decode_batch(bytes: &[u8]) -> Result<Vec<Vec<f64>>, String> {
+    let mut cursor = 0usize;
+    let rows = read_u32(bytes, &mut cursor)? as usize;
+    // Each row costs at least its 4-byte length prefix; a corrupt row
+    // count can't make us reserve unbounded memory.
+    if bytes.len().saturating_sub(cursor) < rows * 4 {
+        return Err(format!(
+            "batch claims {rows} rows but only {} bytes remain",
+            bytes.len() - cursor
+        ));
+    }
+    let mut out = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let len = read_u32(bytes, &mut cursor)? as usize;
+        let need = len * 8;
+        if bytes.len() - cursor < need {
+            return Err(format!(
+                "row {r} claims {len} values but only {} bytes remain",
+                bytes.len() - cursor
+            ));
+        }
+        let mut row = Vec::with_capacity(len);
+        for _ in 0..len {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&bytes[cursor..cursor + 8]);
+            row.push(f64::from_bits(u64::from_le_bytes(word)));
+            cursor += 8;
+        }
+        out.push(row);
+    }
+    if cursor != bytes.len() {
+        return Err(format!("{} trailing bytes after the last row", bytes.len() - cursor));
+    }
+    Ok(out)
+}
+
+fn read_u32(bytes: &[u8], cursor: &mut usize) -> Result<u32, String> {
+    if bytes.len() - *cursor < 4 {
+        return Err("truncated length prefix".into());
+    }
+    let mut word = [0u8; 4];
+    word.copy_from_slice(&bytes[*cursor..*cursor + 4]);
+    *cursor += 4;
+    Ok(u32::from_le_bytes(word))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_including_awkward_floats() {
+        let batches: Vec<Vec<Vec<f64>>> = vec![
+            vec![],
+            vec![vec![]],
+            vec![vec![1.5, -0.0], vec![0.1 + 0.2], vec![1e-300, -123456.789012345]],
+        ];
+        for batch in batches {
+            let bytes = encode_batch(&batch);
+            let back = decode_batch(&bytes).unwrap();
+            assert_eq!(back.len(), batch.len());
+            for (a, b) in back.iter().zip(batch.iter()) {
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b.iter()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "bit-exact round trip");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_and_trailing_garbage_are_rejected() {
+        let bytes = encode_batch(&[vec![1.0, 2.0], vec![3.0]]);
+        for cut in 0..bytes.len() {
+            assert!(decode_batch(&bytes[..cut]).is_err(), "cut at {cut} mis-parsed");
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_batch(&padded).is_err());
+    }
+
+    #[test]
+    fn absurd_row_count_is_rejected_without_allocating() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_batch(&bytes).is_err());
+    }
+}

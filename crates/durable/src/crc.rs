@@ -1,0 +1,63 @@
+//! CRC-32 (IEEE 802.3, the zlib/gzip polynomial), table-driven.
+//!
+//! Every durable artifact in this crate — WAL records and snapshot
+//! footers — is guarded by this checksum, so corruption (torn writes,
+//! bit rot, truncation mid-record) is *detected* rather than mis-parsed.
+//! CRC-32 detects all single- and double-bit errors and any burst error
+//! up to 32 bits, which covers the failure modes a kill-at-any-instruction
+//! crash can leave behind on a journaled filesystem.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The byte-at-a-time lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc = TABLE[((crc ^ byte as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // The canonical check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"the engine's whole value is the summaries".to_vec();
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), clean, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! The durability-layer error type.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// What went wrong in the durability layer.
+#[derive(Debug)]
+pub enum DurableError {
+    /// An I/O operation failed (the storage backend said no).
+    Io {
+        /// Which operation (`append`, `write`, `rename`, …).
+        op: &'static str,
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A durable artifact failed validation (bad checksum, bad framing,
+    /// bad footer) and must not be trusted.
+    Corrupt {
+        /// The path of the corrupt artifact.
+        path: PathBuf,
+        /// Human-readable diagnosis.
+        detail: String,
+    },
+}
+
+impl DurableError {
+    pub(crate) fn io(op: &'static str, path: impl Into<PathBuf>, source: io::Error) -> Self {
+        DurableError::Io { op, path: path.into(), source }
+    }
+
+    pub(crate) fn corrupt(path: impl Into<PathBuf>, detail: impl Into<String>) -> Self {
+        DurableError::Corrupt { path: path.into(), detail: detail.into() }
+    }
+
+    /// Whether this error means "the artifact exists but cannot be
+    /// trusted" (as opposed to an I/O failure reaching it).
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, DurableError::Corrupt { .. })
+    }
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Io { op, path, source } => {
+                write!(f, "{op} {}: {source}", path.display())
+            }
+            DurableError::Corrupt { path, detail } => {
+                write!(f, "corrupt {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Io { source, .. } => Some(source),
+            DurableError::Corrupt { .. } => None,
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! The injectable storage backend: a narrow file-system trait the WAL and
+//! snapshot machinery are written against, with a real [`DiskStorage`]
+//! implementation and a [`FaultyStorage`] wrapper that injects partial
+//! writes, torn renames, and failing syncs at chosen points — the
+//! substrate of the deterministic crash tests.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// The file operations durability needs, and nothing more. Implementors
+/// must make `append` *commit*: when it returns `Ok`, the bytes are on
+/// stable storage (fsync-on-commit), which is what lets the WAL promise
+/// that acknowledged batches survive a kill at any instruction after the
+/// acknowledgement.
+pub trait Storage: Send + Sync + std::fmt::Debug {
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Whether a path exists.
+    fn exists(&self, path: &Path) -> bool;
+    /// Creates or truncates `path` and writes `data` (no sync — pair with
+    /// [`Storage::sync_file`] for the atomic-snapshot protocol's explicit
+    /// crash points).
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Appends `data` to `path` (creating it if needed) and syncs it to
+    /// stable storage before returning.
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Syncs a file's contents to stable storage.
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+    /// Atomically renames `from` over `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Syncs a directory, making completed renames durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Removes a file (missing files are fine).
+    fn remove(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The real thing: `std::fs` with fsync where the trait demands it.
+#[derive(Debug, Default, Clone)]
+pub struct DiskStorage;
+
+impl Storage for DiskStorage {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        File::open(path)?.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut file = File::create(path)?;
+        file.write_all(data)
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        file.write_all(data)?;
+        file.sync_data()
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        OpenOptions::new().read(true).open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Directory fsync is how a rename becomes durable on POSIX; on
+        // platforms where opening a directory fails, the rename was still
+        // atomic, so degrade quietly rather than failing the snapshot.
+        match File::open(dir) {
+            Ok(d) => d.sync_all(),
+            Err(_) => Ok(()),
+        }
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        match std::fs::remove_file(path) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Which injected faults are armed. Operation indices are 0-based and
+/// count *attempts* of that operation since the plan was installed.
+#[derive(Debug, Default, Clone)]
+pub struct FaultPlan {
+    /// After this many appended bytes have succeeded in total, the next
+    /// `append` writes only the bytes that fit under the budget — a torn
+    /// record tail — and then fails.
+    pub fail_append_after_bytes: Option<u64>,
+    /// Fail every `append` whose index is ≥ this (no bytes written).
+    pub fail_append_from: Option<u64>,
+    /// Fail every `write` whose index is ≥ this, leaving the first half
+    /// of the data behind — a torn snapshot body.
+    pub fail_write_from: Option<u64>,
+    /// Fail every `rename` whose index is ≥ this without renaming — the
+    /// crash-before-rename half of a torn snapshot install.
+    pub fail_rename_from: Option<u64>,
+    /// Fail every `sync_file`/`sync_dir` whose index is ≥ this.
+    pub fail_sync_from: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    plan: FaultPlan,
+    appended_bytes: u64,
+    appends: u64,
+    writes: u64,
+    renames: u64,
+    syncs: u64,
+}
+
+/// A [`Storage`] that fails on cue: wraps [`DiskStorage`] and consults a
+/// runtime-replaceable [`FaultPlan`] before every mutating operation.
+/// Reads are never failed — recovery always sees exactly what the "crash"
+/// left on disk.
+#[derive(Debug)]
+pub struct FaultyStorage {
+    inner: DiskStorage,
+    state: Mutex<FaultState>,
+}
+
+impl FaultyStorage {
+    /// A faulty storage with the given initial plan.
+    pub fn new(plan: FaultPlan) -> Arc<Self> {
+        Arc::new(FaultyStorage {
+            inner: DiskStorage,
+            state: Mutex::new(FaultState { plan, ..FaultState::default() }),
+        })
+    }
+
+    /// Replaces the fault plan mid-run (operation counters reset, so
+    /// indices in the new plan count from "now").
+    pub fn set_plan(&self, plan: FaultPlan) {
+        let mut state = self.lock();
+        *state = FaultState { plan, ..FaultState::default() };
+    }
+
+    /// Disarms all faults.
+    pub fn heal(&self) {
+        self.set_plan(FaultPlan::default());
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn injected(op: &str) -> io::Error {
+        io::Error::other(format!("injected fault: {op}"))
+    }
+}
+
+impl Storage for FaultyStorage {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let torn = {
+            let mut state = self.lock();
+            let index = state.writes;
+            state.writes += 1;
+            state.plan.fail_write_from.is_some_and(|from| index >= from)
+        };
+        if torn {
+            // Crash mid-body: the first half lands, the rest never does.
+            self.inner.write(path, &data[..data.len() / 2])?;
+            return Err(Self::injected("write"));
+        }
+        self.inner.write(path, data)
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let allowed = {
+            let mut state = self.lock();
+            let index = state.appends;
+            state.appends += 1;
+            if state.plan.fail_append_from.is_some_and(|from| index >= from) {
+                Some(0)
+            } else if let Some(budget) = state.plan.fail_append_after_bytes {
+                let room = budget.saturating_sub(state.appended_bytes);
+                if (data.len() as u64) > room {
+                    state.appended_bytes += room;
+                    Some(room as usize)
+                } else {
+                    state.appended_bytes += data.len() as u64;
+                    None
+                }
+            } else {
+                state.appended_bytes += data.len() as u64;
+                None
+            }
+        };
+        match allowed {
+            None => self.inner.append(path, data),
+            Some(partial) => {
+                if partial > 0 {
+                    self.inner.append(path, &data[..partial])?;
+                }
+                Err(Self::injected("append"))
+            }
+        }
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        if self.tick_sync() {
+            return Err(Self::injected("sync_file"));
+        }
+        self.inner.sync_file(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let fail = {
+            let mut state = self.lock();
+            let index = state.renames;
+            state.renames += 1;
+            state.plan.fail_rename_from.is_some_and(|f| index >= f)
+        };
+        if fail {
+            return Err(Self::injected("rename"));
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        if self.tick_sync() {
+            return Err(Self::injected("sync_dir"));
+        }
+        self.inner.sync_dir(dir)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove(path)
+    }
+}
+
+impl FaultyStorage {
+    fn tick_sync(&self) -> bool {
+        let mut state = self.lock();
+        let index = state.syncs;
+        state.syncs += 1;
+        state.plan.fail_sync_from.is_some_and(|from| index >= from)
+    }
+}
+
+/// A fresh scratch directory under the system temp dir, unique per test.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dar_durable_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_storage_round_trips_and_appends() {
+        let dir = scratch_dir("disk");
+        let path = dir.join("file.bin");
+        let s = DiskStorage;
+        s.write(&path, b"hello").unwrap();
+        s.append(&path, b" world").unwrap();
+        assert_eq!(s.read(&path).unwrap(), b"hello world");
+        assert!(s.exists(&path));
+        let moved = dir.join("moved.bin");
+        s.rename(&path, &moved).unwrap();
+        assert!(!s.exists(&path));
+        s.sync_dir(&dir).unwrap();
+        s.remove(&moved).unwrap();
+        s.remove(&moved).unwrap(); // idempotent
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faulty_append_tears_at_the_byte_budget() {
+        let dir = scratch_dir("tear");
+        let path = dir.join("wal.bin");
+        let s = FaultyStorage::new(FaultPlan {
+            fail_append_after_bytes: Some(10),
+            ..FaultPlan::default()
+        });
+        s.append(&path, b"12345678").unwrap(); // 8 ≤ 10
+        let err = s.append(&path, b"abcdef").unwrap_err(); // 2 more fit, then torn
+        assert!(err.to_string().contains("injected"));
+        assert_eq!(s.read(&path).unwrap(), b"12345678ab");
+        s.heal();
+        s.append(&path, b"!").unwrap();
+        assert_eq!(s.read(&path).unwrap(), b"12345678ab!");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faulty_rename_and_write_fail_on_cue() {
+        let dir = scratch_dir("cue");
+        let a = dir.join("a");
+        let b = dir.join("b");
+        let s = FaultyStorage::new(FaultPlan {
+            fail_rename_from: Some(1),
+            fail_write_from: Some(1),
+            ..FaultPlan::default()
+        });
+        s.write(&a, b"0123456789").unwrap(); // write #0 fine
+        s.rename(&a, &b).unwrap(); // rename #0 fine
+        assert!(s.rename(&b, &a).is_err()); // rename #1 injected, b untouched
+        assert!(s.exists(&b));
+        assert!(s.write(&a, b"0123456789").is_err()); // write #1 torn
+        assert_eq!(s.read(&a).unwrap(), b"01234"); // half landed
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

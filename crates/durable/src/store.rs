@@ -1,0 +1,320 @@
+//! [`DurableStore`]: the one object engine hosts hold — a snapshot slot
+//! chain plus a WAL, coordinated through sequence numbers.
+//!
+//! The invariants, spelled out once:
+//!
+//! * every logged batch gets a strictly increasing sequence number,
+//!   committed (fsynced) before the batch is acknowledged;
+//! * an installed snapshot records the last sequence it includes;
+//! * recovery = newest verifiable snapshot + replay of WAL records with
+//!   `seq > snapshot.seq`, so a crash *anywhere* — mid-append,
+//!   mid-snapshot-write, between the install and the WAL truncation —
+//!   yields exactly the acknowledged state, never a double-replayed or
+//!   half-applied batch;
+//! * WAL truncation after an install keeps every record newer than the
+//!   *previous* snapshot, so falling back to `<path>.prev` still has all
+//!   the records it needs.
+
+use crate::batch::{decode_batch, encode_batch};
+use crate::error::DurableError;
+use crate::snapshot::{self, SnapshotSource};
+use crate::storage::Storage;
+use crate::wal;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// What [`DurableStore::open`] reconstructed from disk.
+#[derive(Debug, Clone)]
+pub struct Recovered {
+    /// The verified snapshot body to restore from, if any slot verified.
+    pub snapshot: Option<String>,
+    /// The WAL sequence the snapshot includes (0 when none).
+    pub snapshot_seq: u64,
+    /// Committed batches newer than the snapshot, in log order — replay
+    /// these into the restored engine.
+    pub batches: Vec<Vec<Vec<f64>>>,
+    /// Diagnostics for operators and tests.
+    pub report: RecoveryReport,
+}
+
+/// How recovery went.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Which snapshot slot verified (None = fresh start).
+    pub snapshot_source: Option<SnapshotSource>,
+    /// Snapshot slots that existed but failed verification.
+    pub corrupt_snapshots_skipped: u32,
+    /// Committed WAL records found (including ones the snapshot already
+    /// covers).
+    pub wal_records: usize,
+    /// Records replayed on top of the snapshot (`seq >` filter).
+    pub wal_batches_replayed: usize,
+    /// Bytes dropped from the WAL's torn tail.
+    pub wal_tail_dropped_bytes: usize,
+}
+
+impl RecoveryReport {
+    /// Whether recovery had to route around damage (torn tail bytes or a
+    /// corrupt snapshot slot).
+    pub fn degraded_artifacts(&self) -> bool {
+        self.corrupt_snapshots_skipped > 0 || self.wal_tail_dropped_bytes > 0
+    }
+}
+
+/// A snapshot slot chain plus a WAL over an injectable [`Storage`].
+/// Either half is optional: snapshot-only gives atomic persisted epochs,
+/// WAL-only gives batch-level crash safety; together they give both with
+/// bounded replay.
+#[derive(Debug)]
+pub struct DurableStore {
+    storage: Arc<dyn Storage>,
+    snapshot_path: Option<PathBuf>,
+    wal_path: Option<PathBuf>,
+    /// The sequence the next logged batch receives (1-based).
+    next_seq: u64,
+    /// The sequence recorded in the currently-installed snapshot.
+    installed_seq: u64,
+}
+
+impl DurableStore {
+    /// Opens the store, scanning disk once: verifies the snapshot chain,
+    /// replays the WAL's committed records, and positions the sequence
+    /// counter after everything found. Returns the store and what it
+    /// recovered.
+    ///
+    /// # Errors
+    /// I/O failures, or a WAL whose *header* is damaged (a torn tail is
+    /// tolerated and reported instead).
+    pub fn open(
+        storage: Arc<dyn Storage>,
+        snapshot_path: Option<PathBuf>,
+        wal_path: Option<PathBuf>,
+    ) -> Result<(Self, Recovered), DurableError> {
+        let mut report = RecoveryReport::default();
+        let (snapshot, snapshot_seq) = match &snapshot_path {
+            Some(path) => match snapshot::load_latest(storage.as_ref(), path)? {
+                Some(loaded) => {
+                    report.snapshot_source = Some(loaded.source);
+                    report.corrupt_snapshots_skipped = loaded.corrupt_slots_skipped;
+                    (Some(loaded.body), loaded.seq)
+                }
+                None => (None, 0),
+            },
+            None => (None, 0),
+        };
+
+        let mut batches = Vec::new();
+        let mut last_seq = snapshot_seq;
+        if let Some(path) = &wal_path {
+            let (records, wal_report) = wal::read_records(storage.as_ref(), path)?;
+            report.wal_records = wal_report.records;
+            report.wal_tail_dropped_bytes = wal_report.tail_dropped_bytes;
+            if wal_report.tail_dropped_bytes > 0 {
+                // Self-heal: cut the torn tail off now, or the next append
+                // would land after unreachable garbage. Not best-effort —
+                // appending to a log we could not repair is unsafe.
+                wal::rewrite(storage.as_ref(), path, &records)?;
+            }
+            for record in records {
+                last_seq = last_seq.max(record.seq);
+                if record.seq <= snapshot_seq {
+                    continue; // already inside the snapshot
+                }
+                match decode_batch(&record.body) {
+                    Ok(rows) => batches.push(rows),
+                    // CRC passed but the payload doesn't decode: an
+                    // encoder/decoder version skew, not a torn tail.
+                    Err(detail) => {
+                        return Err(DurableError::corrupt(
+                            path,
+                            format!("record seq={}: {detail}", record.seq),
+                        ));
+                    }
+                }
+            }
+        }
+        report.wal_batches_replayed = batches.len();
+
+        let store = DurableStore {
+            storage,
+            snapshot_path,
+            wal_path,
+            next_seq: last_seq + 1,
+            installed_seq: snapshot_seq,
+        };
+        Ok((store, Recovered { snapshot, snapshot_seq, batches, report }))
+    }
+
+    /// The WAL path, if batch logging is configured.
+    pub fn wal_path(&self) -> Option<&Path> {
+        self.wal_path.as_deref()
+    }
+
+    /// The snapshot path, if snapshot installation is configured.
+    pub fn snapshot_path(&self) -> Option<&Path> {
+        self.snapshot_path.as_deref()
+    }
+
+    /// Whether [`DurableStore::log_batch`] is available.
+    pub fn wal_enabled(&self) -> bool {
+        self.wal_path.is_some()
+    }
+
+    /// The sequence number the last logged batch received (0 if none).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Commits one ingest batch to the WAL (encode, frame, append,
+    /// fsync). When this returns `Ok`, the batch survives any crash.
+    ///
+    /// # Errors
+    /// I/O failures (the caller should treat the batch as *not*
+    /// committed and refuse to acknowledge it), or no WAL configured.
+    pub fn log_batch(&mut self, rows: &[Vec<f64>]) -> Result<u64, DurableError> {
+        let Some(path) = &self.wal_path else {
+            return Err(DurableError::io(
+                "append",
+                PathBuf::new(),
+                std::io::Error::other("no WAL configured"),
+            ));
+        };
+        let seq = self.next_seq;
+        wal::append_record(self.storage.as_ref(), path, seq, &encode_batch(rows))?;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Seals `body` with the last logged sequence and installs it
+    /// atomically, then prunes WAL records the *previous* snapshot
+    /// already covered (keeping everything the fallback chain could still
+    /// need). Truncation is best-effort: replay is seq-filtered, so a
+    /// crash — or a failure — between install and truncation costs bytes,
+    /// never correctness.
+    ///
+    /// # Errors
+    /// I/O failures during the install protocol; the previously-installed
+    /// snapshot (plus the WAL) remains recoverable.
+    pub fn install_snapshot(&mut self, body: &str) -> Result<u64, DurableError> {
+        let Some(path) = self.snapshot_path.clone() else {
+            return Err(DurableError::io(
+                "write",
+                PathBuf::new(),
+                std::io::Error::other("no snapshot path configured"),
+            ));
+        };
+        let seq = self.next_seq - 1;
+        snapshot::install(self.storage.as_ref(), &path, body, seq)?;
+        let retired = self.installed_seq;
+        self.installed_seq = seq;
+        if let Some(wal_path) = self.wal_path.clone() {
+            let _ = self.prune_wal(&wal_path, retired);
+        }
+        Ok(seq)
+    }
+
+    fn prune_wal(&mut self, path: &Path, keep_after: u64) -> Result<(), DurableError> {
+        let (records, _) = wal::read_records(self.storage.as_ref(), path)?;
+        let kept: Vec<_> = records.into_iter().filter(|r| r.seq > keep_after).collect();
+        wal::rewrite(self.storage.as_ref(), path, &kept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{scratch_dir, DiskStorage};
+
+    fn batch(tag: f64, rows: usize) -> Vec<Vec<f64>> {
+        (0..rows).map(|i| vec![tag, i as f64]).collect()
+    }
+
+    fn open_disk(dir: &Path) -> (DurableStore, Recovered) {
+        DurableStore::open(
+            Arc::new(DiskStorage),
+            Some(dir.join("epoch.snap")),
+            Some(dir.join("ingest.wal")),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn log_recover_log_again_round_trips() {
+        let dir = scratch_dir("store_rt");
+        let (mut store, recovered) = open_disk(&dir);
+        assert!(recovered.snapshot.is_none());
+        assert!(recovered.batches.is_empty());
+        assert_eq!(store.log_batch(&batch(1.0, 3)).unwrap(), 1);
+        assert_eq!(store.log_batch(&batch(2.0, 2)).unwrap(), 2);
+        drop(store); // "crash"
+
+        let (mut store, recovered) = open_disk(&dir);
+        assert_eq!(recovered.batches, vec![batch(1.0, 3), batch(2.0, 2)]);
+        assert_eq!(recovered.report.wal_batches_replayed, 2);
+        // Sequences continue where they left off.
+        assert_eq!(store.log_batch(&batch(3.0, 1)).unwrap(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_bounds_replay_and_prunes_the_wal() {
+        let dir = scratch_dir("store_snap");
+        let (mut store, _) = open_disk(&dir);
+        store.log_batch(&batch(1.0, 2)).unwrap();
+        store.log_batch(&batch(2.0, 2)).unwrap();
+        assert_eq!(store.install_snapshot("state after two batches\n").unwrap(), 2);
+        store.log_batch(&batch(3.0, 2)).unwrap();
+        drop(store);
+
+        let (_, recovered) = open_disk(&dir);
+        assert_eq!(recovered.snapshot.as_deref(), Some("state after two batches\n"));
+        assert_eq!(recovered.snapshot_seq, 2);
+        assert_eq!(recovered.batches, vec![batch(3.0, 2)], "only seq>2 replays");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn second_install_retains_records_the_prev_snapshot_needs() {
+        let dir = scratch_dir("store_prev");
+        let (mut store, _) = open_disk(&dir);
+        store.log_batch(&batch(1.0, 1)).unwrap();
+        store.install_snapshot("snap A\n").unwrap(); // seq 1
+        store.log_batch(&batch(2.0, 1)).unwrap();
+        store.log_batch(&batch(3.0, 1)).unwrap();
+        store.install_snapshot("snap B\n").unwrap(); // seq 3; prunes ≤1
+        store.log_batch(&batch(4.0, 1)).unwrap();
+        drop(store);
+
+        // Corrupt the primary: recovery must fall back to snap A and
+        // still find batches 2..4 in the WAL.
+        let path = dir.join("epoch.snap");
+        let sealed = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, sealed.replacen("snap B", "snap X", 1)).unwrap();
+        let (_, recovered) = open_disk(&dir);
+        assert_eq!(recovered.snapshot.as_deref(), Some("snap A\n"));
+        assert_eq!(recovered.snapshot_seq, 1);
+        assert_eq!(recovered.batches, vec![batch(2.0, 1), batch(3.0, 1), batch(4.0, 1)]);
+        assert_eq!(recovered.report.corrupt_snapshots_skipped, 1);
+        assert!(recovered.report.degraded_artifacts());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_only_and_snapshot_only_configurations_work() {
+        let dir = scratch_dir("store_halves");
+        // WAL only.
+        let (mut store, _) =
+            DurableStore::open(Arc::new(DiskStorage), None, Some(dir.join("only.wal"))).unwrap();
+        store.log_batch(&batch(1.0, 1)).unwrap();
+        assert!(store.install_snapshot("nope").is_err());
+        // Snapshot only.
+        let (mut store, _) =
+            DurableStore::open(Arc::new(DiskStorage), Some(dir.join("only.snap")), None).unwrap();
+        assert!(store.log_batch(&batch(1.0, 1)).is_err());
+        store.install_snapshot("fine\n").unwrap();
+        let (_, recovered) =
+            DurableStore::open(Arc::new(DiskStorage), Some(dir.join("only.snap")), None).unwrap();
+        assert_eq!(recovered.snapshot.as_deref(), Some("fine\n"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the WAL: arbitrary batches round-trip bit-exactly,
+//! and arbitrary damage (truncation at any byte, a bit flip at any
+//! position) is *detected* — recovery returns a clean prefix of what was
+//! committed, or reports corruption, but never mis-parses.
+
+use dar_durable::storage::{scratch_dir, DiskStorage, Storage};
+use dar_durable::{decode_batch, encode_batch, wal};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn case_path(dir: &std::path::Path) -> PathBuf {
+    dir.join(format!("case_{}.wal", CASE.fetch_add(1, Ordering::Relaxed)))
+}
+
+/// Writes each batch as one WAL record and returns the raw file bytes.
+fn write_wal(path: &std::path::Path, batches: &[Vec<Vec<f64>>]) -> Vec<u8> {
+    let s = DiskStorage;
+    for (i, rows) in batches.iter().enumerate() {
+        wal::append_record(&s, path, (i + 1) as u64, &encode_batch(rows)).unwrap();
+    }
+    wal::ensure(&s, path).unwrap(); // zero-batch case still gets a header
+    s.read(path).unwrap()
+}
+
+#[test]
+fn arbitrary_batches_round_trip_bit_exactly() {
+    let dir = scratch_dir("prop_rt");
+    proptest!(|(batches in prop::collection::vec(
+        prop::collection::vec(
+            prop::collection::vec(-1.0e9f64..1.0e9, 0..6),
+            0..5),
+        0..4))| {
+        let path = case_path(&dir);
+        write_wal(&path, &batches);
+        let (records, report) = wal::read_records(&DiskStorage, &path).unwrap();
+        prop_assert_eq!(records.len(), batches.len());
+        prop_assert_eq!(report.tail_dropped_bytes, 0);
+        for (record, rows) in records.iter().zip(batches.iter()) {
+            let decoded = decode_batch(&record.body).unwrap();
+            prop_assert_eq!(decoded.len(), rows.len());
+            for (a, b) in decoded.iter().zip(rows.iter()) {
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b.iter()) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncation_at_any_byte_yields_a_committed_prefix() {
+    let dir = scratch_dir("prop_trunc");
+    proptest!(|(rows in prop::collection::vec(
+                    prop::collection::vec(-50.0f64..50.0, 1..4), 1..4),
+                extra in 0u64..1000,
+                cut_frac in 0.0f64..1.0)| {
+        let path = case_path(&dir);
+        let batches = vec![rows.clone(), vec![vec![extra as f64]]];
+        let full = write_wal(&path, &batches);
+        let cut = wal::WAL_MAGIC.len()
+            + ((full.len() - wal::WAL_MAGIC.len()) as f64 * cut_frac) as usize;
+        let s = DiskStorage;
+        s.write(&path, &full[..cut]).unwrap();
+        let (records, report) = wal::read_records(&s, &path).unwrap();
+        // Whatever survives is an exact prefix of what was written.
+        prop_assert!(records.len() <= batches.len());
+        for (record, rows) in records.iter().zip(batches.iter()) {
+            prop_assert_eq!(&decode_batch(&record.body).unwrap(), rows);
+        }
+        // And the accounting adds up: recovered frames + dropped tail
+        // cover the whole truncated file.
+        let consumed: usize =
+            records.iter().map(|r| 16 + r.body.len()).sum::<usize>() + wal::WAL_MAGIC.len();
+        prop_assert_eq!(consumed + report.tail_dropped_bytes, cut);
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bit_flips_are_detected_never_mis_parsed() {
+    let dir = scratch_dir("prop_flip");
+    proptest!(|(rows in prop::collection::vec(
+                    prop::collection::vec(-50.0f64..50.0, 1..4), 1..4),
+                byte_frac in 0.0f64..1.0,
+                bit in 0u8..8)| {
+        let path = case_path(&dir);
+        let batches = vec![rows.clone(), vec![vec![1.0]], vec![vec![2.0, 3.0]]];
+        let full = write_wal(&path, &batches);
+        let byte = (full.len() as f64 * byte_frac) as usize % full.len();
+        let mut damaged = full.clone();
+        damaged[byte] ^= 1 << bit;
+        let s = DiskStorage;
+        s.write(&path, &damaged).unwrap();
+        match wal::read_records(&s, &path) {
+            // A flip inside the file header is refused outright.
+            Err(e) => prop_assert!(e.is_corruption(), "unexpected error kind: {}", e),
+            // A flip inside a record stops recovery at that record; every
+            // record before it parses back exactly.
+            Ok((records, _)) => {
+                prop_assert!(records.len() < batches.len(),
+                    "flip at byte {} bit {} went undetected", byte, bit);
+                for (record, rows) in records.iter().zip(batches.iter()) {
+                    prop_assert_eq!(&decode_batch(&record.body).unwrap(), rows);
+                }
+            }
+        }
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}

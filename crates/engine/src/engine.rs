@@ -287,11 +287,18 @@ impl DarEngine {
     /// restart from summaries, post-restore epochs see history at summary
     /// granularity rather than tuple granularity.
     ///
+    /// Snapshots sealed by `dar-durable` (a trailing checksum footer) are
+    /// verified and unsealed first; unsealed pre-durability snapshots
+    /// restore as before.
+    ///
     /// # Errors
-    /// Rejects malformed snapshots and thresholds/partitioning arity
-    /// mismatches.
+    /// Rejects malformed snapshots, checksum-footer mismatches, and
+    /// thresholds/partitioning arity mismatches.
     pub fn restore(text: &str, config: EngineConfig) -> Result<Self, CoreError> {
-        let snap = snapshot::parse_snapshot(text)?;
+        let body = dar_durable::unseal(text)
+            .map_err(|detail| CoreError::LayoutMismatch(format!("snapshot footer: {detail}")))?
+            .0;
+        let snap = snapshot::parse_snapshot(body)?;
         let mut forest = AcfForest::with_initial_thresholds(
             snap.partitioning.clone(),
             &config.birch,
@@ -317,6 +324,24 @@ impl DarEngine {
             }),
             stats,
         })
+    }
+
+    /// Replays write-ahead-log batches recovered by `dar-durable` on top
+    /// of a restored (or fresh) engine, in log order. Identical to
+    /// ingesting them live — forest insertion is purely sequential — so a
+    /// crash-recovered engine answers queries exactly as the uncrashed one
+    /// would have. Returns the number of batches applied.
+    ///
+    /// # Errors
+    /// Propagates validation errors from [`DarEngine::ingest`]; batches
+    /// before the failing one remain applied (they were committed and
+    /// valid), so the caller can surface the error without losing state.
+    pub fn replay_wal(&mut self, batches: &[Vec<Vec<f64>>]) -> Result<u64, CoreError> {
+        for rows in batches {
+            self.ingest(rows)?;
+            self.stats.wal_batches_replayed += 1;
+        }
+        Ok(batches.len() as u64)
     }
 
     /// Cumulative engine statistics (forest rebuild count sampled live).

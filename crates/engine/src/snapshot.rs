@@ -12,10 +12,11 @@
 //! bit-exact.
 
 use dar_core::{AttrSet, ClusterSummary, CoreError, Metric, Partitioning, Schema};
-use mining::persist::{read_clusters, write_clusters};
+use mining::persist::{read_clusters_at, write_clusters};
 use std::fmt::Write as _;
 
 /// A parsed snapshot, ready to install into an engine.
+#[derive(Debug)]
 pub(crate) struct Snapshot {
     pub(crate) epoch: u64,
     pub(crate) tuples: u64,
@@ -65,33 +66,46 @@ pub(crate) fn write_snapshot(
 
 /// Parses a snapshot back. The schema is synthesized from the highest
 /// attribute id the partitioning mentions (the snapshot stores no attribute
-/// names; the engine only needs the id space).
+/// names; the engine only needs the id space). Parse errors name the
+/// offending line, counted from the start of the snapshot text.
 pub(crate) fn parse_snapshot(text: &str) -> Result<Snapshot, CoreError> {
-    let mut lines = text.lines();
-    let header = lines.next().ok_or_else(|| CoreError::LayoutMismatch("empty snapshot".into()))?;
+    let located = |line_no: usize, e: CoreError| match e {
+        CoreError::LayoutMismatch(msg) => {
+            CoreError::LayoutMismatch(format!("line {line_no}: {msg}"))
+        }
+        other => other,
+    };
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+    let (_, header) =
+        lines.next().ok_or_else(|| CoreError::LayoutMismatch("line 1: empty snapshot".into()))?;
     if !header.starts_with("dar-engine v1 ") {
-        return Err(CoreError::LayoutMismatch(format!("not a dar-engine v1 snapshot: {header:?}")));
+        return Err(CoreError::LayoutMismatch(format!(
+            "line 1: not a dar-engine v1 snapshot: {header:?}"
+        )));
     }
-    let epoch: u64 = header_field(header, "epoch=")?;
-    let tuples: u64 = header_field(header, "tuples=")?;
-    let num_sets: usize = header_field(header, "sets=")?;
+    let epoch: u64 = header_field(header, "epoch=").map_err(|e| located(1, e))?;
+    let tuples: u64 = header_field(header, "tuples=").map_err(|e| located(1, e))?;
+    let num_sets: usize = header_field(header, "sets=").map_err(|e| located(1, e))?;
 
     let mut sets = Vec::with_capacity(num_sets);
-    for _ in 0..num_sets {
-        let line =
-            lines.next().ok_or_else(|| CoreError::LayoutMismatch("missing set line".into()))?;
-        let rest = line
-            .strip_prefix("set ")
-            .ok_or_else(|| CoreError::LayoutMismatch(format!("expected set line, got {line:?}")))?;
+    for expect in 0..num_sets {
+        let (n, line) = lines.next().ok_or_else(|| {
+            CoreError::LayoutMismatch(format!("line {}: missing set line", expect + 2))
+        })?;
+        let rest = line.strip_prefix("set ").ok_or_else(|| {
+            CoreError::LayoutMismatch(format!("line {n}: expected set line, got {line:?}"))
+        })?;
         let mut parts = rest.split_whitespace();
-        let metric = parse_metric(parts.next().unwrap_or(""))?;
+        let metric = parse_metric(parts.next().unwrap_or("")).map_err(|e| located(n, e))?;
         let attrs_csv = parts.next().ok_or_else(|| {
-            CoreError::LayoutMismatch(format!("set line missing attrs: {line:?}"))
+            CoreError::LayoutMismatch(format!("line {n}: set line missing attrs: {line:?}"))
         })?;
         let attrs: Vec<usize> = attrs_csv
             .split(',')
             .map(|t| {
-                t.parse().map_err(|_| CoreError::LayoutMismatch(format!("bad attribute id {t:?}")))
+                t.parse().map_err(|_| {
+                    CoreError::LayoutMismatch(format!("line {n}: bad attribute id {t:?}"))
+                })
             })
             .collect::<Result<_, _>>()?;
         sets.push(AttrSet { attrs, metric });
@@ -100,18 +114,22 @@ pub(crate) fn parse_snapshot(text: &str) -> Result<Snapshot, CoreError> {
     let schema = Schema::interval_attrs(max_attr);
     let partitioning = Partitioning::new(&schema, sets)?;
 
-    let t_line =
-        lines.next().ok_or_else(|| CoreError::LayoutMismatch("missing thresholds line".into()))?;
+    let (tn, t_line) = lines.next().ok_or_else(|| {
+        CoreError::LayoutMismatch(format!("line {}: missing thresholds line", num_sets + 2))
+    })?;
     let t_csv = t_line.strip_prefix("thresholds ").ok_or_else(|| {
-        CoreError::LayoutMismatch(format!("expected thresholds line, got {t_line:?}"))
+        CoreError::LayoutMismatch(format!("line {tn}: expected thresholds line, got {t_line:?}"))
     })?;
     let thresholds: Vec<f64> = t_csv
         .split(',')
-        .map(|t| t.parse().map_err(|_| CoreError::LayoutMismatch(format!("bad threshold {t:?}"))))
+        .map(|t| {
+            t.parse()
+                .map_err(|_| CoreError::LayoutMismatch(format!("line {tn}: bad threshold {t:?}")))
+        })
         .collect::<Result<_, _>>()?;
     if thresholds.len() != num_sets {
         return Err(CoreError::LayoutMismatch(format!(
-            "snapshot has {} thresholds for {num_sets} sets",
+            "line {tn}: snapshot has {} thresholds for {num_sets} sets",
             thresholds.len()
         )));
     }
@@ -119,7 +137,9 @@ pub(crate) fn parse_snapshot(text: &str) -> Result<Snapshot, CoreError> {
     let body_start = text
         .find("acf-clusters v1")
         .ok_or_else(|| CoreError::LayoutMismatch("snapshot missing cluster body".into()))?;
-    let clusters = read_clusters(&text[body_start..])?;
+    // Body errors get absolute line numbers within the snapshot text.
+    let body_first_line = text[..body_start].matches('\n').count() + 1;
+    let clusters = read_clusters_at(&text[body_start..], body_first_line)?;
     Ok(Snapshot { epoch, tuples, partitioning, thresholds, clusters })
 }
 
@@ -199,5 +219,24 @@ mod tests {
         // Drop the cluster body.
         let headless = good[..good.find("acf-clusters").unwrap()].to_string();
         assert!(parse_snapshot(&headless).is_err());
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_line() {
+        let (partitioning, clusters) = sample();
+        let good = write_snapshot(1, 10, &partitioning, &[1.0, 1.0], &clusters).unwrap();
+        // Layout: header, 2 set lines, thresholds — thresholds is line 4.
+        let err =
+            parse_snapshot(&good.replace("thresholds ", "thresholds x,")).unwrap_err().to_string();
+        assert!(err.contains("line 4"), "{err}");
+        // Damage inside the cluster body reports the absolute line number
+        // within the snapshot, not within the embedded body.
+        let body_header_line = good.lines().position(|l| l.starts_with("acf-clusters")).unwrap();
+        let err = parse_snapshot(&good.replacen("cluster id=", "cluster xd=", 1))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains(&format!("line {}", body_header_line + 2)), "{err}");
+        let err = parse_snapshot(&good.replace("euclidean", "euclidian")).unwrap_err().to_string();
+        assert!(err.contains("line 2"), "{err}");
     }
 }

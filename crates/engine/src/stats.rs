@@ -14,6 +14,9 @@ pub struct EngineStats {
     pub rejected_batches: u64,
     /// Epochs closed (cluster extractions from the live forest).
     pub epochs: u64,
+    /// Ingest batches applied from write-ahead-log replay during crash
+    /// recovery (each also counts in [`EngineStats::batches`]).
+    pub wal_batches_replayed: u64,
     /// Phase I tree rebuilds across all sets so far (threshold raises under
     /// memory pressure).
     pub forest_rebuilds: usize,

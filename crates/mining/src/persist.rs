@@ -53,36 +53,71 @@ pub fn write_clusters(clusters: &[ClusterSummary]) -> Result<String, CoreError> 
     Ok(out)
 }
 
-/// Parses the text format back into cluster summaries.
+/// Parses the text format back into cluster summaries. Sealed files (a
+/// trailing `dar-durable` checksum footer) are verified and unsealed
+/// first; unsealed files parse as before. Parse errors name the offending
+/// line (1-based within `text`).
 pub fn read_clusters(text: &str) -> Result<Vec<ClusterSummary>, CoreError> {
-    let mut lines = text.lines().peekable();
-    let header =
-        lines.next().ok_or_else(|| CoreError::LayoutMismatch("empty cluster file".into()))?;
-    let num_sets: usize = field(header, "sets=")?
-        .parse()
-        .map_err(|_| CoreError::LayoutMismatch("bad sets= field".into()))?;
+    read_clusters_at(text, 1)
+}
+
+/// Like [`read_clusters`], but error line numbers start at `first_line` —
+/// for callers embedding the cluster body inside a larger file (the
+/// engine snapshot format), so errors point into the enclosing file.
+pub fn read_clusters_at(text: &str, first_line: usize) -> Result<Vec<ClusterSummary>, CoreError> {
+    let body = dar_durable::unseal(text)
+        .map_err(|detail| CoreError::LayoutMismatch(format!("cluster file footer: {detail}")))?
+        .0;
+    // `at` converts a 0-based index into `body` to the caller's line
+    // numbering; errors from the keyed-field helpers get it prepended.
+    let at = |idx: usize| idx + first_line;
+    let located = |idx: usize, e: CoreError| match e {
+        CoreError::LayoutMismatch(msg) => {
+            CoreError::LayoutMismatch(format!("line {}: {msg}", at(idx)))
+        }
+        other => other,
+    };
+    let mut lines = body.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| CoreError::LayoutMismatch(format!("line {}: empty cluster file", at(0))))?;
+    let num_sets: usize = field(header, "sets=")
+        .and_then(|v| {
+            v.parse().map_err(|_| CoreError::LayoutMismatch(format!("bad sets= field {v:?}")))
+        })
+        .map_err(|e| located(0, e))?;
 
     let mut out = Vec::new();
-    while let Some(line) = lines.next() {
+    while let Some((i, line)) = lines.next() {
         if line.trim().is_empty() {
             continue;
         }
         if !line.starts_with("cluster ") {
-            return Err(CoreError::LayoutMismatch(format!("expected cluster line, got {line:?}")));
+            return Err(CoreError::LayoutMismatch(format!(
+                "line {}: expected cluster line, got {line:?}",
+                at(i)
+            )));
         }
-        let id: u32 = parse_field(line, "id=")?;
-        let set: usize = parse_field(line, "set=")?;
-        let n: u64 = parse_field(line, "n=")?;
+        let id: u32 = parse_field(line, "id=").map_err(|e| located(i, e))?;
+        let set: usize = parse_field(line, "set=").map_err(|e| located(i, e))?;
+        let n: u64 = parse_field(line, "n=").map_err(|e| located(i, e))?;
 
-        let bbox_line =
-            lines.next().ok_or_else(|| CoreError::LayoutMismatch("missing bbox line".into()))?;
+        let (bi, bbox_line) = lines.next().ok_or_else(|| {
+            CoreError::LayoutMismatch(format!("line {}: missing bbox line", at(i + 1)))
+        })?;
         let nums: Vec<f64> = bbox_line
             .strip_prefix("bbox")
-            .ok_or_else(|| CoreError::LayoutMismatch(format!("expected bbox, got {bbox_line:?}")))?
+            .ok_or_else(|| {
+                CoreError::LayoutMismatch(format!(
+                    "line {}: expected bbox, got {bbox_line:?}",
+                    at(bi)
+                ))
+            })?
             .split_whitespace()
             .map(|t| {
-                t.parse::<f64>()
-                    .map_err(|_| CoreError::LayoutMismatch(format!("bad bbox number {t:?}")))
+                t.parse::<f64>().map_err(|_| {
+                    CoreError::LayoutMismatch(format!("line {}: bad bbox number {t:?}", at(bi)))
+                })
             })
             .collect::<Result<_, _>>()?;
         let intervals: Vec<Interval> =
@@ -91,24 +126,27 @@ pub fn read_clusters(text: &str) -> Result<Vec<ClusterSummary>, CoreError> {
 
         let mut images = Vec::with_capacity(num_sets);
         for expect in 0..num_sets {
-            let img = lines
-                .next()
-                .ok_or_else(|| CoreError::LayoutMismatch("missing image line".into()))?;
-            let rest = img.strip_prefix("image ").ok_or_else(|| {
-                CoreError::LayoutMismatch(format!("expected image line, got {img:?}"))
+            let (ii, img) = lines.next().ok_or_else(|| {
+                CoreError::LayoutMismatch(format!("line {}: missing image line", at(bi + 1)))
             })?;
-            let s: usize = rest
-                .split_whitespace()
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| CoreError::LayoutMismatch("bad image set index".into()))?;
+            let rest = img.strip_prefix("image ").ok_or_else(|| {
+                CoreError::LayoutMismatch(format!(
+                    "line {}: expected image line, got {img:?}",
+                    at(ii)
+                ))
+            })?;
+            let s: usize =
+                rest.split_whitespace().next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+                    CoreError::LayoutMismatch(format!("line {}: bad image set index", at(ii)))
+                })?;
             if s != expect {
                 return Err(CoreError::LayoutMismatch(format!(
-                    "image set {s} out of order (expected {expect})"
+                    "line {}: image set {s} out of order (expected {expect})",
+                    at(ii)
                 )));
             }
-            let ls = parse_floats(field(rest, "ls=")?)?;
-            let ss = parse_floats(field(rest, "ss=")?)?;
+            let ls = field(rest, "ls=").and_then(parse_floats).map_err(|e| located(ii, e))?;
+            let ss = field(rest, "ss=").and_then(parse_floats).map_err(|e| located(ii, e))?;
             images.push(Cf::from_moments(n, ls, ss)?);
         }
         let acf = Acf::from_parts(set, images, bbox)?;
@@ -199,6 +237,32 @@ mod tests {
         // Corrupt a float.
         let corrupt = good.replace("ls=", "ls=oops,");
         assert!(read_clusters(&corrupt).is_err());
+    }
+
+    #[test]
+    fn errors_name_the_offending_line() {
+        let good = write_clusters(&sample_clusters()).unwrap();
+        // Header, cluster, bbox, then the first image line: line 4.
+        let bad = good.replace("ls=", "ls=oops,");
+        let err = read_clusters(&bad).unwrap_err().to_string();
+        assert!(err.contains("line 4"), "{err}");
+        // Embedded numbering shifts the report by the caller's offset.
+        let err = read_clusters_at(&bad, 10).unwrap_err().to_string();
+        assert!(err.contains("line 13"), "{err}");
+        let err = read_clusters("acf-clusters v1 sets=x dims=").unwrap_err().to_string();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn sealed_cluster_files_verify_and_unseal() {
+        let clusters = sample_clusters();
+        let sealed = dar_durable::seal(&write_clusters(&clusters).unwrap(), 0);
+        assert_eq!(read_clusters(&sealed).unwrap(), clusters);
+        // Damage under the seal is caught by the checksum, with a footer
+        // diagnosis rather than a confusing parse error.
+        let tampered = sealed.replacen("cluster id", "cluster xd", 1);
+        let err = read_clusters(&tampered).unwrap_err().to_string();
+        assert!(err.contains("footer"), "{err}");
     }
 
     #[test]

@@ -1,16 +1,106 @@
 //! A small blocking client for the newline-delimited JSON protocol —
 //! used by the bench load generator, the CI smoke test, and anyone
 //! scripting a `dar serve` instance from Rust.
+//!
+//! Structured server errors surface as a typed [`ServerError`] inside the
+//! returned `io::Error` (recover it with [`ServerError::of`]), so callers
+//! can distinguish transient conditions — `overloaded` backpressure,
+//! `degraded` read-only mode — from hard failures. The `*_with_retry`
+//! methods do that automatically under a bounded-exponential [`Backoff`]
+//! with deterministic jitter, reconnecting between attempts (a refused
+//! connection is answered and then hung up on, so the old socket is dead).
 
 use crate::json::{self, Json};
 use crate::protocol::Request;
 use mining::RuleQuery;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// A structured error response from the server, carried inside the
+/// `io::Error` that request methods return.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerError {
+    /// The machine-readable error code (`overloaded`, `degraded`,
+    /// `rejected`, `bad-query`, …).
+    pub code: String,
+    /// The human-readable detail.
+    pub message: String,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "server error {}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl ServerError {
+    /// Recovers the structured error from an `io::Error`, if that is what
+    /// it carries.
+    pub fn of(err: &io::Error) -> Option<&ServerError> {
+        err.get_ref()?.downcast_ref::<ServerError>()
+    }
+
+    /// Whether retrying (after a backoff delay) can plausibly succeed:
+    /// `overloaded` clears when the accept queue drains, and `degraded`
+    /// clears when an operator restarts the server on healthy storage.
+    pub fn is_transient(&self) -> bool {
+        matches!(self.code.as_str(), "overloaded" | "degraded")
+    }
+}
+
+/// Bounded exponential backoff with deterministic jitter.
+///
+/// Delay for attempt *n* is `base · 2ⁿ` capped at `cap`, then jittered
+/// into `[d/2, d]` by a hash of `seed` and *n* — deterministic, so tests
+/// reproduce, but distinct across clients given distinct seeds (hand each
+/// load-generator thread its index as the seed).
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    /// Retries after the initial attempt.
+    pub attempts: u32,
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+    /// Jitter stream selector.
+    pub seed: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            attempts: 5,
+            base: Duration::from_millis(20),
+            cap: Duration::from_secs(1),
+            seed: 0,
+        }
+    }
+}
+
+impl Backoff {
+    /// The jittered delay before retry number `attempt` (0-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << attempt.min(20)).min(self.cap);
+        let d = exp.as_nanos().min(u64::MAX as u128) as u64;
+        if d == 0 {
+            return Duration::ZERO;
+        }
+        // SplitMix64 over (seed, attempt): cheap, deterministic jitter.
+        let mut z = self.seed.wrapping_add(u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        Duration::from_nanos(d / 2 + z % (d / 2 + 1))
+    }
+}
 
 /// One connection to a `dar serve` instance.
 pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
 }
@@ -21,11 +111,24 @@ impl Client {
     /// # Errors
     /// Connection/setup failures.
     pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolved empty"))?;
         let stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client { reader, writer: BufWriter::new(stream) })
+        Ok(Client { addr, timeout, reader, writer: BufWriter::new(stream) })
+    }
+
+    /// Drops the current socket and dials the same address again.
+    ///
+    /// # Errors
+    /// Connection/setup failures.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        *self = Client::connect(self.addr, self.timeout)?;
+        Ok(())
     }
 
     /// Sends one raw line and returns the raw response line — the
@@ -54,6 +157,34 @@ impl Client {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}: {line}")))
     }
 
+    /// Sends a [`Request`], retrying transient failures — `overloaded`
+    /// backpressure, `degraded` mode, or a connection the server hung up
+    /// on — under `backoff`, reconnecting before each retry.
+    ///
+    /// # Errors
+    /// The last failure once retries are exhausted, or immediately on a
+    /// non-transient error.
+    pub fn request_with_retry(&mut self, request: &Request, backoff: &Backoff) -> io::Result<Json> {
+        let mut attempt = 0;
+        loop {
+            match self.expect_ok(request) {
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    let transient = ServerError::of(&e).is_some_and(ServerError::is_transient)
+                        || e.kind() == io::ErrorKind::UnexpectedEof;
+                    if !transient || attempt >= backoff.attempts {
+                        return Err(e);
+                    }
+                    std::thread::sleep(backoff.delay(attempt));
+                    attempt += 1;
+                    // A refused connection was hung up on; start clean. If
+                    // the dial fails, the next expect_ok reports it.
+                    let _ = self.reconnect();
+                }
+            }
+        }
+    }
+
     /// `ingest` a batch; returns the server's total tuple count.
     ///
     /// # Errors
@@ -63,12 +194,29 @@ impl Client {
         Ok(response.get("total").and_then(Json::as_u64).unwrap_or(0))
     }
 
+    /// [`Client::ingest`] with transient failures retried under `backoff`.
+    ///
+    /// # Errors
+    /// As [`Client::request_with_retry`].
+    pub fn ingest_with_retry(&mut self, rows: Vec<Vec<f64>>, backoff: &Backoff) -> io::Result<u64> {
+        let response = self.request_with_retry(&Request::Ingest { rows }, backoff)?;
+        Ok(response.get("total").and_then(Json::as_u64).unwrap_or(0))
+    }
+
     /// `query`; returns the decoded response object.
     ///
     /// # Errors
     /// I/O failures or a structured server error.
     pub fn query(&mut self, query: RuleQuery) -> io::Result<Json> {
         self.expect_ok(&Request::Query { query })
+    }
+
+    /// [`Client::query`] with transient failures retried under `backoff`.
+    ///
+    /// # Errors
+    /// As [`Client::request_with_retry`].
+    pub fn query_with_retry(&mut self, query: RuleQuery, backoff: &Backoff) -> io::Result<Json> {
+        self.request_with_retry(&Request::Query { query }, backoff)
     }
 
     /// `stats`; returns the decoded response object.
@@ -102,7 +250,39 @@ impl Client {
         } else {
             let code = response.get("error").and_then(Json::as_str).unwrap_or("unknown");
             let message = response.get("message").and_then(Json::as_str).unwrap_or("");
-            Err(io::Error::other(format!("server error {code}: {message}")))
+            Err(io::Error::other(ServerError { code: code.into(), message: message.into() }))
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_errors_survive_the_io_error_wrapper() {
+        let inner = ServerError { code: "degraded".into(), message: "read-only".into() };
+        let err = io::Error::other(inner.clone());
+        let back = ServerError::of(&err).expect("downcast");
+        assert_eq!(back, &inner);
+        assert!(back.is_transient());
+        assert!(!ServerError { code: "bad-query".into(), message: String::new() }.is_transient());
+        assert!(ServerError::of(&io::Error::other("plain string")).is_none());
+    }
+
+    #[test]
+    fn backoff_is_bounded_deterministic_and_jittered() {
+        let b = Backoff { attempts: 8, base: Duration::from_millis(10), ..Backoff::default() };
+        for attempt in 0..b.attempts {
+            let d = b.delay(attempt);
+            assert!(d <= b.cap, "attempt {attempt}: {d:?} exceeds cap");
+            let exp = b.base.saturating_mul(1 << attempt).min(b.cap);
+            assert!(d >= exp / 2, "attempt {attempt}: {d:?} below half of {exp:?}");
+            assert_eq!(d, b.delay(attempt), "same seed and attempt must repeat");
+        }
+        // Distinct seeds give distinct jitter streams (with overwhelming
+        // probability for any particular attempt).
+        let other = Backoff { seed: 1, ..b.clone() };
+        assert!((0..8).any(|a| b.delay(a) != other.delay(a)));
     }
 }

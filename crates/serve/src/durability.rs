@@ -1,0 +1,119 @@
+//! Crash-safety wiring between the server and `dar-durable`.
+//!
+//! The server's commit protocol: apply the batch to the engine, append it
+//! to the WAL, and acknowledge only after the append succeeds. If the
+//! append fails, the server flips to a sticky *degraded* (read-only) mode
+//! — queries keep being served from memory, but further ingest is refused
+//! with a structured `degraded` error, because acknowledging writes the
+//! log cannot hold would silently lose them on the next crash.
+//!
+//! Lock ordering: the durable store's mutex is acquired **before** the
+//! engine's `RwLock` on every path that touches both (ingest and
+//! snapshot-install). That serializes WAL order with engine apply order —
+//! the recovered replay sequence is exactly the acknowledged sequence —
+//! and makes deadlock impossible by construction.
+
+use crate::shared::SharedEngine;
+use crate::stats::ServerStats;
+use dar_durable::{DurableStore, RecoveryReport, Storage};
+use dar_engine::DarEngine;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The server's handle on the durable artifacts: the [`DurableStore`]
+/// under the mutex that defines the store-before-engine lock order.
+pub struct Durability {
+    store: Mutex<DurableStore>,
+}
+
+impl Durability {
+    /// Opens the durable store for the given paths. The recovered state is
+    /// discarded — callers recover the engine separately (see
+    /// [`recover_engine`]) before the server starts; this open only
+    /// re-derives the next WAL sequence number from disk.
+    ///
+    /// # Errors
+    /// Unreadable/unrepairable artifacts, as [`DurableStore::open`].
+    pub fn open(
+        storage: Arc<dyn Storage>,
+        snapshot_path: Option<&Path>,
+        wal_path: Option<&Path>,
+    ) -> io::Result<Durability> {
+        let (store, _) = DurableStore::open(
+            storage,
+            snapshot_path.map(Path::to_path_buf),
+            wal_path.map(Path::to_path_buf),
+        )
+        .map_err(io::Error::other)?;
+        Ok(Durability { store: Mutex::new(store) })
+    }
+
+    /// Locks the store. Callers must take this lock *before* any engine
+    /// lock they intend to hold concurrently.
+    pub fn lock(&self) -> MutexGuard<'_, DurableStore> {
+        self.store.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// Recovers an engine from the durable artifacts at boot: loads the
+/// newest verifiable snapshot (falling back past corrupt ones), restores
+/// it — or keeps `fresh` when no snapshot survives — and replays the WAL
+/// suffix. Returns the recovered engine and a report of what was found.
+///
+/// # Errors
+/// Unrepairable artifacts, an unparseable (but checksum-valid) snapshot,
+/// or replay failures — all conditions where silently starting empty
+/// would masquerade as data loss.
+pub fn recover_engine(
+    fresh: DarEngine,
+    storage: Arc<dyn Storage>,
+    snapshot_path: Option<&Path>,
+    wal_path: Option<&Path>,
+) -> io::Result<(DarEngine, RecoveryReport)> {
+    let (_, recovered) = DurableStore::open(
+        storage,
+        snapshot_path.map(Path::to_path_buf),
+        wal_path.map(Path::to_path_buf),
+    )
+    .map_err(io::Error::other)?;
+    let config = fresh.config().clone();
+    let mut engine = match &recovered.snapshot {
+        Some(body) => DarEngine::restore(body, config)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+        None => fresh,
+    };
+    engine
+        .replay_wal(&recovered.batches)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok((engine, recovered.report))
+}
+
+/// Closes the current epoch and installs it through the atomic snapshot
+/// protocol, returning `(epoch, tuples)`. Counts the outcome in
+/// `snapshots_written` / `snapshot_failures`.
+///
+/// # Errors
+/// Serialization or install failures; the previous good snapshot (and the
+/// WAL records it needs) remain untouched on disk.
+pub fn persist_snapshot(
+    shared: &SharedEngine,
+    durability: &Durability,
+    stats: &ServerStats,
+) -> io::Result<(u64, u64)> {
+    // Store lock before engine lock — same order as the ingest path.
+    let mut store = durability.lock();
+    let outcome = (|| {
+        let (text, epoch, tuples) = shared
+            .snapshot()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        store.install_snapshot(&text).map_err(io::Error::other)?;
+        Ok((epoch, tuples))
+    })();
+    match &outcome {
+        Ok(_) => stats.snapshots_written.fetch_add(1, Ordering::Relaxed),
+        Err(_) => stats.snapshot_failures.fetch_add(1, Ordering::Relaxed),
+    };
+    outcome
+}

@@ -27,7 +27,12 @@
 //! * [`ServerStats`] — connections, per-verb request counters, rejects,
 //!   p50/p99 latency; served over the wire by the `stats` verb.
 //! * [`Client`] — a small blocking client for scripting and load
-//!   generation.
+//!   generation, with bounded-backoff retry helpers for `overloaded`/
+//!   `degraded` responses.
+//! * [`recover_engine`] / [`Durability`] — the `dar-durable` wiring:
+//!   boot-time recovery (snapshot restore + WAL replay), apply-then-log
+//!   ingest acknowledged only after the WAL append, atomic snapshot
+//!   installs, and sticky degraded (read-only) mode when the log fails.
 //!
 //! The CLI front-end is `dar serve --addr … --threads … --snapshot-path …`;
 //! the load generator lives in `dar-bench` (`--bin server`). See
@@ -37,13 +42,15 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod durability;
 pub mod json;
 pub mod protocol;
 mod server;
 mod shared;
 mod stats;
 
-pub use client::Client;
+pub use client::{Backoff, Client, ServerError};
+pub use durability::{recover_engine, Durability};
 pub use json::{Json, JsonError};
 pub use protocol::Request;
 pub use server::{ServeConfig, ServeSummary, Server, ServerHandle};

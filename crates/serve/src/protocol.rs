@@ -265,6 +265,7 @@ pub fn engine_stats_json(stats: &EngineStats, shared_read_hits: u64) -> Json {
         ("batches", Json::Num(stats.batches as f64)),
         ("rejected_batches", Json::Num(stats.rejected_batches as f64)),
         ("epochs", Json::Num(stats.epochs as f64)),
+        ("wal_batches_replayed", Json::Num(stats.wal_batches_replayed as f64)),
         ("forest_rebuilds", Json::Num(stats.forest_rebuilds as f64)),
         ("queries", Json::Num(stats.queries as f64)),
         ("cache_hits", Json::Num(stats.cache_hits as f64)),

@@ -21,10 +21,12 @@
 //!   accepting, drains queued connections, joins every thread, closes the
 //!   epoch, and writes a final snapshot.
 
+use crate::durability::{persist_snapshot, Durability};
 use crate::json::{self, Json};
 use crate::protocol::{self, Request};
 use crate::shared::SharedEngine;
 use crate::stats::{ServerStats, StatsSnapshot};
+use dar_durable::{DiskStorage, Storage};
 use dar_engine::DarEngine;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -52,6 +54,13 @@ pub struct ServeConfig {
     pub snapshot_path: Option<PathBuf>,
     /// Periodic snapshot-to-disk interval (requires `snapshot_path`).
     pub snapshot_interval: Option<Duration>,
+    /// Write-ahead log path. When set, every acknowledged ingest batch is
+    /// appended (checksummed, fsynced) *before* the acknowledgement; a
+    /// failed append flips the server to degraded read-only mode.
+    pub wal_path: Option<PathBuf>,
+    /// The storage backend the WAL and snapshot installs go through —
+    /// [`DiskStorage`] in production, a fault-injecting double in tests.
+    pub storage: Arc<dyn Storage>,
     /// Whether the wire verb `shutdown` may stop the server (on by
     /// default; operators driving the server from scripts need it).
     pub allow_remote_shutdown: bool,
@@ -66,6 +75,8 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(30),
             snapshot_path: None,
             snapshot_interval: None,
+            wal_path: None,
+            storage: Arc::new(DiskStorage),
             allow_remote_shutdown: true,
         }
     }
@@ -98,6 +109,7 @@ struct WorkerCtx {
     shared: Arc<SharedEngine>,
     stats: Arc<ServerStats>,
     shutdown: Arc<ShutdownSignal>,
+    durability: Option<Arc<Durability>>,
     config: ServeConfig,
 }
 
@@ -112,13 +124,26 @@ impl Server {
     /// `shutdown` request.
     ///
     /// # Errors
-    /// Propagates bind failures.
+    /// Propagates bind failures and unrepairable durability artifacts.
+    ///
+    /// Note: the engine passed in should already be recovered (see
+    /// [`crate::recover_engine`]); this constructor only reopens the
+    /// durable store to position the WAL sequence counter.
     pub fn start(engine: DarEngine, addr: &str, config: ServeConfig) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(SharedEngine::new(engine));
         let stats = Arc::new(ServerStats::default());
         let shutdown = Arc::new(ShutdownSignal { flag: AtomicBool::new(false), addr: local_addr });
+        let durability = if config.snapshot_path.is_some() || config.wal_path.is_some() {
+            Some(Arc::new(Durability::open(
+                Arc::clone(&config.storage),
+                config.snapshot_path.as_deref(),
+                config.wal_path.as_deref(),
+            )?))
+        } else {
+            None
+        };
 
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
@@ -130,6 +155,7 @@ impl Server {
                 shared: Arc::clone(&shared),
                 stats: Arc::clone(&stats),
                 shutdown: Arc::clone(&shutdown),
+                durability: durability.clone(),
                 config: config.clone(),
             };
             workers.push(
@@ -149,19 +175,19 @@ impl Server {
             })?
         };
 
-        let snapshotter = match (&config.snapshot_path, config.snapshot_interval) {
-            (Some(path), Some(interval)) => {
+        let snapshotter = match (&durability, &config.snapshot_path, config.snapshot_interval) {
+            (Some(durability), Some(_), Some(interval)) => {
                 let shared = Arc::clone(&shared);
                 let stats = Arc::clone(&stats);
                 let shutdown = Arc::clone(&shutdown);
-                let path = path.clone();
+                let durability = Arc::clone(durability);
                 Some(std::thread::Builder::new().name("dar-serve-snapshotter".into()).spawn(
                     move || {
                         let mut last = Instant::now();
                         while !shutdown.is_set() {
                             std::thread::sleep(Duration::from_millis(25));
                             if last.elapsed() >= interval {
-                                let _ = write_snapshot_file(&shared, &path, &stats);
+                                let _ = persist_snapshot(&shared, &durability, &stats);
                                 last = Instant::now();
                             }
                         }
@@ -179,6 +205,7 @@ impl Server {
             acceptor: Some(acceptor),
             workers,
             snapshotter,
+            durability,
             snapshot_path: config.snapshot_path,
         })
     }
@@ -194,6 +221,7 @@ pub struct ServerHandle {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     snapshotter: Option<JoinHandle<()>>,
+    durability: Option<Arc<Durability>>,
     snapshot_path: Option<PathBuf>,
 }
 
@@ -247,23 +275,13 @@ impl ServerHandle {
         if let Some(snapshotter) = self.snapshotter.take() {
             let _ = snapshotter.join();
         }
-        if let Some(path) = &self.snapshot_path {
-            write_snapshot_file(&self.shared, path, &self.stats)?;
+        if self.snapshot_path.is_some() {
+            if let Some(durability) = &self.durability {
+                persist_snapshot(&self.shared, durability, &self.stats)?;
+            }
         }
         Ok(ServeSummary { stats: self.stats.snapshot(), snapshot_path: self.snapshot_path })
     }
-}
-
-fn write_snapshot_file(
-    shared: &SharedEngine,
-    path: &std::path::Path,
-    stats: &ServerStats,
-) -> io::Result<()> {
-    let (text, _, _) =
-        shared.snapshot().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    std::fs::write(path, text)?;
-    stats.snapshots_written.fetch_add(1, Ordering::Relaxed);
-    Ok(())
 }
 
 fn accept_loop(
@@ -364,13 +382,51 @@ fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, bool) {
         counter.fetch_add(1, Ordering::Relaxed);
     };
     match request {
-        Request::Ingest { rows } => match ctx.shared.ingest(&rows) {
-            Ok(total) => {
-                count(&ctx.stats.ingest_requests);
-                (protocol::ingest_response(rows.len() as u64, total), false)
+        Request::Ingest { rows } => {
+            if ctx.stats.is_degraded() {
+                return (
+                    error(
+                        ctx,
+                        "degraded",
+                        "write-ahead log unavailable; serving reads only — \
+                         restart with healthy storage to resume ingest",
+                    ),
+                    false,
+                );
             }
-            Err(e) => (error(ctx, "rejected", &e.to_string()), false),
-        },
+            // Store lock before engine lock: WAL commit order must equal
+            // engine apply order, or recovery replays a different history
+            // than the one that was acknowledged.
+            let mut store =
+                ctx.durability.as_ref().filter(|_| ctx.config.wal_path.is_some()).map(|d| d.lock());
+            match ctx.shared.ingest(&rows) {
+                Ok(total) => {
+                    if let Some(store) = store.as_deref_mut() {
+                        // Apply-then-log: acknowledge only once the batch
+                        // is both in memory and on the log.
+                        if let Err(e) = store.log_batch(&rows) {
+                            ctx.stats.wal_append_failures.fetch_add(1, Ordering::Relaxed);
+                            ctx.stats.set_degraded();
+                            return (
+                                error(
+                                    ctx,
+                                    "degraded",
+                                    &format!(
+                                        "batch applied in memory but not committed to the \
+                                         write-ahead log ({e}); entering read-only mode"
+                                    ),
+                                ),
+                                false,
+                            );
+                        }
+                        ctx.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
+                    }
+                    count(&ctx.stats.ingest_requests);
+                    (protocol::ingest_response(rows.len() as u64, total), false)
+                }
+                Err(e) => (error(ctx, "rejected", &e.to_string()), false),
+            }
+        }
         Request::Query { query } => match ctx.shared.query(&query) {
             Ok(outcome) => {
                 count(&ctx.stats.query_requests);
@@ -394,22 +450,24 @@ fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, bool) {
             ]);
             (response, false)
         }
-        Request::Snapshot => match ctx.shared.snapshot() {
-            Ok((text, epoch, tuples)) => {
-                count(&ctx.stats.snapshot_requests);
-                let path = match &ctx.config.snapshot_path {
-                    Some(path) => {
-                        if let Err(e) = std::fs::write(path, &text) {
-                            return (error(ctx, "io", &e.to_string()), false);
-                        }
-                        ctx.stats.snapshots_written.fetch_add(1, Ordering::Relaxed);
-                        Some(path.display().to_string())
+        Request::Snapshot => match (&ctx.durability, &ctx.config.snapshot_path) {
+            (Some(durability), Some(path)) => {
+                match persist_snapshot(&ctx.shared, durability, &ctx.stats) {
+                    Ok((epoch, tuples)) => {
+                        count(&ctx.stats.snapshot_requests);
+                        let shown = path.display().to_string();
+                        (protocol::snapshot_response(epoch, tuples, Some(&shown)), false)
                     }
-                    None => None,
-                };
-                (protocol::snapshot_response(epoch, tuples, path.as_deref()), false)
+                    Err(e) => (error(ctx, "io", &e.to_string()), false),
+                }
             }
-            Err(e) => (error(ctx, "snapshot", &e.to_string()), false),
+            _ => match ctx.shared.snapshot() {
+                Ok((_, epoch, tuples)) => {
+                    count(&ctx.stats.snapshot_requests);
+                    (protocol::snapshot_response(epoch, tuples, None), false)
+                }
+                Err(e) => (error(ctx, "snapshot", &e.to_string()), false),
+            },
         },
         Request::Shutdown => {
             if ctx.config.allow_remote_shutdown {

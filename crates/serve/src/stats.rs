@@ -36,6 +36,17 @@ pub struct ServerStats {
     pub error_responses: AtomicU64,
     /// Snapshots written to disk (periodic + final).
     pub snapshots_written: AtomicU64,
+    /// Snapshot installs that failed (the previous good snapshot stays).
+    pub snapshot_failures: AtomicU64,
+    /// Ingest batches committed to the write-ahead log.
+    pub wal_appends: AtomicU64,
+    /// WAL appends that failed; each flips the server to degraded mode.
+    pub wal_append_failures: AtomicU64,
+    /// 0/1: whether the server is in degraded (read-only) mode. Sticky —
+    /// once the WAL refuses a committed batch, acknowledging further
+    /// ingest would silently lose data on the next crash, so ingest stays
+    /// refused until an operator restarts with healthy storage.
+    degraded: AtomicU64,
     latencies: Mutex<LatencyReservoir>,
 }
 
@@ -47,6 +58,16 @@ struct LatencyReservoir {
 }
 
 impl ServerStats {
+    /// Flips the server into degraded (read-only) mode. Sticky.
+    pub fn set_degraded(&self) {
+        self.degraded.store(1, Ordering::SeqCst);
+    }
+
+    /// Whether the server is refusing ingest in degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst) != 0
+    }
+
     /// Records one request's wall-clock latency.
     pub fn record_latency(&self, elapsed: Duration) {
         let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
@@ -81,6 +102,10 @@ impl ServerStats {
             shutdown_requests: get(&self.shutdown_requests),
             error_responses: get(&self.error_responses),
             snapshots_written: get(&self.snapshots_written),
+            snapshot_failures: get(&self.snapshot_failures),
+            wal_appends: get(&self.wal_appends),
+            wal_append_failures: get(&self.wal_append_failures),
+            degraded: self.is_degraded(),
             requests_sampled,
             p50_us,
             p99_us,
@@ -119,6 +144,14 @@ pub struct StatsSnapshot {
     pub error_responses: u64,
     /// Snapshots written to disk.
     pub snapshots_written: u64,
+    /// Snapshot installs that failed.
+    pub snapshot_failures: u64,
+    /// Ingest batches committed to the write-ahead log.
+    pub wal_appends: u64,
+    /// WAL appends that failed.
+    pub wal_append_failures: u64,
+    /// Whether the server is in degraded (read-only) mode.
+    pub degraded: bool,
     /// Requests whose latency was recorded (lifetime, not just the
     /// reservoir window).
     pub requests_sampled: u64,
@@ -154,6 +187,10 @@ impl StatsSnapshot {
             ("shutdown_requests", Json::Num(self.shutdown_requests as f64)),
             ("error_responses", Json::Num(self.error_responses as f64)),
             ("snapshots_written", Json::Num(self.snapshots_written as f64)),
+            ("snapshot_failures", Json::Num(self.snapshot_failures as f64)),
+            ("wal_appends", Json::Num(self.wal_appends as f64)),
+            ("wal_append_failures", Json::Num(self.wal_append_failures as f64)),
+            ("degraded", Json::Bool(self.degraded)),
             ("p50_us", Json::Num(self.p50_us as f64)),
             ("p99_us", Json::Num(self.p99_us as f64)),
         ])
