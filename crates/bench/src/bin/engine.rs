@@ -18,6 +18,31 @@ const TUPLES: usize = 100_000;
 const BATCHES: usize = 10;
 const QUERY_REPS: u32 = 25;
 
+/// Fetches a histogram family's process-global snapshot by name.
+fn histogram(name: &str) -> dar_obs::HistogramSnapshot {
+    dar_obs::global()
+        .snapshot()
+        .into_iter()
+        .find_map(|m| match (m.name == name, m.value) {
+            (true, dar_obs::MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("histogram {name} not registered"))
+}
+
+/// Sums every series of a counter family in the process-global registry.
+fn counter_total(name: &str) -> u64 {
+    dar_obs::global()
+        .snapshot()
+        .into_iter()
+        .filter(|m| m.name == name)
+        .map(|m| match m.value {
+            dar_obs::MetricValue::Counter(v) => v,
+            _ => 0,
+        })
+        .sum()
+}
+
 fn main() {
     let relation = insurance_relation(TUPLES, 42);
     let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
@@ -64,6 +89,11 @@ fn main() {
     let stats = engine.stats();
     let speedup = cold_wall.as_secs_f64() / cached_each.as_secs_f64().max(1e-12);
 
+    // --- per-stage metrics from the process-global registry --------------
+    let phase1 = histogram("dar_engine_phase1_insert_ns");
+    let phase2 = histogram("dar_mining_phase2_build_ns");
+    let cliques = counter_total("dar_mining_cliques_total");
+
     print_table(
         "Engine: ingest throughput and query latency",
         &["quantity", "value"],
@@ -80,6 +110,15 @@ fn main() {
             vec!["cache hits".into(), stats.cache_hits.to_string()],
             vec!["cache misses".into(), stats.cache_misses.to_string()],
             vec!["forest rebuilds".into(), stats.forest_rebuilds.to_string()],
+            vec![
+                "phase1 insert p99 (ms/batch)".into(),
+                format!("{:.3}", phase1.quantile(0.99) as f64 / 1e6),
+            ],
+            vec![
+                "phase2 build p99 (ms)".into(),
+                format!("{:.3}", phase2.quantile(0.99) as f64 / 1e6),
+            ],
+            vec!["cliques found".into(), cliques.to_string()],
         ],
     );
 
@@ -95,7 +134,14 @@ fn main() {
     let _ = writeln!(json, "  \"rules_cold\": {rules_cold},");
     let _ = writeln!(json, "  \"cache_hits\": {},", stats.cache_hits);
     let _ = writeln!(json, "  \"cache_misses\": {},", stats.cache_misses);
-    let _ = writeln!(json, "  \"forest_rebuilds\": {}", stats.forest_rebuilds);
+    let _ = writeln!(json, "  \"forest_rebuilds\": {},", stats.forest_rebuilds);
+    let _ = writeln!(json, "  \"phase1_insert_ns_p50\": {},", phase1.quantile(0.50));
+    let _ = writeln!(json, "  \"phase1_insert_ns_p99\": {},", phase1.quantile(0.99));
+    let _ = writeln!(json, "  \"phase1_insert_batches\": {},", phase1.count);
+    let _ = writeln!(json, "  \"phase2_build_ns_p50\": {},", phase2.quantile(0.50));
+    let _ = writeln!(json, "  \"phase2_build_ns_p99\": {},", phase2.quantile(0.99));
+    let _ = writeln!(json, "  \"phase2_builds\": {},", phase2.count);
+    let _ = writeln!(json, "  \"cliques\": {cliques}");
     json.push_str("}\n");
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("\n  wrote BENCH_engine.json");

@@ -121,6 +121,23 @@ fn connect(addr: &str) -> Client {
     Client::connect(addr, Duration::from_secs(30)).unwrap_or_else(|e| panic!("connect {addr}: {e}"))
 }
 
+/// Finds one series in the wire registry (`metrics` verb response) by
+/// family name and returns the requested numeric field (`value`, `p50`,
+/// `p99`, `count`, …). Zero when the family is absent.
+fn metric_field(registry: &Json, name: &str, field: &str) -> f64 {
+    registry
+        .get("metrics")
+        .and_then(Json::as_array)
+        .and_then(|series| {
+            series
+                .iter()
+                .find(|m| m.get("name").and_then(Json::as_str) == Some(name))
+                .and_then(|m| m.get(field))
+                .and_then(Json::as_f64)
+        })
+        .unwrap_or(0.0)
+}
+
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -217,6 +234,13 @@ fn main() {
     let cache_hits = counter(&engine, "cache_hits");
     let rejected = counter(&server, "rejected_connections");
 
+    // --- per-stage metrics over the wire (`metrics` verb) ----------------
+    let metrics_wire = writer.metrics().expect("metrics verb");
+    let registry = metrics_wire.get("registry").cloned().unwrap_or(Json::Obj(Vec::new()));
+    let phase1_p99 = metric_field(&registry, "dar_engine_phase1_insert_ns", "p99");
+    let phase2_p99 = metric_field(&registry, "dar_mining_phase2_build_ns", "p99");
+    let cliques = metric_field(&registry, "dar_mining_cliques_total", "value");
+
     if send_shutdown {
         writer.shutdown().expect("shutdown");
     }
@@ -241,6 +265,9 @@ fn main() {
             vec!["shared read hits".into(), shared_read_hits.to_string()],
             vec!["engine cache hits".into(), cache_hits.to_string()],
             vec!["rejected connections".into(), rejected.to_string()],
+            vec!["phase1 insert p99 (ms/batch)".into(), format!("{:.3}", phase1_p99 / 1e6)],
+            vec!["phase2 build p99 (ms)".into(), format!("{:.3}", phase2_p99 / 1e6)],
+            vec!["cliques found".into(), format!("{cliques:.0}")],
         ],
     );
 
@@ -259,6 +286,9 @@ fn main() {
         ("shared_read_hits", Json::Num(shared_read_hits as f64)),
         ("engine_cache_hits", Json::Num(cache_hits as f64)),
         ("rejected_connections", Json::Num(rejected as f64)),
+        ("phase1_insert_ns_p99", Json::Num(phase1_p99)),
+        ("phase2_build_ns_p99", Json::Num(phase2_p99)),
+        ("cliques", Json::Num(cliques)),
     ]);
     std::fs::write(&opts.out, format!("{}\n", report.encode())).expect("write report");
     println!("\n  wrote {}", opts.out);

@@ -34,6 +34,7 @@
 
 pub mod config;
 pub mod forest;
+mod metrics;
 pub mod refine;
 pub mod tree;
 

@@ -1,0 +1,43 @@
+//! Global observability handles for Phase I (`dar_birch_*`).
+//!
+//! All handles are resolved once (first use) and cached in a `OnceLock`,
+//! so the insert hot path pays only relaxed atomic increments — the
+//! registry map is never touched per point. Registering the whole family
+//! eagerly also means every `dar_birch_*` series shows up in exposition
+//! (at zero) before the first rebuild happens.
+
+use dar_obs::{global, Counter};
+use std::sync::OnceLock;
+
+/// The Phase I metric family.
+pub(crate) struct BirchMetrics {
+    /// `dar_birch_inserts_total`: points inserted across all trees.
+    pub inserts: Counter,
+    /// `dar_birch_rebuilds_total`: threshold-raise rebuilds performed.
+    pub rebuilds: Counter,
+    /// `dar_birch_threshold_raises_total`: rebuilds that strictly raised
+    /// the diameter threshold (all of them, in practice — kept separate
+    /// so a same-threshold rebuild would be visible).
+    pub threshold_raises: Counter,
+    /// `dar_birch_outliers_paged_total`: leaf entries paged to the
+    /// outlier store during rebuilds.
+    pub outliers_paged: Counter,
+    /// `dar_birch_outliers_reinserted_total`: paged entries re-inserted
+    /// at `finish()`.
+    pub outliers_reinserted: Counter,
+}
+
+/// The cached handles (shared by every tree in the process).
+pub(crate) fn metrics() -> &'static BirchMetrics {
+    static METRICS: OnceLock<BirchMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        BirchMetrics {
+            inserts: r.counter("dar_birch_inserts_total"),
+            rebuilds: r.counter("dar_birch_rebuilds_total"),
+            threshold_raises: r.counter("dar_birch_threshold_raises_total"),
+            outliers_paged: r.counter("dar_birch_outliers_paged_total"),
+            outliers_reinserted: r.counter("dar_birch_outliers_reinserted_total"),
+        }
+    })
+}

@@ -118,6 +118,7 @@ impl AcfTree {
     pub fn insert_point(&mut self, projections: &[Vec<f64>]) {
         debug_assert_eq!(projections.len(), self.layout.num_sets());
         self.points_inserted += 1;
+        crate::metrics::metrics().inserts.inc();
         if let Some(sibling) = self.insert_point_rec(self.root, projections) {
             self.grow_root(sibling);
         }
@@ -164,6 +165,7 @@ impl AcfTree {
     /// outliers") and returns the final cluster summaries.
     pub fn finish(mut self) -> Vec<Acf> {
         let outliers = std::mem::take(&mut self.outliers);
+        crate::metrics::metrics().outliers_reinserted.add(outliers.len() as u64);
         for acf in outliers {
             self.insert_entry(acf);
         }
@@ -565,6 +567,7 @@ impl AcfTree {
     /// paging out candidate outliers. No data rescan (Section 4.3.1).
     fn rebuild(&mut self, new_threshold: f64) {
         debug_assert!(new_threshold >= self.threshold);
+        let old_threshold = self.threshold;
         let mut carried: Vec<Acf> = Vec::with_capacity(self.leaf_entry_count);
         for node in std::mem::take(&mut self.nodes) {
             if let Node::Leaf { entries } = node {
@@ -577,14 +580,30 @@ impl AcfTree {
         self.threshold = new_threshold;
         self.threshold_sq = new_threshold * new_threshold;
         let limit = self.config.outlier_entry_limit;
+        let mut paged = 0u64;
         for acf in carried {
             if limit > 0 && acf.n() < limit {
                 self.outliers.push(acf);
+                paged += 1;
             } else {
                 self.insert_entry(acf);
             }
         }
         self.rebuilds += 1;
+        let m = crate::metrics::metrics();
+        m.rebuilds.inc();
+        if new_threshold > old_threshold {
+            m.threshold_raises.inc();
+        }
+        m.outliers_paged.add(paged);
+        dar_obs::event(
+            "birch.rebuild",
+            &[
+                ("set", &self.set.to_string()),
+                ("threshold", &format!("{new_threshold:.6}")),
+                ("outliers_paged", &paged.to_string()),
+            ],
+        );
     }
 }
 

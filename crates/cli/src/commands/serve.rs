@@ -59,6 +59,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         .map_err(|e| CliError::new(format!("bind {addr}: {e}")))?;
     // Announce on stderr immediately — stdout is the post-shutdown report.
     eprintln!("dar serve: listening on {}", handle.addr());
+    if let Some(metrics_addr) = handle.metrics_addr() {
+        eprintln!("dar serve: metrics exposition on {metrics_addr}");
+    }
     let summary = handle.join()?;
     Ok(report(&summary))
 }
@@ -101,6 +104,7 @@ pub fn build(args: &Args) -> Result<(DarEngine, ServeConfig), CliError> {
             secs => Some(Duration::from_secs(secs)),
         },
         wal_path: args.optional("wal-path").map(std::path::PathBuf::from),
+        metrics_addr: args.optional("metrics-addr").map(String::from),
         ..ServeConfig::default()
     };
     if serve_config.snapshot_interval.is_some() && serve_config.snapshot_path.is_none() {
@@ -167,6 +171,8 @@ mod tests {
             "1.5",
             "--wal-path",
             "ingest.wal",
+            "--metrics-addr",
+            "127.0.0.1:0",
         ]))
         .unwrap();
         let (engine, config) = build(&args).unwrap();
@@ -176,6 +182,7 @@ mod tests {
         assert_eq!(config.read_timeout, Duration::from_millis(500));
         assert!(config.snapshot_path.is_none());
         assert_eq!(config.wal_path.as_deref(), Some(std::path::Path::new("ingest.wal")));
+        assert_eq!(config.metrics_addr.as_deref(), Some("127.0.0.1:0"));
     }
 
     #[test]

@@ -143,6 +143,13 @@ pub fn run_script(script: &str, args: &Args) -> Result<String, CliError> {
         step(&mut session, verb, &rest, &mut out)
             .map_err(|e| CliError::new(format!("line {}: {e}", lineno + 1)))?;
     }
+    if let Some(path) = args.optional("metrics-out") {
+        // Final observability dump: everything the session's engine,
+        // Phase I/II, and WAL recorded, as one deterministic JSON object.
+        std::fs::write(path, dar_obs::global().render_json())
+            .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+        let _ = writeln!(out, "metrics: written to {path}");
+    }
     Ok(out)
 }
 

@@ -93,15 +93,18 @@ pub fn usage() -> String {
                  [--memory-kb K] [--metric d0|d1|d2] [--density-factor F]\n\
                  [--degree-factor F] [--top N] [--rescan] [--out RULES.tsv]\n\
        session   [--script FILE] [--support F] [--threshold-frac F]\n\
-                 [--memory-kb K] [--metric d0|d1|d2]\n\
+                 [--memory-kb K] [--metric d0|d1|d2] [--metrics-out FILE]\n\
                  scripted engine: ingest/snapshot/restore/query/stats lines\n\
-                 from FILE (or stdin); see `dar-cli`'s session module docs\n\
+                 from FILE (or stdin); see `dar-cli`'s session module docs;\n\
+                 --metrics-out dumps the final metrics registry as JSON\n\
        serve     --addr HOST:PORT [--attrs N] [--threads T] [--queue Q]\n\
                  [--support F] [--memory-kb K] [--metric d0|d1|d2]\n\
                  [--initial-threshold F] [--timeout-ms MS]\n\
                  [--snapshot-path FILE.snap] [--snapshot-secs S]\n\
+                 [--wal-path FILE.wal] [--metrics-addr HOST:PORT]\n\
                  TCP server speaking newline-delimited JSON; blocks until\n\
-                 a wire `shutdown` request, then prints final counters\n\
+                 a wire `shutdown` request, then prints final counters;\n\
+                 --metrics-addr serves Prometheus text to any scraper\n\
        help      this text\n"
         .to_string()
 }

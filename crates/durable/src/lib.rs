@@ -30,6 +30,7 @@
 pub mod batch;
 pub mod crc;
 pub mod error;
+mod metrics;
 pub mod snapshot;
 pub mod storage;
 pub mod store;

@@ -1,0 +1,42 @@
+//! Global observability handles for the persistence layer
+//! (`dar_durable_*`). Handles are cached in a `OnceLock`; the family
+//! registers eagerly on first use so zero-valued series are visible in
+//! exposition before the first append or seal.
+
+use dar_obs::{global, Counter};
+use std::sync::OnceLock;
+
+/// The durability metric family.
+pub(crate) struct DurableMetrics {
+    /// `dar_durable_wal_appends_total`: records committed to the WAL.
+    pub wal_appends: Counter,
+    /// `dar_durable_wal_append_failures_total`: appends that failed.
+    pub wal_append_failures: Counter,
+    /// `dar_durable_wal_bytes_total`: framed bytes appended (header +
+    /// sequence + payload).
+    pub wal_bytes: Counter,
+    /// `dar_durable_wal_fsyncs_total`: stable-storage syncs issued by the
+    /// append path (one per committed record).
+    pub wal_fsyncs: Counter,
+    /// `dar_durable_snapshot_seals_total`: snapshots sealed and installed.
+    pub snapshot_seals: Counter,
+    /// `dar_durable_snapshot_failures_total`: snapshot installs that
+    /// failed partway through the atomic protocol.
+    pub snapshot_failures: Counter,
+}
+
+/// The cached handles.
+pub(crate) fn metrics() -> &'static DurableMetrics {
+    static METRICS: OnceLock<DurableMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        DurableMetrics {
+            wal_appends: r.counter("dar_durable_wal_appends_total"),
+            wal_append_failures: r.counter("dar_durable_wal_append_failures_total"),
+            wal_bytes: r.counter("dar_durable_wal_bytes_total"),
+            wal_fsyncs: r.counter("dar_durable_wal_fsyncs_total"),
+            snapshot_seals: r.counter("dar_durable_snapshot_seals_total"),
+            snapshot_failures: r.counter("dar_durable_snapshot_failures_total"),
+        }
+    })
+}

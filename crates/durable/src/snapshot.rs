@@ -128,6 +128,30 @@ pub fn install(
     body: &str,
     seq: u64,
 ) -> Result<(), DurableError> {
+    let m = crate::metrics::metrics();
+    match install_protocol(storage, path, body, seq) {
+        Ok(()) => {
+            m.snapshot_seals.inc();
+            dar_obs::event("durable.snapshot_seal", &[("seq", &seq.to_string())]);
+            Ok(())
+        }
+        Err(e) => {
+            m.snapshot_failures.inc();
+            dar_obs::event(
+                "durable.snapshot_failure",
+                &[("seq", &seq.to_string()), ("error", &e.to_string())],
+            );
+            Err(e)
+        }
+    }
+}
+
+fn install_protocol(
+    storage: &dyn Storage,
+    path: &Path,
+    body: &str,
+    seq: u64,
+) -> Result<(), DurableError> {
     let sealed = seal(body, seq);
     let tmp = tmp_path(path);
     storage.write(&tmp, sealed.as_bytes()).map_err(|e| DurableError::io("write", &tmp, e))?;

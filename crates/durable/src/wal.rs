@@ -83,7 +83,20 @@ pub fn append_record(
     body: &[u8],
 ) -> Result<(), DurableError> {
     ensure(storage, path)?;
-    storage.append(path, &frame(seq, body)).map_err(|e| DurableError::io("append", path, e))
+    let framed = frame(seq, body);
+    let m = crate::metrics::metrics();
+    match storage.append(path, &framed) {
+        Ok(()) => {
+            m.wal_appends.inc();
+            m.wal_bytes.add(framed.len() as u64);
+            m.wal_fsyncs.inc();
+            Ok(())
+        }
+        Err(e) => {
+            m.wal_append_failures.inc();
+            Err(DurableError::io("append", path, e))
+        }
+    }
 }
 
 /// Reads every committed record, tolerating a torn tail. A missing file

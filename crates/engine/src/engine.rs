@@ -122,10 +122,12 @@ impl DarEngine {
         for (r, row) in rows.iter().enumerate() {
             if row.len() != width {
                 self.stats.rejected_batches += 1;
+                crate::metrics::metrics().rejected_batches.inc();
                 return Err(CoreError::ArityMismatch { expected: width, got: row.len() });
             }
             if let Some(attr) = row.iter().position(|v| !v.is_finite()) {
                 self.stats.rejected_batches += 1;
+                crate::metrics::metrics().rejected_batches.inc();
                 return Err(CoreError::NonFiniteValue { attr, row: r });
             }
         }
@@ -133,6 +135,10 @@ impl DarEngine {
         for row in rows {
             self.forest.insert_values(row);
         }
+        let m = crate::metrics::metrics();
+        m.phase1_insert_ns.observe_duration(t.elapsed());
+        m.ingest_batches.inc();
+        m.tuples.add(rows.len() as u64);
         self.tuples += rows.len() as u64;
         self.stats.tuples_ingested += rows.len() as u64;
         self.stats.batches += 1;
@@ -172,6 +178,9 @@ impl DarEngine {
         self.epoch += 1;
         self.stats.epochs += 1;
         self.stats.epoch_time += t.elapsed();
+        let m = crate::metrics::metrics();
+        m.epochs.inc();
+        m.epoch_close_ns.observe_duration(t.elapsed());
     }
 
     /// Answers one rule-mining query against the current epoch, closing it
@@ -194,10 +203,12 @@ impl DarEngine {
         let (artifacts, cached) = match hit {
             Some(artifacts) => {
                 self.stats.cache_hits += 1;
+                crate::metrics::metrics().cache_hits.inc();
                 (artifacts, true)
             }
             None => {
                 self.stats.cache_misses += 1;
+                crate::metrics::metrics().cache_misses.inc();
                 let t = Instant::now();
                 let state = self.epoch_state.as_ref().expect("epoch just ensured");
                 let frequent: Vec<ClusterSummary> =
@@ -340,6 +351,7 @@ impl DarEngine {
         for rows in batches {
             self.ingest(rows)?;
             self.stats.wal_batches_replayed += 1;
+            crate::metrics::metrics().wal_batches_replayed.inc();
         }
         Ok(batches.len() as u64)
     }

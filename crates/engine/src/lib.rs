@@ -64,6 +64,7 @@
 
 mod config;
 mod engine;
+mod metrics;
 mod snapshot;
 mod stats;
 

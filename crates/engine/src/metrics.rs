@@ -1,0 +1,52 @@
+//! Global observability handles for the long-lived engine
+//! (`dar_engine_*`). Handles are cached in a `OnceLock`; the family
+//! registers eagerly on first use so zero-valued series are visible in
+//! exposition before any traffic arrives.
+
+use dar_obs::{global, Counter, Histogram};
+use std::sync::OnceLock;
+
+/// The engine metric family.
+pub(crate) struct EngineMetrics {
+    /// `dar_engine_ingest_batches_total`: accepted ingest batches.
+    pub ingest_batches: Counter,
+    /// `dar_engine_tuples_total`: tuples inserted into the live forest.
+    pub tuples: Counter,
+    /// `dar_engine_rejected_batches_total`: batches rejected by
+    /// validation (arity mismatch, non-finite values).
+    pub rejected_batches: Counter,
+    /// `dar_engine_epochs_total`: epochs closed.
+    pub epochs: Counter,
+    /// `dar_engine_cache_hits_total`: Phase II artifact cache hits.
+    pub cache_hits: Counter,
+    /// `dar_engine_cache_misses_total`: Phase II artifact cache misses.
+    pub cache_misses: Counter,
+    /// `dar_engine_wal_batches_replayed_total`: batches re-applied from
+    /// the WAL during recovery.
+    pub wal_batches_replayed: Counter,
+    /// `dar_engine_phase1_insert_ns`: wall-clock of each batch's Phase I
+    /// insert loop.
+    pub phase1_insert_ns: Histogram,
+    /// `dar_engine_epoch_close_ns`: wall-clock of each epoch close
+    /// (cluster extraction + optional refinement).
+    pub epoch_close_ns: Histogram,
+}
+
+/// The cached handles.
+pub(crate) fn metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        EngineMetrics {
+            ingest_batches: r.counter("dar_engine_ingest_batches_total"),
+            tuples: r.counter("dar_engine_tuples_total"),
+            rejected_batches: r.counter("dar_engine_rejected_batches_total"),
+            epochs: r.counter("dar_engine_epochs_total"),
+            cache_hits: r.counter("dar_engine_cache_hits_total"),
+            cache_misses: r.counter("dar_engine_cache_misses_total"),
+            wal_batches_replayed: r.counter("dar_engine_wal_batches_replayed_total"),
+            phase1_insert_ns: r.histogram("dar_engine_phase1_insert_ns"),
+            epoch_close_ns: r.histogram("dar_engine_epoch_close_ns"),
+        }
+    })
+}

@@ -35,6 +35,7 @@ pub mod describe;
 pub mod gqar;
 pub mod graph;
 pub mod interest;
+mod metrics;
 pub mod persist;
 pub mod pipeline;
 pub mod query;

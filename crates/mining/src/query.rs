@@ -149,6 +149,8 @@ impl Phase2Artifacts {
         prune_poor_density: bool,
         max_cliques: usize,
     ) -> Self {
+        let m = crate::metrics::metrics();
+        let _t = dar_obs::Span::new(m.phase2_build_ns.clone());
         let graph = ClusteringGraph::build(
             frequent,
             &GraphConfig {
@@ -158,6 +160,14 @@ impl Phase2Artifacts {
             },
         );
         let (cliques, cliques_truncated) = maximal_cliques(graph.adjacency(), max_cliques);
+        m.graph_builds.inc();
+        m.graph_edges.add(graph.edges as u64);
+        m.comparisons.add(graph.comparisons);
+        m.pruned_images.add(graph.pruned_images as u64);
+        m.cliques.add(cliques.len() as u64);
+        if cliques_truncated {
+            m.cliques_truncated.inc();
+        }
         Phase2Artifacts { density_thresholds, graph, cliques, cliques_truncated }
     }
 
@@ -171,11 +181,18 @@ impl Phase2Artifacts {
     ///
     /// Returns the rules and whether generation hit a budget.
     pub fn mine(&self, metric: ClusterDistance, query: &RuleQuery) -> (Vec<Dar>, bool) {
-        generate_dars_capped(
+        let m = crate::metrics::metrics();
+        let _t = dar_obs::Span::new(m.rule_gen_ns.clone());
+        let (rules, truncated) = generate_dars_capped(
             &self.graph,
             &self.cliques,
             &query.rule_config(metric, &self.density_thresholds),
-        )
+        );
+        m.rules_emitted.add(rules.len() as u64);
+        if truncated {
+            m.rules_truncated.inc();
+        }
+        (rules, truncated)
     }
 }
 

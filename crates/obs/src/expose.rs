@@ -1,0 +1,149 @@
+//! A minimal plain-TCP exposer for Prometheus text format.
+//!
+//! One acceptor thread; each connection gets the current rendering of the
+//! global registry wrapped in a tiny HTTP/1.0 response, then the socket
+//! closes. That satisfies both real scrapers (`GET /metrics`) and a bare
+//! `printf '' | nc host port` — the request line, if any, is drained with
+//! a short read timeout and otherwise ignored.
+
+use crate::registry::global;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long to wait for (and drain) a scraper's request bytes before
+/// responding anyway.
+const REQUEST_DRAIN_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// A background TCP listener serving the global registry's Prometheus
+/// text rendering to every connection. Stopped by [`shutdown`] or drop.
+///
+/// [`shutdown`]: MetricsExposer::shutdown
+#[derive(Debug)]
+pub struct MetricsExposer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl MetricsExposer {
+    /// Binds `addr` (e.g. `127.0.0.1:9100`, or port 0 for ephemeral) and
+    /// starts serving.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<MetricsExposer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let acceptor = std::thread::Builder::new()
+            .name("dar-obs-exposer".to_string())
+            .spawn(move || accept_loop(listener, flag))?;
+        Ok(MetricsExposer { addr, stop, acceptor: Some(acceptor) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops the acceptor thread and waits for it to exit. Idempotent.
+    pub fn shutdown(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock accept() by connecting to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        let _ = acceptor.join();
+    }
+}
+
+impl Drop for MetricsExposer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Scrapes are cheap (render + one write); serve inline rather
+        // than spawning per connection.
+        let _ = serve_scrape(stream);
+    }
+}
+
+fn serve_scrape(mut stream: TcpStream) -> std::io::Result<()> {
+    let _ = stream.set_read_timeout(Some(REQUEST_DRAIN_TIMEOUT));
+    // Drain whatever request the client sends (an HTTP GET, or nothing at
+    // all from `nc`); stop at the header terminator, EOF, or timeout.
+    let mut buf = [0u8; 1024];
+    let mut seen: Vec<u8> = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                seen.extend_from_slice(&buf[..n]);
+                if seen.windows(4).any(|w| w == b"\r\n\r\n") || seen.len() >= 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = global().render_prometheus();
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: std::net::SocketAddr, request: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request).expect("write");
+        let _ = stream.shutdown(Shutdown::Write);
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    #[test]
+    fn exposer_serves_prometheus_text_to_http_and_raw_clients() {
+        global().counter("dar_obs_test_scrapes_total").inc();
+        let mut exposer = MetricsExposer::bind("127.0.0.1:0").expect("bind");
+        let addr = exposer.addr();
+
+        let http = scrape(addr, b"GET /metrics HTTP/1.0\r\n\r\n");
+        assert!(http.starts_with("HTTP/1.0 200 OK"), "{http}");
+        assert!(http.contains("text/plain"), "{http}");
+        assert!(http.contains("# TYPE dar_obs_test_scrapes_total counter"), "{http}");
+
+        // A bare client that sends nothing still gets the payload.
+        let raw = scrape(addr, b"");
+        assert!(raw.contains("dar_obs_test_scrapes_total"), "{raw}");
+
+        exposer.shutdown();
+        exposer.shutdown(); // idempotent
+        assert!(
+            TcpStream::connect(addr).map(|_| ()).is_err() || {
+                // The OS may briefly accept to a dead listener backlog; a
+                // second connect must fail once the queue drains.
+                std::thread::sleep(Duration::from_millis(50));
+                TcpStream::connect(addr).is_err()
+            }
+        );
+    }
+}

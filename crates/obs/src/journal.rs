@@ -1,0 +1,112 @@
+//! A bounded ring-buffer journal of structured events: rebuilds,
+//! threshold raises, degraded-mode flips, snapshot seals. Recording takes
+//! a short mutex on a `VecDeque` — events are rare (per-rebuild, not
+//! per-insert), so this is never on a hot path.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number (never reused, survives eviction).
+    pub seq: u64,
+    /// Milliseconds since the Unix epoch at recording time.
+    pub unix_ms: u64,
+    /// Event kind, dotted `crate.what` style (e.g. `birch.rebuild`).
+    pub kind: String,
+    /// Free-form string fields, in recording order.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Event {
+    /// Appends this event as a JSON object to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        let _ = write!(out, "{{\"seq\":{},\"unix_ms\":{},\"kind\":", self.seq, self.unix_ms);
+        crate::registry::json_string(out, &self.kind);
+        out.push_str(",\"fields\":{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::registry::json_string(out, k);
+            out.push(':');
+            crate::registry::json_string(out, v);
+        }
+        out.push_str("}}");
+    }
+}
+
+/// Bounded event ring: keeps the most recent `capacity` events.
+#[derive(Debug, Default)]
+pub struct Journal {
+    capacity: usize,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<Event>>,
+}
+
+impl Journal {
+    /// A journal holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Journal {
+        Journal {
+            capacity,
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(64))),
+        }
+    }
+
+    /// Records an event, evicting the oldest if the ring is full.
+    pub fn record(&self, kind: &str, fields: &[(&str, &str)]) {
+        let event = Event {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+                .unwrap_or(0),
+            kind: kind.to_string(),
+            fields: fields.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+        };
+        let mut ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// The ring's current contents, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.ring.lock().unwrap_or_else(|p| p.into_inner()).iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_most_recent_and_sequences_monotonically() {
+        let j = Journal::new(3);
+        for i in 0..5 {
+            j.record("test.tick", &[("i", &i.to_string())]);
+        }
+        let events = j.events();
+        assert_eq!(events.len(), 3, "capacity bounds the ring");
+        assert_eq!(events[0].seq, 2, "oldest two evicted");
+        assert_eq!(events[2].seq, 4);
+        assert_eq!(events[2].fields, vec![("i".to_string(), "4".to_string())]);
+    }
+
+    #[test]
+    fn event_renders_as_json_object() {
+        let j = Journal::new(4);
+        j.record("durable.snapshot_seal", &[("seq", "7")]);
+        let mut out = String::new();
+        j.events()[0].write_json(&mut out);
+        assert!(out.starts_with("{\"seq\":0,"), "{out}");
+        assert!(out.contains("\"kind\":\"durable.snapshot_seal\""), "{out}");
+        assert!(out.ends_with("\"fields\":{\"seq\":\"7\"}}"), "{out}");
+    }
+}

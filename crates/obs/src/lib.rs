@@ -1,0 +1,73 @@
+//! # dar-obs
+//!
+//! Workspace-wide observability for the DAR mining stack: a process-global
+//! metrics registry, lightweight span timers, and a bounded event journal
+//! — all `std`-only, dependency-free, and lock-free on every hot path.
+//!
+//! The paper's adaptive Phase I (threshold raises, tree rebuilds, outlier
+//! paging) and summary-only Phase II (graph build, maximal-clique
+//! enumeration) are exactly the stages whose costs decide whether the
+//! engine is "as fast as the hardware allows" — this crate makes them
+//! visible without perturbing them:
+//!
+//! * [`Counter`] / [`Gauge`] — one relaxed atomic op per update; totals
+//!   are exact under arbitrary contention.
+//! * [`Histogram`] — fixed-boundary log2 buckets (65 of them, one per
+//!   bit length) with exact `sum`/`count`/`min`/`max`, so p50/p99 are
+//!   derivable from the full population with no sampling bias and no
+//!   lock. Recording is a handful of relaxed atomics.
+//! * [`Span`] — an RAII guard feeding a histogram with elapsed
+//!   nanoseconds: `let _t = obs::span("phase1.insert");`.
+//! * [`Registry`] — get-or-create handles by `(name, labels)`; the
+//!   registration map is behind an `RwLock`, but call sites cache their
+//!   handles (typically in `OnceLock` statics), so steady state never
+//!   touches it.
+//! * event journal — a bounded ring buffer of structured events
+//!   (rebuilds, threshold raises, degraded-mode flips, snapshot seals)
+//!   rendered as JSON; see [`Registry::event`].
+//!
+//! Exposition, two ways:
+//!
+//! * [`Registry::render_prometheus`] — Prometheus text format (`# TYPE`
+//!   lines, deterministic sorted name/label order), served over plain TCP
+//!   by [`MetricsExposer`] so any scraper (or `nc`) can poll it;
+//! * [`Registry::render_json`] — a deterministic JSON encoding of every
+//!   metric plus the event journal, embedded by `dar-serve`'s `metrics`
+//!   verb and dumped by `dar session --metrics-out`.
+//!
+//! Naming convention: `dar_<crate>_<name>_<unit>` — e.g.
+//! `dar_birch_rebuilds_total`, `dar_serve_request_ns`. See `DESIGN.md`
+//! §10 "Observability".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod expose;
+mod journal;
+mod metric;
+mod registry;
+mod span;
+
+pub use expose::MetricsExposer;
+pub use journal::Event;
+pub use metric::{
+    bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, NUM_BUCKETS,
+};
+pub use registry::{global, MetricSnapshot, MetricValue, Registry};
+pub use span::Span;
+
+/// Starts an RAII span timer feeding the global histogram `name` (created
+/// on first use). Elapsed wall-clock nanoseconds are recorded when the
+/// guard drops.
+///
+/// Convenience for cold paths; hot paths should cache the [`Histogram`]
+/// handle and use [`Span::new`] so no registry lookup happens per call.
+pub fn span(name: &str) -> Span {
+    Span::new(global().histogram(name))
+}
+
+/// Records a structured event in the global journal. Convenience for
+/// [`Registry::event`] on [`global`].
+pub fn event(kind: &str, fields: &[(&str, &str)]) {
+    global().event(kind, fields);
+}

@@ -1,0 +1,280 @@
+//! The three metric primitives: counters, gauges, and log2-bucket
+//! histograms. All are cheap cloneable handles (`Arc` inside) whose
+//! updates are single relaxed atomic operations — safe to hammer from any
+//! number of threads with exact totals.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A monotonically increasing counter. Totals are exact under contention
+/// (every update is one `fetch_add`).
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero (detached from any registry).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways (e.g. a 0/1 mode flag
+/// or a resident-entries level).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh gauge at zero (detached from any registry).
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one per bit length of a `u64` value
+/// (bucket 0 holds zeros, bucket `i` holds values in `[2^(i-1), 2^i - 1]`,
+/// bucket 64 tops out at `u64::MAX`).
+pub const NUM_BUCKETS: usize = 65;
+
+/// The bucket a value lands in: its bit length.
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The inclusive `[lower, upper]` value range of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        _ => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-boundary log2-bucket histogram over `u64` values (typically
+/// nanoseconds). Recording touches a handful of relaxed atomics — no
+/// mutex, no allocation, no sampling: every observation lands in its
+/// bucket, so quantiles derived from a [`HistogramSnapshot`] reflect the
+/// full population (bucket-bounded, bias-free), unlike a reservoir.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// A fresh empty histogram (detached from any registry).
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let inner = &*self.0;
+        inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.min.fetch_min(value, Ordering::Relaxed);
+        inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds (saturating on the absurd).
+    pub fn observe_duration(&self, elapsed: Duration) {
+        self.observe(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// A point-in-time copy of the buckets and summary statistics.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &*self.0;
+        let buckets = std::array::from_fn(|i| inner.buckets[i].load(Ordering::Relaxed));
+        let count = inner.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets,
+            sum: inner.sum.load(Ordering::Relaxed),
+            count,
+            min: if count == 0 { 0 } else { inner.min.load(Ordering::Relaxed) },
+            max: inner.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A consistent-enough point-in-time copy of a [`Histogram`], with
+/// quantile estimation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_bounds`]).
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by nearest rank with
+    /// linear interpolation inside the rank's bucket. The estimate is
+    /// always within the recorded `[min, max]` and within the bounds of
+    /// the bucket containing that rank — there is no sampling bias to
+    /// correct for, only bucket-width rounding.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                // Tighten the bucket's bounds by the recorded extremes:
+                // every sample in this bucket lies in both ranges.
+                let (lo, hi) = bucket_bounds(i);
+                let lo = lo.max(self.min);
+                let hi = hi.min(self.max);
+                let frac = (rank - cum) as f64 / c as f64;
+                let est = lo as f64 + (hi - lo) as f64 * frac;
+                return (est as u64).clamp(lo, hi);
+            }
+            cum += c;
+        }
+        self.max
+    }
+
+    /// The mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_geometry_is_consistent() {
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX / 2, u64::MAX] {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "value {v} outside bucket {i} = [{lo}, {hi}]");
+        }
+        // Buckets tile the whole u64 range without gaps or overlap.
+        for i in 1..NUM_BUCKETS {
+            assert_eq!(bucket_bounds(i).0, bucket_bounds(i - 1).1 + 1, "gap before bucket {i}");
+        }
+        assert_eq!(bucket_bounds(NUM_BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn histogram_tracks_sum_count_min_max() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile(0.5), 0, "empty histogram reports zero");
+        for v in [5u64, 9, 1000, 3] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1017);
+        assert_eq!(s.min, 3);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean() - 254.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_samples_yield_exact_quantiles() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.observe(7_000);
+        }
+        let s = h.snapshot();
+        // min == max pins the interpolation to the exact value.
+        assert_eq!(s.quantile(0.0), 7_000);
+        assert_eq!(s.quantile(0.5), 7_000);
+        assert_eq!(s.quantile(0.99), 7_000);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let h = Histogram::new();
+        for ms in 1..=100u64 {
+            h.observe(ms * 1_000_000);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.50);
+        let p99 = s.quantile(0.99);
+        assert!(p50 <= p99);
+        assert!(s.min <= p50 && p99 <= s.max);
+        // Log2 buckets around 50ms span [2^25, 2^26) ns; the interpolated
+        // estimate should land near the true median.
+        assert!((45_000_000..=55_000_000).contains(&p50), "p50 = {p50}");
+        assert!((95_000_000..=100_000_000).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+    }
+}

@@ -1,0 +1,416 @@
+//! The metrics registry: get-or-create handles by `(name, labels)`, and
+//! deterministic renderings of everything registered.
+//!
+//! The map itself sits behind an `RwLock`, but it is touched only at
+//! handle creation (call sites cache handles, typically in `OnceLock`
+//! statics) and at exposition time — never on a metric's hot path.
+
+use crate::journal::{Event, Journal};
+use crate::metric::{bucket_bounds, Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{OnceLock, RwLock};
+
+/// Registration key: metric name plus its label pairs, sorted by label
+/// name so the same logical series always maps to the same entry.
+type MetricKey = (String, Vec<(String, String)>);
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// How many journal events the bounded ring keeps before evicting the
+/// oldest.
+const JOURNAL_CAPACITY: usize = 1024;
+
+/// A metrics registry: a sorted map of named series plus the event
+/// journal. Most code uses the process-global one via [`global`].
+pub struct Registry {
+    metrics: RwLock<BTreeMap<MetricKey, Metric>>,
+    journal: Journal,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+/// The process-global registry every instrumented crate records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+impl Registry {
+    /// An empty registry (tests; production uses [`global`]).
+    pub fn new() -> Registry {
+        Registry { metrics: RwLock::new(BTreeMap::new()), journal: Journal::new(JOURNAL_CAPACITY) }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let mut key: MetricKey = (
+            name.to_string(),
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+        );
+        key.1.sort();
+        {
+            let map = self.metrics.read().unwrap_or_else(|p| p.into_inner());
+            if let Some(metric) = map.get(&key) {
+                return metric.clone();
+            }
+        }
+        let mut map = self.metrics.write().unwrap_or_else(|p| p.into_inner());
+        map.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Get-or-create the counter `name` (no labels).
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Get-or-create the counter `name` with `labels`.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_insert(name, labels, || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            // A name/type clash is a programming error; hand back a
+            // detached counter rather than panicking in instrumentation.
+            _ => Counter::new(),
+        }
+    }
+
+    /// Get-or-create the gauge `name` (no labels).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.get_or_insert(name, &[], || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            _ => Gauge::new(),
+        }
+    }
+
+    /// Get-or-create the histogram `name` (no labels).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// Get-or-create the histogram `name` with `labels`.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.get_or_insert(name, labels, || Metric::Histogram(Histogram::new())) {
+            Metric::Histogram(h) => h,
+            _ => Histogram::new(),
+        }
+    }
+
+    /// Registers an externally-created histogram under `(name, labels)`,
+    /// so a component can keep a private handle (its own exact series)
+    /// while still exposing it. An existing registration wins (the handle
+    /// already exposed stays); the returned histogram is the one now
+    /// registered.
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        histogram: Histogram,
+    ) -> Histogram {
+        match self.get_or_insert(name, labels, || Metric::Histogram(histogram)) {
+            Metric::Histogram(h) => h,
+            _ => Histogram::new(),
+        }
+    }
+
+    /// Records a structured event in the bounded journal.
+    pub fn event(&self, kind: &str, fields: &[(&str, &str)]) {
+        self.journal.record(kind, fields);
+    }
+
+    /// The journal's current contents, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.journal.events()
+    }
+
+    /// A point-in-time copy of every registered series, sorted by name
+    /// then labels — the deterministic order both renderers share.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let map = self.metrics.read().unwrap_or_else(|p| p.into_inner());
+        map.iter()
+            .map(|((name, labels), metric)| MetricSnapshot {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect()
+    }
+
+    /// Renders every series in Prometheus text exposition format:
+    /// `# TYPE` lines per family, stable sorted name and label order,
+    /// histograms as cumulative `_bucket{le=…}` series plus `_sum` and
+    /// `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family: Option<String> = None;
+        for m in self.snapshot() {
+            if last_family.as_deref() != Some(m.name.as_str()) {
+                let kind = match m.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {} {kind}", m.name);
+                last_family = Some(m.name.clone());
+            }
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {v}", m.name, label_set(&m.labels, None));
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {v}", m.name, label_set(&m.labels, None));
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (i, &c) in h.buckets.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        cum += c;
+                        let le = bucket_bounds(i).1.to_string();
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {cum}",
+                            m.name,
+                            label_set(&m.labels, Some(&le))
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        m.name,
+                        label_set(&m.labels, Some("+Inf")),
+                        h.count
+                    );
+                    let _ = writeln!(out, "{}_sum{} {}", m.name, label_set(&m.labels, None), h.sum);
+                    let _ =
+                        writeln!(out, "{}_count{} {}", m.name, label_set(&m.labels, None), h.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders every series plus the event journal as one deterministic
+    /// JSON object:
+    ///
+    /// ```json
+    /// {"metrics":[{"name":…,"labels":{…},"type":…, …}…],"events":[…]}
+    /// ```
+    ///
+    /// Series order is sorted (name, then labels); histogram buckets are
+    /// `[upper_bound, count]` pairs for the non-empty buckets only.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"metrics\":[");
+        for (i, m) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json_string(&mut out, &m.name);
+            out.push_str(",\"labels\":{");
+            for (j, (k, v)) in m.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json_string(&mut out, k);
+                out.push(':');
+                json_string(&mut out, v);
+            }
+            out.push('}');
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, ",\"type\":\"counter\",\"value\":{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, ",\"type\":\"gauge\",\"value\":{v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        ",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                         \"p50\":{},\"p99\":{},\"buckets\":[",
+                        h.count,
+                        h.sum,
+                        h.min,
+                        h.max,
+                        h.quantile(0.50),
+                        h.quantile(0.99)
+                    );
+                    let mut first = true;
+                    for (b, &c) in h.buckets.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        if !first {
+                            out.push(',');
+                        }
+                        first = false;
+                        let _ = write!(out, "[{},{c}]", bucket_bounds(b).1);
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("],\"events\":[");
+        for (i, e) in self.events().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            e.write_json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Renders a Prometheus label set (`{a="x",le="+Inf"}` or the empty
+/// string), with the optional `le` label appended last.
+fn label_set(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some(le) = le {
+        if !labels.is_empty() {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Appends `s` as a JSON string literal (quotes included).
+pub(crate) fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One registered series at a point in time.
+#[derive(Debug, Clone)]
+pub struct MetricSnapshot {
+    /// The series name (`dar_<crate>_<name>_<unit>`).
+    pub name: String,
+    /// Label pairs, sorted by label name.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: MetricValue,
+}
+
+/// A snapshot of one metric's value.
+// Snapshots are read-path values built once per scrape; the inline
+// 520-byte bucket array is cheaper than an allocation per series.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(i64),
+    /// Histogram buckets + summary.
+    Histogram(crate::metric::HistogramSnapshot),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_key_and_split_by_labels() {
+        let r = Registry::new();
+        let a = r.counter("dar_test_shared_total");
+        let b = r.counter("dar_test_shared_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "same key → same underlying counter");
+        let x = r.counter_with("dar_test_labelled_total", &[("verb", "query")]);
+        let y = r.counter_with("dar_test_labelled_total", &[("verb", "ingest")]);
+        x.inc();
+        assert_eq!(y.get(), 0, "different labels → different series");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_sorted_and_typed() {
+        let r = Registry::new();
+        r.counter("dar_b_total").add(2);
+        r.gauge("dar_a_level").set(-1);
+        let h = r.histogram_with("dar_c_ns", &[("verb", "query")]);
+        h.observe(100);
+        h.observe(3_000);
+        let text = r.render_prometheus();
+        let a = text.find("# TYPE dar_a_level gauge").expect("gauge family");
+        let b = text.find("# TYPE dar_b_total counter").expect("counter family");
+        let c = text.find("# TYPE dar_c_ns histogram").expect("histogram family");
+        assert!(a < b && b < c, "families sorted by name:\n{text}");
+        assert!(text.contains("dar_a_level -1"));
+        assert!(text.contains("dar_b_total 2"));
+        assert!(text.contains("dar_c_ns_bucket{verb=\"query\",le=\"127\"} 1"), "{text}");
+        assert!(text.contains("dar_c_ns_bucket{verb=\"query\",le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("dar_c_ns_sum{verb=\"query\"} 3100"));
+        assert!(text.contains("dar_c_ns_count{verb=\"query\"} 2"));
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic_and_escaped() {
+        let r = Registry::new();
+        r.counter("dar_x_total").inc();
+        r.event("unit.test", &[("detail", "a \"quoted\" thing")]);
+        let one = r.render_json();
+        let two = r.render_json();
+        assert_eq!(one, two, "same state renders identically");
+        assert!(one.contains("\"name\":\"dar_x_total\""));
+        assert!(one.contains("\\\"quoted\\\""), "{one}");
+        assert!(one.contains("\"kind\":\"unit.test\""));
+    }
+
+    #[test]
+    fn registered_private_histogram_is_exposed() {
+        let r = Registry::new();
+        let private = Histogram::new();
+        let exposed = r.register_histogram("dar_private_ns", &[], private.clone());
+        private.observe(42);
+        assert_eq!(exposed.snapshot().count, 1, "same underlying series");
+        assert!(r.render_prometheus().contains("dar_private_ns_count 1"));
+    }
+}

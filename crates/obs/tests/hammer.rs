@@ -1,0 +1,122 @@
+//! Multi-threaded hammer tests: many threads pounding the same handles
+//! must produce *exact* totals — the registry's whole claim is that hot
+//! paths are relaxed atomics, not locks, and lose nothing under
+//! contention. Run under `--release` to give the race a real chance.
+
+use dar_obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
+use std::thread;
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: u64 = 50_000;
+
+#[test]
+fn counter_totals_are_exact_under_contention() {
+    let registry = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let registry = Arc::clone(&registry);
+            thread::spawn(move || {
+                // Half the threads resolve the handle through the registry
+                // (shared series), half clone a cached handle — both paths
+                // must hit the same underlying atomic.
+                let counter: Counter = registry.counter("dar_hammer_ops_total");
+                for i in 0..OPS_PER_THREAD {
+                    if (i + t as u64).is_multiple_of(2) {
+                        counter.inc();
+                    } else {
+                        counter.add(1);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("hammer thread panicked");
+    }
+    assert_eq!(
+        registry.counter("dar_hammer_ops_total").get(),
+        THREADS as u64 * OPS_PER_THREAD,
+        "counter lost updates under contention"
+    );
+}
+
+#[test]
+fn histogram_count_sum_and_extremes_are_exact_under_contention() {
+    let histogram = Histogram::new();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let histogram = histogram.clone();
+            thread::spawn(move || {
+                // Thread t observes t*OPS+1 ..= (t+1)*OPS, so the global
+                // extremes and sum have closed forms.
+                let base = t as u64 * OPS_PER_THREAD;
+                for i in 1..=OPS_PER_THREAD {
+                    histogram.observe(base + i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("hammer thread panicked");
+    }
+    let s = histogram.snapshot();
+    let n = THREADS as u64 * OPS_PER_THREAD;
+    assert_eq!(s.count, n, "histogram lost observations");
+    assert_eq!(s.sum, n * (n + 1) / 2, "histogram sum drifted");
+    assert_eq!(s.min, 1);
+    assert_eq!(s.max, n);
+    assert_eq!(s.buckets.iter().sum::<u64>(), n, "bucket totals drifted");
+    let p50 = s.quantile(0.50);
+    assert!(p50 >= s.min && p50 <= s.max);
+}
+
+#[test]
+fn gauge_sums_signed_deltas_exactly() {
+    let gauge = Gauge::new();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let gauge = gauge.clone();
+            thread::spawn(move || {
+                let delta: i64 = if t.is_multiple_of(2) { 3 } else { -2 };
+                for _ in 0..OPS_PER_THREAD {
+                    gauge.add(delta);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("hammer thread panicked");
+    }
+    // 4 threads of +3 and 4 of -2 per op: net +1 per thread pair per op.
+    let half = THREADS as i64 / 2;
+    let expected = half * OPS_PER_THREAD as i64 * 3 - half * OPS_PER_THREAD as i64 * 2;
+    assert_eq!(gauge.get(), expected);
+}
+
+#[test]
+fn registration_races_converge_to_one_series() {
+    let registry = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let registry = Arc::clone(&registry);
+            thread::spawn(move || {
+                // Every thread races to create the same labelled series,
+                // then increments through its own resolved handle.
+                let c = registry.counter_with("dar_hammer_race_total", &[("verb", "query")]);
+                for _ in 0..1_000 {
+                    c.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("hammer thread panicked");
+    }
+    assert_eq!(
+        registry.counter_with("dar_hammer_race_total", &[("verb", "query")]).get(),
+        THREADS as u64 * 1_000,
+        "racing registrations split the series"
+    );
+    assert_eq!(registry.snapshot().len(), 1, "duplicate series registered");
+}

@@ -1,0 +1,84 @@
+//! Property tests for the log2-bucket histogram: quantile estimates must
+//! always stay within the recorded extremes and within the bounds of the
+//! bucket holding the requested rank — the "no sampling bias, only
+//! bucket-width rounding" contract.
+
+use dar_obs::{bucket_bounds, bucket_index, Histogram};
+use proptest::prelude::*;
+
+/// The bucket a rank falls in, recomputed independently of the
+/// implementation under test.
+fn bucket_of_rank(buckets: &[u64], rank: u64) -> usize {
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        cum += c;
+        if cum >= rank {
+            return i;
+        }
+    }
+    buckets.len() - 1
+}
+
+#[test]
+fn quantiles_stay_within_min_max_and_bucket_bounds() {
+    proptest!(|(samples in prop::collection::vec(0u64..1u64 << 40, 1..200),
+                qx in 0u32..101)| {
+        let q = qx as f64 / 100.0;
+        let h = Histogram::new();
+        for &v in &samples {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        let estimate = s.quantile(q);
+
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        prop_assert!(s.min == min && s.max == max,
+            "snapshot extremes {}..{} vs true {min}..{max}", s.min, s.max);
+        prop_assert!(estimate >= min && estimate <= max,
+            "q={q}: estimate {estimate} outside recorded [{min}, {max}]");
+
+        // The estimate must live inside the bucket that contains the
+        // nearest-rank sample.
+        let rank = ((q * samples.len() as f64).ceil() as u64).clamp(1, samples.len() as u64);
+        let bucket = bucket_of_rank(&s.buckets, rank);
+        let (lo, hi) = bucket_bounds(bucket);
+        prop_assert!(estimate >= lo && estimate <= hi,
+            "q={q}: estimate {estimate} outside rank-{rank} bucket {bucket} = [{lo}, {hi}]");
+    });
+}
+
+#[test]
+fn bucket_counts_and_sum_reflect_every_observation() {
+    proptest!(|(samples in prop::collection::vec(0u64..1u64 << 40, 0..200))| {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, samples.len() as u64);
+        prop_assert_eq!(s.sum, samples.iter().sum::<u64>());
+        prop_assert_eq!(s.buckets.iter().sum::<u64>(), samples.len() as u64);
+        for &v in &samples {
+            prop_assert!(s.buckets[bucket_index(v)] > 0,
+                "bucket for observed value {v} is empty");
+        }
+    });
+}
+
+#[test]
+fn quantiles_are_monotone_in_q() {
+    proptest!(|(samples in prop::collection::vec(0u64..1u64 << 40, 1..200))| {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        let mut prev = 0u64;
+        for qx in 0..=20 {
+            let est = s.quantile(qx as f64 / 20.0);
+            prop_assert!(est >= prev, "quantile not monotone at q={}", qx as f64 / 20.0);
+            prev = est;
+        }
+    });
+}

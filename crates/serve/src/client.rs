@@ -227,6 +227,15 @@ impl Client {
         self.expect_ok(&Request::Stats)
     }
 
+    /// `metrics`; returns the decoded response object (the full `dar-obs`
+    /// registry under `"registry"`).
+    ///
+    /// # Errors
+    /// I/O failures or a structured server error.
+    pub fn metrics(&mut self) -> io::Result<Json> {
+        self.expect_ok(&Request::Metrics)
+    }
+
     /// `snapshot`; returns the decoded response object.
     ///
     /// # Errors

@@ -18,14 +18,18 @@
 //!   parser) for the newline-delimited JSON protocol; deterministic
 //!   encoding makes equal rule sets byte-identical on the wire.
 //! * [`protocol`] — the verb vocabulary: `ingest`, `query`, `clusters`,
-//!   `stats`, `snapshot`, `shutdown`, with structured errors.
+//!   `stats`, `metrics`, `snapshot`, `shutdown`, with structured errors.
 //! * [`Server`] / [`ServerHandle`] — a std-only threaded TCP server:
 //!   fixed worker pool, bounded accept queue with refuse-not-queue
 //!   backpressure, per-connection timeouts, periodic snapshot-to-disk,
 //!   and graceful shutdown that drains, closes the epoch, and persists a
 //!   final snapshot.
 //! * [`ServerStats`] — connections, per-verb request counters, rejects,
-//!   p50/p99 latency; served over the wire by the `stats` verb.
+//!   histogram-derived p50/p99 latency; served over the wire by the
+//!   `stats` verb. The `metrics` verb returns the full `dar-obs`
+//!   registry (every crate's metrics plus the event journal) as JSON,
+//!   and [`ServeConfig::metrics_addr`] adds a plain-TCP Prometheus
+//!   text-exposition listener for scrapers.
 //! * [`Client`] — a small blocking client for scripting and load
 //!   generation, with bounded-backoff retry helpers for `overloaded`/
 //!   `degraded` responses.
@@ -44,6 +48,7 @@
 pub mod client;
 mod durability;
 pub mod json;
+mod metrics;
 pub mod protocol;
 mod server;
 mod shared;

@@ -1,0 +1,62 @@
+//! Global observability handles for the serving layer (`dar_serve_*`).
+//!
+//! Per-verb request counters and latency histograms are resolved once
+//! into a fixed table, so the per-request path is a table scan over eight
+//! static strings plus relaxed atomics — no registry lookup, no mutex.
+
+use dar_obs::{global, Counter, Gauge, Histogram};
+use std::sync::OnceLock;
+
+/// Verb labels with dedicated series. Unknown labels fold into `error`.
+const VERBS: [&str; 8] =
+    ["ingest", "query", "clusters", "stats", "snapshot", "shutdown", "metrics", "error"];
+
+/// The serving-layer metric family.
+pub(crate) struct ServeMetrics {
+    /// `dar_serve_connections_total`: connections accepted.
+    pub connections: Counter,
+    /// `dar_serve_rejected_connections_total`: connections refused by the
+    /// bounded accept queue.
+    pub rejected_connections: Counter,
+    /// `dar_serve_errors_total`: structured error responses sent.
+    pub errors: Counter,
+    /// `dar_serve_degraded`: 0/1 read-only mode flag.
+    pub degraded: Gauge,
+    /// Per-verb `dar_serve_requests_total{verb=…}` and
+    /// `dar_serve_request_ns{verb=…}`.
+    verbs: [(&'static str, Counter, Histogram); VERBS.len()],
+}
+
+impl ServeMetrics {
+    /// The counter/histogram pair for a verb label.
+    pub fn verb(&self, verb: &str) -> (&Counter, &Histogram) {
+        let entry = self
+            .verbs
+            .iter()
+            .find(|(name, _, _)| *name == verb)
+            .unwrap_or(&self.verbs[VERBS.len() - 1]);
+        (&entry.1, &entry.2)
+    }
+}
+
+/// The cached handles.
+pub(crate) fn metrics() -> &'static ServeMetrics {
+    static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        ServeMetrics {
+            connections: r.counter("dar_serve_connections_total"),
+            rejected_connections: r.counter("dar_serve_rejected_connections_total"),
+            errors: r.counter("dar_serve_errors_total"),
+            degraded: r.gauge("dar_serve_degraded"),
+            verbs: std::array::from_fn(|i| {
+                let verb = VERBS[i];
+                (
+                    verb,
+                    r.counter_with("dar_serve_requests_total", &[("verb", verb)]),
+                    r.histogram_with("dar_serve_request_ns", &[("verb", verb)]),
+                )
+            }),
+        }
+    })
+}

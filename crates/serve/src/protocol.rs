@@ -9,6 +9,7 @@
 //! {"verb":"query", …RuleQuery knobs…}       → {"ok":true,"verb":"query","epoch":…,"rules":[…]}
 //! {"verb":"clusters"}                       → {"ok":true,"verb":"clusters","clusters":[…]}
 //! {"verb":"stats"}                          → {"ok":true,"verb":"stats","server":{…},"engine":{…}}
+//! {"verb":"metrics"}                        → {"ok":true,"verb":"metrics","registry":{…}}
 //! {"verb":"snapshot"}                       → {"ok":true,"verb":"snapshot","epoch":…,"path":…}
 //! {"verb":"shutdown"}                       → {"ok":true,"verb":"shutdown"}
 //! ```
@@ -45,6 +46,9 @@ pub enum Request {
     Clusters,
     /// Server + engine counters (reader path).
     Stats,
+    /// The full `dar-obs` registry — every metric across the stack plus
+    /// the event journal — as deterministic JSON (reader path).
+    Metrics,
     /// Close the epoch and persist it to the server's snapshot path.
     Snapshot,
     /// Gracefully stop the server (responds first, then shuts down).
@@ -83,6 +87,7 @@ impl Request {
             "query" => Ok(Request::Query { query: parse_query(value)? }),
             "clusters" => Ok(Request::Clusters),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "snapshot" => Ok(Request::Snapshot),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown verb {other:?}")),
@@ -126,6 +131,7 @@ impl Request {
             }
             Request::Clusters => verb_only("clusters"),
             Request::Stats => verb_only("stats"),
+            Request::Metrics => verb_only("metrics"),
             Request::Snapshot => verb_only("snapshot"),
             Request::Shutdown => verb_only("shutdown"),
         }
@@ -258,6 +264,20 @@ pub fn shutdown_response() -> Json {
     Json::obj(vec![("ok", Json::Bool(true)), ("verb", Json::Str("shutdown".into()))])
 }
 
+/// The `metrics` response: the global `dar-obs` registry (every metric
+/// across the stack plus the event journal), embedded by parsing the
+/// registry's own deterministic JSON rendering so there is exactly one
+/// encoding source.
+pub fn metrics_response() -> Json {
+    let registry = crate::json::parse(&dar_obs::global().render_json())
+        .unwrap_or_else(|e| error_response("internal", &format!("registry rendering: {e}")));
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("verb", Json::Str("metrics".into())),
+        ("registry", registry),
+    ])
+}
+
 /// The engine half of the `stats` response.
 pub fn engine_stats_json(stats: &EngineStats, shared_read_hits: u64) -> Json {
     Json::obj(vec![
@@ -298,6 +318,7 @@ mod tests {
             Request::Query { query: RuleQuery::default() },
             Request::Clusters,
             Request::Stats,
+            Request::Metrics,
             Request::Snapshot,
             Request::Shutdown,
         ];

@@ -64,6 +64,10 @@ pub struct ServeConfig {
     /// Whether the wire verb `shutdown` may stop the server (on by
     /// default; operators driving the server from scripts need it).
     pub allow_remote_shutdown: bool,
+    /// Optional Prometheus exposition address (e.g. `"127.0.0.1:9100"`).
+    /// When set, a plain-TCP listener serves the global `dar-obs`
+    /// registry in Prometheus text format to any scraper (or `nc`).
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +82,7 @@ impl Default for ServeConfig {
             wal_path: None,
             storage: Arc::new(DiskStorage),
             allow_remote_shutdown: true,
+            metrics_addr: None,
         }
     }
 }
@@ -197,6 +202,11 @@ impl Server {
             _ => None,
         };
 
+        let exposer = match &config.metrics_addr {
+            Some(metrics_addr) => Some(dar_obs::MetricsExposer::bind(metrics_addr.as_str())?),
+            None => None,
+        };
+
         Ok(ServerHandle {
             addr: local_addr,
             shared,
@@ -207,6 +217,7 @@ impl Server {
             snapshotter,
             durability,
             snapshot_path: config.snapshot_path,
+            exposer,
         })
     }
 }
@@ -223,6 +234,7 @@ pub struct ServerHandle {
     snapshotter: Option<JoinHandle<()>>,
     durability: Option<Arc<Durability>>,
     snapshot_path: Option<PathBuf>,
+    exposer: Option<dar_obs::MetricsExposer>,
 }
 
 /// What a graceful shutdown left behind.
@@ -251,6 +263,17 @@ impl ServerHandle {
         self.stats.snapshot()
     }
 
+    /// This server's latency histogram — the exact population the `stats`
+    /// verb derives p50/p99 from.
+    pub fn latency_snapshot(&self) -> dar_obs::HistogramSnapshot {
+        self.stats.latency_snapshot()
+    }
+
+    /// Where the Prometheus exposition listener is bound, if enabled.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.exposer.as_ref().map(dar_obs::MetricsExposer::addr)
+    }
+
     /// Triggers graceful shutdown (idempotent): stop accepting, drain the
     /// queue, let in-flight connections finish.
     pub fn shutdown(&self) {
@@ -274,6 +297,9 @@ impl ServerHandle {
         }
         if let Some(snapshotter) = self.snapshotter.take() {
             let _ = snapshotter.join();
+        }
+        if let Some(mut exposer) = self.exposer.take() {
+            exposer.shutdown();
         }
         if self.snapshot_path.is_some() {
             if let Some(durability) = &self.durability {
@@ -307,9 +333,11 @@ fn accept_loop(
         match tx.try_send(stream) {
             Ok(()) => {
                 stats.connections.fetch_add(1, Ordering::Relaxed);
+                crate::metrics::metrics().connections.inc();
             }
             Err(TrySendError::Full(stream)) => {
                 stats.rejected_connections.fetch_add(1, Ordering::Relaxed);
+                crate::metrics::metrics().rejected_connections.inc();
                 refuse(stream, write_timeout);
             }
             Err(TrySendError::Disconnected(_)) => break,
@@ -356,10 +384,10 @@ fn serve_connection(stream: TcpStream, ctx: &WorkerCtx) -> io::Result<()> {
             continue;
         }
         let started = Instant::now();
-        let (response, shutdown_after) = handle_line(&line, ctx);
+        let (response, verb, shutdown_after) = handle_line(&line, ctx);
         writeln!(writer, "{}", response.encode())?;
         writer.flush()?;
-        ctx.stats.record_latency(started.elapsed());
+        ctx.stats.record_latency(verb, started.elapsed());
         if shutdown_after {
             ctx.shutdown.trigger();
             break;
@@ -368,20 +396,31 @@ fn serve_connection(stream: TcpStream, ctx: &WorkerCtx) -> io::Result<()> {
     Ok(())
 }
 
-/// Dispatches one request line; returns the response and whether the
-/// server should shut down after it is written.
-fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, bool) {
+/// Dispatches one request line; returns the response, the verb label the
+/// request's latency is recorded under (`"error"` when it never resolved
+/// to a verb), and whether the server should shut down after the response
+/// is written.
+fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, &'static str, bool) {
     let request = match json::parse(line) {
         Ok(value) => match Request::from_json(&value) {
             Ok(request) => request,
-            Err(message) => return (error(ctx, "bad-request", &message), false),
+            Err(message) => return (error(ctx, "bad-request", &message), "error", false),
         },
-        Err(e) => return (error(ctx, "bad-json", &e.to_string()), false),
+        Err(e) => return (error(ctx, "bad-json", &e.to_string()), "error", false),
+    };
+    let verb = match &request {
+        Request::Ingest { .. } => "ingest",
+        Request::Query { .. } => "query",
+        Request::Clusters => "clusters",
+        Request::Stats => "stats",
+        Request::Metrics => "metrics",
+        Request::Snapshot => "snapshot",
+        Request::Shutdown => "shutdown",
     };
     let count = |counter: &std::sync::atomic::AtomicU64| {
         counter.fetch_add(1, Ordering::Relaxed);
     };
-    match request {
+    let (response, shutdown_after) = match request {
         Request::Ingest { rows } => {
             if ctx.stats.is_degraded() {
                 return (
@@ -391,6 +430,7 @@ fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, bool) {
                         "write-ahead log unavailable; serving reads only — \
                          restart with healthy storage to resume ingest",
                     ),
+                    verb,
                     false,
                 );
             }
@@ -416,6 +456,7 @@ fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, bool) {
                                          write-ahead log ({e}); entering read-only mode"
                                     ),
                                 ),
+                                verb,
                                 false,
                             );
                         }
@@ -438,6 +479,10 @@ fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, bool) {
             count(&ctx.stats.clusters_requests);
             let (epoch, clusters) = ctx.shared.clusters();
             (protocol::clusters_response(epoch, &clusters), false)
+        }
+        Request::Metrics => {
+            count(&ctx.stats.metrics_requests);
+            (protocol::metrics_response(), false)
         }
         Request::Stats => {
             count(&ctx.stats.stats_requests);
@@ -477,10 +522,12 @@ fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, bool) {
                 (error(ctx, "forbidden", "remote shutdown is disabled"), false)
             }
         }
-    }
+    };
+    (response, verb, shutdown_after)
 }
 
 fn error(ctx: &WorkerCtx, code: &str, message: &str) -> Json {
     ctx.stats.error_responses.fetch_add(1, Ordering::Relaxed);
+    crate::metrics::metrics().errors.inc();
     protocol::error_response(code, message)
 }

@@ -1,17 +1,21 @@
-//! Server observability: lock-free counters plus a bounded latency
-//! reservoir, exposed over the wire via the `stats` verb.
+//! Server observability: lock-free counters plus a lock-free latency
+//! histogram, exposed over the wire via the `stats` verb.
+//!
+//! Latencies land in a per-server `dar-obs` log2-bucket [`Histogram`]
+//! (replacing the old mutex-guarded overwrite-when-full reservoir): every
+//! request is counted — no sampling window, no bias, no lock on the hot
+//! path — and p50/p99 are derived from the full population at snapshot
+//! time. Each request is also recorded into the process-global per-verb
+//! `dar_serve_requests_total{verb=…}` / `dar_serve_request_ns{verb=…}`
+//! series for Prometheus exposition.
 
 use crate::json::Json;
+use dar_obs::{Histogram, HistogramSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
-/// How many request latencies the reservoir keeps. Once full, new samples
-/// overwrite old ones round-robin, so the percentiles track recent load.
-const LATENCY_CAPACITY: usize = 8192;
-
-/// Shared, thread-safe server counters. Every field is updated lock-free
-/// except the latency reservoir (a short critical section per request).
+/// Shared, thread-safe server counters. Every update is lock-free,
+/// including latency recording (relaxed atomics into histogram buckets).
 #[derive(Default)]
 pub struct ServerStats {
     /// Connections accepted and handed to the worker pool.
@@ -31,6 +35,8 @@ pub struct ServerStats {
     pub snapshot_requests: AtomicU64,
     /// `shutdown` requests served.
     pub shutdown_requests: AtomicU64,
+    /// `metrics` requests served.
+    pub metrics_requests: AtomicU64,
     /// Requests that produced a structured error response (parse errors,
     /// unknown verbs, engine rejections).
     pub error_responses: AtomicU64,
@@ -47,20 +53,18 @@ pub struct ServerStats {
     /// ingest would silently lose data on the next crash, so ingest stays
     /// refused until an operator restarts with healthy storage.
     degraded: AtomicU64,
-    latencies: Mutex<LatencyReservoir>,
-}
-
-#[derive(Default)]
-struct LatencyReservoir {
-    samples_us: Vec<u64>,
-    next: usize,
-    total: u64,
+    /// Per-server request-latency histogram in nanoseconds. Private (not
+    /// the global registry) so each server's `stats` verb reports its own
+    /// traffic exactly, even with several servers in one process.
+    latency: Histogram,
 }
 
 impl ServerStats {
     /// Flips the server into degraded (read-only) mode. Sticky.
     pub fn set_degraded(&self) {
         self.degraded.store(1, Ordering::SeqCst);
+        crate::metrics::metrics().degraded.set(1);
+        dar_obs::event("serve.degraded", &[("mode", "read-only")]);
     }
 
     /// Whether the server is refusing ingest in degraded mode.
@@ -68,28 +72,25 @@ impl ServerStats {
         self.degraded.load(Ordering::SeqCst) != 0
     }
 
-    /// Records one request's wall-clock latency.
-    pub fn record_latency(&self, elapsed: Duration) {
-        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
-        let mut r = self.latencies.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-        r.total += 1;
-        if r.samples_us.len() < LATENCY_CAPACITY {
-            r.samples_us.push(us);
-        } else {
-            let slot = r.next;
-            r.samples_us[slot] = us;
-            r.next = (slot + 1) % LATENCY_CAPACITY;
-        }
+    /// Records one request's wall-clock latency under its verb label
+    /// (`"error"` for requests that never resolved to a verb).
+    pub fn record_latency(&self, verb: &str, elapsed: Duration) {
+        let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        self.latency.observe(ns);
+        let (requests, request_ns) = crate::metrics::metrics().verb(verb);
+        requests.inc();
+        request_ns.observe(ns);
+    }
+
+    /// A point-in-time copy of this server's latency histogram — the
+    /// exact population `snapshot()` derives p50/p99 from.
+    pub fn latency_snapshot(&self) -> HistogramSnapshot {
+        self.latency.snapshot()
     }
 
     /// A consistent point-in-time copy of every counter.
     pub fn snapshot(&self) -> StatsSnapshot {
-        let (p50_us, p99_us, requests_sampled) = {
-            let r = self.latencies.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-            let mut sorted = r.samples_us.clone();
-            sorted.sort_unstable();
-            (percentile(&sorted, 0.50), percentile(&sorted, 0.99), r.total)
-        };
+        let latency = self.latency.snapshot();
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         StatsSnapshot {
             connections: get(&self.connections),
@@ -100,25 +101,18 @@ impl ServerStats {
             stats_requests: get(&self.stats_requests),
             snapshot_requests: get(&self.snapshot_requests),
             shutdown_requests: get(&self.shutdown_requests),
+            metrics_requests: get(&self.metrics_requests),
             error_responses: get(&self.error_responses),
             snapshots_written: get(&self.snapshots_written),
             snapshot_failures: get(&self.snapshot_failures),
             wal_appends: get(&self.wal_appends),
             wal_append_failures: get(&self.wal_append_failures),
             degraded: self.is_degraded(),
-            requests_sampled,
-            p50_us,
-            p99_us,
+            requests_sampled: latency.count,
+            p50_us: latency.quantile(0.50) / 1_000,
+            p99_us: latency.quantile(0.99) / 1_000,
         }
     }
-}
-
-fn percentile(sorted_us: &[u64], q: f64) -> u64 {
-    if sorted_us.is_empty() {
-        return 0;
-    }
-    let rank = ((sorted_us.len() - 1) as f64 * q).round() as usize;
-    sorted_us[rank.min(sorted_us.len() - 1)]
 }
 
 /// A plain-value copy of [`ServerStats`], ready to assert on or encode.
@@ -140,6 +134,8 @@ pub struct StatsSnapshot {
     pub snapshot_requests: u64,
     /// `shutdown` requests served.
     pub shutdown_requests: u64,
+    /// `metrics` requests served.
+    pub metrics_requests: u64,
     /// Structured error responses sent.
     pub error_responses: u64,
     /// Snapshots written to disk.
@@ -152,13 +148,14 @@ pub struct StatsSnapshot {
     pub wal_append_failures: u64,
     /// Whether the server is in degraded (read-only) mode.
     pub degraded: bool,
-    /// Requests whose latency was recorded (lifetime, not just the
-    /// reservoir window).
+    /// Requests whose latency was recorded — every request since start
+    /// (the histogram has no sampling window).
     pub requests_sampled: u64,
-    /// Median request latency over the reservoir window, microseconds.
+    /// Median request latency over all recorded requests, microseconds
+    /// (histogram-derived).
     pub p50_us: u64,
-    /// 99th-percentile request latency over the reservoir window,
-    /// microseconds.
+    /// 99th-percentile request latency over all recorded requests,
+    /// microseconds (histogram-derived).
     pub p99_us: u64,
 }
 
@@ -172,6 +169,7 @@ impl StatsSnapshot {
             + self.stats_requests
             + self.snapshot_requests
             + self.shutdown_requests
+            + self.metrics_requests
     }
 
     /// The server half of the `stats` response.
@@ -185,6 +183,7 @@ impl StatsSnapshot {
             ("stats_requests", Json::Num(self.stats_requests as f64)),
             ("snapshot_requests", Json::Num(self.snapshot_requests as f64)),
             ("shutdown_requests", Json::Num(self.shutdown_requests as f64)),
+            ("metrics_requests", Json::Num(self.metrics_requests as f64)),
             ("error_responses", Json::Num(self.error_responses as f64)),
             ("snapshots_written", Json::Num(self.snapshots_written as f64)),
             ("snapshot_failures", Json::Num(self.snapshot_failures as f64)),
@@ -204,9 +203,9 @@ mod tests {
     #[test]
     fn latency_percentiles_track_samples() {
         let stats = ServerStats::default();
-        assert_eq!(stats.snapshot().p99_us, 0, "empty reservoir reports zeros");
+        assert_eq!(stats.snapshot().p99_us, 0, "empty histogram reports zeros");
         for ms in 1..=100u64 {
-            stats.record_latency(Duration::from_millis(ms));
+            stats.record_latency("query", Duration::from_millis(ms));
         }
         let snap = stats.snapshot();
         assert_eq!(snap.requests_sampled, 100);
@@ -216,14 +215,30 @@ mod tests {
     }
 
     #[test]
-    fn reservoir_overwrites_round_robin_past_capacity() {
+    fn histogram_has_no_sampling_window() {
+        // The old reservoir overwrote past 8192 samples; the histogram
+        // counts every request and stays exact.
         let stats = ServerStats::default();
-        for _ in 0..(LATENCY_CAPACITY + 500) {
-            stats.record_latency(Duration::from_micros(7));
+        for _ in 0..8_692u64 {
+            stats.record_latency("ingest", Duration::from_micros(7));
         }
         let snap = stats.snapshot();
-        assert_eq!(snap.requests_sampled, (LATENCY_CAPACITY + 500) as u64);
+        assert_eq!(snap.requests_sampled, 8_692);
         assert_eq!(snap.p50_us, 7);
+        assert_eq!(snap.p99_us, 7);
+    }
+
+    #[test]
+    fn wire_percentiles_match_histogram_quantiles() {
+        let stats = ServerStats::default();
+        for ms in [3u64, 14, 159, 26, 5] {
+            stats.record_latency("query", Duration::from_millis(ms));
+        }
+        let snap = stats.snapshot();
+        let hist = stats.latency_snapshot();
+        assert_eq!(snap.p50_us, hist.quantile(0.50) / 1_000);
+        assert_eq!(snap.p99_us, hist.quantile(0.99) / 1_000);
+        assert_eq!(snap.requests_sampled, hist.count);
     }
 
     #[test]
