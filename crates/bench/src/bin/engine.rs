@@ -3,6 +3,12 @@
 //! Phase I summaries exist, re-tuned Phase II queries should be answered
 //! from cached cliques at a small fraction of the cold cost.
 //!
+//! Also sweeps the `dar-par` worker count (1/2/4/available) over the same
+//! ingest + cold-query workload with a fresh engine per count, asserting
+//! the mined rules stay identical and recording `parallel_speedup`
+//! (serial ingest wall over the best sweep wall — `>= 1.0` by
+//! construction since the sweep includes the serial point).
+//!
 //! Emits `BENCH_engine.json` in the current directory.
 //!
 //! Regenerate with: `cargo run --release -p dar-bench --bin engine`
@@ -43,14 +49,27 @@ fn counter_total(name: &str) -> u64 {
         .sum()
 }
 
-fn main() {
-    let relation = insurance_relation(TUPLES, 42);
-    let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
+/// The benchmark's fixed engine configuration at a given worker count.
+fn bench_config(threads: usize) -> EngineConfig {
     let mut config = EngineConfig::default();
     config.birch.memory_budget = 1 << 20;
     config.initial_thresholds = Some(vec![2.0, 1.5, 2_000.0]);
     config.min_support_frac = 0.05;
-    let mut engine = DarEngine::new(partitioning, config).unwrap();
+    config.threads = threads;
+    config
+}
+
+/// One sweep point: ingest + cold-query walls at a fixed worker count.
+struct SweepPoint {
+    threads: usize,
+    ingest_secs: f64,
+    cold_secs: f64,
+}
+
+fn main() {
+    let relation = insurance_relation(TUPLES, 42);
+    let partitioning = Partitioning::per_attribute(relation.schema(), Metric::Euclidean);
+    let mut engine = DarEngine::new(partitioning.clone(), bench_config(1)).unwrap();
 
     // --- ingest throughput, in batches ----------------------------------
     let rows: Vec<Vec<f64>> = (0..relation.len()).map(|r| relation.row(r)).collect();
@@ -67,6 +86,7 @@ fn main() {
     let (outcome, cold_wall) = time(|| engine.query(&q_base).unwrap());
     assert!(!outcome.cached);
     let rules_cold = outcome.rules.len();
+    let baseline_rules = outcome.rules.clone();
 
     // Re-tuned D0 sweep over the same density: every rep hits the cache.
     let sweep: Vec<RuleQuery> = (0..QUERY_REPS)
@@ -94,6 +114,37 @@ fn main() {
     let phase2 = histogram("dar_mining_phase2_build_ns");
     let cliques = counter_total("dar_mining_cliques_total");
 
+    // --- dar-par worker sweep: fresh engine per count, identical rules ---
+    let cores = dar_par::available_parallelism();
+    let mut counts = vec![1, 2, 4, cores];
+    counts.sort_unstable();
+    counts.dedup();
+    let mut sweep = vec![SweepPoint {
+        threads: 1,
+        ingest_secs: ingest_wall.as_secs_f64(),
+        cold_secs: cold_wall.as_secs_f64(),
+    }];
+    for &threads in counts.iter().filter(|&&t| t != 1) {
+        let mut engine = DarEngine::new(partitioning.clone(), bench_config(threads)).unwrap();
+        let (_, ingest) = time(|| {
+            for batch in rows.chunks(batch_size) {
+                engine.ingest(batch).unwrap();
+            }
+        });
+        let (outcome, cold) = time(|| engine.query(&q_base).unwrap());
+        assert_eq!(
+            outcome.rules, baseline_rules,
+            "rules diverged from serial at threads={threads}"
+        );
+        sweep.push(SweepPoint {
+            threads,
+            ingest_secs: ingest.as_secs_f64(),
+            cold_secs: cold.as_secs_f64(),
+        });
+    }
+    let best_ingest = sweep.iter().map(|p| p.ingest_secs).fold(f64::INFINITY, f64::min);
+    let parallel_speedup = sweep[0].ingest_secs / best_ingest.max(1e-12);
+
     print_table(
         "Engine: ingest throughput and query latency",
         &["quantity", "value"],
@@ -119,8 +170,21 @@ fn main() {
                 format!("{:.3}", phase2.quantile(0.99) as f64 / 1e6),
             ],
             vec!["cliques found".into(), cliques.to_string()],
+            vec!["cores available".into(), cores.to_string()],
+            vec!["parallel speedup (ingest)".into(), format!("{parallel_speedup:.2}×")],
         ],
     );
+
+    println!("\n  worker sweep (fresh engine per count, rules identical):");
+    for p in &sweep {
+        println!(
+            "    threads={:<2} ingest {:.3}s ({:.0} tuples/s), cold query {:.3}s",
+            p.threads,
+            p.ingest_secs,
+            TUPLES as f64 / p.ingest_secs,
+            p.cold_secs,
+        );
+    }
 
     // --- BENCH_engine.json ----------------------------------------------
     let mut json = String::from("{\n");
@@ -141,7 +205,23 @@ fn main() {
     let _ = writeln!(json, "  \"phase2_build_ns_p50\": {},", phase2.quantile(0.50));
     let _ = writeln!(json, "  \"phase2_build_ns_p99\": {},", phase2.quantile(0.99));
     let _ = writeln!(json, "  \"phase2_builds\": {},", phase2.count);
-    let _ = writeln!(json, "  \"cliques\": {cliques}");
+    let _ = writeln!(json, "  \"cliques\": {cliques},");
+    let _ = writeln!(json, "  \"cores_available\": {cores},");
+    json.push_str("  \"thread_sweep\": [\n");
+    for (i, p) in sweep.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {}, \"ingest_seconds\": {:.6}, \
+             \"ingest_tuples_per_sec\": {:.1}, \"cold_query_ms\": {:.3}}}{}",
+            p.threads,
+            p.ingest_secs,
+            TUPLES as f64 / p.ingest_secs,
+            p.cold_secs * 1e3,
+            if i + 1 < sweep.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"parallel_speedup\": {parallel_speedup:.3}");
     json.push_str("}\n");
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("\n  wrote BENCH_engine.json");

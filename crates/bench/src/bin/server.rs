@@ -106,13 +106,14 @@ fn rows(n: usize, offset: usize) -> Vec<Vec<f64>> {
         .collect()
 }
 
-fn in_process_server() -> ServerHandle {
+fn in_process_server(engine_threads: usize) -> ServerHandle {
     let schema = Schema::interval_attrs(3);
     let partitioning = Partitioning::per_attribute(&schema, Metric::Euclidean);
     let mut config = EngineConfig::default();
     config.birch.initial_threshold = 1.0;
     config.birch.memory_budget = usize::MAX;
     config.min_support_frac = 0.1;
+    config.threads = engine_threads;
     let engine = DarEngine::new(partitioning, config).unwrap();
     Server::start(engine, "127.0.0.1:0", ServeConfig::default()).expect("bind loopback")
 }
@@ -148,7 +149,7 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 fn main() {
     let opts = parse_opts();
-    let handle = if opts.addr.is_none() { Some(in_process_server()) } else { None };
+    let handle = if opts.addr.is_none() { Some(in_process_server(1)) } else { None };
     let addr = match &opts.addr {
         Some(addr) => addr.clone(),
         None => handle.as_ref().expect("in-process").addr().to_string(),
@@ -249,6 +250,39 @@ fn main() {
         handle.join().expect("join in-process server");
     }
 
+    // --- phase C (self-contained only): engine worker sweep --------------
+    // Fresh server per `dar-par` worker count, same seed ingest + one cold
+    // query; mining output is byte-identical at every count, so only the
+    // walls move. `parallel_speedup` is serial wall over the best wall
+    // (>= 1.0 by construction: the sweep includes the serial point).
+    let mut sweep: Vec<(usize, f64, f64)> = Vec::new();
+    let cores = dar_par::available_parallelism();
+    if opts.addr.is_none() {
+        let mut counts = vec![1, 2, 4, cores];
+        counts.sort_unstable();
+        counts.dedup();
+        for threads in counts {
+            let handle = in_process_server(threads);
+            let mut client = connect(&handle.addr().to_string());
+            let (_, seed_wall) = time(|| {
+                for b in 0..opts.batches {
+                    client
+                        .ingest(rows(opts.batch_size, b * opts.batch_size))
+                        .expect("sweep ingest");
+                }
+            });
+            let (response, cold) = time(|| client.query(query.clone()).expect("sweep cold query"));
+            assert_eq!(response.get("cached").and_then(Json::as_bool), Some(false));
+            client.shutdown().expect("sweep shutdown");
+            drop(client);
+            handle.join().expect("join sweep server");
+            sweep.push((threads, seed_wall.as_secs_f64(), cold.as_secs_f64() * 1e3));
+        }
+    }
+    let best_seed = sweep.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let parallel_speedup =
+        sweep.first().map(|serial| serial.1 / best_seed.max(1e-12)).unwrap_or(1.0);
+
     print_table(
         "Server: mixed-load throughput and query latency over TCP",
         &["quantity", "value"],
@@ -268,9 +302,30 @@ fn main() {
             vec!["phase1 insert p99 (ms/batch)".into(), format!("{:.3}", phase1_p99 / 1e6)],
             vec!["phase2 build p99 (ms)".into(), format!("{:.3}", phase2_p99 / 1e6)],
             vec!["cliques found".into(), format!("{cliques:.0}")],
+            vec!["cores available".into(), cores.to_string()],
+            vec!["parallel speedup (seed ingest)".into(), format!("{parallel_speedup:.2}×")],
         ],
     );
 
+    if !sweep.is_empty() {
+        println!("\n  engine worker sweep (fresh server per count):");
+        for (threads, seed_secs, cold_ms) in &sweep {
+            println!(
+                "    threads={threads:<2} seed ingest {seed_secs:.3}s, cold query {cold_ms:.3}ms"
+            );
+        }
+    }
+
+    let sweep_json: Vec<Json> = sweep
+        .iter()
+        .map(|&(threads, seed_secs, cold_ms)| {
+            Json::obj(vec![
+                ("threads", Json::Num(threads as f64)),
+                ("seed_ingest_seconds", Json::Num(seed_secs)),
+                ("cold_query_ms", Json::Num(cold_ms)),
+            ])
+        })
+        .collect();
     let report = Json::obj(vec![
         ("clients", Json::Num(opts.clients as f64)),
         ("seed_tuples", Json::Num(total_rows as f64)),
@@ -289,6 +344,9 @@ fn main() {
         ("phase1_insert_ns_p99", Json::Num(phase1_p99)),
         ("phase2_build_ns_p99", Json::Num(phase2_p99)),
         ("cliques", Json::Num(cliques)),
+        ("cores_available", Json::Num(cores as f64)),
+        ("thread_sweep", Json::Arr(sweep_json)),
+        ("parallel_speedup", Json::Num(parallel_speedup)),
     ]);
     std::fs::write(&opts.out, format!("{}\n", report.encode())).expect("write report");
     println!("\n  wrote {}", opts.out);

@@ -134,6 +134,62 @@ impl AcfForest {
         }
     }
 
+    /// Inserts a batch of full tuples, fanning the per-set trees out across
+    /// `pool` — one tree per task, zero contention, since the attribute
+    /// partitions are independent by construction (Dfn 4.2). Every tree
+    /// sees the batch's rows in their original order, exactly as a serial
+    /// [`AcfForest::insert_values`] loop would feed it, so the resulting
+    /// forest is bit-identical to the serial scan at any worker count.
+    ///
+    /// Small batches (or a serial pool) take the one-thread path directly:
+    /// the output is identical either way, the fan-out just isn't worth a
+    /// scope spawn.
+    pub fn insert_batch(&mut self, rows: &[Vec<f64>], pool: &dar_par::ThreadPool) {
+        const PARALLEL_BATCH_MIN: usize = 64;
+        if pool.is_serial() || self.trees.len() <= 1 || rows.len() < PARALLEL_BATCH_MIN {
+            for row in rows {
+                self.insert_values(row);
+            }
+            return;
+        }
+        // Project every row onto every set once, up front: `insert_point`
+        // needs the full per-set projections (ACFs track images on all
+        // sets), and sharing one projection table keeps the per-tree tasks
+        // read-only with respect to everything but their own tree.
+        let sets = self.partitioning.sets();
+        let projections: Vec<Vec<Vec<f64>>> = rows
+            .iter()
+            .map(|row| sets.iter().map(|s| s.attrs.iter().map(|&a| row[a]).collect()).collect())
+            .collect();
+        pool.run_mut("phase1_batch", &mut self.trees, |_, tree| {
+            for projection in &projections {
+                tree.insert_point(projection);
+            }
+        });
+    }
+
+    /// Merges another forest built over a disjoint shard of the data into
+    /// this one: each of `other`'s finished clusters is re-inserted as a
+    /// pre-aggregated ACF entry. ACF additivity (Theorem 6.1 / Eq. 7) makes
+    /// the merge exact in aggregate — per set, the merged forest's total
+    /// `N`, `LS`, `SS` and every image's moment vectors equal those of a
+    /// single forest fed the concatenated shards — though cluster
+    /// *boundaries* may differ, as they do for any insertion-order change.
+    ///
+    /// # Panics
+    /// Panics if the two forests were built over different partitionings.
+    pub fn merge(&mut self, other: AcfForest) {
+        assert_eq!(
+            self.partitioning, other.partitioning,
+            "merge requires forests over the same partitioning"
+        );
+        for (set, acfs) in other.finish().into_iter().enumerate() {
+            for acf in acfs {
+                self.insert_entry(set, acf);
+            }
+        }
+    }
+
     /// Finishes every tree (re-inserting outliers) and returns the clusters
     /// grouped by attribute set.
     pub fn finish(self) -> Vec<Vec<Acf>> {
@@ -276,6 +332,60 @@ mod tests {
             let replayed_total: u64 = out[set].iter().map(Acf::n).sum();
             assert_eq!(total, replayed_total, "set {set} lost tuples in replay");
         }
+    }
+
+    #[test]
+    fn insert_batch_is_bit_identical_to_serial_at_any_worker_count() {
+        let r = two_cluster_relation();
+        let rows: Vec<Vec<f64>> = (0..r.len()).map(|i| r.row(i)).collect();
+        // Pad the batch past the parallel threshold with jittered copies.
+        let rows: Vec<Vec<f64>> = (0..3).flat_map(|_| rows.iter().cloned()).collect();
+        let mut serial = forest_for(&r, 1.0);
+        for row in &rows {
+            serial.insert_values(row);
+        }
+        let want = serial.extract_clusters();
+        for workers in [1usize, 2, 4, 8] {
+            let pool = dar_par::ThreadPool::new(workers);
+            let mut f = forest_for(&r, 1.0);
+            f.insert_batch(&rows, &pool);
+            assert_eq!(f.extract_clusters(), want, "workers={workers}");
+            assert_eq!(f.thresholds(), serial.thresholds(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn merge_of_disjoint_shards_preserves_totals() {
+        let r = two_cluster_relation();
+        let rows: Vec<Vec<f64>> = (0..r.len()).map(|i| r.row(i)).collect();
+        let (left, right) = rows.split_at(rows.len() / 2);
+        let mut a = forest_for(&r, 1.0);
+        for row in left {
+            a.insert_values(row);
+        }
+        let mut b = forest_for(&r, 1.0);
+        for row in right {
+            b.insert_values(row);
+        }
+        a.merge(b);
+        let merged = a.finish();
+        for (set, clusters) in merged.iter().enumerate() {
+            let total: u64 = clusters.iter().map(Acf::n).sum();
+            assert_eq!(total, rows.len() as u64, "set {set} lost tuples in merge");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same partitioning")]
+    fn merge_rejects_mismatched_partitionings() {
+        let r = two_cluster_relation();
+        let a = forest_for(&r, 1.0);
+        let schema = Schema::interval_attrs(3);
+        let p = Partitioning::per_attribute(&schema, Metric::Euclidean);
+        let config = BirchConfig { memory_budget: usize::MAX, ..BirchConfig::default() };
+        let b = AcfForest::new(p, &config);
+        let mut a = a;
+        a.merge(b);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         metric,
         rescan_candidate_frequency: args.switch("rescan"),
         refine_clusters: args.switch("refine"),
+        threads: args.number("threads", 0)?,
         query: RuleQuery {
             density: DensitySpec::Auto { factor: density_factor },
             degree_factor,
@@ -121,6 +122,8 @@ mod tests {
                 "0.1",
                 "--top",
                 "3",
+                "--threads",
+                "4",
                 "--rescan",
             ]))
             .unwrap();

@@ -78,9 +78,15 @@ pub fn build(args: &Args) -> Result<(DarEngine, ServeConfig), CliError> {
     let schema = Schema::interval_attrs(attrs);
     let partitioning = Partitioning::per_attribute(&schema, Metric::Euclidean);
 
+    // `--threads` sizes both pools: the TCP connection workers and the
+    // engine's data-parallel mining regions. 0 (the default) means the
+    // host's available parallelism; mining output is byte-identical at
+    // every setting.
+    let threads = args.number::<usize>("threads", 0)?;
     let mut config = EngineConfig {
         min_support_frac: args.number("support", 0.05)?,
         metric: parse_cluster_metric(args.optional("metric").unwrap_or("d2"))?,
+        threads,
         ..EngineConfig::default()
     };
     config.birch.memory_budget = args.number::<usize>("memory-kb", 1024)? << 10;
@@ -94,7 +100,7 @@ pub fn build(args: &Args) -> Result<(DarEngine, ServeConfig), CliError> {
 
     let timeout = Duration::from_millis(args.number::<u64>("timeout-ms", 30_000)?);
     let serve_config = ServeConfig {
-        threads: args.number::<usize>("threads", 4)?.max(1),
+        threads: if threads == 0 { dar_par::available_parallelism() } else { threads },
         queue_depth: args.number::<usize>("queue", 64)?.max(1),
         read_timeout: timeout,
         write_timeout: timeout,

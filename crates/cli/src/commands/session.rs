@@ -15,7 +15,10 @@
 //! `degree-factor`, `max-antecedent`, `max-consequent`, `top`.
 //!
 //! Engine-level flags (fixed for the session): `--support`,
-//! `--threshold-frac`, `--memory-kb`, `--metric d0|d1|d2`.
+//! `--threshold-frac`, `--memory-kb`, `--metric d0|d1|d2`, and
+//! `--threads` (worker threads for batch ingest and cold Phase II
+//! builds; `0`, the default, means the host's available parallelism —
+//! output is byte-identical at every setting).
 //!
 //! With `--wal-path <file>`, every `ingest` batch is committed to a
 //! checksummed write-ahead log before the command reports success, and
@@ -114,6 +117,7 @@ pub fn run_script(script: &str, args: &Args) -> Result<String, CliError> {
     let mut config = EngineConfig::default();
     config.birch.memory_budget = args.number::<usize>("memory-kb", 1024)? << 10;
     config.metric = parse_cluster_metric(args.optional("metric").unwrap_or("d2"))?;
+    config.threads = args.number("threads", 0)?;
     let (store, wal_records) = match args.optional("wal-path") {
         Some(path) => {
             let (store, records) = open_wal(path)?;

@@ -29,6 +29,13 @@ pub struct EngineConfig {
     /// Run the BIRCH "Phase 3" global refinement pass when closing an
     /// epoch.
     pub refine_clusters: bool,
+    /// Worker threads for the engine's data-parallel regions (batch ingest
+    /// fan-out, cold Phase II builds). `0` means the host's available
+    /// parallelism. Output is byte-identical at every setting (see
+    /// [`mining::DarConfig::threads`]), so snapshots, WAL replays, and
+    /// cached artifacts are interchangeable across engines configured with
+    /// different thread counts.
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -42,6 +49,7 @@ impl Default for EngineConfig {
             prune_poor_density: d.prune_poor_density,
             max_cliques: d.max_cliques,
             refine_clusters: d.refine_clusters,
+            threads: d.threads,
         }
     }
 }
@@ -62,6 +70,7 @@ impl EngineConfig {
             query: query.clone(),
             rescan_candidate_frequency: false,
             refine_clusters: self.refine_clusters,
+            threads: self.threads,
         }
     }
 }

@@ -51,6 +51,9 @@ pub struct DarEngine {
     partitioning: Partitioning,
     config: EngineConfig,
     forest: AcfForest,
+    /// Worker pool for batch-ingest fan-out and cold Phase II builds,
+    /// resolved once from `config.threads` (0 = available parallelism).
+    pool: dar_par::ThreadPool,
     epoch: u64,
     tuples: u64,
     epoch_state: Option<EpochState>,
@@ -77,10 +80,12 @@ impl DarEngine {
             }
             None => AcfForest::new(partitioning.clone(), &config.birch),
         };
+        let pool = dar_par::ThreadPool::resolve(config.threads);
         Ok(DarEngine {
             partitioning,
             config,
             forest,
+            pool,
             epoch: 0,
             tuples: 0,
             epoch_state: None,
@@ -106,9 +111,11 @@ impl DarEngine {
     /// current epoch and its Phase II cache: the next query or snapshot
     /// closes a fresh epoch reflecting all tuples ingested so far.
     ///
-    /// Because forest insertion is purely sequential, ingesting in batches
-    /// leaves the engine in exactly the state one concatenated scan would
-    /// have produced.
+    /// Large batches fan out across the per-attribute-set trees on the
+    /// engine's worker pool (see [`EngineConfig::threads`]); every tree
+    /// still sees every row in batch order, so ingesting in batches — at
+    /// any thread count — leaves the engine in exactly the state one
+    /// serial concatenated scan would have produced.
     ///
     /// # Errors
     /// The whole batch is validated before any row is inserted, so a
@@ -132,9 +139,7 @@ impl DarEngine {
             }
         }
         let t = Instant::now();
-        for row in rows {
-            self.forest.insert_values(row);
-        }
+        self.forest.insert_batch(rows, &self.pool);
         let m = crate::metrics::metrics();
         m.phase1_insert_ns.observe_duration(t.elapsed());
         m.ingest_batches.inc();
@@ -213,12 +218,13 @@ impl DarEngine {
                 let state = self.epoch_state.as_ref().expect("epoch just ensured");
                 let frequent: Vec<ClusterSummary> =
                     state.clusters.iter().filter(|c| c.is_frequent(s0)).cloned().collect();
-                let artifacts = Arc::new(Phase2Artifacts::build(
+                let artifacts = Arc::new(Phase2Artifacts::build_pooled(
                     frequent,
                     density,
                     self.config.metric,
                     self.config.prune_poor_density,
                     self.config.max_cliques,
+                    &self.pool,
                 ));
                 self.stats.phase2_build_time += t.elapsed();
                 self.epoch_state
@@ -321,10 +327,12 @@ impl DarEngine {
         let s0 = ((config.min_support_frac * snap.tuples as f64).ceil() as u64).max(1);
         let stats =
             EngineStats { tuples_ingested: snap.tuples, epochs: 1, ..EngineStats::default() };
+        let pool = dar_par::ThreadPool::resolve(config.threads);
         Ok(DarEngine {
             partitioning: snap.partitioning,
             config,
             forest,
+            pool,
             epoch: snap.epoch,
             tuples: snap.tuples,
             epoch_state: Some(EpochState {

@@ -53,24 +53,121 @@ fn bits_iter(b: &Bits) -> impl Iterator<Item = usize> + '_ {
 
 /// Enumerates all maximal cliques of the graph given as bitset adjacency
 /// rows (as produced by
-/// [`ClusteringGraph::adjacency`](crate::graph::ClusteringGraph::adjacency)).
+/// [`ClusteringGraph::adjacency`](crate::graph::ClusteringGraph::adjacency)),
+/// on the calling thread.
 ///
 /// Stops after `cap` cliques (0 = unbounded); the boolean reports whether
 /// the enumeration was truncated. Cliques and their members are returned in
 /// ascending node order.
 pub fn maximal_cliques(adj: &[Bits], cap: usize) -> (Vec<Vec<usize>>, bool) {
+    maximal_cliques_pooled(adj, cap, &dar_par::ThreadPool::serial())
+}
+
+/// [`maximal_cliques`] with the enumeration parallelized across `pool`.
+///
+/// A clique is connected, so maximal cliques factor over the connected
+/// components of the graph: each component is enumerated independently (a
+/// natural shard — no clique spans two components) and the per-component
+/// clique lists are folded in ascending component order (components ordered
+/// by smallest member). The serial path runs the *same* per-component
+/// decomposition on one worker, so the result — including which cliques
+/// survive a `cap` and the final sorted order — is byte-identical at every
+/// worker count. Under a cap, each component enumerates at most `cap`
+/// cliques and the ordered fold keeps a running budget, truncating the
+/// later components deterministically.
+pub fn maximal_cliques_pooled(
+    adj: &[Bits],
+    cap: usize,
+    pool: &dar_par::ThreadPool,
+) -> (Vec<Vec<usize>>, bool) {
+    /// Below this many components the scope spawn outweighs the work.
+    const PARALLEL_MIN_COMPONENTS: usize = 4;
+
+    let components = connected_components(adj);
+    let serial = dar_par::ThreadPool::serial();
+    let pool = if components.len() < PARALLEL_MIN_COMPONENTS { &serial } else { pool };
+    // One task per component; chunk 1 because component sizes are wildly
+    // uneven (one giant component plus singletons is the common shape).
+    let per_component = pool.map_indexed("cliques", components.len(), 1, |c| {
+        component_cliques(adj, &components[c], cap)
+    });
+
+    // Ordered reduction with a sequential cap budget.
+    let mut out = Vec::new();
+    let mut truncated = false;
+    for (cliques, comp_truncated) in per_component {
+        if cap != 0 && out.len() + cliques.len() > cap {
+            let remaining = cap - out.len();
+            out.extend(cliques.into_iter().take(remaining));
+            truncated = true;
+            break;
+        }
+        truncated |= comp_truncated;
+        out.extend(cliques);
+    }
+    out.sort();
+    (out, truncated)
+}
+
+/// The connected components of the graph, each a sorted vertex list, in
+/// ascending order of smallest member. Isolated vertices are their own
+/// components (the paper's trivial 1-cliques).
+fn connected_components(adj: &[Bits]) -> Vec<Vec<usize>> {
     let n = adj.len();
-    let words = n.div_ceil(64);
+    let mut visited = vec![false; n];
+    let mut components = Vec::new();
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        stack.push(start);
+        let mut component = Vec::new();
+        while let Some(v) = stack.pop() {
+            component.push(v);
+            for u in bits_iter(&adj[v]) {
+                if !visited[u] {
+                    visited[u] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        component.sort_unstable();
+        components.push(component);
+    }
+    components
+}
+
+/// Runs Bron–Kerbosch over one component, relabelled to a compact local id
+/// space (ascending, so local order mirrors global order), and maps the
+/// cliques back to global vertex ids.
+fn component_cliques(adj: &[Bits], component: &[usize], cap: usize) -> (Vec<Vec<usize>>, bool) {
+    let k = component.len();
+    if k == 1 {
+        return (vec![vec![component[0]]], false);
+    }
+    let words = k.div_ceil(64);
+    // Global→local: component is sorted, so binary search relabels.
+    let local = |g: usize| component.binary_search(&g).expect("neighbor stays in component");
+    let mut local_adj = vec![bits_new(words); k];
+    for (l, &g) in component.iter().enumerate() {
+        for u in bits_iter(&adj[g]) {
+            bit_set(&mut local_adj[l], local(u));
+        }
+    }
     let mut p = bits_new(words);
-    for i in 0..n {
+    for i in 0..k {
         bit_set(&mut p, i);
     }
     let x = bits_new(words);
     let mut out = Vec::new();
     let mut r = Vec::new();
-    let truncated = bron_kerbosch(adj, &mut r, p, x, &mut out, cap);
-    out.sort();
-    (out, truncated)
+    let truncated = bron_kerbosch(&local_adj, &mut r, p, x, &mut out, cap);
+    let mut global: Vec<Vec<usize>> =
+        out.into_iter().map(|c| c.into_iter().map(|l| component[l]).collect()).collect();
+    global.sort();
+    (global, truncated)
 }
 
 /// Returns `true` if the cap aborted the enumeration.
@@ -210,6 +307,54 @@ mod tests {
             want.sort();
             assert_eq!(got, want, "trial {trial}, edges {edges:?}");
         }
+    }
+
+    #[test]
+    fn pooled_enumeration_is_identical_at_every_worker_count() {
+        // Random graphs with several components: the pooled result —
+        // including the truncated flag and which cliques survive a cap —
+        // must match the serial result exactly.
+        let mut seed = 0xC0FFEEu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..10 {
+            let n = 12 + (trial % 10);
+            let mut edges = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    // Sparse: ~1 edge in 5, so multiple components form.
+                    if next() % 5 == 0 {
+                        edges.push((i, j));
+                    }
+                }
+            }
+            let adj = graph(n, &edges);
+            for cap in [0usize, 1, 3, 100] {
+                let want = maximal_cliques(&adj, cap);
+                for workers in [2usize, 4, 8] {
+                    let pool = dar_par::ThreadPool::new(workers);
+                    let got = maximal_cliques_pooled(&adj, cap, &pool);
+                    assert_eq!(got, want, "trial {trial}, cap {cap}, workers {workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cap_budget_is_spent_in_component_order() {
+        // Components {0,1}, {2}, {3,4,5} (a triangle): ascending-min-vertex
+        // fold spends the budget on [0,1] then [2], then truncates.
+        let adj = graph(6, &[(0, 1), (3, 4), (4, 5), (3, 5)]);
+        let (cliques, truncated) = maximal_cliques(&adj, 2);
+        assert!(truncated);
+        assert_eq!(cliques, vec![vec![0, 1], vec![2]]);
+        let (all, not_truncated) = maximal_cliques(&adj, 0);
+        assert!(!not_truncated);
+        assert_eq!(all, vec![vec![0, 1], vec![2], vec![3, 4, 5]]);
     }
 
     fn brute_force(n: usize, adj: &[Bits]) -> Vec<Vec<usize>> {

@@ -70,14 +70,37 @@ pub struct ClusteringGraph {
 
 impl ClusteringGraph {
     /// Builds the graph over `clusters` (typically the frequent clusters of
-    /// Phase I).
+    /// Phase I) on the calling thread.
     ///
     /// # Panics
     /// Panics if a cluster references a set with no density threshold.
     pub fn build(clusters: Vec<ClusterSummary>, config: &GraphConfig) -> Self {
+        Self::build_pooled(clusters, config, &dar_par::ThreadPool::serial())
+    }
+
+    /// Builds the graph with the O(k²) distance computation partitioned by
+    /// matrix row across `pool`. Every inter-cluster distance is a pure
+    /// function of the two ACF summaries (Theorem 6.1), so row tasks share
+    /// nothing; the per-row results are folded in ascending row order — a
+    /// deterministic ordered reduction — making the adjacency, edge count,
+    /// and comparison count bit-identical to [`ClusteringGraph::build`] at
+    /// every worker count.
+    ///
+    /// # Panics
+    /// Panics if a cluster references a set with no density threshold.
+    pub fn build_pooled(
+        clusters: Vec<ClusterSummary>,
+        config: &GraphConfig,
+        pool: &dar_par::ThreadPool,
+    ) -> Self {
+        /// Rows are claimed in chunks this size; small enough that the
+        /// shrinking upper-triangle rows still balance across workers.
+        const ROW_CHUNK: usize = 8;
+        /// Below this node count the fan-out costs more than the matrix.
+        const PARALLEL_MIN_NODES: usize = 96;
+
         let n = clusters.len();
         let words = n.div_ceil(64);
-        let mut adj = vec![vec![0u64; words]; n];
         let mut comparisons = 0u64;
         let mut edges = 0usize;
         let mut pruned_images = 0usize;
@@ -105,9 +128,16 @@ impl ClusteringGraph {
             })
             .collect();
 
-        for i in 0..n {
+        // One task per matrix row `i`: the distances to every `j > i`, as
+        // (upper-triangle bit words, comparison count, adjacent js). Pure
+        // reads of `clusters`/`image_ok`; no shared writes.
+        let scan_row = |i: usize| -> (Vec<u64>, u64, Vec<usize>) {
+            let mut row_words = vec![0u64; words];
+            let mut row_comparisons = 0u64;
+            let mut neighbors = Vec::new();
+            let a = &clusters[i];
             for j in (i + 1)..n {
-                let (a, b) = (&clusters[i], &clusters[j]);
+                let b = &clusters[j];
                 if a.set == b.set {
                     continue; // rules need pairwise disjoint attribute sets
                 }
@@ -117,7 +147,7 @@ impl ClusteringGraph {
                 if !(image_ok[j][x] && image_ok[i][y]) {
                     continue;
                 }
-                comparisons += 1;
+                row_comparisons += 1;
                 let dx = config
                     .metric
                     .between(&a.acf, &b.acf, x)
@@ -132,9 +162,27 @@ impl ClusteringGraph {
                 if dy > config.density_thresholds[y] {
                     continue;
                 }
-                adj[i][j / 64] |= 1 << (j % 64);
+                row_words[j / 64] |= 1 << (j % 64);
+                neighbors.push(j);
+            }
+            (row_words, row_comparisons, neighbors)
+        };
+        let serial = dar_par::ThreadPool::serial();
+        let pool = if n < PARALLEL_MIN_NODES { &serial } else { pool };
+        let rows = pool.map_indexed("graph_rows", n, ROW_CHUNK, scan_row);
+
+        // Ordered reduction: fold rows in ascending index order, OR-ing the
+        // upper triangle in and mirroring each edge — byte-for-byte the
+        // matrix the serial double loop writes.
+        let mut adj = vec![vec![0u64; words]; n];
+        for (i, (row_words, row_comparisons, neighbors)) in rows.into_iter().enumerate() {
+            comparisons += row_comparisons;
+            edges += neighbors.len();
+            for (w, word) in row_words.into_iter().enumerate() {
+                adj[i][w] |= word;
+            }
+            for j in neighbors {
                 adj[j][i / 64] |= 1 << (i % 64);
-                edges += 1;
             }
         }
         ClusteringGraph { clusters, adj, comparisons, edges, pruned_images }
@@ -258,6 +306,32 @@ mod tests {
                     assert_eq!(unpruned.adjacent(i, j), pruned.adjacent(i, j));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn pooled_build_is_bit_identical_to_serial() {
+        // Enough nodes to clear the parallel threshold, spread over two
+        // sets with a mix of near and far placements so the graph has
+        // structure (some edges, some non-edges, same-set skips).
+        let clusters: Vec<ClusterSummary> = (0..150)
+            .map(|i| {
+                let set = i % 2;
+                let x = (i % 5) as f64 * 0.3;
+                let y = 5.0 + (i % 7) as f64 * 0.2;
+                cluster(i as u32, set, x, y, 8, 0.1)
+            })
+            .collect();
+        let mut cfg = config(1.0);
+        cfg.prune_poor_density = true;
+        let serial = ClusteringGraph::build(clusters.clone(), &cfg);
+        for workers in [2usize, 4, 8] {
+            let pool = dar_par::ThreadPool::new(workers);
+            let pooled = ClusteringGraph::build_pooled(clusters.clone(), &cfg, &pool);
+            assert_eq!(pooled.adjacency(), serial.adjacency(), "workers={workers}");
+            assert_eq!(pooled.edges, serial.edges);
+            assert_eq!(pooled.comparisons, serial.comparisons);
+            assert_eq!(pooled.pruned_images, serial.pruned_images);
         }
     }
 

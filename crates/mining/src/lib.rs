@@ -41,6 +41,7 @@ pub mod pipeline;
 pub mod query;
 pub mod rules;
 
+pub use clique::{maximal_cliques, maximal_cliques_pooled, non_trivial};
 pub use graph::{ClusterDistance, ClusteringGraph, GraphConfig};
 pub use pipeline::{DarConfig, DarMiner, MineResult, MineStats};
 pub use query::{DensitySpec, Phase2Artifacts, RuleQuery};

@@ -42,6 +42,14 @@ pub struct DarConfig {
     /// "non-optimal clustering strategy" drift the paper measures in
     /// Section 7.2.
     pub refine_clusters: bool,
+    /// Worker threads for the data-parallel regions (Phase I tree fan-out,
+    /// Phase II graph rows and clique components). `0` means the host's
+    /// available parallelism. The mined rules are byte-identical at every
+    /// setting — both phases decompose into independent shards (Dfn 4.2
+    /// partitions; Theorem 6.1 summary-only distances) recombined by
+    /// deterministic ordered reductions — so this knob trades wall-clock
+    /// only, never output.
+    pub threads: usize,
 }
 
 impl Default for DarConfig {
@@ -56,6 +64,7 @@ impl Default for DarConfig {
             query: RuleQuery::default(),
             rescan_candidate_frequency: false,
             refine_clusters: false,
+            threads: 0,
         }
     }
 }
@@ -174,6 +183,7 @@ impl DarMiner {
         partitioning: &Partitioning,
     ) -> Result<MineResult, CoreError> {
         self.validate_thresholds(partitioning)?;
+        let pool = dar_par::ThreadPool::resolve(self.config.threads);
         // ---------------- Phase I ----------------
         let t0 = Instant::now();
         let mut forest = match &self.config.initial_thresholds {
@@ -182,11 +192,23 @@ impl DarMiner {
             }
             None => AcfForest::new(partitioning.clone(), &self.config.birch),
         };
+        // Buffer the stream into batches and fan each batch across the
+        // per-set trees. Every tree still sees every row in stream order,
+        // so the forest is bit-identical to the row-at-a-time serial scan.
+        const SCAN_BATCH: usize = 4096;
         let mut tuples = 0usize;
+        let mut batch: Vec<Vec<f64>> = Vec::with_capacity(SCAN_BATCH);
         for row in rows {
-            forest.insert_values(&row);
-            tuples += 1;
+            batch.push(row);
+            if batch.len() == SCAN_BATCH {
+                forest.insert_batch(&batch, &pool);
+                tuples += batch.len();
+                batch.clear();
+            }
         }
+        forest.insert_batch(&batch, &pool);
+        tuples += batch.len();
+        drop(batch);
         let forest_stats = forest.stats();
         let tree_thresholds: Vec<f64> = forest_stats.trees.iter().map(|t| t.threshold).collect();
         let mut per_set = forest.finish();
@@ -216,12 +238,13 @@ impl DarMiner {
             &tree_thresholds,
             partitioning.num_sets(),
         )?;
-        let artifacts = Phase2Artifacts::build(
+        let artifacts = Phase2Artifacts::build_pooled(
             frequent,
             density,
             self.config.metric,
             self.config.prune_poor_density,
             self.config.max_cliques,
+            &pool,
         );
         let (rules, rules_truncated) = artifacts.mine(self.config.metric, &self.config.query);
         let phase2 = t1.elapsed();
@@ -414,6 +437,26 @@ mod tests {
         assert_eq!(rules, result.rules);
         assert_eq!(truncated, result.stats.rules_truncated);
         assert_eq!(artifacts.cliques, result.cliques);
+    }
+
+    #[test]
+    fn parallel_mining_is_byte_identical_to_serial() {
+        let r = blocks(300);
+        let p = Partitioning::per_attribute(r.schema(), Metric::Euclidean);
+        let mut config = miner().config().clone();
+        config.rescan_candidate_frequency = false;
+        config.threads = 1;
+        let serial = DarMiner::new(config.clone()).mine(&r, &p).expect("serial mine");
+        for threads in [2usize, 4, 8] {
+            config.threads = threads;
+            let par = DarMiner::new(config.clone()).mine(&r, &p).expect("parallel mine");
+            assert_eq!(par.rules, serial.rules, "threads={threads}");
+            assert_eq!(par.cliques, serial.cliques, "threads={threads}");
+            assert_eq!(par.stats.clusters_total, serial.stats.clusters_total);
+            assert_eq!(par.stats.graph_edges, serial.stats.graph_edges);
+            assert_eq!(par.stats.graph_comparisons, serial.stats.graph_comparisons);
+            assert_eq!(par.stats.density_thresholds, serial.stats.density_thresholds);
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!   cache and answer many [`RuleQuery`]s from (see the `dar-engine`
 //!   crate).
 
-use crate::clique::{maximal_cliques, non_trivial};
+use crate::clique::non_trivial;
 use crate::graph::{ClusterDistance, ClusteringGraph, GraphConfig};
 use crate::pipeline::auto_density_thresholds;
 use crate::rules::{generate_dars_capped, Dar, RuleConfig};
@@ -141,7 +141,8 @@ pub struct Phase2Artifacts {
 }
 
 impl Phase2Artifacts {
-    /// Builds the graph and enumerates its maximal cliques.
+    /// Builds the graph and enumerates its maximal cliques on the calling
+    /// thread.
     pub fn build(
         frequent: Vec<ClusterSummary>,
         density_thresholds: Vec<f64>,
@@ -149,17 +150,43 @@ impl Phase2Artifacts {
         prune_poor_density: bool,
         max_cliques: usize,
     ) -> Self {
+        Self::build_pooled(
+            frequent,
+            density_thresholds,
+            metric,
+            prune_poor_density,
+            max_cliques,
+            &dar_par::ThreadPool::serial(),
+        )
+    }
+
+    /// [`Phase2Artifacts::build`] with the graph's all-pairs distances and
+    /// the per-component clique enumeration spread across `pool`. Both
+    /// stages use deterministic ordered reductions, so the artifacts are
+    /// byte-identical to the serial build at every worker count — which is
+    /// what lets an engine cache built at one thread setting answer queries
+    /// interchangeably with any other.
+    pub fn build_pooled(
+        frequent: Vec<ClusterSummary>,
+        density_thresholds: Vec<f64>,
+        metric: ClusterDistance,
+        prune_poor_density: bool,
+        max_cliques: usize,
+        pool: &dar_par::ThreadPool,
+    ) -> Self {
         let m = crate::metrics::metrics();
         let _t = dar_obs::Span::new(m.phase2_build_ns.clone());
-        let graph = ClusteringGraph::build(
+        let graph = ClusteringGraph::build_pooled(
             frequent,
             &GraphConfig {
                 metric,
                 density_thresholds: density_thresholds.clone(),
                 prune_poor_density,
             },
+            pool,
         );
-        let (cliques, cliques_truncated) = maximal_cliques(graph.adjacency(), max_cliques);
+        let (cliques, cliques_truncated) =
+            crate::clique::maximal_cliques_pooled(graph.adjacency(), max_cliques, pool);
         m.graph_builds.inc();
         m.graph_edges.add(graph.edges as u64);
         m.comparisons.add(graph.comparisons);

@@ -1,0 +1,41 @@
+//! # dar-par
+//!
+//! A std-only data-parallel runtime for the DAR pipeline: a fixed-width
+//! scoped thread pool with a chunked work queue, used to parallelize both
+//! mining phases *without changing any output byte*.
+//!
+//! The paper's decomposition makes this safe:
+//!
+//! * **Phase I** — the attribute partitions `X_i` are independent by
+//!   construction (Dfn 4.2), so a row batch can fan out across the
+//!   per-attribute-set ACF trees with one tree per task. Each tree sees the
+//!   same rows in the same order as a serial scan, so the clustering is
+//!   bit-identical.
+//! * **Phase II** — every inter-cluster distance is a pure function of the
+//!   ACF summaries (Theorem 6.1), so the O(k²) distance matrix can be
+//!   partitioned by row and recombined with an ordered reduction; maximal
+//!   cliques factor over connected components of the clustering graph.
+//!
+//! Design constraints, matching the workspace's shim-crate policy:
+//!
+//! * **No dependencies** beyond `dar-obs` (instrumentation) — the pool is
+//!   `std::thread::scope` plus atomics.
+//! * **No unsafe** — borrowed work items travel through a `Mutex`-guarded
+//!   queue of `&mut` references, not raw pointers.
+//! * **Panic propagation** — a panicking task panics the caller when the
+//!   scope joins, never deadlocks or silently drops work.
+//! * **Deterministic results** — workers tag results with their input
+//!   index; the caller receives them in input order regardless of
+//!   scheduling.
+//!
+//! Every parallel region records `dar_par_*` metrics (regions, tasks,
+//! queue depth, per-region wall time labelled by region name) in the
+//! process-global [`dar_obs`] registry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod pool;
+
+pub use pool::{available_parallelism, ThreadPool};

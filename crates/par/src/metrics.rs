@@ -1,0 +1,45 @@
+//! Global observability handles for the thread pool (`dar_par_*`).
+//!
+//! Handles are cached in a `OnceLock`; the family registers eagerly on
+//! first use so every `dar_par_*` series is visible in exposition (at
+//! zero) before the first parallel region runs. Recording is relaxed
+//! atomics only — the pool adds no locks beyond its work queue.
+
+use dar_obs::{global, Counter, Gauge, Histogram};
+use std::sync::OnceLock;
+
+/// The pool metric family.
+pub(crate) struct ParMetrics {
+    /// `dar_par_regions_total`: parallel regions executed (serial
+    /// fast-path regions included — the region ran, on one worker).
+    pub regions: Counter,
+    /// `dar_par_tasks_total`: individual tasks (items or chunks) executed
+    /// across all regions.
+    pub tasks: Counter,
+    /// `dar_par_workers`: worker count of the most recently run region.
+    pub workers: Gauge,
+    /// `dar_par_queue_depth`: tasks still queued in the currently running
+    /// region (0 when idle).
+    pub queue_depth: Gauge,
+}
+
+/// The cached handles.
+pub(crate) fn metrics() -> &'static ParMetrics {
+    static METRICS: OnceLock<ParMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        ParMetrics {
+            regions: r.counter("dar_par_regions_total"),
+            tasks: r.counter("dar_par_tasks_total"),
+            workers: r.gauge("dar_par_workers"),
+            queue_depth: r.gauge("dar_par_queue_depth"),
+        }
+    })
+}
+
+/// Per-region wall-time histogram, labelled by region name (`phase1_batch`,
+/// `graph_rows`, `cliques`, …). Looked up per region, not per task, so the
+/// label-map cost is amortized over the whole fan-out.
+pub(crate) fn region_ns(region: &'static str) -> Histogram {
+    global().histogram_with("dar_par_region_ns", &[("region", region)])
+}
