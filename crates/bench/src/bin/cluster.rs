@@ -1,0 +1,245 @@
+//! CLUSTER — scaling and equality check for the `dar-cluster`
+//! coordinator: the same dyadic workload routed across 1, 2, and 4
+//! in-process shards, measuring routed-ingest throughput, the
+//! pull+merge round (Theorem 6.1's entry-wise ACF sum, re-inserted
+//! into a fresh forest), and whether the merged rules stay
+//! **byte-identical** to a single engine fed the same batches.
+//!
+//! Emits `BENCH_cluster.json` in the current directory.
+//!
+//! Regenerate with: `cargo run --release -p dar-bench --bin cluster`
+
+use dar_bench::{print_table, secs, time};
+use dar_cluster::{ClusterConfig, Coordinator};
+use dar_core::{Metric, Partitioning, Schema};
+use dar_engine::{DarEngine, EngineConfig};
+use dar_serve::{json::Json, protocol, ServeConfig, Server, ServerHandle};
+use mining::RuleQuery;
+use std::time::Duration;
+
+/// Workload knobs, overridable from the command line.
+struct Opts {
+    batches: usize,
+    batch_size: usize,
+    out: String,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts { batches: 16, batch_size: 500, out: "BENCH_cluster.json".into() }
+    }
+}
+
+fn parse_opts() -> Opts {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| {
+            argv.get(i + 1).unwrap_or_else(|| panic!("flag {} needs a value", argv[i])).clone()
+        };
+        match argv[i].as_str() {
+            "--batches" => {
+                opts.batches = value(i).parse().expect("--batches");
+                i += 2;
+            }
+            "--batch-size" => {
+                opts.batch_size = value(i).parse().expect("--batch-size");
+                i += 2;
+            }
+            "--out" => {
+                opts.out = value(i);
+                i += 2;
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    opts
+}
+
+/// Two well-separated blocks with dyadic-fraction jitter (0.25 steps):
+/// every per-set floating-point sum is exact in any grouping, so the
+/// merged forest reproduces the single-engine summaries to the bit and
+/// the equality column below is meaningful (see DESIGN.md §12).
+fn rows(n: usize, offset: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            let k = i + offset;
+            let jitter = (k % 4) as f64 * 0.25;
+            if k.is_multiple_of(2) {
+                vec![jitter, 100.0 + jitter]
+            } else {
+                vec![50.0 + jitter, 200.0 + jitter]
+            }
+        })
+        .collect()
+}
+
+fn engine_config() -> EngineConfig {
+    let mut config = EngineConfig::default();
+    config.birch.initial_threshold = 5.0;
+    config.birch.memory_budget = usize::MAX;
+    config.min_support_frac = 0.2;
+    config
+}
+
+fn fresh_engine() -> DarEngine {
+    let schema = Schema::interval_attrs(2);
+    let partitioning = Partitioning::per_attribute(&schema, Metric::Euclidean);
+    DarEngine::new(partitioning, engine_config()).unwrap()
+}
+
+fn timeout() -> Duration {
+    Duration::from_secs(30)
+}
+
+fn start_shards(count: usize) -> (Vec<ServerHandle>, Vec<String>) {
+    let config = ServeConfig {
+        threads: 2,
+        read_timeout: timeout(),
+        write_timeout: timeout(),
+        ..ServeConfig::default()
+    };
+    let handles: Vec<ServerHandle> = (0..count)
+        .map(|_| Server::start(fresh_engine(), "127.0.0.1:0", config.clone()).unwrap())
+        .collect();
+    let addrs = handles.iter().map(|h| h.addr().to_string()).collect();
+    (handles, addrs)
+}
+
+/// One measured run at a fixed shard count.
+struct Point {
+    shards: usize,
+    ingest_secs: f64,
+    tuples_per_sec: f64,
+    merge_ns: u64,
+    query_ms: f64,
+    rules: usize,
+    matches: bool,
+}
+
+fn main() {
+    let opts = parse_opts();
+    let total_tuples = opts.batches * opts.batch_size;
+    let batches: Vec<Vec<Vec<f64>>> =
+        (0..opts.batches).map(|b| rows(opts.batch_size, b * opts.batch_size)).collect();
+
+    // --- single-engine control: the byte-equality baseline ---------------
+    let mut control = fresh_engine();
+    let (_, control_ingest) = time(|| {
+        for batch in &batches {
+            control.ingest(batch).unwrap();
+        }
+    });
+    let (control_outcome, control_query) = time(|| control.query(&RuleQuery::default()).unwrap());
+    let expected_line = protocol::query_response(&control_outcome).encode();
+    assert!(
+        !control_outcome.rules.is_empty(),
+        "the planted blocks must yield rules or the equality check is vacuous"
+    );
+
+    // --- coordinator at 1, 2, 4 shards -----------------------------------
+    let mut points: Vec<Point> = Vec::new();
+    for shard_count in [1usize, 2, 4] {
+        let (handles, addrs) = start_shards(shard_count);
+        let config = ClusterConfig {
+            shards: addrs,
+            timeout: timeout(),
+            engine: engine_config(),
+            threads: 2,
+            read_timeout: timeout(),
+            write_timeout: timeout(),
+            ..ClusterConfig::default()
+        };
+        let mut coordinator = Coordinator::connect(config).unwrap();
+
+        let (_, ingest_wall) = time(|| {
+            for batch in &batches {
+                coordinator.ingest(batch).unwrap();
+            }
+        });
+        // The pull+merge round, isolated: collect every shard's sealed
+        // snapshot and rebuild one forest from the summed features. The
+        // query after it runs Phase II on the already-merged engine.
+        let (_, merge_wall) = time(|| coordinator.ensure_merged().unwrap());
+        let (outcome, query_wall) = time(|| coordinator.query(&RuleQuery::default()).unwrap());
+        let got_line = protocol::query_response(&outcome).encode();
+
+        points.push(Point {
+            shards: shard_count,
+            ingest_secs: ingest_wall.as_secs_f64(),
+            tuples_per_sec: total_tuples as f64 / ingest_wall.as_secs_f64(),
+            merge_ns: merge_wall.as_nanos() as u64,
+            query_ms: query_wall.as_secs_f64() * 1e3,
+            rules: outcome.rules.len(),
+            matches: got_line == expected_line,
+        });
+
+        // Close the shard connections before joining so the shard worker
+        // threads exit without waiting out their read timeouts.
+        drop(coordinator);
+        for handle in handles {
+            handle.shutdown();
+            handle.join().unwrap();
+        }
+    }
+
+    let all_match = points.iter().all(|p| p.matches);
+    print_table(
+        "Cluster: routed ingest, merge wall, and rule equality vs one engine",
+        &["shards", "ingest (s)", "tuples/s", "merge (ms)", "query (ms)", "rules", "byte-equal"],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.shards.to_string(),
+                    format!("{:.3}", p.ingest_secs),
+                    format!("{:.0}", p.tuples_per_sec),
+                    format!("{:.3}", p.merge_ns as f64 / 1e6),
+                    format!("{:.3}", p.query_ms),
+                    p.rules.to_string(),
+                    p.matches.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\n  control: {} tuples ingested in {}, cold query {:.3}ms, {} rules",
+        total_tuples,
+        secs(control_ingest),
+        control_query.as_secs_f64() * 1e3,
+        control_outcome.rules.len()
+    );
+    assert!(all_match, "distributed rules diverged from the single engine");
+
+    let report = Json::obj(vec![
+        ("batches", Json::Num(opts.batches as f64)),
+        ("batch_size", Json::Num(opts.batch_size as f64)),
+        ("total_tuples", Json::Num(total_tuples as f64)),
+        ("control_ingest_seconds", Json::Num(control_ingest.as_secs_f64())),
+        ("control_query_ms", Json::Num(control_query.as_secs_f64() * 1e3)),
+        ("control_rules", Json::Num(control_outcome.rules.len() as f64)),
+        (
+            "points",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("shards", Json::Num(p.shards as f64)),
+                            ("ingest_seconds", Json::Num(p.ingest_secs)),
+                            ("routed_tuples_per_sec", Json::Num(p.tuples_per_sec)),
+                            ("merge_wall_ns", Json::Num(p.merge_ns as f64)),
+                            ("query_ms", Json::Num(p.query_ms)),
+                            ("rules", Json::Num(p.rules as f64)),
+                            ("matches_single_engine", Json::Bool(p.matches)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("all_match", Json::Bool(all_match)),
+    ]);
+    std::fs::write(&opts.out, format!("{}\n", report.encode())).expect("write report");
+    println!("\n  wrote {}", opts.out);
+}

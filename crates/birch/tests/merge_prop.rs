@@ -56,6 +56,110 @@ fn close(a: f64, b: f64) -> bool {
     (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
 }
 
+fn build(rows: &[Vec<f64>]) -> AcfForest {
+    let mut f = forest();
+    for row in rows {
+        f.insert_values(row);
+    }
+    f
+}
+
+/// `N` must agree exactly and every moment within [`close`] tolerance.
+fn check_close(got: &Aggregate, want: &Aggregate, label: &str) -> TestCaseResult {
+    prop_assert_eq!(got.len(), want.len(), "{}: home-set count diverged", label);
+    for (set, ((n_got, img_got), (n_want, img_want))) in got.iter().zip(want).enumerate() {
+        prop_assert_eq!(n_got, n_want, "{}: set {}: N diverged", label, set);
+        for (s, ((ls_got, ss_got), (ls_want, ss_want))) in img_got.iter().zip(img_want).enumerate()
+        {
+            for d in 0..ls_got.len() {
+                prop_assert!(
+                    close(ls_got[d], ls_want[d]),
+                    "{}: set {} image {} dim {}: ΣY {} vs {}",
+                    label,
+                    set,
+                    s,
+                    d,
+                    ls_got[d],
+                    ls_want[d]
+                );
+                prop_assert!(
+                    close(ss_got[d], ss_want[d]),
+                    "{}: set {} image {} dim {}: ΣY² {} vs {}",
+                    label,
+                    set,
+                    s,
+                    d,
+                    ss_got[d],
+                    ss_want[d]
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Three-shard associativity: `(a ⊕ b) ⊕ c` and `a ⊕ (b ⊕ c)` hold the
+/// same aggregate moments as each other *and* as a single forest over
+/// the concatenation — the property the `dar-cluster` coordinator
+/// depends on to merge any number of shard snapshots in shard order
+/// without caring how earlier rounds grouped them.
+#[test]
+fn merge_is_associative_across_three_shards() {
+    proptest!(|(rows in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 0..120),
+                cut1 in 0.0f64..1.0, cut2 in 0.0f64..1.0)| {
+        let rows: Vec<Vec<f64>> = rows.into_iter().map(|(a, b)| vec![a, b]).collect();
+        let (lo, hi) = if cut1 <= cut2 { (cut1, cut2) } else { (cut2, cut1) };
+        let i = ((rows.len() as f64) * lo) as usize;
+        let j = (((rows.len() as f64) * hi) as usize).max(i);
+        let (a_rows, rest) = rows.split_at(i.min(rows.len()));
+        let (b_rows, c_rows) = rest.split_at((j - i).min(rest.len()));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = build(a_rows);
+        left.merge(build(b_rows));
+        left.merge(build(c_rows));
+        // a ⊕ (b ⊕ c)
+        let mut bc = build(b_rows);
+        bc.merge(build(c_rows));
+        let mut right = build(a_rows);
+        right.merge(bc);
+
+        let want = aggregate(&build(&rows).finish());
+        let left = aggregate(&left.finish());
+        let right = aggregate(&right.finish());
+        check_close(&left, &want, "(a⊕b)⊕c vs concat")?;
+        check_close(&right, &want, "a⊕(b⊕c) vs concat")?;
+        check_close(&left, &right, "(a⊕b)⊕c vs a⊕(b⊕c)")?;
+    });
+}
+
+/// The empty forest is a merge identity. `a ⊕ ∅` must be *bit-exact*
+/// (nothing is inserted, so no summation reorders); `∅ ⊕ a` re-inserts
+/// `a`'s clusters into a fresh forest, so `N` is exact and the moments
+/// agree within summation tolerance.
+#[test]
+fn merging_with_the_empty_forest_is_the_identity() {
+    proptest!(|(rows in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 0..120))| {
+        let rows: Vec<Vec<f64>> = rows.into_iter().map(|(a, b)| vec![a, b]).collect();
+
+        // Insertion is deterministic, so two builds of the same rows are
+        // identical — the untouched twin is the exact baseline.
+        let baseline = aggregate(&build(&rows).finish());
+
+        let mut right_identity = build(&rows);
+        right_identity.merge(forest());
+        prop_assert_eq!(
+            aggregate(&right_identity.finish()),
+            baseline.clone(),
+            "a ⊕ ∅ must leave every moment bit-identical"
+        );
+
+        let mut left_identity = forest();
+        left_identity.merge(build(&rows));
+        check_close(&aggregate(&left_identity.finish()), &baseline, "∅ ⊕ a")?;
+    });
+}
+
 #[test]
 fn merge_of_disjoint_shards_equals_the_concatenated_build() {
     proptest!(|(rows in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 0..120),

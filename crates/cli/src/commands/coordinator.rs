@@ -1,0 +1,144 @@
+//! `dar cluster-coordinator` — run the distributed front-end: fan ingest
+//! batches across `dar serve` shards and serve Phase II from the merged
+//! ACF summary.
+//!
+//! ```text
+//! dar serve --addr 127.0.0.1:7001 --attrs 3 --wal-path shard0.wal &
+//! dar serve --addr 127.0.0.1:7002 --attrs 3 --wal-path shard1.wal &
+//! dar cluster-coordinator --addr 127.0.0.1:7878 \
+//!     --shards 127.0.0.1:7001,127.0.0.1:7002
+//! ```
+//!
+//! The engine flags (`--support`, `--metric`, `--memory-kb`,
+//! `--initial-threshold`, `--threads`) must match the shards' — the
+//! partitioning itself travels inside the shard snapshots, so there is
+//! no `--attrs` here. The
+//! coordinator mines the merged summary under this configuration, and the
+//! distributed-equality guarantee (same rules as one `dar serve` over the
+//! same batches) only holds when every engine agrees. With `--rescan`
+//! (requires shards started with `--wal-path`), each query's rules carry
+//! exact global frequencies computed the SON way: every shard re-reads
+//! its own write-ahead log against the merged clusters and the
+//! coordinator sums the disjoint counts.
+
+use crate::args::Args;
+use crate::data::parse_cluster_metric;
+use crate::CliError;
+use dar_cluster::{ClusterConfig, Coordinator, CoordinatorServer};
+use dar_engine::EngineConfig;
+use std::time::Duration;
+
+/// Runs the command: connect to every shard, serve until a wire
+/// `shutdown`, then report.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let addr = args.required("addr")?.to_string();
+    let config = build(args)?;
+    let shard_count = config.shards.len();
+    let coordinator =
+        Coordinator::connect(config).map_err(|e| CliError::new(format!("shard handshake: {e}")))?;
+    let handle = CoordinatorServer::start(coordinator, &addr)
+        .map_err(|e| CliError::new(format!("bind {addr}: {e}")))?;
+    // Announce on stderr immediately — stdout is the post-shutdown report.
+    eprintln!("dar cluster-coordinator: listening on {} ({shard_count} shards)", handle.addr());
+    let coordinator = std::sync::Arc::clone(handle.coordinator());
+    handle.join();
+    let (batches, tuples) = {
+        let guard = coordinator.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        guard.routed()
+    };
+    let rounds = {
+        let guard = coordinator.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        guard.rounds()
+    };
+    Ok(format!(
+        "cluster-coordinator: {batches} batches ({tuples} tuples) routed across \
+         {shard_count} shards, {rounds} merge rounds\n"
+    ))
+}
+
+/// Builds the cluster configuration from the flags. The engine flags
+/// mirror `dar serve`'s `build` so an operator can copy one flag set to
+/// both sides.
+pub fn build(args: &Args) -> Result<ClusterConfig, CliError> {
+    let shards: Vec<String> = args
+        .required("shards")?
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    if shards.is_empty() {
+        return Err(CliError::new("--shards needs at least one host:port"));
+    }
+
+    let threads = args.number::<usize>("threads", 0)?;
+    let mut engine = EngineConfig {
+        min_support_frac: args.number("support", 0.05)?,
+        metric: parse_cluster_metric(args.optional("metric").unwrap_or("d2"))?,
+        threads,
+        ..EngineConfig::default()
+    };
+    engine.birch.memory_budget = args.number::<usize>("memory-kb", 1024)? << 10;
+    if let Some(raw) = args.optional("initial-threshold") {
+        let threshold: f64 = raw
+            .parse()
+            .map_err(|_| CliError::new(format!("--initial-threshold: cannot parse {raw:?}")))?;
+        engine.birch.initial_threshold = threshold;
+    }
+
+    let timeout = Duration::from_millis(args.number::<u64>("timeout-ms", 30_000)?);
+    Ok(ClusterConfig {
+        shards,
+        timeout,
+        rescan: args.switch("rescan"),
+        engine,
+        threads: if threads == 0 { dar_par::available_parallelism() } else { threads },
+        queue_depth: args.number::<usize>("queue", 64)?.max(1),
+        read_timeout: timeout,
+        write_timeout: timeout,
+        metrics_addr: args.optional("metrics-addr").map(String::from),
+        ..ClusterConfig::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn build_parses_shard_list_and_engine_flags() {
+        let args = parse(&argv(&[
+            "--shards",
+            "127.0.0.1:7001, 127.0.0.1:7002,",
+            "--support",
+            "0.2",
+            "--metric",
+            "d0",
+            "--threads",
+            "2",
+            "--timeout-ms",
+            "500",
+            "--rescan",
+        ]))
+        .unwrap();
+        let config = build(&args).unwrap();
+        assert_eq!(config.shards, vec!["127.0.0.1:7001", "127.0.0.1:7002"]);
+        assert_eq!(config.engine.min_support_frac, 0.2);
+        assert_eq!(config.threads, 2);
+        assert_eq!(config.timeout, Duration::from_millis(500));
+        assert!(config.rescan);
+    }
+
+    #[test]
+    fn build_rejects_an_empty_shard_list() {
+        let args = parse(&argv(&["--shards", " ,,"])).unwrap();
+        assert!(build(&args).is_err());
+        let args = parse(&argv(&[])).unwrap();
+        assert!(build(&args).is_err(), "--shards is required");
+    }
+}

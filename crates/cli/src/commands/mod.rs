@@ -1,6 +1,7 @@
 //! The CLI subcommands.
 
 pub mod cluster;
+pub mod coordinator;
 pub mod generate;
 pub mod mine;
 pub mod rules;

@@ -73,6 +73,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "rules" => commands::rules::run(&args::parse(rest)?),
         "session" => commands::session::run(&args::parse(rest)?),
         "serve" => commands::serve::run(&args::parse(rest)?),
+        "cluster-coordinator" => commands::coordinator::run(&args::parse(rest)?),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::new(format!("unknown command {other:?}; run `dar help` for usage"))),
     }
@@ -105,6 +106,16 @@ pub fn usage() -> String {
                  TCP server speaking newline-delimited JSON; blocks until\n\
                  a wire `shutdown` request, then prints final counters;\n\
                  --metrics-addr serves Prometheus text to any scraper\n\
+       cluster-coordinator\n\
+                 --addr HOST:PORT --shards HOST:PORT,HOST:PORT,...\n\
+                 [--threads T] [--queue Q] [--support F]\n\
+                 [--memory-kb K] [--metric d0|d1|d2] [--initial-threshold F]\n\
+                 [--timeout-ms MS] [--metrics-addr HOST:PORT] [--rescan]\n\
+                 distributed front-end: fans ingest across `dar serve`\n\
+                 shards (round-robin by batch seq), merges their ACF\n\
+                 snapshots on query, and serves rules from the merged\n\
+                 summary; engine flags must match the shards'; --rescan\n\
+                 adds SON-style exact frequencies from the shards' WALs\n\
        help      this text\n"
         .to_string()
 }

@@ -1,0 +1,69 @@
+//! Coordinator configuration.
+
+use dar_engine::EngineConfig;
+use dar_serve::Backoff;
+use std::time::Duration;
+
+/// Everything the coordinator needs to know: where the shards are, how to
+/// talk to them, and the engine configuration the merged summary is mined
+/// under.
+///
+/// **Determinism contract:** [`ClusterConfig::engine`] must match the
+/// configuration the shards were started with (`dar serve` flags). The
+/// merged engine re-runs Phase II over the combined clusters; a different
+/// metric, support fraction, or clique cap here would mine different
+/// rules than the equivalent single server.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Shard addresses (`host:port`), in routing order. The order is part
+    /// of the deterministic contract: batch `seq` routes to shard
+    /// `(seq - 1) mod n`, and snapshots merge in this order.
+    pub shards: Vec<String>,
+    /// Per-shard connection read/write timeout.
+    pub timeout: Duration,
+    /// Retry policy for transient shard failures (`overloaded`,
+    /// `degraded`, connection resets). Retries are safe: `shard_ingest`
+    /// is idempotent under the coordinator's sequence numbers.
+    pub backoff: Backoff,
+    /// When set, every query's rules are verified with a SON-style exact
+    /// rescan fanned back to the shards (each re-reads its own WAL), and
+    /// the summed exact frequencies ride along in the query response.
+    /// Requires shards started with `--wal-path`.
+    pub rescan: bool,
+    /// The engine configuration for the merged coordinator engine — must
+    /// mirror the shards' (and the single server it should be equivalent
+    /// to).
+    pub engine: EngineConfig,
+    /// Worker pool size of the coordinator front-end.
+    pub threads: usize,
+    /// Bounded accept queue depth of the front-end; a full queue refuses
+    /// new connections with a structured `overloaded` error.
+    pub queue_depth: usize,
+    /// Per-client-connection read timeout.
+    pub read_timeout: Duration,
+    /// Per-client-connection write timeout.
+    pub write_timeout: Duration,
+    /// Whether the wire verb `shutdown` may stop the coordinator.
+    pub allow_remote_shutdown: bool,
+    /// Optional Prometheus exposition address for the global `dar-obs`
+    /// registry (coordinator-side metrics).
+    pub metrics_addr: Option<String>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            shards: Vec::new(),
+            timeout: Duration::from_secs(30),
+            backoff: Backoff::default(),
+            rescan: false,
+            engine: EngineConfig::default(),
+            threads: 4,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            allow_remote_shutdown: true,
+            metrics_addr: None,
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! The coordinator: deterministic batch routing, snapshot pull-and-merge,
+//! and the SON-style exact rescan.
+
+use crate::config::ClusterConfig;
+use crate::metrics::{metrics, shard_request_ns};
+use dar_core::ClusterSummary;
+use dar_engine::{DarEngine, QueryOutcome};
+use dar_serve::protocol::Request;
+use dar_serve::{Client, Json, ServerError, SharedEngine};
+use mining::RuleQuery;
+use std::io;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One shard's identity, as the coordinator last saw it.
+#[derive(Debug, Clone)]
+pub struct ShardInfo {
+    /// The shard's address, as configured.
+    pub addr: String,
+    /// Tuples the shard's engine holds.
+    pub tuples: u64,
+    /// The highest coordinator batch seq the shard has committed.
+    pub last_seq: u64,
+    /// Whether the shard is in degraded (read-only) mode.
+    pub degraded: bool,
+}
+
+/// One connected shard.
+struct Shard {
+    addr: String,
+    client: Client,
+    /// The highest coordinator seq this shard has acknowledged.
+    last_acked_seq: u64,
+    /// Tuples this shard must hold: its count at handshake plus every
+    /// batch it acknowledged since. Checked against `pull_snapshot` —
+    /// losing an acked batch is the one thing the cluster must never do
+    /// silently, and tuple counts survive shard restarts (they are
+    /// rebuilt by WAL replay), unlike the in-memory seq watermark.
+    expected_tuples: u64,
+    request_ns: dar_obs::Histogram,
+}
+
+impl Shard {
+    /// One request against this shard, latency recorded, with the
+    /// transient-retry policy applied.
+    fn request(&mut self, request: &Request, backoff: &dar_serve::Backoff) -> io::Result<Json> {
+        let t = Instant::now();
+        let result = self.client.request_with_retry(request, backoff);
+        self.request_ns.observe_duration(t.elapsed());
+        result
+    }
+}
+
+/// The cluster coordinator: owns the global batch sequence, fans ingest
+/// across shards, and serves Phase II from the merged summary.
+///
+/// Single-threaded by design — the front-end serializes access (the
+/// coordinator's work per request is one or two round trips; the heavy
+/// concurrent serving happens *inside* the merged [`SharedEngine`]'s
+/// cached read path and on the shards themselves).
+pub struct Coordinator {
+    shards: Vec<Shard>,
+    config: ClusterConfig,
+    /// The next batch sequence number to assign (1-based).
+    next_seq: u64,
+    /// Completed merge rounds; doubles as the `epoch_base` of the next
+    /// merge, so coordinator query epochs advance exactly like a single
+    /// engine's ingest→query cycles.
+    rounds: u64,
+    merged: Option<Arc<SharedEngine>>,
+    /// Ingest since the last merge: the next query must re-pull.
+    dirty: bool,
+    routed_batches: u64,
+    routed_tuples: u64,
+}
+
+impl Coordinator {
+    /// Connects to every shard and performs the `shard_stats` handshake:
+    /// all shards must agree on the expected row width (same
+    /// partitioning), and the global sequence resumes above the highest
+    /// watermark any shard reports (a restarted coordinator must not
+    /// reuse sequence numbers a shard has already committed).
+    ///
+    /// # Errors
+    /// Connection failures, an empty shard list, or shards whose row
+    /// widths disagree.
+    pub fn connect(config: ClusterConfig) -> io::Result<Coordinator> {
+        if config.shards.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "no shards configured"));
+        }
+        let mut shards = Vec::with_capacity(config.shards.len());
+        let mut width: Option<u64> = None;
+        let mut max_seq = 0u64;
+        for (i, addr) in config.shards.iter().enumerate() {
+            let mut client = Client::connect(addr.as_str(), config.timeout)?;
+            let stats = client.shard_stats()?;
+            let shard_width = stats.get("width").and_then(Json::as_u64).unwrap_or(0);
+            match width {
+                None => width = Some(shard_width),
+                Some(w) if w != shard_width => {
+                    return Err(io::Error::other(format!(
+                        "shard {i} ({addr}) expects rows of width {shard_width}, \
+                         shard 0 expects {w}: shards must share one partitioning"
+                    )));
+                }
+                Some(_) => {}
+            }
+            let last_seq = stats.get("last_seq").and_then(Json::as_u64).unwrap_or(0);
+            max_seq = max_seq.max(last_seq);
+            shards.push(Shard {
+                addr: addr.clone(),
+                client,
+                last_acked_seq: last_seq,
+                expected_tuples: stats.get("tuples").and_then(Json::as_u64).unwrap_or(0),
+                request_ns: shard_request_ns(i),
+            });
+        }
+        Ok(Coordinator {
+            shards,
+            config,
+            next_seq: max_seq + 1,
+            rounds: 0,
+            merged: None,
+            dirty: true,
+            routed_batches: 0,
+            routed_tuples: 0,
+        })
+    }
+
+    /// Number of connected shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Batches and tuples routed (and acknowledged) so far.
+    pub fn routed(&self) -> (u64, u64) {
+        (self.routed_batches, self.routed_tuples)
+    }
+
+    /// Routes one batch to its deterministic home shard, `(seq - 1) mod
+    /// n`, and returns the cumulative acknowledged tuple count (matching
+    /// the `total` a single server's ingest response reports when every
+    /// batch is acked).
+    ///
+    /// Transport failures (a dead or unreachable shard, after the
+    /// configured retries) fail over to the next shard in order —
+    /// availability over placement determinism, counted in
+    /// `dar_cluster_degraded_routes_total`. Structured server errors
+    /// (`rejected` rows, `degraded` shards) are returned to the caller
+    /// unchanged: re-sending bad data elsewhere would just fail again,
+    /// and rerouting around a *reachable* shard would double-apply when
+    /// it was merely slow. The sequence number is only consumed on
+    /// success, so a failed call can simply be retried.
+    ///
+    /// # Errors
+    /// A structured shard error, or the last transport error once every
+    /// shard has been tried.
+    pub fn ingest(&mut self, rows: &[Vec<f64>]) -> io::Result<u64> {
+        let n = self.shards.len();
+        let seq = self.next_seq;
+        let home = ((seq - 1) % n as u64) as usize;
+        let mut last_err = None;
+        for attempt in 0..n {
+            let idx = (home + attempt) % n;
+            let request = Request::ShardIngest { seq, rows: rows.to_vec() };
+            let backoff = self.config.backoff.clone();
+            match self.shards[idx].request(&request, &backoff) {
+                Ok(response) => {
+                    if response.get("applied").and_then(Json::as_bool) == Some(false) {
+                        metrics().dup_acks.inc();
+                    }
+                    if attempt > 0 {
+                        metrics().degraded_routes.inc();
+                    }
+                    let shard = &mut self.shards[idx];
+                    shard.last_acked_seq = shard.last_acked_seq.max(seq);
+                    shard.expected_tuples += rows.len() as u64;
+                    self.next_seq += 1;
+                    self.dirty = true;
+                    self.routed_batches += 1;
+                    self.routed_tuples += rows.len() as u64;
+                    metrics().batches_routed.inc();
+                    metrics().tuples_routed.add(rows.len() as u64);
+                    return Ok(self.routed_tuples);
+                }
+                Err(e) if ServerError::of(&e).is_some() => return Err(e),
+                Err(e) => {
+                    metrics().shard_failures.inc();
+                    last_err = Some(e);
+                    let _ = self.shards[idx].client.reconnect();
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::other("no shards configured")))
+    }
+
+    /// The merged engine, re-merging first if ingest has happened since
+    /// the last merge: pull one sealed snapshot per shard *in shard
+    /// order* (order shapes the merged forest and is part of the
+    /// deterministic contract), verify each footer covers everything that
+    /// shard acknowledged, and rebuild via
+    /// [`DarEngine::merge_snapshots`].
+    ///
+    /// # Errors
+    /// Shard transport failures, a snapshot whose checksum footer fails,
+    /// a footer proving an acknowledged batch is missing, or mismatched
+    /// shard partitionings.
+    pub fn ensure_merged(&mut self) -> io::Result<Arc<SharedEngine>> {
+        if !self.dirty {
+            if let Some(merged) = &self.merged {
+                return Ok(Arc::clone(merged));
+            }
+        }
+        let t = Instant::now();
+        let mut texts = Vec::with_capacity(self.shards.len());
+        let backoff = self.config.backoff.clone();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let response = shard.request(&Request::PullSnapshot, &backoff)?;
+            let sealed = response
+                .get("snapshot")
+                .and_then(Json::as_str)
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("shard {i} pull_snapshot response lacks a snapshot"),
+                    )
+                })?
+                .to_string();
+            // Wire-corruption check here (merge re-verifies); the footer
+            // seq is informational — it is the shard's *in-memory*
+            // watermark, which a restart resets even when WAL recovery
+            // rebuilt every batch.
+            dar_durable::unseal(&sealed).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("shard {i}: {e}"))
+            })?;
+            // The restart-proof lost-data check: the shard must hold at
+            // least every tuple it ever acknowledged (WAL replay restores
+            // the count after a crash; a shard that comes back lighter
+            // lost an acked batch, and serving rules that silently
+            // exclude it is the one thing the cluster must never do).
+            let tuples = response.get("tuples").and_then(Json::as_u64).unwrap_or(0);
+            if tuples < shard.expected_tuples {
+                return Err(io::Error::other(format!(
+                    "shard {i} ({}) holds {tuples} tuples but acknowledged {}: \
+                     an acknowledged batch is missing",
+                    shard.addr, shard.expected_tuples
+                )));
+            }
+            texts.push(sealed);
+        }
+        let epoch_base = self.rounds;
+        let engine = DarEngine::merge_snapshots(&texts, epoch_base, self.config.engine.clone())
+            .map_err(|e| io::Error::other(format!("merge: {e}")))?;
+        self.rounds += 1;
+        let merged = Arc::new(SharedEngine::new(engine));
+        self.merged = Some(Arc::clone(&merged));
+        self.dirty = false;
+        metrics().merges.inc();
+        metrics().merge_ns.observe_duration(t.elapsed());
+        Ok(merged)
+    }
+
+    /// Answers a rule query from the merged engine (merging first if
+    /// needed). The outcome is exactly what the equivalent single engine
+    /// would produce from the merged summary — same deterministic rule
+    /// order, same epoch numbering.
+    ///
+    /// # Errors
+    /// Merge failures (see [`Coordinator::ensure_merged`]) or query
+    /// validation errors.
+    pub fn query(&mut self, query: &RuleQuery) -> io::Result<QueryOutcome> {
+        let merged = self.ensure_merged()?;
+        merged.query(query).map_err(|e| io::Error::other(format!("query: {e}")))
+    }
+
+    /// The merged epoch's cluster summaries (merging first if needed).
+    ///
+    /// # Errors
+    /// Merge failures.
+    pub fn clusters(&mut self) -> io::Result<(u64, Vec<ClusterSummary>)> {
+        let merged = self.ensure_merged()?;
+        Ok(merged.clusters())
+    }
+
+    /// Serializes the merged epoch (merging first if needed): `(text,
+    /// epoch, tuples)`.
+    ///
+    /// # Errors
+    /// Merge or serialization failures.
+    pub fn snapshot(&mut self) -> io::Result<(String, u64, u64)> {
+        let merged = self.ensure_merged()?;
+        merged.snapshot().map_err(|e| io::Error::other(format!("snapshot: {e}")))
+    }
+
+    /// The SON exact-verification pass for one query outcome: ship the
+    /// merged clusters and each rule's positions to every shard, let each
+    /// re-read its own WAL and count matches over its disjoint slice, and
+    /// sum. Because the shards partition the relation, the sums are the
+    /// *exact* global frequencies of each rule's cluster combination —
+    /// the second scan of Savasere–Omiecinski–Navathe, without raw
+    /// tuples ever crossing the wire.
+    ///
+    /// Returns `(rows_rescanned, per_rule_counts)`; `rows_rescanned` is
+    /// summed across shards, so a value below the merged engine's tuple
+    /// count reveals a shard whose WAL no longer retains its full history.
+    ///
+    /// # Errors
+    /// Shard failures, or a shard whose count vector does not match the
+    /// rule count (a protocol violation).
+    pub fn rescan(&mut self, outcome: &QueryOutcome) -> io::Result<(u64, Vec<u64>)> {
+        let clusters_text = mining::persist::write_clusters(outcome.artifacts.graph.clusters())
+            .map_err(|e| io::Error::other(format!("clusters: {e}")))?;
+        let rules: Vec<Vec<usize>> = outcome
+            .rules
+            .iter()
+            .map(|r| {
+                let mut positions: Vec<usize> =
+                    r.antecedent.iter().chain(r.consequent.iter()).copied().collect();
+                positions.sort_unstable();
+                positions.dedup();
+                positions
+            })
+            .collect();
+        let mut total_rows = 0u64;
+        let mut totals = vec![0u64; rules.len()];
+        let backoff = self.config.backoff.clone();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let request =
+                Request::ShardRescan { clusters: clusters_text.clone(), rules: rules.clone() };
+            let response = shard.request(&request, &backoff)?;
+            let rows_scanned = response.get("rows_scanned").and_then(Json::as_u64).unwrap_or(0);
+            let counts: Vec<u64> = match response.get("counts") {
+                Some(Json::Arr(items)) => items.iter().filter_map(Json::as_u64).collect(),
+                _ => Vec::new(),
+            };
+            if counts.len() != totals.len() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "shard {i} returned {} counts for {} rules",
+                        counts.len(),
+                        totals.len()
+                    ),
+                ));
+            }
+            total_rows += rows_scanned;
+            for (t, c) in totals.iter_mut().zip(&counts) {
+                *t += c;
+            }
+        }
+        metrics().rescans.inc();
+        Ok((total_rows, totals))
+    }
+
+    /// Whether the SON rescan is enabled for this coordinator.
+    pub fn rescan_enabled(&self) -> bool {
+        self.config.rescan
+    }
+
+    /// Fresh `shard_stats` from every shard, in shard order.
+    ///
+    /// # Errors
+    /// Shard transport failures.
+    pub fn shard_infos(&mut self) -> io::Result<Vec<ShardInfo>> {
+        let backoff = self.config.backoff.clone();
+        let mut infos = Vec::with_capacity(self.shards.len());
+        for shard in &mut self.shards {
+            let stats = shard.request(&Request::ShardStats, &backoff)?;
+            infos.push(ShardInfo {
+                addr: shard.addr.clone(),
+                tuples: stats.get("tuples").and_then(Json::as_u64).unwrap_or(0),
+                last_seq: stats.get("last_seq").and_then(Json::as_u64).unwrap_or(0),
+                degraded: stats.get("degraded").and_then(Json::as_bool).unwrap_or(false),
+            });
+        }
+        Ok(infos)
+    }
+
+    /// Completed merge rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The configuration this coordinator was connected with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+}

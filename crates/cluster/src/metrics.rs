@@ -1,0 +1,54 @@
+//! Global observability handles for the cluster layer (`dar_cluster_*`).
+
+use dar_obs::{global, Counter, Histogram};
+use std::sync::OnceLock;
+
+/// The coordinator metric family.
+pub(crate) struct ClusterMetrics {
+    /// `dar_cluster_batches_routed_total`: batches acknowledged by a shard.
+    pub batches_routed: Counter,
+    /// `dar_cluster_tuples_routed_total`: tuples inside those batches.
+    pub tuples_routed: Counter,
+    /// `dar_cluster_merges_total`: snapshot-merge rounds performed.
+    pub merges: Counter,
+    /// `dar_cluster_merge_ns`: wall time of one pull-and-merge round
+    /// (snapshot pulls included — that is the latency a cold query pays).
+    pub merge_ns: Histogram,
+    /// `dar_cluster_shard_failures_total`: transport-level failures talking
+    /// to a shard (after retries), whatever the coordinator did about it.
+    pub shard_failures: Counter,
+    /// `dar_cluster_degraded_routes_total`: batches that landed on a
+    /// different shard than their deterministic home because the home
+    /// shard was unreachable.
+    pub degraded_routes: Counter,
+    /// `dar_cluster_rescans_total`: SON verify passes fanned to shards.
+    pub rescans: Counter,
+    /// `dar_cluster_dup_acks_total`: shard acks that reported the batch as
+    /// a duplicate (`applied=false`) — retried deliveries that the shard
+    /// watermark suppressed.
+    pub dup_acks: Counter,
+}
+
+/// The cached handles.
+pub(crate) fn metrics() -> &'static ClusterMetrics {
+    static METRICS: OnceLock<ClusterMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        ClusterMetrics {
+            batches_routed: r.counter("dar_cluster_batches_routed_total"),
+            tuples_routed: r.counter("dar_cluster_tuples_routed_total"),
+            merges: r.counter("dar_cluster_merges_total"),
+            merge_ns: r.histogram("dar_cluster_merge_ns"),
+            shard_failures: r.counter("dar_cluster_shard_failures_total"),
+            degraded_routes: r.counter("dar_cluster_degraded_routes_total"),
+            rescans: r.counter("dar_cluster_rescans_total"),
+            dup_acks: r.counter("dar_cluster_dup_acks_total"),
+        }
+    })
+}
+
+/// The per-shard request-latency histogram, labelled by shard index —
+/// created at connect time so every shard's series exists from the start.
+pub(crate) fn shard_request_ns(shard: usize) -> Histogram {
+    global().histogram_with("dar_cluster_shard_request_ns", &[("shard", &shard.to_string())])
+}

@@ -345,6 +345,92 @@ impl DarEngine {
         })
     }
 
+    /// Builds a coordinator engine from one sealed snapshot per shard — the
+    /// distributed analogue of [`DarEngine::restore`], justified by ACF
+    /// additivity (Theorem 6.1): a cluster feature summarizing a set of
+    /// tuples is exactly the entry-wise sum over any partition of that set,
+    /// so merging per-shard forests by inserting each shard's finished
+    /// clusters into one fresh forest loses nothing the single-engine scan
+    /// would have kept at the same summary granularity.
+    ///
+    /// `texts` are sealed snapshots in shard order (shard order is part of
+    /// the deterministic contract: insertion order shapes tree splits, so
+    /// the coordinator must always merge in the same order). `epoch_base`
+    /// is the coordinator's merge-round number: the merged engine starts
+    /// with `epoch() == epoch_base` and an *open* epoch, so the first query
+    /// closes `epoch_base + 1` — mirroring a single engine whose matching
+    /// ingest round has just finished.
+    ///
+    /// Every shard must have been built under the same partitioning. Tree
+    /// thresholds are combined element-wise by maximum: each shard's
+    /// threshold is the radius its leaf entries are known to satisfy, and
+    /// re-inserting summaries under a smaller threshold could split what a
+    /// shard had already absorbed.
+    ///
+    /// # Errors
+    /// Rejects an empty `texts` slice, malformed or checksum-corrupt
+    /// snapshots, and partitionings that differ across shards.
+    pub fn merge_snapshots(
+        texts: &[String],
+        epoch_base: u64,
+        config: EngineConfig,
+    ) -> Result<Self, CoreError> {
+        let mut snaps = Vec::with_capacity(texts.len());
+        for (i, text) in texts.iter().enumerate() {
+            let body = dar_durable::unseal(text).map_err(|detail| {
+                CoreError::LayoutMismatch(format!("shard {i} snapshot footer: {detail}"))
+            })?;
+            snaps.push(snapshot::parse_snapshot(body.0)?);
+        }
+        let Some(first) = snaps.first() else {
+            return Err(CoreError::LayoutMismatch("merge_snapshots of zero shards".into()));
+        };
+        let partitioning = first.partitioning.clone();
+        let mut thresholds = first.thresholds.clone();
+        let mut tuples = 0u64;
+        for (i, snap) in snaps.iter().enumerate() {
+            if snap.partitioning != partitioning {
+                return Err(CoreError::InvalidPartitioning(format!(
+                    "shard {i} snapshot was built under a different partitioning"
+                )));
+            }
+            if snap.thresholds.len() != thresholds.len() {
+                return Err(CoreError::LayoutMismatch(format!(
+                    "shard {i} snapshot has {} thresholds, expected {}",
+                    snap.thresholds.len(),
+                    thresholds.len()
+                )));
+            }
+            for (t, s) in thresholds.iter_mut().zip(&snap.thresholds) {
+                *t = t.max(*s);
+            }
+            tuples += snap.tuples;
+        }
+        let mut forest =
+            AcfForest::with_initial_thresholds(partitioning.clone(), &config.birch, &thresholds);
+        for snap in &snaps {
+            for c in &snap.clusters {
+                forest.insert_entry(c.set, c.acf.clone());
+            }
+        }
+        let stats = EngineStats { tuples_ingested: tuples, ..EngineStats::default() };
+        let pool = dar_par::ThreadPool::resolve(config.threads);
+        Ok(DarEngine {
+            partitioning,
+            config,
+            forest,
+            pool,
+            epoch: epoch_base,
+            tuples,
+            // Left open on purpose: the first query runs ensure_epoch and
+            // closes epoch_base + 1, extracting sequential cluster ids from
+            // the merged forest exactly as a single engine would after its
+            // matching ingest round.
+            epoch_state: None,
+            stats,
+        })
+    }
+
     /// Replays write-ahead-log batches recovered by `dar-durable` on top
     /// of a restored (or fresh) engine, in log order. Identical to
     /// ingesting them live — forest insertion is purely sequential — so a
@@ -492,5 +578,91 @@ mod tests {
         let out = e.query(&RuleQuery::default()).unwrap();
         assert!(out.rules.is_empty());
         assert_eq!(out.s0, 1);
+    }
+
+    /// Rows with dyadic jitter (0.25 steps): fp sums are exact in any
+    /// grouping, so shard merges match the single scan to the bit.
+    fn dyadic_rows(n: usize, offset: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let jitter = ((i + offset) % 4) as f64 * 0.25;
+                if (i + offset).is_multiple_of(2) {
+                    vec![jitter, 100.0 + jitter]
+                } else {
+                    vec![50.0 + jitter, 200.0 + jitter]
+                }
+            })
+            .collect()
+    }
+
+    fn sealed_snapshot(e: &mut DarEngine) -> String {
+        dar_durable::seal(&e.snapshot().unwrap(), e.epoch())
+    }
+
+    #[test]
+    fn merge_snapshots_matches_single_engine() {
+        // Control: one engine sees all rows in one round.
+        let mut control = engine();
+        let all: Vec<Vec<f64>> = dyadic_rows(30, 0).into_iter().chain(dyadic_rows(30, 1)).collect();
+        control.ingest(&all).unwrap();
+        let expected = control.query(&RuleQuery::default()).unwrap();
+
+        // Two shards split the same rows, snapshot, merge.
+        let mut a = engine();
+        a.ingest(&dyadic_rows(30, 0)).unwrap();
+        let mut b = engine();
+        b.ingest(&dyadic_rows(30, 1)).unwrap();
+        let texts = vec![sealed_snapshot(&mut a), sealed_snapshot(&mut b)];
+        let config = control.config().clone();
+        let mut merged = DarEngine::merge_snapshots(&texts, 0, config).unwrap();
+
+        assert_eq!(merged.tuples(), 60);
+        assert_eq!(merged.epoch(), 0, "epoch_base installs verbatim");
+        let got = merged.query(&RuleQuery::default()).unwrap();
+        assert_eq!(got.epoch, 1, "first query closes epoch_base + 1");
+        assert_eq!(got.s0, expected.s0, "s0 reflects the summed tuple count");
+        assert_eq!(got.rules, expected.rules, "well-separated dyadic blocks merge losslessly");
+    }
+
+    #[test]
+    fn merge_snapshots_rejects_empty_and_mismatched_shards() {
+        assert!(DarEngine::merge_snapshots(&[], 0, EngineConfig::default()).is_err());
+
+        let mut two_attr = engine();
+        two_attr.ingest(&dyadic_rows(10, 0)).unwrap();
+        let schema = Schema::interval_attrs(3);
+        let partitioning = Partitioning::per_attribute(&schema, Metric::Euclidean);
+        let mut config = EngineConfig::default();
+        config.birch.initial_threshold = 1.0;
+        config.min_support_frac = 0.2;
+        let mut three_attr = DarEngine::new(partitioning, config.clone()).unwrap();
+        three_attr.ingest(&vec![vec![0.0, 1.0, 2.0]; 10]).unwrap();
+        let texts = vec![sealed_snapshot(&mut two_attr), sealed_snapshot(&mut three_attr)];
+        match DarEngine::merge_snapshots(&texts, 0, config) {
+            Err(CoreError::InvalidPartitioning(_)) => {}
+            Err(other) => panic!("expected InvalidPartitioning, got {other:?}"),
+            Ok(_) => panic!("mismatched partitionings must not merge"),
+        }
+    }
+
+    #[test]
+    fn merge_snapshots_takes_elementwise_max_thresholds() {
+        // Shard B's forest grew a larger threshold by absorbing a wide
+        // spread; the merged forest must not shrink below it.
+        let mut a = engine();
+        a.ingest(&dyadic_rows(20, 0)).unwrap();
+        let mut b = engine();
+        let spread: Vec<Vec<f64>> =
+            (0..200).map(|i| vec![(i % 40) as f64 * 5.0, 100.0 + (i % 17) as f64 * 7.0]).collect();
+        b.ingest(&spread).unwrap();
+        let texts = vec![sealed_snapshot(&mut a), sealed_snapshot(&mut b)];
+        let merged = DarEngine::merge_snapshots(&texts, 3, a.config().clone()).unwrap();
+        assert_eq!(merged.epoch(), 3);
+        assert_eq!(merged.tuples(), 220);
+        let merged_t = merged.forest.thresholds();
+        let bt = b.forest.thresholds();
+        for (m, t) in merged_t.iter().zip(&bt) {
+            assert!(m >= t, "merged threshold {m} below shard threshold {t}");
+        }
     }
 }

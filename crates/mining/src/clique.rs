@@ -261,13 +261,20 @@ mod tests {
     }
 
     #[test]
-    fn no_nodes() {
+    fn no_nodes_yields_no_cliques() {
+        // The vertex-free graph yields *zero* cliques, not one empty
+        // clique: a clique corresponds to a candidate large itemset, and
+        // an itemset over no clusters would mine vacuous rules. This is
+        // the contract `dar-cluster`'s coordinator relies on for the
+        // empty-shard / empty-merge path (see DESIGN.md §12), so it is
+        // pinned here rather than left convention-dependent.
         let (cliques, truncated) = maximal_cliques(&[], 0);
-        // The empty graph has exactly one maximal clique: the empty set.
-        // We accept either convention but must not panic; current
-        // implementation reports the empty clique.
         assert!(!truncated);
-        assert!(cliques.len() <= 1);
+        assert!(cliques.is_empty(), "vertex-free graph must yield no cliques, got {cliques:?}");
+        let pool = dar_par::ThreadPool::new(2);
+        let (pooled, pooled_truncated) = maximal_cliques_pooled(&[], 7, &pool);
+        assert!(!pooled_truncated);
+        assert!(pooled.is_empty());
     }
 
     #[test]

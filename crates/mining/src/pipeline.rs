@@ -163,7 +163,7 @@ impl DarMiner {
             self.mine_rows((0..relation.len()).map(|row| relation.row(row)), partitioning)?;
         if self.config.rescan_candidate_frequency {
             result.rule_frequencies =
-                rescan_frequencies(relation, partitioning, &result.graph, &result.rules);
+                rescan_frequencies(relation, partitioning, result.graph.clusters(), &result.rules);
         }
         Ok(result)
     }
@@ -351,13 +351,19 @@ fn column_cf(clusters: &[ClusterSummary], set: SetId) -> Option<Cf> {
 /// The optional Section 6.2 post-processing: one extra scan counting, for
 /// each candidate rule, the tuples assigned (by nearest centroid) to every
 /// one of its clusters.
+///
+/// `clusters` is the slice the rules' antecedent/consequent positions
+/// index into — a graph's [`ClusteringGraph::clusters`] in the one-shot
+/// pipeline, or a deserialized `mining::persist` shipment in the
+/// distributed SON-style verify pass (`dar-cluster`), where each shard
+/// rescans only its own partition of the data and the coordinator sums
+/// the per-shard counts (exact, because the partitions are disjoint).
 pub fn rescan_frequencies(
     relation: &Relation,
     partitioning: &Partitioning,
-    graph: &ClusteringGraph,
+    clusters: &[ClusterSummary],
     rules: &[Dar],
 ) -> Vec<u64> {
-    let clusters = graph.clusters();
     let indexes: Vec<CentroidIndex> = (0..partitioning.num_sets())
         .map(|set| CentroidIndex::new(clusters, set, partitioning.set(set).metric))
         .collect();

@@ -252,7 +252,93 @@ impl Client {
         self.expect_ok(&Request::Shutdown).map(|_| ())
     }
 
-    fn expect_ok(&mut self, request: &Request) -> io::Result<Json> {
+    /// `shard_ingest`: an idempotent ingest tagged with the coordinator's
+    /// global batch sequence number. Returns `(applied, total)` — `applied`
+    /// is `false` when the shard had already committed this `seq` (a
+    /// retried delivery), in which case the batch was *not* re-applied.
+    ///
+    /// # Errors
+    /// I/O failures or a structured server error.
+    pub fn shard_ingest(&mut self, seq: u64, rows: Vec<Vec<f64>>) -> io::Result<(bool, u64)> {
+        let response = self.expect_ok(&Request::ShardIngest { seq, rows })?;
+        Ok(decode_shard_ingest(&response))
+    }
+
+    /// [`Client::shard_ingest`] with transient failures retried under
+    /// `backoff`. Safe to retry precisely because the verb is idempotent:
+    /// a duplicate delivery of `seq` acks without re-applying.
+    ///
+    /// # Errors
+    /// As [`Client::request_with_retry`].
+    pub fn shard_ingest_with_retry(
+        &mut self,
+        seq: u64,
+        rows: Vec<Vec<f64>>,
+        backoff: &Backoff,
+    ) -> io::Result<(bool, u64)> {
+        let response = self.request_with_retry(&Request::ShardIngest { seq, rows }, backoff)?;
+        Ok(decode_shard_ingest(&response))
+    }
+
+    /// `pull_snapshot`: the shard's sealed engine snapshot. Returns
+    /// `(epoch, tuples, sealed_text)`; the sealed text's footer carries the
+    /// shard's last committed coordinator batch seq, verified on unseal.
+    ///
+    /// # Errors
+    /// I/O failures or a structured server error.
+    pub fn pull_snapshot(&mut self) -> io::Result<(u64, u64, String)> {
+        let response = self.expect_ok(&Request::PullSnapshot)?;
+        let epoch = response.get("epoch").and_then(Json::as_u64).unwrap_or(0);
+        let tuples = response.get("tuples").and_then(Json::as_u64).unwrap_or(0);
+        let sealed = response
+            .get("snapshot")
+            .and_then(Json::as_str)
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "pull_snapshot response lacks snapshot")
+            })?
+            .to_string();
+        Ok((epoch, tuples, sealed))
+    }
+
+    /// `shard_stats`; returns the decoded response object (epoch, tuples,
+    /// row width, degraded flag, last committed coordinator seq).
+    ///
+    /// # Errors
+    /// I/O failures or a structured server error.
+    pub fn shard_stats(&mut self) -> io::Result<Json> {
+        self.expect_ok(&Request::ShardStats)
+    }
+
+    /// `shard_rescan`: the SON verify pass — the shard replays its WAL
+    /// against the coordinator's merged clusters and counts, per candidate
+    /// rule, the rows matching every position. Returns `(rows_scanned,
+    /// counts)` with `counts[i]` for `rules[i]`.
+    ///
+    /// # Errors
+    /// I/O failures or a structured server error.
+    pub fn shard_rescan(
+        &mut self,
+        clusters: &str,
+        rules: &[Vec<usize>],
+    ) -> io::Result<(u64, Vec<u64>)> {
+        let request =
+            Request::ShardRescan { clusters: clusters.to_string(), rules: rules.to_vec() };
+        let response = self.expect_ok(&request)?;
+        let rows_scanned = response.get("rows_scanned").and_then(Json::as_u64).unwrap_or(0);
+        let counts = match response.get("counts") {
+            Some(Json::Arr(items)) => items.iter().filter_map(Json::as_u64).collect(),
+            _ => Vec::new(),
+        };
+        Ok((rows_scanned, counts))
+    }
+
+    /// Sends any [`Request`], mapping a non-`ok` response to a typed
+    /// [`ServerError`] — the building block the verb helpers share, public
+    /// so the cluster coordinator can drive shard verbs generically.
+    ///
+    /// # Errors
+    /// I/O failures or a structured server error.
+    pub fn expect_ok(&mut self, request: &Request) -> io::Result<Json> {
         let response = self.request(request)?;
         if response.get("ok").and_then(Json::as_bool) == Some(true) {
             Ok(response)
@@ -262,6 +348,12 @@ impl Client {
             Err(io::Error::other(ServerError { code: code.into(), message: message.into() }))
         }
     }
+}
+
+fn decode_shard_ingest(response: &Json) -> (bool, u64) {
+    let applied = response.get("applied").and_then(Json::as_bool).unwrap_or(false);
+    let total = response.get("total").and_then(Json::as_u64).unwrap_or(0);
+    (applied, total)
 }
 
 #[cfg(test)]

@@ -1,15 +1,42 @@
 //! Global observability handles for the serving layer (`dar_serve_*`).
 //!
-//! Per-verb request counters and latency histograms are resolved once
-//! into a fixed table, so the per-request path is a table scan over eight
-//! static strings plus relaxed atomics — no registry lookup, no mutex.
+//! Per-verb request counters, latency histograms, and byte counters are
+//! resolved once into a fixed table, so the per-request path is a table
+//! scan over a dozen static strings plus relaxed atomics — no registry
+//! lookup, no mutex.
 
 use dar_obs::{global, Counter, Gauge, Histogram};
 use std::sync::OnceLock;
 
 /// Verb labels with dedicated series. Unknown labels fold into `error`.
-const VERBS: [&str; 8] =
-    ["ingest", "query", "clusters", "stats", "snapshot", "shutdown", "metrics", "error"];
+const VERBS: [&str; 12] = [
+    "ingest",
+    "query",
+    "clusters",
+    "stats",
+    "snapshot",
+    "shutdown",
+    "metrics",
+    "shard_ingest",
+    "pull_snapshot",
+    "shard_stats",
+    "shard_rescan",
+    "error",
+];
+
+/// One verb's metric handles.
+pub(crate) struct VerbMetrics {
+    name: &'static str,
+    /// `dar_serve_requests_total{verb=…}`.
+    pub requests: Counter,
+    /// `dar_serve_request_ns{verb=…}`.
+    pub request_ns: Histogram,
+    /// `dar_serve_bytes_read_total{verb=…}`: request-line bytes received,
+    /// attributed to the verb they decoded into.
+    pub bytes_read: Counter,
+    /// `dar_serve_bytes_written_total{verb=…}`: response-line bytes sent.
+    pub bytes_written: Counter,
+}
 
 /// The serving-layer metric family.
 pub(crate) struct ServeMetrics {
@@ -22,20 +49,14 @@ pub(crate) struct ServeMetrics {
     pub errors: Counter,
     /// `dar_serve_degraded`: 0/1 read-only mode flag.
     pub degraded: Gauge,
-    /// Per-verb `dar_serve_requests_total{verb=…}` and
-    /// `dar_serve_request_ns{verb=…}`.
-    verbs: [(&'static str, Counter, Histogram); VERBS.len()],
+    /// The per-verb series, in [`VERBS`] order.
+    verbs: [VerbMetrics; VERBS.len()],
 }
 
 impl ServeMetrics {
-    /// The counter/histogram pair for a verb label.
-    pub fn verb(&self, verb: &str) -> (&Counter, &Histogram) {
-        let entry = self
-            .verbs
-            .iter()
-            .find(|(name, _, _)| *name == verb)
-            .unwrap_or(&self.verbs[VERBS.len() - 1]);
-        (&entry.1, &entry.2)
+    /// The metric handles for a verb label.
+    pub fn verb(&self, verb: &str) -> &VerbMetrics {
+        self.verbs.iter().find(|v| v.name == verb).unwrap_or(&self.verbs[VERBS.len() - 1])
     }
 }
 
@@ -51,11 +72,14 @@ pub(crate) fn metrics() -> &'static ServeMetrics {
             degraded: r.gauge("dar_serve_degraded"),
             verbs: std::array::from_fn(|i| {
                 let verb = VERBS[i];
-                (
-                    verb,
-                    r.counter_with("dar_serve_requests_total", &[("verb", verb)]),
-                    r.histogram_with("dar_serve_request_ns", &[("verb", verb)]),
-                )
+                VerbMetrics {
+                    name: verb,
+                    requests: r.counter_with("dar_serve_requests_total", &[("verb", verb)]),
+                    request_ns: r.histogram_with("dar_serve_request_ns", &[("verb", verb)]),
+                    bytes_read: r.counter_with("dar_serve_bytes_read_total", &[("verb", verb)]),
+                    bytes_written: r
+                        .counter_with("dar_serve_bytes_written_total", &[("verb", verb)]),
+                }
             }),
         }
     })

@@ -14,6 +14,27 @@
 //! {"verb":"shutdown"}                       → {"ok":true,"verb":"shutdown"}
 //! ```
 //!
+//! Shard verbs — the coordinator side of `dar-cluster`'s distributed
+//! ingest, spoken by a `dar serve` instance acting as a shard worker:
+//!
+//! ```text
+//! {"verb":"shard_ingest","seq":…,"rows":[…]} → {"ok":true,…,"seq":…,"applied":…,"total":…}
+//! {"verb":"pull_snapshot"}                   → {"ok":true,…,"epoch":…,"snapshot":"<sealed>"}
+//! {"verb":"shard_stats"}                     → {"ok":true,…,"epoch":…,"width":…,"last_seq":…}
+//! {"verb":"shard_rescan","clusters":…,"rules":[…]} → {"ok":true,…,"counts":[…]}
+//! ```
+//!
+//! `shard_ingest` carries the coordinator's global batch sequence number;
+//! a shard remembers the highest it has applied and acknowledges
+//! duplicates (`"applied":false`) without re-applying, which makes the
+//! coordinator's at-least-once retries idempotent. `pull_snapshot`
+//! returns the shard's epoch snapshot sealed with a checksum footer
+//! (`dar_durable::seal`), so wire corruption is caught at merge time.
+//! `shard_rescan` is the SON-style verify pass: the coordinator ships the
+//! merged cluster summaries (persist v1 text) plus each candidate rule as
+//! a list of cluster positions, and the shard counts its own WAL-retained
+//! tuples that fall in every one of the rule's clusters.
+//!
 //! Errors are structured, never a dropped connection:
 //! `{"ok":false,"error":"<code>","message":"<detail>"}`.
 //!
@@ -53,6 +74,49 @@ pub enum Request {
     Snapshot,
     /// Gracefully stop the server (responds first, then shuts down).
     Shutdown,
+    /// Coordinator-routed ingest (writer path): like [`Request::Ingest`]
+    /// but carrying the coordinator's global batch sequence number for
+    /// duplicate suppression across retries.
+    ShardIngest {
+        /// The coordinator's global batch sequence number (1-based,
+        /// strictly increasing per coordinator).
+        seq: u64,
+        /// The tuples, one `Vec<f64>` per row, indexed by attribute.
+        rows: Vec<Vec<f64>>,
+    },
+    /// Pull this shard's epoch snapshot, sealed with a checksum footer,
+    /// for coordinator-side forest merging.
+    PullSnapshot,
+    /// Shard health/identity summary for the coordinator's handshake.
+    ShardStats,
+    /// SON-style verify pass: count, per candidate rule, the tuples in
+    /// this shard's write-ahead log assigned to every one of the rule's
+    /// clusters (nearest-centroid, as `mining::pipeline::rescan_frequencies`).
+    ShardRescan {
+        /// The merged cluster summaries, as `mining::persist` v1 text.
+        clusters: String,
+        /// Each rule as its cluster positions (antecedent ∪ consequent)
+        /// into the shipped cluster slice.
+        rules: Vec<Vec<usize>>,
+    },
+}
+
+/// Decodes an `ingest`/`shard_ingest` rows array.
+fn parse_rows(value: &Json, verb: &str) -> Result<Vec<Vec<f64>>, String> {
+    let rows = value
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{verb} needs a \"rows\" array"))?;
+    rows.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            row.as_array()
+                .ok_or_else(|| format!("row {i} is not an array"))?
+                .iter()
+                .map(|v| v.as_f64().ok_or_else(|| format!("row {i} has a non-number")))
+                .collect()
+        })
+        .collect()
 }
 
 impl Request {
@@ -66,30 +130,49 @@ impl Request {
             .and_then(Json::as_str)
             .ok_or_else(|| "request must be an object with a string \"verb\"".to_string())?;
         match verb {
-            "ingest" => {
-                let rows = value
-                    .get("rows")
-                    .and_then(Json::as_array)
-                    .ok_or_else(|| "ingest needs a \"rows\" array".to_string())?;
-                let rows: Result<Vec<Vec<f64>>, String> = rows
-                    .iter()
-                    .enumerate()
-                    .map(|(i, row)| {
-                        row.as_array()
-                            .ok_or_else(|| format!("row {i} is not an array"))?
-                            .iter()
-                            .map(|v| v.as_f64().ok_or_else(|| format!("row {i} has a non-number")))
-                            .collect()
-                    })
-                    .collect();
-                Ok(Request::Ingest { rows: rows? })
-            }
+            "ingest" => Ok(Request::Ingest { rows: parse_rows(value, "ingest")? }),
             "query" => Ok(Request::Query { query: parse_query(value)? }),
             "clusters" => Ok(Request::Clusters),
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
             "snapshot" => Ok(Request::Snapshot),
             "shutdown" => Ok(Request::Shutdown),
+            "shard_ingest" => {
+                let seq = value
+                    .get("seq")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| "shard_ingest needs a non-negative \"seq\"".to_string())?;
+                Ok(Request::ShardIngest { seq, rows: parse_rows(value, "shard_ingest")? })
+            }
+            "pull_snapshot" => Ok(Request::PullSnapshot),
+            "shard_stats" => Ok(Request::ShardStats),
+            "shard_rescan" => {
+                let clusters = value
+                    .get("clusters")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "shard_rescan needs a \"clusters\" string".to_string())?
+                    .to_string();
+                let rules = value
+                    .get("rules")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| "shard_rescan needs a \"rules\" array".to_string())?;
+                let rules: Result<Vec<Vec<usize>>, String> = rules
+                    .iter()
+                    .enumerate()
+                    .map(|(i, rule)| {
+                        rule.as_array()
+                            .ok_or_else(|| format!("rule {i} is not an array"))?
+                            .iter()
+                            .map(|v| {
+                                v.as_u64().map(|p| p as usize).ok_or_else(|| {
+                                    format!("rule {i} has a non-integer cluster position")
+                                })
+                            })
+                            .collect()
+                    })
+                    .collect();
+                Ok(Request::ShardRescan { clusters, rules: rules? })
+            }
             other => Err(format!("unknown verb {other:?}")),
         }
     }
@@ -97,18 +180,15 @@ impl Request {
     /// Encodes this request as its wire value (the client side of the
     /// codec).
     pub fn to_json(&self) -> Json {
+        let rows_json = |rows: &[Vec<f64>]| {
+            Json::Arr(
+                rows.iter().map(|r| Json::Arr(r.iter().map(|v| Json::Num(*v)).collect())).collect(),
+            )
+        };
         match self {
-            Request::Ingest { rows } => Json::obj(vec![
-                ("verb", Json::Str("ingest".into())),
-                (
-                    "rows",
-                    Json::Arr(
-                        rows.iter()
-                            .map(|r| Json::Arr(r.iter().map(|v| Json::Num(*v)).collect()))
-                            .collect(),
-                    ),
-                ),
-            ]),
+            Request::Ingest { rows } => {
+                Json::obj(vec![("verb", Json::Str("ingest".into())), ("rows", rows_json(rows))])
+            }
             Request::Query { query } => {
                 let mut pairs = vec![("verb", Json::Str("query".into()))];
                 match &query.density {
@@ -134,6 +214,26 @@ impl Request {
             Request::Metrics => verb_only("metrics"),
             Request::Snapshot => verb_only("snapshot"),
             Request::Shutdown => verb_only("shutdown"),
+            Request::ShardIngest { seq, rows } => Json::obj(vec![
+                ("verb", Json::Str("shard_ingest".into())),
+                ("seq", Json::Num(*seq as f64)),
+                ("rows", rows_json(rows)),
+            ]),
+            Request::PullSnapshot => verb_only("pull_snapshot"),
+            Request::ShardStats => verb_only("shard_stats"),
+            Request::ShardRescan { clusters, rules } => Json::obj(vec![
+                ("verb", Json::Str("shard_rescan".into())),
+                ("clusters", Json::Str(clusters.clone())),
+                (
+                    "rules",
+                    Json::Arr(
+                        rules
+                            .iter()
+                            .map(|r| Json::Arr(r.iter().map(|&p| Json::Num(p as f64)).collect()))
+                            .collect(),
+                    ),
+                ),
+            ]),
         }
     }
 }
@@ -264,6 +364,65 @@ pub fn shutdown_response() -> Json {
     Json::obj(vec![("ok", Json::Bool(true)), ("verb", Json::Str("shutdown".into()))])
 }
 
+/// The `shard_ingest` success response. `applied` is `false` when `seq`
+/// was at or below the shard's watermark and the batch was acknowledged
+/// as a duplicate without touching the engine.
+pub fn shard_ingest_response(seq: u64, applied: bool, tuples: u64, total: u64) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("verb", Json::Str("shard_ingest".into())),
+        ("seq", Json::Num(seq as f64)),
+        ("applied", Json::Bool(applied)),
+        ("tuples", Json::Num(tuples as f64)),
+        ("total", Json::Num(total as f64)),
+    ])
+}
+
+/// The `pull_snapshot` success response: the shard's epoch snapshot text,
+/// sealed with a checksum footer (`seq` = the shard's coordinator-batch
+/// watermark, so the coordinator can tell which routed batches the
+/// snapshot covers).
+pub fn pull_snapshot_response(epoch: u64, tuples: u64, sealed: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("verb", Json::Str("pull_snapshot".into())),
+        ("epoch", Json::Num(epoch as f64)),
+        ("tuples", Json::Num(tuples as f64)),
+        ("snapshot", Json::Str(sealed.into())),
+    ])
+}
+
+/// The `shard_stats` success response: the coordinator's health/identity
+/// handshake.
+pub fn shard_stats_response(
+    epoch: u64,
+    tuples: u64,
+    width: usize,
+    degraded: bool,
+    last_seq: u64,
+) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("verb", Json::Str("shard_stats".into())),
+        ("epoch", Json::Num(epoch as f64)),
+        ("tuples", Json::Num(tuples as f64)),
+        ("width", Json::Num(width as f64)),
+        ("degraded", Json::Bool(degraded)),
+        ("last_seq", Json::Num(last_seq as f64)),
+    ])
+}
+
+/// The `shard_rescan` success response: per-rule exact frequencies over
+/// the `rows_scanned` tuples this shard retains in its write-ahead log.
+pub fn shard_rescan_response(rows_scanned: u64, counts: &[u64]) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("verb", Json::Str("shard_rescan".into())),
+        ("rows_scanned", Json::Num(rows_scanned as f64)),
+        ("counts", Json::Arr(counts.iter().map(|&c| Json::Num(c as f64)).collect())),
+    ])
+}
+
 /// The `metrics` response: the global `dar-obs` registry (every metric
 /// across the stack plus the event journal), embedded by parsing the
 /// registry's own deterministic JSON rendering so there is exactly one
@@ -321,6 +480,13 @@ mod tests {
             Request::Metrics,
             Request::Snapshot,
             Request::Shutdown,
+            Request::ShardIngest { seq: 42, rows: vec![vec![0.5, -1.0]] },
+            Request::PullSnapshot,
+            Request::ShardStats,
+            Request::ShardRescan {
+                clusters: "acf-clusters v1 sets=0 dims=\n".into(),
+                rules: vec![vec![0, 3], vec![1, 2, 4]],
+            },
         ];
         for request in requests {
             let line = request.to_json().encode();
@@ -338,6 +504,11 @@ mod tests {
             (r#"{"verb":"ingest","rows":[[1],"x"]}"#, "row 1"),
             (r#"{"verb":"query","degree_factor":"big"}"#, "degree_factor"),
             (r#"{"verb":"query","max_rules":-1}"#, "max_rules"),
+            (r#"{"verb":"shard_ingest","rows":[]}"#, "seq"),
+            (r#"{"verb":"shard_ingest","seq":1}"#, "rows"),
+            (r#"{"verb":"shard_rescan","rules":[]}"#, "clusters"),
+            (r#"{"verb":"shard_rescan","clusters":"x"}"#, "rules"),
+            (r#"{"verb":"shard_rescan","clusters":"x","rules":[[0.5]]}"#, "rule 0"),
         ] {
             let err = Request::from_json(&parse(line).unwrap()).unwrap_err();
             assert!(err.contains(needle), "{line} → {err}");

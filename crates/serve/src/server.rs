@@ -385,9 +385,12 @@ fn serve_connection(stream: TcpStream, ctx: &WorkerCtx) -> io::Result<()> {
         }
         let started = Instant::now();
         let (response, verb, shutdown_after) = handle_line(&line, ctx);
-        writeln!(writer, "{}", response.encode())?;
+        let encoded = response.encode();
+        writeln!(writer, "{encoded}")?;
         writer.flush()?;
         ctx.stats.record_latency(verb, started.elapsed());
+        // +1 on each side for the newline framing the codec strips/adds.
+        ctx.stats.record_io(verb, line.len() as u64 + 1, encoded.len() as u64 + 1);
         if shutdown_after {
             ctx.shutdown.trigger();
             break;
@@ -416,58 +419,75 @@ fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, &'static str, bool) {
         Request::Metrics => "metrics",
         Request::Snapshot => "snapshot",
         Request::Shutdown => "shutdown",
+        Request::ShardIngest { .. } => "shard_ingest",
+        Request::PullSnapshot => "pull_snapshot",
+        Request::ShardStats => "shard_stats",
+        Request::ShardRescan { .. } => "shard_rescan",
     };
     let count = |counter: &std::sync::atomic::AtomicU64| {
         counter.fetch_add(1, Ordering::Relaxed);
     };
     let (response, shutdown_after) = match request {
-        Request::Ingest { rows } => {
-            if ctx.stats.is_degraded() {
-                return (
-                    error(
-                        ctx,
-                        "degraded",
-                        "write-ahead log unavailable; serving reads only — \
-                         restart with healthy storage to resume ingest",
-                    ),
-                    verb,
-                    false,
-                );
+        Request::Ingest { rows } => match commit_batch(ctx, &rows) {
+            Ok(total) => {
+                count(&ctx.stats.ingest_requests);
+                (protocol::ingest_response(rows.len() as u64, total), false)
             }
-            // Store lock before engine lock: WAL commit order must equal
-            // engine apply order, or recovery replays a different history
-            // than the one that was acknowledged.
-            let mut store =
-                ctx.durability.as_ref().filter(|_| ctx.config.wal_path.is_some()).map(|d| d.lock());
-            match ctx.shared.ingest(&rows) {
-                Ok(total) => {
-                    if let Some(store) = store.as_deref_mut() {
-                        // Apply-then-log: acknowledge only once the batch
-                        // is both in memory and on the log.
-                        if let Err(e) = store.log_batch(&rows) {
-                            ctx.stats.wal_append_failures.fetch_add(1, Ordering::Relaxed);
-                            ctx.stats.set_degraded();
-                            return (
-                                error(
-                                    ctx,
-                                    "degraded",
-                                    &format!(
-                                        "batch applied in memory but not committed to the \
-                                         write-ahead log ({e}); entering read-only mode"
-                                    ),
-                                ),
-                                verb,
-                                false,
-                            );
-                        }
-                        ctx.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
+            Err(response) => (response, false),
+        },
+        Request::ShardIngest { seq, rows } => {
+            count(&ctx.stats.shard_ingest_requests);
+            // Duplicate suppression: the coordinator retries at-least-once,
+            // so a sequence at or below the watermark was already applied
+            // (and, when a WAL is configured, committed) — acknowledge it
+            // without touching the engine.
+            if seq <= ctx.stats.shard_last_seq.load(Ordering::SeqCst) {
+                count(&ctx.stats.shard_dup_batches);
+                let total = ctx.shared.tuples();
+                (protocol::shard_ingest_response(seq, false, rows.len() as u64, total), false)
+            } else {
+                match commit_batch(ctx, &rows) {
+                    Ok(total) => {
+                        ctx.stats.shard_last_seq.fetch_max(seq, Ordering::SeqCst);
+                        (
+                            protocol::shard_ingest_response(seq, true, rows.len() as u64, total),
+                            false,
+                        )
                     }
-                    count(&ctx.stats.ingest_requests);
-                    (protocol::ingest_response(rows.len() as u64, total), false)
+                    Err(response) => (response, false),
                 }
-                Err(e) => (error(ctx, "rejected", &e.to_string()), false),
             }
         }
+        Request::PullSnapshot => match ctx.shared.snapshot() {
+            Ok((text, epoch, tuples)) => {
+                count(&ctx.stats.pull_snapshot_requests);
+                let sealed =
+                    dar_durable::seal(&text, ctx.stats.shard_last_seq.load(Ordering::SeqCst));
+                (protocol::pull_snapshot_response(epoch, tuples, &sealed), false)
+            }
+            Err(e) => (error(ctx, "snapshot", &e.to_string()), false),
+        },
+        Request::ShardStats => {
+            count(&ctx.stats.stats_requests);
+            let (epoch, tuples, width) = ctx.shared.meta();
+            (
+                protocol::shard_stats_response(
+                    epoch,
+                    tuples,
+                    width,
+                    ctx.stats.is_degraded(),
+                    ctx.stats.shard_last_seq.load(Ordering::SeqCst),
+                ),
+                false,
+            )
+        }
+        Request::ShardRescan { clusters, rules } => match shard_rescan(ctx, &clusters, &rules) {
+            Ok(response) => {
+                count(&ctx.stats.shard_rescan_requests);
+                (response, false)
+            }
+            Err((code, message)) => (error(ctx, code, &message), false),
+        },
         Request::Query { query } => match ctx.shared.query(&query) {
             Ok(outcome) => {
                 count(&ctx.stats.query_requests);
@@ -524,6 +544,104 @@ fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, &'static str, bool) {
         }
     };
     (response, verb, shutdown_after)
+}
+
+/// The shared writer-path commit protocol for `ingest` and
+/// `shard_ingest`: refuse in degraded mode, apply to the engine under
+/// store-before-engine lock order, append to the WAL, and acknowledge
+/// only after the append. Returns the engine's post-batch tuple total, or
+/// the structured error response to send instead.
+fn commit_batch(ctx: &WorkerCtx, rows: &[Vec<f64>]) -> Result<u64, Json> {
+    if ctx.stats.is_degraded() {
+        return Err(error(
+            ctx,
+            "degraded",
+            "write-ahead log unavailable; serving reads only — \
+             restart with healthy storage to resume ingest",
+        ));
+    }
+    // Store lock before engine lock: WAL commit order must equal engine
+    // apply order, or recovery replays a different history than the one
+    // that was acknowledged.
+    let mut store =
+        ctx.durability.as_ref().filter(|_| ctx.config.wal_path.is_some()).map(|d| d.lock());
+    match ctx.shared.ingest(rows) {
+        Ok(total) => {
+            if let Some(store) = store.as_deref_mut() {
+                // Apply-then-log: acknowledge only once the batch is both
+                // in memory and on the log.
+                if let Err(e) = store.log_batch(rows) {
+                    ctx.stats.wal_append_failures.fetch_add(1, Ordering::Relaxed);
+                    ctx.stats.set_degraded();
+                    return Err(error(
+                        ctx,
+                        "degraded",
+                        &format!(
+                            "batch applied in memory but not committed to the \
+                             write-ahead log ({e}); entering read-only mode"
+                        ),
+                    ));
+                }
+                ctx.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(total)
+        }
+        Err(e) => Err(error(ctx, "rejected", &e.to_string())),
+    }
+}
+
+/// The `shard_rescan` verb: re-read this shard's write-ahead log, assign
+/// every retained tuple to its nearest coordinator-supplied cluster per
+/// set, and count the tuples matching every position of each rule. The
+/// scan is exact over the rows the WAL retains; `rows_scanned` lets the
+/// coordinator detect a shard whose WAL no longer covers its whole
+/// history (e.g. pruned by a snapshot install).
+fn shard_rescan(
+    ctx: &WorkerCtx,
+    clusters: &str,
+    rules: &[Vec<usize>],
+) -> Result<Json, (&'static str, String)> {
+    let Some(wal_path) = &ctx.config.wal_path else {
+        return Err(("no-wal", "shard_rescan needs a write-ahead log to re-read".into()));
+    };
+    let clusters = mining::persist::read_clusters(clusters)
+        .map_err(|e| ("bad-request", format!("clusters: {e}")))?;
+    for (i, rule) in rules.iter().enumerate() {
+        if let Some(&pos) = rule.iter().find(|&&pos| pos >= clusters.len()) {
+            return Err((
+                "bad-request",
+                format!("rule {i} references cluster {pos} of {}", clusters.len()),
+            ));
+        }
+    }
+    let (records, _) = dar_durable::wal::read_records(&*ctx.config.storage, wal_path)
+        .map_err(|e| ("io", e.to_string()))?;
+    let partitioning = ctx.shared.partitioning();
+    let width =
+        partitioning.sets().iter().flat_map(|s| s.attrs.iter()).copied().max().map_or(0, |m| m + 1);
+    let mut builder = dar_core::RelationBuilder::new(dar_core::Schema::interval_attrs(width));
+    for record in &records {
+        let rows = dar_durable::decode_batch(&record.body)
+            .map_err(|e| ("io", format!("WAL record {}: {e}", record.seq)))?;
+        for row in &rows {
+            builder.push_row(row).map_err(|e| ("io", format!("WAL record {}: {e}", record.seq)))?;
+        }
+    }
+    let relation = builder.finish();
+    // Each rule re-shaped as a candidate `Dar` (only the positions
+    // matter to the rescan); degree/support are placeholders.
+    let candidates: Vec<mining::Dar> = rules
+        .iter()
+        .map(|positions| mining::Dar {
+            antecedent: positions.clone(),
+            consequent: Vec::new(),
+            degree: 0.0,
+            min_cluster_support: 0,
+        })
+        .collect();
+    let counts =
+        mining::pipeline::rescan_frequencies(&relation, &partitioning, &clusters, &candidates);
+    Ok(protocol::shard_rescan_response(relation.len() as u64, &counts))
 }
 
 fn error(ctx: &WorkerCtx, code: &str, message: &str) -> Json {

@@ -96,6 +96,25 @@ impl SharedEngine {
         (self.read().stats(), self.read_hits.load(Ordering::Relaxed))
     }
 
+    /// Lifetime tuple count (read lock only).
+    pub fn tuples(&self) -> u64 {
+        self.read().tuples()
+    }
+
+    /// Shard-identity summary for the `shard_stats` verb: `(epoch,
+    /// tuples, required row width)` under one read lock.
+    pub fn meta(&self) -> (u64, u64, usize) {
+        let engine = self.read();
+        (engine.epoch(), engine.tuples(), engine.required_row_width())
+    }
+
+    /// A clone of the engine's partitioning (read lock only) — the
+    /// `shard_rescan` verb assigns WAL rows to coordinator-supplied
+    /// clusters under it.
+    pub fn partitioning(&self) -> dar_core::Partitioning {
+        self.read().partitioning().clone()
+    }
+
     /// Cache hits served entirely under the read lock.
     pub fn read_hits(&self) -> u64 {
         self.read_hits.load(Ordering::Relaxed)

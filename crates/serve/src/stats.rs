@@ -37,6 +37,25 @@ pub struct ServerStats {
     pub shutdown_requests: AtomicU64,
     /// `metrics` requests served.
     pub metrics_requests: AtomicU64,
+    /// `shard_ingest` requests served (coordinator-routed batches,
+    /// including duplicate acknowledgements).
+    pub shard_ingest_requests: AtomicU64,
+    /// `shard_ingest` requests acknowledged as duplicates (sequence at or
+    /// below the watermark) without re-applying the batch.
+    pub shard_dup_batches: AtomicU64,
+    /// `pull_snapshot` requests served.
+    pub pull_snapshot_requests: AtomicU64,
+    /// `shard_rescan` requests served.
+    pub shard_rescan_requests: AtomicU64,
+    /// Highest coordinator batch sequence applied via `shard_ingest` —
+    /// the duplicate-suppression watermark. In-memory only: a restarted
+    /// shard starts at 0, so a (single) coordinator must not retry
+    /// batches it has already seen acknowledged across a shard restart.
+    pub shard_last_seq: AtomicU64,
+    /// Request-line bytes read across all verbs (newline included).
+    pub bytes_read: AtomicU64,
+    /// Response-line bytes written across all verbs (newline included).
+    pub bytes_written: AtomicU64,
     /// Requests that produced a structured error response (parse errors,
     /// unknown verbs, engine rejections).
     pub error_responses: AtomicU64,
@@ -77,9 +96,21 @@ impl ServerStats {
     pub fn record_latency(&self, verb: &str, elapsed: Duration) {
         let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
         self.latency.observe(ns);
-        let (requests, request_ns) = crate::metrics::metrics().verb(verb);
-        requests.inc();
-        request_ns.observe(ns);
+        let m = crate::metrics::metrics().verb(verb);
+        m.requests.inc();
+        m.request_ns.observe(ns);
+    }
+
+    /// Records one request's wire traffic under its verb label: the
+    /// request line read and the response line written, newlines
+    /// included. Feeds both the aggregate counters here and the per-verb
+    /// `dar_serve_bytes_{read,written}_total{verb=…}` series.
+    pub fn record_io(&self, verb: &str, bytes_read: u64, bytes_written: u64) {
+        self.bytes_read.fetch_add(bytes_read, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes_written, Ordering::Relaxed);
+        let m = crate::metrics::metrics().verb(verb);
+        m.bytes_read.add(bytes_read);
+        m.bytes_written.add(bytes_written);
     }
 
     /// A point-in-time copy of this server's latency histogram — the
@@ -102,6 +133,13 @@ impl ServerStats {
             snapshot_requests: get(&self.snapshot_requests),
             shutdown_requests: get(&self.shutdown_requests),
             metrics_requests: get(&self.metrics_requests),
+            shard_ingest_requests: get(&self.shard_ingest_requests),
+            shard_dup_batches: get(&self.shard_dup_batches),
+            pull_snapshot_requests: get(&self.pull_snapshot_requests),
+            shard_rescan_requests: get(&self.shard_rescan_requests),
+            shard_last_seq: get(&self.shard_last_seq),
+            bytes_read: get(&self.bytes_read),
+            bytes_written: get(&self.bytes_written),
             error_responses: get(&self.error_responses),
             snapshots_written: get(&self.snapshots_written),
             snapshot_failures: get(&self.snapshot_failures),
@@ -136,6 +174,20 @@ pub struct StatsSnapshot {
     pub shutdown_requests: u64,
     /// `metrics` requests served.
     pub metrics_requests: u64,
+    /// `shard_ingest` requests served (including duplicate acks).
+    pub shard_ingest_requests: u64,
+    /// `shard_ingest` duplicates acknowledged without re-applying.
+    pub shard_dup_batches: u64,
+    /// `pull_snapshot` requests served.
+    pub pull_snapshot_requests: u64,
+    /// `shard_rescan` requests served.
+    pub shard_rescan_requests: u64,
+    /// Highest coordinator batch sequence applied via `shard_ingest`.
+    pub shard_last_seq: u64,
+    /// Request-line bytes read across all verbs.
+    pub bytes_read: u64,
+    /// Response-line bytes written across all verbs.
+    pub bytes_written: u64,
     /// Structured error responses sent.
     pub error_responses: u64,
     /// Snapshots written to disk.
@@ -170,6 +222,9 @@ impl StatsSnapshot {
             + self.snapshot_requests
             + self.shutdown_requests
             + self.metrics_requests
+            + self.shard_ingest_requests
+            + self.pull_snapshot_requests
+            + self.shard_rescan_requests
     }
 
     /// The server half of the `stats` response.
@@ -184,6 +239,13 @@ impl StatsSnapshot {
             ("snapshot_requests", Json::Num(self.snapshot_requests as f64)),
             ("shutdown_requests", Json::Num(self.shutdown_requests as f64)),
             ("metrics_requests", Json::Num(self.metrics_requests as f64)),
+            ("shard_ingest_requests", Json::Num(self.shard_ingest_requests as f64)),
+            ("shard_dup_batches", Json::Num(self.shard_dup_batches as f64)),
+            ("pull_snapshot_requests", Json::Num(self.pull_snapshot_requests as f64)),
+            ("shard_rescan_requests", Json::Num(self.shard_rescan_requests as f64)),
+            ("shard_last_seq", Json::Num(self.shard_last_seq as f64)),
+            ("bytes_read", Json::Num(self.bytes_read as f64)),
+            ("bytes_written", Json::Num(self.bytes_written as f64)),
             ("error_responses", Json::Num(self.error_responses as f64)),
             ("snapshots_written", Json::Num(self.snapshots_written as f64)),
             ("snapshot_failures", Json::Num(self.snapshot_failures as f64)),
@@ -246,9 +308,30 @@ mod tests {
         let stats = ServerStats::default();
         stats.query_requests.fetch_add(3, Ordering::Relaxed);
         stats.ingest_requests.fetch_add(1, Ordering::Relaxed);
+        stats.shard_ingest_requests.fetch_add(2, Ordering::Relaxed);
         let snap = stats.snapshot();
-        assert_eq!(snap.total_requests(), 4);
+        assert_eq!(snap.total_requests(), 6);
         let json = snap.to_json();
         assert_eq!(json.get("query_requests").unwrap().as_u64(), Some(3));
+        assert_eq!(json.get("shard_ingest_requests").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn io_bytes_accumulate_per_verb_and_in_aggregate() {
+        let stats = ServerStats::default();
+        stats.record_io("query", 120, 4_500);
+        stats.record_io("query", 80, 1_500);
+        stats.record_io("ingest", 10_000, 60);
+        let snap = stats.snapshot();
+        assert_eq!(snap.bytes_read, 10_200);
+        assert_eq!(snap.bytes_written, 6_060);
+        let json = snap.to_json();
+        assert_eq!(json.get("bytes_read").unwrap().as_u64(), Some(10_200));
+        assert_eq!(json.get("bytes_written").unwrap().as_u64(), Some(6_060));
+        // The per-verb global series saw the same traffic (cumulative
+        // across tests sharing the process-global registry, so ≥).
+        let m = crate::metrics::metrics().verb("query");
+        assert!(m.bytes_read.get() >= 200);
+        assert!(m.bytes_written.get() >= 6_000);
     }
 }
