@@ -1,0 +1,269 @@
+//! STREAM — benchmark for the sliding-window serving layer: how long a
+//! window advance takes end to end (seal + rule re-mine + churn diff +
+//! fan-out), how fast the rule-set diff itself is, and how many churn
+//! events per second K concurrent subscribers absorb — plus the
+//! correctness bar: the windowed server's wire rules must equal a
+//! one-shot engine over exactly the live rows.
+//!
+//! Emits `BENCH_stream.json` in the current directory.
+//!
+//! Regenerate with: `cargo run --release -p dar-bench --bin stream`
+
+use dar_bench::{print_table, time};
+use dar_core::{Metric, Partitioning, Schema};
+use dar_engine::{DarEngine, EngineConfig};
+use dar_serve::{
+    protocol, Backoff, Client, Json, RetirePolicy, ServeConfig, Server, WindowSpec, WindowedEngine,
+};
+use mining::RuleQuery;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Workload knobs, overridable from the command line.
+struct Opts {
+    /// Windows to seal (one ingest + one explicit `advance` each).
+    windows: usize,
+    /// Rows in the first window's batch; later batches grow so the live
+    /// tuple count — and with it `min_cluster_support` — changes every
+    /// window, making every advance genuinely churn.
+    batch_size: usize,
+    /// Concurrent churn subscribers.
+    subscribers: usize,
+    out: String,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts { windows: 6, batch_size: 400, subscribers: 4, out: "BENCH_stream.json".into() }
+    }
+}
+
+fn parse_opts() -> Opts {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| {
+            argv.get(i + 1).unwrap_or_else(|| panic!("flag {} needs a value", argv[i])).clone()
+        };
+        match argv[i].as_str() {
+            "--windows" => {
+                opts.windows = value(i).parse().expect("--windows");
+                i += 2;
+            }
+            "--batch-size" => {
+                opts.batch_size = value(i).parse().expect("--batch-size");
+                i += 2;
+            }
+            "--subscribers" => {
+                opts.subscribers = value(i).parse().expect("--subscribers");
+                i += 2;
+            }
+            "--out" => {
+                opts.out = value(i);
+                i += 2;
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    opts
+}
+
+/// Two planted blocks with dyadic jitter (0.25 steps): floating-point
+/// sums are exact in any grouping, so the windowed re-merge reproduces
+/// the one-shot scan bit for bit.
+fn rows(n: usize, offset: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            let k = i + offset;
+            let jitter = (k % 4) as f64 * 0.25;
+            if k.is_multiple_of(2) {
+                vec![jitter, 100.0 + jitter]
+            } else {
+                vec![50.0 + jitter, 200.0 + jitter]
+            }
+        })
+        .collect()
+}
+
+fn config() -> EngineConfig {
+    let mut config = EngineConfig::default();
+    config.birch.initial_threshold = 1.0;
+    config.birch.memory_budget = usize::MAX;
+    config.min_support_frac = 0.2;
+    config
+}
+
+fn partitioning() -> Partitioning {
+    Partitioning::per_attribute(&Schema::interval_attrs(2), Metric::Euclidean)
+}
+
+/// Finds one series in the wire registry by family name and returns the
+/// requested numeric field. Zero when absent.
+fn metric_field(registry: &Json, name: &str, field: &str) -> f64 {
+    registry
+        .get("metrics")
+        .and_then(Json::as_array)
+        .and_then(|series| {
+            series
+                .iter()
+                .find(|m| m.get("name").and_then(Json::as_str) == Some(name))
+                .and_then(|m| m.get(field))
+                .and_then(Json::as_f64)
+        })
+        .unwrap_or(0.0)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let opts = parse_opts();
+    const SLOTS: usize = 3; // open window + two sealed = a 2-window live horizon
+
+    // Only explicit `advance` seals (the batch threshold is out of reach),
+    // so each advance round trip is one clean window-boundary sample.
+    let spec = WindowSpec { batches: u64::MAX, slots: SLOTS };
+    let engine =
+        WindowedEngine::new(partitioning(), config(), spec, RetirePolicy::Remerge).unwrap();
+    let serve_config = ServeConfig {
+        threads: 2,
+        read_timeout: Duration::from_secs(30),
+        write_timeout: Duration::from_secs(30),
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(engine, "127.0.0.1:0", serve_config).expect("bind loopback");
+    let addr = handle.addr().to_string();
+
+    // K subscribers attach before any churn. Each counts the events it
+    // receives; `target_epoch` stays MAX until the workload finishes, then
+    // tells them which epoch is the last one worth waiting for.
+    let target_epoch = Arc::new(AtomicU64::new(u64::MAX));
+    let subscriber_threads: Vec<_> = (0..opts.subscribers)
+        .map(|_| {
+            let addr = addr.clone();
+            let target = Arc::clone(&target_epoch);
+            std::thread::spawn(move || {
+                let client = Client::connect(addr.as_str(), Duration::from_millis(500)).unwrap();
+                let mut sub = client.subscribe(None, Backoff::default()).unwrap();
+                let mut events = 0u64;
+                loop {
+                    match sub.next_event() {
+                        Ok(_) => events += 1,
+                        // Quiet socket: done once the workload has named its
+                        // final epoch and we have caught up to it.
+                        Err(_) => {
+                            let t = target.load(Ordering::SeqCst);
+                            if t != u64::MAX && sub.last_epoch() >= t {
+                                break;
+                            }
+                        }
+                    }
+                }
+                events
+            })
+        })
+        .collect();
+
+    // --- the workload: one batch + one explicit advance per window -------
+    let mut writer = Client::connect(addr.as_str(), Duration::from_secs(30)).unwrap();
+    let mut advance_ns: Vec<f64> = Vec::with_capacity(opts.windows);
+    let mut batches: Vec<Vec<Vec<f64>>> = Vec::with_capacity(opts.windows);
+    let (_, workload_wall) = time(|| {
+        for w in 0..opts.windows {
+            // Growing batches: the live tuple count changes every window,
+            // so every advance re-mines to a different rule set (churn).
+            let batch = rows(opts.batch_size + 40 * w, 7 * w);
+            writer.ingest(batch.clone()).expect("ingest");
+            batches.push(batch);
+            let (_, wall) = time(|| writer.advance().expect("advance"));
+            advance_ns.push(wall.as_nanos() as f64);
+        }
+    });
+
+    // --- correctness: windowed wire rules == one-shot over live rows -----
+    let response = writer.query(RuleQuery::default()).expect("windowed query");
+    let windowed_rules = response.get("rules").expect("rules").encode();
+    let final_epoch = response.get("epoch").and_then(Json::as_u64).expect("epoch");
+    let mut oneshot = DarEngine::new(partitioning(), config()).unwrap();
+    // The open window is empty, so the live horizon is the last SLOTS-1
+    // sealed windows.
+    for batch in batches.iter().skip(opts.windows.saturating_sub(SLOTS - 1)) {
+        oneshot.ingest(batch).unwrap();
+    }
+    let expected = oneshot.query(&RuleQuery::default()).unwrap().rules;
+    assert!(!expected.is_empty(), "the planted blocks must yield rules");
+    let oneshot_rules =
+        Json::Arr(expected.iter().map(protocol::rule_json).collect::<Vec<_>>()).encode();
+    let equal = windowed_rules == oneshot_rules;
+
+    // --- drain the subscribers and read the server-side metrics ----------
+    target_epoch.store(final_epoch, Ordering::SeqCst);
+    let events_delivered: u64 =
+        subscriber_threads.into_iter().map(|t| t.join().expect("subscriber")).sum();
+    let events_per_sec = events_delivered as f64 / workload_wall.as_secs_f64();
+
+    let metrics_wire = writer.metrics().expect("metrics verb");
+    let registry = metrics_wire.get("registry").cloned().unwrap_or(Json::Obj(Vec::new()));
+    let diff_p50 = metric_field(&registry, "dar_stream_diff_ns", "p50");
+    let diff_p99 = metric_field(&registry, "dar_stream_diff_ns", "p99");
+    let advanced = metric_field(&registry, "dar_stream_windows_advanced_total", "value");
+    let retired = metric_field(&registry, "dar_stream_windows_retired_total", "value");
+    let pushed = metric_field(&registry, "dar_stream_events_pushed_total", "value");
+    let dropped = metric_field(&registry, "dar_stream_events_dropped_total", "value");
+
+    writer.shutdown().expect("shutdown");
+    drop(writer);
+    handle.join().expect("join server");
+
+    advance_ns.sort_by(f64::total_cmp);
+    let advance_mean = advance_ns.iter().sum::<f64>() / advance_ns.len().max(1) as f64;
+
+    print_table(
+        "Stream: window advance, churn diff, and subscriber fan-out",
+        &["quantity", "value"],
+        &[
+            vec!["windows sealed".into(), opts.windows.to_string()],
+            vec!["subscribers".into(), opts.subscribers.to_string()],
+            vec!["advance wall mean (µs)".into(), format!("{:.1}", advance_mean / 1e3)],
+            vec![
+                "advance wall p99 (µs)".into(),
+                format!("{:.1}", percentile(&advance_ns, 99.0) / 1e3),
+            ],
+            vec!["rule diff p50 (µs)".into(), format!("{:.1}", diff_p50 / 1e3)],
+            vec!["rule diff p99 (µs)".into(), format!("{:.1}", diff_p99 / 1e3)],
+            vec!["events delivered".into(), events_delivered.to_string()],
+            vec!["events/s (workload wall)".into(), format!("{events_per_sec:.0}")],
+            vec!["events pushed / dropped".into(), format!("{pushed:.0} / {dropped:.0}")],
+            vec!["windows advanced / retired".into(), format!("{advanced:.0} / {retired:.0}")],
+            vec!["windowed == one-shot".into(), equal.to_string()],
+        ],
+    );
+    assert!(equal, "windowed wire rules diverged from the one-shot live-row engine");
+
+    let report = Json::obj(vec![
+        ("windows", Json::Num(opts.windows as f64)),
+        ("batch_size", Json::Num(opts.batch_size as f64)),
+        ("subscribers", Json::Num(opts.subscribers as f64)),
+        ("advance_wall_ns_mean", Json::Num(advance_mean)),
+        ("advance_wall_ns_p50", Json::Num(percentile(&advance_ns, 50.0))),
+        ("advance_wall_ns_p99", Json::Num(percentile(&advance_ns, 99.0))),
+        ("diff_ns_p50", Json::Num(diff_p50)),
+        ("diff_ns_p99", Json::Num(diff_p99)),
+        ("events_delivered", Json::Num(events_delivered as f64)),
+        ("events_per_sec", Json::Num(events_per_sec)),
+        ("events_pushed", Json::Num(pushed)),
+        ("events_dropped", Json::Num(dropped)),
+        ("windows_advanced", Json::Num(advanced)),
+        ("windows_retired", Json::Num(retired)),
+        ("windowed_equals_oneshot", Json::Bool(equal)),
+    ]);
+    std::fs::write(&opts.out, format!("{}\n", report.encode())).expect("write report");
+    println!("\n  wrote {}", opts.out);
+}

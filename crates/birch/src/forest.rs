@@ -190,6 +190,31 @@ impl AcfForest {
         }
     }
 
+    /// Subtracts a forest previously merged into this one — the inverse of
+    /// [`AcfForest::merge`] at the moment level, the retirement path of a
+    /// sliding-window forest. `other` is finished (outliers re-inserted)
+    /// exactly as `merge` would have, and each of its clusters is unmerged
+    /// from the closest live entry with enough mass; CF additivity (Theorem
+    /// 6.1 / Eq. 7) runs both ways, so per set the surviving total `N` is
+    /// exact and every moment matches a forest that never saw `other`'s
+    /// rows, up to floating-point summation order. Cluster *boundaries* may
+    /// differ, as with any insertion-order change; the subtraction itself
+    /// is deterministic.
+    ///
+    /// # Panics
+    /// Panics if the two forests were built over different partitionings,
+    /// or if `other` holds more tuples on some set than this forest does
+    /// (i.e. `other` was never merged into this forest).
+    pub fn subtract(&mut self, other: AcfForest) {
+        assert_eq!(
+            self.partitioning, other.partitioning,
+            "subtract requires forests over the same partitioning"
+        );
+        for (set, acfs) in other.finish().into_iter().enumerate() {
+            self.trees[set].subtract_entries(&acfs);
+        }
+    }
+
     /// Finishes every tree (re-inserting outliers) and returns the clusters
     /// grouped by attribute set.
     pub fn finish(self) -> Vec<Vec<Acf>> {

@@ -178,6 +178,113 @@ impl AcfTree {
         out
     }
 
+    /// Removes previously-merged sub-clusters from the tree — the inverse
+    /// of [`insert_entry`](Self::insert_entry) at the moment level.
+    ///
+    /// Every live entry (leaves and paged-out outliers alike) is drained,
+    /// each subtrahend's moments are cancelled against the drained entries,
+    /// and the survivors are re-inserted at the current threshold, mirroring
+    /// [`rebuild`](Self::rebuild). Per subtrahend the cancellation is
+    /// greedy by home-centroid distance: entries smaller than the remaining
+    /// subtrahend are consumed whole (their own exact moments removed from
+    /// the residue), and the final residue is unmerged from the closest
+    /// entry big enough to hold it. However the residue is attributed, the
+    /// *total* moments removed equal the subtrahend's exactly, so per set
+    /// the surviving `N` is exact and the surviving ΣY/ΣY² match a tree
+    /// that never saw the subtracted rows up to floating-point summation
+    /// order; when the subtracted clusters are well separated from the
+    /// survivors (the sliding-window case), the closest entry is the true
+    /// host and the cancellation is exact per entry too. The pass is fully
+    /// deterministic: entries drain in arena order, ties keep the lowest
+    /// index, and re-insertion runs in drain order.
+    ///
+    /// # Contract
+    /// `clusters` must summarize a sub-multiset of the tuples this tree has
+    /// absorbed — the way `b`'s clusters are inside `merge(a, b)`. Like
+    /// [`AcfForest::merge`]'s partitioning check, a violation is a
+    /// programming error and panics.
+    ///
+    /// # Panics
+    /// Panics if the subtrahends hold more tuples than the tree does
+    /// (i.e. `clusters` cannot have been merged into this tree).
+    ///
+    /// [`AcfForest::merge`]: crate::AcfForest::merge
+    pub fn subtract_entries(&mut self, clusters: &[Acf]) {
+        if clusters.iter().all(Acf::is_empty) {
+            return;
+        }
+        let mut carried: Vec<Acf> = Vec::with_capacity(self.leaf_entry_count);
+        for node in std::mem::take(&mut self.nodes) {
+            if let Node::Leaf { entries } = node {
+                carried.extend(entries);
+            }
+        }
+        carried.append(&mut self.outliers);
+        for sub in clusters {
+            let mut remaining = sub.clone();
+            while !remaining.is_empty() {
+                let centroid = remaining.home_cf().centroid().expect("non-empty residue");
+                let mut best: Option<(usize, f64)> = None;
+                for (i, e) in carried.iter().enumerate() {
+                    let d = e
+                        .home_cf()
+                        .centroid_distance_sq_to_point(&centroid)
+                        .expect("carried entries are non-empty");
+                    if best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((i, d));
+                    }
+                }
+                let Some((host, _)) = best else {
+                    panic!(
+                        "subtract_entries: the set-{} tree ran out of clusters with a \
+                         {}-tuple residue left to subtract — the subtracted forest was \
+                         never merged into this one",
+                        self.set,
+                        remaining.n()
+                    );
+                };
+                if carried[host].n() >= remaining.n() {
+                    carried[host].unmerge(&remaining).expect("same layout and home set, n checked");
+                    if carried[host].is_empty() {
+                        // The host cancelled to zero tuples but — unless its
+                        // tuples were literally the subtracted ones — it still
+                        // carries a moment residue (±δ per image). Dropping it
+                        // would leak δ from the aggregate, so fold the residue
+                        // into the nearest survivor; with no survivors the
+                        // tree is empty and the residue is pure regrouping
+                        // noise around zero.
+                        let emptied = carried.remove(host);
+                        let mut nearest: Option<(usize, f64)> = None;
+                        for (i, e) in carried.iter().enumerate() {
+                            let d = e
+                                .home_cf()
+                                .centroid_distance_sq_to_point(&centroid)
+                                .expect("carried entries are non-empty");
+                            if nearest.is_none_or(|(_, bd)| d < bd) {
+                                nearest = Some((i, d));
+                            }
+                        }
+                        if let Some((absorber, _)) = nearest {
+                            carried[absorber].merge(&emptied).expect("same layout and home set");
+                        }
+                    }
+                    break;
+                }
+                // The closest entry is smaller than the residue: consume it
+                // whole — removing its exact moments keeps the aggregate
+                // subtraction exact — and keep cancelling.
+                let consumed = carried.remove(host);
+                remaining.unmerge(&consumed).expect("same layout and home set, n checked");
+            }
+        }
+        self.nodes.push(Node::Leaf { entries: Vec::new() });
+        self.root = 0;
+        self.leaf_entry_count = 0;
+        for acf in carried {
+            self.insert_entry(acf);
+        }
+    }
+
     /// Diagnostic snapshot.
     pub fn stats(&self) -> TreeStats {
         TreeStats {

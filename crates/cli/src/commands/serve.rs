@@ -16,13 +16,24 @@
 //! the newest verifiable snapshot is restored (corrupt slots are skipped
 //! for the previous good one) and the WAL suffix is replayed, so a
 //! killed server restarts with every acknowledged batch intact.
+//!
+//! With `--window-batches N`, the server mines a **sliding window**
+//! instead of all history: every `N` ingested batches seal a window, at
+//! most `--window-slots` windows stay live (the open one plus the sealed
+//! ring), and the oldest retires under `--window-policy remerge|subtract`.
+//! Windowed servers additionally speak `advance` (explicit seal) and
+//! `subscribe` (live rule-churn events); WAL frames carry the window
+//! sequence so recovery rebuilds the exact ring.
 
 use crate::args::Args;
 use crate::data::parse_cluster_metric;
 use crate::CliError;
 use dar_core::{Metric, Partitioning, Schema};
 use dar_engine::{DarEngine, EngineConfig};
-use dar_serve::{recover_engine, ServeConfig, ServeSummary, Server};
+use dar_serve::{
+    recover_backend, EngineBackend, RetirePolicy, ServeConfig, ServeSummary, Server, WindowSpec,
+    WindowedEngine,
+};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
@@ -30,21 +41,24 @@ use std::time::Duration;
 /// Runs the command: recover, serve until a wire `shutdown`, then report.
 pub fn run(args: &Args) -> Result<String, CliError> {
     let addr = args.required("addr")?.to_string();
-    let (mut engine, serve_config) = build(args)?;
+    let (mut backend, serve_config) = build(args)?;
     if serve_config.snapshot_path.is_some() || serve_config.wal_path.is_some() {
-        let (recovered, report) = recover_engine(
-            engine,
+        let (recovered, report) = recover_backend(
+            backend,
             Arc::clone(&serve_config.storage),
             serve_config.snapshot_path.as_deref(),
             serve_config.wal_path.as_deref(),
         )
         .map_err(|e| CliError::new(format!("recovery: {e}")))?;
-        engine = recovered;
+        backend = recovered;
         eprintln!(
-            "dar serve: recovered {} tuples (snapshot: {}, wal batches replayed: {}{})",
-            engine.tuples(),
+            "dar serve: recovered {} tuples (snapshot: {}, wal batches replayed: {}{}{})",
+            backend.tuples(),
             report.snapshot_source.map_or_else(|| "none".into(), |s| format!("{s:?}")),
             report.wal_batches_replayed,
+            backend.window_span().map_or_else(String::new, |(oldest, open)| format!(
+                ", window span {oldest}..={open}"
+            )),
             if report.degraded_artifacts() {
                 format!(
                     ", routed around damage: {} corrupt snapshot(s), {} torn tail byte(s)",
@@ -55,7 +69,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             },
         );
     }
-    let handle = Server::start(engine, &addr, serve_config)
+    let handle = Server::start(backend, &addr, serve_config)
         .map_err(|e| CliError::new(format!("bind {addr}: {e}")))?;
     // Announce on stderr immediately — stdout is the post-shutdown report.
     eprintln!("dar serve: listening on {}", handle.addr());
@@ -66,11 +80,35 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     Ok(report(&summary))
 }
 
-/// Builds the engine and server configuration from the flags. The engine
-/// is created empty: unlike the one-shot commands there is no input CSV —
-/// clients `ingest` over the wire — so the schema is fixed up front by
-/// `--attrs` (interval attributes, per-attribute partitioning).
-pub fn build(args: &Args) -> Result<(DarEngine, ServeConfig), CliError> {
+/// Parses the sliding-window flags: `None` (the default) is a classic
+/// all-history server; `--window-batches` opts into windowed mining.
+pub fn window_options(args: &Args) -> Result<Option<(WindowSpec, RetirePolicy)>, CliError> {
+    let batches = args.number::<u64>("window-batches", 0)?;
+    let slots = args.number::<usize>("window-slots", 0)?;
+    let policy = args.optional("window-policy");
+    if batches == 0 {
+        if slots != 0 || policy.is_some() {
+            return Err(CliError::new("--window-slots/--window-policy require --window-batches"));
+        }
+        return Ok(None);
+    }
+    let policy = match policy.unwrap_or("remerge") {
+        "remerge" => RetirePolicy::Remerge,
+        "subtract" => RetirePolicy::Subtract,
+        other => {
+            return Err(CliError::new(format!(
+                "--window-policy: expected remerge or subtract, got {other:?}"
+            )));
+        }
+    };
+    Ok(Some((WindowSpec { batches, slots: if slots == 0 { 2 } else { slots } }, policy)))
+}
+
+/// Builds the engine backend and server configuration from the flags. The
+/// engine is created empty: unlike the one-shot commands there is no
+/// input CSV — clients `ingest` over the wire — so the schema is fixed up
+/// front by `--attrs` (interval attributes, per-attribute partitioning).
+pub fn build(args: &Args) -> Result<(EngineBackend, ServeConfig), CliError> {
     let attrs = args.number::<usize>("attrs", 3)?;
     if attrs == 0 {
         return Err(CliError::new("--attrs must be at least 1"));
@@ -96,7 +134,12 @@ pub fn build(args: &Args) -> Result<(DarEngine, ServeConfig), CliError> {
             .map_err(|_| CliError::new(format!("--initial-threshold: cannot parse {raw:?}")))?;
         config.birch.initial_threshold = threshold;
     }
-    let engine = DarEngine::new(partitioning, config)?;
+    let backend = match window_options(args)? {
+        Some((spec, policy)) => {
+            EngineBackend::from(WindowedEngine::new(partitioning, config, spec, policy)?)
+        }
+        None => EngineBackend::from(DarEngine::new(partitioning, config)?),
+    };
 
     let timeout = Duration::from_millis(args.number::<u64>("timeout-ms", 30_000)?);
     let serve_config = ServeConfig {
@@ -116,7 +159,7 @@ pub fn build(args: &Args) -> Result<(DarEngine, ServeConfig), CliError> {
     if serve_config.snapshot_interval.is_some() && serve_config.snapshot_path.is_none() {
         return Err(CliError::new("--snapshot-secs requires --snapshot-path"));
     }
-    Ok((engine, serve_config))
+    Ok((backend, serve_config))
 }
 
 /// Formats the post-shutdown report.
@@ -141,6 +184,13 @@ fn report(summary: &ServeSummary) -> String {
         s.p50_us,
         s.p99_us,
     );
+    if s.advance_requests + s.subscribe_requests > 0 {
+        let _ = writeln!(
+            out,
+            "serve: streaming — {} advance / {} subscribe",
+            s.advance_requests, s.subscribe_requests,
+        );
+    }
     if let Some(path) = &summary.snapshot_path {
         let _ = writeln!(out, "serve: final snapshot written to {}", path.display());
     }
@@ -200,6 +250,33 @@ mod tests {
         assert!(err.to_string().contains("snapshot-path"));
         let args = parse(&argv(&["--metric", "d7"])).unwrap();
         assert!(build(&args).is_err());
+    }
+
+    #[test]
+    fn window_flags_select_the_backend() {
+        let (backend, _) = build(&parse(&argv(&["--attrs", "2"])).unwrap()).unwrap();
+        assert!(!backend.is_windowed(), "no window flags: classic all-history engine");
+
+        let args = parse(&argv(&["--attrs", "2", "--window-batches", "8", "--window-slots", "3"]))
+            .unwrap();
+        let (backend, _) = build(&args).unwrap();
+        assert!(backend.is_windowed());
+        assert_eq!(backend.window_span(), Some((0, 0)), "fresh ring: only window 0, open");
+
+        // Defaults: slots 2, policy remerge.
+        let args = parse(&argv(&["--window-batches", "4"])).unwrap();
+        let (spec, policy) = window_options(&args).unwrap().unwrap();
+        assert_eq!((spec.batches, spec.slots), (4, 2));
+        assert!(matches!(policy, RetirePolicy::Remerge));
+        let args = parse(&argv(&["--window-batches", "4", "--window-policy", "subtract"])).unwrap();
+        let (_, policy) = window_options(&args).unwrap().unwrap();
+        assert!(matches!(policy, RetirePolicy::Subtract));
+
+        // Window knobs without --window-batches, or a bad policy, fail.
+        let err = window_options(&parse(&argv(&["--window-slots", "3"])).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("--window-batches"), "{err}");
+        let args = parse(&argv(&["--window-batches", "4", "--window-policy", "lru"])).unwrap();
+        assert!(window_options(&args).is_err());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! ingest <file.csv>              # feed a CSV batch into the live forest
+//! advance                        # seal the open window (windowed only)
 //! snapshot <file.snap>           # close the epoch and persist it
 //! restore <file.snap>            # resume an engine from a snapshot
 //! query [key=value ...]          # mine rules from the (cached) epoch
@@ -26,13 +27,21 @@
 //! session with the same `--wal-path` recovers: `ingest` into a fresh
 //! engine first replays every committed batch, and `restore` replays
 //! only the records newer than the snapshot's sealed sequence.
+//!
+//! With `--window-batches N` (plus optional `--window-slots` /
+//! `--window-policy`, as on `dar serve`), the session mines a sliding
+//! window: every `N` ingested batches seal a window, the `advance` verb
+//! seals one explicitly, and WAL frames carry the window sequence so a
+//! later session rebuilds the exact ring.
 
 use crate::args::Args;
+use crate::commands::serve::window_options;
 use crate::data::{default_partitioning, load, parse_cluster_metric};
 use crate::CliError;
 use dar_core::{suggest_initial_thresholds, Schema};
-use dar_durable::{decode_batch, DiskStorage, DurableStore};
+use dar_durable::{decode_frame, DiskStorage, DurableStore};
 use dar_engine::{DarEngine, EngineConfig};
+use dar_serve::{EngineBackend, RetirePolicy, WindowSpec, WindowedEngine};
 use mining::describe::describe_rule;
 use mining::{DensitySpec, RuleQuery};
 use std::fmt::Write as _;
@@ -58,44 +67,67 @@ pub fn run(args: &Args) -> Result<String, CliError> {
 /// Session state: the engine appears on the first `ingest` (which fixes the
 /// partitioning from the CSV's schema) or on `restore`.
 struct Session {
-    engine: Option<DarEngine>,
+    engine: Option<EngineBackend>,
     /// Attribute names for rule rendering; synthetic after a bare restore.
     schema: Option<Schema>,
     support: f64,
     threshold_frac: f64,
     config: EngineConfig,
+    /// Sliding-window mining (`--window-batches`), if configured.
+    window: Option<(WindowSpec, RetirePolicy)>,
     /// The write-ahead log (`--wal-path`), if configured.
     store: Option<DurableStore>,
-    /// Every committed WAL record with its sequence — recovered ones plus
-    /// those logged this session — so `restore` can seq-filter its replay.
-    wal_records: Vec<WalBatch>,
+    /// Every committed WAL frame with its sequence and window tag —
+    /// recovered ones plus those logged this session — so `restore` can
+    /// seq-filter its replay.
+    wal_records: Vec<WalFrame>,
 }
 
-/// A committed ingest batch paired with its WAL sequence number.
-type WalBatch = (u64, Vec<Vec<f64>>);
+/// A committed WAL frame: `(wal seq, window tag, rows)`. Untagged frames
+/// come from static sessions; an empty tagged frame marks an explicit
+/// `advance`.
+type WalFrame = (u64, Option<u64>, Vec<Vec<f64>>);
 
 impl Session {
-    fn engine(&mut self) -> Result<&mut DarEngine, CliError> {
+    fn engine(&mut self) -> Result<&mut EngineBackend, CliError> {
         self.engine
             .as_mut()
             .ok_or_else(|| CliError::new("no engine yet: `ingest` or `restore` first"))
     }
 
-    /// Replays WAL records with sequence strictly above `after_seq` into
-    /// `engine`, returning how many batches were applied.
-    fn replay_into(&self, engine: &mut DarEngine, after_seq: u64) -> Result<u64, CliError> {
-        let batches: Vec<Vec<Vec<f64>>> = self
-            .wal_records
-            .iter()
-            .filter(|(seq, _)| *seq > after_seq)
-            .map(|(_, rows)| rows.clone())
-            .collect();
-        Ok(engine.replay_wal(&batches)?)
+    /// Replays WAL frames with sequence strictly above `after_seq` into
+    /// `engine`, returning how many non-empty batches were applied.
+    fn replay_into(&self, engine: &mut EngineBackend, after_seq: u64) -> Result<u64, CliError> {
+        let mut replayed = 0u64;
+        for (seq, tag, rows) in &self.wal_records {
+            if *seq <= after_seq {
+                continue;
+            }
+            engine.replay_frame(*tag, rows)?;
+            if !rows.is_empty() {
+                replayed += 1;
+            }
+        }
+        Ok(replayed)
+    }
+
+    /// Builds a fresh backend under this session's window configuration.
+    fn fresh_backend(
+        &self,
+        partitioning: dar_core::Partitioning,
+        config: EngineConfig,
+    ) -> Result<EngineBackend, CliError> {
+        Ok(match self.window {
+            Some((spec, policy)) => {
+                EngineBackend::from(WindowedEngine::new(partitioning, config, spec, policy)?)
+            }
+            None => EngineBackend::from(DarEngine::new(partitioning, config)?),
+        })
     }
 }
 
-/// Opens the WAL and decodes every committed record with its sequence.
-fn open_wal(path: &str) -> Result<(DurableStore, Vec<WalBatch>), CliError> {
+/// Opens the WAL and decodes every committed frame with its sequence.
+fn open_wal(path: &str) -> Result<(DurableStore, Vec<WalFrame>), CliError> {
     let storage = Arc::new(DiskStorage);
     let (store, _) = DurableStore::open(storage, None, Some(path.into()))
         .map_err(|e| CliError::new(format!("{path}: {e}")))?;
@@ -105,9 +137,9 @@ fn open_wal(path: &str) -> Result<(DurableStore, Vec<WalBatch>), CliError> {
         .map_err(|e| CliError::new(format!("{path}: {e}")))?;
     let mut decoded = Vec::with_capacity(records.len());
     for record in records {
-        let rows = decode_batch(&record.body)
+        let (tag, rows) = decode_frame(&record.body)
             .map_err(|e| CliError::new(format!("{path}: record seq {}: {e}", record.seq)))?;
-        decoded.push((record.seq, rows));
+        decoded.push((record.seq, tag, rows));
     }
     Ok((store, decoded))
 }
@@ -131,6 +163,7 @@ pub fn run_script(script: &str, args: &Args) -> Result<String, CliError> {
         support: args.number("support", 0.05)?,
         threshold_frac: args.number("threshold-frac", 0.05)?,
         config,
+        window: window_options(args)?,
         store,
         wal_records,
     };
@@ -178,7 +211,7 @@ fn step(
                     &partitioning,
                     session.threshold_frac,
                 )?);
-                let mut engine = DarEngine::new(partitioning, config)?;
+                let mut engine = session.fresh_backend(partitioning, config)?;
                 // Crash recovery: a fresh engine first replays every batch
                 // a previous session committed to this WAL.
                 let replayed = session.replay_into(&mut engine, 0)?;
@@ -193,24 +226,68 @@ fn step(
             }
             let engine = session.engine.as_mut().expect("just created");
             let rows: Vec<Vec<f64>> = (0..relation.len()).map(|r| relation.row(r)).collect();
-            engine.ingest(&rows)?;
+            let info = engine.ingest(&rows)?;
             session.schema = Some(relation.schema().clone());
             let logged = match session.store.as_mut() {
                 // Apply-then-log: the command reports success only once the
                 // batch is both in memory and on the log.
                 Some(store) => {
-                    let seq = store.log_batch(&rows).map_err(|e| CliError::new(e.to_string()))?;
-                    session.wal_records.push((seq, rows.clone()));
+                    // Windowed frames carry the window they landed in, so
+                    // recovery rebuilds the exact ring.
+                    let seq = match &info {
+                        Some(w) => store.log_tagged_batch(w.window_seq, &rows),
+                        None => store.log_batch(&rows),
+                    }
+                    .map_err(|e| CliError::new(e.to_string()))?;
+                    session.wal_records.push((
+                        seq,
+                        info.as_ref().map(|w| w.window_seq),
+                        rows.clone(),
+                    ));
                     format!(", wal seq {seq}")
                 }
                 None => String::new(),
             };
             let engine = session.engine.as_ref().expect("just created");
+            let windowed = match &info {
+                Some(w) if w.advanced => format!(", sealed window {}", w.window_seq),
+                Some(w) => format!(", window {}", w.window_seq),
+                None => String::new(),
+            };
             let _ = writeln!(
                 out,
-                "ingest {path}: {} tuples (total {}{logged})",
+                "ingest {path}: {} tuples (total {}{logged}){windowed}",
                 rows.len(),
                 engine.tuples()
+            );
+        }
+        "advance" => {
+            if !rest.is_empty() {
+                return Err(CliError::new("usage: advance"));
+            }
+            let engine = session.engine()?;
+            let outcome = engine.advance()?;
+            let span = engine.window_span().unwrap_or((0, outcome.opened_seq));
+            let logged = match session.store.as_mut() {
+                // An explicit seal is durable too: an empty frame tagged
+                // with the newly opened window.
+                Some(store) => {
+                    let seq = store
+                        .log_tagged_batch(outcome.opened_seq, &[])
+                        .map_err(|e| CliError::new(e.to_string()))?;
+                    session.wal_records.push((seq, Some(outcome.opened_seq), Vec::new()));
+                    format!(", wal seq {seq}")
+                }
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "advance: sealed window {}, opened {}{}, span {}..={}{logged}",
+                outcome.sealed_seq,
+                outcome.opened_seq,
+                outcome.retired_seq.map_or_else(String::new, |s| format!(", retired {s}")),
+                span.0,
+                span.1,
             );
         }
         "snapshot" => {
@@ -246,7 +323,15 @@ fn step(
                 .unwrap_or(0);
             let mut config = session.config.clone();
             config.min_support_frac = session.support;
-            let mut engine = DarEngine::restore(&text, config)?;
+            let mut engine = EngineBackend::restore(&text, config)?;
+            if engine.is_windowed() != session.window.is_some() {
+                return Err(CliError::new(format!(
+                    "{path}: snapshot is a {} engine but this session is {} — \
+                     match --window-batches to the snapshot",
+                    if engine.is_windowed() { "windowed" } else { "static" },
+                    if session.window.is_some() { "windowed" } else { "static" },
+                )));
+            }
             let replayed = session.replay_into(&mut engine, snapshot_seq)?;
             let _ = writeln!(
                 out,
@@ -319,7 +404,8 @@ fn step(
         }
         other => {
             return Err(CliError::new(format!(
-                "unknown session command {other:?} (expected ingest, snapshot, restore, query, stats)"
+                "unknown session command {other:?} \
+                 (expected ingest, advance, snapshot, restore, query, stats)"
             )));
         }
     }
@@ -467,6 +553,58 @@ mod tests {
         let script = format!("restore {}\nquery top=1\n", snap.display());
         let out = run_script(&script, &args).unwrap();
         assert!(out.contains("8000 tuples, 1 wal batches replayed"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn windowed_sessions_seal_windows_and_recover_the_ring() {
+        let dir = session_dir("windowed");
+        let batches = write_batches(&dir, 3);
+        let wal = dir.join("stream.wal");
+        let args = parse(&argv(&[
+            "--support",
+            "0.1",
+            "--threshold-frac",
+            "0.1",
+            "--window-batches",
+            "2",
+            "--window-slots",
+            "2",
+            "--wal-path",
+            wal.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // Session 1: one batch into window 0, then an explicit seal — both
+        // durable as tagged WAL frames.
+        let script = format!("ingest {}\nadvance\n", batches[0]);
+        let out = run_script(&script, &args).unwrap();
+        assert!(out.contains(", window 0"), "{out}");
+        assert!(out.contains("advance: sealed window 0, opened 1"), "{out}");
+        assert!(out.contains("wal seq 2"), "the advance marker is logged too: {out}");
+
+        // Session 2: the tagged replay rebuilds the ring (window 0 sealed,
+        // window 1 open), then two more batches seal window 1 and retire
+        // window 0 out of the two-slot ring.
+        let script = format!("ingest {}\ningest {}\n", batches[1], batches[2]);
+        let out = run_script(&script, &args).unwrap();
+        assert!(out.contains("wal: replayed 1 committed batches (2000 tuples)"), "{out}");
+        assert!(out.contains("total 4000, wal seq 3), window 1"), "{out}");
+        assert!(out.contains("total 4000, wal seq 4), sealed window 1"), "{out}");
+
+        // A static session refuses `advance` and a windowed session refuses
+        // a static snapshot.
+        let static_args = parse(&argv(&["--support", "0.1", "--threshold-frac", "0.1"])).unwrap();
+        let script = format!("ingest {}\nadvance\n", batches[0]);
+        let err = run_script(&script, &static_args).unwrap_err();
+        assert!(err.to_string().contains("windowed"), "{err}");
+
+        let snap = dir.join("static.snap");
+        let script = format!("ingest {}\nsnapshot {}\n", batches[0], snap.display());
+        run_script(&script, &static_args).unwrap();
+        let windowed_args = parse(&argv(&["--window-batches", "1"])).unwrap();
+        let err = run_script(&format!("restore {}\n", snap.display()), &windowed_args).unwrap_err();
+        assert!(err.to_string().contains("match --window-batches"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

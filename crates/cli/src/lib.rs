@@ -95,17 +95,23 @@ pub fn usage() -> String {
                  [--degree-factor F] [--top N] [--rescan] [--out RULES.tsv]\n\
        session   [--script FILE] [--support F] [--threshold-frac F]\n\
                  [--memory-kb K] [--metric d0|d1|d2] [--metrics-out FILE]\n\
-                 scripted engine: ingest/snapshot/restore/query/stats lines\n\
-                 from FILE (or stdin); see `dar-cli`'s session module docs;\n\
-                 --metrics-out dumps the final metrics registry as JSON\n\
+                 [--window-batches N] [--window-slots W]\n\
+                 scripted engine: ingest/advance/snapshot/restore/query/\n\
+                 stats lines from FILE (or stdin); see `dar-cli`'s session\n\
+                 module docs; --metrics-out dumps the final metrics\n\
+                 registry as JSON\n\
        serve     --addr HOST:PORT [--attrs N] [--threads T] [--queue Q]\n\
                  [--support F] [--memory-kb K] [--metric d0|d1|d2]\n\
                  [--initial-threshold F] [--timeout-ms MS]\n\
                  [--snapshot-path FILE.snap] [--snapshot-secs S]\n\
                  [--wal-path FILE.wal] [--metrics-addr HOST:PORT]\n\
+                 [--window-batches N] [--window-slots W]\n\
+                 [--window-policy remerge|subtract]\n\
                  TCP server speaking newline-delimited JSON; blocks until\n\
                  a wire `shutdown` request, then prints final counters;\n\
-                 --metrics-addr serves Prometheus text to any scraper\n\
+                 --metrics-addr serves Prometheus text to any scraper;\n\
+                 --window-batches mines a sliding window and adds the\n\
+                 `advance` and `subscribe` (rule-churn events) verbs\n\
        cluster-coordinator\n\
                  --addr HOST:PORT --shards HOST:PORT,HOST:PORT,...\n\
                  [--threads T] [--queue Q] [--support F]\n\

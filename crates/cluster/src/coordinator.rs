@@ -292,6 +292,27 @@ impl Coordinator {
         merged.snapshot().map_err(|e| io::Error::other(format!("snapshot: {e}")))
     }
 
+    /// Passes an explicit window seal through to every shard, in shard
+    /// order. The coordinator keeps no window state of its own — windows
+    /// live on shards started with `--window-batches` — so this is pure
+    /// pass-through; it marks the merged engine dirty because sealing
+    /// changes what the shards snapshot next. Subscriptions are *not*
+    /// proxied: churn subscribers attach to shards directly.
+    ///
+    /// # Errors
+    /// Shard transport failures, or a shard's structured error verbatim
+    /// (e.g. `unsupported` from a shard that is not windowed).
+    pub fn advance(&mut self) -> io::Result<Vec<(String, Json)>> {
+        let backoff = self.config.backoff.clone();
+        let mut responses = Vec::with_capacity(self.shards.len());
+        for shard in &mut self.shards {
+            let response = shard.request(&Request::Advance, &backoff)?;
+            responses.push((shard.addr.clone(), response));
+        }
+        self.dirty = true;
+        Ok(responses)
+    }
+
     /// The SON exact-verification pass for one query outcome: ship the
     /// merged clusters and each rule's positions to every shard, let each
     /// re-read its own WAL and count matches over its disjoint slice, and

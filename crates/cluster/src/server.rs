@@ -331,6 +331,34 @@ fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, bool) {
             ]);
             (response, false)
         }
+        Request::Advance => match lock(&ctx.coordinator).advance() {
+            Ok(responses) => {
+                let shard_items: Vec<Json> = responses
+                    .into_iter()
+                    .map(|(addr, mut response)| {
+                        if let Json::Obj(pairs) = &mut response {
+                            pairs.insert(0, ("addr".into(), Json::Str(addr)));
+                        }
+                        response
+                    })
+                    .collect();
+                let response = Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("verb", Json::Str("advance".into())),
+                    ("shards", Json::Arr(shard_items)),
+                ]);
+                (response, false)
+            }
+            Err(e) => (shard_error(ctx, &e), false),
+        },
+        Request::Subscribe { .. } => (
+            error(
+                ctx,
+                "unsupported",
+                "subscriptions attach to shards directly; the coordinator serves merged queries",
+            ),
+            false,
+        ),
         Request::Metrics => (protocol::metrics_response(), false),
         Request::Shutdown => {
             if ctx.allow_remote_shutdown {

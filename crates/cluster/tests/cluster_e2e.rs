@@ -160,6 +160,70 @@ fn coordinator_rules_are_byte_identical_to_single_engine_at_1_2_4_shards() {
     }
 }
 
+#[test]
+fn advance_passes_through_to_windowed_shards_and_subscribe_is_refused() {
+    use dar_serve::{Json, RetirePolicy, WindowSpec, WindowedEngine};
+
+    // Two windowed shards behind a coordinator: the `advance` verb fans
+    // out to every shard in order and reports each shard's seal.
+    let spec = WindowSpec { batches: 4, slots: 2 };
+    let shard_handles: Vec<ServerHandle> = (0..2)
+        .map(|_| {
+            let schema = Schema::interval_attrs(2);
+            let partitioning = Partitioning::per_attribute(&schema, Metric::Euclidean);
+            let engine =
+                WindowedEngine::new(partitioning, engine_config(), spec, RetirePolicy::Remerge)
+                    .unwrap();
+            Server::start(engine, "127.0.0.1:0", shard_config()).unwrap()
+        })
+        .collect();
+    let addrs: Vec<String> = shard_handles.iter().map(|h| h.addr().to_string()).collect();
+    let coordinator = Coordinator::connect(cluster_config(addrs.clone())).unwrap();
+    let front = CoordinatorServer::start(coordinator, "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(front.addr(), timeout()).unwrap();
+
+    client.ingest(rows(40, 0)).unwrap();
+    let response = client.advance().unwrap();
+    let shards = match response.get("shards") {
+        Some(Json::Arr(items)) => items.clone(),
+        other => panic!("advance response lacks a shards array: {other:?}"),
+    };
+    assert_eq!(shards.len(), 2, "advance must reach every shard");
+    for (entry, addr) in shards.iter().zip(&addrs) {
+        assert_eq!(entry.get("addr").and_then(Json::as_str), Some(addr.as_str()));
+        assert_eq!(entry.get("sealed").and_then(|j| j.as_u64()), Some(0));
+        assert_eq!(entry.get("opened").and_then(|j| j.as_u64()), Some(1));
+    }
+
+    // Subscriptions are refused at the coordinator with a structured
+    // error pointing at the shards — never a hangup.
+    let line = client.round_trip_line(r#"{"verb":"subscribe"}"#).unwrap();
+    assert!(line.contains("unsupported"), "got: {line}");
+    assert!(line.contains("shards directly"), "got: {line}");
+
+    client.shutdown().unwrap();
+    front.join();
+    for handle in shard_handles {
+        handle.shutdown();
+        handle.join().unwrap();
+    }
+
+    // Against static shards, the shard's own structured `unsupported`
+    // error surfaces through the coordinator verbatim.
+    let (shard_handles, addrs) = start_shards(1);
+    let coordinator = Coordinator::connect(cluster_config(addrs)).unwrap();
+    let front = CoordinatorServer::start(coordinator, "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(front.addr(), timeout()).unwrap();
+    let err = client.advance().unwrap_err();
+    assert_eq!(dar_serve::ServerError::of(&err).unwrap().code, "unsupported");
+    client.shutdown().unwrap();
+    front.join();
+    for handle in shard_handles {
+        handle.shutdown();
+        handle.join().unwrap();
+    }
+}
+
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("dar_cluster_{tag}_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

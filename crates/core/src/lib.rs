@@ -52,4 +52,6 @@ pub use interval::Interval;
 pub use relation::{Relation, RelationBuilder};
 pub use schema::{AttrId, AttrSet, Attribute, AttributeKind, Partitioning, Schema, SetId};
 pub use standardize::{standardize_columns, FittedStandardization, Standardization};
-pub use stats::{quantile, suggest_initial_thresholds, ColumnStats};
+pub use stats::{
+    quantile, suggest_initial_thresholds, suggest_initial_thresholds_pooled, ColumnStats,
+};

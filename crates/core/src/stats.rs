@@ -86,14 +86,36 @@ pub fn suggest_initial_thresholds(
     partitioning: &Partitioning,
     frac: f64,
 ) -> Result<Vec<f64>, CoreError> {
+    suggest_initial_thresholds_pooled(relation, partitioning, frac, &dar_par::ThreadPool::serial())
+}
+
+/// [`suggest_initial_thresholds`] with the per-column statistics scans fanned
+/// out across `pool`. Each column's statistics are computed independently
+/// (no cross-column reduction), duplicate attribute references are scanned
+/// once, and the per-set variance sum runs serially in declaration order —
+/// so the result is bit-identical to the serial path at any worker count.
+pub fn suggest_initial_thresholds_pooled(
+    relation: &Relation,
+    partitioning: &Partitioning,
+    frac: f64,
+    pool: &dar_par::ThreadPool,
+) -> Result<Vec<f64>, CoreError> {
+    let mut attrs: Vec<AttrId> =
+        partitioning.sets().iter().flat_map(|s| s.attrs.iter().copied()).collect();
+    attrs.sort_unstable();
+    attrs.dedup();
+    let per_attr: Vec<Result<f64, CoreError>> =
+        pool.map_indexed("threshold_sample", attrs.len(), 1, |i| {
+            ColumnStats::of_column(relation, attrs[i]).map(|s| s.std_dev * s.std_dev)
+        });
+    let width = attrs.iter().copied().max().map_or(0, |m| m + 1);
+    let mut variance = vec![0.0f64; width];
+    for (attr, var) in attrs.iter().zip(per_attr) {
+        variance[*attr] = var?;
+    }
     (0..partitioning.num_sets())
         .map(|set: SetId| {
-            let spread_sq: f64 = partitioning
-                .set(set)
-                .attrs
-                .iter()
-                .map(|&a| ColumnStats::of_column(relation, a).map(|s| s.std_dev * s.std_dev))
-                .sum::<Result<f64, CoreError>>()?;
+            let spread_sq: f64 = partitioning.set(set).attrs.iter().map(|&a| variance[a]).sum();
             Ok(frac * spread_sq.sqrt())
         })
         .collect()
@@ -148,5 +170,32 @@ mod tests {
         assert!(t[1] / t[0] > 900.0, "thresholds must track scale: {t:?}");
         let zero = suggest_initial_thresholds(&r, &p, 0.0).unwrap();
         assert!(zero.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn pooled_threshold_suggestion_is_bit_identical_at_any_worker_count() {
+        let mut b = RelationBuilder::new(Schema::interval_attrs(5));
+        for i in 0..500 {
+            b.push_row(&[
+                (i % 13) as f64 * 0.37,
+                (i % 7) as f64 * 41.5,
+                ((i * 31) % 101) as f64,
+                (i % 3) as f64 * 0.001,
+                (i % 29) as f64 * 1234.5,
+            ])
+            .unwrap();
+        }
+        let r = b.finish();
+        let p = Partitioning::per_attribute(r.schema(), Metric::Euclidean);
+        let serial = suggest_initial_thresholds(&r, &p, 0.05).unwrap();
+        for workers in [1, 2, 4, 8] {
+            let pool = dar_par::ThreadPool::new(workers);
+            let pooled = suggest_initial_thresholds_pooled(&r, &p, 0.05, &pool).unwrap();
+            assert_eq!(
+                pooled.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "workers={workers}"
+            );
+        }
     }
 }

@@ -19,6 +19,41 @@ pub fn encode_batch(rows: &[Vec<f64>]) -> Vec<u8> {
     out
 }
 
+/// A row count of `u32::MAX` marks a *tagged* frame: the next 8 bytes are a
+/// little-endian window sequence number, followed by an ordinary v1 batch
+/// body. Plain v1 frames can never start with this value — `decode_batch`
+/// would have to find `u32::MAX × 4` bytes of row prefixes behind it — so
+/// old readers reject tagged frames instead of misparsing them, and new
+/// readers accept both.
+const WINDOW_TAG_SENTINEL: u32 = u32::MAX;
+
+/// Encodes a batch carrying the sliding-window sequence it lands in:
+/// `u32::MAX` sentinel, `u64` window seq (LE), then the v1 batch body.
+pub fn encode_tagged_batch(window_seq: u64, rows: &[Vec<f64>]) -> Vec<u8> {
+    let body = encode_batch(rows);
+    let mut out = Vec::with_capacity(12 + body.len());
+    out.extend_from_slice(&WINDOW_TAG_SENTINEL.to_le_bytes());
+    out.extend_from_slice(&window_seq.to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decodes either frame flavor: returns the window tag (if the frame was
+/// written by [`encode_tagged_batch`]) alongside the rows.
+pub fn decode_frame(bytes: &[u8]) -> Result<(Option<u64>, Vec<Vec<f64>>), String> {
+    if bytes.len() >= 12 {
+        let mut head = [0u8; 4];
+        head.copy_from_slice(&bytes[..4]);
+        if u32::from_le_bytes(head) == WINDOW_TAG_SENTINEL {
+            let mut seq = [0u8; 8];
+            seq.copy_from_slice(&bytes[4..12]);
+            let rows = decode_batch(&bytes[12..])?;
+            return Ok((Some(u64::from_le_bytes(seq)), rows));
+        }
+    }
+    Ok((None, decode_batch(bytes)?))
+}
+
 /// Decodes a batch, rejecting any framing inconsistency.
 pub fn decode_batch(bytes: &[u8]) -> Result<Vec<Vec<f64>>, String> {
     let mut cursor = 0usize;
@@ -106,5 +141,33 @@ mod tests {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode_batch(&bytes).is_err());
+    }
+
+    #[test]
+    fn tagged_frames_round_trip_and_stay_distinguishable() {
+        let rows = vec![vec![1.5, -0.0], vec![0.1 + 0.2]];
+        let tagged = encode_tagged_batch(7, &rows);
+        let (tag, back) = decode_frame(&tagged).unwrap();
+        assert_eq!(tag, Some(7));
+        assert_eq!(back, rows);
+        // A v1 reader must reject — not misparse — a tagged frame.
+        assert!(decode_batch(&tagged).is_err());
+        // decode_frame keeps accepting plain v1 frames, untagged.
+        let plain = encode_batch(&rows);
+        let (tag, back) = decode_frame(&plain).unwrap();
+        assert_eq!(tag, None);
+        assert_eq!(back, rows);
+        // The empty batch tagged with a window seq (the explicit-advance
+        // marker) survives too.
+        let marker = encode_tagged_batch(42, &[]);
+        assert_eq!(decode_frame(&marker).unwrap(), (Some(42), vec![]));
+    }
+
+    #[test]
+    fn truncated_tagged_frames_are_rejected() {
+        let tagged = encode_tagged_batch(3, &[vec![1.0]]);
+        for cut in 1..tagged.len() {
+            assert!(decode_frame(&tagged[..cut]).is_err(), "cut at {cut} mis-parsed");
+        }
     }
 }

@@ -36,7 +36,7 @@ pub mod storage;
 pub mod store;
 pub mod wal;
 
-pub use batch::{decode_batch, encode_batch};
+pub use batch::{decode_batch, decode_frame, encode_batch, encode_tagged_batch};
 pub use crc::crc32;
 pub use error::DurableError;
 pub use snapshot::{seal, unseal, unseal_strict, LoadedSnapshot, SnapshotSource};

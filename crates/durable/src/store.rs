@@ -15,7 +15,7 @@
 //!   *previous* snapshot, so falling back to `<path>.prev` still has all
 //!   the records it needs.
 
-use crate::batch::{decode_batch, encode_batch};
+use crate::batch::{decode_frame, encode_batch, encode_tagged_batch};
 use crate::error::DurableError;
 use crate::snapshot::{self, SnapshotSource};
 use crate::storage::Storage;
@@ -31,8 +31,14 @@ pub struct Recovered {
     /// The WAL sequence the snapshot includes (0 when none).
     pub snapshot_seq: u64,
     /// Committed batches newer than the snapshot, in log order — replay
-    /// these into the restored engine.
+    /// these into the restored engine. Window-tagged frames contribute
+    /// their rows here too (empty advance markers are skipped), so an
+    /// all-history engine recovering a windowed log loses nothing.
     pub batches: Vec<Vec<Vec<f64>>>,
+    /// The same records with their window tags: `(window_seq, rows)` per
+    /// frame, in log order, including empty advance markers. A windowed
+    /// engine replays these to rebuild its ring exactly.
+    pub frames: Vec<(Option<u64>, Vec<Vec<f64>>)>,
     /// Diagnostics for operators and tests.
     pub report: RecoveryReport,
 }
@@ -104,6 +110,7 @@ impl DurableStore {
         };
 
         let mut batches = Vec::new();
+        let mut frames = Vec::new();
         let mut last_seq = snapshot_seq;
         if let Some(path) = &wal_path {
             let (records, wal_report) = wal::read_records(storage.as_ref(), path)?;
@@ -120,8 +127,13 @@ impl DurableStore {
                 if record.seq <= snapshot_seq {
                     continue; // already inside the snapshot
                 }
-                match decode_batch(&record.body) {
-                    Ok(rows) => batches.push(rows),
+                match decode_frame(&record.body) {
+                    Ok((tag, rows)) => {
+                        if !rows.is_empty() {
+                            batches.push(rows.clone());
+                        }
+                        frames.push((tag, rows));
+                    }
                     // CRC passed but the payload doesn't decode: an
                     // encoder/decoder version skew, not a torn tail.
                     Err(detail) => {
@@ -142,7 +154,7 @@ impl DurableStore {
             next_seq: last_seq + 1,
             installed_seq: snapshot_seq,
         };
-        Ok((store, Recovered { snapshot, snapshot_seq, batches, report }))
+        Ok((store, Recovered { snapshot, snapshot_seq, batches, frames, report }))
     }
 
     /// The WAL path, if batch logging is configured.
@@ -181,6 +193,37 @@ impl DurableStore {
         };
         let seq = self.next_seq;
         wal::append_record(self.storage.as_ref(), path, seq, &encode_batch(rows))?;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Commits one window-tagged ingest batch to the WAL — the sliding-
+    /// window variant of [`DurableStore::log_batch`]. `window_seq` is the
+    /// window the rows landed in; an empty `rows` is an explicit-advance
+    /// marker (logged with the newly opened window's sequence). Recovery
+    /// surfaces these as [`Recovered::frames`].
+    ///
+    /// # Errors
+    /// As [`DurableStore::log_batch`].
+    pub fn log_tagged_batch(
+        &mut self,
+        window_seq: u64,
+        rows: &[Vec<f64>],
+    ) -> Result<u64, DurableError> {
+        let Some(path) = &self.wal_path else {
+            return Err(DurableError::io(
+                "append",
+                PathBuf::new(),
+                std::io::Error::other("no WAL configured"),
+            ));
+        };
+        let seq = self.next_seq;
+        wal::append_record(
+            self.storage.as_ref(),
+            path,
+            seq,
+            &encode_tagged_batch(window_seq, rows),
+        )?;
         self.next_seq += 1;
         Ok(seq)
     }
@@ -296,6 +339,25 @@ mod tests {
         assert_eq!(recovered.batches, vec![batch(2.0, 1), batch(3.0, 1), batch(4.0, 1)]);
         assert_eq!(recovered.report.corrupt_snapshots_skipped, 1);
         assert!(recovered.report.degraded_artifacts());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tagged_and_plain_records_recover_with_their_tags() {
+        let dir = scratch_dir("store_tagged");
+        let (mut store, _) = open_disk(&dir);
+        store.log_batch(&batch(1.0, 2)).unwrap();
+        store.log_tagged_batch(7, &batch(2.0, 3)).unwrap();
+        store.log_tagged_batch(8, &[]).unwrap(); // explicit-advance marker
+        drop(store);
+
+        let (_, recovered) = open_disk(&dir);
+        assert_eq!(
+            recovered.frames,
+            vec![(None, batch(1.0, 2)), (Some(7), batch(2.0, 3)), (Some(8), Vec::new()),]
+        );
+        // The rows-only view skips the empty marker but keeps the data.
+        assert_eq!(recovered.batches, vec![batch(1.0, 2), batch(2.0, 3)]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -431,6 +431,34 @@ impl DarEngine {
         })
     }
 
+    /// Builds an engine around an already-populated live forest — the
+    /// in-process analogue of [`DarEngine::merge_snapshots`], used by the
+    /// sliding-window layer (`dar-stream`) to stand up a fresh engine over
+    /// the merged survivors whenever a window retires. `tuples` is the
+    /// number of tuples the forest summarizes (it drives `s0`); like
+    /// `merge_snapshots`, the epoch starts at `epoch_base` and *open*, so
+    /// the first query closes `epoch_base + 1`.
+    pub fn with_forest(
+        forest: AcfForest,
+        tuples: u64,
+        epoch_base: u64,
+        config: EngineConfig,
+    ) -> Self {
+        let partitioning = forest.partitioning().clone();
+        let stats = EngineStats { tuples_ingested: tuples, ..EngineStats::default() };
+        let pool = dar_par::ThreadPool::resolve(config.threads);
+        DarEngine {
+            partitioning,
+            config,
+            forest,
+            pool,
+            epoch: epoch_base,
+            tuples,
+            epoch_state: None,
+            stats,
+        }
+    }
+
     /// Replays write-ahead-log batches recovered by `dar-durable` on top
     /// of a restored (or fresh) engine, in log order. Identical to
     /// ingesting them live — forest insertion is purely sequential — so a

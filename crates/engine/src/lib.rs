@@ -65,7 +65,7 @@
 mod config;
 mod engine;
 mod metrics;
-mod snapshot;
+pub mod snapshot;
 mod stats;
 
 pub use config::EngineConfig;

@@ -15,14 +15,21 @@ use dar_core::{AttrSet, ClusterSummary, CoreError, Metric, Partitioning, Schema}
 use mining::persist::{read_clusters_at, write_clusters};
 use std::fmt::Write as _;
 
-/// A parsed snapshot, ready to install into an engine.
+/// A parsed snapshot, ready to install into an engine. Public so the
+/// sliding-window layer (`dar-stream`) can embed per-window engine
+/// snapshots inside its own ring serialization.
 #[derive(Debug)]
-pub(crate) struct Snapshot {
-    pub(crate) epoch: u64,
-    pub(crate) tuples: u64,
-    pub(crate) partitioning: Partitioning,
-    pub(crate) thresholds: Vec<f64>,
-    pub(crate) clusters: Vec<ClusterSummary>,
+pub struct Snapshot {
+    /// The epoch the snapshot captured.
+    pub epoch: u64,
+    /// Tuples the snapshotted engine had ingested.
+    pub tuples: u64,
+    /// The partitioning the engine mined under.
+    pub partitioning: Partitioning,
+    /// Per-set tree thresholds at extraction time.
+    pub thresholds: Vec<f64>,
+    /// The epoch's cluster summaries.
+    pub clusters: Vec<ClusterSummary>,
 }
 
 fn metric_name(metric: Metric) -> &'static str {
@@ -45,7 +52,10 @@ fn parse_metric(name: &str) -> Result<Metric, CoreError> {
 }
 
 /// Serializes one epoch.
-pub(crate) fn write_snapshot(
+///
+/// # Errors
+/// Propagates serialization failures from the cluster body writer.
+pub fn write_snapshot(
     epoch: u64,
     tuples: u64,
     partitioning: &Partitioning,
@@ -68,7 +78,7 @@ pub(crate) fn write_snapshot(
 /// attribute id the partitioning mentions (the snapshot stores no attribute
 /// names; the engine only needs the id space). Parse errors name the
 /// offending line, counted from the start of the snapshot text.
-pub(crate) fn parse_snapshot(text: &str) -> Result<Snapshot, CoreError> {
+pub fn parse_snapshot(text: &str) -> Result<Snapshot, CoreError> {
     let located = |line_no: usize, e: CoreError| match e {
         CoreError::LayoutMismatch(msg) => {
             CoreError::LayoutMismatch(format!("line {line_no}: {msg}"))

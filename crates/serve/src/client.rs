@@ -244,6 +244,17 @@ impl Client {
         self.expect_ok(&Request::Snapshot)
     }
 
+    /// `advance`: seals the open window explicitly (windowed servers
+    /// only); returns the decoded response (`sealed`, `opened`,
+    /// `retired`, `window_span`).
+    ///
+    /// # Errors
+    /// I/O failures or a structured server error (`unsupported` on a
+    /// non-windowed server).
+    pub fn advance(&mut self) -> io::Result<Json> {
+        self.expect_ok(&Request::Advance)
+    }
+
     /// `shutdown`; returns once the server has acknowledged.
     ///
     /// # Errors
@@ -347,6 +358,154 @@ impl Client {
             let message = response.get("message").and_then(Json::as_str).unwrap_or("");
             Err(io::Error::other(ServerError { code: code.into(), message: message.into() }))
         }
+    }
+
+    /// `subscribe`: converts this connection into a live rule-churn
+    /// [`Subscription`] (windowed servers only). The connection stops
+    /// being request/response — the server pushes one newline-JSON
+    /// `event` frame per window advance from here on, so the client is
+    /// consumed. Pass `from_epoch` to resume after the given epoch (the
+    /// server replays retained history, or sends a `resync` baseline
+    /// frame when the gap exceeds it).
+    ///
+    /// # Errors
+    /// I/O failures or a structured server error (`unsupported` on a
+    /// non-windowed server).
+    pub fn subscribe(
+        mut self,
+        from_epoch: Option<u64>,
+        backoff: Backoff,
+    ) -> io::Result<Subscription> {
+        let (epoch, window_span) = self.subscribe_handshake(from_epoch)?;
+        Ok(Subscription {
+            addr: self.addr,
+            timeout: self.timeout,
+            reader: self.reader,
+            backoff,
+            // Resuming later from `from_epoch` (not the handshake epoch)
+            // keeps any still-unread catch-up frames replayable.
+            last_epoch: from_epoch.unwrap_or(epoch),
+            window_span,
+        })
+    }
+
+    /// Sends the `subscribe` line and decodes the handshake, leaving the
+    /// connection positioned at the event stream.
+    fn subscribe_handshake(&mut self, from_epoch: Option<u64>) -> io::Result<SubscribeHandshake> {
+        let response = self.expect_ok(&Request::Subscribe { from_epoch })?;
+        let epoch = response.get("epoch").and_then(Json::as_u64).unwrap_or(0);
+        Ok((epoch, decode_span(response.get("window_span"))))
+    }
+}
+
+/// `(epoch, window_span)` from the `subscribe` handshake.
+type SubscribeHandshake = (u64, Option<(u64, u64)>);
+
+fn decode_span(value: Option<&Json>) -> Option<(u64, u64)> {
+    match value {
+        Some(Json::Arr(items)) if items.len() == 2 => {
+            Some((items[0].as_u64()?, items[1].as_u64()?))
+        }
+        _ => None,
+    }
+}
+
+/// A live rule-churn subscription: one `event` frame per window advance,
+/// with `{added, dropped, epoch, window_span}` diffs in the server's
+/// deterministic rule encoding.
+///
+/// The subscription self-heals: when the server cuts it (a `lagged` final
+/// frame after its bounded queue overflowed) or the connection drops, the
+/// next [`Subscription::next_event`] redials and resubscribes with
+/// `from_epoch` set to the last epoch actually delivered, under the
+/// bounded [`Backoff`] — so the caller sees a gapless event sequence (or
+/// one `resync` baseline frame when the outage outlived the server's
+/// retained history).
+pub struct Subscription {
+    addr: SocketAddr,
+    timeout: Duration,
+    reader: BufReader<TcpStream>,
+    backoff: Backoff,
+    /// The resume point: the last epoch delivered to the caller (or the
+    /// subscribe baseline before any event arrived).
+    last_epoch: u64,
+    window_span: Option<(u64, u64)>,
+}
+
+impl Subscription {
+    /// The last epoch delivered (the handshake baseline before any event).
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
+    /// The live window horizon `(oldest seq, open seq)` as of the last
+    /// frame.
+    pub fn window_span(&self) -> Option<(u64, u64)> {
+        self.window_span
+    }
+
+    /// Blocks for the next event frame, transparently reconnecting (and
+    /// resuming from [`Subscription::last_epoch`]) on a lagged cut or a
+    /// dropped connection.
+    ///
+    /// # Errors
+    /// A read timeout (the feed idled past the client timeout — retrying
+    /// is safe, nothing was lost), or reconnect attempts exhausted.
+    pub fn next_event(&mut self) -> io::Result<Json> {
+        let mut attempt = 0;
+        loop {
+            let mut line = String::new();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => {} // EOF: server shut down or cut us — reconnect
+                Ok(_) => {
+                    let trimmed = line.trim_end_matches('\n');
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    let frame = json::parse(trimmed).map_err(|e| {
+                        io::Error::new(io::ErrorKind::InvalidData, format!("{e}: {trimmed}"))
+                    })?;
+                    if frame.get("ok").and_then(Json::as_bool) == Some(true) {
+                        if let Some(epoch) = frame.get("epoch").and_then(Json::as_u64) {
+                            self.last_epoch = epoch;
+                        }
+                        if let Some(span) = decode_span(frame.get("window_span")) {
+                            self.window_span = Some(span);
+                        }
+                        return Ok(frame);
+                    }
+                    // A structured final frame (`lagged`) — fall through
+                    // to resubscribe from the last delivered epoch.
+                }
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    // An idle feed, not a failure: the caller may retry.
+                    return Err(e);
+                }
+                Err(_) => {} // broken socket — reconnect
+            }
+            if attempt >= self.backoff.attempts {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    "subscription lost and reconnect attempts exhausted",
+                ));
+            }
+            std::thread::sleep(self.backoff.delay(attempt));
+            attempt += 1;
+            // A failed redial just consumes the attempt; the next loop
+            // iteration's read sees EOF-like state and retries.
+            let _ = self.resubscribe();
+        }
+    }
+
+    /// Redials and resubscribes from the last delivered epoch.
+    fn resubscribe(&mut self) -> io::Result<()> {
+        let mut client = Client::connect(self.addr, self.timeout)?;
+        let (_, window_span) = client.subscribe_handshake(Some(self.last_epoch))?;
+        self.reader = client.reader;
+        self.window_span = window_span.or(self.window_span);
+        Ok(())
     }
 }
 

@@ -17,6 +17,7 @@ use crate::shared::SharedEngine;
 use crate::stats::ServerStats;
 use dar_durable::{DurableStore, RecoveryReport, Storage};
 use dar_engine::DarEngine;
+use dar_stream::EngineBackend;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::Ordering;
@@ -88,6 +89,60 @@ pub fn recover_engine(
         .replay_wal(&recovered.batches)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     Ok((engine, recovered.report))
+}
+
+/// Recovers an [`EngineBackend`] from the durable artifacts at boot —
+/// the windowed-aware sibling of [`recover_engine`]. The snapshot header
+/// decides the variant (a `dar-stream v1` body restores the window ring;
+/// anything else the classic engine), falling back to `fresh` when no
+/// snapshot survives. The WAL suffix is then replayed *frame by frame*:
+/// tagged frames fast-forward the window ring to the sequence they carry
+/// (empty tagged frames are explicit-advance markers), so a crash-restart
+/// rebuilds the exact ring the acknowledged history produced.
+///
+/// # Errors
+/// Unrepairable artifacts, an unparseable (but checksum-valid) snapshot,
+/// a snapshot variant mismatching `fresh`'s window configuration, or
+/// replay failures.
+pub fn recover_backend(
+    fresh: EngineBackend,
+    storage: Arc<dyn Storage>,
+    snapshot_path: Option<&Path>,
+    wal_path: Option<&Path>,
+) -> io::Result<(EngineBackend, RecoveryReport)> {
+    let (_, recovered) = DurableStore::open(
+        storage,
+        snapshot_path.map(Path::to_path_buf),
+        wal_path.map(Path::to_path_buf),
+    )
+    .map_err(io::Error::other)?;
+    let config = fresh.config().clone();
+    let was_windowed = fresh.is_windowed();
+    let mut backend = match &recovered.snapshot {
+        Some(body) => {
+            let restored = EngineBackend::restore(body, config)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            if restored.is_windowed() != was_windowed {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "snapshot is a {} engine but the server was configured {} — \
+                         match --window-batches to the on-disk state",
+                        if restored.is_windowed() { "windowed" } else { "static" },
+                        if was_windowed { "windowed" } else { "static" },
+                    ),
+                ));
+            }
+            restored
+        }
+        None => fresh,
+    };
+    for (tag, rows) in &recovered.frames {
+        backend
+            .replay_frame(*tag, rows)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    }
+    Ok((backend, recovered.report))
 }
 
 /// Closes the current epoch and installs it through the atomic snapshot

@@ -33,10 +33,19 @@
 //! * [`Client`] — a small blocking client for scripting and load
 //!   generation, with bounded-backoff retry helpers for `overloaded`/
 //!   `degraded` responses.
-//! * [`recover_engine`] / [`Durability`] — the `dar-durable` wiring:
-//!   boot-time recovery (snapshot restore + WAL replay), apply-then-log
+//! * [`recover_engine`] / [`recover_backend`] / [`Durability`] — the
+//!   `dar-durable` wiring: boot-time recovery (snapshot restore + WAL
+//!   replay, window-tag-aware for sliding-window servers), apply-then-log
 //!   ingest acknowledged only after the WAL append, atomic snapshot
 //!   installs, and sticky degraded (read-only) mode when the log fails.
+//! * **Streaming**: a server started over a
+//!   [`dar_stream::WindowedEngine`] additionally serves `advance`
+//!   (explicit window seal, logged as a tagged WAL marker) and
+//!   `subscribe` — a long-lived connection receiving newline-JSON
+//!   rule-churn events (`{added, dropped, epoch, window_span}`) diffed
+//!   after every window advance by the [`churn`]-feed machinery, with a
+//!   bounded per-subscriber queue that cuts the laggard, never the
+//!   server.
 //!
 //! The CLI front-end is `dar serve --addr … --threads … --snapshot-path …`;
 //! the load generator lives in `dar-bench` (`--bin server`). See
@@ -45,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod client;
 mod durability;
 pub mod json;
@@ -54,10 +64,16 @@ mod server;
 mod shared;
 mod stats;
 
-pub use client::{Backoff, Client, ServerError};
-pub use durability::{recover_engine, Durability};
+pub use client::{Backoff, Client, ServerError, Subscription};
+pub use durability::{recover_backend, recover_engine, Durability};
 pub use json::{Json, JsonError};
 pub use protocol::Request;
 pub use server::{ServeConfig, ServeSummary, Server, ServerHandle};
 pub use shared::SharedEngine;
 pub use stats::{ServerStats, StatsSnapshot};
+
+// Re-exported so server embedders don't need a direct dar-stream dep to
+// name the types in [`Server::start`] / [`recover_backend`] signatures.
+pub use dar_stream::{
+    AdvanceOutcome, EngineBackend, RetirePolicy, WindowSpec, WindowedEngine, WindowedIngest,
+};

@@ -9,7 +9,7 @@ use dar_obs::{global, Counter, Gauge, Histogram};
 use std::sync::OnceLock;
 
 /// Verb labels with dedicated series. Unknown labels fold into `error`.
-const VERBS: [&str; 12] = [
+const VERBS: [&str; 14] = [
     "ingest",
     "query",
     "clusters",
@@ -17,6 +17,8 @@ const VERBS: [&str; 12] = [
     "snapshot",
     "shutdown",
     "metrics",
+    "advance",
+    "subscribe",
     "shard_ingest",
     "pull_snapshot",
     "shard_stats",

@@ -14,6 +14,25 @@
 //! {"verb":"shutdown"}                       → {"ok":true,"verb":"shutdown"}
 //! ```
 //!
+//! Streaming verbs — available when the server mines a sliding window
+//! (`--window-batches`):
+//!
+//! ```text
+//! {"verb":"advance"}                        → {"ok":true,…,"sealed":…,"opened":…,"retired":…,"window_span":[…]}
+//! {"verb":"subscribe","from_epoch":…}       → {"ok":true,"verb":"subscribe","epoch":…}, then event frames
+//! ```
+//!
+//! `subscribe` turns the connection into a long-lived push stream: after
+//! the handshake, the server writes one `{"ok":true,"verb":"event",…}`
+//! frame per window advance, carrying the rules `added` and `dropped`
+//! relative to the previous epoch (deterministically encoded, so equal
+//! diffs are byte-identical). A subscriber that cannot keep up is dropped
+//! with a final structured `{"ok":false,"error":"lagged",…}` frame — the
+//! server never blocks or buffers unboundedly on a slow consumer.
+//! `from_epoch` resumes a reconnecting subscriber: events it has already
+//! seen are not repeated, and a gap the server no longer retains is
+//! bridged by a `"resync":true` event carrying the full current rule set.
+//!
 //! Shard verbs — the coordinator side of `dar-cluster`'s distributed
 //! ingest, spoken by a `dar serve` instance acting as a shard worker:
 //!
@@ -72,6 +91,15 @@ pub enum Request {
     Metrics,
     /// Close the epoch and persist it to the server's snapshot path.
     Snapshot,
+    /// Seal the open window explicitly (windowed servers only).
+    Advance,
+    /// Turn this connection into a long-lived rule-churn push stream
+    /// (windowed servers only).
+    Subscribe {
+        /// Resume point: the last epoch this subscriber saw (events at or
+        /// below it are not repeated). `None` starts from a full baseline.
+        from_epoch: Option<u64>,
+    },
     /// Gracefully stop the server (responds first, then shuts down).
     Shutdown,
     /// Coordinator-routed ingest (writer path): like [`Request::Ingest`]
@@ -136,6 +164,16 @@ impl Request {
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
             "snapshot" => Ok(Request::Snapshot),
+            "advance" => Ok(Request::Advance),
+            "subscribe" => {
+                let from_epoch = match value.get("from_epoch") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(v.as_u64().ok_or_else(|| {
+                        "subscribe \"from_epoch\" must be a non-negative integer".to_string()
+                    })?),
+                };
+                Ok(Request::Subscribe { from_epoch })
+            }
             "shutdown" => Ok(Request::Shutdown),
             "shard_ingest" => {
                 let seq = value
@@ -213,6 +251,14 @@ impl Request {
             Request::Stats => verb_only("stats"),
             Request::Metrics => verb_only("metrics"),
             Request::Snapshot => verb_only("snapshot"),
+            Request::Advance => verb_only("advance"),
+            Request::Subscribe { from_epoch } => {
+                let mut pairs = vec![("verb", Json::Str("subscribe".into()))];
+                if let Some(epoch) = from_epoch {
+                    pairs.push(("from_epoch", Json::Num(*epoch as f64)));
+                }
+                Json::obj(pairs)
+            }
             Request::Shutdown => verb_only("shutdown"),
             Request::ShardIngest { seq, rows } => Json::obj(vec![
                 ("verb", Json::Str("shard_ingest".into())),
@@ -298,24 +344,7 @@ pub fn ingest_response(tuples: u64, total: u64) -> Json {
 /// degree, then antecedent, then consequent), so two equal rule sets
 /// produce byte-identical lines.
 pub fn query_response(outcome: &QueryOutcome) -> Json {
-    let rules: Vec<Json> = outcome
-        .rules
-        .iter()
-        .map(|rule| {
-            Json::obj(vec![
-                (
-                    "antecedent",
-                    Json::Arr(rule.antecedent.iter().map(|&i| Json::Num(i as f64)).collect()),
-                ),
-                (
-                    "consequent",
-                    Json::Arr(rule.consequent.iter().map(|&i| Json::Num(i as f64)).collect()),
-                ),
-                ("degree", Json::Num(rule.degree)),
-                ("min_support", Json::Num(rule.min_cluster_support as f64)),
-            ])
-        })
-        .collect();
+    let rules: Vec<Json> = outcome.rules.iter().map(rule_json).collect();
     Json::obj(vec![
         ("ok", Json::Bool(true)),
         ("verb", Json::Str("query".into())),
@@ -324,6 +353,18 @@ pub fn query_response(outcome: &QueryOutcome) -> Json {
         ("cached", Json::Bool(outcome.cached)),
         ("truncated", Json::Bool(outcome.truncated)),
         ("rules", Json::Arr(rules)),
+    ])
+}
+
+/// One rule as its wire object — the unit `query` responses and
+/// rule-churn `event` frames share, so a rule encodes to the same bytes
+/// everywhere it appears.
+pub fn rule_json(rule: &mining::Dar) -> Json {
+    Json::obj(vec![
+        ("antecedent", Json::Arr(rule.antecedent.iter().map(|&i| Json::Num(i as f64)).collect())),
+        ("consequent", Json::Arr(rule.consequent.iter().map(|&i| Json::Num(i as f64)).collect())),
+        ("degree", Json::Num(rule.degree)),
+        ("min_support", Json::Num(rule.min_cluster_support as f64)),
     ])
 }
 
@@ -362,6 +403,76 @@ pub fn snapshot_response(epoch: u64, tuples: u64, path: Option<&str>) -> Json {
 /// The `shutdown` acknowledgement.
 pub fn shutdown_response() -> Json {
     Json::obj(vec![("ok", Json::Bool(true)), ("verb", Json::Str("shutdown".into()))])
+}
+
+/// The `advance` success response: what sealing the open window did.
+pub fn advance_response(
+    sealed: u64,
+    opened: u64,
+    retired: Option<u64>,
+    window_span: (u64, u64),
+) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("verb", Json::Str("advance".into())),
+        ("sealed", Json::Num(sealed as f64)),
+        ("opened", Json::Num(opened as f64)),
+        ("retired", retired.map_or(Json::Null, |s| Json::Num(s as f64))),
+        ("window_span", span_json(window_span)),
+    ])
+}
+
+/// The `subscribe` handshake: acknowledges the stream and reports the
+/// epoch the following event frames start after.
+pub fn subscribe_response(epoch: u64, window_span: Option<(u64, u64)>) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("verb", Json::Str("subscribe".into())),
+        ("epoch", Json::Num(epoch as f64)),
+        ("window_span", window_span.map_or(Json::Null, span_json)),
+    ])
+}
+
+/// One rule-churn event frame: the rules `added` and `dropped` by the
+/// epoch, as raw rule objects ([`rule_json`] encoding). `resync` marks a
+/// baseline frame whose `added` is the *full* current rule set (sent when
+/// a resuming subscriber's gap exceeds the server's retained history —
+/// replaying events after a resync still reconstructs the live set).
+pub fn event_frame(
+    epoch: u64,
+    window_span: Option<(u64, u64)>,
+    added: Vec<Json>,
+    dropped: Vec<Json>,
+    resync: bool,
+) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("verb", Json::Str("event".into())),
+        ("epoch", Json::Num(epoch as f64)),
+        ("window_span", window_span.map_or(Json::Null, span_json)),
+        ("resync", Json::Bool(resync)),
+        ("added", Json::Arr(added)),
+        ("dropped", Json::Arr(dropped)),
+    ])
+}
+
+/// The final frame a subscriber receives when its bounded queue
+/// overflowed: the server dropped the subscriber (never itself) and tells
+/// it the epoch to resume from (`subscribe` with `from_epoch`).
+pub fn lagged_frame(epoch: u64) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str("lagged".into())),
+        (
+            "message",
+            Json::Str("subscriber queue overflowed; resubscribe with from_epoch to resume".into()),
+        ),
+        ("epoch", Json::Num(epoch as f64)),
+    ])
+}
+
+fn span_json((oldest, open): (u64, u64)) -> Json {
+    Json::Arr(vec![Json::Num(oldest as f64), Json::Num(open as f64)])
 }
 
 /// The `shard_ingest` success response. `applied` is `false` when `seq`
@@ -479,6 +590,9 @@ mod tests {
             Request::Stats,
             Request::Metrics,
             Request::Snapshot,
+            Request::Advance,
+            Request::Subscribe { from_epoch: None },
+            Request::Subscribe { from_epoch: Some(17) },
             Request::Shutdown,
             Request::ShardIngest { seq: 42, rows: vec![vec![0.5, -1.0]] },
             Request::PullSnapshot,
@@ -504,6 +618,8 @@ mod tests {
             (r#"{"verb":"ingest","rows":[[1],"x"]}"#, "row 1"),
             (r#"{"verb":"query","degree_factor":"big"}"#, "degree_factor"),
             (r#"{"verb":"query","max_rules":-1}"#, "max_rules"),
+            (r#"{"verb":"subscribe","from_epoch":-1}"#, "from_epoch"),
+            (r#"{"verb":"subscribe","from_epoch":"x"}"#, "from_epoch"),
             (r#"{"verb":"shard_ingest","rows":[]}"#, "seq"),
             (r#"{"verb":"shard_ingest","seq":1}"#, "rows"),
             (r#"{"verb":"shard_rescan","rules":[]}"#, "clusters"),

@@ -21,13 +21,15 @@
 //!   accepting, drains queued connections, joins every thread, closes the
 //!   epoch, and writes a final snapshot.
 
+use crate::churn::{ChurnFeed, SubscriptionRx};
 use crate::durability::{persist_snapshot, Durability};
 use crate::json::{self, Json};
 use crate::protocol::{self, Request};
 use crate::shared::SharedEngine;
 use crate::stats::{ServerStats, StatsSnapshot};
 use dar_durable::{DiskStorage, Storage};
-use dar_engine::DarEngine;
+use dar_stream::{EngineBackend, WindowedIngest};
+use mining::RuleQuery;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -115,7 +117,21 @@ struct WorkerCtx {
     stats: Arc<ServerStats>,
     shutdown: Arc<ShutdownSignal>,
     durability: Option<Arc<Durability>>,
+    churn: Arc<ChurnFeed>,
     config: ServeConfig,
+}
+
+/// What a request line asks the connection loop to do after the response.
+enum Action {
+    /// Keep serving this connection.
+    Continue,
+    /// Trigger server shutdown (the `shutdown` verb).
+    Shutdown,
+    /// Hand the connection to the churn feed as a long-lived subscriber.
+    Subscribe {
+        /// The resume point from the `subscribe` request.
+        from_epoch: Option<u64>,
+    },
 }
 
 /// The running server's entry point.
@@ -132,13 +148,20 @@ impl Server {
     /// Propagates bind failures and unrepairable durability artifacts.
     ///
     /// Note: the engine passed in should already be recovered (see
-    /// [`crate::recover_engine`]); this constructor only reopens the
-    /// durable store to position the WAL sequence counter.
-    pub fn start(engine: DarEngine, addr: &str, config: ServeConfig) -> io::Result<ServerHandle> {
+    /// [`crate::recover_engine`] / [`crate::recover_backend`]); this
+    /// constructor only reopens the durable store to position the WAL
+    /// sequence counter. Accepts a plain [`dar_engine::DarEngine`], a sliding-window
+    /// [`dar_stream::WindowedEngine`], or an [`EngineBackend`].
+    pub fn start(
+        engine: impl Into<EngineBackend>,
+        addr: &str,
+        config: ServeConfig,
+    ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(SharedEngine::new(engine));
         let stats = Arc::new(ServerStats::default());
+        let churn = Arc::new(ChurnFeed::new());
         let shutdown = Arc::new(ShutdownSignal { flag: AtomicBool::new(false), addr: local_addr });
         let durability = if config.snapshot_path.is_some() || config.wal_path.is_some() {
             Some(Arc::new(Durability::open(
@@ -161,6 +184,7 @@ impl Server {
                 stats: Arc::clone(&stats),
                 shutdown: Arc::clone(&shutdown),
                 durability: durability.clone(),
+                churn: Arc::clone(&churn),
                 config: config.clone(),
             };
             workers.push(
@@ -216,6 +240,7 @@ impl Server {
             workers,
             snapshotter,
             durability,
+            churn,
             snapshot_path: config.snapshot_path,
             exposer,
         })
@@ -233,6 +258,7 @@ pub struct ServerHandle {
     workers: Vec<JoinHandle<()>>,
     snapshotter: Option<JoinHandle<()>>,
     durability: Option<Arc<Durability>>,
+    churn: Arc<ChurnFeed>,
     snapshot_path: Option<PathBuf>,
     exposer: Option<dar_obs::MetricsExposer>,
 }
@@ -298,6 +324,8 @@ impl ServerHandle {
         if let Some(snapshotter) = self.snapshotter.take() {
             let _ = snapshotter.join();
         }
+        // Disconnect every churn subscriber and join their threads.
+        self.churn.close();
         if let Some(mut exposer) = self.exposer.take() {
             exposer.shutdown();
         }
@@ -384,14 +412,32 @@ fn serve_connection(stream: TcpStream, ctx: &WorkerCtx) -> io::Result<()> {
             continue;
         }
         let started = Instant::now();
-        let (response, verb, shutdown_after) = handle_line(&line, ctx);
+        let (response, verb, action) = handle_line(&line, ctx);
+        if let Action::Subscribe { from_epoch } = action {
+            // The connection stops being request/response: register with
+            // the churn feed (handshake + catch-up under the feed's lock,
+            // so no event falls in between), then hand the socket to a
+            // dedicated pusher thread and free this worker.
+            let subscription = ctx.churn.subscribe(from_epoch);
+            let handshake =
+                protocol::subscribe_response(subscription.epoch, subscription.window_span).encode();
+            writeln!(writer, "{handshake}")?;
+            writer.flush()?;
+            ctx.stats.record_latency(verb, started.elapsed());
+            ctx.stats.record_io(verb, line.len() as u64 + 1, handshake.len() as u64 + 1);
+            let handle = std::thread::Builder::new()
+                .name("dar-serve-subscriber".into())
+                .spawn(move || subscriber_loop(writer, subscription))?;
+            ctx.churn.track(handle);
+            return Ok(());
+        }
         let encoded = response.encode();
         writeln!(writer, "{encoded}")?;
         writer.flush()?;
         ctx.stats.record_latency(verb, started.elapsed());
         // +1 on each side for the newline framing the codec strips/adds.
         ctx.stats.record_io(verb, line.len() as u64 + 1, encoded.len() as u64 + 1);
-        if shutdown_after {
+        if matches!(action, Action::Shutdown) {
             ctx.shutdown.trigger();
             break;
         }
@@ -399,17 +445,44 @@ fn serve_connection(stream: TcpStream, ctx: &WorkerCtx) -> io::Result<()> {
     Ok(())
 }
 
+/// The long-lived half of a `subscribe` connection: pushes event lines as
+/// the feed delivers them; a disconnect means either a server shutdown
+/// (hang up silently) or a lagged cut (write the structured final frame
+/// first). A client that stopped reading fails the write and is reaped by
+/// the publisher on its next fan-out.
+fn subscriber_loop(mut writer: BufWriter<TcpStream>, subscription: SubscriptionRx) {
+    loop {
+        match subscription.rx.recv() {
+            Ok(line) => {
+                if writeln!(writer, "{line}").and_then(|()| writer.flush()).is_err() {
+                    return;
+                }
+            }
+            Err(_) => {
+                if subscription.cut.is_lagged() {
+                    let line = protocol::lagged_frame(subscription.cut.epoch()).encode();
+                    let _ = writeln!(writer, "{line}");
+                    let _ = writer.flush();
+                }
+                return;
+            }
+        }
+    }
+}
+
 /// Dispatches one request line; returns the response, the verb label the
 /// request's latency is recorded under (`"error"` when it never resolved
-/// to a verb), and whether the server should shut down after the response
+/// to a verb), and what the connection loop should do after the response
 /// is written.
-fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, &'static str, bool) {
+fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, &'static str, Action) {
     let request = match json::parse(line) {
         Ok(value) => match Request::from_json(&value) {
             Ok(request) => request,
-            Err(message) => return (error(ctx, "bad-request", &message), "error", false),
+            Err(message) => {
+                return (error(ctx, "bad-request", &message), "error", Action::Continue)
+            }
         },
-        Err(e) => return (error(ctx, "bad-json", &e.to_string()), "error", false),
+        Err(e) => return (error(ctx, "bad-json", &e.to_string()), "error", Action::Continue),
     };
     let verb = match &request {
         Request::Ingest { .. } => "ingest",
@@ -419,6 +492,8 @@ fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, &'static str, bool) {
         Request::Metrics => "metrics",
         Request::Snapshot => "snapshot",
         Request::Shutdown => "shutdown",
+        Request::Advance => "advance",
+        Request::Subscribe { .. } => "subscribe",
         Request::ShardIngest { .. } => "shard_ingest",
         Request::PullSnapshot => "pull_snapshot",
         Request::ShardStats => "shard_stats",
@@ -427,14 +502,38 @@ fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, &'static str, bool) {
     let count = |counter: &std::sync::atomic::AtomicU64| {
         counter.fetch_add(1, Ordering::Relaxed);
     };
-    let (response, shutdown_after) = match request {
+    let (response, action) = match request {
         Request::Ingest { rows } => match commit_batch(ctx, &rows) {
-            Ok(total) => {
+            Ok((total, _)) => {
                 count(&ctx.stats.ingest_requests);
-                (protocol::ingest_response(rows.len() as u64, total), false)
+                (protocol::ingest_response(rows.len() as u64, total), Action::Continue)
             }
-            Err(response) => (response, false),
+            Err(response) => (response, Action::Continue),
         },
+        Request::Advance => match advance_window(ctx) {
+            Ok(response) => {
+                count(&ctx.stats.advance_requests);
+                (response, Action::Continue)
+            }
+            Err(response) => (response, Action::Continue),
+        },
+        Request::Subscribe { from_epoch } => {
+            if ctx.shared.is_windowed() {
+                count(&ctx.stats.subscribe_requests);
+                // The handshake is written by the connection loop, under
+                // the feed's lock, so no event can slip in between.
+                (Json::Null, Action::Subscribe { from_epoch })
+            } else {
+                (
+                    error(
+                        ctx,
+                        "unsupported",
+                        "subscriptions require a windowed server (--window-batches)",
+                    ),
+                    Action::Continue,
+                )
+            }
+        }
         Request::ShardIngest { seq, rows } => {
             count(&ctx.stats.shard_ingest_requests);
             // Duplicate suppression: the coordinator retries at-least-once,
@@ -444,17 +543,20 @@ fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, &'static str, bool) {
             if seq <= ctx.stats.shard_last_seq.load(Ordering::SeqCst) {
                 count(&ctx.stats.shard_dup_batches);
                 let total = ctx.shared.tuples();
-                (protocol::shard_ingest_response(seq, false, rows.len() as u64, total), false)
+                (
+                    protocol::shard_ingest_response(seq, false, rows.len() as u64, total),
+                    Action::Continue,
+                )
             } else {
                 match commit_batch(ctx, &rows) {
-                    Ok(total) => {
+                    Ok((total, _)) => {
                         ctx.stats.shard_last_seq.fetch_max(seq, Ordering::SeqCst);
                         (
                             protocol::shard_ingest_response(seq, true, rows.len() as u64, total),
-                            false,
+                            Action::Continue,
                         )
                     }
-                    Err(response) => (response, false),
+                    Err(response) => (response, Action::Continue),
                 }
             }
         }
@@ -463,9 +565,9 @@ fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, &'static str, bool) {
                 count(&ctx.stats.pull_snapshot_requests);
                 let sealed =
                     dar_durable::seal(&text, ctx.stats.shard_last_seq.load(Ordering::SeqCst));
-                (protocol::pull_snapshot_response(epoch, tuples, &sealed), false)
+                (protocol::pull_snapshot_response(epoch, tuples, &sealed), Action::Continue)
             }
-            Err(e) => (error(ctx, "snapshot", &e.to_string()), false),
+            Err(e) => (error(ctx, "snapshot", &e.to_string()), Action::Continue),
         },
         Request::ShardStats => {
             count(&ctx.stats.stats_requests);
@@ -478,31 +580,31 @@ fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, &'static str, bool) {
                     ctx.stats.is_degraded(),
                     ctx.stats.shard_last_seq.load(Ordering::SeqCst),
                 ),
-                false,
+                Action::Continue,
             )
         }
         Request::ShardRescan { clusters, rules } => match shard_rescan(ctx, &clusters, &rules) {
             Ok(response) => {
                 count(&ctx.stats.shard_rescan_requests);
-                (response, false)
+                (response, Action::Continue)
             }
-            Err((code, message)) => (error(ctx, code, &message), false),
+            Err((code, message)) => (error(ctx, code, &message), Action::Continue),
         },
         Request::Query { query } => match ctx.shared.query(&query) {
             Ok(outcome) => {
                 count(&ctx.stats.query_requests);
-                (protocol::query_response(&outcome), false)
+                (protocol::query_response(&outcome), Action::Continue)
             }
-            Err(e) => (error(ctx, "bad-query", &e.to_string()), false),
+            Err(e) => (error(ctx, "bad-query", &e.to_string()), Action::Continue),
         },
         Request::Clusters => {
             count(&ctx.stats.clusters_requests);
             let (epoch, clusters) = ctx.shared.clusters();
-            (protocol::clusters_response(epoch, &clusters), false)
+            (protocol::clusters_response(epoch, &clusters), Action::Continue)
         }
         Request::Metrics => {
             count(&ctx.stats.metrics_requests);
-            (protocol::metrics_response(), false)
+            (protocol::metrics_response(), Action::Continue)
         }
         Request::Stats => {
             count(&ctx.stats.stats_requests);
@@ -513,7 +615,7 @@ fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, &'static str, bool) {
                 ("server", ctx.stats.snapshot().to_json()),
                 ("engine", protocol::engine_stats_json(&engine_stats, read_hits)),
             ]);
-            (response, false)
+            (response, Action::Continue)
         }
         Request::Snapshot => match (&ctx.durability, &ctx.config.snapshot_path) {
             (Some(durability), Some(path)) => {
@@ -521,37 +623,41 @@ fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, &'static str, bool) {
                     Ok((epoch, tuples)) => {
                         count(&ctx.stats.snapshot_requests);
                         let shown = path.display().to_string();
-                        (protocol::snapshot_response(epoch, tuples, Some(&shown)), false)
+                        (protocol::snapshot_response(epoch, tuples, Some(&shown)), Action::Continue)
                     }
-                    Err(e) => (error(ctx, "io", &e.to_string()), false),
+                    Err(e) => (error(ctx, "io", &e.to_string()), Action::Continue),
                 }
             }
             _ => match ctx.shared.snapshot() {
                 Ok((_, epoch, tuples)) => {
                     count(&ctx.stats.snapshot_requests);
-                    (protocol::snapshot_response(epoch, tuples, None), false)
+                    (protocol::snapshot_response(epoch, tuples, None), Action::Continue)
                 }
-                Err(e) => (error(ctx, "snapshot", &e.to_string()), false),
+                Err(e) => (error(ctx, "snapshot", &e.to_string()), Action::Continue),
             },
         },
         Request::Shutdown => {
             if ctx.config.allow_remote_shutdown {
                 count(&ctx.stats.shutdown_requests);
-                (protocol::shutdown_response(), true)
+                (protocol::shutdown_response(), Action::Shutdown)
             } else {
-                (error(ctx, "forbidden", "remote shutdown is disabled"), false)
+                (error(ctx, "forbidden", "remote shutdown is disabled"), Action::Continue)
             }
         }
     };
-    (response, verb, shutdown_after)
+    (response, verb, action)
 }
 
 /// The shared writer-path commit protocol for `ingest` and
 /// `shard_ingest`: refuse in degraded mode, apply to the engine under
 /// store-before-engine lock order, append to the WAL, and acknowledge
-/// only after the append. Returns the engine's post-batch tuple total, or
-/// the structured error response to send instead.
-fn commit_batch(ctx: &WorkerCtx, rows: &[Vec<f64>]) -> Result<u64, Json> {
+/// only after the append. A windowed backend's batches are logged as
+/// *tagged* frames carrying the window sequence they landed in, so
+/// recovery rebuilds the ring exactly; a batch that sealed a window also
+/// publishes rule churn to subscribers (after the store lock drops).
+/// Returns the engine's post-batch tuple total plus the window movement,
+/// or the structured error response to send instead.
+fn commit_batch(ctx: &WorkerCtx, rows: &[Vec<f64>]) -> Result<(u64, Option<WindowedIngest>), Json> {
     if ctx.stats.is_degraded() {
         return Err(error(
             ctx,
@@ -565,29 +671,106 @@ fn commit_batch(ctx: &WorkerCtx, rows: &[Vec<f64>]) -> Result<u64, Json> {
     // that was acknowledged.
     let mut store =
         ctx.durability.as_ref().filter(|_| ctx.config.wal_path.is_some()).map(|d| d.lock());
-    match ctx.shared.ingest(rows) {
-        Ok(total) => {
-            if let Some(store) = store.as_deref_mut() {
-                // Apply-then-log: acknowledge only once the batch is both
-                // in memory and on the log.
-                if let Err(e) = store.log_batch(rows) {
-                    ctx.stats.wal_append_failures.fetch_add(1, Ordering::Relaxed);
-                    ctx.stats.set_degraded();
-                    return Err(error(
-                        ctx,
-                        "degraded",
-                        &format!(
-                            "batch applied in memory but not committed to the \
-                             write-ahead log ({e}); entering read-only mode"
-                        ),
-                    ));
-                }
-                ctx.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
-            }
-            Ok(total)
+    let (total, windowed) = match ctx.shared.ingest(rows) {
+        Ok(outcome) => outcome,
+        Err(e) => return Err(error(ctx, "rejected", &e.to_string())),
+    };
+    if let Some(store) = store.as_deref_mut() {
+        // Apply-then-log: acknowledge only once the batch is both
+        // in memory and on the log.
+        let logged = match &windowed {
+            Some(w) => store.log_tagged_batch(w.window_seq, rows),
+            None => store.log_batch(rows),
+        };
+        if let Err(e) = logged {
+            ctx.stats.wal_append_failures.fetch_add(1, Ordering::Relaxed);
+            ctx.stats.set_degraded();
+            return Err(error(
+                ctx,
+                "degraded",
+                &format!(
+                    "batch applied in memory but not committed to the \
+                     write-ahead log ({e}); entering read-only mode"
+                ),
+            ));
         }
-        Err(e) => Err(error(ctx, "rejected", &e.to_string())),
+        ctx.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
     }
+    drop(store);
+    if windowed.as_ref().is_some_and(|w| w.advanced) {
+        publish_churn(ctx);
+    }
+    Ok((total, windowed))
+}
+
+/// The `advance` verb: seal the open window explicitly (windowed backend
+/// only), log an empty tagged frame as the advance marker so recovery
+/// replays the seal at the same point in the batch order, and publish the
+/// resulting rule churn.
+fn advance_window(ctx: &WorkerCtx) -> Result<Json, Json> {
+    if !ctx.shared.is_windowed() {
+        return Err(error(
+            ctx,
+            "unsupported",
+            "advance requires a windowed server (--window-batches)",
+        ));
+    }
+    if ctx.stats.is_degraded() {
+        return Err(error(
+            ctx,
+            "degraded",
+            "write-ahead log unavailable; serving reads only — \
+             restart with healthy storage to resume ingest",
+        ));
+    }
+    // Same store-before-engine order as commit_batch: the advance marker
+    // must land in the log exactly where the seal happened.
+    let mut store =
+        ctx.durability.as_ref().filter(|_| ctx.config.wal_path.is_some()).map(|d| d.lock());
+    let outcome = match ctx.shared.advance() {
+        Ok(outcome) => outcome,
+        Err(e) => return Err(error(ctx, "rejected", &e.to_string())),
+    };
+    if let Some(store) = store.as_deref_mut() {
+        // An empty frame tagged with the freshly-opened window: replay
+        // fast-forwards `open_seq` past the sealed window and ingests
+        // nothing.
+        if let Err(e) = store.log_tagged_batch(outcome.opened_seq, &[]) {
+            ctx.stats.wal_append_failures.fetch_add(1, Ordering::Relaxed);
+            ctx.stats.set_degraded();
+            return Err(error(
+                ctx,
+                "degraded",
+                &format!(
+                    "window advanced in memory but not committed to the \
+                     write-ahead log ({e}); entering read-only mode"
+                ),
+            ));
+        }
+        ctx.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
+    }
+    drop(store);
+    publish_churn(ctx);
+    let span = ctx.shared.window_span().unwrap_or((0, outcome.opened_seq));
+    Ok(protocol::advance_response(
+        outcome.sealed_seq,
+        outcome.opened_seq,
+        outcome.retired_seq,
+        span,
+    ))
+}
+
+/// Mines the live horizon at default thresholds and hands the encoded
+/// rule set to the churn feed, which diffs it against the previous epoch
+/// and fans events out to subscribers. Called after a window seal, with
+/// no locks held — the query takes the engine lock, the feed its own.
+fn publish_churn(ctx: &WorkerCtx) {
+    let Ok(outcome) = ctx.shared.query(&RuleQuery::default()) else {
+        return; // a failed default query leaves subscribers at the old epoch
+    };
+    let rules: Vec<String> =
+        outcome.rules.iter().map(|rule| protocol::rule_json(rule).encode()).collect();
+    ctx.churn.publish(outcome.epoch, ctx.shared.window_span(), rules);
 }
 
 /// The `shard_rescan` verb: re-read this shard's write-ahead log, assign
@@ -621,7 +804,7 @@ fn shard_rescan(
         partitioning.sets().iter().flat_map(|s| s.attrs.iter()).copied().max().map_or(0, |m| m + 1);
     let mut builder = dar_core::RelationBuilder::new(dar_core::Schema::interval_attrs(width));
     for record in &records {
-        let rows = dar_durable::decode_batch(&record.body)
+        let (_, rows) = dar_durable::decode_frame(&record.body)
             .map_err(|e| ("io", format!("WAL record {}: {e}", record.seq)))?;
         for row in &rows {
             builder.push_row(row).map_err(|e| ("io", format!("WAL record {}: {e}", record.seq)))?;

@@ -1,39 +1,44 @@
-//! The epoch-aware concurrency wrapper around [`DarEngine`].
+//! The epoch-aware concurrency wrapper around an [`EngineBackend`].
 //!
 //! Theorem 6.1 makes the engine naturally read-concurrent: once an epoch
 //! is closed, a query is a pure function of the cached ACF summaries and
 //! Phase II artifacts. [`SharedEngine`] turns that into an `RwLock`
 //! discipline — many readers answer re-tuned queries from the cached
-//! cliques in parallel through [`DarEngine::query_cached`]; the write lock
-//! is taken only to ingest, close an epoch, build a missing density
-//! setting, or snapshot.
+//! cliques in parallel through [`dar_engine::DarEngine::query_cached`];
+//! the write lock is taken only to ingest, advance a window, close an
+//! epoch, build a missing density setting, or snapshot. The backend is
+//! either a classic all-history engine or a sliding-window
+//! [`dar_stream::WindowedEngine`]; the lock discipline is identical.
 
 use dar_core::{ClusterSummary, CoreError};
-use dar_engine::{DarEngine, EngineStats, QueryOutcome};
+use dar_engine::{EngineStats, QueryOutcome};
+use dar_stream::{AdvanceOutcome, EngineBackend, WindowedIngest};
 use mining::RuleQuery;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-/// A [`DarEngine`] shared between one writer path and many reader
+/// An [`EngineBackend`] shared between one writer path and many reader
 /// threads.
 pub struct SharedEngine {
-    engine: RwLock<DarEngine>,
+    engine: RwLock<EngineBackend>,
     /// Queries answered entirely under the read lock (the engine's own
     /// counters need `&mut`, so the read path keeps its tally here).
     read_hits: AtomicU64,
 }
 
 impl SharedEngine {
-    /// Wraps an engine for shared use.
-    pub fn new(engine: DarEngine) -> Self {
-        SharedEngine { engine: RwLock::new(engine), read_hits: AtomicU64::new(0) }
+    /// Wraps an engine for shared use. Accepts a plain
+    /// [`dar_engine::DarEngine`], a [`dar_stream::WindowedEngine`], or an
+    /// [`EngineBackend`] directly.
+    pub fn new(engine: impl Into<EngineBackend>) -> Self {
+        SharedEngine { engine: RwLock::new(engine.into()), read_hits: AtomicU64::new(0) }
     }
 
-    fn read(&self) -> RwLockReadGuard<'_, DarEngine> {
+    fn read(&self) -> RwLockReadGuard<'_, EngineBackend> {
         self.engine.read().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    fn write(&self) -> RwLockWriteGuard<'_, DarEngine> {
+    fn write(&self) -> RwLockWriteGuard<'_, EngineBackend> {
         self.engine.write().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
@@ -61,22 +66,42 @@ impl SharedEngine {
     }
 
     /// Ingests a batch (single-writer path), returning the engine's total
-    /// tuple count after the batch.
+    /// tuple count after the batch plus, for a windowed backend, what the
+    /// batch did to the window ring (the serving layer tags the WAL frame
+    /// and publishes rule churn from it).
     ///
     /// # Errors
-    /// Validation errors from [`DarEngine::ingest`]; the batch is rejected
-    /// whole and the engine is untouched.
-    pub fn ingest(&self, rows: &[Vec<f64>]) -> Result<u64, CoreError> {
+    /// Validation errors from ingest; the batch is rejected whole and the
+    /// engine is untouched.
+    pub fn ingest(&self, rows: &[Vec<f64>]) -> Result<(u64, Option<WindowedIngest>), CoreError> {
         let mut engine = self.write();
-        engine.ingest(rows)?;
-        Ok(engine.tuples())
+        let windowed = engine.ingest(rows)?;
+        Ok((engine.tuples(), windowed))
+    }
+
+    /// Seals the open window explicitly (windowed backend only).
+    ///
+    /// # Errors
+    /// The static backend has no windows to advance.
+    pub fn advance(&self) -> Result<AdvanceOutcome, CoreError> {
+        self.write().advance()
+    }
+
+    /// Whether the backend mines a sliding window.
+    pub fn is_windowed(&self) -> bool {
+        self.read().is_windowed()
+    }
+
+    /// The live window horizon `(oldest seq, open seq)`, if windowed.
+    pub fn window_span(&self) -> Option<(u64, u64)> {
+        self.read().window_span()
     }
 
     /// Closes the current epoch (if open) and serializes it, returning
     /// `(text, epoch, tuples)`.
     ///
     /// # Errors
-    /// Serialization errors from [`DarEngine::snapshot`].
+    /// Serialization errors from the backend snapshot.
     pub fn snapshot(&self) -> Result<(String, u64, u64), CoreError> {
         let mut engine = self.write();
         let text = engine.snapshot()?;
@@ -96,7 +121,8 @@ impl SharedEngine {
         (self.read().stats(), self.read_hits.load(Ordering::Relaxed))
     }
 
-    /// Lifetime tuple count (read lock only).
+    /// Tuples in the mining horizon (read lock only) — lifetime count for
+    /// an all-history backend, live-window count for a windowed one.
     pub fn tuples(&self) -> u64 {
         self.read().tuples()
     }
@@ -125,15 +151,22 @@ impl SharedEngine {
 mod tests {
     use super::*;
     use dar_core::{Metric, Partitioning, Schema};
-    use dar_engine::EngineConfig;
+    use dar_engine::{DarEngine, EngineConfig};
+    use dar_stream::{RetirePolicy, WindowSpec, WindowedEngine};
 
-    fn shared() -> SharedEngine {
-        let schema = Schema::interval_attrs(2);
-        let partitioning = Partitioning::per_attribute(&schema, Metric::Euclidean);
+    fn config() -> EngineConfig {
         let mut config = EngineConfig::default();
         config.birch.initial_threshold = 1.0;
         config.min_support_frac = 0.2;
-        SharedEngine::new(DarEngine::new(partitioning, config).unwrap())
+        config
+    }
+
+    fn partitioning() -> Partitioning {
+        Partitioning::per_attribute(&Schema::interval_attrs(2), Metric::Euclidean)
+    }
+
+    fn shared() -> SharedEngine {
+        SharedEngine::new(DarEngine::new(partitioning(), config()).unwrap())
     }
 
     fn rows(n: usize) -> Vec<Vec<f64>> {
@@ -148,7 +181,7 @@ mod tests {
     #[test]
     fn first_query_builds_then_readers_hit() {
         let shared = shared();
-        assert_eq!(shared.ingest(&rows(40)).unwrap(), 40);
+        assert_eq!(shared.ingest(&rows(40)).unwrap(), (40, None));
         let q = RuleQuery::default();
         let first = shared.query(&q).unwrap();
         assert!(!first.cached);
@@ -172,5 +205,31 @@ mod tests {
         let after = shared.query(&q).unwrap();
         assert!(after.epoch > before.epoch);
         assert!(!after.cached);
+    }
+
+    #[test]
+    fn windowed_backend_reports_window_movement() {
+        let engine = WindowedEngine::new(
+            partitioning(),
+            config(),
+            WindowSpec { batches: 1, slots: 2 },
+            RetirePolicy::Remerge,
+        )
+        .unwrap();
+        let windowed = SharedEngine::new(engine);
+        assert!(windowed.is_windowed());
+        assert_eq!(windowed.window_span(), Some((0, 0)));
+        let (total, info) = windowed.ingest(&rows(40)).unwrap();
+        let info = info.expect("windowed backend reports window movement");
+        assert_eq!(total, 40, "one-batch windows: the batch fills window 0");
+        assert!(info.advanced);
+        assert_eq!(info.window_seq, 0);
+        let out = windowed.advance().unwrap();
+        assert_eq!(out.retired_seq, Some(0), "two slots overflow on the second seal");
+        assert_eq!(windowed.tuples(), 0, "window 0's rows left the horizon");
+
+        let fixed = shared();
+        assert!(!fixed.is_windowed());
+        assert!(fixed.advance().is_err(), "static backend refuses advance");
     }
 }

@@ -37,6 +37,10 @@ pub struct ServerStats {
     pub shutdown_requests: AtomicU64,
     /// `metrics` requests served.
     pub metrics_requests: AtomicU64,
+    /// `advance` requests served (explicit window seals).
+    pub advance_requests: AtomicU64,
+    /// `subscribe` requests served (accepted churn subscriptions).
+    pub subscribe_requests: AtomicU64,
     /// `shard_ingest` requests served (coordinator-routed batches,
     /// including duplicate acknowledgements).
     pub shard_ingest_requests: AtomicU64,
@@ -133,6 +137,8 @@ impl ServerStats {
             snapshot_requests: get(&self.snapshot_requests),
             shutdown_requests: get(&self.shutdown_requests),
             metrics_requests: get(&self.metrics_requests),
+            advance_requests: get(&self.advance_requests),
+            subscribe_requests: get(&self.subscribe_requests),
             shard_ingest_requests: get(&self.shard_ingest_requests),
             shard_dup_batches: get(&self.shard_dup_batches),
             pull_snapshot_requests: get(&self.pull_snapshot_requests),
@@ -174,6 +180,10 @@ pub struct StatsSnapshot {
     pub shutdown_requests: u64,
     /// `metrics` requests served.
     pub metrics_requests: u64,
+    /// `advance` requests served (explicit window seals).
+    pub advance_requests: u64,
+    /// `subscribe` requests served (accepted churn subscriptions).
+    pub subscribe_requests: u64,
     /// `shard_ingest` requests served (including duplicate acks).
     pub shard_ingest_requests: u64,
     /// `shard_ingest` duplicates acknowledged without re-applying.
@@ -222,6 +232,8 @@ impl StatsSnapshot {
             + self.snapshot_requests
             + self.shutdown_requests
             + self.metrics_requests
+            + self.advance_requests
+            + self.subscribe_requests
             + self.shard_ingest_requests
             + self.pull_snapshot_requests
             + self.shard_rescan_requests
@@ -239,6 +251,8 @@ impl StatsSnapshot {
             ("snapshot_requests", Json::Num(self.snapshot_requests as f64)),
             ("shutdown_requests", Json::Num(self.shutdown_requests as f64)),
             ("metrics_requests", Json::Num(self.metrics_requests as f64)),
+            ("advance_requests", Json::Num(self.advance_requests as f64)),
+            ("subscribe_requests", Json::Num(self.subscribe_requests as f64)),
             ("shard_ingest_requests", Json::Num(self.shard_ingest_requests as f64)),
             ("shard_dup_batches", Json::Num(self.shard_dup_batches as f64)),
             ("pull_snapshot_requests", Json::Num(self.pull_snapshot_requests as f64)),

@@ -1,0 +1,83 @@
+//! Rule-churn diffs over already-encoded rule lines.
+//!
+//! The diff unit is one rule's canonical wire encoding (the deterministic
+//! `dar-serve` JSON codec renders each rule to a byte-stable string), so
+//! set membership is plain string equality and a diff of two epochs is
+//! itself byte-stable: replaying `added`/`dropped` events in order
+//! reconstructs the final rule set exactly.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// The churn between two epochs' rule sets.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RuleDiff {
+    /// Rules present now but not before, in current-epoch order.
+    pub added: Vec<String>,
+    /// Rules present before but not now, in previous-epoch order.
+    pub dropped: Vec<String>,
+}
+
+impl RuleDiff {
+    /// True when the two epochs held the same rules.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.dropped.is_empty()
+    }
+}
+
+/// Diffs two encoded rule sets. `added` keeps `next`'s order and `dropped`
+/// keeps `prev`'s order, so the output is a pure function of the two
+/// inputs — no hashing order leaks through. Observes
+/// [`metrics::diff_ns`](crate::metrics::StreamMetrics::diff_ns).
+pub fn diff(prev: &[String], next: &[String]) -> RuleDiff {
+    let t = Instant::now();
+    let before: HashSet<&str> = prev.iter().map(String::as_str).collect();
+    let after: HashSet<&str> = next.iter().map(String::as_str).collect();
+    let added = next.iter().filter(|r| !before.contains(r.as_str())).cloned().collect();
+    let dropped = prev.iter().filter(|r| !after.contains(r.as_str())).cloned().collect();
+    crate::metrics::metrics().diff_ns.observe_duration(t.elapsed());
+    RuleDiff { added, dropped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_string()).collect()
+    }
+
+    #[test]
+    fn diff_preserves_input_order_and_membership() {
+        let prev = s(&["a", "b", "c"]);
+        let next = s(&["c", "d", "b", "e"]);
+        let d = diff(&prev, &next);
+        assert_eq!(d.added, s(&["d", "e"]));
+        assert_eq!(d.dropped, s(&["a"]));
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn identical_sets_diff_empty() {
+        let rules = s(&["r1", "r2"]);
+        assert!(diff(&rules, &rules).is_empty());
+        assert!(diff(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn replaying_diffs_reconstructs_the_final_set() {
+        let epochs = [s(&["a", "b"]), s(&["b", "c", "d"]), s(&["d"]), s(&["d", "e", "a"])];
+        let mut replayed: Vec<String> = Vec::new();
+        for window in epochs.windows(2) {
+            let d = diff(&window[0], &window[1]);
+            replayed = window[0].clone();
+            replayed.retain(|r| !d.dropped.contains(r));
+            replayed.extend(d.added.clone());
+            let mut want = window[1].clone();
+            want.sort();
+            replayed.sort();
+            assert_eq!(replayed, want);
+        }
+        assert!(!replayed.is_empty());
+    }
+}
