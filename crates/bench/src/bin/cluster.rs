@@ -13,7 +13,7 @@ use dar_bench::{print_table, secs, time};
 use dar_cluster::{ClusterConfig, Coordinator};
 use dar_core::{Metric, Partitioning, Schema};
 use dar_engine::{DarEngine, EngineConfig};
-use dar_serve::{json::Json, protocol, ServeConfig, Server, ServerHandle};
+use dar_serve::{json::Json, protocol, Backoff, ServeConfig, Server, ServerHandle};
 use mining::RuleQuery;
 use std::time::Duration;
 
@@ -107,6 +107,83 @@ fn start_shards(count: usize) -> (Vec<ServerHandle>, Vec<String>) {
     (handles, addrs)
 }
 
+/// Degraded-mode numbers: four shards behind an `--allow-partial`
+/// coordinator, one killed mid-run. `first_degraded_query_ms` pays the
+/// failure discovery (refused connect, retry policy, demotion to Down);
+/// `steady_degraded_query_ms` rides the fast-fail path where no socket
+/// is touched for the dead shard.
+struct Degraded {
+    healthy_query_ms: f64,
+    first_degraded_query_ms: f64,
+    steady_degraded_query_ms: f64,
+    coverage: f64,
+    live_shards: usize,
+    total_shards: usize,
+}
+
+fn measure_degraded(batches: &[Vec<Vec<f64>>], batch_size: usize) -> Degraded {
+    let (mut handles, addrs) = start_shards(4);
+    let config = ClusterConfig {
+        shards: addrs,
+        timeout: timeout(),
+        engine: engine_config(),
+        threads: 2,
+        read_timeout: timeout(),
+        write_timeout: timeout(),
+        allow_partial: true,
+        down_after: 1,
+        deadline: Duration::from_secs(2),
+        backoff: Backoff {
+            attempts: 1,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(20),
+            seed: 0,
+        },
+        probe_interval: Duration::from_millis(100),
+        probe_timeout: Duration::from_millis(100),
+        ..ClusterConfig::default()
+    };
+    let mut coordinator = Coordinator::connect(config).unwrap();
+    for batch in batches {
+        coordinator.ingest(batch).unwrap();
+    }
+
+    let ((_, healthy), healthy_wall) = time(|| coordinator.query(&RuleQuery::default()).unwrap());
+    assert!(!healthy.degraded, "all four shards are up: the first query must be full-coverage");
+
+    // Kill one shard for good; the coordinator has not seen it fail yet.
+    let victim = handles.remove(1);
+    victim.shutdown();
+    victim.join().unwrap();
+
+    // A fresh batch dirties the merged view so the next query re-pulls
+    // and discovers the dead shard (home of this seq is a live shard).
+    coordinator.ingest(&rows(batch_size, batches.len() * batch_size)).unwrap();
+    let ((_, first), first_wall) = time(|| coordinator.query(&RuleQuery::default()).unwrap());
+    assert!(first.degraded, "a dead shard must degrade the answer");
+
+    // Another batch (whose deterministic home IS the dead shard, so it
+    // fails over) and another query: now the dead shard fast-fails.
+    coordinator.ingest(&rows(batch_size, (batches.len() + 1) * batch_size)).unwrap();
+    let ((_, steady), steady_wall) = time(|| coordinator.query(&RuleQuery::default()).unwrap());
+    assert!(steady.degraded);
+
+    drop(coordinator);
+    for handle in handles {
+        handle.shutdown();
+        handle.join().unwrap();
+    }
+
+    Degraded {
+        healthy_query_ms: healthy_wall.as_secs_f64() * 1e3,
+        first_degraded_query_ms: first_wall.as_secs_f64() * 1e3,
+        steady_degraded_query_ms: steady_wall.as_secs_f64() * 1e3,
+        coverage: steady.fraction(),
+        live_shards: steady.live_shards,
+        total_shards: steady.total_shards,
+    }
+}
+
 /// One measured run at a fixed shard count.
 struct Point {
     shards: usize,
@@ -162,7 +239,7 @@ fn main() {
         // snapshot and rebuild one forest from the summed features. The
         // query after it runs Phase II on the already-merged engine.
         let (_, merge_wall) = time(|| coordinator.ensure_merged().unwrap());
-        let (outcome, query_wall) = time(|| coordinator.query(&RuleQuery::default()).unwrap());
+        let ((outcome, _), query_wall) = time(|| coordinator.query(&RuleQuery::default()).unwrap());
         let got_line = protocol::query_response(&outcome).encode();
 
         points.push(Point {
@@ -183,6 +260,9 @@ fn main() {
             handle.join().unwrap();
         }
     }
+
+    // --- degraded mode: 4 shards, 1 killed, partial answers ---------------
+    let degraded = measure_degraded(&batches, opts.batch_size);
 
     let all_match = points.iter().all(|p| p.matches);
     print_table(
@@ -209,6 +289,16 @@ fn main() {
         secs(control_ingest),
         control_query.as_secs_f64() * 1e3,
         control_outcome.rules.len()
+    );
+    println!(
+        "  degraded ({}/{} shards live): healthy query {:.3}ms, first degraded {:.3}ms, \
+         steady degraded {:.3}ms, coverage {:.3}",
+        degraded.live_shards,
+        degraded.total_shards,
+        degraded.healthy_query_ms,
+        degraded.first_degraded_query_ms,
+        degraded.steady_degraded_query_ms,
+        degraded.coverage
     );
     assert!(all_match, "distributed rules diverged from the single engine");
 
@@ -237,6 +327,17 @@ fn main() {
                     })
                     .collect(),
             ),
+        ),
+        (
+            "degraded",
+            Json::obj(vec![
+                ("live_shards", Json::Num(degraded.live_shards as f64)),
+                ("total_shards", Json::Num(degraded.total_shards as f64)),
+                ("healthy_query_ms", Json::Num(degraded.healthy_query_ms)),
+                ("first_degraded_query_ms", Json::Num(degraded.first_degraded_query_ms)),
+                ("steady_degraded_query_ms", Json::Num(degraded.steady_degraded_query_ms)),
+                ("coverage", Json::Num(degraded.coverage)),
+            ]),
         ),
         ("all_match", Json::Bool(all_match)),
     ]);

@@ -1,0 +1,46 @@
+//! # dar-chaos — deterministic network fault injection
+//!
+//! A std-only, seeded TCP fault-injection proxy that sits between any two
+//! halves of the DAR serving stack — coordinator and shard, client and
+//! server — and misbehaves *on schedule*: the fault applied to connection
+//! *k* is a pure function of `(seed, script, k)`, so the same seed always
+//! produces the same fault schedule and a chaos-suite failure reproduces
+//! under the same seed.
+//!
+//! The fault vocabulary mirrors what real networks do to long-lived JSON
+//! framing:
+//!
+//! * [`Fault::Delay`] — fixed added latency per forwarded chunk (a slow
+//!   or congested path; exercises timeout budgets without killing data);
+//! * [`Fault::ResetAfter`] — the connection dies abruptly after *n*
+//!   forwarded bytes (a mid-request reset; exercises retry + idempotent
+//!   replay);
+//! * [`Fault::TruncateResponse`] — the request reaches the server but the
+//!   response is cut after *n* bytes (the nastiest case: the server
+//!   **applied** the operation and the client cannot know; only
+//!   sequence-numbered idempotency makes the retry safe);
+//! * [`Fault::Blackhole`] — the connection opens but nothing is ever
+//!   forwarded (a silent partition; exercises deadline budgets — without
+//!   one, a caller hangs for its full read timeout).
+//!
+//! Scripts compose faults per connection: [`Script::Clean`] (pass
+//! everything), [`Script::Sequence`] (a fixed rotation — precise tests),
+//! [`Script::Random`] (a seeded weighted mix — soak tests). The script is
+//! swappable at runtime ([`ChaosHandle::set_script`]), which is how a
+//! test "heals" the network and asserts re-convergence, or partitions one
+//! shard ([`Script::all`] of [`Fault::Blackhole`]) and asserts honest
+//! degraded serving.
+//!
+//! Nothing here depends on the rest of the workspace: the proxy forwards
+//! opaque bytes, so it can wrap any TCP protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod proxy;
+mod rng;
+mod script;
+
+pub use proxy::{ChaosHandle, ChaosProxy};
+pub use rng::SplitMix64;
+pub use script::{Fault, FaultMix, Script};

@@ -1,0 +1,322 @@
+//! The fault-injecting TCP proxy itself.
+
+use crate::script::{Fault, Script};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often blocked reads wake to poll the shutdown flag. Short enough
+/// that tests tear down promptly; long enough to stay off the profiles.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Forwarding chunk size. Small on purpose: mid-frame cuts and per-chunk
+/// delays should land inside one JSON line, not between lines.
+const CHUNK: usize = 1024;
+
+/// Connection workers, each tagged with the severance generation it was
+/// accepted under — `sever` joins exactly the superseded ones.
+type Workers = Arc<Mutex<Vec<(u64, JoinHandle<()>)>>>;
+
+struct ProxyShared {
+    upstream: SocketAddr,
+    seed: u64,
+    script: Mutex<Script>,
+    shutdown: AtomicBool,
+    /// Severance generation: bumping it makes every in-flight proxied
+    /// connection tear down (each worker captured the value at accept).
+    severed: AtomicU64,
+    connections: AtomicU64,
+    faulted: AtomicU64,
+    /// The fault actually applied to each accepted connection, in accept
+    /// order — the reproducibility log tests compare across runs.
+    schedule: Mutex<Vec<Fault>>,
+}
+
+/// The proxy's entry point.
+pub struct ChaosProxy;
+
+impl ChaosProxy {
+    /// Binds an ephemeral local port and proxies every accepted
+    /// connection to `upstream`, applying the fault `script.fault_for
+    /// (seed, k)` prescribes for connection *k* (0-based, in accept
+    /// order). Returns immediately; the proxy runs on background threads
+    /// until [`ChaosHandle::shutdown`].
+    ///
+    /// # Errors
+    /// Bind failures or an unresolvable upstream address.
+    pub fn start(
+        upstream: impl ToSocketAddrs,
+        seed: u64,
+        script: Script,
+    ) -> io::Result<ChaosHandle> {
+        let upstream = upstream.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "upstream resolved empty")
+        })?;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ProxyShared {
+            upstream,
+            seed,
+            script: Mutex::new(script),
+            shutdown: AtomicBool::new(false),
+            severed: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            faulted: AtomicU64::new(0),
+            schedule: Mutex::new(Vec::new()),
+        });
+        let workers: Workers = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let workers = Arc::clone(&workers);
+            std::thread::Builder::new()
+                .name("dar-chaos-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared, &workers))?
+        };
+        Ok(ChaosHandle { addr, shared, acceptor: Some(acceptor), workers })
+    }
+}
+
+/// A handle to a running proxy.
+pub struct ChaosHandle {
+    addr: SocketAddr,
+    shared: Arc<ProxyShared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Workers,
+}
+
+impl ChaosHandle {
+    /// The proxy's listening address — point the client side here.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Swaps the script for connections accepted from now on — how a test
+    /// heals the network (`Script::Clean`), partitions the upstream
+    /// (`Script::all(Fault::Blackhole)`), or changes the chaos mix
+    /// mid-run. Connections already in flight keep their original fault.
+    pub fn set_script(&self, script: Script) {
+        *lock(&self.shared.script) = script;
+    }
+
+    /// Tears down every in-flight proxied connection while the proxy
+    /// keeps accepting new ones under the current script. `set_script`
+    /// plus `sever` is a partition that cuts established flows too — the
+    /// realistic kind; `set_script` alone only shapes future dials.
+    ///
+    /// Synchronous: returns only after every superseded connection worker
+    /// has exited, so nothing written before the call can still sneak
+    /// through afterward — tests can treat the cut as a clean barrier.
+    pub fn sever(&self) {
+        let new_generation = self.shared.severed.fetch_add(1, Ordering::SeqCst) + 1;
+        let superseded: Vec<(u64, JoinHandle<()>)> = {
+            let mut workers = lock(&self.workers);
+            let all = std::mem::take(&mut *workers);
+            let (old, keep): (Vec<_>, Vec<_>) =
+                all.into_iter().partition(|(generation, _)| *generation < new_generation);
+            *workers = keep;
+            old
+        };
+        for (_, handle) in superseded {
+            let _ = handle.join();
+        }
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.shared.connections.load(Ordering::SeqCst)
+    }
+
+    /// Connections that got a non-[`Fault::Clean`] fault.
+    pub fn faulted(&self) -> u64 {
+        self.shared.faulted.load(Ordering::SeqCst)
+    }
+
+    /// The faults applied so far, in accept order — replaying a run under
+    /// the same seed and script produces this exact sequence.
+    pub fn schedule(&self) -> Vec<Fault> {
+        lock(&self.shared.schedule).clone()
+    }
+
+    /// Stops accepting, tears down every in-flight proxied connection,
+    /// and joins the proxy's threads.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor out of accept(2).
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let handles: Vec<(u64, JoinHandle<()>)> = lock(&self.workers).drain(..).collect();
+        for (_, handle) in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<ProxyShared>,
+    workers: &Mutex<Vec<(u64, JoinHandle<()>)>>,
+) {
+    loop {
+        let client = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let conn = shared.connections.fetch_add(1, Ordering::SeqCst);
+        let fault = lock(&shared.script).fault_for(shared.seed, conn);
+        if fault != Fault::Clean {
+            shared.faulted.fetch_add(1, Ordering::SeqCst);
+        }
+        lock(&shared.schedule).push(fault.clone());
+        let generation = shared.severed.load(Ordering::SeqCst);
+        let shared = Arc::clone(shared);
+        let worker = std::thread::Builder::new()
+            .name(format!("dar-chaos-conn-{conn}"))
+            .spawn(move || serve_connection(client, &fault, &shared, generation));
+        if let Ok(handle) = worker {
+            lock(workers).push((generation, handle));
+        }
+    }
+}
+
+/// Applies `fault` to one proxied connection until either side closes,
+/// the fault fires, the connection is severed, or the proxy shuts down.
+fn serve_connection(client: TcpStream, fault: &Fault, shared: &Arc<ProxyShared>, generation: u64) {
+    if *fault == Fault::Blackhole {
+        return blackhole(client, shared, generation);
+    }
+    let Ok(upstream) = TcpStream::connect_timeout(&shared.upstream, Duration::from_secs(5)) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let _ = client.set_read_timeout(Some(POLL));
+    let _ = upstream.set_read_timeout(Some(POLL));
+
+    let (delay, shared_budget, response_budget) = match fault {
+        Fault::Clean => (None, None, None),
+        Fault::Delay(d) => (Some(*d), None, None),
+        // One budget across both directions: the reset fires wherever the
+        // byte count lands, mid-request or mid-response.
+        Fault::ResetAfter { bytes } => (None, Some(Arc::new(AtomicI64::new(*bytes as i64))), None),
+        Fault::TruncateResponse { bytes } => {
+            (None, None, Some(Arc::new(AtomicI64::new(*bytes as i64))))
+        }
+        Fault::Blackhole => unreachable!("handled above"),
+    };
+
+    let up = Pump { budget: shared_budget.clone(), delay, generation };
+    let down = Pump { budget: shared_budget.or(response_budget), delay, generation };
+    let back = {
+        let upstream = match upstream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let client = match client.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name("dar-chaos-pump".into())
+            .spawn(move || down.run(upstream, client, &shared))
+    };
+    up.run(client, upstream, shared);
+    if let Ok(handle) = back {
+        let _ = handle.join();
+    }
+}
+
+/// Swallow the client's bytes forever, forwarding nothing.
+fn blackhole(client: TcpStream, shared: &ProxyShared, generation: u64) {
+    let _ = client.set_read_timeout(Some(POLL));
+    let mut client = client;
+    let mut sink = [0u8; CHUNK];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst)
+            || shared.severed.load(Ordering::SeqCst) != generation
+        {
+            break;
+        }
+        match client.read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {}
+            Err(_) => break,
+        }
+    }
+    let _ = client.shutdown(Shutdown::Both);
+}
+
+/// One forwarding direction with its fault parameters.
+struct Pump {
+    /// Remaining bytes this pump (or the pair, when shared) may forward;
+    /// crossing zero closes both sockets.
+    budget: Option<Arc<AtomicI64>>,
+    delay: Option<Duration>,
+    /// The severance generation at accept: a bump tears this pump down.
+    generation: u64,
+}
+
+impl Pump {
+    /// Copies `from` into `to` until EOF, an error, the budget running
+    /// out, severance, or proxy shutdown. Closes both sockets on exit so
+    /// the sibling pump (and both endpoints) observe the termination
+    /// promptly.
+    fn run(&self, mut from: TcpStream, mut to: TcpStream, shared: &ProxyShared) {
+        let mut buf = [0u8; CHUNK];
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst)
+                || shared.severed.load(Ordering::SeqCst) != self.generation
+            {
+                break;
+            }
+            let n = match from.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => n,
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    continue;
+                }
+                Err(_) => break,
+            };
+            if let Some(d) = self.delay {
+                std::thread::sleep(d);
+            }
+            let allowed = match &self.budget {
+                Some(budget) => {
+                    let before = budget.fetch_sub(n as i64, Ordering::SeqCst);
+                    before.clamp(0, n as i64) as usize
+                }
+                None => n,
+            };
+            if allowed > 0 && to.write_all(&buf[..allowed]).is_err() {
+                break;
+            }
+            if allowed > 0 && to.flush().is_err() {
+                break;
+            }
+            if allowed < n {
+                break; // budget exhausted: fault fires now
+            }
+        }
+        let _ = from.shutdown(Shutdown::Both);
+        let _ = to.shutdown(Shutdown::Both);
+    }
+}

@@ -1,0 +1,213 @@
+//! The fault vocabulary and the per-connection scheduling scripts.
+
+use crate::rng::SplitMix64;
+use std::time::Duration;
+
+/// What the proxy does to one proxied connection. Every variant is
+/// applied for the connection's whole lifetime — a connection is either
+/// healthy or misbehaves one way, which keeps schedules interpretable
+/// when a test fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Forward everything untouched.
+    Clean,
+    /// Forward everything, sleeping this long before each forwarded
+    /// chunk (both directions).
+    Delay(Duration),
+    /// Forward `bytes` total (both directions combined), then close both
+    /// sockets abruptly — a mid-stream connection reset.
+    ResetAfter {
+        /// Bytes forwarded before the reset.
+        bytes: u64,
+    },
+    /// Forward the client's request bytes untouched, but cut the
+    /// server-to-client direction after `bytes` — the response is
+    /// truncated mid-frame even though the server applied the request.
+    TruncateResponse {
+        /// Response bytes forwarded before the cut.
+        bytes: u64,
+    },
+    /// Accept the connection and forward nothing, ever; reads from the
+    /// client are swallowed so the client's writes appear to succeed. The
+    /// client only escapes via its own read timeout or deadline budget.
+    Blackhole,
+}
+
+/// Weights for [`Script::Random`]: the relative likelihood of each fault
+/// kind, plus the byte/latency ranges misbehaving connections draw from.
+/// All weights zero degenerates to `Clean`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultMix {
+    /// Relative weight of clean connections.
+    pub clean: u32,
+    /// Relative weight of per-chunk-delayed connections.
+    pub delay: u32,
+    /// Relative weight of mid-stream resets.
+    pub reset: u32,
+    /// Relative weight of truncated responses.
+    pub truncate: u32,
+    /// Relative weight of blackholed connections.
+    pub blackhole: u32,
+    /// Delay range for [`Fault::Delay`], in milliseconds (inclusive).
+    pub delay_ms: (u64, u64),
+    /// Byte range for [`Fault::ResetAfter`] / [`Fault::TruncateResponse`]
+    /// (inclusive). Keep the low end above 0 so a reset always lets *some*
+    /// bytes through — a 0-byte reset is indistinguishable from a refused
+    /// connection, which the client layers already cover.
+    pub cut_bytes: (u64, u64),
+}
+
+impl Default for FaultMix {
+    fn default() -> Self {
+        FaultMix {
+            clean: 5,
+            delay: 2,
+            reset: 2,
+            truncate: 1,
+            blackhole: 0,
+            delay_ms: (1, 10),
+            cut_bytes: (1, 256),
+        }
+    }
+}
+
+/// How the proxy picks the fault for connection *k*. Every script is a
+/// pure function of `(seed, k)`, so a proxy replayed under the same seed
+/// injects the same faults at the same connection indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Script {
+    /// Every connection is healthy (the "healed network" state).
+    Clean,
+    /// Connection *k* gets `faults[k % len]` — a fixed rotation for
+    /// tests that need to know exactly which connection dies how.
+    Sequence(Vec<Fault>),
+    /// Connection *k* draws from the weighted mix, with parameters from
+    /// the `(seed, k)` stream — the soak-test mode.
+    Random(FaultMix),
+}
+
+impl Script {
+    /// A script applying the same fault to every connection — e.g.
+    /// `Script::all(Fault::Blackhole)` is a full partition.
+    pub fn all(fault: Fault) -> Script {
+        Script::Sequence(vec![fault])
+    }
+
+    /// The fault for connection `conn` under `seed` — deterministic:
+    /// same `(script, seed, conn)`, same fault, always.
+    pub fn fault_for(&self, seed: u64, conn: u64) -> Fault {
+        match self {
+            Script::Clean => Fault::Clean,
+            Script::Sequence(faults) => {
+                if faults.is_empty() {
+                    Fault::Clean
+                } else {
+                    faults[(conn % faults.len() as u64) as usize].clone()
+                }
+            }
+            Script::Random(mix) => {
+                // One private stream per (seed, conn): decisions for
+                // connection k never perturb connection k+1's.
+                let mut rng = SplitMix64::new(seed ^ conn.wrapping_mul(0xa076_1d64_78bd_642f));
+                let total = u64::from(mix.clean)
+                    + u64::from(mix.delay)
+                    + u64::from(mix.reset)
+                    + u64::from(mix.truncate)
+                    + u64::from(mix.blackhole);
+                if total == 0 {
+                    return Fault::Clean;
+                }
+                let mut pick = rng.below(total);
+                for (weight, kind) in [
+                    (u64::from(mix.clean), 0u8),
+                    (u64::from(mix.delay), 1),
+                    (u64::from(mix.reset), 2),
+                    (u64::from(mix.truncate), 3),
+                    (u64::from(mix.blackhole), 4),
+                ] {
+                    if pick < weight {
+                        return match kind {
+                            0 => Fault::Clean,
+                            1 => Fault::Delay(Duration::from_millis(
+                                rng.between(mix.delay_ms.0, mix.delay_ms.1),
+                            )),
+                            2 => Fault::ResetAfter {
+                                bytes: rng.between(mix.cut_bytes.0, mix.cut_bytes.1),
+                            },
+                            3 => Fault::TruncateResponse {
+                                bytes: rng.between(mix.cut_bytes.0, mix.cut_bytes.1),
+                            },
+                            _ => Fault::Blackhole,
+                        };
+                    }
+                    pick -= weight;
+                }
+                Fault::Clean // unreachable: pick < total by construction
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let script = Script::Random(FaultMix { blackhole: 1, ..FaultMix::default() });
+        let a: Vec<Fault> = (0..200).map(|k| script.fault_for(99, k)).collect();
+        let b: Vec<Fault> = (0..200).map(|k| script.fault_for(99, k)).collect();
+        assert_eq!(a, b, "same seed must give the same schedule");
+        let c: Vec<Fault> = (0..200).map(|k| script.fault_for(100, k)).collect();
+        assert_ne!(a, c, "distinct seeds must give distinct schedules");
+    }
+
+    #[test]
+    fn random_mix_produces_every_weighted_kind() {
+        let script = Script::Random(FaultMix {
+            clean: 1,
+            delay: 1,
+            reset: 1,
+            truncate: 1,
+            blackhole: 1,
+            ..FaultMix::default()
+        });
+        let faults: Vec<Fault> = (0..500).map(|k| script.fault_for(7, k)).collect();
+        assert!(faults.iter().any(|f| matches!(f, Fault::Clean)));
+        assert!(faults.iter().any(|f| matches!(f, Fault::Delay(_))));
+        assert!(faults.iter().any(|f| matches!(f, Fault::ResetAfter { .. })));
+        assert!(faults.iter().any(|f| matches!(f, Fault::TruncateResponse { .. })));
+        assert!(faults.iter().any(|f| matches!(f, Fault::Blackhole)));
+        // Parameters stay inside their configured ranges.
+        for f in &faults {
+            match f {
+                Fault::Delay(d) => assert!((1..=10).contains(&(d.as_millis() as u64))),
+                Fault::ResetAfter { bytes } | Fault::TruncateResponse { bytes } => {
+                    assert!((1..=256).contains(bytes));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_rotates_and_degenerate_scripts_are_clean() {
+        let script =
+            Script::Sequence(vec![Fault::Clean, Fault::ResetAfter { bytes: 8 }, Fault::Blackhole]);
+        assert_eq!(script.fault_for(0, 0), Fault::Clean);
+        assert_eq!(script.fault_for(0, 1), Fault::ResetAfter { bytes: 8 });
+        assert_eq!(script.fault_for(0, 2), Fault::Blackhole);
+        assert_eq!(script.fault_for(0, 3), Fault::Clean);
+        assert_eq!(Script::Sequence(Vec::new()).fault_for(0, 5), Fault::Clean);
+        let zeroed = FaultMix {
+            clean: 0,
+            delay: 0,
+            reset: 0,
+            truncate: 0,
+            blackhole: 0,
+            ..FaultMix::default()
+        };
+        assert_eq!(Script::Random(zeroed).fault_for(0, 5), Fault::Clean);
+        assert_eq!(Script::all(Fault::Blackhole).fault_for(3, 17), Fault::Blackhole);
+    }
+}

@@ -1,0 +1,228 @@
+//! Behavioral tests for the fault-injecting proxy, against a local echo
+//! server: each accepted upstream connection reads lines and echoes them
+//! back prefixed with `ok:`.
+
+use dar_chaos::{ChaosProxy, Fault, Script};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct EchoServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl EchoServer {
+    fn start() -> EchoServer {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo server");
+        let addr = listener.local_addr().expect("echo addr");
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            listener.set_nonblocking(false).expect("echo listener blocking mode");
+            loop {
+                let Ok((stream, _)) = listener.accept() else {
+                    break;
+                };
+                if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let flag = Arc::clone(&flag);
+                std::thread::spawn(move || {
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone echo stream"));
+                    let mut writer = stream;
+                    let mut line = String::new();
+                    loop {
+                        if flag.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        line.clear();
+                        match reader.read_line(&mut line) {
+                            Ok(0) => break,
+                            Ok(_) => {
+                                let reply = format!("ok:{line}");
+                                if writer.write_all(reply.as_bytes()).is_err() {
+                                    break;
+                                }
+                                let _ = writer.flush();
+                            }
+                            Err(e)
+                                if matches!(
+                                    e.kind(),
+                                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                                ) => {}
+                            Err(_) => break,
+                        }
+                    }
+                });
+            }
+        });
+        EchoServer { addr, stop, thread: Some(thread) }
+    }
+}
+
+impl Drop for EchoServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream =
+        TcpStream::connect_timeout(&addr, Duration::from_secs(2)).expect("connect via proxy");
+    stream.set_read_timeout(Some(Duration::from_secs(2))).expect("set client read timeout");
+    stream
+}
+
+fn round_trip(stream: &mut TcpStream, payload: &str) -> std::io::Result<String> {
+    stream.write_all(payload.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before a full reply",
+        ));
+    }
+    Ok(line)
+}
+
+#[test]
+fn clean_script_passes_traffic_through() {
+    let echo = EchoServer::start();
+    let proxy = ChaosProxy::start(echo.addr, 1, Script::Clean).expect("start proxy");
+    for i in 0..3 {
+        let mut stream = connect(proxy.addr());
+        let reply = round_trip(&mut stream, &format!("hello-{i}")).expect("clean round trip");
+        assert_eq!(reply, format!("ok:hello-{i}\n"));
+    }
+    assert_eq!(proxy.connections(), 3);
+    assert_eq!(proxy.faulted(), 0);
+    proxy.shutdown();
+}
+
+#[test]
+fn reset_after_cuts_the_connection_mid_stream() {
+    let echo = EchoServer::start();
+    let proxy = ChaosProxy::start(echo.addr, 1, Script::all(Fault::ResetAfter { bytes: 4 }))
+        .expect("start proxy");
+    let mut stream = connect(proxy.addr());
+    // The 12-byte request exceeds the 4-byte budget, so no full line ever
+    // reaches the echo server and the proxy closes both sockets: the
+    // client sees EOF (or a reset) instead of a reply.
+    let result = round_trip(&mut stream, "hello-reset");
+    assert!(result.is_err(), "reset connection must not yield a reply, got {result:?}");
+    assert_eq!(proxy.faulted(), 1);
+    proxy.shutdown();
+}
+
+#[test]
+fn truncate_response_delivers_request_but_cuts_reply() {
+    let echo = EchoServer::start();
+    let proxy = ChaosProxy::start(echo.addr, 1, Script::all(Fault::TruncateResponse { bytes: 5 }))
+        .expect("start proxy");
+    let mut stream = connect(proxy.addr());
+    stream.write_all(b"hello-truncate\n").expect("send request");
+    stream.flush().expect("flush request");
+    // The server echoes "ok:hello-truncate\n" (18 bytes) but only 5 pass.
+    let mut got = Vec::new();
+    stream.read_to_end(&mut got).expect("read truncated reply to EOF");
+    assert_eq!(got, b"ok:he", "exactly the budgeted prefix must arrive");
+    proxy.shutdown();
+}
+
+#[test]
+fn blackhole_swallows_writes_and_never_replies() {
+    let echo = EchoServer::start();
+    let proxy =
+        ChaosProxy::start(echo.addr, 1, Script::all(Fault::Blackhole)).expect("start proxy");
+    let mut stream = connect(proxy.addr());
+    stream.set_read_timeout(Some(Duration::from_millis(200))).expect("shorten read timeout");
+    stream.write_all(b"anyone-there\n").expect("write into blackhole");
+    stream.flush().expect("flush into blackhole");
+    let mut buf = [0u8; 64];
+    let read = stream.read(&mut buf);
+    match read {
+        Ok(0) => {} // proxy-side close also proves nothing was forwarded
+        Ok(n) => panic!("blackhole forwarded {n} bytes: {:?}", &buf[..n]),
+        Err(e) => assert!(
+            matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut),
+            "expected a read timeout, got {e:?}"
+        ),
+    }
+    proxy.shutdown();
+}
+
+#[test]
+fn delay_slows_but_preserves_traffic() {
+    let echo = EchoServer::start();
+    let proxy =
+        ChaosProxy::start(echo.addr, 1, Script::all(Fault::Delay(Duration::from_millis(30))))
+            .expect("start proxy");
+    let mut stream = connect(proxy.addr());
+    let started = std::time::Instant::now();
+    let reply = round_trip(&mut stream, "slow-but-sure").expect("delayed round trip");
+    assert_eq!(reply, "ok:slow-but-sure\n");
+    // One delay each way is the floor; scheduling may add more.
+    assert!(
+        started.elapsed() >= Duration::from_millis(60),
+        "both directions must pay the per-chunk delay, took {:?}",
+        started.elapsed()
+    );
+    proxy.shutdown();
+}
+
+#[test]
+fn sever_cuts_established_connections_but_keeps_accepting() {
+    let echo = EchoServer::start();
+    let proxy = ChaosProxy::start(echo.addr, 1, Script::Clean).expect("start proxy");
+    let mut stream = connect(proxy.addr());
+    let reply = round_trip(&mut stream, "pre-partition").expect("healthy round trip");
+    assert_eq!(reply, "ok:pre-partition\n");
+
+    proxy.sever();
+    // The established flow dies within the proxy's poll interval: the
+    // next round trip fails (EOF, reset, or a swallowed write).
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    let mut cut = false;
+    while std::time::Instant::now() < deadline {
+        if round_trip(&mut stream, "post-partition").is_err() {
+            cut = true;
+            break;
+        }
+    }
+    assert!(cut, "sever must tear down the established connection");
+
+    // New dials still reach the proxy and get the current (clean) script.
+    let mut fresh = connect(proxy.addr());
+    let reply = round_trip(&mut fresh, "redial").expect("post-sever round trip");
+    assert_eq!(reply, "ok:redial\n");
+    proxy.shutdown();
+}
+
+#[test]
+fn set_script_heals_new_connections() {
+    let echo = EchoServer::start();
+    let proxy =
+        ChaosProxy::start(echo.addr, 1, Script::all(Fault::Blackhole)).expect("start proxy");
+    let mut stream = connect(proxy.addr());
+    stream.set_read_timeout(Some(Duration::from_millis(150))).expect("shorten read timeout");
+    assert!(round_trip(&mut stream, "lost").is_err(), "blackholed connection must time out");
+    proxy.set_script(Script::Clean);
+    let mut healed = connect(proxy.addr());
+    let reply = round_trip(&mut healed, "back-online").expect("healed round trip");
+    assert_eq!(reply, "ok:back-online\n");
+    assert_eq!(proxy.schedule(), vec![Fault::Blackhole, Fault::Clean]);
+    proxy.shutdown();
+}

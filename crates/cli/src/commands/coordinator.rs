@@ -20,6 +20,14 @@
 //! exact global frequencies computed the SON way: every shard re-reads
 //! its own write-ahead log against the merged clusters and the
 //! coordinator sums the disjoint counts.
+//!
+//! Fault-tolerance flags: `--allow-partial` serves degraded (coverage-
+//! annotated) answers from the live shards while others are down;
+//! `--deadline-ms` bounds one shard request including every retry (the
+//! blackhole bound); `--down-after` sets how many consecutive transport
+//! failures demote a shard to fast-fail; `--probe-interval-ms` /
+//! `--probe-timeout-ms` tune the background prober that verifies
+//! recovered shards before they serve again.
 
 use crate::args::Args;
 use crate::data::parse_cluster_metric;
@@ -87,6 +95,7 @@ pub fn build(args: &Args) -> Result<ClusterConfig, CliError> {
     }
 
     let timeout = Duration::from_millis(args.number::<u64>("timeout-ms", 30_000)?);
+    let defaults = ClusterConfig::default();
     Ok(ClusterConfig {
         shards,
         timeout,
@@ -97,7 +106,18 @@ pub fn build(args: &Args) -> Result<ClusterConfig, CliError> {
         read_timeout: timeout,
         write_timeout: timeout,
         metrics_addr: args.optional("metrics-addr").map(String::from),
-        ..ClusterConfig::default()
+        allow_partial: args.switch("allow-partial"),
+        probe_interval: Duration::from_millis(
+            args.number::<u64>("probe-interval-ms", defaults.probe_interval.as_millis() as u64)?,
+        ),
+        probe_timeout: Duration::from_millis(
+            args.number::<u64>("probe-timeout-ms", defaults.probe_timeout.as_millis() as u64)?,
+        ),
+        deadline: Duration::from_millis(
+            args.number::<u64>("deadline-ms", defaults.deadline.as_millis() as u64)?,
+        ),
+        down_after: args.number::<u32>("down-after", defaults.down_after)?.max(1),
+        ..defaults
     })
 }
 
@@ -132,6 +152,37 @@ mod tests {
         assert_eq!(config.threads, 2);
         assert_eq!(config.timeout, Duration::from_millis(500));
         assert!(config.rescan);
+        // Fault-tolerance knobs keep their library defaults when unset.
+        let defaults = ClusterConfig::default();
+        assert!(!config.allow_partial);
+        assert_eq!(config.probe_interval, defaults.probe_interval);
+        assert_eq!(config.probe_timeout, defaults.probe_timeout);
+        assert_eq!(config.deadline, defaults.deadline);
+        assert_eq!(config.down_after, defaults.down_after);
+    }
+
+    #[test]
+    fn build_parses_the_fault_tolerance_flags() {
+        let args = parse(&argv(&[
+            "--shards",
+            "127.0.0.1:7001",
+            "--allow-partial",
+            "--probe-interval-ms",
+            "100",
+            "--probe-timeout-ms",
+            "50",
+            "--deadline-ms",
+            "1500",
+            "--down-after",
+            "2",
+        ]))
+        .unwrap();
+        let config = build(&args).unwrap();
+        assert!(config.allow_partial);
+        assert_eq!(config.probe_interval, Duration::from_millis(100));
+        assert_eq!(config.probe_timeout, Duration::from_millis(50));
+        assert_eq!(config.deadline, Duration::from_millis(1500));
+        assert_eq!(config.down_after, 2);
     }
 
     #[test]

@@ -117,11 +117,18 @@ pub fn usage() -> String {
                  [--threads T] [--queue Q] [--support F]\n\
                  [--memory-kb K] [--metric d0|d1|d2] [--initial-threshold F]\n\
                  [--timeout-ms MS] [--metrics-addr HOST:PORT] [--rescan]\n\
+                 [--allow-partial] [--deadline-ms MS] [--down-after N]\n\
+                 [--probe-interval-ms MS] [--probe-timeout-ms MS]\n\
                  distributed front-end: fans ingest across `dar serve`\n\
                  shards (round-robin by batch seq), merges their ACF\n\
                  snapshots on query, and serves rules from the merged\n\
                  summary; engine flags must match the shards'; --rescan\n\
-                 adds SON-style exact frequencies from the shards' WALs\n\
+                 adds SON-style exact frequencies from the shards' WALs;\n\
+                 --allow-partial keeps queries working while shards are\n\
+                 down (answers carry degraded:true and a tuple-coverage\n\
+                 fraction); --deadline-ms bounds one shard request incl.\n\
+                 retries; --down-after N consecutive failures fast-fail a\n\
+                 shard until the prober verifies it back in\n\
        help      this text\n"
         .to_string()
 }

@@ -48,6 +48,30 @@ pub struct ClusterConfig {
     /// Optional Prometheus exposition address for the global `dar-obs`
     /// registry (coordinator-side metrics).
     pub metrics_addr: Option<String>,
+    /// Serve partial answers when shards are down: queries merge the live
+    /// shards' snapshots and carry an explicit coverage annotation
+    /// (`degraded:true`, live/total shard counts, tuple coverage). Off by
+    /// default — a down shard then fails the query, as before. Also
+    /// permits connecting with unreachable shards (at least one must
+    /// respond, to agree the row width).
+    pub allow_partial: bool,
+    /// Cadence of the background health prober that retests Suspect and
+    /// Down shards (short-timeout `shard_stats`) and verifies rejoin
+    /// (tuple count covers everything acknowledged) before marking a
+    /// shard Up again. Zero disables the prober — shards then only
+    /// recover when a request happens to reach them.
+    pub probe_interval: Duration,
+    /// Connect/read timeout of one health probe — deliberately much
+    /// shorter than [`ClusterConfig::timeout`], so probing a dead shard
+    /// stays cheap.
+    pub probe_timeout: Duration,
+    /// Hard wall-clock budget for one shard request *including* all
+    /// retries, socket waits, and backoff sleeps — the bound on how long
+    /// a blackholed (accepting but silent) shard can stall a caller.
+    pub deadline: Duration,
+    /// Consecutive transport failures that demote a shard from Suspect to
+    /// Down (fast-fail).
+    pub down_after: u32,
 }
 
 impl Default for ClusterConfig {
@@ -64,6 +88,11 @@ impl Default for ClusterConfig {
             write_timeout: Duration::from_secs(30),
             allow_remote_shutdown: true,
             metrics_addr: None,
+            allow_partial: false,
+            probe_interval: Duration::from_millis(500),
+            probe_timeout: Duration::from_millis(250),
+            deadline: Duration::from_secs(10),
+            down_after: 3,
         }
     }
 }

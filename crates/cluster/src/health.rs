@@ -1,0 +1,250 @@
+//! Per-shard health tracking: the lock-free board the request path, the
+//! background prober, and the stats verb all share.
+//!
+//! Each shard is in one of three states:
+//!
+//! * **Up** — requests route to it normally;
+//! * **Suspect** — at least one recent transport failure; requests still
+//!   route (the failure may have been a blip), but the prober watches it;
+//! * **Down** — [`HealthBoard::down_after`] consecutive transport
+//!   failures; requests *fast-fail* without touching the socket, so a
+//!   dead shard costs callers nothing per request, and only the prober
+//!   (on its own cadence and short timeout) keeps testing it.
+//!
+//! Rejoin is verified, not assumed: the prober only marks a Down shard Up
+//! again once a `shard_stats` probe succeeds **and** the shard holds at
+//! least every tuple it ever acknowledged (WAL replay restores the count
+//! across restarts). A shard that comes back lighter lost an acked batch
+//! and stays Down — serving rules that silently exclude acknowledged data
+//! is the one thing the cluster must never do.
+//!
+//! Every state transition bumps a generation counter
+//! ([`HealthBoard::epoch`]); the coordinator re-merges a degraded answer
+//! when the generation moved, so recovered shards flow back into serving
+//! without polling every shard per query.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+/// One shard's health, as the coordinator currently believes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Healthy: requests route normally.
+    Up,
+    /// Recent transport failure; still serving, watched by the prober.
+    Suspect,
+    /// Unreachable (or integrity-failed): requests fast-fail.
+    Down,
+}
+
+impl ShardHealth {
+    /// The wire/stats label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardHealth::Up => "up",
+            ShardHealth::Suspect => "suspect",
+            ShardHealth::Down => "down",
+        }
+    }
+
+    fn from_u8(v: u8) -> ShardHealth {
+        match v {
+            0 => ShardHealth::Up,
+            1 => ShardHealth::Suspect,
+            _ => ShardHealth::Down,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            ShardHealth::Up => 0,
+            ShardHealth::Suspect => 1,
+            ShardHealth::Down => 2,
+        }
+    }
+}
+
+/// One shard's slot on the board.
+struct Slot {
+    state: AtomicU8,
+    /// Consecutive transport failures since the last success.
+    failures: AtomicU32,
+    /// The highest coordinator batch seq this shard acknowledged.
+    last_acked_seq: AtomicU64,
+    /// Tuples the shard must hold: its count at handshake plus every
+    /// batch it acknowledged since (the restart-proof lost-ack bound).
+    expected_tuples: AtomicU64,
+}
+
+/// The shared health board: one slot per shard, all atomics, so the
+/// coordinator's request path, the prober thread, and stats readers never
+/// contend on a lock.
+pub struct HealthBoard {
+    slots: Vec<Slot>,
+    /// Bumped on every state transition; consumers cache the value and
+    /// re-examine the board only when it moved.
+    epoch: AtomicU64,
+    /// Consecutive failures that demote Suspect to Down.
+    down_after: u32,
+}
+
+impl HealthBoard {
+    /// A board of `shards` slots, all Up, with the given demotion bound
+    /// (clamped to at least 1).
+    pub fn new(shards: usize, down_after: u32) -> HealthBoard {
+        HealthBoard {
+            slots: (0..shards)
+                .map(|_| Slot {
+                    state: AtomicU8::new(ShardHealth::Up.as_u8()),
+                    failures: AtomicU32::new(0),
+                    last_acked_seq: AtomicU64::new(0),
+                    expected_tuples: AtomicU64::new(0),
+                })
+                .collect(),
+            epoch: AtomicU64::new(0),
+            down_after: down_after.max(1),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the board has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The shard's current state.
+    pub fn state(&self, shard: usize) -> ShardHealth {
+        ShardHealth::from_u8(self.slots[shard].state.load(Ordering::SeqCst))
+    }
+
+    /// The transition generation: moves on every state change.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Shards not currently Down (Up and Suspect both still serve).
+    pub fn live_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| ShardHealth::from_u8(s.state.load(Ordering::SeqCst)) != ShardHealth::Down)
+            .count()
+    }
+
+    /// Records a transport failure: Up demotes to Suspect immediately,
+    /// and `down_after` consecutive failures demote to Down. Returns the
+    /// state after the transition.
+    pub fn record_failure(&self, shard: usize) -> ShardHealth {
+        let slot = &self.slots[shard];
+        let failures = slot.failures.fetch_add(1, Ordering::SeqCst) + 1;
+        let next =
+            if failures >= self.down_after { ShardHealth::Down } else { ShardHealth::Suspect };
+        self.transition(shard, next);
+        next
+    }
+
+    /// Records a successful exchange: the failure streak resets and the
+    /// shard is Up. Returns `true` when this was a state change (a
+    /// recovery), which callers may want to log or count.
+    pub fn record_success(&self, shard: usize) -> bool {
+        self.slots[shard].failures.store(0, Ordering::SeqCst);
+        self.transition(shard, ShardHealth::Up)
+    }
+
+    /// Forces a shard Down regardless of its failure streak — used when a
+    /// probe *reaches* the shard but integrity verification fails (the
+    /// shard holds fewer tuples than it acknowledged).
+    pub fn force_down(&self, shard: usize) {
+        self.slots[shard].failures.store(self.down_after, Ordering::SeqCst);
+        self.transition(shard, ShardHealth::Down);
+    }
+
+    fn transition(&self, shard: usize, next: ShardHealth) -> bool {
+        let prev = self.slots[shard].state.swap(next.as_u8(), Ordering::SeqCst);
+        let changed = prev != next.as_u8();
+        if changed {
+            self.epoch.fetch_add(1, Ordering::SeqCst);
+        }
+        changed
+    }
+
+    /// Publishes the shard's acknowledgement watermarks (monotone: the
+    /// stored values only move up).
+    pub fn publish(&self, shard: usize, last_acked_seq: u64, expected_tuples: u64) {
+        let slot = &self.slots[shard];
+        slot.last_acked_seq.fetch_max(last_acked_seq, Ordering::SeqCst);
+        slot.expected_tuples.fetch_max(expected_tuples, Ordering::SeqCst);
+    }
+
+    /// Adds newly acknowledged tuples to the shard's expected count and
+    /// raises its acked-seq watermark.
+    pub fn acked(&self, shard: usize, seq: u64, tuples: u64) {
+        let slot = &self.slots[shard];
+        slot.last_acked_seq.fetch_max(seq, Ordering::SeqCst);
+        slot.expected_tuples.fetch_add(tuples, Ordering::SeqCst);
+    }
+
+    /// The highest coordinator batch seq the shard acknowledged.
+    pub fn last_acked_seq(&self, shard: usize) -> u64 {
+        self.slots[shard].last_acked_seq.load(Ordering::SeqCst)
+    }
+
+    /// The tuples the shard must hold to cover everything it acknowledged.
+    pub fn expected_tuples(&self, shard: usize) -> u64 {
+        self.slots[shard].expected_tuples.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failures_demote_through_suspect_to_down_and_success_recovers() {
+        let board = HealthBoard::new(2, 3);
+        assert_eq!(board.state(0), ShardHealth::Up);
+        assert_eq!(board.live_count(), 2);
+        assert_eq!(board.record_failure(0), ShardHealth::Suspect);
+        assert_eq!(board.record_failure(0), ShardHealth::Suspect);
+        assert_eq!(board.record_failure(0), ShardHealth::Down);
+        assert_eq!(board.state(0), ShardHealth::Down);
+        assert_eq!(board.live_count(), 1);
+        assert_eq!(board.state(1), ShardHealth::Up, "slots are independent");
+        assert!(board.record_success(0), "recovery is a transition");
+        assert_eq!(board.state(0), ShardHealth::Up);
+        // The streak reset: demotion needs a full new streak.
+        assert_eq!(board.record_failure(0), ShardHealth::Suspect);
+    }
+
+    #[test]
+    fn epoch_moves_only_on_state_changes() {
+        let board = HealthBoard::new(1, 2);
+        let e0 = board.epoch();
+        assert!(!board.record_success(0), "Up to Up is not a transition");
+        assert_eq!(board.epoch(), e0);
+        board.record_failure(0); // Up -> Suspect
+        let e1 = board.epoch();
+        assert!(e1 > e0);
+        board.record_failure(0); // Suspect -> Down
+        let e2 = board.epoch();
+        assert!(e2 > e1);
+        board.force_down(0); // Down -> Down: no transition
+        assert_eq!(board.epoch(), e2);
+        board.record_success(0); // Down -> Up
+        assert!(board.epoch() > e2);
+    }
+
+    #[test]
+    fn watermarks_are_monotone_and_accumulate() {
+        let board = HealthBoard::new(1, 3);
+        board.publish(0, 5, 100);
+        board.publish(0, 3, 50); // stale publish cannot regress
+        assert_eq!(board.last_acked_seq(0), 5);
+        assert_eq!(board.expected_tuples(0), 100);
+        board.acked(0, 6, 40);
+        assert_eq!(board.last_acked_seq(0), 6);
+        assert_eq!(board.expected_tuples(0), 140);
+    }
+}

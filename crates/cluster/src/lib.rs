@@ -38,6 +38,19 @@
 //!   over its disjoint slice, and the coordinator sums — exact global
 //!   counts, no raw tuple ever crossing the wire twice.
 //!
+//! Fault tolerance: the coordinator tracks per-shard health
+//! (Up/Suspect/Down on a lock-free [`HealthBoard`]), fast-fails requests
+//! to Down shards, bounds every shard request by a hard wall-clock
+//! deadline ([`ClusterConfig::deadline`], so even a blackholed shard
+//! cannot stall a caller), and re-verifies recovering shards on a
+//! background prober before letting them serve again. With
+//! [`ClusterConfig::allow_partial`], queries keep working while shards
+//! are down: the coordinator merges the live shards' snapshots and
+//! annotates the response with `degraded:true` plus an honest tuple
+//! coverage fraction; full-coverage responses stay byte-identical to a
+//! healthy cluster's. See DESIGN.md §14 and the seeded chaos suite in
+//! `dar-chaos`.
+//!
 //! Determinism: with healthy shards, fixed shard count, and the same
 //! batch stream, the coordinator's query responses are encoded by the
 //! same deterministic codec as a single server's — and for workloads
@@ -55,9 +68,11 @@
 
 mod config;
 mod coordinator;
+mod health;
 mod metrics;
 mod server;
 
 pub use config::ClusterConfig;
-pub use coordinator::{Coordinator, ShardInfo};
+pub use coordinator::{Coordinator, Coverage, ShardInfo};
+pub use health::{HealthBoard, ShardHealth};
 pub use server::{CoordinatorHandle, CoordinatorServer};

@@ -27,6 +27,17 @@ pub(crate) struct ClusterMetrics {
     /// a duplicate (`applied=false`) — retried deliveries that the shard
     /// watermark suppressed.
     pub dup_acks: Counter,
+    /// `dar_cluster_fast_fails_total`: requests refused locally because
+    /// the target shard was marked Down — no socket was touched.
+    pub fast_fails: Counter,
+    /// `dar_cluster_probes_total`: background health probes sent.
+    pub probes: Counter,
+    /// `dar_cluster_rejoins_total`: Down shards verified (tuple count
+    /// covers every acknowledged batch) and marked Up again.
+    pub rejoins: Counter,
+    /// `dar_cluster_partial_merges_total`: merge rounds that served from a
+    /// strict subset of shards (degraded answers).
+    pub partial_merges: Counter,
 }
 
 /// The cached handles.
@@ -43,6 +54,10 @@ pub(crate) fn metrics() -> &'static ClusterMetrics {
             degraded_routes: r.counter("dar_cluster_degraded_routes_total"),
             rescans: r.counter("dar_cluster_rescans_total"),
             dup_acks: r.counter("dar_cluster_dup_acks_total"),
+            fast_fails: r.counter("dar_cluster_fast_fails_total"),
+            probes: r.counter("dar_cluster_probes_total"),
+            rejoins: r.counter("dar_cluster_rejoins_total"),
+            partial_merges: r.counter("dar_cluster_partial_merges_total"),
         }
     })
 }

@@ -256,12 +256,13 @@ fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, bool) {
         Request::Query { query } => {
             let mut coordinator = lock(&ctx.coordinator);
             match coordinator.query(&query) {
-                Ok(outcome) => {
+                Ok((outcome, coverage)) => {
                     let mut response = protocol::query_response(&outcome);
                     // The rescan rides along as *extra* keys so the base
                     // response stays byte-compatible with a single server
-                    // when rescan is off.
-                    if coordinator.rescan_enabled() {
+                    // when rescan is off. A degraded answer skips it: the
+                    // SON pass needs every shard to be exact.
+                    if coordinator.rescan_enabled() && !coverage.degraded {
                         match coordinator.rescan(&outcome) {
                             Ok((rows_rescanned, counts)) => {
                                 if let Json::Obj(pairs) = &mut response {
@@ -280,36 +281,47 @@ fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, bool) {
                             Err(e) => return (shard_error(ctx, &e), false),
                         }
                     }
+                    annotate(&mut response, &coverage);
                     (response, false)
                 }
                 Err(e) => (shard_error(ctx, &e), false),
             }
         }
         Request::Clusters => match lock(&ctx.coordinator).clusters() {
-            Ok((epoch, clusters)) => (protocol::clusters_response(epoch, &clusters), false),
+            Ok((epoch, clusters, coverage)) => {
+                let mut response = protocol::clusters_response(epoch, &clusters);
+                annotate(&mut response, &coverage);
+                (response, false)
+            }
             Err(e) => (shard_error(ctx, &e), false),
         },
         Request::Snapshot => match lock(&ctx.coordinator).snapshot() {
-            Ok((_, epoch, tuples)) => (protocol::snapshot_response(epoch, tuples, None), false),
+            Ok((_, epoch, tuples, coverage)) => {
+                let mut response = protocol::snapshot_response(epoch, tuples, None);
+                annotate(&mut response, &coverage);
+                (response, false)
+            }
             Err(e) => (shard_error(ctx, &e), false),
         },
         Request::Stats => {
             let mut coordinator = lock(&ctx.coordinator);
             let (routed_batches, routed_tuples) = coordinator.routed();
             let rounds = coordinator.rounds();
-            let shards = match coordinator.shard_infos() {
-                Ok(infos) => infos,
-                Err(e) => return (shard_error(ctx, &e), false),
-            };
+            let live_shards = coordinator.live_shards();
+            let shards = coordinator.shard_infos();
             drop(coordinator);
             let shard_items: Vec<Json> = shards
                 .iter()
                 .map(|s| {
                     Json::obj(vec![
                         ("addr", Json::Str(s.addr.clone())),
+                        ("health", Json::Str(s.health.as_str().into())),
+                        ("live", Json::Bool(s.live)),
                         ("tuples", Json::Num(s.tuples as f64)),
                         ("last_seq", Json::Num(s.last_seq as f64)),
                         ("degraded", Json::Bool(s.degraded)),
+                        ("last_acked_seq", Json::Num(s.last_acked_seq as f64)),
+                        ("expected_tuples", Json::Num(s.expected_tuples as f64)),
                     ])
                 })
                 .collect();
@@ -320,6 +332,7 @@ fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, bool) {
                     "coordinator",
                     Json::obj(vec![
                         ("shards", Json::Num(shard_items.len() as f64)),
+                        ("live_shards", Json::Num(live_shards as f64)),
                         ("rounds", Json::Num(rounds as f64)),
                         ("routed_batches", Json::Num(routed_batches as f64)),
                         ("routed_tuples", Json::Num(routed_tuples as f64)),
@@ -379,6 +392,20 @@ fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, bool) {
 
 fn lock(coordinator: &Mutex<Coordinator>) -> std::sync::MutexGuard<'_, Coordinator> {
     coordinator.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Adds the coverage annotation to a degraded response; full-coverage
+/// responses are left untouched (byte-identical to a healthy cluster's).
+fn annotate(response: &mut Json, coverage: &crate::coordinator::Coverage) {
+    if coverage.degraded {
+        protocol::annotate_degraded(
+            response,
+            coverage.live_shards as u64,
+            coverage.total_shards as u64,
+            coverage.covered_tuples,
+            coverage.expected_tuples,
+        );
+    }
 }
 
 /// Re-emits a shard's structured error verbatim (so a client sees the

@@ -1,0 +1,329 @@
+//! The seeded chaos suite: the coordinator driven through `dar-chaos`
+//! fault-injection proxies, asserting the three fault-tolerance bars.
+//!
+//! * **No acked batch is ever lost** — every `ingest` the coordinator
+//!   acknowledged is present in the final merged answer (enforced twice:
+//!   the coordinator's own integrity check fails any merge that covers
+//!   less than a shard acknowledged, and the final byte-equality against
+//!   an unfaulted control engine would catch a silent omission).
+//! * **Partial answers are honest** — with one shard partitioned and
+//!   `allow_partial` on, queries keep working and the [`Coverage`]
+//!   reports exactly which fraction of acknowledged tuples the answer
+//!   saw.
+//! * **Recovered clusters re-converge** — after the network heals and
+//!   the prober verifies the shard back in, the next full-coverage query
+//!   is byte-identical to a single engine that never saw a fault.
+//!
+//! Every fault schedule is a pure function of `(script, seed, connection
+//! index)`, so a failure here reproduces under the same seed.
+
+use dar_chaos::{ChaosHandle, ChaosProxy, Fault, FaultMix, Script};
+use dar_cluster::{ClusterConfig, Coordinator, ShardHealth};
+use dar_core::{Metric, Partitioning, Schema};
+use dar_engine::{DarEngine, EngineConfig};
+use dar_serve::{protocol, Backoff, ServeConfig, Server, ServerHandle};
+use mining::RuleQuery;
+use std::time::{Duration, Instant};
+
+/// Two well-separated blocks, dyadic jitter (0.25 steps): exact fp sums
+/// in any grouping, so merged rules match the single engine byte for
+/// byte regardless of which shard each batch landed on — which is what
+/// lets the convergence assertion survive chaos-induced failover.
+fn rows(n: usize, offset: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            let k = i + offset;
+            let jitter = (k % 4) as f64 * 0.25;
+            if k.is_multiple_of(2) {
+                vec![jitter, 100.0 + jitter]
+            } else {
+                vec![50.0 + jitter, 200.0 + jitter]
+            }
+        })
+        .collect()
+}
+
+fn engine_config() -> EngineConfig {
+    let mut config = EngineConfig::default();
+    config.birch.initial_threshold = 5.0;
+    config.birch.memory_budget = usize::MAX;
+    config.min_support_frac = 0.2;
+    config
+}
+
+fn fresh_engine() -> DarEngine {
+    let schema = Schema::interval_attrs(2);
+    let partitioning = Partitioning::per_attribute(&schema, Metric::Euclidean);
+    DarEngine::new(partitioning, engine_config()).unwrap()
+}
+
+fn shard_config() -> ServeConfig {
+    ServeConfig {
+        threads: 2,
+        read_timeout: Duration::from_secs(10),
+        write_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
+    }
+}
+
+/// Starts `count` shards, each behind its own chaos proxy (initially
+/// clean). The coordinator only ever sees the proxy addresses.
+fn start_proxied_shards(count: usize, seed: u64) -> (Vec<ServerHandle>, Vec<ChaosHandle>) {
+    let handles: Vec<ServerHandle> = (0..count)
+        .map(|_| Server::start(fresh_engine(), "127.0.0.1:0", shard_config()).unwrap())
+        .collect();
+    let proxies: Vec<ChaosHandle> = handles
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            ChaosProxy::start(h.addr(), seed.wrapping_add(i as u64), Script::Clean).unwrap()
+        })
+        .collect();
+    (handles, proxies)
+}
+
+/// A fault-tolerance-tuned configuration: short deadline so blackholes
+/// cannot stall the suite, quick demotion, a fast prober for rejoin.
+fn chaos_cluster_config(proxies: &[ChaosHandle]) -> ClusterConfig {
+    ClusterConfig {
+        shards: proxies.iter().map(|p| p.addr().to_string()).collect(),
+        timeout: Duration::from_secs(2),
+        engine: engine_config(),
+        threads: 2,
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        allow_partial: true,
+        down_after: 2,
+        deadline: Duration::from_millis(800),
+        backoff: Backoff {
+            attempts: 3,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(25),
+            seed: 0,
+        },
+        probe_interval: Duration::from_millis(100),
+        probe_timeout: Duration::from_millis(200),
+        ..ClusterConfig::default()
+    }
+}
+
+fn teardown(coordinator: Coordinator, proxies: Vec<ChaosHandle>, handles: Vec<ServerHandle>) {
+    // Order matters: the coordinator's drop stops the prober and closes
+    // its shard connections, so the proxies' pumps and the shards'
+    // workers exit without waiting out read timeouts.
+    drop(coordinator);
+    for proxy in proxies {
+        proxy.shutdown();
+    }
+    for handle in handles {
+        handle.shutdown();
+        handle.join().unwrap();
+    }
+}
+
+/// The four-phase flagship: healthy baseline → partition (degraded but
+/// honest) → seeded chaos soak → heal and byte-equal re-convergence.
+#[test]
+fn partition_degrades_honestly_and_heals_to_byte_equality() {
+    let (handles, proxies) = start_proxied_shards(3, 0xDA7A);
+    let mut coordinator = Coordinator::connect(chaos_cluster_config(&proxies)).unwrap();
+
+    // --- Phase A: healthy cluster, full-coverage baseline -----------------
+    let round1 = [rows(40, 0), rows(40, 40), rows(40, 80)];
+    for batch in &round1 {
+        coordinator.ingest(batch).unwrap();
+    }
+    let (a_outcome, a_cov) = coordinator.query(&RuleQuery::default()).unwrap();
+    assert!(!a_outcome.rules.is_empty(), "the planted blocks must yield rules");
+    assert!(!a_cov.degraded);
+    assert_eq!(a_cov.fraction(), 1.0);
+    assert_eq!(a_cov.expected_tuples, 120);
+
+    let mut control = fresh_engine();
+    for batch in &round1 {
+        control.ingest(batch).unwrap();
+    }
+    let c1 = control.query(&RuleQuery::default()).unwrap();
+    assert_eq!(
+        protocol::query_response(&a_outcome).encode(),
+        protocol::query_response(&c1).encode(),
+        "healthy cluster must match the unfaulted control byte for byte"
+    );
+
+    // --- Phase B: partition shard 1 (established flows cut too) ----------
+    proxies[1].set_script(Script::all(Fault::Blackhole));
+    proxies[1].sever();
+
+    // Sequences 4, 5, 6 home on shards 0, 1, 2; seq 5 pays the deadline
+    // on the partitioned shard 1 and fails over. Every ingest still acks.
+    let round2 = [rows(40, 120), rows(40, 160), rows(40, 200)];
+    for batch in &round2 {
+        coordinator.ingest(batch).unwrap();
+    }
+    let (b_outcome, b_cov) = coordinator.query(&RuleQuery::default()).unwrap();
+    assert!(!b_outcome.rules.is_empty(), "a degraded answer still serves rules");
+    assert!(b_cov.degraded, "a partitioned shard must degrade the answer");
+    assert_eq!(b_cov.live_shards, 2);
+    assert_eq!(b_cov.total_shards, 3);
+    // Shard 0 acked seqs 1 and 4 (80 tuples), shard 2 acked seqs 3, 5
+    // (failover), and 6 (120); the dead shard 1 holds the missing 40.
+    assert_eq!(b_cov.covered_tuples, 200, "coverage must count exactly the live shards' acks");
+    assert_eq!(b_cov.expected_tuples, 240);
+    assert!((b_cov.fraction() - 200.0 / 240.0).abs() < 1e-12);
+    assert_eq!(
+        coordinator.health().state(1),
+        ShardHealth::Down,
+        "repeated deadline failures must demote the partitioned shard"
+    );
+
+    // Down means fast-fail: with the partitioned shard demoted, another
+    // round trip never waits out the deadline on it.
+    let t = Instant::now();
+    coordinator.ingest(&rows(40, 240)).unwrap(); // seq 7 → home shard 0
+    let (_, fast_cov) = coordinator.query(&RuleQuery::default()).unwrap();
+    assert!(fast_cov.degraded);
+    assert!(
+        t.elapsed() < Duration::from_secs(10),
+        "fast-fail path must not pay per-request deadlines, took {:?}",
+        t.elapsed()
+    );
+
+    // --- Phase C: seeded random chaos on every link -----------------------
+    // Resets cut inside the (≫200-byte) ingest requests, so a faulted
+    // delivery was never applied and retry/failover stays exactly-once;
+    // the truncate-mid-ack case has its own targeted test below.
+    let mix = FaultMix {
+        clean: 6,
+        delay: 2,
+        reset: 2,
+        truncate: 0,
+        blackhole: 0,
+        delay_ms: (1, 5),
+        cut_bytes: (1, 200),
+    };
+    for proxy in &proxies {
+        proxy.set_script(Script::Random(mix.clone()));
+    }
+    let round3 = [rows(40, 280), rows(40, 320), rows(40, 360)];
+    for batch in &round3 {
+        let mut tries = 0;
+        // A failed ingest consumed no sequence number, so blind retry is
+        // safe; the shard-side watermark dedups any applied-but-unacked
+        // delivery that retried on the same shard.
+        while let Err(e) = coordinator.ingest(batch) {
+            tries += 1;
+            assert!(tries < 50, "ingest must eventually land under the chaos mix: {e}");
+        }
+    }
+
+    // --- Phase D: heal, wait for the verified rejoin, re-converge ---------
+    for proxy in &proxies {
+        proxy.set_script(Script::Clean);
+    }
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while coordinator.live_shards() < 3 {
+        assert!(
+            Instant::now() < deadline,
+            "the prober must verify the healed shard back in, health: {:?}",
+            (0..3).map(|i| coordinator.health().state(i)).collect::<Vec<_>>()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let (d_outcome, d_cov) = coordinator.query(&RuleQuery::default()).unwrap();
+    assert!(!d_cov.degraded, "a healed cluster must serve full coverage again");
+    assert_eq!(d_cov.fraction(), 1.0);
+    assert_eq!(d_cov.expected_tuples, 400, "every acknowledged batch must be covered");
+    assert_eq!(coordinator.rounds(), 2, "only full-coverage merges count as rounds");
+
+    // The control mirrors the coordinator's two *full-coverage* cycles:
+    // degraded merges do not advance the epoch numbering, so after
+    // recovery both sides are on cycle 2 and the bytes must agree.
+    for batch in round2.iter().chain([rows(40, 240)].iter()).chain(round3.iter()) {
+        control.ingest(batch).unwrap();
+    }
+    let c2 = control.query(&RuleQuery::default()).unwrap();
+    assert_eq!(
+        protocol::query_response(&d_outcome).encode(),
+        protocol::query_response(&c2).encode(),
+        "the recovered cluster must re-converge to the unfaulted control byte for byte"
+    );
+
+    teardown(coordinator, proxies, handles);
+}
+
+/// The nastiest fault in the vocabulary, in isolation: the shard applies
+/// an ingest but the acknowledgement is truncated mid-frame. The
+/// coordinator's retry redials and resends the same sequence number; the
+/// shard's watermark suppresses the duplicate, so the batch lands
+/// exactly once.
+#[test]
+fn truncated_ingest_ack_replays_idempotently() {
+    let (handles, proxies) = start_proxied_shards(1, 7);
+    let mut config = chaos_cluster_config(&proxies);
+    // No prober: with a single always-Up shard it would never probe, but
+    // disabling it pins the proxy's connection indices for the schedule
+    // assertion below.
+    config.probe_interval = Duration::ZERO;
+    let mut coordinator = Coordinator::connect(config).unwrap();
+
+    // Connection 0 was the handshake (clean, persistent). From here on:
+    // connection 1 swallows the whole response, connection 2 is clean.
+    proxies[0]
+        .set_script(Script::Sequence(vec![Fault::Clean, Fault::TruncateResponse { bytes: 0 }]));
+    proxies[0].sever();
+
+    let batch = rows(40, 0);
+    let total = coordinator.ingest(&batch).unwrap();
+    assert_eq!(total, 40, "the retried ingest must ack exactly once");
+
+    let info = &coordinator.shard_infos()[0];
+    assert_eq!(info.tuples, 40, "the duplicate delivery must be watermark-suppressed, not applied");
+    assert_eq!(info.last_acked_seq, 1);
+    assert_eq!(info.expected_tuples, 40);
+    assert_eq!(
+        proxies[0].schedule(),
+        vec![Fault::Clean, Fault::TruncateResponse { bytes: 0 }, Fault::Clean],
+        "the deterministic schedule: handshake, truncated ack, clean replay"
+    );
+
+    // And the served rules match a control that saw the batch once.
+    let (outcome, cov) = coordinator.query(&RuleQuery::default()).unwrap();
+    assert!(!cov.degraded);
+    let mut control = fresh_engine();
+    control.ingest(&batch).unwrap();
+    let expected = control.query(&RuleQuery::default()).unwrap();
+    assert_eq!(
+        protocol::query_response(&outcome).encode(),
+        protocol::query_response(&expected).encode()
+    );
+
+    teardown(coordinator, proxies, handles);
+}
+
+/// A blackholed (accepting but silent) shard cannot stall a caller past
+/// the per-request deadline budget: the failure surfaces as the
+/// coordinator's structured `deadline` error, promptly.
+#[test]
+fn deadline_bounds_a_blackholed_shard_stall() {
+    let (handles, proxies) = start_proxied_shards(1, 11);
+    let mut config = chaos_cluster_config(&proxies);
+    config.allow_partial = false;
+    config.deadline = Duration::from_millis(500);
+    let mut coordinator = Coordinator::connect(config).unwrap();
+
+    proxies[0].set_script(Script::all(Fault::Blackhole));
+    proxies[0].sever();
+
+    let t = Instant::now();
+    let err = coordinator.ingest(&rows(40, 0)).unwrap_err();
+    let elapsed = t.elapsed();
+    let server_err = dar_serve::ServerError::of(&err).expect("a structured error");
+    assert_eq!(server_err.code, "deadline", "the budget, not a raw timeout, must fire: {err}");
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "one deadline budget (500ms) must bound the stall, took {elapsed:?}"
+    );
+
+    teardown(coordinator, proxies, handles);
+}

@@ -257,8 +257,10 @@ fn shard_crash_recovery_loses_no_acked_batch_and_rules_still_match() {
     for batch in &round1 {
         coordinator.ingest(batch).unwrap();
     }
-    let before = coordinator.query(&RuleQuery::default()).unwrap();
+    let (before, coverage) = coordinator.query(&RuleQuery::default()).unwrap();
     assert!(!before.rules.is_empty());
+    assert!(!coverage.degraded, "all shards are healthy: full coverage");
+    assert_eq!(coverage.fraction(), 1.0);
 
     // "Crash" shard 1: tear the server down and restart on the same
     // address from its write-ahead log alone (the graceful path writes no
@@ -283,7 +285,8 @@ fn shard_crash_recovery_loses_no_acked_batch_and_rules_still_match() {
     for batch in &round2 {
         coordinator.ingest(batch).unwrap();
     }
-    let after = coordinator.query(&RuleQuery::default()).unwrap();
+    let (after, after_coverage) = coordinator.query(&RuleQuery::default()).unwrap();
+    assert!(!after_coverage.degraded, "the restarted shard serves again: full coverage");
 
     // The uncrashed control mirrors the coordinator's two ingest→query
     // rounds, so the epochs (and hence the encoded responses) line up.
@@ -332,7 +335,7 @@ fn son_rescan_sums_to_exact_global_frequencies() {
     for batch in &batches {
         coordinator.ingest(batch).unwrap();
     }
-    let outcome = coordinator.query(&RuleQuery::default()).unwrap();
+    let (outcome, _) = coordinator.query(&RuleQuery::default()).unwrap();
     assert!(!outcome.rules.is_empty());
     let (rows_rescanned, counts) = coordinator.rescan(&outcome).unwrap();
 

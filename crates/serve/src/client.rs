@@ -15,7 +15,7 @@ use crate::protocol::Request;
 use mining::RuleQuery;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A structured error response from the server, carried inside the
 /// `io::Error` that request methods return.
@@ -106,7 +106,9 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects with the given I/O timeouts.
+    /// Connects with the given I/O timeouts. The dial itself is bounded
+    /// by `timeout` too, so an unreachable (e.g. blackholed) address
+    /// fails within the budget instead of hanging in `connect(2)`.
     ///
     /// # Errors
     /// Connection/setup failures.
@@ -115,7 +117,7 @@ impl Client {
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolved empty"))?;
-        let stream = TcpStream::connect(addr)?;
+        let stream = TcpStream::connect_timeout(&addr, timeout.max(Duration::from_millis(1)))?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
         let reader = BufReader::new(stream.try_clone()?);
@@ -129,6 +131,16 @@ impl Client {
     pub fn reconnect(&mut self) -> io::Result<()> {
         *self = Client::connect(self.addr, self.timeout)?;
         Ok(())
+    }
+
+    /// Temporarily clamps the socket's I/O timeouts to
+    /// `min(limit, self.timeout)` — how the deadline-budgeted path keeps
+    /// a single blocked read from overrunning the caller's budget.
+    fn clamp_io_timeout(&self, limit: Duration) {
+        let limit = limit.min(self.timeout).max(Duration::from_millis(1));
+        let stream = self.reader.get_ref();
+        let _ = stream.set_read_timeout(Some(limit));
+        let _ = stream.set_write_timeout(Some(limit));
     }
 
     /// Sends one raw line and returns the raw response line — the
@@ -183,6 +195,83 @@ impl Client {
                 }
             }
         }
+    }
+
+    /// [`Client::request_with_retry`] under a hard wall-clock `deadline`:
+    /// the total spent across attempts, socket reads, and backoff sleeps
+    /// stays within the budget. Each attempt's socket timeout is clamped
+    /// to the remaining budget, read timeouts count as transient (the
+    /// next attempt redials, escaping a blackholed connection), and the
+    /// loop never sleeps past the deadline. On exhaustion the last
+    /// failure is returned (or a `deadline` [`ServerError`] when the
+    /// budget was spent before the first attempt).
+    ///
+    /// # Errors
+    /// As [`Client::request_with_retry`], plus deadline exhaustion.
+    pub fn request_with_retry_deadline(
+        &mut self,
+        request: &Request,
+        backoff: &Backoff,
+        deadline: Instant,
+    ) -> io::Result<Json> {
+        let mut attempt = 0;
+        let result = loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    ServerError {
+                        code: "deadline".into(),
+                        message: "request deadline exhausted before an attempt".into(),
+                    },
+                ));
+            }
+            self.clamp_io_timeout(remaining);
+            match self.expect_ok(request) {
+                Ok(response) => break Ok(response),
+                Err(e) => {
+                    let transient = ServerError::of(&e).is_some_and(ServerError::is_transient)
+                        || matches!(
+                            e.kind(),
+                            io::ErrorKind::UnexpectedEof
+                                | io::ErrorKind::WouldBlock
+                                | io::ErrorKind::TimedOut
+                        );
+                    let delay = backoff.delay(attempt);
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if !transient || attempt >= backoff.attempts {
+                        break Err(e);
+                    }
+                    if delay >= remaining {
+                        // The budget, not the retry policy, ended the
+                        // request: surface the structured deadline error
+                        // so callers can tell a stall from a refusal.
+                        break Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            ServerError {
+                                code: "deadline".into(),
+                                message: format!(
+                                    "request deadline exhausted after {} attempt(s): {e}",
+                                    attempt + 1
+                                ),
+                            },
+                        ));
+                    }
+                    std::thread::sleep(delay);
+                    attempt += 1;
+                    // Redial within what is left of the budget; a failed
+                    // dial surfaces on the next attempt's write.
+                    let limit = deadline.saturating_duration_since(Instant::now());
+                    if let Ok(fresh) = Client::connect(self.addr, limit.min(self.timeout)) {
+                        let timeout = self.timeout;
+                        *self = fresh;
+                        self.timeout = timeout;
+                    }
+                }
+            }
+        };
+        self.clamp_io_timeout(self.timeout);
+        result
     }
 
     /// `ingest` a batch; returns the server's total tuple count.
@@ -386,6 +475,8 @@ impl Client {
             // keeps any still-unread catch-up frames replayable.
             last_epoch: from_epoch.unwrap_or(epoch),
             window_span,
+            reconnect_attempts: 0,
+            lost: false,
         })
     }
 
@@ -421,6 +512,14 @@ fn decode_span(value: Option<&Json>) -> Option<(u64, u64)> {
 /// bounded [`Backoff`] — so the caller sees a gapless event sequence (or
 /// one `resync` baseline frame when the outage outlived the server's
 /// retained history).
+///
+/// The self-healing is *bounded across calls*: the reconnect budget is
+/// `backoff.attempts` consecutive failed redials, counted across
+/// [`Subscription::next_event`] invocations and reset only when an event
+/// is actually delivered. Once spent, the subscription is terminally
+/// lost: the call (and every later call) returns a structured
+/// `subscription-lost` [`ServerError`] instead of retrying forever
+/// against a dead server.
 pub struct Subscription {
     addr: SocketAddr,
     timeout: Duration,
@@ -430,6 +529,12 @@ pub struct Subscription {
     /// subscribe baseline before any event arrived).
     last_epoch: u64,
     window_span: Option<(u64, u64)>,
+    /// Consecutive failed redials since the last delivered event —
+    /// persists across `next_event` calls so a dead server cannot be
+    /// retried indefinitely one call at a time.
+    reconnect_attempts: u32,
+    /// Terminal: the reconnect budget was exhausted.
+    lost: bool,
 }
 
 impl Subscription {
@@ -444,16 +549,28 @@ impl Subscription {
         self.window_span
     }
 
+    /// Whether the reconnect budget has been exhausted — once true, every
+    /// [`Subscription::next_event`] call fails fast with the structured
+    /// `subscription-lost` error.
+    pub fn is_lost(&self) -> bool {
+        self.lost
+    }
+
     /// Blocks for the next event frame, transparently reconnecting (and
     /// resuming from [`Subscription::last_epoch`]) on a lagged cut or a
     /// dropped connection.
     ///
     /// # Errors
     /// A read timeout (the feed idled past the client timeout — retrying
-    /// is safe, nothing was lost), or reconnect attempts exhausted.
+    /// is safe, nothing was lost), or — terminally — a structured
+    /// `subscription-lost` [`ServerError`] once `backoff.attempts`
+    /// consecutive reconnects have failed (across calls). After that the
+    /// subscription never retries again; build a fresh one to resume.
     pub fn next_event(&mut self) -> io::Result<Json> {
-        let mut attempt = 0;
         loop {
+            if self.lost {
+                return Err(self.lost_error());
+            }
             let mut line = String::new();
             match self.reader.read_line(&mut line) {
                 Ok(0) => {} // EOF: server shut down or cut us — reconnect
@@ -472,6 +589,7 @@ impl Subscription {
                         if let Some(span) = decode_span(frame.get("window_span")) {
                             self.window_span = Some(span);
                         }
+                        self.reconnect_attempts = 0; // delivery refills the budget
                         return Ok(frame);
                     }
                     // A structured final frame (`lagged`) — fall through
@@ -485,18 +603,31 @@ impl Subscription {
                 }
                 Err(_) => {} // broken socket — reconnect
             }
-            if attempt >= self.backoff.attempts {
-                return Err(io::Error::new(
-                    io::ErrorKind::ConnectionAborted,
-                    "subscription lost and reconnect attempts exhausted",
-                ));
+            if self.reconnect_attempts >= self.backoff.attempts {
+                self.lost = true;
+                return Err(self.lost_error());
             }
-            std::thread::sleep(self.backoff.delay(attempt));
-            attempt += 1;
+            std::thread::sleep(self.backoff.delay(self.reconnect_attempts));
+            self.reconnect_attempts += 1;
             // A failed redial just consumes the attempt; the next loop
             // iteration's read sees EOF-like state and retries.
             let _ = self.resubscribe();
         }
+    }
+
+    /// The terminal error for an exhausted reconnect budget — structured,
+    /// so callers can match `ServerError::of(&e)` on `subscription-lost`.
+    fn lost_error(&self) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::ConnectionAborted,
+            ServerError {
+                code: "subscription-lost".into(),
+                message: format!(
+                    "subscription to {} lost: {} consecutive reconnects failed (last delivered epoch {})",
+                    self.addr, self.backoff.attempts, self.last_epoch
+                ),
+            },
+        )
     }
 
     /// Redials and resubscribes from the last delivered epoch.

@@ -54,6 +54,20 @@
 //! a list of cluster positions, and the shard counts its own WAL-retained
 //! tuples that fall in every one of the rule's clusters.
 //!
+//! A coordinator serving with some shards down (`--allow-partial`)
+//! annotates responses computed from a subset of the data with coverage
+//! keys ([`annotate_degraded`]):
+//!
+//! ```text
+//! {…,"degraded":true,"live_shards":…,"total_shards":…,
+//!    "covered_tuples":…,"expected_tuples":…,"coverage":0.75}
+//! ```
+//!
+//! `coverage` is the fraction of routed-and-acknowledged tuples the
+//! answer actually saw. Full-coverage responses omit every one of these
+//! keys, so a healthy cluster's lines stay byte-identical to a
+//! single server's.
+//!
 //! Errors are structured, never a dropped connection:
 //! `{"ok":false,"error":"<code>","message":"<detail>"}`.
 //!
@@ -523,6 +537,32 @@ pub fn shard_stats_response(
     ])
 }
 
+/// Appends the degraded-coverage annotation to a coordinator response
+/// served from a subset of shards: `degraded:true`, the live/total shard
+/// counts, the acknowledged tuples the answer covered vs. expected, and
+/// their ratio as `coverage`. Callers must only invoke this on genuinely
+/// partial answers — full-coverage responses omit the keys entirely so a
+/// healthy cluster's lines stay byte-identical to a single server's.
+pub fn annotate_degraded(
+    response: &mut Json,
+    live_shards: u64,
+    total_shards: u64,
+    covered_tuples: u64,
+    expected_tuples: u64,
+) {
+    let Json::Obj(pairs) = response else {
+        return;
+    };
+    let coverage =
+        if expected_tuples == 0 { 1.0 } else { covered_tuples as f64 / expected_tuples as f64 };
+    pairs.push(("degraded".into(), Json::Bool(true)));
+    pairs.push(("live_shards".into(), Json::Num(live_shards as f64)));
+    pairs.push(("total_shards".into(), Json::Num(total_shards as f64)));
+    pairs.push(("covered_tuples".into(), Json::Num(covered_tuples as f64)));
+    pairs.push(("expected_tuples".into(), Json::Num(expected_tuples as f64)));
+    pairs.push(("coverage".into(), Json::Num(coverage)));
+}
+
 /// The `shard_rescan` success response: per-rule exact frequencies over
 /// the `rows_scanned` tuples this shard retains in its write-ahead log.
 pub fn shard_rescan_response(rows_scanned: u64, counts: &[u64]) -> Json {
@@ -629,6 +669,26 @@ mod tests {
             let err = Request::from_json(&parse(line).unwrap()).unwrap_err();
             assert!(err.contains(needle), "{line} → {err}");
         }
+    }
+
+    #[test]
+    fn degraded_annotation_reports_honest_coverage() {
+        let mut response = Json::obj(vec![("ok", Json::Bool(true))]);
+        annotate_degraded(&mut response, 3, 4, 120, 160);
+        assert_eq!(response.get("degraded").and_then(Json::as_bool), Some(true));
+        assert_eq!(response.get("live_shards").and_then(Json::as_u64), Some(3));
+        assert_eq!(response.get("total_shards").and_then(Json::as_u64), Some(4));
+        assert_eq!(response.get("covered_tuples").and_then(Json::as_u64), Some(120));
+        assert_eq!(response.get("expected_tuples").and_then(Json::as_u64), Some(160));
+        assert_eq!(response.get("coverage").and_then(Json::as_f64), Some(0.75));
+        // The empty cluster degenerates to full coverage, not NaN.
+        let mut empty = Json::obj(vec![("ok", Json::Bool(true))]);
+        annotate_degraded(&mut empty, 1, 2, 0, 0);
+        assert_eq!(empty.get("coverage").and_then(Json::as_f64), Some(1.0));
+        // Non-objects are left untouched rather than panicking.
+        let mut not_an_object = Json::Null;
+        annotate_degraded(&mut not_an_object, 1, 2, 0, 0);
+        assert_eq!(not_an_object, Json::Null);
     }
 
     #[test]
