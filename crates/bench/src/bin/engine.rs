@@ -145,6 +145,30 @@ fn main() {
     let best_ingest = sweep.iter().map(|p| p.ingest_secs).fold(f64::INFINITY, f64::min);
     let parallel_speedup = sweep[0].ingest_secs / best_ingest.max(1e-12);
 
+    // --- rule quality: ranked, pruned, and anytime answers ---------------
+    // Re-rank the cached artifacts by lift with redundancy pruning: same
+    // cliques, different order — the rank pass itself is the cost.
+    let q_ranked = RuleQuery {
+        measure: mining::Measure::Lift,
+        prune_redundant: true,
+        top_k: 25,
+        ..q_base.clone()
+    };
+    let (ranked, ranked_wall) = time(|| engine.query(&q_ranked).unwrap());
+    assert!(ranked.cached, "ranking reuses the cached cliques");
+    let prune_ratio =
+        if ranked.rules_in > 0 { ranked.pruned as f64 / ranked.rules_in as f64 } else { 0.0 };
+    // A generous anytime budget must converge to the exact rule set.
+    let q_full_budget = RuleQuery { budget_ms: 60_000, ..q_base.clone() };
+    let (full, anytime_full_wall) = time(|| engine.query(&q_full_budget).unwrap());
+    assert_eq!(full.coverage, Some(1.0), "a 60s budget sees every clique pair");
+    assert_eq!(full.rules, baseline_rules, "full-budget anytime must equal exact");
+    // A 1ms budget bounds the answer's latency; record the honest fraction.
+    let q_tiny_budget = RuleQuery { budget_ms: 1, ..q_base.clone() };
+    let (tiny, anytime_tiny_wall) = time(|| engine.query(&q_tiny_budget).unwrap());
+    let tiny_coverage = tiny.coverage.expect("budgeted answers report coverage");
+    let rank_ns = histogram("dar_rank_rank_ns");
+
     print_table(
         "Engine: ingest throughput and query latency",
         &["quantity", "value"],
@@ -172,6 +196,19 @@ fn main() {
             vec!["cliques found".into(), cliques.to_string()],
             vec!["cores available".into(), cores.to_string()],
             vec!["parallel speedup (ingest)".into(), format!("{parallel_speedup:.2}×")],
+            vec!["ranked query, lift+prune (s)".into(), secs(ranked_wall)],
+            vec![
+                "ranked rules kept/in".into(),
+                format!("{}/{}", ranked.rules.len(), ranked.rules_in),
+            ],
+            vec!["prune ratio".into(), format!("{prune_ratio:.3}")],
+            vec![
+                "rank pass p99 (ms)".into(),
+                format!("{:.3}", rank_ns.quantile(0.99) as f64 / 1e6),
+            ],
+            vec!["anytime full-budget (s)".into(), secs(anytime_full_wall)],
+            vec!["anytime 1ms-budget (s)".into(), secs(anytime_tiny_wall)],
+            vec!["anytime 1ms coverage".into(), format!("{tiny_coverage:.3}")],
         ],
     );
 
@@ -221,7 +258,25 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
-    let _ = writeln!(json, "  \"parallel_speedup\": {parallel_speedup:.3}");
+    let _ = writeln!(json, "  \"parallel_speedup\": {parallel_speedup:.3},");
+    let _ = writeln!(json, "  \"ranked_query_ms\": {:.3},", ranked_wall.as_secs_f64() * 1e3);
+    let _ = writeln!(json, "  \"ranked_rules_in\": {},", ranked.rules_in);
+    let _ = writeln!(json, "  \"ranked_rules_out\": {},", ranked.rules.len());
+    let _ = writeln!(json, "  \"ranked_rules_pruned\": {},", ranked.pruned);
+    let _ = writeln!(json, "  \"prune_ratio\": {prune_ratio:.4},");
+    let _ = writeln!(json, "  \"rank_ns_p50\": {},", rank_ns.quantile(0.50));
+    let _ = writeln!(json, "  \"rank_ns_p99\": {},", rank_ns.quantile(0.99));
+    let _ = writeln!(
+        json,
+        "  \"anytime_full_budget_ms\": {:.3},",
+        anytime_full_wall.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(
+        json,
+        "  \"anytime_tiny_budget_ms\": {:.3},",
+        anytime_tiny_wall.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(json, "  \"anytime_tiny_coverage\": {tiny_coverage:.4}");
     json.push_str("}\n");
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("\n  wrote BENCH_engine.json");

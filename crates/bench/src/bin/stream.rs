@@ -200,7 +200,8 @@ fn main() {
     let expected = oneshot.query(&RuleQuery::default()).unwrap().rules;
     assert!(!expected.is_empty(), "the planted blocks must yield rules");
     let oneshot_rules =
-        Json::Arr(expected.iter().map(protocol::rule_json).collect::<Vec<_>>()).encode();
+        Json::Arr(expected.iter().map(|r| protocol::rule_json(r, r.degree)).collect::<Vec<_>>())
+            .encode();
     let equal = windowed_rules == oneshot_rules;
 
     // --- drain the subscribers and read the server-side metrics ----------

@@ -13,7 +13,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["rescan", "refine", "allow-partial"];
+const SWITCHES: &[&str] = &["rescan", "refine", "allow-partial", "prune-redundant"];
 
 /// Parses `--flag value` pairs.
 pub fn parse(argv: &[String]) -> Result<Args, CliError> {

@@ -94,6 +94,9 @@ pub fn build(args: &Args) -> Result<ClusterConfig, CliError> {
         engine.birch.initial_threshold = threshold;
     }
 
+    let mut base_query = mining::RuleQuery::default();
+    crate::commands::apply_rank_flags(args, &mut base_query)?;
+
     let timeout = Duration::from_millis(args.number::<u64>("timeout-ms", 30_000)?);
     let defaults = ClusterConfig::default();
     Ok(ClusterConfig {
@@ -117,6 +120,7 @@ pub fn build(args: &Args) -> Result<ClusterConfig, CliError> {
             args.number::<u64>("deadline-ms", defaults.deadline.as_millis() as u64)?,
         ),
         down_after: args.number::<u32>("down-after", defaults.down_after)?.max(1),
+        base_query,
         ..defaults
     })
 }
@@ -144,6 +148,10 @@ mod tests {
             "--timeout-ms",
             "500",
             "--rescan",
+            "--measure",
+            "jaccard",
+            "--min-measure",
+            "0.25",
         ]))
         .unwrap();
         let config = build(&args).unwrap();
@@ -152,6 +160,8 @@ mod tests {
         assert_eq!(config.threads, 2);
         assert_eq!(config.timeout, Duration::from_millis(500));
         assert!(config.rescan);
+        assert_eq!(config.base_query.measure, mining::Measure::Jaccard);
+        assert_eq!(config.base_query.min_measure, Some(0.25));
         // Fault-tolerance knobs keep their library defaults when unset.
         let defaults = ClusterConfig::default();
         assert!(!config.allow_partial);

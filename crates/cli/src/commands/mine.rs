@@ -1,11 +1,13 @@
 //! `dar mine` — the full two-phase DAR pipeline over a CSV relation.
 
 use crate::args::Args;
-use crate::commands::{default_partitioning, load};
+use crate::commands::{apply_rank_flags, default_partitioning, load};
 use crate::CliError;
 use dar_core::suggest_initial_thresholds;
+use dar_rank::RankSpec;
 use mining::describe::{describe_rule, rules_to_tsv};
-use mining::{DarConfig, DarMiner, DensitySpec, RuleQuery};
+use mining::{DarConfig, DarMiner, DensitySpec, Measure, RuleQuery};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// Runs the command.
@@ -39,6 +41,14 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         ..DarConfig::default()
     };
     config.birch.memory_budget = memory_kb << 10;
+    apply_rank_flags(args, &mut config.query)?;
+    if config.query.budget_ms != 0 {
+        return Err(CliError::new(
+            "--budget-ms (anytime mode) needs cached Phase II artifacts — \
+             use `dar session`, `dar serve`, or `dar cluster-coordinator`",
+        ));
+    }
+    let rank_query = config.query.clone();
 
     let result = DarMiner::new(config).mine(&relation, &partitioning).expect("valid partitioning");
     let s = &result.stats;
@@ -61,32 +71,62 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         s.rules,
         if s.rules_truncated { " (truncated)" } else { "" },
     );
-    let _ = writeln!(out);
-    for (i, rule) in result.rules.iter().take(top).enumerate() {
-        let freq = result
-            .rule_frequencies
-            .get(i)
-            .map(|f| format!("  [frequency {f}]"))
-            .unwrap_or_default();
+    // Rank the mined rules (evaluate → filter → order → prune → top-k).
+    // Under the default knobs this reproduces the historical order.
+    let spec = RankSpec::from_query(&rank_query, result.graph.clusters(), relation.len() as u64);
+    let ranked = dar_rank::rank(result.rules.clone(), &spec);
+    if ranked.rules.len() != ranked.rules_in || ranked.pruned > 0 {
         let _ = writeln!(
             out,
-            "{}{freq}",
+            "rank     {} → {} of {} rules{}",
+            rank_query.measure,
+            ranked.rules.len(),
+            ranked.rules_in,
+            if ranked.pruned > 0 {
+                format!(" ({} pruned as redundant)", ranked.pruned)
+            } else {
+                String::new()
+            },
+        );
+    }
+    // Exact frequencies follow their rule through the reordering.
+    let freq_of: HashMap<(&[usize], &[usize]), u64> = result
+        .rules
+        .iter()
+        .zip(&result.rule_frequencies)
+        .map(|(r, &f)| ((r.antecedent.as_slice(), r.consequent.as_slice()), f))
+        .collect();
+    let frequencies: Vec<u64> = ranked
+        .rules
+        .iter()
+        .filter_map(|r| freq_of.get(&(r.antecedent.as_slice(), r.consequent.as_slice())).copied())
+        .collect();
+    let _ = writeln!(out);
+    for (i, rule) in ranked.rules.iter().take(top).enumerate() {
+        let freq = frequencies.get(i).map(|f| format!("  [frequency {f}]")).unwrap_or_default();
+        let value = match rank_query.measure {
+            Measure::Degree => String::new(),
+            m => format!("  [{m} {:.4}]", ranked.values[i]),
+        };
+        let _ = writeln!(
+            out,
+            "{}{value}{freq}",
             describe_rule(rule, result.graph.clusters(), relation.schema(), &partitioning)
         );
     }
-    if result.rules.len() > top {
-        let _ = writeln!(out, "… {} more rules", result.rules.len() - top);
+    if ranked.rules.len() > top {
+        let _ = writeln!(out, "… {} more rules", ranked.rules.len() - top);
     }
     if let Some(path) = args.optional("out") {
         let tsv = rules_to_tsv(
-            &result.rules,
-            &result.rule_frequencies,
+            &ranked.rules,
+            &frequencies,
             result.graph.clusters(),
             relation.schema(),
             &partitioning,
         );
         crate::commands::atomic_write(path, &tsv)?;
-        let _ = writeln!(out, "wrote {} rules to {path}", result.rules.len());
+        let _ = writeln!(out, "wrote {} rules to {path}", ranked.rules.len());
     }
     Ok(out)
 }
@@ -154,6 +194,36 @@ mod tests {
             let tsv = std::fs::read_to_string(&tsv_path).unwrap();
             assert!(tsv.starts_with("antecedent\tconsequent"));
             assert!(tsv.lines().count() >= 2);
+        });
+    }
+
+    #[test]
+    fn rank_flags_reorder_truncate_and_validate() {
+        with_csv("rank", |csv| {
+            let a = parse(&argv(&[
+                "--input",
+                csv,
+                "--support",
+                "0.1",
+                "--threshold-frac",
+                "0.1",
+                "--measure",
+                "lift",
+                "--top-k",
+                "2",
+                "--prune-redundant",
+            ]))
+            .unwrap();
+            let out = run(&a).unwrap();
+            assert!(out.contains("[lift"), "ranked rules carry their measure value: {out}");
+            // Anytime mode needs cached artifacts — the one-shot path
+            // refuses rather than silently mining exactly.
+            let a = parse(&argv(&["--input", csv, "--budget-ms", "5"])).unwrap();
+            let err = run(&a).unwrap_err();
+            assert!(err.to_string().contains("budget-ms"), "{err}");
+            let a = parse(&argv(&["--input", csv, "--measure", "zorp"])).unwrap();
+            let err = run(&a).unwrap_err();
+            assert!(err.to_string().contains("zorp"), "{err}");
         });
     }
 

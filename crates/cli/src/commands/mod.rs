@@ -11,9 +11,40 @@ pub mod stats;
 
 pub(crate) use crate::data::{default_partitioning, load};
 
+use crate::args::Args;
 use crate::CliError;
 use dar_durable::{DiskStorage, Storage};
+use mining::{Measure, RuleQuery, MEASURES};
 use std::path::{Path, PathBuf};
+
+/// Applies the shared rule-quality flags onto a query: `--measure`
+/// (degree, lift, conviction, leverage, jaccard), `--min-measure`,
+/// `--top-k`, `--prune-redundant`, and `--budget-ms` (anytime mode).
+/// Every command that mines rules accepts the same set, so one flag
+/// vocabulary works from `dar mine` to `dar cluster-coordinator`.
+pub(crate) fn apply_rank_flags(args: &Args, query: &mut RuleQuery) -> Result<(), CliError> {
+    if let Some(name) = args.optional("measure") {
+        query.measure = Measure::parse(name).ok_or_else(|| {
+            let names: Vec<&str> = MEASURES.iter().map(|m| m.as_str()).collect();
+            CliError::new(format!(
+                "--measure: unknown measure {name:?} (one of {})",
+                names.join(", ")
+            ))
+        })?;
+    }
+    if let Some(raw) = args.optional("min-measure") {
+        let floor: f64 = raw
+            .parse()
+            .map_err(|_| CliError::new(format!("--min-measure: cannot parse {raw:?}")))?;
+        query.min_measure = Some(floor);
+    }
+    query.top_k = args.number("top-k", query.top_k)?;
+    if args.switch("prune-redundant") {
+        query.prune_redundant = true;
+    }
+    query.budget_ms = args.number("budget-ms", query.budget_ms)?;
+    Ok(())
+}
 
 /// Writes `text` to `path` atomically: tmp file, fsync, rename over the
 /// target, directory fsync. A crash mid-write leaves either the old file

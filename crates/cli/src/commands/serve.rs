@@ -141,6 +141,11 @@ pub fn build(args: &Args) -> Result<(EngineBackend, ServeConfig), CliError> {
         None => EngineBackend::from(DarEngine::new(partitioning, config)?),
     };
 
+    // The server's base query: rank knobs a client's `query` does not
+    // send fall back to these, and churn events score rules with them.
+    let mut base_query = mining::RuleQuery::default();
+    crate::commands::apply_rank_flags(args, &mut base_query)?;
+
     let timeout = Duration::from_millis(args.number::<u64>("timeout-ms", 30_000)?);
     let serve_config = ServeConfig {
         threads: if threads == 0 { dar_par::available_parallelism() } else { threads },
@@ -154,6 +159,7 @@ pub fn build(args: &Args) -> Result<(EngineBackend, ServeConfig), CliError> {
         },
         wal_path: args.optional("wal-path").map(std::path::PathBuf::from),
         metrics_addr: args.optional("metrics-addr").map(String::from),
+        base_query,
         ..ServeConfig::default()
     };
     if serve_config.snapshot_interval.is_some() && serve_config.snapshot_path.is_none() {
@@ -229,6 +235,11 @@ mod tests {
             "ingest.wal",
             "--metrics-addr",
             "127.0.0.1:0",
+            "--measure",
+            "lift",
+            "--top-k",
+            "5",
+            "--prune-redundant",
         ]))
         .unwrap();
         let (engine, config) = build(&args).unwrap();
@@ -239,6 +250,9 @@ mod tests {
         assert!(config.snapshot_path.is_none());
         assert_eq!(config.wal_path.as_deref(), Some(std::path::Path::new("ingest.wal")));
         assert_eq!(config.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(config.base_query.measure, mining::Measure::Lift);
+        assert_eq!(config.base_query.top_k, 5);
+        assert!(config.base_query.prune_redundant);
     }
 
     #[test]

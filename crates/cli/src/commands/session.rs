@@ -13,7 +13,11 @@
 //! ```
 //!
 //! `query` keys: `density-factor`, `density` (explicit comma list),
-//! `degree-factor`, `max-antecedent`, `max-consequent`, `top`.
+//! `degree-factor`, `max-antecedent`, `max-consequent`, `top`, plus the
+//! rule-quality knobs `measure` (degree, lift, conviction, leverage,
+//! jaccard), `min-measure`, `top-k`, `prune-redundant` (true/false), and
+//! `budget-ms` (anytime mode: sample clique pairs under a wall-clock
+//! budget and report the honest coverage fraction).
 //!
 //! Engine-level flags (fixed for the session): `--support`,
 //! `--threshold-frac`, `--memory-kb`, `--metric d0|d1|d2`, and
@@ -357,23 +361,36 @@ fn step(
                 let outcome = engine.query(&query)?;
                 (outcome, engine.partitioning().clone())
             };
+            let measure = outcome.measure;
             let _ = writeln!(
                 out,
-                "query epoch {}: {} rules (s0={}, {}){}",
+                "query epoch {}: {} rules (s0={}, {}{}){}{}",
                 outcome.epoch,
                 outcome.rules.len(),
                 outcome.s0,
                 if outcome.cached { "cached cliques" } else { "cold" },
+                if measure == mining::Measure::Degree {
+                    String::new()
+                } else {
+                    format!(", by {measure}")
+                },
                 if outcome.truncated { " [truncated]" } else { "" },
+                outcome
+                    .coverage
+                    .map_or_else(String::new, |c| format!(" [anytime coverage {c:.3}]")),
             );
             let schema = session
                 .schema
                 .clone()
                 .unwrap_or_else(|| Schema::interval_attrs(arity(&partitioning)));
-            for rule in outcome.rules.iter().take(top) {
+            for (rule, value) in outcome.rules.iter().zip(&outcome.values).take(top) {
+                let suffix = match measure {
+                    mining::Measure::Degree => String::new(),
+                    m => format!("  [{m} {value:.4}]"),
+                };
                 let _ = writeln!(
                     out,
-                    "  {}",
+                    "  {}{suffix}",
                     describe_rule(rule, outcome.artifacts.graph.clusters(), &schema, &partitioning)
                 );
             }
@@ -439,6 +456,11 @@ fn parse_query(tokens: &[&str]) -> Result<RuleQuery, CliError> {
             "degree-factor" => query.degree_factor = value.parse().map_err(|_| bad())?,
             "max-antecedent" => query.max_antecedent = value.parse().map_err(|_| bad())?,
             "max-consequent" => query.max_consequent = value.parse().map_err(|_| bad())?,
+            "measure" => query.measure = mining::Measure::parse(value).ok_or_else(bad)?,
+            "min-measure" => query.min_measure = Some(value.parse().map_err(|_| bad())?),
+            "top-k" => query.top_k = value.parse().map_err(|_| bad())?,
+            "prune-redundant" => query.prune_redundant = value.parse().map_err(|_| bad())?,
+            "budget-ms" => query.budget_ms = value.parse().map_err(|_| bad())?,
             "top" => {
                 value.parse::<usize>().map_err(|_| bad())?;
             }
@@ -605,6 +627,27 @@ mod tests {
         let windowed_args = parse(&argv(&["--window-batches", "1"])).unwrap();
         let err = run_script(&format!("restore {}\n", snap.display()), &windowed_args).unwrap_err();
         assert!(err.to_string().contains("match --window-batches"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_rank_keys_rank_and_sample() {
+        let dir = session_dir("rank");
+        let batches = write_batches(&dir, 1);
+        let script = format!(
+            "ingest {}\n\
+             query measure=lift top-k=2 prune-redundant=true top=2\n\
+             query budget-ms=60000 top=1\n",
+            batches[0],
+        );
+        let args = parse(&argv(&["--support", "0.1", "--threshold-frac", "0.1"])).unwrap();
+        let out = run_script(&script, &args).unwrap();
+        assert!(out.contains("by lift"), "{out}");
+        assert!(out.contains("[lift"), "{out}");
+        assert!(out.contains("anytime coverage 1.000"), "a generous budget sees every pair: {out}");
+        let script = format!("ingest {}\nquery measure=zorp\n", batches[0]);
+        let err = run_script(&script, &args).unwrap_err();
+        assert!(err.to_string().contains("measure"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -48,6 +48,12 @@ pub struct ClusterConfig {
     /// Optional Prometheus exposition address for the global `dar-obs`
     /// registry (coordinator-side metrics).
     pub metrics_addr: Option<String>,
+    /// The coordinator's default rule query: knobs a `query` request does
+    /// not send fall back to these (set from CLI flags like `--measure`
+    /// and `--top-k`). The merged engine ranks with the same pipeline as
+    /// a single server, so ranked answers stay byte-identical across
+    /// shard layouts.
+    pub base_query: mining::RuleQuery,
     /// Serve partial answers when shards are down: queries merge the live
     /// shards' snapshots and carry an explicit coverage annotation
     /// (`degraded:true`, live/total shard counts, tuple coverage). Off by
@@ -88,6 +94,7 @@ impl Default for ClusterConfig {
             write_timeout: Duration::from_secs(30),
             allow_remote_shutdown: true,
             metrics_addr: None,
+            base_query: mining::RuleQuery::default(),
             allow_partial: false,
             probe_interval: Duration::from_millis(500),
             probe_timeout: Duration::from_millis(250),

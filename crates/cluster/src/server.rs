@@ -47,6 +47,7 @@ struct WorkerCtx {
     read_timeout: Duration,
     write_timeout: Duration,
     allow_remote_shutdown: bool,
+    base_query: mining::RuleQuery,
 }
 
 /// The coordinator front-end's entry point.
@@ -70,6 +71,7 @@ impl CoordinatorServer {
         let write_timeout = cfg.write_timeout;
         let allow_remote_shutdown = cfg.allow_remote_shutdown;
         let metrics_addr = cfg.metrics_addr.clone();
+        let base_query = cfg.base_query.clone();
         let coordinator = Arc::new(Mutex::new(coordinator));
         let shutdown = Arc::new(ShutdownSignal { flag: AtomicBool::new(false), addr: local_addr });
         let requests = Arc::new(AtomicU64::new(0));
@@ -89,6 +91,7 @@ impl CoordinatorServer {
                 read_timeout,
                 write_timeout,
                 allow_remote_shutdown,
+                base_query: base_query.clone(),
             };
             workers.push(
                 std::thread::Builder::new()
@@ -238,7 +241,7 @@ fn serve_connection(stream: TcpStream, ctx: &WorkerCtx) -> io::Result<()> {
 fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, bool) {
     ctx.requests.fetch_add(1, Ordering::Relaxed);
     let request = match json::parse(line) {
-        Ok(value) => match Request::from_json(&value) {
+        Ok(value) => match Request::from_json_with(&value, &ctx.base_query) {
             Ok(request) => request,
             Err(message) => return (error(ctx, "bad-request", &message), false),
         },

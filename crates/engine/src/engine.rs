@@ -6,11 +6,12 @@ use crate::snapshot;
 use crate::stats::EngineStats;
 use birch::{refine_forest_output, AcfForest};
 use dar_core::{ClusterId, ClusterSummary, CoreError, Partitioning};
+use dar_rank::RankSpec;
 use mining::rules::Dar;
-use mining::{Phase2Artifacts, RuleQuery};
+use mining::{ClusterDistance, Measure, Phase2Artifacts, RuleQuery};
 use std::collections::HashMap;
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// One closed epoch: the cluster summaries extracted from the live forest,
 /// the Phase I state they were extracted under, and the memoized Phase II
@@ -24,14 +25,51 @@ pub(crate) struct EpochState {
     /// fixed per engine, so density is the only Phase II input that shapes
     /// the graph).
     pub(crate) cache: HashMap<Vec<u64>, Arc<Phase2Artifacts>>,
+    /// Memoized *ranked* answers, keyed by density bits plus every rule
+    /// and rank knob (see [`rank_key`]). Interior mutability so the
+    /// `&self` [`DarEngine::query_cached`] fast path can populate it; dies
+    /// with the epoch on ingest like the artifact cache above. Exact-mode
+    /// answers only — anytime answers depend on the wall clock.
+    pub(crate) rank_cache: Mutex<HashMap<Vec<u64>, Arc<RankedAnswer>>>,
+}
+
+impl EpochState {
+    pub(crate) fn new(
+        clusters: Vec<ClusterSummary>,
+        tree_thresholds: Vec<f64>,
+        s0: u64,
+    ) -> EpochState {
+        EpochState {
+            clusters,
+            tree_thresholds,
+            s0,
+            cache: HashMap::new(),
+            rank_cache: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// One fully-ranked answer, as memoized per knob-set.
+#[derive(Debug)]
+pub(crate) struct RankedAnswer {
+    rules: Vec<Dar>,
+    values: Vec<f64>,
+    truncated: bool,
+    rules_in: usize,
+    pruned: usize,
 }
 
 /// The result of one [`DarEngine::query`].
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
-    /// The mined rules.
+    /// The mined rules, ranked best-first under [`QueryOutcome::measure`].
     pub rules: Vec<Dar>,
-    /// Whether rule generation hit a budget.
+    /// `rules[i]`'s value under the ranking measure.
+    pub values: Vec<f64>,
+    /// The measure the rules are ranked by.
+    pub measure: Measure,
+    /// Whether rule generation hit a budget (or, in anytime mode, the
+    /// answer is incomplete).
     pub truncated: bool,
     /// Whether the graph and cliques came from the epoch cache.
     pub cached: bool,
@@ -43,6 +81,96 @@ pub struct QueryOutcome {
     pub s0: u64,
     /// The epoch this answer reflects.
     pub epoch: u64,
+    /// Rules entering the ranking pipeline (before filter/prune/top-k).
+    pub rules_in: usize,
+    /// Rules dropped by redundancy pruning.
+    pub pruned: usize,
+    /// `Some(fraction)` iff this was an anytime (budgeted) answer: the
+    /// fraction of clique pairs examined, in `(0, 1]`. `None` means exact.
+    pub coverage: Option<f64>,
+}
+
+/// Cache key for one ranked answer: the resolved density bits plus every
+/// knob that shapes rule generation and ranking.
+fn rank_key(density_key: &[u64], query: &RuleQuery) -> Vec<u64> {
+    let mut key = density_key.to_vec();
+    key.push(query.degree_factor.to_bits());
+    key.push(query.max_antecedent as u64);
+    key.push(query.max_consequent as u64);
+    key.push(query.max_rules as u64);
+    key.push(query.max_pair_work);
+    key.push(query.measure.discriminant());
+    key.push(u64::from(query.min_measure.is_some()));
+    key.push(query.min_measure.unwrap_or(0.0).to_bits());
+    key.push(query.top_k as u64);
+    key.push(u64::from(query.prune_redundant));
+    key
+}
+
+/// Mines (exact or budgeted) and ranks one answer from cached artifacts.
+fn mine_ranked(
+    artifacts: &Phase2Artifacts,
+    metric: ClusterDistance,
+    pool: &dar_par::ThreadPool,
+    tuples: u64,
+    query: &RuleQuery,
+) -> (RankedAnswer, Option<f64>) {
+    let (raw, truncated, coverage) = if query.budget_ms > 0 {
+        let outcome = dar_rank::mine_budgeted(
+            artifacts,
+            metric,
+            query,
+            Duration::from_millis(query.budget_ms),
+        );
+        (outcome.rules, outcome.truncated, Some(outcome.coverage))
+    } else {
+        let (rules, truncated) = artifacts.mine_pooled(metric, query, pool);
+        (rules, truncated, None)
+    };
+    let spec = RankSpec::from_query(query, artifacts.graph.clusters(), tuples);
+    let ranked = dar_rank::rank(raw, &spec);
+    (
+        RankedAnswer {
+            rules: ranked.rules,
+            values: ranked.values,
+            truncated,
+            rules_in: ranked.rules_in,
+            pruned: ranked.pruned,
+        },
+        coverage,
+    )
+}
+
+/// Answers through the epoch's rank cache: exact answers are memoized per
+/// knob-set, anytime answers never are (they depend on the wall clock).
+fn ranked_for(
+    state: &EpochState,
+    artifacts: &Arc<Phase2Artifacts>,
+    rkey: Vec<u64>,
+    query: &RuleQuery,
+    metric: ClusterDistance,
+    pool: &dar_par::ThreadPool,
+    tuples: u64,
+) -> (Arc<RankedAnswer>, Option<f64>) {
+    if query.budget_ms > 0 {
+        let (answer, coverage) = mine_ranked(artifacts, metric, pool, tuples, query);
+        return (Arc::new(answer), coverage);
+    }
+    let hit = {
+        let cache = state.rank_cache.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        cache.get(&rkey).cloned()
+    };
+    if let Some(answer) = hit {
+        return (answer, None);
+    }
+    let (answer, _) = mine_ranked(artifacts, metric, pool, tuples, query);
+    let answer = Arc::new(answer);
+    state
+        .rank_cache
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .insert(rkey, Arc::clone(&answer));
+    (answer, None)
 }
 
 /// A long-lived incremental DAR mining engine. See the crate docs for the
@@ -178,8 +306,7 @@ impl DarEngine {
             }
         }
         let s0 = ((self.config.min_support_frac * self.tuples as f64).ceil() as u64).max(1);
-        self.epoch_state =
-            Some(EpochState { clusters, tree_thresholds, s0, cache: HashMap::new() });
+        self.epoch_state = Some(EpochState::new(clusters, tree_thresholds, s0));
         self.epoch += 1;
         self.stats.epochs += 1;
         self.stats.epoch_time += t.elapsed();
@@ -237,10 +364,33 @@ impl DarEngine {
         };
 
         let t = Instant::now();
-        let (rules, truncated) = artifacts.mine(self.config.metric, query);
+        let state = self.epoch_state.as_ref().expect("epoch just ensured");
+        let density_bits: Vec<u64> =
+            artifacts.density_thresholds.iter().map(|d| d.to_bits()).collect();
+        let (answer, coverage) = ranked_for(
+            state,
+            &artifacts,
+            rank_key(&density_bits, query),
+            query,
+            self.config.metric,
+            &self.pool,
+            self.tuples,
+        );
         self.stats.rule_time += t.elapsed();
         self.stats.queries += 1;
-        Ok(QueryOutcome { rules, truncated, cached, artifacts, s0, epoch: self.epoch })
+        Ok(QueryOutcome {
+            rules: answer.rules.clone(),
+            values: answer.values.clone(),
+            measure: query.measure,
+            truncated: answer.truncated,
+            cached,
+            artifacts,
+            s0,
+            epoch: self.epoch,
+            rules_in: answer.rules_in,
+            pruned: answer.pruned,
+            coverage,
+        })
     }
 
     /// The read-only fast path for concurrent serving: answers a query
@@ -269,14 +419,27 @@ impl DarEngine {
         let Some(artifacts) = state.cache.get(&key) else {
             return Ok(None);
         };
-        let (rules, truncated) = artifacts.mine(self.config.metric, query);
+        let (answer, coverage) = ranked_for(
+            state,
+            artifacts,
+            rank_key(&key, query),
+            query,
+            self.config.metric,
+            &self.pool,
+            self.tuples,
+        );
         Ok(Some(QueryOutcome {
-            rules,
-            truncated,
+            rules: answer.rules.clone(),
+            values: answer.values.clone(),
+            measure: query.measure,
+            truncated: answer.truncated,
             cached: true,
             artifacts: Arc::clone(artifacts),
             s0: state.s0,
             epoch: self.epoch,
+            rules_in: answer.rules_in,
+            pruned: answer.pruned,
+            coverage,
         }))
     }
 
@@ -335,12 +498,7 @@ impl DarEngine {
             pool,
             epoch: snap.epoch,
             tuples: snap.tuples,
-            epoch_state: Some(EpochState {
-                clusters: snap.clusters,
-                tree_thresholds: snap.thresholds,
-                s0,
-                cache: HashMap::new(),
-            }),
+            epoch_state: Some(EpochState::new(snap.clusters, snap.thresholds, s0)),
             stats,
         })
     }
@@ -598,6 +756,49 @@ mod tests {
         let config =
             EngineConfig { initial_thresholds: Some(vec![1.0]), ..EngineConfig::default() };
         assert!(DarEngine::new(partitioning, config).is_err());
+    }
+
+    #[test]
+    fn ranked_queries_thread_the_knobs_through() {
+        let mut e = engine();
+        e.ingest(&block_rows(60, 0)).unwrap();
+        let exact = e.query(&RuleQuery::default()).unwrap();
+        assert!(!exact.rules.is_empty());
+        assert_eq!(exact.measure, Measure::Degree);
+        assert_eq!(exact.values.len(), exact.rules.len());
+        assert!(exact.coverage.is_none(), "exact answers carry no coverage");
+        for (r, v) in exact.rules.iter().zip(&exact.values) {
+            assert_eq!(r.degree, *v, "degree values are the degrees themselves");
+        }
+        // Re-asking with identical knobs reproduces the answer (rank
+        // cache hit on the second ask).
+        let again = e.query(&RuleQuery::default()).unwrap();
+        assert_eq!(again.rules, exact.rules);
+        assert_eq!(again.values, exact.values);
+        // top_k keeps the best-ranked prefix and reports the pre-cut size.
+        let top = e.query(&RuleQuery { top_k: 1, ..RuleQuery::default() }).unwrap();
+        assert_eq!(top.rules.len(), 1);
+        assert_eq!(top.rules[0], exact.rules[0]);
+        assert_eq!(top.rules_in, exact.rules.len());
+        // Re-ranking by lift permutes, never invents or loses, rules.
+        let lift = e.query(&RuleQuery { measure: Measure::Lift, ..RuleQuery::default() }).unwrap();
+        assert_eq!(lift.measure, Measure::Lift);
+        let mut relifted = lift.rules.clone();
+        mining::sort_rules(&mut relifted);
+        assert_eq!(relifted, exact.rules);
+    }
+
+    #[test]
+    fn anytime_answers_carry_honest_coverage_and_converge() {
+        let mut e = engine();
+        e.ingest(&block_rows(60, 0)).unwrap();
+        let exact = e.query(&RuleQuery::default()).unwrap();
+        // A generous budget sees every clique pair: coverage 1.0, not
+        // truncated, and the rules equal the exact answer.
+        let full = e.query(&RuleQuery { budget_ms: 60_000, ..RuleQuery::default() }).unwrap();
+        assert_eq!(full.coverage, Some(1.0));
+        assert!(!full.truncated);
+        assert_eq!(full.rules, exact.rules);
     }
 
     #[test]

@@ -44,5 +44,7 @@ pub mod rules;
 pub use clique::{maximal_cliques, maximal_cliques_pooled, non_trivial};
 pub use graph::{ClusterDistance, ClusteringGraph, GraphConfig};
 pub use pipeline::{DarConfig, DarMiner, MineResult, MineStats};
-pub use query::{DensitySpec, Phase2Artifacts, RuleQuery};
-pub use rules::{Dar, RuleConfig};
+pub use query::{DensitySpec, Measure, Phase2Artifacts, RuleQuery, MEASURES};
+pub use rules::{
+    consequent_subsets, generate_dars_capped_pooled, pair_candidates, sort_rules, Dar, RuleConfig,
+};

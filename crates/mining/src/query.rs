@@ -17,7 +17,7 @@
 use crate::clique::non_trivial;
 use crate::graph::{ClusterDistance, ClusteringGraph, GraphConfig};
 use crate::pipeline::auto_density_thresholds;
-use crate::rules::{generate_dars_capped, Dar, RuleConfig};
+use crate::rules::{generate_dars_capped_pooled, Dar, RuleConfig};
 use dar_core::{ClusterSummary, CoreError};
 
 /// How Phase II derives its per-set density thresholds `d0^X` (Dfn 4.2).
@@ -69,6 +69,70 @@ impl DensitySpec {
     }
 }
 
+/// The interestingness measure a query ranks its rules by.
+///
+/// `Degree` is the paper's own degree of association (Section 5) and the
+/// default: ranking by it reproduces the engine's historical output order
+/// exactly (ascending degree, then rule identity). The classical measures
+/// are evaluated by the `dar-rank` crate from per-rule support statistics;
+/// this enum is plain data so it can travel on a [`RuleQuery`] without
+/// `mining` depending on the ranking layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Measure {
+    /// The paper's normalized degree of association (lower degree is
+    /// stronger; ranked ascending).
+    #[default]
+    Degree,
+    /// Lift: `P(X ∧ Y) / (P(X)·P(Y))`.
+    Lift,
+    /// Conviction: `(1 − P(Y)) / (1 − conf(X ⇒ Y))`, capped at a finite
+    /// constant so it survives JSON encoding.
+    Conviction,
+    /// Leverage (Piatetsky-Shapiro): `P(X ∧ Y) − P(X)·P(Y)`.
+    Leverage,
+    /// Jaccard: `P(X ∧ Y) / P(X ∨ Y)`.
+    Jaccard,
+}
+
+/// Every measure, in wire-name order (useful for CLI help and sweeps).
+pub const MEASURES: &[Measure] =
+    &[Measure::Degree, Measure::Lift, Measure::Conviction, Measure::Leverage, Measure::Jaccard];
+
+impl Measure {
+    /// The wire/CLI name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Measure::Degree => "degree",
+            Measure::Lift => "lift",
+            Measure::Conviction => "conviction",
+            Measure::Leverage => "leverage",
+            Measure::Jaccard => "jaccard",
+        }
+    }
+
+    /// Parses a wire/CLI name.
+    pub fn parse(name: &str) -> Option<Measure> {
+        MEASURES.iter().copied().find(|m| m.as_str() == name)
+    }
+
+    /// A stable small integer for cache keys.
+    pub fn discriminant(self) -> u64 {
+        match self {
+            Measure::Degree => 0,
+            Measure::Lift => 1,
+            Measure::Conviction => 2,
+            Measure::Leverage => 3,
+            Measure::Jaccard => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for Measure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One rule-mining request: the parameters an analyst re-tunes between
 /// queries over the same clustered data.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +150,18 @@ pub struct RuleQuery {
     pub max_rules: usize,
     /// Budget on clique-pair work during rule generation (0 = unbounded).
     pub max_pair_work: u64,
+    /// The interestingness measure rules are ranked by.
+    pub measure: Measure,
+    /// Drop rules whose measure value falls below this floor.
+    pub min_measure: Option<f64>,
+    /// Keep only the best `top_k` ranked rules (0 = all).
+    pub top_k: usize,
+    /// Collapse near-identical rules (same attribute sets, overlapping
+    /// cluster bounding boxes) to one representative per cluster.
+    pub prune_redundant: bool,
+    /// Anytime mode: sample clique pairs under this wall-clock budget in
+    /// milliseconds and report an honest coverage fraction (0 = exact).
+    pub budget_ms: u64,
 }
 
 impl Default for RuleQuery {
@@ -97,6 +173,11 @@ impl Default for RuleQuery {
             max_consequent: 2,
             max_rules: 100_000,
             max_pair_work: 10_000_000,
+            measure: Measure::Degree,
+            min_measure: None,
+            top_k: 0,
+            prune_redundant: false,
+            budget_ms: 0,
         }
     }
 }
@@ -208,12 +289,26 @@ impl Phase2Artifacts {
     ///
     /// Returns the rules and whether generation hit a budget.
     pub fn mine(&self, metric: ClusterDistance, query: &RuleQuery) -> (Vec<Dar>, bool) {
+        self.mine_pooled(metric, query, &dar_par::ThreadPool::serial())
+    }
+
+    /// [`Phase2Artifacts::mine`] with rule generation parallelized over
+    /// consequent cliques on `pool`. Byte-identical to the serial path at
+    /// every worker count (see
+    /// [`generate_dars_capped_pooled`](crate::rules::generate_dars_capped_pooled)).
+    pub fn mine_pooled(
+        &self,
+        metric: ClusterDistance,
+        query: &RuleQuery,
+        pool: &dar_par::ThreadPool,
+    ) -> (Vec<Dar>, bool) {
         let m = crate::metrics::metrics();
         let _t = dar_obs::Span::new(m.rule_gen_ns.clone());
-        let (rules, truncated) = generate_dars_capped(
+        let (rules, truncated) = generate_dars_capped_pooled(
             &self.graph,
             &self.cliques,
             &query.rule_config(metric, &self.density_thresholds),
+            pool,
         );
         m.rules_emitted.add(rules.len() as u64);
         if truncated {

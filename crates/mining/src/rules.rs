@@ -10,6 +10,7 @@
 //! clique members are pairwise adjacent in the clustering graph.
 
 use crate::graph::{ClusterDistance, ClusteringGraph};
+use dar_par::ThreadPool;
 use std::collections::BTreeSet;
 
 /// Configuration of rule generation.
@@ -85,85 +86,183 @@ pub fn generate_dars_capped(
     cliques: &[Vec<usize>],
     config: &RuleConfig,
 ) -> (Vec<Dar>, bool) {
-    let clusters = graph.clusters();
+    generate_dars_capped_pooled(graph, cliques, config, &ThreadPool::serial())
+}
+
+/// [`generate_dars_capped`] parallelized over consequent cliques on the
+/// `dar-par` pool. Output is byte-identical to the serial path at every
+/// worker count (the serial entry point *is* this function with a serial
+/// pool — there is no twin implementation to drift):
+///
+/// - The triple count per `Q2` (`|consequent subsets| × |cliques|`) is
+///   data-independent, so the serial `max_pair_work` cutoff is reproduced
+///   exactly from precomputed prefix offsets: task `i` examines at most
+///   `max_pair_work − offsetᵢ` triples.
+/// - Each task emits its candidates in serial enumeration order with a
+///   task-local keep-first dedup; a `Dar`'s fields are fully determined by
+///   its `(antecedent, consequent)` key, so dropping later duplicates
+///   never changes a value.
+/// - A sequential merge in `Q2` order re-applies the global dedup and the
+///   `max_rules` cutoff at exactly the rule where the serial loop stops.
+pub fn generate_dars_capped_pooled(
+    graph: &ClusteringGraph,
+    cliques: &[Vec<usize>],
+    config: &RuleConfig,
+    pool: &ThreadPool,
+) -> (Vec<Dar>, bool) {
+    // Consequent subsets of each Q2, enumerated once; antecedents come
+    // from every clique Q1 (including Q2 itself).
+    let consequents: Vec<Vec<Vec<usize>>> =
+        cliques.iter().map(|q2| subsets_up_to(q2, config.max_consequent)).collect();
+    let mut offsets: Vec<u64> = Vec::with_capacity(cliques.len());
+    let mut total_work: u64 = 0;
+    for cons in &consequents {
+        offsets.push(total_work);
+        total_work =
+            total_work.saturating_add((cons.len() as u64).saturating_mul(cliques.len() as u64));
+    }
+    let mut truncated = config.max_pair_work != 0 && total_work > config.max_pair_work;
+
+    let tasks = pool.map_indexed("rule_gen", cliques.len(), 1, |i| {
+        let budget = if config.max_pair_work == 0 {
+            u64::MAX
+        } else {
+            config.max_pair_work.saturating_sub(offsets[i])
+        };
+        q2_candidates(graph, cliques, &consequents[i], config, budget)
+    });
+
     let mut seen: BTreeSet<(Vec<usize>, Vec<usize>)> = BTreeSet::new();
     let mut out: Vec<Dar> = Vec::new();
-    let mut work: u64 = 0;
-    let mut truncated = false;
-
-    'pairs: for q2 in cliques {
-        // Enumerate consequent subsets of Q2 once per Q2; antecedents come
-        // from every clique Q1 (including Q2 itself).
-        let consequents = subsets_up_to(q2, config.max_consequent);
-        for q1 in cliques {
-            for cons in &consequents {
-                work += 1;
-                if config.max_pair_work != 0 && work > config.max_pair_work {
-                    truncated = true;
-                    break 'pairs;
-                }
-                // assoc(C_Yj) for each consequent member, intersected.
-                let mut candidates: Vec<usize> = q1
-                    .iter()
-                    .copied()
-                    .filter(|&x| {
-                        cons.iter().all(|&y| {
-                            if clusters[x].set == clusters[y].set {
-                                return false;
-                            }
-                            let yset = clusters[y].set;
-                            let d = config
-                                .metric
-                                .between(&clusters[y].acf, &clusters[x].acf, yset)
-                                .expect("graph clusters are non-empty");
-                            d <= config.degree_thresholds[yset]
-                        })
-                    })
-                    .filter(|x| !cons.contains(x))
-                    .collect();
-                candidates.sort_unstable();
-                candidates.dedup();
-                if candidates.is_empty() {
-                    continue;
-                }
-                for ant in subsets_up_to(&candidates, config.max_antecedent) {
-                    // Antecedent sets must also be pairwise disjoint with
-                    // each other; clique membership of Q1 guarantees
-                    // distinct sets, but `candidates` may be a subset of a
-                    // clique — still pairwise adjacent, hence distinct.
-                    let key = (ant.clone(), cons.clone());
-                    if seen.contains(&key) {
-                        continue;
-                    }
-                    let degree = rule_degree(graph, &ant, cons, config);
-                    let min_cluster_support = ant
-                        .iter()
-                        .chain(cons.iter())
-                        .map(|&i| clusters[i].support())
-                        .min()
-                        .unwrap_or(0);
-                    seen.insert(key);
-                    out.push(Dar {
-                        antecedent: ant,
-                        consequent: cons.clone(),
-                        degree,
-                        min_cluster_support,
-                    });
-                    if config.max_rules != 0 && out.len() >= config.max_rules {
-                        truncated = true;
-                        break 'pairs;
-                    }
-                }
+    'merge: for task in tasks {
+        for dar in task {
+            let key = (dar.antecedent.clone(), dar.consequent.clone());
+            if !seen.insert(key) {
+                continue;
+            }
+            out.push(dar);
+            if config.max_rules != 0 && out.len() >= config.max_rules {
+                truncated = true;
+                break 'merge;
             }
         }
     }
-    out.sort_by(|a, b| {
+    sort_rules(&mut out);
+    (out, truncated)
+}
+
+/// One rule-generation task: every `(Q1, consequent subset)` triple for a
+/// fixed `Q2`, in serial enumeration order, stopping after `budget`
+/// triples. The task-local dedup only drops duplicates the global merge
+/// would drop anyway (keep-first order is the same).
+fn q2_candidates(
+    graph: &ClusteringGraph,
+    cliques: &[Vec<usize>],
+    consequents: &[Vec<usize>],
+    config: &RuleConfig,
+    budget: u64,
+) -> Vec<Dar> {
+    let mut seen: BTreeSet<(Vec<usize>, Vec<usize>)> = BTreeSet::new();
+    let mut out: Vec<Dar> = Vec::new();
+    let mut remaining = budget;
+    'q1s: for q1 in cliques {
+        for cons in consequents {
+            if remaining == 0 {
+                break 'q1s;
+            }
+            remaining -= 1;
+            emit_pair(graph, q1, cons, config, &mut seen, &mut out);
+        }
+    }
+    out
+}
+
+/// Candidate rules for one clique pair `(Q1, Q2)` given `Q2`'s consequent
+/// subsets, in enumeration order and deduplicated within the pair. This is
+/// the sampling unit of the anytime mode in `dar-rank`: the caller owns
+/// cross-pair deduplication and the final [`sort_rules`].
+pub fn pair_candidates(
+    graph: &ClusteringGraph,
+    q1: &[usize],
+    consequents: &[Vec<usize>],
+    config: &RuleConfig,
+) -> Vec<Dar> {
+    let mut seen: BTreeSet<(Vec<usize>, Vec<usize>)> = BTreeSet::new();
+    let mut out: Vec<Dar> = Vec::new();
+    for cons in consequents {
+        emit_pair(graph, q1, cons, config, &mut seen, &mut out);
+    }
+    out
+}
+
+/// All candidate consequent subsets of one clique, for use with
+/// [`pair_candidates`].
+pub fn consequent_subsets(clique: &[usize], max_consequent: usize) -> Vec<Vec<usize>> {
+    subsets_up_to(clique, max_consequent)
+}
+
+/// Appends the rules of one `(Q1, consequent subset)` triple, skipping
+/// keys already in `seen`.
+fn emit_pair(
+    graph: &ClusteringGraph,
+    q1: &[usize],
+    cons: &[usize],
+    config: &RuleConfig,
+    seen: &mut BTreeSet<(Vec<usize>, Vec<usize>)>,
+    out: &mut Vec<Dar>,
+) {
+    let clusters = graph.clusters();
+    // assoc(C_Yj) for each consequent member, intersected.
+    let mut candidates: Vec<usize> = q1
+        .iter()
+        .copied()
+        .filter(|&x| {
+            cons.iter().all(|&y| {
+                if clusters[x].set == clusters[y].set {
+                    return false;
+                }
+                let yset = clusters[y].set;
+                let d = config
+                    .metric
+                    .between(&clusters[y].acf, &clusters[x].acf, yset)
+                    .expect("graph clusters are non-empty");
+                d <= config.degree_thresholds[yset]
+            })
+        })
+        .filter(|x| !cons.contains(x))
+        .collect();
+    candidates.sort_unstable();
+    candidates.dedup();
+    if candidates.is_empty() {
+        return;
+    }
+    for ant in subsets_up_to(&candidates, config.max_antecedent) {
+        // Antecedent sets must also be pairwise disjoint with each other;
+        // clique membership of Q1 guarantees distinct sets, but
+        // `candidates` may be a subset of a clique — still pairwise
+        // adjacent, hence distinct.
+        let key = (ant.clone(), cons.to_vec());
+        if seen.contains(&key) {
+            continue;
+        }
+        let degree = rule_degree(graph, &ant, cons, config);
+        let min_cluster_support =
+            ant.iter().chain(cons.iter()).map(|&i| clusters[i].support()).min().unwrap_or(0);
+        seen.insert(key);
+        out.push(Dar { antecedent: ant, consequent: cons.to_vec(), degree, min_cluster_support });
+    }
+}
+
+/// The canonical rule order: ascending degree, then rule identity. Every
+/// artifact the engine serves is sorted this way before ranking, so the
+/// output is independent of enumeration (and worker) order.
+pub fn sort_rules(rules: &mut [Dar]) {
+    rules.sort_by(|a, b| {
         a.degree
             .total_cmp(&b.degree)
             .then_with(|| a.antecedent.cmp(&b.antecedent))
             .then_with(|| a.consequent.cmp(&b.consequent))
     });
-    (out, truncated)
 }
 
 /// Normalized degree of a candidate rule: the worst pairwise
@@ -335,6 +434,109 @@ mod tests {
         let (rules, truncated) = generate_dars_capped(&graph, &cliques, &rcfg);
         assert_eq!(rules.len(), 3);
         assert!(truncated);
+    }
+
+    /// Several co-located groups far apart from each other: each group
+    /// forms its own triangle in the clustering graph, so the clique list
+    /// has one entry per group and the pooled rule generator gets real
+    /// multi-task fan-out.
+    fn multi_group_clusters(groups: usize) -> Vec<ClusterSummary> {
+        let layout = AcfLayout::new(vec![1, 1, 1]);
+        let mut out = Vec::new();
+        for g in 0..groups {
+            let base = 1_000.0 * g as f64;
+            let mut acfs: Vec<Acf> = (0..3).map(|set| Acf::empty(&layout, set)).collect();
+            for k in 0..10 {
+                let jitter = 0.05 * k as f64;
+                let projections = vec![
+                    vec![base + 44.0 + jitter],
+                    vec![base + 3.0 + jitter * 0.1],
+                    vec![base + 120.0 + jitter * 10.0],
+                ];
+                for acf in &mut acfs {
+                    acf.add_row(&projections);
+                }
+            }
+            out.extend(acfs.into_iter().enumerate().map(|(i, acf)| ClusterSummary {
+                id: ClusterId((g * 3 + i) as u32),
+                set: i,
+                acf,
+            }));
+        }
+        out
+    }
+
+    #[test]
+    fn pooled_rule_generation_is_byte_identical_at_every_worker_count() {
+        let gcfg = GraphConfig {
+            metric: ClusterDistance::D2,
+            density_thresholds: vec![55.0; 3],
+            prune_poor_density: false,
+        };
+        let graph = ClusteringGraph::build(multi_group_clusters(4), &gcfg);
+        let (cliques, _) = maximal_cliques(graph.adjacency(), 0);
+        assert!(cliques.len() >= 4, "want one clique per group, got {}", cliques.len());
+        let base = RuleConfig {
+            metric: ClusterDistance::D2,
+            degree_thresholds: vec![55.0; 3],
+            max_antecedent: 2,
+            max_consequent: 2,
+            max_rules: 0,
+            max_pair_work: 0,
+        };
+        // Uncapped, rules-capped, work-capped, and both caps at once: the
+        // pooled path must reproduce the serial truncation point exactly.
+        let configs = [
+            base.clone(),
+            RuleConfig { max_rules: 5, ..base.clone() },
+            RuleConfig { max_pair_work: 3, ..base.clone() },
+            RuleConfig { max_rules: 4, max_pair_work: 7, ..base.clone() },
+        ];
+        for config in &configs {
+            let serial = generate_dars_capped(&graph, &cliques, config);
+            for workers in [1usize, 2, 4, 8] {
+                let pool = ThreadPool::new(workers);
+                let pooled = generate_dars_capped_pooled(&graph, &cliques, config, &pool);
+                assert_eq!(serial, pooled, "workers={workers} config={config:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_candidates_cover_the_uncapped_enumeration() {
+        // Union of per-pair candidates (with cross-pair dedup) equals the
+        // full generator's output — the invariant the anytime sampler
+        // relies on for full-budget convergence.
+        let gcfg = GraphConfig {
+            metric: ClusterDistance::D2,
+            density_thresholds: vec![55.0; 3],
+            prune_poor_density: false,
+        };
+        let graph = ClusteringGraph::build(multi_group_clusters(3), &gcfg);
+        let (cliques, _) = maximal_cliques(graph.adjacency(), 0);
+        let config = RuleConfig {
+            metric: ClusterDistance::D2,
+            degree_thresholds: vec![55.0; 3],
+            max_antecedent: 2,
+            max_consequent: 2,
+            max_rules: 0,
+            max_pair_work: 0,
+        };
+        let exact = generate_dars(&graph, &cliques, &config);
+        let mut seen = BTreeSet::new();
+        let mut sampled = Vec::new();
+        for q2 in &cliques {
+            let consequents = consequent_subsets(q2, config.max_consequent);
+            for q1 in &cliques {
+                for dar in pair_candidates(&graph, q1, &consequents, &config) {
+                    if seen.insert((dar.antecedent.clone(), dar.consequent.clone())) {
+                        sampled.push(dar);
+                    }
+                }
+            }
+        }
+        sort_rules(&mut sampled);
+        assert_eq!(exact, sampled);
     }
 
     #[test]

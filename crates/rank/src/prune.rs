@@ -1,0 +1,145 @@
+//! Clustering-based redundancy pruning.
+//!
+//! Overlapping maximal cliques emit families of near-identical rules: same
+//! antecedent/consequent *attribute sets*, cluster bounding boxes that
+//! overlap interval-by-interval — to a consumer these are one insight
+//! stated several times. Following the pruning-by-clustering literature,
+//! rules are grouped into redundancy clusters (same attribute-set
+//! signature, pairwise-overlapping member bounding boxes) and only the
+//! best-ranked representative of each cluster is kept.
+//!
+//! The pass is greedy over the already-ranked rule list, so which rule
+//! represents a cluster is exactly the one the active measure ranks
+//! highest — and the output is a deterministic function of the ranked
+//! input, preserving byte-identity across worker counts and shards.
+
+use dar_core::{BoundingBox, ClusterSummary};
+use mining::Dar;
+use std::collections::BTreeMap;
+
+/// The rules a pruning pass kept, plus its bookkeeping.
+#[derive(Debug)]
+pub struct PruneOutcome {
+    /// Indices (into the ranked input) of the representatives, in input
+    /// order.
+    pub kept: Vec<usize>,
+    /// Rules dropped as redundant.
+    pub pruned: usize,
+    /// Redundancy clusters that absorbed at least one duplicate.
+    pub clusters: usize,
+}
+
+/// Attribute-set signature of one rule side, members ordered by set.
+/// Clique adjacency guarantees the member sets are pairwise distinct, so
+/// the ordering is total.
+fn signature(members: &[usize], clusters: &[ClusterSummary]) -> Vec<usize> {
+    let mut sets: Vec<usize> = members.iter().map(|&i| clusters[i].set).collect();
+    sets.sort_unstable();
+    sets
+}
+
+/// Member cluster indices ordered by their attribute set, aligning the
+/// two rules of one signature member-by-member.
+fn by_set(members: &[usize], clusters: &[ClusterSummary]) -> Vec<usize> {
+    let mut ordered = members.to_vec();
+    ordered.sort_unstable_by_key(|&i| clusters[i].set);
+    ordered
+}
+
+/// Whether two bounding boxes overlap in every dimension.
+fn overlaps(a: &BoundingBox, b: &BoundingBox) -> bool {
+    let (ia, ib) = (a.intervals(), b.intervals());
+    ia.len() == ib.len() && ia.iter().zip(ib).all(|(x, y)| x.lo <= y.hi && y.lo <= x.hi)
+}
+
+/// Whether two same-signature rules are redundant: corresponding members
+/// (matched by attribute set) have overlapping bounding boxes on both
+/// sides.
+fn redundant(a: &Dar, b: &Dar, clusters: &[ClusterSummary]) -> bool {
+    let side = |xs: &[usize], ys: &[usize]| {
+        by_set(xs, clusters)
+            .iter()
+            .zip(by_set(ys, clusters))
+            .all(|(&x, y)| overlaps(clusters[x].bbox(), clusters[y].bbox()))
+    };
+    side(&a.antecedent, &b.antecedent) && side(&a.consequent, &b.consequent)
+}
+
+/// Greedy redundancy pruning over a ranked rule list: a rule that is
+/// redundant with an earlier (better-ranked) representative is dropped,
+/// otherwise it becomes a representative itself.
+pub fn prune(rules: &[Dar], clusters: &[ClusterSummary]) -> PruneOutcome {
+    // Representative indices per signature; signatures partition the
+    // rules, so only same-signature pairs are ever compared.
+    let mut reps: BTreeMap<(Vec<usize>, Vec<usize>), Vec<usize>> = BTreeMap::new();
+    let mut kept = Vec::with_capacity(rules.len());
+    let mut absorbed: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut pruned = 0;
+    for (i, rule) in rules.iter().enumerate() {
+        let sig = (signature(&rule.antecedent, clusters), signature(&rule.consequent, clusters));
+        let group = reps.entry(sig).or_default();
+        match group.iter().find(|&&rep| redundant(&rules[rep], rule, clusters)) {
+            Some(&rep) => {
+                pruned += 1;
+                *absorbed.entry(rep).or_default() += 1;
+            }
+            None => {
+                group.push(i);
+                kept.push(i);
+            }
+        }
+    }
+    PruneOutcome { kept, pruned, clusters: absorbed.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dar_core::{Acf, AcfLayout, ClusterId};
+
+    /// One single-attribute cluster per set, centered at `x` with ±0.5
+    /// spread.
+    fn cluster(id: u32, set: usize, x: f64) -> ClusterSummary {
+        let layout = AcfLayout::new(vec![1, 1]);
+        let mut acf = Acf::empty(&layout, set);
+        acf.add_row(&[vec![x - 0.5], vec![x - 0.5]]);
+        acf.add_row(&[vec![x + 0.5], vec![x + 0.5]]);
+        ClusterSummary { id: ClusterId(id), set, acf }
+    }
+
+    fn rule(ant: Vec<usize>, cons: Vec<usize>, degree: f64) -> Dar {
+        Dar { antecedent: ant, consequent: cons, degree, min_cluster_support: 2 }
+    }
+
+    #[test]
+    fn overlapping_same_signature_rules_collapse_to_the_best() {
+        // Clusters 0/2 (set 0) overlap; clusters 1/3 (set 1) overlap.
+        let clusters = vec![
+            cluster(0, 0, 10.0),
+            cluster(1, 1, 20.0),
+            cluster(2, 0, 10.4),
+            cluster(3, 1, 20.4),
+        ];
+        let rules = vec![
+            rule(vec![0], vec![1], 0.1),
+            rule(vec![2], vec![3], 0.5),
+            rule(vec![1], vec![0], 0.9),
+        ];
+        let out = prune(&rules, &clusters);
+        // Rule 1 is redundant with rule 0; rule 2 has a different
+        // signature (sides swapped) and survives.
+        assert_eq!(out.kept, vec![0, 2]);
+        assert_eq!(out.pruned, 1);
+        assert_eq!(out.clusters, 1);
+    }
+
+    #[test]
+    fn disjoint_boxes_are_not_redundant() {
+        let clusters = vec![cluster(0, 0, 10.0), cluster(1, 1, 20.0), cluster(2, 0, 99.0)];
+        let rules = vec![rule(vec![0], vec![1], 0.1), rule(vec![2], vec![1], 0.5)];
+        let out = prune(&rules, &clusters);
+        assert_eq!(out.kept, vec![0, 1]);
+        assert_eq!(out.pruned, 0);
+        assert_eq!(out.clusters, 0);
+    }
+}

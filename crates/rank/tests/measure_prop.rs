@@ -1,0 +1,125 @@
+//! Property tests for measure soundness.
+//!
+//! Two obligations: (1) every measure stays within its theoretical bounds
+//! on arbitrary consistent statistics; (2) on exact counts derived from a
+//! concrete relation via `mining::interest`'s classical support and
+//! confidence, the measures satisfy their textbook identities.
+
+use dar_rank::{evaluate, RuleStats, CONVICTION_CAP};
+use mining::interest::{confidence, satisfying_rows, support, Predicate};
+use mining::{Dar, Measure};
+
+use dar_core::{RelationBuilder, Schema};
+use proptest::prelude::*;
+
+fn rule(joint: u64) -> Dar {
+    Dar { antecedent: vec![0], consequent: vec![1], degree: 0.5, min_cluster_support: joint }
+}
+
+/// Bounds on arbitrary consistent statistics:
+/// max(0, ant+cons−n) ≤ joint ≤ min(ant, cons) ≤ n.
+#[test]
+fn measures_stay_within_theoretical_bounds() {
+    proptest!(|(
+        n in 1u64..10_000,
+        ant_frac in 0.0f64..1.0,
+        cons_frac in 0.0f64..1.0,
+        joint_frac in 0.0f64..1.0,
+    )| {
+        let ant = ((n as f64) * ant_frac) as u64;
+        let cons = ((n as f64) * cons_frac) as u64;
+        let lo = (ant + cons).saturating_sub(n);
+        let hi = ant.min(cons);
+        let joint = lo + (((hi - lo) as f64) * joint_frac) as u64;
+        let stats = RuleStats { n, antecedent: ant, consequent: cons, joint };
+        let r = rule(joint);
+
+        // lift ≤ n/max(ant,cons) ≤ n, reached when ant = cons = joint.
+        let lift = evaluate(Measure::Lift, &r, &stats);
+        prop_assert!((0.0..=n as f64 + 1e-9).contains(&lift), "lift={}", lift);
+
+        let conviction = evaluate(Measure::Conviction, &r, &stats);
+        prop_assert!(
+            (0.0..=CONVICTION_CAP).contains(&conviction),
+            "conviction={}", conviction
+        );
+
+        // Piatetsky-Shapiro leverage lives in [−0.25, 0.25].
+        let leverage = evaluate(Measure::Leverage, &r, &stats);
+        prop_assert!(
+            (-0.25 - 1e-9..=0.25 + 1e-9).contains(&leverage),
+            "leverage={}", leverage
+        );
+
+        let jaccard = evaluate(Measure::Jaccard, &r, &stats);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&jaccard), "jaccard={}", jaccard);
+    });
+}
+
+/// On exact counts from a real relation, the measures agree with the
+/// classical support/confidence of `mining::interest`:
+/// lift = conf / supp(Y), conviction = (1 − supp(Y)) / (1 − conf),
+/// leverage = supp(XY) − supp(X)·supp(Y).
+#[test]
+fn measures_agree_with_classical_support_and_confidence() {
+    proptest!(|(
+        rows in prop::collection::vec((0u8..4, 0u8..4), 1..80),
+        a_val in 0u8..4,
+        b_val in 0u8..4,
+    )| {
+        let mut builder = RelationBuilder::new(Schema::interval_attrs(2));
+        for (a, b) in &rows {
+            builder.push_row(&[*a as f64, *b as f64]).unwrap();
+        }
+        let relation = builder.finish();
+        let ant = [Predicate::Eq(0, a_val as f64)];
+        let cons = [Predicate::Eq(1, b_val as f64)];
+
+        let n = relation.len() as u64;
+        let ant_count = satisfying_rows(&relation, &ant).len() as u64;
+        let cons_count = satisfying_rows(&relation, &cons).len() as u64;
+        let both: Vec<Predicate> = ant.iter().chain(cons.iter()).cloned().collect();
+        let joint_count = satisfying_rows(&relation, &both).len() as u64;
+
+        // Exact statistics: sides from exact extensions, exact joint via
+        // `with_joint`.
+        let stats = RuleStats { n, antecedent: ant_count, consequent: cons_count, joint: 0 }
+            .with_joint(joint_count);
+        let r = rule(joint_count);
+
+        let supp_xy = support(&relation, &ant, &cons);
+        let supp_y = support(&relation, &[], &cons);
+        let conf = confidence(&relation, &ant, &cons);
+
+        let leverage = evaluate(Measure::Leverage, &r, &stats);
+        prop_assert!(
+            (leverage - (supp_xy - (ant_count as f64 / n as f64) * supp_y)).abs() < 1e-12,
+            "leverage disagrees with supp(XY) − supp(X)·supp(Y)"
+        );
+
+        match conf {
+            None => {
+                // Antecedent never satisfied: the measures report 0.
+                prop_assert_eq!(evaluate(Measure::Lift, &r, &stats), 0.0);
+            }
+            Some(conf) => {
+                if cons_count > 0 {
+                    let lift = evaluate(Measure::Lift, &r, &stats);
+                    prop_assert!(
+                        (lift - conf / supp_y).abs() < 1e-9,
+                        "lift disagrees with conf/supp(Y)"
+                    );
+                    let conviction = evaluate(Measure::Conviction, &r, &stats);
+                    if conf < 1.0 {
+                        prop_assert!(
+                            (conviction - (1.0 - supp_y) / (1.0 - conf)).abs() < 1e-9,
+                            "conviction disagrees with (1−supp(Y))/(1−conf)"
+                        );
+                    } else {
+                        prop_assert_eq!(conviction, CONVICTION_CAP);
+                    }
+                }
+            }
+        }
+    });
+}

@@ -74,14 +74,23 @@
 //! `query` accepts the re-tunable [`RuleQuery`] knobs by name —
 //! `density_factor` *or* `density` (explicit per-set array),
 //! `degree_factor`, `max_antecedent`, `max_consequent`, `max_rules`,
-//! `max_pair_work` — all optional, defaulting to [`RuleQuery::default`].
-//! Rule encoding is deterministic (insertion-ordered keys, shortest
-//! round-trip floats), so equal rule sets encode to equal bytes.
+//! `max_pair_work` — plus the rank knobs `measure` (one of `degree`,
+//! `lift`, `conviction`, `leverage`, `jaccard`), `min_measure`, `top_k`,
+//! `prune_redundant`, and `budget_ms` — all optional, defaulting to the
+//! server's base query (its own CLI flags over [`RuleQuery::default`]).
+//! The response names the ranking `measure`, and each rule carries its
+//! value under that measure. A budgeted (`budget_ms`) answer that did not
+//! examine every clique pair is explicitly marked `"approx":true` with
+//! the honest `"coverage"` fraction in `(0, 1]`, mirroring the degraded
+//! annotation — exact answers omit both keys, so they stay byte-identical
+//! across worker counts and shard layouts. Rule encoding is deterministic
+//! (insertion-ordered keys, shortest round-trip floats), so equal rule
+//! sets encode to equal bytes.
 
 use crate::json::Json;
 use dar_core::ClusterSummary;
 use dar_engine::{EngineStats, QueryOutcome};
-use mining::{DensitySpec, RuleQuery};
+use mining::{DensitySpec, Measure, RuleQuery};
 
 /// One decoded client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -162,18 +171,29 @@ fn parse_rows(value: &Json, verb: &str) -> Result<Vec<Vec<f64>>, String> {
 }
 
 impl Request {
-    /// Decodes a request from its wire value.
+    /// Decodes a request from its wire value, with query knobs defaulting
+    /// to [`RuleQuery::default`].
     ///
     /// # Errors
     /// A human-readable message naming the malformed part.
     pub fn from_json(value: &Json) -> Result<Request, String> {
+        Request::from_json_with(value, &RuleQuery::default())
+    }
+
+    /// Decodes a request from its wire value; `query` knobs the client
+    /// did not send fall back to `base` (the server's own configured
+    /// defaults) rather than the library defaults.
+    ///
+    /// # Errors
+    /// A human-readable message naming the malformed part.
+    pub fn from_json_with(value: &Json, base: &RuleQuery) -> Result<Request, String> {
         let verb = value
             .get("verb")
             .and_then(Json::as_str)
             .ok_or_else(|| "request must be an object with a string \"verb\"".to_string())?;
         match verb {
             "ingest" => Ok(Request::Ingest { rows: parse_rows(value, "ingest")? }),
-            "query" => Ok(Request::Query { query: parse_query(value)? }),
+            "query" => Ok(Request::Query { query: parse_query_with(value, base)? }),
             "clusters" => Ok(Request::Clusters),
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
@@ -259,6 +279,13 @@ impl Request {
                 pairs.push(("max_consequent", Json::Num(query.max_consequent as f64)));
                 pairs.push(("max_rules", Json::Num(query.max_rules as f64)));
                 pairs.push(("max_pair_work", Json::Num(query.max_pair_work as f64)));
+                pairs.push(("measure", Json::Str(query.measure.as_str().into())));
+                if let Some(floor) = query.min_measure {
+                    pairs.push(("min_measure", Json::Num(floor)));
+                }
+                pairs.push(("top_k", Json::Num(query.top_k as f64)));
+                pairs.push(("prune_redundant", Json::Bool(query.prune_redundant)));
+                pairs.push(("budget_ms", Json::Num(query.budget_ms as f64)));
                 Json::obj(pairs)
             }
             Request::Clusters => verb_only("clusters"),
@@ -302,8 +329,8 @@ fn verb_only(verb: &str) -> Json {
     Json::obj(vec![("verb", Json::Str(verb.into()))])
 }
 
-fn parse_query(value: &Json) -> Result<RuleQuery, String> {
-    let mut query = RuleQuery::default();
+fn parse_query_with(value: &Json, base: &RuleQuery) -> Result<RuleQuery, String> {
+    let mut query = base.clone();
     if let Some(v) = value.get("density_factor") {
         let factor = v.as_f64().ok_or("density_factor must be a number")?;
         query.density = DensitySpec::Auto { factor };
@@ -330,6 +357,26 @@ fn parse_query(value: &Json) -> Result<RuleQuery, String> {
     if let Some(v) = value.get("max_pair_work") {
         query.max_pair_work = v.as_u64().ok_or("max_pair_work must be a non-negative integer")?;
     }
+    if let Some(v) = value.get("measure") {
+        let name = v.as_str().ok_or("measure must be a string")?;
+        query.measure = Measure::parse(name)
+            .ok_or_else(|| format!("unknown measure {name:?} (try degree, lift, …)"))?;
+    }
+    if let Some(v) = value.get("min_measure") {
+        query.min_measure = match v {
+            Json::Null => None,
+            _ => Some(v.as_f64().ok_or("min_measure must be a number")?),
+        };
+    }
+    if let Some(v) = value.get("top_k") {
+        query.top_k = v.as_u64().ok_or("top_k must be a non-negative integer")? as usize;
+    }
+    if let Some(v) = value.get("prune_redundant") {
+        query.prune_redundant = v.as_bool().ok_or("prune_redundant must be a boolean")?;
+    }
+    if let Some(v) = value.get("budget_ms") {
+        query.budget_ms = v.as_u64().ok_or("budget_ms must be a non-negative integer")?;
+    }
     Ok(query)
 }
 
@@ -352,33 +399,51 @@ pub fn ingest_response(tuples: u64, total: u64) -> Json {
     ])
 }
 
-/// The `query` success response, including the full rule set.
+/// The `query` success response, including the full ranked rule set.
 ///
-/// Rules are encoded in the engine's deterministic order (sorted by
-/// degree, then antecedent, then consequent), so two equal rule sets
-/// produce byte-identical lines.
+/// Rules are encoded in the ranking's deterministic order (measure value,
+/// then rule identity — the historical degree order under the default
+/// measure), so two equal rule sets produce byte-identical lines. An
+/// anytime answer that did not examine every clique pair appends
+/// `"approx":true` and its honest `"coverage"` fraction; exact answers
+/// omit both keys entirely.
 pub fn query_response(outcome: &QueryOutcome) -> Json {
-    let rules: Vec<Json> = outcome.rules.iter().map(rule_json).collect();
-    Json::obj(vec![
+    let rules: Vec<Json> = outcome
+        .rules
+        .iter()
+        .zip(&outcome.values)
+        .map(|(rule, &value)| rule_json(rule, value))
+        .collect();
+    let mut pairs = vec![
         ("ok", Json::Bool(true)),
         ("verb", Json::Str("query".into())),
         ("epoch", Json::Num(outcome.epoch as f64)),
         ("s0", Json::Num(outcome.s0 as f64)),
         ("cached", Json::Bool(outcome.cached)),
         ("truncated", Json::Bool(outcome.truncated)),
+        ("measure", Json::Str(outcome.measure.as_str().into())),
         ("rules", Json::Arr(rules)),
-    ])
+    ];
+    if let Some(coverage) = outcome.coverage {
+        if coverage < 1.0 {
+            pairs.push(("approx", Json::Bool(true)));
+            pairs.push(("coverage", Json::Num(coverage)));
+        }
+    }
+    Json::obj(pairs)
 }
 
 /// One rule as its wire object — the unit `query` responses and
 /// rule-churn `event` frames share, so a rule encodes to the same bytes
-/// everywhere it appears.
-pub fn rule_json(rule: &mining::Dar) -> Json {
+/// everywhere it appears. `value` is the rule's score under the ranking
+/// measure in force (its degree under the default measure).
+pub fn rule_json(rule: &mining::Dar, value: f64) -> Json {
     Json::obj(vec![
         ("antecedent", Json::Arr(rule.antecedent.iter().map(|&i| Json::Num(i as f64)).collect())),
         ("consequent", Json::Arr(rule.consequent.iter().map(|&i| Json::Num(i as f64)).collect())),
         ("degree", Json::Num(rule.degree)),
         ("min_support", Json::Num(rule.min_cluster_support as f64)),
+        ("measure", Json::Num(value)),
     ])
 }
 
@@ -623,6 +688,17 @@ mod tests {
                     max_consequent: 1,
                     max_rules: 500,
                     max_pair_work: 1_000,
+                    ..RuleQuery::default()
+                },
+            },
+            Request::Query {
+                query: RuleQuery {
+                    measure: mining::Measure::Lift,
+                    min_measure: Some(1.5),
+                    top_k: 10,
+                    prune_redundant: true,
+                    budget_ms: 250,
+                    ..RuleQuery::default()
                 },
             },
             Request::Query { query: RuleQuery::default() },
@@ -658,6 +734,12 @@ mod tests {
             (r#"{"verb":"ingest","rows":[[1],"x"]}"#, "row 1"),
             (r#"{"verb":"query","degree_factor":"big"}"#, "degree_factor"),
             (r#"{"verb":"query","max_rules":-1}"#, "max_rules"),
+            (r#"{"verb":"query","measure":"pagerank"}"#, "pagerank"),
+            (r#"{"verb":"query","measure":7}"#, "measure"),
+            (r#"{"verb":"query","min_measure":"low"}"#, "min_measure"),
+            (r#"{"verb":"query","top_k":-3}"#, "top_k"),
+            (r#"{"verb":"query","prune_redundant":1}"#, "prune_redundant"),
+            (r#"{"verb":"query","budget_ms":-1}"#, "budget_ms"),
             (r#"{"verb":"subscribe","from_epoch":-1}"#, "from_epoch"),
             (r#"{"verb":"subscribe","from_epoch":"x"}"#, "from_epoch"),
             (r#"{"verb":"shard_ingest","rows":[]}"#, "seq"),
@@ -669,6 +751,32 @@ mod tests {
             let err = Request::from_json(&parse(line).unwrap()).unwrap_err();
             assert!(err.contains(needle), "{line} → {err}");
         }
+    }
+
+    #[test]
+    fn unsent_query_knobs_fall_back_to_the_server_base() {
+        let base = RuleQuery {
+            measure: Measure::Jaccard,
+            top_k: 7,
+            prune_redundant: true,
+            ..RuleQuery::default()
+        };
+        let value = parse(r#"{"verb":"query","max_rules":9}"#).unwrap();
+        let Request::Query { query } = Request::from_json_with(&value, &base).unwrap() else {
+            panic!("not a query");
+        };
+        assert_eq!(query.max_rules, 9, "sent knobs apply");
+        assert_eq!(query.measure, Measure::Jaccard, "unsent knobs keep the base");
+        assert_eq!(query.top_k, 7);
+        assert!(query.prune_redundant);
+        // An explicit knob still overrides the base.
+        let value =
+            parse(r#"{"verb":"query","measure":"degree","prune_redundant":false}"#).unwrap();
+        let Request::Query { query } = Request::from_json_with(&value, &base).unwrap() else {
+            panic!("not a query");
+        };
+        assert_eq!(query.measure, Measure::Degree);
+        assert!(!query.prune_redundant);
     }
 
     #[test]

@@ -70,6 +70,11 @@ pub struct ServeConfig {
     /// When set, a plain-TCP listener serves the global `dar-obs`
     /// registry in Prometheus text format to any scraper (or `nc`).
     pub metrics_addr: Option<String>,
+    /// The server's default rule query: knobs a `query` request does not
+    /// send fall back to these (set from CLI flags like `--measure` and
+    /// `--top-k`), and rule-churn events mine and score the live horizon
+    /// with them.
+    pub base_query: RuleQuery,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +90,7 @@ impl Default for ServeConfig {
             storage: Arc::new(DiskStorage),
             allow_remote_shutdown: true,
             metrics_addr: None,
+            base_query: RuleQuery::default(),
         }
     }
 }
@@ -476,7 +482,7 @@ fn subscriber_loop(mut writer: BufWriter<TcpStream>, subscription: SubscriptionR
 /// is written.
 fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, &'static str, Action) {
     let request = match json::parse(line) {
-        Ok(value) => match Request::from_json(&value) {
+        Ok(value) => match Request::from_json_with(&value, &ctx.config.base_query) {
             Ok(request) => request,
             Err(message) => {
                 return (error(ctx, "bad-request", &message), "error", Action::Continue)
@@ -760,16 +766,23 @@ fn advance_window(ctx: &WorkerCtx) -> Result<Json, Json> {
     ))
 }
 
-/// Mines the live horizon at default thresholds and hands the encoded
-/// rule set to the churn feed, which diffs it against the previous epoch
-/// and fans events out to subscribers. Called after a window seal, with
-/// no locks held — the query takes the engine lock, the feed its own.
+/// Mines the live horizon at the server's base query and hands the
+/// encoded rule set to the churn feed, which diffs it against the
+/// previous epoch and fans events out to subscribers. Each event rule
+/// carries its value under the base query's measure, so downstream
+/// consumers can filter on quality without re-querying. Called after a
+/// window seal, with no locks held — the query takes the engine lock,
+/// the feed its own.
 fn publish_churn(ctx: &WorkerCtx) {
-    let Ok(outcome) = ctx.shared.query(&RuleQuery::default()) else {
-        return; // a failed default query leaves subscribers at the old epoch
+    let Ok(outcome) = ctx.shared.query(&ctx.config.base_query) else {
+        return; // a failed base query leaves subscribers at the old epoch
     };
-    let rules: Vec<String> =
-        outcome.rules.iter().map(|rule| protocol::rule_json(rule).encode()).collect();
+    let rules: Vec<String> = outcome
+        .rules
+        .iter()
+        .zip(&outcome.values)
+        .map(|(rule, &value)| protocol::rule_json(rule, value).encode())
+        .collect();
     ctx.churn.publish(outcome.epoch, ctx.shared.window_span(), rules);
 }
 

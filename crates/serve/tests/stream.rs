@@ -57,9 +57,10 @@ fn serve_config(threads: usize) -> ServeConfig {
 }
 
 /// The deterministic byte encoding of a rule set — the same one the
-/// server uses in query responses and event frames.
+/// server uses in query responses and event frames. Under the default
+/// (degree) measure each rule's value is its degree.
 fn encode_rules(rules: &[mining::rules::Dar]) -> String {
-    Json::Arr(rules.iter().map(protocol::rule_json).collect()).encode()
+    Json::Arr(rules.iter().map(|r| protocol::rule_json(r, r.degree)).collect()).encode()
 }
 
 #[test]
