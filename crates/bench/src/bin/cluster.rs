@@ -17,6 +17,19 @@ use dar_serve::{json::Json, protocol, Backoff, ServeConfig, Server, ServerHandle
 use mining::RuleQuery;
 use std::time::Duration;
 
+/// Sums every series of a counter family in the process-global registry.
+fn counter_total(name: &str) -> u64 {
+    dar_obs::global()
+        .snapshot()
+        .into_iter()
+        .filter(|m| m.name == name)
+        .map(|m| match m.value {
+            dar_obs::MetricValue::Counter(v) => v,
+            _ => 0,
+        })
+        .sum()
+}
+
 /// Workload knobs, overridable from the command line.
 struct Opts {
     batches: usize,
@@ -108,12 +121,16 @@ fn start_shards(count: usize) -> (Vec<ServerHandle>, Vec<String>) {
 }
 
 /// Degraded-mode numbers: four shards behind an `--allow-partial`
-/// coordinator, one killed mid-run. `first_degraded_query_ms` pays the
-/// failure discovery (refused connect, retry policy, demotion to Down);
-/// `steady_degraded_query_ms` rides the fast-fail path where no socket
-/// is touched for the dead shard.
+/// coordinator, one killed mid-run. `masked_query_ms` is the query right
+/// after the kill: the dead shard's acked data is still served from the
+/// coordinator's snapshot cache (its watermark never moved), so coverage
+/// stays full until the failure detector notices. `first_degraded_query_ms`
+/// is the first query after an ingest fail-over demotes the shard to Down;
+/// `steady_degraded_query_ms` rides the fast-fail path where no socket is
+/// touched for the dead shard.
 struct Degraded {
     healthy_query_ms: f64,
+    masked_query_ms: f64,
     first_degraded_query_ms: f64,
     steady_degraded_query_ms: f64,
     coverage: f64,
@@ -156,15 +173,28 @@ fn measure_degraded(batches: &[Vec<Vec<f64>>], batch_size: usize) -> Degraded {
     victim.shutdown();
     victim.join().unwrap();
 
-    // A fresh batch dirties the merged view so the next query re-pulls
-    // and discovers the dead shard (home of this seq is a live shard).
+    // A fresh batch (home: a live shard) dirties the merged view. The next
+    // query re-pulls the moved shard but serves the dead shard's acked
+    // data from the snapshot cache — its watermark never moved and the
+    // board still lists it Up, so coverage stays full. Every row in that
+    // answer was acknowledged and checksum-verified at pull time; the
+    // mask lasts only until the prober or an ingest touches the corpse.
     coordinator.ingest(&rows(batch_size, batches.len() * batch_size)).unwrap();
-    let ((_, first), first_wall) = time(|| coordinator.query(&RuleQuery::default()).unwrap());
-    assert!(first.degraded, "a dead shard must degrade the answer");
+    let ((_, masked), masked_wall) = time(|| coordinator.query(&RuleQuery::default()).unwrap());
+    assert!(
+        !masked.degraded,
+        "cached acked data keeps coverage full until the death is discovered"
+    );
 
-    // Another batch (whose deterministic home IS the dead shard, so it
-    // fails over) and another query: now the dead shard fast-fails.
+    // Another batch, whose deterministic home IS the dead shard: the
+    // fail-over demotes it to Down, which also bars its cache slot. The
+    // next query degrades honestly.
     coordinator.ingest(&rows(batch_size, (batches.len() + 1) * batch_size)).unwrap();
+    let ((_, first), first_wall) = time(|| coordinator.query(&RuleQuery::default()).unwrap());
+    assert!(first.degraded, "a discovered-dead shard must degrade the answer");
+
+    // One more query: the dead shard fast-fails without a socket touch.
+    coordinator.ingest(&rows(batch_size, (batches.len() + 2) * batch_size)).unwrap();
     let ((_, steady), steady_wall) = time(|| coordinator.query(&RuleQuery::default()).unwrap());
     assert!(steady.degraded);
 
@@ -176,6 +206,7 @@ fn measure_degraded(batches: &[Vec<Vec<f64>>], batch_size: usize) -> Degraded {
 
     Degraded {
         healthy_query_ms: healthy_wall.as_secs_f64() * 1e3,
+        masked_query_ms: masked_wall.as_secs_f64() * 1e3,
         first_degraded_query_ms: first_wall.as_secs_f64() * 1e3,
         steady_degraded_query_ms: steady_wall.as_secs_f64() * 1e3,
         coverage: steady.fraction(),
@@ -261,6 +292,69 @@ fn main() {
         }
     }
 
+    // --- steady state: epoch-aware snapshot reuse --------------------------
+    // A fresh 4-shard cluster. The first query after ingest pulls every
+    // shard; queries with no intervening ingest touch no shard at all; and
+    // each ingest+query round re-pulls only the one shard whose acked
+    // watermark moved — the other three serve from the coordinator's
+    // snapshot cache.
+    const REPEAT_REPS: u32 = 50;
+    const INCR_ROUNDS: usize = 8;
+    let (handles, addrs) = start_shards(4);
+    let config = ClusterConfig {
+        shards: addrs,
+        timeout: timeout(),
+        engine: engine_config(),
+        threads: 2,
+        read_timeout: timeout(),
+        write_timeout: timeout(),
+        ..ClusterConfig::default()
+    };
+    let mut coordinator = Coordinator::connect(config).unwrap();
+    for batch in &batches {
+        coordinator.ingest(batch).unwrap();
+    }
+    let pulls_base = counter_total("dar_cluster_snapshot_pulls_total");
+    let reuses_base = counter_total("dar_cluster_snapshot_reuses_total");
+    let ((outcome, _), first_wall) = time(|| coordinator.query(&RuleQuery::default()).unwrap());
+    assert_eq!(
+        protocol::query_response(&outcome).encode(),
+        expected_line,
+        "the steady-state cluster must answer byte-identically to the control"
+    );
+    let pulls_first = counter_total("dar_cluster_snapshot_pulls_total") - pulls_base;
+    assert_eq!(pulls_first, 4, "the first merge pulls every shard");
+
+    let (_, repeat_wall) = time(|| {
+        for _ in 0..REPEAT_REPS {
+            coordinator.query(&RuleQuery::default()).unwrap();
+        }
+    });
+    let pulls_repeat = counter_total("dar_cluster_snapshot_pulls_total") - pulls_base - pulls_first;
+    assert_eq!(pulls_repeat, 0, "steady-state queries must skip every shard pull");
+    let repeat_each_ms = repeat_wall.as_secs_f64() * 1e3 / f64::from(REPEAT_REPS);
+
+    let (_, incr_wall) = time(|| {
+        for round in 0..INCR_ROUNDS {
+            coordinator
+                .ingest(&rows(opts.batch_size, (opts.batches + round) * opts.batch_size))
+                .unwrap();
+            coordinator.query(&RuleQuery::default()).unwrap();
+        }
+    });
+    let pulls_incr =
+        counter_total("dar_cluster_snapshot_pulls_total") - pulls_base - pulls_first - pulls_repeat;
+    let reuses_incr = counter_total("dar_cluster_snapshot_reuses_total") - reuses_base;
+    assert_eq!(pulls_incr, INCR_ROUNDS as u64, "each round re-pulls only the moved shard");
+    assert_eq!(reuses_incr, INCR_ROUNDS as u64 * 3, "the unmoved shards serve from cache");
+    let incr_each_ms = incr_wall.as_secs_f64() * 1e3 / INCR_ROUNDS as f64;
+
+    drop(coordinator);
+    for handle in handles {
+        handle.shutdown();
+        handle.join().unwrap();
+    }
+
     // --- degraded mode: 4 shards, 1 killed, partial answers ---------------
     let degraded = measure_degraded(&batches, opts.batch_size);
 
@@ -291,11 +385,20 @@ fn main() {
         control_outcome.rules.len()
     );
     println!(
-        "  degraded ({}/{} shards live): healthy query {:.3}ms, first degraded {:.3}ms, \
-         steady degraded {:.3}ms, coverage {:.3}",
+        "  steady state (4 shards): first query {:.3}ms ({pulls_first} pulls), \
+         repeat query {repeat_each_ms:.3}ms (0 pulls), \
+         ingest+query round {incr_each_ms:.3}ms ({} pull/round, {} reuses/round)",
+        first_wall.as_secs_f64() * 1e3,
+        pulls_incr / INCR_ROUNDS as u64,
+        reuses_incr / INCR_ROUNDS as u64,
+    );
+    println!(
+        "  degraded ({}/{} shards live): healthy query {:.3}ms, cache-masked {:.3}ms, \
+         first degraded {:.3}ms, steady degraded {:.3}ms, coverage {:.3}",
         degraded.live_shards,
         degraded.total_shards,
         degraded.healthy_query_ms,
+        degraded.masked_query_ms,
         degraded.first_degraded_query_ms,
         degraded.steady_degraded_query_ms,
         degraded.coverage
@@ -329,11 +432,25 @@ fn main() {
             ),
         ),
         (
+            "steady_state",
+            Json::obj(vec![
+                ("first_query_ms", Json::Num(first_wall.as_secs_f64() * 1e3)),
+                ("first_query_pulls", Json::Num(pulls_first as f64)),
+                ("repeat_query_ms", Json::Num(repeat_each_ms)),
+                ("repeat_query_pulls", Json::Num(pulls_repeat as f64)),
+                ("incremental_round_ms", Json::Num(incr_each_ms)),
+                ("incremental_rounds", Json::Num(INCR_ROUNDS as f64)),
+                ("snapshot_pulls", Json::Num(pulls_incr as f64)),
+                ("snapshot_reuses", Json::Num(reuses_incr as f64)),
+            ]),
+        ),
+        (
             "degraded",
             Json::obj(vec![
                 ("live_shards", Json::Num(degraded.live_shards as f64)),
                 ("total_shards", Json::Num(degraded.total_shards as f64)),
                 ("healthy_query_ms", Json::Num(degraded.healthy_query_ms)),
+                ("masked_query_ms", Json::Num(degraded.masked_query_ms)),
                 ("first_degraded_query_ms", Json::Num(degraded.first_degraded_query_ms)),
                 ("steady_degraded_query_ms", Json::Num(degraded.steady_degraded_query_ms)),
                 ("coverage", Json::Num(degraded.coverage)),

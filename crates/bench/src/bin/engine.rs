@@ -15,6 +15,7 @@
 
 use dar_bench::{print_table, secs, time};
 use dar_core::{Metric, Partitioning};
+use dar_engine::snapshot::{parse_snapshot_bytes, write_snapshot, write_snapshot_bytes};
 use dar_engine::{DarEngine, EngineConfig};
 use datagen::insurance::insurance_relation;
 use mining::{DensitySpec, RuleQuery};
@@ -23,6 +24,7 @@ use std::fmt::Write as _;
 const TUPLES: usize = 100_000;
 const BATCHES: usize = 10;
 const QUERY_REPS: u32 = 25;
+const CODEC_REPS: usize = 30;
 
 /// Fetches a histogram family's process-global snapshot by name.
 fn histogram(name: &str) -> dar_obs::HistogramSnapshot {
@@ -34,6 +36,18 @@ fn histogram(name: &str) -> dar_obs::HistogramSnapshot {
             _ => None,
         })
         .unwrap_or_else(|| panic!("histogram {name} not registered"))
+}
+
+/// Fetches a gauge's process-global level by name.
+fn gauge_level(name: &str) -> i64 {
+    dar_obs::global()
+        .snapshot()
+        .into_iter()
+        .find_map(|m| match (m.name == name, m.value) {
+            (true, dar_obs::MetricValue::Gauge(v)) => Some(v),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("gauge {name} not registered"))
 }
 
 /// Sums every series of a counter family in the process-global registry.
@@ -169,6 +183,72 @@ fn main() {
     let tiny_coverage = tiny.coverage.expect("budgeted answers report coverage");
     let rank_ns = histogram("dar_rank_rank_ns");
 
+    // --- snapshot codec: v1 text vs v2 binary over the same forest -------
+    // Codec-only comparison: same parsed state, each format's writer and
+    // reader timed in isolation (min over reps). The engine paths also
+    // feed the `dar_persist_*` histograms recorded below.
+    let pool = dar_par::ThreadPool::serial();
+    let v2_bytes = engine.snapshot().unwrap();
+    let snap = parse_snapshot_bytes(&v2_bytes, &pool).unwrap();
+    let v1_text = write_snapshot(
+        snap.epoch,
+        snap.tuples,
+        &snap.partitioning,
+        &snap.thresholds,
+        &snap.clusters,
+    )
+    .unwrap();
+    let restored = DarEngine::restore(&v2_bytes, bench_config(1)).unwrap();
+    assert_eq!(restored.tuples(), TUPLES as u64);
+
+    let mut enc_v2_ns = u128::MAX;
+    let mut enc_v1_ns = u128::MAX;
+    let mut dec_v2_ns = u128::MAX;
+    let mut dec_v1_ns = u128::MAX;
+    for _ in 0..CODEC_REPS {
+        let (bytes, w) = time(|| {
+            write_snapshot_bytes(
+                snap.epoch,
+                snap.tuples,
+                &snap.partitioning,
+                &snap.thresholds,
+                &snap.clusters,
+                &pool,
+            )
+            .unwrap()
+        });
+        assert_eq!(bytes, v2_bytes, "v2 encode must be deterministic");
+        enc_v2_ns = enc_v2_ns.min(w.as_nanos());
+        let (text, w) = time(|| {
+            write_snapshot(
+                snap.epoch,
+                snap.tuples,
+                &snap.partitioning,
+                &snap.thresholds,
+                &snap.clusters,
+            )
+            .unwrap()
+        });
+        assert_eq!(text, v1_text);
+        enc_v1_ns = enc_v1_ns.min(w.as_nanos());
+        let (s, w) = time(|| parse_snapshot_bytes(&v2_bytes, &pool).unwrap());
+        assert_eq!(s.clusters.len(), snap.clusters.len());
+        dec_v2_ns = dec_v2_ns.min(w.as_nanos());
+        let (s, w) = time(|| parse_snapshot_bytes(v1_text.as_bytes(), &pool).unwrap());
+        assert_eq!(s.clusters.len(), snap.clusters.len());
+        dec_v1_ns = dec_v1_ns.min(w.as_nanos());
+    }
+    let encode_speedup = enc_v1_ns as f64 / enc_v2_ns.max(1) as f64;
+    let decode_speedup = dec_v1_ns as f64 / dec_v2_ns.max(1) as f64;
+    let codec_speedup = (enc_v1_ns + dec_v1_ns) as f64 / (enc_v2_ns + dec_v2_ns).max(1) as f64;
+    assert!(
+        codec_speedup >= 3.0,
+        "persist v2 must beat v1 text by >= 3x encode+decode, got {codec_speedup:.2}x"
+    );
+    let persist_encode = histogram("dar_persist_encode_ns");
+    let persist_decode = histogram("dar_persist_decode_ns");
+    let persist_bytes = gauge_level("dar_persist_snapshot_bytes");
+
     print_table(
         "Engine: ingest throughput and query latency",
         &["quantity", "value"],
@@ -209,6 +289,20 @@ fn main() {
             vec!["anytime full-budget (s)".into(), secs(anytime_full_wall)],
             vec!["anytime 1ms-budget (s)".into(), secs(anytime_tiny_wall)],
             vec!["anytime 1ms coverage".into(), format!("{tiny_coverage:.3}")],
+            vec!["snapshot bytes v1 text".into(), v1_text.len().to_string()],
+            vec!["snapshot bytes v2 binary".into(), v2_bytes.len().to_string()],
+            vec![
+                "snapshot encode v1/v2 (µs)".into(),
+                format!("{:.1} / {:.1}", enc_v1_ns as f64 / 1e3, enc_v2_ns as f64 / 1e3),
+            ],
+            vec![
+                "snapshot decode v1/v2 (µs)".into(),
+                format!("{:.1} / {:.1}", dec_v1_ns as f64 / 1e3, dec_v2_ns as f64 / 1e3),
+            ],
+            vec![
+                "snapshot codec speedup".into(),
+                format!("{codec_speedup:.1}× (enc {encode_speedup:.1}×, dec {decode_speedup:.1}×)"),
+            ],
         ],
     );
 
@@ -276,7 +370,21 @@ fn main() {
         "  \"anytime_tiny_budget_ms\": {:.3},",
         anytime_tiny_wall.as_secs_f64() * 1e3
     );
-    let _ = writeln!(json, "  \"anytime_tiny_coverage\": {tiny_coverage:.4}");
+    let _ = writeln!(json, "  \"anytime_tiny_coverage\": {tiny_coverage:.4},");
+    let _ = writeln!(json, "  \"snapshot_bytes_v1\": {},", v1_text.len());
+    let _ = writeln!(json, "  \"snapshot_bytes_v2\": {},", v2_bytes.len());
+    let _ = writeln!(json, "  \"snapshot_encode_v1_ns\": {enc_v1_ns},");
+    let _ = writeln!(json, "  \"snapshot_encode_v2_ns\": {enc_v2_ns},");
+    let _ = writeln!(json, "  \"snapshot_decode_v1_ns\": {dec_v1_ns},");
+    let _ = writeln!(json, "  \"snapshot_decode_v2_ns\": {dec_v2_ns},");
+    let _ = writeln!(json, "  \"snapshot_encode_speedup\": {encode_speedup:.2},");
+    let _ = writeln!(json, "  \"snapshot_decode_speedup\": {decode_speedup:.2},");
+    let _ = writeln!(json, "  \"snapshot_codec_speedup\": {codec_speedup:.2},");
+    let _ = writeln!(json, "  \"persist_encode_ns_p50\": {},", persist_encode.quantile(0.50));
+    let _ = writeln!(json, "  \"persist_encode_ns_p99\": {},", persist_encode.quantile(0.99));
+    let _ = writeln!(json, "  \"persist_decode_ns_p50\": {},", persist_decode.quantile(0.50));
+    let _ = writeln!(json, "  \"persist_decode_ns_p99\": {},", persist_decode.quantile(0.99));
+    let _ = writeln!(json, "  \"persist_snapshot_bytes\": {persist_bytes}");
     json.push_str("}\n");
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("\n  wrote BENCH_engine.json");

@@ -59,13 +59,15 @@ pub fn run(args: &Args) -> Result<String, CliError> {
                 next_id += 1;
             }
         }
-        let text = mining::persist::write_clusters(&summaries)?;
-        // Sealed + atomic: the file carries a checksum footer that
-        // `read_clusters` verifies, and a crash never leaves a torn file.
+        let bytes = mining::persist::encode_clusters(&summaries, &dar_par::ThreadPool::resolve(0))?;
+        // Sealed + atomic: the file carries a checksum footer verified on
+        // load, and a crash never leaves a torn file. The body is the
+        // persist-v2 binary format; `dar rules` sniffs it (and still
+        // reads pre-v2 text files).
         dar_durable::snapshot::install(
             &dar_durable::DiskStorage,
             std::path::Path::new(path),
-            &text,
+            &bytes,
             0,
         )
         .map_err(|e| CliError::new(e.to_string()))?;

@@ -15,8 +15,12 @@ use std::fmt::Write as _;
 /// Runs the command.
 pub fn run(args: &Args) -> Result<String, CliError> {
     let path = args.required("clusters")?;
-    let text = std::fs::read_to_string(path).map_err(|e| CliError::new(format!("{path}: {e}")))?;
-    let clusters = mining::persist::read_clusters(&text)?;
+    let bytes = std::fs::read(path).map_err(|e| CliError::new(format!("{path}: {e}")))?;
+    // Lenient unseal (legacy unsealed files pass through), then sniff:
+    // persist-v2 binary or pre-v2 text.
+    let (body, _) =
+        dar_durable::unseal_bytes(&bytes).map_err(|e| CliError::new(format!("{path}: {e}")))?;
+    let clusters = mining::persist::decode_clusters(body, &dar_par::ThreadPool::resolve(0))?;
     if clusters.is_empty() {
         return Ok("no clusters in the file; nothing to mine\n".to_string());
     }

@@ -298,12 +298,12 @@ fn step(
             let [path] = rest else {
                 return Err(CliError::new("usage: snapshot <file.snap>"));
             };
-            let text = session.engine()?.snapshot()?;
+            let bytes = session.engine()?.snapshot()?;
             // Seal with the last committed WAL sequence (0 without a WAL)
             // and install atomically — a crash never leaves a torn file,
             // and a later `restore` replays only newer WAL records.
             let seq = session.store.as_ref().map_or(0, DurableStore::last_seq);
-            dar_durable::snapshot::install(&DiskStorage, Path::new(path), &text, seq)
+            dar_durable::snapshot::install(&DiskStorage, Path::new(path), &bytes, seq)
                 .map_err(|e| CliError::new(format!("{path}: {e}")))?;
             let engine = session.engine()?;
             let _ = writeln!(
@@ -317,17 +317,16 @@ fn step(
             let [path] = rest else {
                 return Err(CliError::new("usage: restore <file.snap>"));
             };
-            let text =
-                std::fs::read_to_string(path).map_err(|e| CliError::new(format!("{path}: {e}")))?;
+            let bytes = std::fs::read(path).map_err(|e| CliError::new(format!("{path}: {e}")))?;
             // Lenient unseal: sealed snapshots verify their checksum,
             // legacy unsealed ones pass through with seq 0.
-            let snapshot_seq = dar_durable::unseal(&text)
+            let snapshot_seq = dar_durable::unseal_bytes(&bytes)
                 .map_err(|e| CliError::new(format!("{path}: {e}")))?
                 .1
                 .unwrap_or(0);
             let mut config = session.config.clone();
             config.min_support_frac = session.support;
-            let mut engine = EngineBackend::restore(&text, config)?;
+            let mut engine = EngineBackend::restore(&bytes, config)?;
             if engine.is_windowed() != session.window.is_some() {
                 return Err(CliError::new(format!(
                     "{path}: snapshot is a {} engine but this session is {} — \

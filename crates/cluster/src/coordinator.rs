@@ -82,6 +82,17 @@ struct Shard {
     request_ns: dar_obs::Histogram,
 }
 
+/// One shard's last pulled snapshot, parsed, keyed by the acked
+/// watermark it was pulled at. Batches reach a shard only through this
+/// coordinator, so as long as the shard's acked seq has not moved (and
+/// no window advance intervened — [`Coordinator::advance`] clears the
+/// cache), the shard's snapshot content is exactly what was verified at
+/// pull time and the round trip plus parse can be skipped.
+struct CachedSnap {
+    acked_seq: u64,
+    snap: dar_engine::snapshot::Snapshot,
+}
+
 /// The merged engine plus the coverage it was built under.
 struct MergedView {
     shared: Arc<SharedEngine>,
@@ -131,6 +142,9 @@ pub struct Coordinator {
     /// equivalent single server the cluster re-converges with.
     rounds: u64,
     merged: Option<MergedView>,
+    /// Per-shard parsed-snapshot cache for merge rounds, keyed by acked
+    /// watermark (see [`CachedSnap`]).
+    snap_cache: Vec<Option<CachedSnap>>,
     /// Ingest since the last merge: the next query must re-pull.
     dirty: bool,
     routed_batches: u64,
@@ -210,6 +224,7 @@ impl Coordinator {
             return Err(first_err.unwrap_or_else(|| io::Error::other("no shard reachable")));
         };
         let prober = spawn_prober(&config, &board, width);
+        let snap_cache = (0..shards.len()).map(|_| None).collect();
         Ok(Coordinator {
             shards,
             config,
@@ -218,6 +233,7 @@ impl Coordinator {
             next_seq: max_seq + 1,
             rounds: 0,
             merged: None,
+            snap_cache,
             dirty: true,
             routed_batches: 0,
             routed_tuples: 0,
@@ -359,11 +375,20 @@ impl Coordinator {
 
     /// The merged engine, re-merging first if ingest has happened since
     /// the last merge (or if the last view was degraded and shard health
-    /// changed since): pull one sealed snapshot per shard *in shard
+    /// changed since): obtain one parsed snapshot per shard *in shard
     /// order* (order shapes the merged forest and is part of the
-    /// deterministic contract), verify each footer covers everything that
-    /// shard acknowledged, and rebuild via
-    /// [`DarEngine::merge_snapshots`].
+    /// deterministic contract) and rebuild via
+    /// [`DarEngine::merge_parsed_snapshots`].
+    ///
+    /// A shard's snapshot is **reused from cache** when its acked
+    /// watermark has not moved since the last pull: batches reach shards
+    /// only through this coordinator, so an unmoved watermark means
+    /// unchanged content, and the pull, unseal, and parse are all
+    /// skipped (`dar_cluster_snapshot_reuses_total`). In steady state —
+    /// ingest touching a subset of shards between queries — only the
+    /// shards that actually advanced are re-pulled. Shards actually
+    /// pulled have their footer verified and must cover everything they
+    /// acknowledged.
     ///
     /// With [`ClusterConfig::allow_partial`], shards that are Down or
     /// whose pull fails are skipped and the answer carries a degraded
@@ -390,7 +415,8 @@ impl Coordinator {
         }
         let t = Instant::now();
         let total_shards = self.shards.len();
-        let mut texts = Vec::with_capacity(total_shards);
+        let pool = dar_par::ThreadPool::resolve(self.config.engine.threads);
+        let mut snaps = Vec::with_capacity(total_shards);
         let mut covered_tuples = 0u64;
         let mut expected_total = 0u64;
         let mut live = 0usize;
@@ -398,6 +424,24 @@ impl Coordinator {
         for i in 0..total_shards {
             let expected = self.board.expected_tuples(i);
             expected_total += expected;
+            let acked = self.board.last_acked_seq(i);
+            // Reuse only for shards currently Up: the cache is a perf
+            // optimization for reachable shards, not an availability
+            // mechanism — serving a Suspect/Down shard's cached slice
+            // would claim coverage the cluster cannot currently verify,
+            // and the chaos contract requires honesty over availability.
+            if self.board.state(i) == ShardHealth::Up {
+                if let Some(cached) = &self.snap_cache[i] {
+                    if cached.acked_seq == acked {
+                        metrics().snapshot_reuses.inc();
+                        snaps.push(cached.snap.clone());
+                        covered_tuples += expected;
+                        live += 1;
+                        continue;
+                    }
+                }
+            }
+            self.snap_cache[i] = None;
             let response = match self.shard_request(i, &Request::PullSnapshot) {
                 Ok(response) => response,
                 Err(e) => {
@@ -410,21 +454,29 @@ impl Coordinator {
                     continue;
                 }
             };
-            let sealed = response
-                .get("snapshot")
-                .and_then(Json::as_str)
-                .ok_or_else(|| {
-                    io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("shard {i} pull_snapshot response lacks a snapshot"),
-                    )
-                })?
-                .to_string();
-            // Wire-corruption check here (merge re-verifies); the footer
-            // seq is informational — it is the shard's *in-memory*
-            // watermark, which a restart resets even when WAL recovery
-            // rebuilt every batch.
-            dar_durable::unseal(&sealed).map_err(|e| {
+            // Binary engine snapshots ride the JSON wire base64-encoded;
+            // pre-binary shards send the raw text under `snapshot`.
+            let sealed: Vec<u8> = match response.get("snapshot_b64").and_then(Json::as_str) {
+                Some(b64) => dar_serve::b64::decode(b64).map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("shard {i}: {e}"))
+                })?,
+                None => response
+                    .get("snapshot")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("shard {i} pull_snapshot response lacks a snapshot"),
+                        )
+                    })?
+                    .as_bytes()
+                    .to_vec(),
+            };
+            // Wire-corruption check on unseal; the footer seq is
+            // informational — it is the shard's *in-memory* watermark,
+            // which a restart resets even when WAL recovery rebuilt
+            // every batch.
+            let (body, _) = dar_durable::unseal_bytes(&sealed).map_err(|e| {
                 io::Error::new(io::ErrorKind::InvalidData, format!("shard {i}: {e}"))
             })?;
             // The restart-proof lost-data check: the shard must hold at
@@ -440,7 +492,12 @@ impl Coordinator {
                     self.shards[i].addr
                 )));
             }
-            texts.push(sealed);
+            let snap = dar_engine::snapshot::parse_snapshot_bytes(body, &pool).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("shard {i} snapshot: {e}"))
+            })?;
+            metrics().snapshot_pulls.inc();
+            self.snap_cache[i] = Some(CachedSnap { acked_seq: acked, snap: snap.clone() });
+            snaps.push(snap);
             covered_tuples += expected;
             live += 1;
         }
@@ -449,8 +506,9 @@ impl Coordinator {
         }
         let degraded = live < total_shards;
         let epoch_base = self.rounds;
-        let engine = DarEngine::merge_snapshots(&texts, epoch_base, self.config.engine.clone())
-            .map_err(|e| io::Error::other(format!("merge: {e}")))?;
+        let engine =
+            DarEngine::merge_parsed_snapshots(snaps, epoch_base, self.config.engine.clone())
+                .map_err(|e| io::Error::other(format!("merge: {e}")))?;
         if degraded {
             metrics().partial_merges.inc();
         } else {
@@ -500,16 +558,16 @@ impl Coordinator {
         Ok((epoch, clusters, coverage))
     }
 
-    /// Serializes the merged epoch (merging first if needed): `(text,
+    /// Serializes the merged epoch (merging first if needed): `(bytes,
     /// epoch, tuples, coverage)`.
     ///
     /// # Errors
     /// Merge or serialization failures.
-    pub fn snapshot(&mut self) -> io::Result<(String, u64, u64, Coverage)> {
+    pub fn snapshot(&mut self) -> io::Result<(Vec<u8>, u64, u64, Coverage)> {
         let (merged, coverage) = self.ensure_merged()?;
-        let (text, epoch, tuples) =
+        let (bytes, epoch, tuples) =
             merged.snapshot().map_err(|e| io::Error::other(format!("snapshot: {e}")))?;
-        Ok((text, epoch, tuples, coverage))
+        Ok((bytes, epoch, tuples, coverage))
     }
 
     /// Passes an explicit window seal through to every shard, in shard
@@ -532,6 +590,12 @@ impl Coordinator {
             responses.push((self.shards[i].addr.clone(), response));
         }
         self.dirty = true;
+        // A window seal changes what a shard snapshots *without* moving
+        // its acked watermark — the one event that breaks the cache key's
+        // "unmoved watermark means unchanged content" invariant.
+        for slot in &mut self.snap_cache {
+            *slot = None;
+        }
         Ok(responses)
     }
 
@@ -554,8 +618,13 @@ impl Coordinator {
     /// Shard failures, or a shard whose count vector does not match the
     /// rule count (a protocol violation).
     pub fn rescan(&mut self, outcome: &QueryOutcome) -> io::Result<(u64, Vec<u64>)> {
-        let clusters_text = mining::persist::write_clusters(outcome.artifacts.graph.clusters())
-            .map_err(|e| io::Error::other(format!("clusters: {e}")))?;
+        // Shipped as base64 persist-v2 binary; shards sniff (raw v1 text
+        // can never decode as base64, so old and new servers coexist).
+        let pool = dar_par::ThreadPool::resolve(self.config.engine.threads);
+        let clusters_text =
+            mining::persist::encode_clusters(outcome.artifacts.graph.clusters(), &pool)
+                .map(|bytes| dar_serve::b64::encode(&bytes))
+                .map_err(|e| io::Error::other(format!("clusters: {e}")))?;
         let rules: Vec<Vec<usize>> = outcome
             .rules
             .iter()

@@ -38,6 +38,13 @@ pub(crate) struct ClusterMetrics {
     /// `dar_cluster_partial_merges_total`: merge rounds that served from a
     /// strict subset of shards (degraded answers).
     pub partial_merges: Counter,
+    /// `dar_cluster_snapshot_pulls_total`: shard snapshots actually
+    /// pulled, unsealed, and parsed during merge rounds.
+    pub snapshot_pulls: Counter,
+    /// `dar_cluster_snapshot_reuses_total`: shard snapshots served from
+    /// the coordinator's parsed cache because the shard's acked watermark
+    /// had not moved — no pull, no parse.
+    pub snapshot_reuses: Counter,
 }
 
 /// The cached handles.
@@ -58,6 +65,8 @@ pub(crate) fn metrics() -> &'static ClusterMetrics {
             probes: r.counter("dar_cluster_probes_total"),
             rejoins: r.counter("dar_cluster_rejoins_total"),
             partial_merges: r.counter("dar_cluster_partial_merges_total"),
+            snapshot_pulls: r.counter("dar_cluster_snapshot_pulls_total"),
+            snapshot_reuses: r.counter("dar_cluster_snapshot_reuses_total"),
         }
     })
 }

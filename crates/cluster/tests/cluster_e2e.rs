@@ -160,6 +160,110 @@ fn coordinator_rules_are_byte_identical_to_single_engine_at_1_2_4_shards() {
     }
 }
 
+/// Each shard's `pull_snapshot` request counter, read over the wire.
+fn shard_pull_counts(addrs: &[String]) -> Vec<u64> {
+    addrs
+        .iter()
+        .map(|addr| {
+            let mut client = Client::connect(addr.as_str(), timeout()).unwrap();
+            let stats = client.stats().unwrap();
+            stats
+                .get("server")
+                .and_then(|s| s.get("pull_snapshot_requests"))
+                .and_then(|j| j.as_u64())
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+#[test]
+fn steady_state_merge_reuses_unmoved_shard_snapshots() {
+    let (shard_handles, addrs) = start_shards(3);
+    let mut coordinator = Coordinator::connect(cluster_config(addrs.clone())).unwrap();
+
+    // Round 1: seqs 1..=3 home on shards 0..=2; the first query pulls all.
+    let round1 = [rows(40, 0), rows(40, 40), rows(40, 80)];
+    for batch in &round1 {
+        coordinator.ingest(batch).unwrap();
+    }
+    let (first, cov) = coordinator.query(&RuleQuery::default()).unwrap();
+    assert!(!cov.degraded);
+    assert_eq!(shard_pull_counts(&addrs), vec![1, 1, 1]);
+
+    // A repeated query is answered from the merged view: no pulls at all.
+    let (again, _) = coordinator.query(&RuleQuery::default()).unwrap();
+    assert_eq!(again.rules, first.rules);
+    assert_eq!(shard_pull_counts(&addrs), vec![1, 1, 1]);
+
+    // One more batch (seq 4 → shard 0): the next merge re-pulls only the
+    // shard whose acked watermark moved — shards 1 and 2 are served from
+    // the coordinator's parsed-snapshot cache.
+    coordinator.ingest(&rows(40, 120)).unwrap();
+    let (second, cov) = coordinator.query(&RuleQuery::default()).unwrap();
+    assert!(!cov.degraded, "cache reuse must not dent coverage");
+    assert_eq!(cov.fraction(), 1.0);
+    assert_eq!(shard_pull_counts(&addrs), vec![2, 1, 1], "unmoved shards must not be re-pulled");
+
+    // The partially-cached merge is still byte-identical to the control
+    // that saw the same batch stream.
+    let mut control = fresh_engine();
+    for batch in &round1 {
+        control.ingest(batch).unwrap();
+    }
+    control.query(&RuleQuery::default()).unwrap();
+    control.ingest(&rows(40, 120)).unwrap();
+    let expected = control.query(&RuleQuery::default()).unwrap();
+    assert_eq!(
+        protocol::query_response(&second).encode(),
+        protocol::query_response(&expected).encode(),
+        "cached-merge rules diverged from the single engine"
+    );
+
+    drop(coordinator);
+    for handle in shard_handles {
+        handle.shutdown();
+        handle.join().unwrap();
+    }
+}
+
+#[test]
+fn window_advance_invalidates_the_snapshot_cache() {
+    use dar_serve::{RetirePolicy, WindowSpec, WindowedEngine};
+
+    // One windowed shard (4-batch windows: a single batch never seals on
+    // its own). An explicit advance changes the shard's snapshot without
+    // moving its acked watermark — exactly the case the cache must not
+    // serve stale.
+    let schema = Schema::interval_attrs(2);
+    let partitioning = Partitioning::per_attribute(&schema, Metric::Euclidean);
+    let engine = WindowedEngine::new(
+        partitioning,
+        engine_config(),
+        WindowSpec { batches: 4, slots: 2 },
+        RetirePolicy::Remerge,
+    )
+    .unwrap();
+    let handle = Server::start(engine, "127.0.0.1:0", shard_config()).unwrap();
+    let addrs = vec![handle.addr().to_string()];
+    let mut coordinator = Coordinator::connect(cluster_config(addrs.clone())).unwrap();
+
+    coordinator.ingest(&rows(40, 0)).unwrap();
+    coordinator.query(&RuleQuery::default()).unwrap();
+    assert_eq!(shard_pull_counts(&addrs), vec![1]);
+
+    coordinator.advance().unwrap();
+    coordinator.query(&RuleQuery::default()).unwrap();
+    assert_eq!(
+        shard_pull_counts(&addrs),
+        vec![2],
+        "a sealed window must force a re-pull despite the unmoved watermark"
+    );
+
+    drop(coordinator);
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
 #[test]
 fn advance_passes_through_to_windowed_shards_and_subscribe_is_refused() {
     use dar_serve::{Json, RetirePolicy, WindowSpec, WindowedEngine};

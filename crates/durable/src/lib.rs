@@ -39,7 +39,10 @@ pub mod wal;
 pub use batch::{decode_batch, decode_frame, encode_batch, encode_tagged_batch};
 pub use crc::crc32;
 pub use error::DurableError;
-pub use snapshot::{seal, unseal, unseal_strict, LoadedSnapshot, SnapshotSource};
+pub use snapshot::{
+    seal, seal_bytes, unseal, unseal_bytes, unseal_strict, unseal_strict_bytes, LoadedSnapshot,
+    SnapshotSource,
+};
 pub use storage::{DiskStorage, FaultPlan, FaultyStorage, Storage};
 pub use store::{DurableStore, Recovered, RecoveryReport};
 pub use wal::{WalRecord, WalReport};

@@ -36,61 +36,85 @@ use std::path::{Path, PathBuf};
 /// The footer line prefix.
 pub const FOOTER_PREFIX: &str = "dar-footer v1 ";
 
-/// Appends the checksum footer to a snapshot body. The body must be the
-/// exact text a reader will verify; a missing trailing newline is added
-/// so the footer sits on its own line.
-pub fn seal(body: &str, seq: u64) -> String {
-    let mut out = String::with_capacity(body.len() + 64);
-    out.push_str(body);
-    if !out.ends_with('\n') {
-        out.push('\n');
+/// Appends the checksum footer to a snapshot body of arbitrary bytes —
+/// text or the persist-v2 binary formats alike. The body must be the
+/// exact bytes a reader will verify; a missing trailing newline byte is
+/// added so the ASCII footer sits on its own line (the binary formats
+/// already terminate with `0x0A` for exactly this reason).
+pub fn seal_bytes(body: &[u8], seq: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 64);
+    out.extend_from_slice(body);
+    if out.last() != Some(&b'\n') {
+        out.push(b'\n');
     }
     let len = out.len();
-    out.push_str(&format!(
-        "{FOOTER_PREFIX}seq={seq} crc32={:08x} len={len}\n",
-        crc32(out.as_bytes())
-    ));
+    out.extend_from_slice(
+        format!("{FOOTER_PREFIX}seq={seq} crc32={:08x} len={len}\n", crc32(&out)).as_bytes(),
+    );
     out
 }
 
-/// Verifies a sealed snapshot and returns `(body, seq)`. Text without a
-/// footer is passed through untouched with `seq = None` — pre-durability
+/// [`seal_bytes`] for text bodies, returning text (the footer is ASCII,
+/// so sealing preserves UTF-8). Byte-for-byte identical to the v1 sealer.
+pub fn seal(body: &str, seq: u64) -> String {
+    String::from_utf8(seal_bytes(body.as_bytes(), seq)).expect("ASCII footer on UTF-8 body")
+}
+
+/// Verifies a sealed snapshot and returns `(body, seq)`. Bytes without a
+/// footer are passed through untouched with `seq = None` — pre-durability
 /// snapshots stay restorable.
 ///
 /// # Errors
 /// A diagnosis when the footer is present but the body fails its length
 /// or checksum — the snapshot must not be trusted.
-pub fn unseal(text: &str) -> Result<(&str, Option<u64>), String> {
+pub fn unseal_bytes(bytes: &[u8]) -> Result<(&[u8], Option<u64>), String> {
     // The footer is the final line; everything before its line start is
     // the body (including the body's own trailing newline).
-    let trimmed = text.strip_suffix('\n').unwrap_or(text);
-    let footer_start = match trimmed.rfind('\n') {
+    let trimmed = bytes.strip_suffix(b"\n").unwrap_or(bytes);
+    let footer_start = match trimmed.iter().rposition(|&b| b == b'\n') {
         Some(pos) => pos + 1,
         None => 0,
     };
-    let footer = &trimmed[footer_start..];
+    // A footer line is always ASCII; anything else is a footer-less body.
+    let Ok(footer) = std::str::from_utf8(&trimmed[footer_start..]) else {
+        return Ok((bytes, None));
+    };
     if !footer.starts_with(FOOTER_PREFIX) {
-        return Ok((text, None));
+        return Ok((bytes, None));
     }
     let seq: u64 = footer_field(footer, "seq=")?;
     let crc: u32 = u32::from_str_radix(footer_field::<String>(footer, "crc32=")?.as_str(), 16)
         .map_err(|_| format!("bad crc32= field in footer {footer:?}"))?;
     let len: usize = footer_field(footer, "len=")?;
-    let body = &text[..footer_start];
+    let body = &bytes[..footer_start];
     if body.len() != len {
         return Err(format!("body is {} bytes but footer pinned {len} (truncated?)", body.len()));
     }
-    let actual = crc32(body.as_bytes());
+    let actual = crc32(body);
     if actual != crc {
         return Err(format!("body checksum {actual:08x} does not match footer {crc:08x}"));
     }
     Ok((body, Some(seq)))
 }
 
-/// Like [`unseal`], but a missing footer is an error. Used on the
+/// [`unseal_bytes`] for text input (the body of a text file is text).
+pub fn unseal(text: &str) -> Result<(&str, Option<u64>), String> {
+    let (body, seq) = unseal_bytes(text.as_bytes())?;
+    Ok((std::str::from_utf8(body).expect("subslice of str at a newline boundary"), seq))
+}
+
+/// Like [`unseal_bytes`], but a missing footer is an error. Used on the
 /// managed snapshot chain, where every write was sealed — so "no footer"
 /// can only mean truncation, and treating it as a legacy body would let
 /// a torn snapshot masquerade as a valid one.
+pub fn unseal_strict_bytes(bytes: &[u8]) -> Result<(&[u8], u64), String> {
+    match unseal_bytes(bytes)? {
+        (body, Some(seq)) => Ok((body, seq)),
+        (_, None) => Err("missing checksum footer (truncated snapshot?)".into()),
+    }
+}
+
+/// [`unseal_strict_bytes`] for text input.
 pub fn unseal_strict(text: &str) -> Result<(&str, u64), String> {
     match unseal(text)? {
         (body, Some(seq)) => Ok((body, seq)),
@@ -125,7 +149,7 @@ pub fn prev_path(path: &Path) -> PathBuf {
 pub fn install(
     storage: &dyn Storage,
     path: &Path,
-    body: &str,
+    body: &[u8],
     seq: u64,
 ) -> Result<(), DurableError> {
     let m = crate::metrics::metrics();
@@ -149,12 +173,12 @@ pub fn install(
 fn install_protocol(
     storage: &dyn Storage,
     path: &Path,
-    body: &str,
+    body: &[u8],
     seq: u64,
 ) -> Result<(), DurableError> {
-    let sealed = seal(body, seq);
+    let sealed = seal_bytes(body, seq);
     let tmp = tmp_path(path);
-    storage.write(&tmp, sealed.as_bytes()).map_err(|e| DurableError::io("write", &tmp, e))?;
+    storage.write(&tmp, &sealed).map_err(|e| DurableError::io("write", &tmp, e))?;
     storage.sync_file(&tmp).map_err(|e| DurableError::io("sync_file", &tmp, e))?;
     if storage.exists(path) {
         let prev = prev_path(path);
@@ -182,8 +206,9 @@ pub enum SnapshotSource {
 /// A verified snapshot, ready to restore from.
 #[derive(Debug, Clone)]
 pub struct LoadedSnapshot {
-    /// The verified body text (footer stripped).
-    pub body: String,
+    /// The verified body bytes (footer stripped) — text for the v1
+    /// formats, binary for persist v2.
+    pub body: Vec<u8>,
     /// The last WAL sequence the snapshot includes (0 for legacy
     /// unsealed snapshots, which predate the WAL).
     pub seq: u64,
@@ -216,14 +241,10 @@ pub fn load_latest(
         }
         let bytes =
             storage.read(&candidate).map_err(|e| DurableError::io("read", &candidate, e))?;
-        let Ok(text) = String::from_utf8(bytes) else {
-            skipped += 1;
-            continue;
-        };
-        match unseal_strict(&text) {
+        match unseal_strict_bytes(&bytes) {
             Ok((body, seq)) => {
                 return Ok(Some(LoadedSnapshot {
-                    body: body.to_string(),
+                    body: body.to_vec(),
                     seq,
                     source,
                     corrupt_slots_skipped: skipped,
@@ -280,10 +301,10 @@ mod tests {
         let dir = scratch_dir("snap_rotate");
         let path = dir.join("epoch.snap");
         let s = DiskStorage;
-        install(&s, &path, "first\n", 1).unwrap();
-        install(&s, &path, "second\n", 2).unwrap();
+        install(&s, &path, b"first\n", 1).unwrap();
+        install(&s, &path, b"second\n", 2).unwrap();
         let loaded = load_latest(&s, &path).unwrap().unwrap();
-        assert_eq!(loaded.body, "second\n");
+        assert_eq!(loaded.body, b"second\n");
         assert_eq!(loaded.seq, 2);
         assert_eq!(loaded.source, SnapshotSource::Primary);
         assert_eq!(loaded.corrupt_slots_skipped, 0);
@@ -303,20 +324,46 @@ mod tests {
         let dir = scratch_dir("snap_fallback");
         let path = dir.join("epoch.snap");
         let s = DiskStorage;
-        install(&s, &path, "old good\n", 5).unwrap();
-        install(&s, &path, "new good\n", 9).unwrap();
+        install(&s, &path, b"old good\n", 5).unwrap();
+        install(&s, &path, b"new good\n", 9).unwrap();
         // The managed chain is strict: footer-less garbage (a torn
         // snapshot that lost its footer) is corrupt, not "legacy".
         std::fs::write(&path, "garbage that is not a snapshot").unwrap();
         let loaded = load_latest(&s, &path).unwrap().unwrap();
-        assert_eq!(loaded.body, "old good\n");
+        assert_eq!(loaded.body, b"old good\n");
         assert_eq!(loaded.source, SnapshotSource::Previous);
         assert_eq!(loaded.corrupt_slots_skipped, 1);
         // A checksum mismatch falls back the same way.
         std::fs::write(&path, seal("tampered\n", 9).replacen("tampered", "tempered", 1)).unwrap();
         let loaded = load_latest(&s, &path).unwrap().unwrap();
-        assert_eq!(loaded.body, "old good\n");
+        assert_eq!(loaded.body, b"old good\n");
         assert_eq!(loaded.corrupt_slots_skipped, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn binary_bodies_seal_and_install_byte_exactly() {
+        // A persist-v2-style body: magic + arbitrary non-UTF-8 bytes,
+        // terminated by the format's mandatory newline byte.
+        let mut body = b"DACF".to_vec();
+        body.extend_from_slice(&[0xFF, 0x00, 0x80, 0x0A, 0xC3, 0x28]);
+        body.push(b'\n');
+        let sealed = seal_bytes(&body, 11);
+        let (back, seq) = unseal_bytes(&sealed).unwrap();
+        assert_eq!(back, &body[..], "seal must not alter a newline-terminated body");
+        assert_eq!(seq, Some(11));
+        // Corruption of a binary body is caught like any other.
+        let mut flipped = sealed.clone();
+        flipped[5] ^= 0x01;
+        assert!(unseal_bytes(&flipped).is_err());
+        // And the install/load chain carries the exact bytes.
+        let dir = scratch_dir("snap_binary");
+        let path = dir.join("epoch.snap");
+        let s = DiskStorage;
+        install(&s, &path, &body, 11).unwrap();
+        let loaded = load_latest(&s, &path).unwrap().unwrap();
+        assert_eq!(loaded.body, body);
+        assert_eq!(loaded.seq, 11);
         std::fs::remove_dir_all(&dir).ok();
     }
 

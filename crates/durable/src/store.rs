@@ -26,8 +26,9 @@ use std::sync::Arc;
 /// What [`DurableStore::open`] reconstructed from disk.
 #[derive(Debug, Clone)]
 pub struct Recovered {
-    /// The verified snapshot body to restore from, if any slot verified.
-    pub snapshot: Option<String>,
+    /// The verified snapshot body to restore from, if any slot verified
+    /// (text for the v1 formats, binary for persist v2 — restorers sniff).
+    pub snapshot: Option<Vec<u8>>,
     /// The WAL sequence the snapshot includes (0 when none).
     pub snapshot_seq: u64,
     /// Committed batches newer than the snapshot, in log order — replay
@@ -238,7 +239,7 @@ impl DurableStore {
     /// # Errors
     /// I/O failures during the install protocol; the previously-installed
     /// snapshot (plus the WAL) remains recoverable.
-    pub fn install_snapshot(&mut self, body: &str) -> Result<u64, DurableError> {
+    pub fn install_snapshot(&mut self, body: &[u8]) -> Result<u64, DurableError> {
         let Some(path) = self.snapshot_path.clone() else {
             return Err(DurableError::io(
                 "write",
@@ -305,12 +306,12 @@ mod tests {
         let (mut store, _) = open_disk(&dir);
         store.log_batch(&batch(1.0, 2)).unwrap();
         store.log_batch(&batch(2.0, 2)).unwrap();
-        assert_eq!(store.install_snapshot("state after two batches\n").unwrap(), 2);
+        assert_eq!(store.install_snapshot(b"state after two batches\n").unwrap(), 2);
         store.log_batch(&batch(3.0, 2)).unwrap();
         drop(store);
 
         let (_, recovered) = open_disk(&dir);
-        assert_eq!(recovered.snapshot.as_deref(), Some("state after two batches\n"));
+        assert_eq!(recovered.snapshot.as_deref(), Some(b"state after two batches\n".as_slice()));
         assert_eq!(recovered.snapshot_seq, 2);
         assert_eq!(recovered.batches, vec![batch(3.0, 2)], "only seq>2 replays");
         std::fs::remove_dir_all(&dir).ok();
@@ -321,10 +322,10 @@ mod tests {
         let dir = scratch_dir("store_prev");
         let (mut store, _) = open_disk(&dir);
         store.log_batch(&batch(1.0, 1)).unwrap();
-        store.install_snapshot("snap A\n").unwrap(); // seq 1
+        store.install_snapshot(b"snap A\n").unwrap(); // seq 1
         store.log_batch(&batch(2.0, 1)).unwrap();
         store.log_batch(&batch(3.0, 1)).unwrap();
-        store.install_snapshot("snap B\n").unwrap(); // seq 3; prunes ≤1
+        store.install_snapshot(b"snap B\n").unwrap(); // seq 3; prunes ≤1
         store.log_batch(&batch(4.0, 1)).unwrap();
         drop(store);
 
@@ -334,7 +335,7 @@ mod tests {
         let sealed = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, sealed.replacen("snap B", "snap X", 1)).unwrap();
         let (_, recovered) = open_disk(&dir);
-        assert_eq!(recovered.snapshot.as_deref(), Some("snap A\n"));
+        assert_eq!(recovered.snapshot.as_deref(), Some(b"snap A\n".as_slice()));
         assert_eq!(recovered.snapshot_seq, 1);
         assert_eq!(recovered.batches, vec![batch(2.0, 1), batch(3.0, 1), batch(4.0, 1)]);
         assert_eq!(recovered.report.corrupt_snapshots_skipped, 1);
@@ -368,15 +369,15 @@ mod tests {
         let (mut store, _) =
             DurableStore::open(Arc::new(DiskStorage), None, Some(dir.join("only.wal"))).unwrap();
         store.log_batch(&batch(1.0, 1)).unwrap();
-        assert!(store.install_snapshot("nope").is_err());
+        assert!(store.install_snapshot(b"nope").is_err());
         // Snapshot only.
         let (mut store, _) =
             DurableStore::open(Arc::new(DiskStorage), Some(dir.join("only.snap")), None).unwrap();
         assert!(store.log_batch(&batch(1.0, 1)).is_err());
-        store.install_snapshot("fine\n").unwrap();
+        store.install_snapshot(b"fine\n").unwrap();
         let (_, recovered) =
             DurableStore::open(Arc::new(DiskStorage), Some(dir.join("only.snap")), None).unwrap();
-        assert_eq!(recovered.snapshot.as_deref(), Some("fine\n"));
+        assert_eq!(recovered.snapshot.as_deref(), Some(b"fine\n".as_slice()));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

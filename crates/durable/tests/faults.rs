@@ -21,8 +21,14 @@ fn open(storage: Arc<FaultyStorage>, dir: &Path) -> (DurableStore, dar_durable::
 }
 
 /// Parses `acked=<n>` back out of a recovered snapshot body.
-fn snapshot_count(body: &str) -> u64 {
-    body.trim().strip_prefix("acked=").expect("snapshot body shape").parse().unwrap()
+fn snapshot_count(body: &[u8]) -> u64 {
+    std::str::from_utf8(body)
+        .expect("test snapshot bodies are text")
+        .trim()
+        .strip_prefix("acked=")
+        .expect("snapshot body shape")
+        .parse()
+        .unwrap()
 }
 
 /// Asserts that recovery reconstructed exactly `acked` batches: the
@@ -112,12 +118,12 @@ fn snapshot_install_crash_points_all_recover() {
         // An older installed snapshot so the rotation path (rename #0 =
         // path→prev, rename #1 = tmp→path) is exercised.
         store.log_batch(&batch(1)).unwrap();
-        store.install_snapshot("acked=1\n").unwrap();
+        store.install_snapshot(b"acked=1\n").unwrap();
         store.log_batch(&batch(2)).unwrap();
         store.log_batch(&batch(3)).unwrap();
 
         storage.set_plan(plan.clone());
-        let result = store.install_snapshot("acked=3\n");
+        let result = store.install_snapshot(b"acked=3\n");
         drop(store); // crash wherever the fault left us
 
         storage.heal();
@@ -145,7 +151,7 @@ fn fresh_install_crash_before_rename_recovers_from_tmp() {
     let (mut store, _) = open(storage.clone(), &dir);
     store.log_batch(&batch(1)).unwrap();
     storage.set_plan(FaultPlan { fail_rename_from: Some(0), ..FaultPlan::default() });
-    assert!(store.install_snapshot("acked=1\n").is_err());
+    assert!(store.install_snapshot(b"acked=1\n").is_err());
     drop(store);
 
     storage.heal();
@@ -168,7 +174,7 @@ fn crash_between_install_and_truncate_never_double_replays() {
     // rewrite's rename is #1. Failing from #1 means the snapshot lands
     // but the WAL keeps records 1 and 2.
     storage.set_plan(FaultPlan { fail_rename_from: Some(1), ..FaultPlan::default() });
-    store.install_snapshot("acked=2\n").unwrap();
+    store.install_snapshot(b"acked=2\n").unwrap();
     store.log_batch(&batch(3)).unwrap();
     drop(store);
 

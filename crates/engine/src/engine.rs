@@ -444,17 +444,24 @@ impl DarEngine {
     }
 
     /// Serializes the current epoch — closing it first if needed — to the
-    /// snapshot text format (engine header + `mining::persist` v1 body).
-    pub fn snapshot(&mut self) -> Result<String, CoreError> {
+    /// v2 binary snapshot format (engine header + `mining::persist` v2
+    /// body), encoding cluster records on the engine's worker pool.
+    pub fn snapshot(&mut self) -> Result<Vec<u8>, CoreError> {
         self.ensure_epoch();
         let state = self.epoch_state.as_ref().expect("epoch just ensured");
-        snapshot::write_snapshot(
+        let t = Instant::now();
+        let bytes = snapshot::write_snapshot_bytes(
             self.epoch,
             self.tuples,
             &self.partitioning,
             &state.tree_thresholds,
             &state.clusters,
-        )
+            &self.pool,
+        )?;
+        let m = crate::metrics::persist_metrics();
+        m.encode_ns.observe_duration(t.elapsed());
+        m.snapshot_bytes.set(bytes.len() as i64);
+        Ok(bytes)
     }
 
     /// Resumes an engine from a snapshot produced by [`DarEngine::snapshot`].
@@ -469,16 +476,38 @@ impl DarEngine {
     ///
     /// Snapshots sealed by `dar-durable` (a trailing checksum footer) are
     /// verified and unsealed first; unsealed pre-durability snapshots
-    /// restore as before.
+    /// restore as before. Both snapshot formats are accepted — the v2
+    /// binary layout this engine writes and the pre-v2 text layout.
     ///
     /// # Errors
     /// Rejects malformed snapshots, checksum-footer mismatches, and
     /// thresholds/partitioning arity mismatches.
-    pub fn restore(text: &str, config: EngineConfig) -> Result<Self, CoreError> {
-        let body = dar_durable::unseal(text)
+    pub fn restore(bytes: &[u8], config: EngineConfig) -> Result<Self, CoreError> {
+        let body = dar_durable::unseal_bytes(bytes)
             .map_err(|detail| CoreError::LayoutMismatch(format!("snapshot footer: {detail}")))?
             .0;
-        let snap = snapshot::parse_snapshot(body)?;
+        let pool = dar_par::ThreadPool::resolve(config.threads);
+        let t = Instant::now();
+        let snap = snapshot::parse_snapshot_bytes(body, &pool)?;
+        let m = crate::metrics::persist_metrics();
+        m.decode_ns.observe_duration(t.elapsed());
+        m.snapshot_bytes.set(body.len() as i64);
+        Ok(Self::from_parsed_snapshot(snap, config, pool))
+    }
+
+    /// [`DarEngine::restore`] over an already-parsed snapshot — the path
+    /// taken by callers that cache parsed snapshots (the coordinator) or
+    /// embed them in a larger serialization (`dar-stream`).
+    pub fn restore_parsed(snap: snapshot::Snapshot, config: EngineConfig) -> Self {
+        let pool = dar_par::ThreadPool::resolve(config.threads);
+        Self::from_parsed_snapshot(snap, config, pool)
+    }
+
+    fn from_parsed_snapshot(
+        snap: snapshot::Snapshot,
+        config: EngineConfig,
+        pool: dar_par::ThreadPool,
+    ) -> Self {
         let mut forest = AcfForest::with_initial_thresholds(
             snap.partitioning.clone(),
             &config.birch,
@@ -490,8 +519,7 @@ impl DarEngine {
         let s0 = ((config.min_support_frac * snap.tuples as f64).ceil() as u64).max(1);
         let stats =
             EngineStats { tuples_ingested: snap.tuples, epochs: 1, ..EngineStats::default() };
-        let pool = dar_par::ThreadPool::resolve(config.threads);
-        Ok(DarEngine {
+        DarEngine {
             partitioning: snap.partitioning,
             config,
             forest,
@@ -500,7 +528,7 @@ impl DarEngine {
             tuples: snap.tuples,
             epoch_state: Some(EpochState::new(snap.clusters, snap.thresholds, s0)),
             stats,
-        })
+        }
     }
 
     /// Builds a coordinator engine from one sealed snapshot per shard — the
@@ -526,20 +554,36 @@ impl DarEngine {
     /// shard had already absorbed.
     ///
     /// # Errors
-    /// Rejects an empty `texts` slice, malformed or checksum-corrupt
+    /// Rejects an empty `bodies` slice, malformed or checksum-corrupt
     /// snapshots, and partitionings that differ across shards.
     pub fn merge_snapshots(
-        texts: &[String],
+        bodies: &[Vec<u8>],
         epoch_base: u64,
         config: EngineConfig,
     ) -> Result<Self, CoreError> {
-        let mut snaps = Vec::with_capacity(texts.len());
-        for (i, text) in texts.iter().enumerate() {
-            let body = dar_durable::unseal(text).map_err(|detail| {
+        let pool = dar_par::ThreadPool::resolve(config.threads);
+        let mut snaps = Vec::with_capacity(bodies.len());
+        for (i, bytes) in bodies.iter().enumerate() {
+            let body = dar_durable::unseal_bytes(bytes).map_err(|detail| {
                 CoreError::LayoutMismatch(format!("shard {i} snapshot footer: {detail}"))
             })?;
-            snaps.push(snapshot::parse_snapshot(body.0)?);
+            snaps.push(snapshot::parse_snapshot_bytes(body.0, &pool)?);
         }
+        Self::merge_parsed_snapshots(snaps, epoch_base, config)
+    }
+
+    /// [`DarEngine::merge_snapshots`] over already-parsed snapshots, in
+    /// shard order. This is the coordinator's steady-state path: with
+    /// parsed shard snapshots cached against their ingest watermarks, a
+    /// re-merge skips both the wire pull and the parse.
+    ///
+    /// # Errors
+    /// As [`DarEngine::merge_snapshots`], minus the parse failures.
+    pub fn merge_parsed_snapshots(
+        snaps: Vec<snapshot::Snapshot>,
+        epoch_base: u64,
+        config: EngineConfig,
+    ) -> Result<Self, CoreError> {
         let Some(first) = snaps.first() else {
             return Err(CoreError::LayoutMismatch("merge_snapshots of zero shards".into()));
         };
@@ -824,8 +868,8 @@ mod tests {
             .collect()
     }
 
-    fn sealed_snapshot(e: &mut DarEngine) -> String {
-        dar_durable::seal(&e.snapshot().unwrap(), e.epoch())
+    fn sealed_snapshot(e: &mut DarEngine) -> Vec<u8> {
+        dar_durable::seal_bytes(&e.snapshot().unwrap(), e.epoch())
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! registers eagerly on first use so zero-valued series are visible in
 //! exposition before any traffic arrives.
 
-use dar_obs::{global, Counter, Histogram};
+use dar_obs::{global, Counter, Gauge, Histogram};
 use std::sync::OnceLock;
 
 /// The engine metric family.
@@ -47,6 +47,32 @@ pub(crate) fn metrics() -> &'static EngineMetrics {
             wal_batches_replayed: r.counter("dar_engine_wal_batches_replayed_total"),
             phase1_insert_ns: r.histogram("dar_engine_phase1_insert_ns"),
             epoch_close_ns: r.histogram("dar_engine_epoch_close_ns"),
+        }
+    })
+}
+
+/// The snapshot-persistence metric family (`dar_persist_*`). Shared by
+/// name with the coordinator's pull path — the registry is global, so
+/// every encoder/decoder in the process lands in the same series.
+pub(crate) struct PersistMetrics {
+    /// `dar_persist_encode_ns`: wall-clock of each snapshot serialization.
+    pub encode_ns: Histogram,
+    /// `dar_persist_decode_ns`: wall-clock of each snapshot parse.
+    pub decode_ns: Histogram,
+    /// `dar_persist_snapshot_bytes`: size of the last snapshot body
+    /// encoded or decoded.
+    pub snapshot_bytes: Gauge,
+}
+
+/// The cached persistence handles.
+pub(crate) fn persist_metrics() -> &'static PersistMetrics {
+    static METRICS: OnceLock<PersistMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        PersistMetrics {
+            encode_ns: r.histogram("dar_persist_encode_ns"),
+            decode_ns: r.histogram("dar_persist_decode_ns"),
+            snapshot_bytes: r.gauge("dar_persist_snapshot_bytes"),
         }
     })
 }

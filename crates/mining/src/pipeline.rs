@@ -162,8 +162,13 @@ impl DarMiner {
         let mut result =
             self.mine_rows((0..relation.len()).map(|row| relation.row(row)), partitioning)?;
         if self.config.rescan_candidate_frequency {
-            result.rule_frequencies =
-                rescan_frequencies(relation, partitioning, result.graph.clusters(), &result.rules);
+            result.rule_frequencies = rescan_frequencies_pooled(
+                relation,
+                partitioning,
+                result.graph.clusters(),
+                &result.rules,
+                &dar_par::ThreadPool::resolve(self.config.threads),
+            );
         }
         Ok(result)
     }
@@ -364,27 +369,60 @@ pub fn rescan_frequencies(
     clusters: &[ClusterSummary],
     rules: &[Dar],
 ) -> Vec<u64> {
+    rescan_frequencies_pooled(
+        relation,
+        partitioning,
+        clusters,
+        rules,
+        &dar_par::ThreadPool::serial(),
+    )
+}
+
+/// [`rescan_frequencies`] with the row scan partitioned across `pool`.
+/// Each worker counts a disjoint row range against the shared centroid
+/// indexes and the per-range `u64` vectors are summed element-wise — an
+/// exact, associative reduction, so the counts are identical to the
+/// serial scan at any worker count.
+pub fn rescan_frequencies_pooled(
+    relation: &Relation,
+    partitioning: &Partitioning,
+    clusters: &[ClusterSummary],
+    rules: &[Dar],
+    pool: &dar_par::ThreadPool,
+) -> Vec<u64> {
+    const ROW_CHUNK: usize = 1024;
     let indexes: Vec<CentroidIndex> = (0..partitioning.num_sets())
         .map(|set| CentroidIndex::new(clusters, set, partitioning.set(set).metric))
         .collect();
-    let mut counts = vec![0u64; rules.len()];
-    let mut buf = Vec::new();
-    // assigned[set] = graph position of the row's nearest cluster on `set`.
-    let mut assigned: Vec<Option<usize>> = vec![None; partitioning.num_sets()];
-    for row in 0..relation.len() {
-        for (set, index) in indexes.iter().enumerate() {
-            relation.project_into(row, &partitioning.set(set).attrs, &mut buf);
-            assigned[set] = index.nearest(&buf).map(|(pos, _)| pos);
-        }
-        for (rule, count) in rules.iter().zip(&mut counts) {
-            let holds = rule
-                .antecedent
-                .iter()
-                .chain(&rule.consequent)
-                .all(|&pos| assigned[clusters[pos].set] == Some(pos));
-            if holds {
-                *count += 1;
+    let chunks = relation.len().div_ceil(ROW_CHUNK);
+    let partials = pool.map_indexed("rescan", chunks, 1, |ci| {
+        let mut counts = vec![0u64; rules.len()];
+        let mut buf = Vec::new();
+        // assigned[set] = graph position of the row's nearest cluster on
+        // `set`.
+        let mut assigned: Vec<Option<usize>> = vec![None; partitioning.num_sets()];
+        for row in ci * ROW_CHUNK..((ci + 1) * ROW_CHUNK).min(relation.len()) {
+            for (set, index) in indexes.iter().enumerate() {
+                relation.project_into(row, &partitioning.set(set).attrs, &mut buf);
+                assigned[set] = index.nearest(&buf).map(|(pos, _)| pos);
             }
+            for (rule, count) in rules.iter().zip(&mut counts) {
+                let holds = rule
+                    .antecedent
+                    .iter()
+                    .chain(&rule.consequent)
+                    .all(|&pos| assigned[clusters[pos].set] == Some(pos));
+                if holds {
+                    *count += 1;
+                }
+            }
+        }
+        counts
+    });
+    let mut counts = vec![0u64; rules.len()];
+    for partial in partials {
+        for (total, part) in counts.iter_mut().zip(partial) {
+            *total += part;
         }
     }
     counts
@@ -462,6 +500,21 @@ mod tests {
             assert_eq!(par.stats.graph_edges, serial.stats.graph_edges);
             assert_eq!(par.stats.graph_comparisons, serial.stats.graph_comparisons);
             assert_eq!(par.stats.density_thresholds, serial.stats.density_thresholds);
+        }
+    }
+
+    #[test]
+    fn parallel_rescan_counts_are_identical_to_serial() {
+        let r = blocks(700); // several 1024-row chunks with a ragged tail
+        let p = Partitioning::per_attribute(r.schema(), Metric::Euclidean);
+        let result = miner().mine(&r, &p).expect("valid partitioning");
+        let clusters = result.graph.clusters();
+        let serial = rescan_frequencies(&r, &p, clusters, &result.rules);
+        assert_eq!(serial, result.rule_frequencies, "mine's pooled rescan matches serial");
+        for workers in [1usize, 2, 4, 8] {
+            let pool = dar_par::ThreadPool::new(workers);
+            let pooled = rescan_frequencies_pooled(&r, &p, clusters, &result.rules, &pool);
+            assert_eq!(pooled, serial, "workers={workers}");
         }
     }
 

@@ -93,7 +93,7 @@ pub fn recover_engine(
 
 /// Recovers an [`EngineBackend`] from the durable artifacts at boot —
 /// the windowed-aware sibling of [`recover_engine`]. The snapshot header
-/// decides the variant (a `dar-stream v1` body restores the window ring;
+/// decides the variant (a `dar-stream` body restores the window ring;
 /// anything else the classic engine), falling back to `fresh` when no
 /// snapshot survives. The WAL suffix is then replayed *frame by frame*:
 /// tagged frames fast-forward the window ring to the sequence they carry

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod b64;
 pub mod churn;
 pub mod client;
 mod durability;

@@ -38,7 +38,7 @@
 //!
 //! ```text
 //! {"verb":"shard_ingest","seq":…,"rows":[…]} → {"ok":true,…,"seq":…,"applied":…,"total":…}
-//! {"verb":"pull_snapshot"}                   → {"ok":true,…,"epoch":…,"snapshot":"<sealed>"}
+//! {"verb":"pull_snapshot"}                   → {"ok":true,…,"epoch":…,"snapshot_b64":"<base64>"}
 //! {"verb":"shard_stats"}                     → {"ok":true,…,"epoch":…,"width":…,"last_seq":…}
 //! {"verb":"shard_rescan","clusters":…,"rules":[…]} → {"ok":true,…,"counts":[…]}
 //! ```
@@ -47,12 +47,14 @@
 //! a shard remembers the highest it has applied and acknowledges
 //! duplicates (`"applied":false`) without re-applying, which makes the
 //! coordinator's at-least-once retries idempotent. `pull_snapshot`
-//! returns the shard's epoch snapshot sealed with a checksum footer
-//! (`dar_durable::seal`), so wire corruption is caught at merge time.
-//! `shard_rescan` is the SON-style verify pass: the coordinator ships the
-//! merged cluster summaries (persist v1 text) plus each candidate rule as
-//! a list of cluster positions, and the shard counts its own WAL-retained
-//! tuples that fall in every one of the rule's clusters.
+//! returns the shard's binary epoch snapshot sealed with a checksum
+//! footer (`dar_durable::seal_bytes`) and base64-encoded for the UTF-8
+//! wire, so corruption is caught at merge time. `shard_rescan` is the
+//! SON-style verify pass: the coordinator ships the merged cluster
+//! summaries (base64 persist v2, with raw v1 text still accepted) plus
+//! each candidate rule as a list of cluster positions, and the shard
+//! counts its own WAL-retained tuples that fall in every one of the
+//! rule's clusters.
 //!
 //! A coordinator serving with some shards down (`--allow-partial`)
 //! annotates responses computed from a subset of the data with coverage
@@ -144,7 +146,9 @@ pub enum Request {
     /// this shard's write-ahead log assigned to every one of the rule's
     /// clusters (nearest-centroid, as `mining::pipeline::rescan_frequencies`).
     ShardRescan {
-        /// The merged cluster summaries, as `mining::persist` v1 text.
+        /// The merged cluster summaries: base64-encoded `mining::persist`
+        /// v2 binary, or (legacy coordinators) raw v1 text — the server
+        /// sniffs, since v1 text can never parse as base64.
         clusters: String,
         /// Each rule as its cluster positions (antecedent ∪ consequent)
         /// into the shipped cluster slice.
@@ -568,17 +572,18 @@ pub fn shard_ingest_response(seq: u64, applied: bool, tuples: u64, total: u64) -
     ])
 }
 
-/// The `pull_snapshot` success response: the shard's epoch snapshot text,
-/// sealed with a checksum footer (`seq` = the shard's coordinator-batch
-/// watermark, so the coordinator can tell which routed batches the
-/// snapshot covers).
-pub fn pull_snapshot_response(epoch: u64, tuples: u64, sealed: &str) -> Json {
+/// The `pull_snapshot` success response: the shard's epoch snapshot
+/// (binary engine-v2 body), sealed with a checksum footer (`seq` = the
+/// shard's coordinator-batch watermark, so the coordinator can tell which
+/// routed batches the snapshot covers) and base64-encoded to ride the
+/// UTF-8 JSON wire.
+pub fn pull_snapshot_response(epoch: u64, tuples: u64, sealed: &[u8]) -> Json {
     Json::obj(vec![
         ("ok", Json::Bool(true)),
         ("verb", Json::Str("pull_snapshot".into())),
         ("epoch", Json::Num(epoch as f64)),
         ("tuples", Json::Num(tuples as f64)),
-        ("snapshot", Json::Str(sealed.into())),
+        ("snapshot_b64", Json::Str(crate::b64::encode(sealed))),
     ])
 }
 

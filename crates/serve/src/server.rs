@@ -566,11 +566,13 @@ fn handle_line(line: &str, ctx: &WorkerCtx) -> (Json, &'static str, Action) {
                 }
             }
         }
-        Request::PullSnapshot => match ctx.shared.snapshot() {
-            Ok((text, epoch, tuples)) => {
+        Request::PullSnapshot => match ctx.shared.pull_snapshot() {
+            Ok((bytes, epoch, tuples)) => {
                 count(&ctx.stats.pull_snapshot_requests);
-                let sealed =
-                    dar_durable::seal(&text, ctx.stats.shard_last_seq.load(Ordering::SeqCst));
+                let sealed = dar_durable::seal_bytes(
+                    &bytes,
+                    ctx.stats.shard_last_seq.load(Ordering::SeqCst),
+                );
                 (protocol::pull_snapshot_response(epoch, tuples, &sealed), Action::Continue)
             }
             Err(e) => (error(ctx, "snapshot", &e.to_string()), Action::Continue),
@@ -800,8 +802,15 @@ fn shard_rescan(
     let Some(wal_path) = &ctx.config.wal_path else {
         return Err(("no-wal", "shard_rescan needs a write-ahead log to re-read".into()));
     };
-    let clusters = mining::persist::read_clusters(clusters)
-        .map_err(|e| ("bad-request", format!("clusters: {e}")))?;
+    let pool = dar_par::ThreadPool::resolve(ctx.shared.engine_threads());
+    // Base64 persist-v2 is the wire format; raw v1 text (which contains
+    // spaces, so it can never decode as base64) is the legacy fallback.
+    let clusters = match crate::b64::decode(clusters) {
+        Ok(bytes) => mining::persist::decode_clusters(&bytes, &pool)
+            .map_err(|e| ("bad-request", format!("clusters: {e}")))?,
+        Err(_) => mining::persist::read_clusters(clusters)
+            .map_err(|e| ("bad-request", format!("clusters: {e}")))?,
+    };
     for (i, rule) in rules.iter().enumerate() {
         if let Some(&pos) = rule.iter().find(|&&pos| pos >= clusters.len()) {
             return Err((
@@ -835,8 +844,13 @@ fn shard_rescan(
             min_cluster_support: 0,
         })
         .collect();
-    let counts =
-        mining::pipeline::rescan_frequencies(&relation, &partitioning, &clusters, &candidates);
+    let counts = mining::pipeline::rescan_frequencies_pooled(
+        &relation,
+        &partitioning,
+        &clusters,
+        &candidates,
+        &pool,
+    );
     Ok(protocol::shard_rescan_response(relation.len() as u64, &counts))
 }
 

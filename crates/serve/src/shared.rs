@@ -98,14 +98,27 @@ impl SharedEngine {
     }
 
     /// Closes the current epoch (if open) and serializes it, returning
-    /// `(text, epoch, tuples)`.
+    /// `(bytes, epoch, tuples)`.
     ///
     /// # Errors
     /// Serialization errors from the backend snapshot.
-    pub fn snapshot(&self) -> Result<(String, u64, u64), CoreError> {
+    pub fn snapshot(&self) -> Result<(Vec<u8>, u64, u64), CoreError> {
         let mut engine = self.write();
-        let text = engine.snapshot()?;
-        Ok((text, engine.epoch(), engine.tuples()))
+        let bytes = engine.snapshot()?;
+        Ok((bytes, engine.epoch(), engine.tuples()))
+    }
+
+    /// The backend's *mergeable* serialization for a coordinator's
+    /// `pull_snapshot` — a plain engine-v2 body even on a windowed
+    /// backend (live horizon only, no ring framing), returning
+    /// `(bytes, epoch, tuples)`.
+    ///
+    /// # Errors
+    /// Serialization errors from the backend snapshot.
+    pub fn pull_snapshot(&self) -> Result<(Vec<u8>, u64, u64), CoreError> {
+        let mut engine = self.write();
+        let bytes = engine.pull_snapshot()?;
+        Ok((bytes, engine.epoch(), engine.tuples()))
     }
 
     /// The current epoch's cluster summaries (closing the epoch if
@@ -139,6 +152,13 @@ impl SharedEngine {
     /// clusters under it.
     pub fn partitioning(&self) -> dar_core::Partitioning {
         self.read().partitioning().clone()
+    }
+
+    /// The engine's configured worker-thread count (read lock only) —
+    /// `shard_rescan` parallelizes its WAL re-scan with the same budget
+    /// the engine mines under.
+    pub fn engine_threads(&self) -> usize {
+        self.read().config().threads
     }
 
     /// Cache hits served entirely under the read lock.

@@ -139,9 +139,9 @@ fn k_tcp_clients_get_byte_identical_rules_then_graceful_shutdown() {
 
     // The snapshot is a valid engine state for the next process: a
     // restored engine answers the same query with the same rules.
-    let text = std::fs::read_to_string(&snapshot_path).unwrap();
+    let bytes = std::fs::read(&snapshot_path).unwrap();
     let (_, restore_config, _) = engine();
-    let mut restored = DarEngine::restore(&text, restore_config).unwrap();
+    let mut restored = DarEngine::restore(&bytes, restore_config).unwrap();
     assert_eq!(restored.tuples(), 120);
     let after_restart = restored.query(&query).unwrap();
     assert_eq!(after_restart.rules, local.query(&query).unwrap().rules);

@@ -106,35 +106,51 @@ impl EngineBackend {
         }
     }
 
-    /// Serializes the backend: an engine-v1 snapshot for the static
-    /// variant, a dar-stream v1 ring snapshot for the windowed one.
+    /// Serializes the backend: an engine-v2 binary snapshot for the
+    /// static variant, a dar-stream v2 ring snapshot for the windowed one.
     /// [`EngineBackend::restore`] sniffs the header and routes back.
     ///
     /// # Errors
     /// Propagates serialization failures.
-    pub fn snapshot(&mut self) -> Result<String, CoreError> {
+    pub fn snapshot(&mut self) -> Result<Vec<u8>, CoreError> {
         match self {
             EngineBackend::Static(e) => e.snapshot(),
             EngineBackend::Windowed(e) => e.snapshot(),
         }
     }
 
+    /// Serializes the backend's *mergeable* view — always a plain
+    /// engine-v2 snapshot: all history for the static variant, the live
+    /// horizon for the windowed one. This is what a cluster coordinator
+    /// pulls; unlike [`EngineBackend::snapshot`], the result feeds
+    /// [`DarEngine::merge_parsed_snapshots`] directly.
+    ///
+    /// # Errors
+    /// Propagates serialization failures.
+    pub fn pull_snapshot(&mut self) -> Result<Vec<u8>, CoreError> {
+        match self {
+            EngineBackend::Static(e) => e.snapshot(),
+            EngineBackend::Windowed(e) => e.horizon_snapshot(),
+        }
+    }
+
     /// Resumes a backend from a snapshot body, routing on the header:
-    /// `dar-stream v1` restores a windowed engine, anything else falls
-    /// through to [`DarEngine::restore`] (which also unseals checksummed
-    /// snapshots).
+    /// a `dar-stream` header (v1 text or v2 framed-binary) restores a
+    /// windowed engine, anything else falls through to
+    /// [`DarEngine::restore`] (which also unseals checksummed snapshots
+    /// and accepts both engine formats).
     ///
     /// # Errors
     /// Rejects malformed snapshots of either flavor.
-    pub fn restore(text: &str, config: EngineConfig) -> Result<Self, CoreError> {
-        let body = dar_durable::unseal(text)
+    pub fn restore(bytes: &[u8], config: EngineConfig) -> Result<Self, CoreError> {
+        let body = dar_durable::unseal_bytes(bytes)
             .map_err(|detail| CoreError::LayoutMismatch(format!("snapshot footer: {detail}")))?
             .0;
-        if body.starts_with("dar-stream v1 ") {
+        if body.starts_with(b"dar-stream v") {
             return Ok(EngineBackend::Windowed(WindowedEngine::restore(body, config)?));
         }
         // `DarEngine::restore` unseals (and re-verifies) on its own.
-        Ok(EngineBackend::Static(DarEngine::restore(text, config)?))
+        Ok(EngineBackend::Static(DarEngine::restore(bytes, config)?))
     }
 
     /// The current epoch number.

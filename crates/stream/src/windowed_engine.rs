@@ -3,10 +3,9 @@
 
 use crate::window::{AdvanceOutcome, RetirePolicy, WindowSpec, WindowedForest};
 use dar_core::{ClusterSummary, CoreError, Partitioning};
-use dar_engine::snapshot::{parse_snapshot, write_snapshot};
+use dar_engine::snapshot::{parse_snapshot, parse_snapshot_bytes, write_snapshot_bytes, Snapshot};
 use dar_engine::{DarEngine, EngineConfig, EngineStats, QueryOutcome};
 use mining::RuleQuery;
-use std::fmt::Write as _;
 
 /// What one [`WindowedEngine::ingest`] did to the window state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -196,32 +195,37 @@ impl WindowedEngine {
         self.windows.policy()
     }
 
-    /// Serializes the full ring — one embedded engine-v1 snapshot per live
-    /// window, oldest first, the open window last:
+    /// Serializes the full ring to the v2 layout — a text header line
+    /// framing one embedded engine-v2 *binary* snapshot per live window,
+    /// oldest first, the open window last:
     ///
     /// ```text
-    /// dar-stream v1 epoch=<e> open_batches=<b> policy=<p> window_batches=<W> slots=<S> windows=<k>
-    /// window seq=<s> lines=<L>
-    /// <L lines of dar-engine v1 snapshot, epoch=<s> tuples=<window tuples>>
+    /// dar-stream v2 epoch=<e> open_batches=<b> policy=<p> window_batches=<W> slots=<S> windows=<k>
+    /// window seq=<s> bytes=<B>
+    /// <B bytes of dar-engine v2 binary snapshot, epoch=<s> tuples=<window tuples>>
     /// …
     /// ```
     ///
-    /// Restoring ([`WindowedEngine::restore`]) rebuilds each window's
-    /// forest from its summaries and the inner engine from their merge, so
-    /// WAL replay on top reconstructs the ring exactly.
+    /// Each embedded body ends with the engine format's `0x0A` terminator,
+    /// so the whole snapshot ends on a newline byte and the `dar-durable`
+    /// seal never alters it. Restoring ([`WindowedEngine::restore`])
+    /// rebuilds each window's forest from its summaries and the inner
+    /// engine from their merge, so WAL replay on top reconstructs the ring
+    /// exactly.
     ///
     /// # Errors
     /// Propagates serialization failures from the embedded snapshots.
-    pub fn snapshot(&mut self) -> Result<String, CoreError> {
+    pub fn snapshot(&mut self) -> Result<Vec<u8>, CoreError> {
         let mut out = format!(
-            "dar-stream v1 epoch={} open_batches={} policy={} window_batches={} slots={} windows={}\n",
+            "dar-stream v2 epoch={} open_batches={} policy={} window_batches={} slots={} windows={}\n",
             self.engine.epoch(),
             self.windows.open_batches(),
             self.windows.policy().name(),
             self.windows.spec().batches,
             self.windows.spec().slots,
             self.windows.live_windows().count(),
-        );
+        )
+        .into_bytes();
         let partitioning = self.engine.partitioning().clone();
         for (seq, forest, tuples) in self.windows.live_windows() {
             let mut clusters = Vec::new();
@@ -232,58 +236,116 @@ impl WindowedEngine {
                     next_id += 1;
                 }
             }
-            let body = write_snapshot(seq, tuples, &partitioning, &forest.thresholds(), &clusters)?;
-            let _ = writeln!(out, "window seq={seq} lines={}", body.lines().count());
-            out.push_str(&body);
-            if !body.ends_with('\n') {
-                out.push('\n');
-            }
+            let body = write_snapshot_bytes(
+                seq,
+                tuples,
+                &partitioning,
+                &forest.thresholds(),
+                &clusters,
+                &self.pool,
+            )?;
+            out.extend_from_slice(format!("window seq={seq} bytes={}\n", body.len()).as_bytes());
+            out.extend_from_slice(&body);
         }
         Ok(out)
     }
 
+    /// An engine-v2 snapshot of the **live horizon only** — the mergeable
+    /// view a cluster coordinator pulls ([`dar_engine::DarEngine`]'s own
+    /// format, with no ring framing). The ring structure is deliberately
+    /// absent: use [`WindowedEngine::snapshot`] for durability.
+    ///
+    /// # Errors
+    /// Propagates serialization failures.
+    pub fn horizon_snapshot(&mut self) -> Result<Vec<u8>, CoreError> {
+        self.engine.snapshot()
+    }
+
     /// Resumes a windowed engine from a [`WindowedEngine::snapshot`] body
-    /// (already unsealed by the caller). The window geometry and policy
-    /// come from the header; `config` supplies everything else.
+    /// (already unsealed by the caller), sniffing the header: `dar-stream
+    /// v2` frames binary engine snapshots by byte count, the pre-v2
+    /// `dar-stream v1` frames text snapshots by line count. The window
+    /// geometry and policy come from the header; `config` supplies
+    /// everything else.
     ///
     /// # Errors
     /// Rejects malformed headers, malformed embedded snapshots, and
     /// windows whose partitionings disagree.
-    pub fn restore(text: &str, config: EngineConfig) -> Result<Self, CoreError> {
+    pub fn restore(bytes: &[u8], config: EngineConfig) -> Result<Self, CoreError> {
+        if bytes.starts_with(b"dar-stream v2 ") {
+            return Self::restore_v2(bytes, config);
+        }
+        let text = std::str::from_utf8(bytes).map_err(|_| {
+            CoreError::LayoutMismatch(
+                "snapshot bytes are neither dar-stream v2 nor UTF-8 text".into(),
+            )
+        })?;
+        Self::restore_v1(text, config)
+    }
+
+    fn restore_v2(bytes: &[u8], config: EngineConfig) -> Result<Self, CoreError> {
+        let bad = |msg: String| CoreError::LayoutMismatch(msg);
+        let pool = dar_par::ThreadPool::resolve(config.threads);
+        let line_end = |from: usize| -> Result<usize, CoreError> {
+            bytes[from..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|p| from + p)
+                .ok_or_else(|| bad("dar-stream snapshot truncated mid-line".into()))
+        };
+        let header_end = line_end(0)?;
+        let header = std::str::from_utf8(&bytes[..header_end])
+            .map_err(|_| bad("dar-stream header is not UTF-8".into()))?;
+        let (epoch, open_batches, window_batches, slots, num_windows, policy) =
+            parse_ring_header(header)?;
+        let mut pos = header_end + 1;
+        let mut snaps = Vec::with_capacity(num_windows);
+        for i in 0..num_windows {
+            if pos >= bytes.len() {
+                return Err(bad(format!("missing window section {i}")));
+            }
+            let section_end = line_end(pos)?;
+            let section = std::str::from_utf8(&bytes[pos..section_end])
+                .map_err(|_| bad(format!("window section {i} is not UTF-8")))?;
+            let rest = section
+                .strip_prefix("window ")
+                .ok_or_else(|| bad(format!("expected window line, got {section:?}")))?;
+            let sfield = |key: &str| -> Result<u64, CoreError> {
+                let start =
+                    rest.find(key).ok_or_else(|| bad(format!("missing {key} in {section:?}")))?
+                        + key.len();
+                rest[start..]
+                    .split_whitespace()
+                    .next()
+                    .unwrap_or("")
+                    .parse()
+                    .map_err(|_| bad(format!("bad {key} field in {section:?}")))
+            };
+            let seq = sfield("seq=")?;
+            let body_bytes = sfield("bytes=")? as usize;
+            pos = section_end + 1;
+            if bytes.len() - pos < body_bytes {
+                return Err(bad(format!("window {seq}: truncated embedded snapshot")));
+            }
+            snaps.push(parse_snapshot_bytes(&bytes[pos..pos + body_bytes], &pool)?);
+            pos += body_bytes;
+        }
+        if pos != bytes.len() {
+            return Err(bad(format!(
+                "{} unexpected bytes after the last window section",
+                bytes.len() - pos
+            )));
+        }
+        Self::from_window_snaps(snaps, epoch, open_batches, window_batches, slots, policy, config)
+    }
+
+    fn restore_v1(text: &str, config: EngineConfig) -> Result<Self, CoreError> {
         let bad = |msg: String| CoreError::LayoutMismatch(msg);
         let mut lines = text.lines();
         let header = lines.next().ok_or_else(|| bad("empty dar-stream snapshot".into()))?;
-        if !header.starts_with("dar-stream v1 ") {
-            return Err(bad(format!("not a dar-stream v1 snapshot: {header:?}")));
-        }
-        let field = |key: &str| -> Result<u64, CoreError> {
-            let start =
-                header.find(key).ok_or_else(|| bad(format!("missing {key} in {header:?}")))?
-                    + key.len();
-            header[start..]
-                .split_whitespace()
-                .next()
-                .unwrap_or("")
-                .parse()
-                .map_err(|_| bad(format!("bad {key} field in {header:?}")))
-        };
-        let epoch = field("epoch=")?;
-        let open_batches = field("open_batches=")?;
-        let window_batches = field("window_batches=")?;
-        let slots = field("slots=")? as usize;
-        let num_windows = field("windows=")? as usize;
-        let policy_start =
-            header.find("policy=").ok_or_else(|| bad(format!("missing policy= in {header:?}")))?
-                + "policy=".len();
-        let policy_name = header[policy_start..].split_whitespace().next().unwrap_or("");
-        let policy = RetirePolicy::parse(policy_name)
-            .ok_or_else(|| bad(format!("unknown retire policy {policy_name:?}")))?;
-        if num_windows == 0 {
-            return Err(bad("dar-stream snapshot with zero windows".into()));
-        }
-
-        let mut windows = Vec::with_capacity(num_windows);
-        let mut partitioning: Option<Partitioning> = None;
+        let (epoch, open_batches, window_batches, slots, num_windows, policy) =
+            parse_ring_header(header)?;
+        let mut snaps = Vec::with_capacity(num_windows);
         for i in 0..num_windows {
             let section = lines.next().ok_or_else(|| bad(format!("missing window section {i}")))?;
             let rest = section
@@ -310,12 +372,31 @@ impl WindowedEngine {
                 body.push_str(l);
                 body.push('\n');
             }
-            let snap = parse_snapshot(&body)?;
+            snaps.push(parse_snapshot(&body)?);
+        }
+        Self::from_window_snaps(snaps, epoch, open_batches, window_batches, slots, policy, config)
+    }
+
+    /// Stands the ring and inner engine back up from parsed per-window
+    /// snapshots (oldest first) — the common tail of both restore paths.
+    fn from_window_snaps(
+        snaps: Vec<Snapshot>,
+        epoch: u64,
+        open_batches: u64,
+        window_batches: u64,
+        slots: usize,
+        policy: RetirePolicy,
+        config: EngineConfig,
+    ) -> Result<Self, CoreError> {
+        let mut windows = Vec::with_capacity(snaps.len());
+        let mut partitioning: Option<Partitioning> = None;
+        for snap in snaps {
             match &partitioning {
                 None => partitioning = Some(snap.partitioning.clone()),
                 Some(p) if *p != snap.partitioning => {
                     return Err(CoreError::InvalidPartitioning(format!(
-                        "window {seq} was built under a different partitioning"
+                        "window {} was built under a different partitioning",
+                        snap.epoch
                     )));
                 }
                 Some(_) => {}
@@ -328,9 +409,10 @@ impl WindowedEngine {
             for c in &snap.clusters {
                 forest.insert_entry(c.set, c.acf.clone());
             }
-            windows.push((seq, forest, snap.tuples));
+            windows.push((snap.epoch, forest, snap.tuples));
         }
-        let partitioning = partitioning.expect("at least one window parsed");
+        let partitioning =
+            partitioning.ok_or_else(|| CoreError::LayoutMismatch("zero windows parsed".into()))?;
         let thresholds = match &config.initial_thresholds {
             Some(t) => t.clone(),
             None => vec![config.birch.initial_threshold; partitioning.num_sets()],
@@ -349,4 +431,41 @@ impl WindowedEngine {
         let pool = dar_par::ThreadPool::resolve(config.threads);
         Ok(WindowedEngine { windows: ring, engine, config, pool })
     }
+}
+
+/// Parses the `dar-stream v1`/`v2` header line shared by both snapshot
+/// layouts. Returns `(epoch, open_batches, window_batches, slots,
+/// num_windows, policy)`.
+fn parse_ring_header(
+    header: &str,
+) -> Result<(u64, u64, u64, usize, usize, RetirePolicy), CoreError> {
+    let bad = |msg: String| CoreError::LayoutMismatch(msg);
+    if !header.starts_with("dar-stream v1 ") && !header.starts_with("dar-stream v2 ") {
+        return Err(bad(format!("not a dar-stream snapshot: {header:?}")));
+    }
+    let field = |key: &str| -> Result<u64, CoreError> {
+        let start = header.find(key).ok_or_else(|| bad(format!("missing {key} in {header:?}")))?
+            + key.len();
+        header[start..]
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .parse()
+            .map_err(|_| bad(format!("bad {key} field in {header:?}")))
+    };
+    let epoch = field("epoch=")?;
+    let open_batches = field("open_batches=")?;
+    let window_batches = field("window_batches=")?;
+    let slots = field("slots=")? as usize;
+    let num_windows = field("windows=")? as usize;
+    let policy_start =
+        header.find("policy=").ok_or_else(|| bad(format!("missing policy= in {header:?}")))?
+            + "policy=".len();
+    let policy_name = header[policy_start..].split_whitespace().next().unwrap_or("");
+    let policy = RetirePolicy::parse(policy_name)
+        .ok_or_else(|| bad(format!("unknown retire policy {policy_name:?}")))?;
+    if num_windows == 0 {
+        return Err(bad("dar-stream snapshot with zero windows".into()));
+    }
+    Ok((epoch, open_batches, window_batches, slots, num_windows, policy))
 }
